@@ -1,0 +1,140 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! allocation strategy, window policy, guard time, virtual channels, and
+//! the alternative-path cap of `AssignPaths`.
+//!
+//! Each benchmark measures the end-to-end cost of the configuration; the
+//! *qualitative* effect of each knob is asserted by the test suite and
+//! printed by `figures ablation`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sr::core::AssignPathsConfig;
+use sr::prelude::*;
+use sr_bench::{standard_workload, Platform};
+use std::hint::black_box;
+
+fn bench_allocation_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_allocation");
+    g.sample_size(10);
+    let platform = Platform::cube6(128.0);
+    let (tfg, _, timing) = standard_workload(&platform);
+    let topo = platform.topo.as_ref();
+    let period = timing.longest_task(&tfg) / 0.8;
+    let strategies: Vec<(&str, Allocation)> = vec![
+        ("greedy", sr::mapping::greedy(&tfg, topo)),
+        (
+            "scatter",
+            sr::mapping::random_distinct(&tfg, topo, 7).expect("fits"),
+        ),
+        ("roundrobin", sr::mapping::round_robin(&tfg, topo)),
+    ];
+    for (name, alloc) in strategies {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(compile(
+                    topo,
+                    &tfg,
+                    &alloc,
+                    &timing,
+                    period,
+                    &CompileConfig::default(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_window_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_window_policy");
+    g.sample_size(10);
+    let platform = Platform::cube6(128.0);
+    let (tfg, alloc, timing) = standard_workload(&platform);
+    let topo = platform.topo.as_ref();
+    let period = timing.longest_task(&tfg) * 2.0;
+    for (name, policy) in [
+        ("longest_task", WindowPolicy::LongestTask),
+        ("full_period", WindowPolicy::FullPeriod),
+        ("tight", WindowPolicy::Tight),
+    ] {
+        let config = CompileConfig {
+            window_policy: policy,
+            ..CompileConfig::default()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(compile(topo, &tfg, &alloc, &timing, period, &config)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_guard_times(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_guard_time");
+    g.sample_size(10);
+    let platform = Platform::cube6(128.0);
+    let (tfg, alloc, timing) = standard_workload(&platform);
+    let topo = platform.topo.as_ref();
+    let period = timing.longest_task(&tfg) * 2.0;
+    for guard in [0.0f64, 1.0, 4.0] {
+        let config = CompileConfig {
+            guard_time: guard,
+            ..CompileConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(guard), &guard, |b, _| {
+            b.iter(|| black_box(compile(topo, &tfg, &alloc, &timing, period, &config)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_virtual_channels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_virtual_channels");
+    let platform = Platform::cube6(64.0);
+    let (tfg, alloc, timing) = standard_workload(&platform);
+    let topo = platform.topo.as_ref();
+    let cfg = SimConfig {
+        invocations: 40,
+        warmup: 8,
+    };
+    for vc in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(vc), &vc, |b, &vc| {
+            let sim = WormholeSim::new(topo, &tfg, &alloc, &timing)
+                .unwrap()
+                .with_virtual_channels(vc)
+                .unwrap();
+            b.iter(|| black_box(sim.run(62.5, &cfg).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_path_caps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_path_cap");
+    g.sample_size(10);
+    let platform = Platform::cube6(64.0);
+    let (tfg, alloc, timing) = standard_workload(&platform);
+    let topo = platform.topo.as_ref();
+    let period = timing.longest_task(&tfg) / 0.6;
+    for cap in [1usize, 8, 64] {
+        let config = CompileConfig {
+            assign_paths: AssignPathsConfig {
+                path_cap: cap,
+                ..AssignPathsConfig::default()
+            },
+            ..CompileConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, _| {
+            b.iter(|| black_box(compile(topo, &tfg, &alloc, &timing, period, &config)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_allocation_strategies,
+    bench_window_policies,
+    bench_guard_times,
+    bench_virtual_channels,
+    bench_path_caps
+);
+criterion_main!(ablations);

@@ -1,0 +1,146 @@
+//! One Criterion benchmark per evaluation figure: each measures the cost of
+//! regenerating the corresponding data series (the workload generator,
+//! parameter sweep, baseline, and both routing systems end to end).
+//!
+//! Absolute times are machine-dependent; the value of these benches is (a)
+//! regression tracking for the compiler/simulator and (b) a one-command way
+//! to re-run every experiment (`cargo bench -p sr-bench`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sr::prelude::*;
+use sr_bench::{figure_performance, figure_utilization, Platform};
+use std::hint::black_box;
+
+/// A shortened simulation config so a bench iteration stays sub-second.
+fn bench_sim() -> SimConfig {
+    SimConfig {
+        invocations: 30,
+        warmup: 5,
+    }
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_utilization_ghc");
+    g.sample_size(10);
+    g.bench_function("cube6_b64", |b| {
+        b.iter(|| black_box(figure_utilization(&Platform::cube6(64.0), 1)))
+    });
+    g.bench_function("ghc444_b64", |b| {
+        b.iter(|| black_box(figure_utilization(&Platform::ghc444(64.0), 1)))
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_utilization_tori");
+    g.sample_size(10);
+    g.bench_function("torus8x8_b64", |b| {
+        b.iter(|| black_box(figure_utilization(&Platform::torus8x8(64.0), 1)))
+    });
+    g.bench_function("torus444_b64", |b| {
+        b.iter(|| black_box(figure_utilization(&Platform::torus444(64.0), 1)))
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_cube6");
+    g.sample_size(10);
+    let sim = bench_sim();
+    g.bench_function("b64", |b| {
+        b.iter(|| black_box(figure_performance(&Platform::cube6(64.0), &sim)))
+    });
+    g.bench_function("b128", |b| {
+        b.iter(|| black_box(figure_performance(&Platform::cube6(128.0), &sim)))
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_ghc444");
+    g.sample_size(10);
+    let sim = bench_sim();
+    g.bench_function("b64", |b| {
+        b.iter(|| black_box(figure_performance(&Platform::ghc444(64.0), &sim)))
+    });
+    g.bench_function("b128", |b| {
+        b.iter(|| black_box(figure_performance(&Platform::ghc444(128.0), &sim)))
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_torus8x8");
+    g.sample_size(10);
+    let sim = bench_sim();
+    g.bench_function("b128", |b| {
+        b.iter(|| black_box(figure_performance(&Platform::torus8x8(128.0), &sim)))
+    });
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_torus444");
+    g.sample_size(10);
+    let sim = bench_sim();
+    g.bench_function("b128", |b| {
+        b.iter(|| black_box(figure_performance(&Platform::torus444(128.0), &sim)))
+    });
+    g.finish();
+}
+
+fn bench_claim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("claim_oi");
+    let cube = GeneralizedHypercube::binary(3).unwrap();
+    let tfg = sr::tfg::generators::claim_chain(1000, 6400, 64);
+    let timing = Timing::new(64.0, 100.0);
+    let alloc = Allocation::new(
+        vec![NodeId(0), NodeId(1), NodeId(1), NodeId(2)],
+        &tfg,
+        &cube,
+    )
+    .unwrap();
+    g.bench_function("wormhole_sim", |b| {
+        let sim = WormholeSim::new(&cube, &tfg, &alloc, &timing).unwrap();
+        b.iter(|| {
+            black_box(
+                sim.run(
+                    110.0,
+                    &SimConfig {
+                        invocations: 30,
+                        warmup: 4,
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.bench_function("sr_compile", |b| {
+        b.iter(|| {
+            black_box(
+                compile(
+                    &cube,
+                    &tfg,
+                    &alloc,
+                    &timing,
+                    110.0,
+                    &CompileConfig::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10,
+    bench_claim
+);
+criterion_main!(figures);

@@ -1,0 +1,152 @@
+//! Microbenchmarks of the individual algorithms behind the figures:
+//! path enumeration, the simplex solver, `AssignPaths`, the wormhole engine,
+//! and the end-to-end scheduled-routing compiler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sr::core::{assign_paths, ActivityMatrix, AssignPathsConfig, Intervals};
+use sr::lp::{Problem, Relation};
+use sr::prelude::*;
+use sr_bench::{standard_workload, Platform};
+use std::hint::black_box;
+
+fn bench_topology(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology");
+    let cube = GeneralizedHypercube::binary(6).unwrap();
+    let torus = Torus::new(&[8, 8]).unwrap();
+    g.bench_function("cube6_shortest_paths_antipodal_cap64", |b| {
+        b.iter(|| black_box(cube.shortest_paths(NodeId(0), NodeId(63), 64)))
+    });
+    g.bench_function("torus8x8_shortest_paths_diag_cap64", |b| {
+        b.iter(|| black_box(torus.shortest_paths(NodeId(0), NodeId(27), 64)))
+    });
+    g.bench_function("cube6_dimension_order_all_pairs", |b| {
+        b.iter(|| {
+            for s in 0..64 {
+                for d in 0..64 {
+                    black_box(cube.dimension_order_path(NodeId(s), NodeId(d)));
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex");
+    for n in [10usize, 40, 120] {
+        g.bench_with_input(BenchmarkId::new("assignment_lp", n), &n, |b, &n| {
+            b.iter(|| {
+                // A transportation-style LP with n variables.
+                let mut p = Problem::minimize();
+                let vars: Vec<_> = (0..n).map(|i| p.add_var((i % 7) as f64 + 1.0)).collect();
+                for chunk in vars.chunks(4) {
+                    let terms: Vec<_> = chunk.iter().map(|&v| (v, 1.0)).collect();
+                    p.add_constraint(&terms, Relation::Ge, 2.0).unwrap();
+                }
+                for &v in &vars {
+                    p.add_constraint(&[(v, 1.0)], Relation::Le, 3.0).unwrap();
+                }
+                black_box(p.solve().unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_assign_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("assign_paths");
+    g.sample_size(10);
+    let platform = Platform::cube6(64.0);
+    let (tfg, alloc, timing) = standard_workload(&platform);
+    let topo = platform.topo.as_ref();
+    let bounds = assign_time_bounds(&tfg, &timing, 100.0, WindowPolicy::LongestTask).unwrap();
+    let intervals = Intervals::from_bounds(&bounds);
+    let activity = ActivityMatrix::new(&bounds, &intervals);
+    g.bench_function("dvb8_cube6", |b| {
+        b.iter(|| {
+            black_box(assign_paths(
+                &tfg,
+                topo,
+                &alloc,
+                &bounds,
+                &intervals,
+                &activity,
+                &AssignPathsConfig::default(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_wormhole(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wormhole_engine");
+    let platform = Platform::cube6(64.0);
+    let (tfg, alloc, timing) = standard_workload(&platform);
+    let topo = platform.topo.as_ref();
+    let sim = WormholeSim::new(topo, &tfg, &alloc, &timing).unwrap();
+    for invocations in [30usize, 120] {
+        g.bench_with_input(
+            BenchmarkId::new("dvb8_cube6", invocations),
+            &invocations,
+            |b, &n| {
+                let cfg = SimConfig {
+                    invocations: n,
+                    warmup: 5,
+                };
+                b.iter(|| black_box(sim.run(60.0, &cfg).unwrap()))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sr_compile");
+    g.sample_size(10);
+    for (label, platform) in [
+        ("cube6_b128", Platform::cube6(128.0)),
+        ("torus444_b128", Platform::torus444(128.0)),
+    ] {
+        let (tfg, alloc, timing) = standard_workload(&platform);
+        let period = timing.longest_task(&tfg) / 0.8;
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(
+                    compile(
+                        platform.topo.as_ref(),
+                        &tfg,
+                        &alloc,
+                        &timing,
+                        period,
+                        &CompileConfig::default(),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sr_verify");
+    let platform = Platform::cube6(128.0);
+    let (tfg, alloc, timing) = standard_workload(&platform);
+    let topo = platform.topo.as_ref();
+    let sched = compile(topo, &tfg, &alloc, &timing, 62.5, &CompileConfig::default()).unwrap();
+    g.bench_function("dvb8_cube6_b128", |b| {
+        b.iter(|| black_box(verify(&sched, topo, &tfg).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_topology,
+    bench_simplex,
+    bench_assign_paths,
+    bench_wormhole,
+    bench_compile,
+    bench_verify
+);
+criterion_main!(micro);

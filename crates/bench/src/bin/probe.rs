@@ -1,0 +1,45 @@
+//! Quick exploratory probe of the experiment space (not a published
+//! figure): prints the qualitative behavior at a few load points so the
+//! workload constants can be sanity-checked against the paper's findings.
+
+use sr::prelude::SimConfig;
+use sr_bench::{figure_performance, figure_utilization, Platform};
+
+fn main() {
+    let quick = SimConfig {
+        invocations: 40,
+        warmup: 6,
+    };
+    for platform in [
+        Platform::cube6(64.0),
+        Platform::cube6(128.0),
+        Platform::ghc444(64.0),
+        Platform::torus8x8(128.0),
+        Platform::torus444(128.0),
+        Platform::torus8x8(64.0),
+    ] {
+        println!("== {} ==", platform.name);
+        let util = figure_utilization(&platform, 1);
+        for p in util.iter().step_by(3) {
+            println!(
+                "  load {:.2}: U_lsd={:.2} U_final={:.2}",
+                p.load, p.lsd_peak, p.final_peak
+            );
+        }
+        let perf = figure_performance(&platform, &quick);
+        for p in perf.iter().step_by(2) {
+            println!(
+                "  load {:.2}: WR thr {:.2}/{:.2}/{:.2} OI={} dead={} | SR {:?}",
+                p.load,
+                p.wr_throughput.min,
+                p.wr_throughput.mid,
+                p.wr_throughput.max,
+                p.wr_oi,
+                p.wr_deadlock,
+                p.sr.as_ref()
+                    .map(|s| (s.latency, s.utilization))
+                    .map_err(|e| e.clone()),
+            );
+        }
+    }
+}

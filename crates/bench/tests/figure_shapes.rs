@@ -1,0 +1,85 @@
+//! Regression tests for the *reproduction itself*: the qualitative shapes
+//! EXPERIMENTS.md records must keep holding as the code evolves.
+//!
+//! These run the real figure harness on a reduced simulation window, so
+//! they assert the robust shape properties, not exact spike values.
+
+use sr::prelude::*;
+use sr_bench::{figure_performance, figure_utilization, Platform};
+
+fn quick_sim() -> SimConfig {
+    SimConfig {
+        invocations: 60,
+        warmup: 10,
+    }
+}
+
+/// Fig. 7 (B=128 half): scheduled routing compiles at every load with
+/// constant throughput and flat latency, while wormhole routing shows
+/// output inconsistency at the saturated end.
+#[test]
+fn fig7_b128_shape_holds() {
+    let series = figure_performance(&Platform::cube6(128.0), &quick_sim());
+    assert_eq!(series.len(), 12);
+    let mut first_latency = None;
+    for p in &series {
+        let sr = p.sr.as_ref().unwrap_or_else(|e| {
+            panic!("SR must compile at every load at B=128; failed at {}: {e}", p.load)
+        });
+        assert_eq!(sr.throughput, 1.0);
+        assert!(sr.utilization <= 1.0 + 1e-6);
+        let l = *first_latency.get_or_insert(sr.latency);
+        assert!(
+            (sr.latency - l).abs() < 1e-6,
+            "SR latency must be flat across loads"
+        );
+    }
+    let high_load_oi = series
+        .iter()
+        .filter(|p| p.load > 0.7 && p.wr_oi)
+        .count();
+    assert!(
+        high_load_oi >= 2,
+        "wormhole routing should be inconsistent at saturated loads"
+    );
+    // Monotone degradation: WR mean latency at the top load exceeds the
+    // bottom load's.
+    let first = &series[0];
+    let last = &series[11];
+    assert!(last.wr_latency.mid > first.wr_latency.mid + 0.5);
+}
+
+/// Fig. 6 (8×8 torus half): `AssignPaths` never does worse than LSD-to-MSD,
+/// and the 8×8 torus stays above link capacity at B=64 — the platform the
+/// paper could not schedule at all at this bandwidth.
+#[test]
+fn fig6_torus8x8_b64_shape_holds() {
+    let series = figure_utilization(&Platform::torus8x8(64.0), 1);
+    assert_eq!(series.len(), 12);
+    for p in &series {
+        assert!(
+            p.final_peak <= p.lsd_peak + 1e-9,
+            "AssignPaths worse than baseline at load {}",
+            p.load
+        );
+        assert!(p.final_peak >= 0.99, "torus B=64 should be at/above capacity");
+    }
+    let above_capacity = series.iter().filter(|p| p.final_peak > 1.0 + 1e-6).count();
+    assert!(
+        above_capacity >= 10,
+        "paper: the 8x8 torus at B=64 is unschedulable at (essentially) all loads"
+    );
+}
+
+/// Fig. 5 (6-cube half): the heuristic reaches the structural floor
+/// (U = 1.0, pinned by the no-slack longest message) at most loads, always
+/// improving on the dimension-order baseline by >2×.
+#[test]
+fn fig5_cube6_b64_shape_holds() {
+    let series = figure_utilization(&Platform::cube6(64.0), 1);
+    for p in &series {
+        assert!(p.lsd_peak / p.final_peak > 2.0, "improvement at load {}", p.load);
+        assert!(p.final_peak >= 1.0 - 1e-9, "B=64 floor is exactly 1.0");
+        assert!(p.final_peak <= 1.2, "heuristic should stay near the floor");
+    }
+}

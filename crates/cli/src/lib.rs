@@ -1,0 +1,741 @@
+//! Specification parsing and command logic behind the `srsched` binary.
+//!
+//! The CLI lets a user describe a platform and workload as short spec
+//! strings and run the scheduled-routing compiler or the wormhole simulator
+//! against them:
+//!
+//! ```text
+//! srsched compile --topo cube:6 --tfg dvb:8 --bandwidth 64 --period 100
+//! srsched simulate --topo torus:8x8 --tfg dvb:8 --bandwidth 128 --period 62.5
+//! srsched sweep --topo ghc:4x4x4 --tfg dvb:8 --bandwidth 64
+//! srsched info --topo mesh:8x8 --tfg chain:5
+//! ```
+//!
+//! Spec grammar:
+//!
+//! * topology: `cube:<dims>`, `ghc:<r1>x<r2>x…`, `torus:<k1>x<k2>x…`,
+//!   `mesh:<k1>x<k2>x…`
+//! * TFG: `dvb:<models>` (uniform task sizes), `dvb-raw:<models>`,
+//!   `chain:<stages>`, `diamond:<width>`, `random:<seed>`
+//! * allocation: `greedy`, `random:<seed>`, `roundrobin`, `search:<seed>`
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+use sr::prelude::*;
+use sr::tfg::generators;
+
+/// Errors from parsing spec strings or command lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(String);
+
+impl SpecError {
+    fn new(msg: impl Into<String>) -> Self {
+        SpecError(msg.into())
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for SpecError {}
+
+/// Parses a topology spec like `cube:6`, `ghc:4x4x4`, `torus:8x8`,
+/// `mesh:4x4`.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] for unknown families, malformed extents, or
+/// topologies the constructor rejects.
+pub fn parse_topology(spec: &str) -> Result<Box<dyn Topology>, SpecError> {
+    let (family, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| SpecError::new(format!("topology spec '{spec}' needs 'family:params'")))?;
+    let dims = |s: &str| -> Result<Vec<usize>, SpecError> {
+        s.split('x')
+            .map(|p| {
+                p.parse::<usize>()
+                    .map_err(|_| SpecError::new(format!("bad extent '{p}' in '{spec}'")))
+            })
+            .collect()
+    };
+    let err = |e: sr::topology::TopologyError| SpecError::new(format!("{spec}: {e}"));
+    match family {
+        "cube" => {
+            let d: usize = rest
+                .parse()
+                .map_err(|_| SpecError::new(format!("bad dimension count '{rest}'")))?;
+            Ok(Box::new(GeneralizedHypercube::binary(d).map_err(err)?))
+        }
+        "ghc" => Ok(Box::new(
+            GeneralizedHypercube::new(&dims(rest)?).map_err(err)?,
+        )),
+        "torus" => Ok(Box::new(Torus::new(&dims(rest)?).map_err(err)?)),
+        "mesh" => Ok(Box::new(
+            sr::topology::Mesh::new(&dims(rest)?).map_err(err)?,
+        )),
+        other => Err(SpecError::new(format!(
+            "unknown topology family '{other}' (expected cube|ghc|torus|mesh)"
+        ))),
+    }
+}
+
+/// Parses a TFG spec like `dvb:8`, `dvb-raw:8`, `chain:5`, `diamond:4`,
+/// `random:42`, or `file:path.tfg` (the `sr_tfg::from_text` format).
+///
+/// # Errors
+///
+/// Returns [`SpecError`] for unknown kinds or malformed parameters.
+pub fn parse_tfg(spec: &str) -> Result<TaskFlowGraph, SpecError> {
+    let (kind, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| SpecError::new(format!("tfg spec '{spec}' needs 'kind:param'")))?;
+    if kind == "file" {
+        let text = std::fs::read_to_string(rest)
+            .map_err(|e| SpecError::new(format!("cannot read '{rest}': {e}")))?;
+        return sr::tfg::from_text(&text).map_err(|e| SpecError::new(format!("{rest}: {e}")));
+    }
+    let n: u64 = rest
+        .parse()
+        .map_err(|_| SpecError::new(format!("bad parameter '{rest}' in '{spec}'")))?;
+    match kind {
+        "dvb" => {
+            if n == 0 {
+                return Err(SpecError::new("dvb needs at least 1 model"));
+            }
+            Ok(dvb_uniform(n as usize))
+        }
+        "dvb-raw" => {
+            if n == 0 {
+                return Err(SpecError::new("dvb-raw needs at least 1 model"));
+            }
+            Ok(dvb(n as usize))
+        }
+        "chain" => {
+            if n == 0 {
+                return Err(SpecError::new("chain needs at least 1 stage"));
+            }
+            Ok(generators::chain(n as usize, 1925, 1536))
+        }
+        "diamond" => {
+            if n == 0 {
+                return Err(SpecError::new("diamond needs at least 1 branch"));
+            }
+            Ok(generators::diamond(n as usize, 1925, 1536))
+        }
+        "random" => Ok(generators::layered_random(
+            n,
+            &generators::LayeredParams::default(),
+        )),
+        other => Err(SpecError::new(format!(
+            "unknown tfg kind '{other}' (expected dvb|dvb-raw|chain|diamond|random|file)"
+        ))),
+    }
+}
+
+/// Parses an allocation spec like `greedy`, `scatter:7` (one task per
+/// node), `random:7` (may co-locate), `roundrobin`, `search:3`.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] for unknown strategies or malformed seeds.
+pub fn parse_allocation(
+    spec: &str,
+    tfg: &TaskFlowGraph,
+    topo: &dyn Topology,
+) -> Result<Allocation, SpecError> {
+    let (kind, seed) = match spec.split_once(':') {
+        Some((k, s)) => {
+            let seed: u64 = s
+                .parse()
+                .map_err(|_| SpecError::new(format!("bad seed '{s}' in '{spec}'")))?;
+            (k, seed)
+        }
+        None => (spec, 0),
+    };
+    match kind {
+        "greedy" => Ok(sr::mapping::greedy(tfg, topo)),
+        "scatter" => sr::mapping::random_distinct(tfg, topo, seed)
+            .map_err(|e| SpecError::new(format!("{spec}: {e}"))),
+        "random" => Ok(sr::mapping::random(tfg, topo, seed)),
+        "roundrobin" => Ok(sr::mapping::round_robin(tfg, topo)),
+        "search" => Ok(sr::mapping::local_search(tfg, topo, seed, 500)),
+        "codesign" => {
+            // Schedulability-driven co-design (paper §7): expensive but the
+            // placements it finds are chosen for compilable utilization.
+            let timing = sr::tfg::Timing::calibrated_dvb(64.0);
+            let period = timing.longest_task(tfg) * 2.0;
+            let start = sr::mapping::random_distinct(tfg, topo, seed)
+                .unwrap_or_else(|_| sr::mapping::random(tfg, topo, seed));
+            Ok(sr::core::co_design(
+                topo,
+                tfg,
+                &timing,
+                period,
+                start,
+                40,
+                seed,
+                &sr::core::CompileConfig::default(),
+            )
+            .allocation)
+        }
+        other => Err(SpecError::new(format!(
+            "unknown allocation '{other}' (expected greedy|scatter:<seed>|random:<seed>|roundrobin|search:<seed>|codesign:<seed>)"
+        ))),
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Subcommand: `compile`, `simulate`, `sweep`, or `info`.
+    pub command: String,
+    /// Topology spec (default `cube:6`).
+    pub topo: String,
+    /// TFG spec (default `dvb:8`).
+    pub tfg: String,
+    /// Allocation spec (default `scatter:7`).
+    pub alloc: String,
+    /// Link bandwidth, bytes/µs (default 64).
+    pub bandwidth: f64,
+    /// Input period, µs (default `τ_c / 0.5`).
+    pub period: Option<f64>,
+    /// Clock-skew guard time, µs.
+    pub guard: f64,
+    /// Virtual channels for simulation.
+    pub virtual_channels: usize,
+    /// Adaptive-routing path cap for simulation (1 = deterministic).
+    pub adaptive: usize,
+    /// Dump full node switching schedules after compiling.
+    pub dump: bool,
+    /// Render per-link ASCII timelines after compiling.
+    pub timeline: bool,
+    /// Write the compiled schedule as JSON to this path.
+    pub json: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            command: String::new(),
+            topo: "cube:6".into(),
+            tfg: "dvb:8".into(),
+            alloc: "scatter:7".into(),
+            bandwidth: 64.0,
+            period: None,
+            guard: 0.0,
+            virtual_channels: 1,
+            adaptive: 1,
+            dump: false,
+            timeline: false,
+            json: None,
+        }
+    }
+}
+
+/// Parses `srsched` arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns [`SpecError`] for unknown flags/commands or unparsable values.
+pub fn parse_args(args: &[String]) -> Result<Options, SpecError> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    opts.command = it.next().ok_or_else(|| SpecError::new(USAGE))?.to_string();
+    if !matches!(
+        opts.command.as_str(),
+        "compile" | "simulate" | "sweep" | "info" | "minperiod"
+    ) {
+        return Err(SpecError::new(format!(
+            "unknown command '{}'\n{USAGE}",
+            opts.command
+        )));
+    }
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, SpecError> {
+            it.next()
+                .map(String::from)
+                .ok_or_else(|| SpecError::new(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--topo" => opts.topo = value("--topo")?,
+            "--tfg" => opts.tfg = value("--tfg")?,
+            "--alloc" => opts.alloc = value("--alloc")?,
+            "--bandwidth" => {
+                opts.bandwidth = value("--bandwidth")?
+                    .parse()
+                    .map_err(|_| SpecError::new("bad --bandwidth"))?
+            }
+            "--period" => {
+                opts.period = Some(
+                    value("--period")?
+                        .parse()
+                        .map_err(|_| SpecError::new("bad --period"))?,
+                )
+            }
+            "--guard" => {
+                opts.guard = value("--guard")?
+                    .parse()
+                    .map_err(|_| SpecError::new("bad --guard"))?
+            }
+            "--vc" => {
+                opts.virtual_channels = value("--vc")?
+                    .parse()
+                    .map_err(|_| SpecError::new("bad --vc"))?
+            }
+            "--adaptive" => {
+                opts.adaptive = value("--adaptive")?
+                    .parse()
+                    .map_err(|_| SpecError::new("bad --adaptive"))?
+            }
+            "--dump" => opts.dump = true,
+            "--timeline" => opts.timeline = true,
+            "--json" => opts.json = Some(value("--json")?),
+            other => return Err(SpecError::new(format!("unknown flag '{other}'\n{USAGE}"))),
+        }
+    }
+    Ok(opts)
+}
+
+/// Usage text shown for malformed command lines.
+pub const USAGE: &str = "usage: srsched <compile|simulate|sweep|info|minperiod> \
+[--topo SPEC] [--tfg SPEC] [--alloc SPEC] [--bandwidth B] [--period T] \
+[--guard G] [--vc N] [--adaptive P] [--dump] [--timeline] [--json FILE]";
+
+/// Runs a parsed command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Propagates spec errors and fatal harness errors; schedulability failures
+/// are *reported*, not raised.
+pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error>> {
+    let topo = parse_topology(&opts.topo)?;
+    let tfg = parse_tfg(&opts.tfg)?;
+    let alloc = parse_allocation(&opts.alloc, &tfg, topo.as_ref())?;
+    let timing = Timing::calibrated_dvb(opts.bandwidth);
+    let tau_c = timing.longest_task(&tfg);
+    let period = opts.period.unwrap_or(tau_c * 2.0);
+
+    match opts.command.as_str() {
+        "info" => {
+            let stats = sr::topology::TopologyStats::compute(topo.as_ref(), 32);
+            writeln!(
+                out,
+                "topology : {} ({} nodes, {} links, degree {})",
+                topo.name(),
+                topo.num_nodes(),
+                topo.num_links(),
+                topo.degree()
+            )?;
+            writeln!(
+                out,
+                "           diameter {}, mean distance {:.2}, mean shortest paths {:.1} (cap 32)",
+                stats.diameter, stats.mean_distance, stats.mean_alternative_paths
+            )?;
+            writeln!(
+                out,
+                "tfg      : {} tasks, {} messages, {} bytes/invocation",
+                tfg.num_tasks(),
+                tfg.num_messages(),
+                tfg.total_bytes()
+            )?;
+            writeln!(
+                out,
+                "timing   : τ_c = {tau_c} µs, τ_m = {} µs, Λ = {} µs",
+                timing.longest_message(&tfg),
+                timing.critical_path(&tfg)
+            )?;
+            writeln!(
+                out,
+                "alloc    : {} distinct nodes, Σ bytes×hops = {}",
+                alloc.nodes_used(),
+                alloc.comm_cost(&tfg, topo.as_ref())
+            )?;
+        }
+        "compile" => {
+            let config = CompileConfig {
+                guard_time: opts.guard,
+                ..CompileConfig::default()
+            };
+            match compile(topo.as_ref(), &tfg, &alloc, &timing, period, &config) {
+                Ok(s) => {
+                    verify(&s, topo.as_ref(), &tfg)?;
+                    writeln!(out, "schedule compiled and verified")?;
+                    writeln!(out, "  period      : {} µs", s.period())?;
+                    writeln!(
+                        out,
+                        "  latency     : {} µs ({:.3}×Λ)",
+                        s.latency(),
+                        s.latency() / timing.critical_path(&tfg)
+                    )?;
+                    writeln!(
+                        out,
+                        "  utilization : {:.3} (baseline {:.3})",
+                        s.peak_utilization(),
+                        s.baseline_peak_utilization()
+                    )?;
+                    let sum = s.summary(topo.as_ref());
+                    writeln!(
+                        out,
+                        "  segments    : {} ({} commands on {} CPs)",
+                        sum.segments, sum.commands, sum.active_nodes
+                    )?;
+                    if let Some((link, frac)) = sum.busiest_link {
+                        writeln!(
+                            out,
+                            "  busiest link: {link} at {:.0}% of the frame",
+                            frac * 100.0
+                        )?;
+                    }
+                    if let Some(path) = &opts.json {
+                        std::fs::write(path, s.to_json())?;
+                        writeln!(out, "  wrote JSON schedule to {path}")?;
+                    }
+                    if opts.timeline {
+                        writeln!(out, "\nlink timelines:")?;
+                        write!(out, "{}", s.render_timelines(topo.as_ref(), 64))?;
+                    }
+                    if opts.dump {
+                        for ns in s.node_schedules() {
+                            if ns.is_idle() {
+                                continue;
+                            }
+                            writeln!(out, "  {}:", ns.node())?;
+                            for c in ns.commands() {
+                                writeln!(
+                                    out,
+                                    "    [{:>8.2}, {:>8.2}] {:?} -> {:?} ({})",
+                                    c.start,
+                                    c.end,
+                                    c.connection.from,
+                                    c.connection.to,
+                                    tfg.message(c.message).name()
+                                )?;
+                            }
+                        }
+                    }
+                }
+                Err(e) => writeln!(out, "schedule infeasible: {e}")?,
+            }
+        }
+        "minperiod" => {
+            let config = CompileConfig {
+                guard_time: opts.guard,
+                ..CompileConfig::default()
+            };
+            match sr::core::find_min_period(
+                topo.as_ref(),
+                &tfg,
+                &alloc,
+                &timing,
+                tau_c * 8.0,
+                0.25,
+                &config,
+            ) {
+                Ok(r) => {
+                    writeln!(
+                        out,
+                        "minimum sustainable period: {:.2} µs \
+                        (max throughput {:.4} invocations/ms)",
+                        r.period,
+                        1000.0 / r.period
+                    )?;
+                    writeln!(
+                        out,
+                        "  latency at that rate: {:.1} µs",
+                        r.schedule.latency()
+                    )?;
+                    if let Some(below) = r.infeasible_below {
+                        writeln!(out, "  infeasible at {below:.2} µs and below")?;
+                    }
+                }
+                Err(e) => writeln!(out, "no feasible period found: {e}")?,
+            }
+        }
+        "simulate" => {
+            let sim = WormholeSim::new(topo.as_ref(), &tfg, &alloc, &timing)?
+                .with_virtual_channels(opts.virtual_channels)?
+                .with_adaptive_routing(opts.adaptive)?;
+            let res = sim.run(period, &SimConfig::default())?;
+            writeln!(
+                out,
+                "wormhole simulation: {} invocations at τ_in = {period} µs",
+                res.records().len()
+            )?;
+            if res.deadlocked() {
+                writeln!(
+                    out,
+                    "  network DEADLOCKED after {} invocations",
+                    res.records().len()
+                )?;
+                for e in res.deadlock_cycle() {
+                    writeln!(
+                        out,
+                        "    {} (invocation {}) waits for {:?}",
+                        tfg.message(e.message).name(),
+                        e.invocation,
+                        e.waiting_for
+                    )?;
+                }
+            } else {
+                let i = res.interval_stats();
+                let l = res.latency_stats();
+                writeln!(
+                    out,
+                    "  output interval : {:.2}/{:.2}/{:.2} µs (min/mean/max)",
+                    i.min, i.mean, i.max
+                )?;
+                writeln!(
+                    out,
+                    "  latency         : {:.2}/{:.2}/{:.2} µs",
+                    l.min, l.mean, l.max
+                )?;
+                writeln!(
+                    out,
+                    "  inconsistent    : {}",
+                    res.has_output_inconsistency(1e-6)
+                )?;
+            }
+        }
+        "sweep" => {
+            writeln!(
+                out,
+                "load sweep on {} (B = {} bytes/µs):",
+                topo.name(),
+                opts.bandwidth
+            )?;
+            writeln!(out, "{:<8} {:<26} {:<12}", "load", "wormhole", "scheduled")?;
+            for i in 0..12 {
+                let load = 0.2 + 0.8 * i as f64 / 11.0;
+                let p = tau_c / load;
+                let res = WormholeSim::new(topo.as_ref(), &tfg, &alloc, &timing)?
+                    .with_virtual_channels(opts.virtual_channels)?
+                    .run(p, &SimConfig::default())?;
+                let wr = if res.deadlocked() {
+                    "deadlock".to_string()
+                } else if res.has_output_inconsistency(1e-6) {
+                    format!("OI (spread {:.1} µs)", res.interval_stats().spread())
+                } else {
+                    "consistent".to_string()
+                };
+                let sr = match compile(
+                    topo.as_ref(),
+                    &tfg,
+                    &alloc,
+                    &timing,
+                    p,
+                    &CompileConfig {
+                        guard_time: opts.guard,
+                        ..CompileConfig::default()
+                    },
+                ) {
+                    Ok(s) => format!("ok (U={:.2})", s.peak_utilization()),
+                    Err(e) => match e {
+                        CompileError::UtilizationExceeded { utilization } => {
+                            format!("U={utilization:.2}>1")
+                        }
+                        CompileError::AllocationInfeasible { .. } => "alloc-infeasible".into(),
+                        CompileError::IntervalUnschedulable { .. } => "interval-unsched".into(),
+                        other => format!("{other}"),
+                    },
+                };
+                writeln!(out, "{load:<8.3} {wr:<26} {sr:<12}")?;
+            }
+        }
+        _ => unreachable!("validated in parse_args"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_topologies() {
+        assert_eq!(parse_topology("cube:6").unwrap().num_nodes(), 64);
+        assert_eq!(parse_topology("ghc:4x4x4").unwrap().num_nodes(), 64);
+        assert_eq!(parse_topology("torus:8x8").unwrap().num_links(), 128);
+        assert_eq!(parse_topology("mesh:8x8").unwrap().num_links(), 112);
+        assert!(parse_topology("ring:9").is_err());
+        assert!(parse_topology("cube").is_err());
+        assert!(parse_topology("torus:8xBAD").is_err());
+        assert!(parse_topology("ghc:1x4").is_err()); // radix too small
+    }
+
+    #[test]
+    fn parse_tfgs() {
+        assert_eq!(parse_tfg("dvb:8").unwrap().num_tasks(), 12);
+        assert_eq!(parse_tfg("dvb-raw:2").unwrap().num_messages(), 8);
+        assert_eq!(parse_tfg("chain:5").unwrap().num_messages(), 4);
+        assert_eq!(parse_tfg("diamond:3").unwrap().num_tasks(), 5);
+        assert!(parse_tfg("random:42").unwrap().num_tasks() > 0);
+        assert!(parse_tfg("dvb:0").is_err());
+        assert!(parse_tfg("mystery:4").is_err());
+        assert!(parse_tfg("dvb").is_err());
+    }
+
+    #[test]
+    fn parse_allocations() {
+        let topo = parse_topology("cube:4").unwrap();
+        let tfg = parse_tfg("dvb:4").unwrap();
+        for spec in [
+            "greedy",
+            "scatter:5",
+            "random:3",
+            "roundrobin",
+            "search:1",
+            "codesign:2",
+        ] {
+            let a = parse_allocation(spec, &tfg, topo.as_ref()).unwrap();
+            assert_eq!(a.placement().len(), tfg.num_tasks());
+        }
+        assert!(parse_allocation("magic", &tfg, topo.as_ref()).is_err());
+        assert!(parse_allocation("random:x", &tfg, topo.as_ref()).is_err());
+    }
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_command_lines() {
+        let o = parse_args(&args("compile --topo torus:4x4 --period 80 --guard 1.5")).unwrap();
+        assert_eq!(o.command, "compile");
+        assert_eq!(o.topo, "torus:4x4");
+        assert_eq!(o.period, Some(80.0));
+        assert_eq!(o.guard, 1.5);
+
+        let o = parse_args(&args("simulate --vc 2 --dump")).unwrap();
+        assert_eq!(o.virtual_channels, 2);
+        assert!(o.dump);
+
+        assert!(parse_args(&args("explode")).is_err());
+        assert!(parse_args(&args("compile --period")).is_err());
+        assert!(parse_args(&args("compile --frobnicate 3")).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn run_info() {
+        let opts = parse_args(&args("info --topo cube:3 --tfg chain:3")).unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        assert!(out.contains("GHC(2,2,2)"));
+        assert!(out.contains("3 tasks"));
+    }
+
+    #[test]
+    fn run_compile_reports_feasibility() {
+        let opts = parse_args(&args("compile --topo cube:4 --tfg chain:4 --period 100")).unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        assert!(out.contains("compiled and verified"), "{out}");
+    }
+
+    #[test]
+    fn run_compile_reports_infeasibility() {
+        // Big diamond on a tiny machine at max rate: infeasible (tasks must
+        // share nodes, so use the colliding allocation explicitly).
+        let opts = parse_args(&args(
+            "compile --topo cube:1 --tfg diamond:6 --period 50 --bandwidth 64 --alloc random:1",
+        ))
+        .unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        assert!(out.contains("infeasible"), "{out}");
+    }
+
+    #[test]
+    fn run_simulate_smoke() {
+        let opts = parse_args(&args(
+            "simulate --topo cube:4 --tfg dvb:4 --period 70 --bandwidth 128",
+        ))
+        .unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        assert!(
+            out.contains("output interval") || out.contains("DEADLOCK"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn run_minperiod_smoke() {
+        let opts = parse_args(&args(
+            "minperiod --topo cube:4 --tfg chain:4 --bandwidth 128",
+        ))
+        .unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        assert!(out.contains("minimum sustainable period"), "{out}");
+    }
+
+    #[test]
+    fn tfg_file_spec_parses() {
+        let dir = std::env::temp_dir().join("srsched_test_tfg");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("pipe.tfg");
+        std::fs::write(&path, "task a 100\ntask b 100\nmsg m a -> b 64\n").unwrap();
+        let g = parse_tfg(&format!("file:{}", path.display())).unwrap();
+        assert_eq!(g.num_tasks(), 2);
+        assert!(parse_tfg("file:/definitely/not/there.tfg").is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_sweep_smoke() {
+        let opts = parse_args(&args("sweep --topo cube:4 --tfg dvb:4 --bandwidth 128")).unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        assert_eq!(out.lines().count(), 14, "{out}");
+    }
+
+    #[test]
+    fn run_compile_json_writes_file() {
+        let dir = std::env::temp_dir().join("srsched_test_json");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("sched.json");
+        let opts = parse_args(&args(&format!(
+            "compile --topo cube:3 --tfg chain:3 --period 120 --json {}",
+            path.display()
+        )))
+        .unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"period_us\":120.0"), "{json}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_compile_timeline_renders() {
+        let opts = parse_args(&args(
+            "compile --topo cube:3 --tfg chain:3 --period 120 --timeline",
+        ))
+        .unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        assert!(out.contains("link timelines"), "{out}");
+        assert!(out.contains("L"), "{out}");
+    }
+
+    #[test]
+    fn run_compile_dump_lists_commands() {
+        let opts = parse_args(&args(
+            "compile --topo cube:3 --tfg chain:3 --period 120 --dump",
+        ))
+        .unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        if out.contains("compiled") {
+            assert!(out.contains("->"), "{out}");
+        }
+    }
+}

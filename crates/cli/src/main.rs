@@ -1,0 +1,26 @@
+//! `srsched` — command-line front end for the scheduled-routing stack.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match sr_cli::parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut out = String::new();
+    match sr_cli::run(&opts, &mut out) {
+        Ok(()) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            print!("{out}");
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

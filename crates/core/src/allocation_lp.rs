@@ -1,0 +1,341 @@
+use sr_lp::{LpError, Problem, Relation, VarId};
+use sr_tfg::{MessageId, TimeBounds};
+use sr_topology::LinkId;
+
+use crate::{ActivityMatrix, CompileError, Intervals, PathAssignment, EPS};
+
+/// The message–interval allocation matrix `P = [p_ik]` (paper §5.2):
+/// `p_ik` is the time message `M_i` transmits during interval `A_k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalAllocation {
+    /// `p[message][interval]`, µs.
+    p: Vec<Vec<f64>>,
+}
+
+impl IntervalAllocation {
+    /// Crate-internal constructor from an explicit matrix (tests, ablations).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn from_matrix(p: Vec<Vec<f64>>) -> Self {
+        IntervalAllocation { p }
+    }
+
+    /// Time allocated to `m` in interval `k`, µs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn allocated(&self, m: MessageId, k: usize) -> f64 {
+        self.p[m.index()][k]
+    }
+
+    /// The allocation row of one message.
+    pub fn row(&self, m: MessageId) -> &[f64] {
+        &self.p[m.index()]
+    }
+
+    /// Total time allocated to `m` across all intervals, µs.
+    pub fn total(&self, m: MessageId) -> f64 {
+        self.p[m.index()].iter().sum()
+    }
+
+    /// Messages with a positive allocation in interval `k`.
+    pub fn messages_in(&self, k: usize) -> Vec<MessageId> {
+        (0..self.p.len())
+            .filter(|&i| self.p[i][k] > EPS)
+            .map(MessageId)
+            .collect()
+    }
+
+    /// Number of message rows.
+    pub fn num_messages(&self) -> usize {
+        self.p.len()
+    }
+}
+
+/// Solves the **message–interval allocation** problem (paper §5.2,
+/// constraints (3) and (4)), one LP per maximal related subset.
+///
+/// For every message `M_i` of a subset and every interval `A_k` it is active
+/// in, a variable `x_ik ≥ 0` gives its transmission time in that interval:
+///
+/// * constraint (3): `Σ_k x_ik = duration(M_i)` — the whole message is sent;
+/// * constraint (4): for every link and interval,
+///   `Σ_{messages on the link} x_ik ≤ capacity_scale · |A_k|` — no link is
+///   oversubscribed in any interval.
+///
+/// `capacity_scale` is normally 1; the compile pipeline lowers it as
+/// *feedback* (the paper's §7 suggestion) when interval scheduling
+/// subsequently fails, trading slack for schedulability.
+///
+/// # Errors
+///
+/// [`CompileError::AllocationInfeasible`] when a subset has no feasible
+/// split; [`CompileError::Lp`] on solver trouble.
+pub fn allocate_intervals(
+    assignment: &PathAssignment,
+    bounds: &TimeBounds,
+    activity: &ActivityMatrix,
+    intervals: &Intervals,
+    subsets: &[Vec<MessageId>],
+    capacity_scale: f64,
+) -> Result<IntervalAllocation, CompileError> {
+    let mut p = vec![vec![0.0; intervals.len()]; assignment.len()];
+
+    for subset in subsets {
+        solve_subset(
+            assignment,
+            bounds,
+            activity,
+            intervals,
+            subset,
+            capacity_scale,
+            &mut p,
+        )?;
+    }
+    Ok(IntervalAllocation { p })
+}
+
+fn solve_subset(
+    assignment: &PathAssignment,
+    bounds: &TimeBounds,
+    activity: &ActivityMatrix,
+    intervals: &Intervals,
+    subset: &[MessageId],
+    capacity_scale: f64,
+    p: &mut [Vec<f64>],
+) -> Result<(), CompileError> {
+    let mut lp = Problem::minimize();
+    // var_of[(message position in subset, interval)] -> LP variable.
+    let mut var_of: std::collections::HashMap<(usize, usize), VarId> =
+        std::collections::HashMap::new();
+
+    for (mi, &m) in subset.iter().enumerate() {
+        for k in activity.active_intervals(m) {
+            // Zero objective: this is a feasibility system.
+            var_of.insert((mi, k), lp.add_var(0.0));
+        }
+    }
+
+    // (3): total allocation equals the transmission time.
+    for (mi, &m) in subset.iter().enumerate() {
+        let terms: Vec<(VarId, f64)> = activity
+            .active_intervals(m)
+            .into_iter()
+            .map(|k| (var_of[&(mi, k)], 1.0))
+            .collect();
+        lp.add_constraint(&terms, Relation::Eq, bounds.window(m).duration())
+            .expect("variables are registered");
+    }
+
+    // (4): per-link per-interval capacity.
+    let links: std::collections::BTreeSet<LinkId> = subset
+        .iter()
+        .flat_map(|&m| assignment.links(m).iter().copied())
+        .collect();
+    for &link in &links {
+        for k in 0..intervals.len() {
+            let terms: Vec<(VarId, f64)> = subset
+                .iter()
+                .enumerate()
+                .filter(|(_, &m)| assignment.uses(m, link))
+                .filter_map(|(mi, _)| var_of.get(&(mi, k)).map(|&v| (v, 1.0)))
+                .collect();
+            if terms.is_empty() {
+                continue;
+            }
+            lp.add_constraint(&terms, Relation::Le, capacity_scale * intervals.length(k))
+                .expect("variables are registered");
+        }
+    }
+
+    let sol = match lp.solve() {
+        Ok(s) => s,
+        Err(LpError::Infeasible) => {
+            return Err(CompileError::AllocationInfeasible {
+                subset: subset.to_vec(),
+            })
+        }
+        Err(e) => return Err(CompileError::Lp(e)),
+    };
+
+    for (mi, &m) in subset.iter().enumerate() {
+        for k in activity.active_intervals(m) {
+            let v = sol.value(var_of[&(mi, k)]);
+            if v > EPS {
+                p[m.index()][k] = v;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::related_subsets;
+    use sr_mapping::Allocation;
+    use sr_tfg::{assign_time_bounds, TfgBuilder, Timing, WindowPolicy};
+    use sr_topology::{GeneralizedHypercube, NodeId, Topology};
+
+    struct Fixture {
+        assignment: PathAssignment,
+        bounds: TimeBounds,
+        activity: ActivityMatrix,
+        intervals: Intervals,
+        subsets: Vec<Vec<MessageId>>,
+    }
+
+    /// Two 10 µs messages sharing the single link of a 2-node cube, both
+    /// active over the whole 50 µs frame.
+    fn shared_link(period: f64, bytes: u64) -> Fixture {
+        let topo = GeneralizedHypercube::binary(1).unwrap();
+        let mut b = TfgBuilder::new();
+        let t0 = b.task("t0", 500);
+        let t1 = b.task("t1", 500);
+        let t2 = b.task("t2", 500);
+        b.message("m0", t0, t1, bytes).unwrap();
+        b.message("m1", t1, t2, bytes).unwrap();
+        let tfg = b.build().unwrap();
+        let timing = Timing::new(64.0, 10.0);
+        let alloc = Allocation::new(vec![NodeId(0), NodeId(1), NodeId(0)], &tfg, &topo).unwrap();
+        let bounds = assign_time_bounds(&tfg, &timing, period, WindowPolicy::LongestTask).unwrap();
+        let intervals = Intervals::from_bounds(&bounds);
+        let activity = ActivityMatrix::new(&bounds, &intervals);
+        let assignment = PathAssignment::lsd_to_msd(&tfg, &topo, &alloc);
+        let subsets = related_subsets(&assignment, &activity);
+        let _ = topo.num_links();
+        Fixture {
+            assignment,
+            bounds,
+            activity,
+            intervals,
+            subsets,
+        }
+    }
+
+    fn check_constraints(f: &Fixture, alloc: &IntervalAllocation, scale: f64) {
+        // (3)
+        for m in 0..f.assignment.len() {
+            let m = MessageId(m);
+            if f.assignment.links(m).is_empty() {
+                continue;
+            }
+            assert!(
+                (alloc.total(m) - f.bounds.window(m).duration()).abs() < 1e-6,
+                "(3) violated for {m}: {} vs {}",
+                alloc.total(m),
+                f.bounds.window(m).duration()
+            );
+            // Allocation only where active.
+            for k in 0..f.intervals.len() {
+                if alloc.allocated(m, k) > EPS {
+                    assert!(f.activity.is_active(m, k), "inactive allocation {m}@{k}");
+                }
+            }
+        }
+        // (4) for the single link 0.
+        for k in 0..f.intervals.len() {
+            let sum: f64 = (0..f.assignment.len())
+                .filter(|&i| !f.assignment.links(MessageId(i)).is_empty())
+                .map(|i| alloc.allocated(MessageId(i), k))
+                .sum();
+            assert!(
+                sum <= scale * f.intervals.length(k) + 1e-6,
+                "(4) violated in interval {k}: {sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn feasible_shared_link_allocation() {
+        let f = shared_link(50.0, 640); // 10 µs each in a 50 µs frame
+        let alloc = allocate_intervals(
+            &f.assignment,
+            &f.bounds,
+            &f.activity,
+            &f.intervals,
+            &f.subsets,
+            1.0,
+        )
+        .unwrap();
+        check_constraints(&f, &alloc, 1.0);
+    }
+
+    #[test]
+    fn infeasible_when_demand_exceeds_frame() {
+        // Two 30 µs messages on one link active over a 50 µs frame: 60 > 50.
+        let f = shared_link(50.0, 1920);
+        let err = allocate_intervals(
+            &f.assignment,
+            &f.bounds,
+            &f.activity,
+            &f.intervals,
+            &f.subsets,
+            1.0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompileError::AllocationInfeasible { .. }));
+    }
+
+    #[test]
+    fn capacity_scale_tightens() {
+        // 20+20 µs over 50 µs fits at scale 1.0 but not at scale 0.5.
+        let f = shared_link(50.0, 1280);
+        assert!(allocate_intervals(
+            &f.assignment,
+            &f.bounds,
+            &f.activity,
+            &f.intervals,
+            &f.subsets,
+            1.0
+        )
+        .is_ok());
+        let err = allocate_intervals(
+            &f.assignment,
+            &f.bounds,
+            &f.activity,
+            &f.intervals,
+            &f.subsets,
+            0.5,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompileError::AllocationInfeasible { .. }));
+    }
+
+    #[test]
+    fn multi_interval_split_respects_windows() {
+        // Period 120 -> windows [50,100] and [110->fold 0? no: 110 fold
+        // 110, window 50 wraps to [110,120]∪[0,40]].
+        let f = shared_link(120.0, 640);
+        let alloc = allocate_intervals(
+            &f.assignment,
+            &f.bounds,
+            &f.activity,
+            &f.intervals,
+            &f.subsets,
+            1.0,
+        )
+        .unwrap();
+        check_constraints(&f, &alloc, 1.0);
+    }
+
+    #[test]
+    fn local_messages_get_no_allocation() {
+        let topo = GeneralizedHypercube::binary(1).unwrap();
+        let mut b = TfgBuilder::new();
+        let t0 = b.task("t0", 500);
+        let t1 = b.task("t1", 500);
+        b.message("m", t0, t1, 640).unwrap();
+        let tfg = b.build().unwrap();
+        let timing = Timing::new(64.0, 10.0);
+        let alloc = Allocation::new(vec![NodeId(0), NodeId(0)], &tfg, &topo).unwrap();
+        let bounds = assign_time_bounds(&tfg, &timing, 60.0, WindowPolicy::LongestTask).unwrap();
+        let intervals = Intervals::from_bounds(&bounds);
+        let activity = ActivityMatrix::new(&bounds, &intervals);
+        let pa = PathAssignment::lsd_to_msd(&tfg, &topo, &alloc);
+        let subsets = related_subsets(&pa, &activity);
+        assert!(subsets.is_empty());
+        let ia = allocate_intervals(&pa, &bounds, &activity, &intervals, &subsets, 1.0).unwrap();
+        assert_eq!(ia.total(MessageId(0)), 0.0);
+    }
+}

@@ -1,0 +1,376 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sr_mapping::Allocation;
+use sr_tfg::{MessageId, TaskFlowGraph, TimeBounds};
+use sr_topology::{Path, Topology};
+
+use crate::{ActivityMatrix, Hotspot, Intervals, PathAssignment, UtilizationMap, EPS};
+
+/// Tuning knobs for the [`assign_paths`] heuristic (paper Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AssignPathsConfig {
+    /// Maximum alternative shortest paths enumerated per message.
+    pub path_cap: usize,
+    /// Random restarts after the iterative improvement converges
+    /// ("helps the algorithm slide out of any local minima").
+    pub max_restarts: usize,
+    /// Safety cap on improvement/reposition steps per restart.
+    pub max_inner: usize,
+    /// RNG seed (the heuristic is deterministic for a fixed seed).
+    pub seed: u64,
+}
+
+impl Default for AssignPathsConfig {
+    fn default() -> Self {
+        AssignPathsConfig {
+            path_cap: 64,
+            max_restarts: 6,
+            max_inner: 200,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// The result of running [`assign_paths`].
+#[derive(Debug, Clone)]
+pub struct AssignPathsOutcome {
+    /// The best path assignment found.
+    pub assignment: PathAssignment,
+    /// Utilizations of that assignment.
+    pub utilization: UtilizationMap,
+    /// Effective peak utilization (Def. 5.1/5.2 sharpened with the Hall
+    /// group bound) of the LSD-to-MSD baseline, for comparison — the
+    /// quantity Figs. 5–6 plot against the final value.
+    pub baseline_peak: f64,
+    /// Restarts actually performed.
+    pub restarts: usize,
+}
+
+/// The `AssignPaths` heuristic (paper Fig. 4): minimize the peak link/spot
+/// utilization `U` by iteratively rerouting messages over alternative
+/// shortest paths.
+///
+/// Each round finds the peak's location, tries every alternative path of
+/// every message crossing it, applies the reroute with the largest peak
+/// *reduction* (or, failing that, one that *repositions* the same peak so a
+/// later reroute can attack it), and — once stuck — restarts from a fresh
+/// random assignment, keeping the best result seen.
+///
+/// The output's peak utilization is never worse than the LSD-to-MSD
+/// baseline's.
+pub fn assign_paths(
+    tfg: &TaskFlowGraph,
+    topo: &dyn Topology,
+    alloc: &Allocation,
+    bounds: &TimeBounds,
+    intervals: &Intervals,
+    activity: &ActivityMatrix,
+    config: &AssignPathsConfig,
+) -> AssignPathsOutcome {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let num_links = topo.num_links();
+    let compute =
+        |pa: &PathAssignment| UtilizationMap::compute(pa, bounds, activity, intervals, num_links);
+
+    // Alternative shortest paths per message (index 0 = dimension order).
+    let candidates: Vec<Vec<Path>> = tfg
+        .messages()
+        .iter()
+        .map(|m| {
+            let src = alloc.node_of(m.src());
+            let dst = alloc.node_of(m.dst());
+            topo.shortest_paths(src, dst, config.path_cap.max(1))
+        })
+        .collect();
+
+    let baseline = PathAssignment::lsd_to_msd(tfg, topo, alloc);
+    let baseline_effective = compute(&baseline).effective_peak();
+
+    // A peak below this is impossible: each message needs at least
+    // duration/active-time of whichever links it ends up on.
+    let lower_bound = (0..tfg.num_messages())
+        .filter(|&i| !candidates[i].is_empty() && candidates[i][0].hops() > 0)
+        .map(|i| {
+            let m = MessageId(i);
+            let at = activity.active_time(m, intervals);
+            if at > 0.0 {
+                bounds.window(m).duration() / at
+            } else {
+                f64::INFINITY
+            }
+        })
+        .fold(0.0f64, f64::max);
+
+    // Start from the deterministic baseline (so we can never end up worse),
+    // then explore random restarts.
+    let mut best = baseline.clone();
+    let mut best_peak = baseline_effective;
+    let mut restarts = 0;
+
+    // Polish the baseline itself first, then explore random restarts.
+    let mut current = baseline.clone();
+    loop {
+        improve(&mut current, &candidates, topo, &compute, config.max_inner);
+        let peak = compute(&current).effective_peak();
+        if peak < best_peak - EPS {
+            best = current.clone();
+            best_peak = peak;
+        }
+        restarts += 1;
+        if restarts >= config.max_restarts.max(1) || best_peak <= lower_bound + EPS {
+            break;
+        }
+        current = random_assignment(&candidates, topo, &mut rng);
+    }
+
+    let utilization = compute(&best);
+    AssignPathsOutcome {
+        assignment: best,
+        utilization,
+        baseline_peak: baseline_effective,
+        restarts,
+    }
+}
+
+fn random_assignment(
+    candidates: &[Vec<Path>],
+    topo: &dyn Topology,
+    rng: &mut StdRng,
+) -> PathAssignment {
+    let paths = candidates
+        .iter()
+        .map(|alts| alts[rng.gen_range(0..alts.len())].clone())
+        .collect();
+    PathAssignment::new(paths, topo)
+}
+
+/// The inner do-while of Fig. 4: repeatedly attack the peak with the best
+/// reducing reroute, falling back to peak-repositioning reroutes, until no
+/// reroute changes anything (or the step cap is hit).
+fn improve<F>(
+    current: &mut PathAssignment,
+    candidates: &[Vec<Path>],
+    topo: &dyn Topology,
+    compute: &F,
+    max_inner: usize,
+) where
+    F: Fn(&PathAssignment) -> UtilizationMap,
+{
+    let mut seen_positions: Vec<(u64, Option<Hotspot>)> = Vec::new();
+    for _ in 0..max_inner {
+        let u = compute(current);
+        let peak = u.effective_peak();
+        if peak <= EPS {
+            return; // nothing on the network
+        }
+        let Some(location) = u.effective_location() else {
+            return;
+        };
+        // Cycle guard for reposition-only progress.
+        let key = (peak.to_bits(), Some(location));
+        if seen_positions.contains(&key) {
+            return;
+        }
+        seen_positions.push(key);
+
+        // Messages crossing the peak link (restricted to the hot interval
+        // for a spot peak).
+        let reroutable: Vec<MessageId> = match location {
+            Hotspot::Link(l) | Hotspot::Spot(l, _) | Hotspot::Group(l) => current.messages_on(l),
+        }
+        .into_iter()
+        .filter(|&m| candidates[m.index()].len() > 1)
+        .collect();
+
+        let mut best_reduce: Option<(MessageId, usize, f64)> = None;
+        let mut reposition: Option<(MessageId, usize)> = None;
+        for &m in &reroutable {
+            for (pi, alt) in candidates[m.index()].iter().enumerate() {
+                if alt == current.path(m) {
+                    continue;
+                }
+                let mut trial = current.clone();
+                trial.set_path(m, alt.clone(), topo);
+                let tu = compute(&trial);
+                let tp = tu.effective_peak();
+                if tp < peak - EPS {
+                    if best_reduce.map_or(true, |(_, _, bp)| tp < bp - EPS) {
+                        best_reduce = Some((m, pi, tp));
+                    }
+                } else if reposition.is_none()
+                    && (tp - peak).abs() <= EPS
+                    && tu.effective_location() != Some(location)
+                {
+                    reposition = Some((m, pi));
+                }
+            }
+        }
+
+        if let Some((m, pi, _)) = best_reduce {
+            let p = candidates[m.index()][pi].clone();
+            current.set_path(m, p, topo);
+        } else if let Some((m, pi)) = reposition {
+            let p = candidates[m.index()][pi].clone();
+            current.set_path(m, p, topo);
+        } else {
+            return; // converged: no reroute changes the peak at all
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_mapping::Allocation;
+    use sr_tfg::{assign_time_bounds, TfgBuilder, Timing, WindowPolicy};
+    use sr_topology::{GeneralizedHypercube, NodeId};
+
+    struct Setup {
+        topo: GeneralizedHypercube,
+        tfg: TaskFlowGraph,
+        alloc: Allocation,
+        bounds: TimeBounds,
+        intervals: Intervals,
+        activity: ActivityMatrix,
+    }
+
+    /// Two messages between antipodal corners that dimension-order routing
+    /// funnels over the same first link.
+    fn contended_setup() -> Setup {
+        let topo = GeneralizedHypercube::binary(3).unwrap();
+        let mut b = TfgBuilder::new();
+        let s = b.task("s", 500);
+        let a = b.task("a", 500);
+        let c = b.task("c", 500);
+        b.message("m0", s, a, 1280).unwrap(); // 20 µs
+        b.message("m1", s, c, 1280).unwrap(); // 20 µs
+        let tfg = b.build().unwrap();
+        let timing = Timing::new(64.0, 10.0); // exec 50
+                                              // Both destinations reachable from N0 with LSD-first hop N0->N1.
+        let alloc =
+            Allocation::new(vec![NodeId(0), NodeId(0b011), NodeId(0b101)], &tfg, &topo).unwrap();
+        let bounds = assign_time_bounds(&tfg, &timing, 50.0, WindowPolicy::LongestTask).unwrap();
+        let intervals = Intervals::from_bounds(&bounds);
+        let activity = ActivityMatrix::new(&bounds, &intervals);
+        Setup {
+            topo,
+            tfg,
+            alloc,
+            bounds,
+            intervals,
+            activity,
+        }
+    }
+
+    #[test]
+    fn beats_lsd_baseline_on_funnel() {
+        let s = contended_setup();
+        let out = assign_paths(
+            &s.tfg,
+            &s.topo,
+            &s.alloc,
+            &s.bounds,
+            &s.intervals,
+            &s.activity,
+            &AssignPathsConfig::default(),
+        );
+        // Baseline: both 20 µs messages share link N0-N1 active over the
+        // whole 50 µs frame -> U = 0.8. Disjoint paths give 0.4.
+        assert!(
+            (out.baseline_peak - 0.8).abs() < 1e-6,
+            "baseline {}",
+            out.baseline_peak
+        );
+        assert!(
+            out.utilization.peak() <= 0.4 + 1e-6,
+            "expected disjoint paths, got U={}",
+            out.utilization.peak()
+        );
+        // Paths are still valid shortest paths.
+        for (i, m) in s.tfg.messages().iter().enumerate() {
+            let p = out.assignment.path(MessageId(i));
+            assert_eq!(p.source(), s.alloc.node_of(m.src()));
+            assert_eq!(p.destination(), s.alloc.node_of(m.dst()));
+            assert_eq!(
+                p.hops(),
+                s.topo.distance(p.source(), p.destination()),
+                "non-shortest path assigned"
+            );
+        }
+    }
+
+    #[test]
+    fn never_worse_than_baseline() {
+        let s = contended_setup();
+        for seed in [0u64, 1, 2, 99] {
+            let out = assign_paths(
+                &s.tfg,
+                &s.topo,
+                &s.alloc,
+                &s.bounds,
+                &s.intervals,
+                &s.activity,
+                &AssignPathsConfig {
+                    seed,
+                    max_restarts: 2,
+                    ..AssignPathsConfig::default()
+                },
+            );
+            assert!(out.utilization.peak() <= out.baseline_peak + 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let s = contended_setup();
+        let cfg = AssignPathsConfig::default();
+        let a = assign_paths(
+            &s.tfg,
+            &s.topo,
+            &s.alloc,
+            &s.bounds,
+            &s.intervals,
+            &s.activity,
+            &cfg,
+        );
+        let b = assign_paths(
+            &s.tfg,
+            &s.topo,
+            &s.alloc,
+            &s.bounds,
+            &s.intervals,
+            &s.activity,
+            &cfg,
+        );
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.restarts, b.restarts);
+    }
+
+    #[test]
+    fn single_path_messages_are_left_alone() {
+        // Adjacent nodes: only one shortest path; heuristic must keep it.
+        let topo = GeneralizedHypercube::binary(2).unwrap();
+        let mut b = TfgBuilder::new();
+        let s = b.task("s", 500);
+        let d = b.task("d", 500);
+        b.message("m", s, d, 640).unwrap();
+        let tfg = b.build().unwrap();
+        let timing = Timing::new(64.0, 10.0);
+        let alloc = Allocation::new(vec![NodeId(0), NodeId(1)], &tfg, &topo).unwrap();
+        let bounds = assign_time_bounds(&tfg, &timing, 50.0, WindowPolicy::LongestTask).unwrap();
+        let intervals = Intervals::from_bounds(&bounds);
+        let activity = ActivityMatrix::new(&bounds, &intervals);
+        let out = assign_paths(
+            &tfg,
+            &topo,
+            &alloc,
+            &bounds,
+            &intervals,
+            &activity,
+            &AssignPathsConfig::default(),
+        );
+        assert_eq!(out.assignment.path(MessageId(0)).hops(), 1);
+        assert!((out.utilization.peak() - out.baseline_peak).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,562 @@
+use sr_mapping::Allocation;
+use sr_tfg::{TaskFlowGraph, TimeBounds, Timing, WindowPolicy};
+use sr_topology::{NodeId, Topology};
+
+use crate::interval_sched::{schedule_intervals_greedy, schedule_intervals_guarded};
+use crate::{
+    allocate_intervals, assign_paths, build_node_schedules, related_subsets, ActivityMatrix,
+    AssignPathsConfig, CompileError, IntervalAllocation, IntervalSchedule, Intervals, NodeSchedule,
+    PathAssignment, Segment,
+};
+
+/// Configuration of the end-to-end scheduled-routing compiler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileConfig {
+    /// Message window policy (paper default: one longest-task length).
+    pub window_policy: WindowPolicy,
+    /// Path-assignment heuristic knobs.
+    pub assign_paths: AssignPathsConfig,
+    /// Cap on link-feasible sets enumerated per interval.
+    pub max_feasible_sets: usize,
+    /// Slack allowed on the `U ≤ 1` schedulability test.
+    pub utilization_tolerance: f64,
+    /// Capacity scales tried for message–interval allocation. The first
+    /// entry should be 1.0; later (smaller) entries implement the paper's
+    /// suggested *feedback*: if interval scheduling fails, re-allocate with
+    /// tighter per-interval link capacities, which spreads messages across
+    /// more intervals and usually makes the intervals schedulable.
+    pub feedback_scales: Vec<f64>,
+    /// Additional `AssignPaths` seeds tried when allocation or interval
+    /// scheduling fails (a second feedback loop from §7: the path
+    /// assignment constrains everything downstream, so a different
+    /// same-peak assignment often compiles).
+    pub path_retry_seeds: usize,
+    /// Use the greedy list scheduler instead of the \[BDW86\] LP for
+    /// interval scheduling (an ablation: faster, occasionally fails where
+    /// the LP succeeds).
+    pub greedy_interval_scheduling: bool,
+    /// Clock-skew guard time (µs) reserved before every transmission slice
+    /// — the paper's §7 margin for CP synchronization ("twice the maximum
+    /// difference between two clocks"). Zero assumes perfectly synchronized
+    /// communication processors.
+    pub guard_time: f64,
+}
+
+impl Default for CompileConfig {
+    fn default() -> Self {
+        CompileConfig {
+            window_policy: WindowPolicy::LongestTask,
+            assign_paths: AssignPathsConfig::default(),
+            max_feasible_sets: 50_000,
+            utilization_tolerance: 1e-6,
+            feedback_scales: vec![1.0, 0.9, 0.8, 0.7],
+            path_retry_seeds: 3,
+            greedy_interval_scheduling: false,
+            guard_time: 0.0,
+        }
+    }
+}
+
+/// A compiled communication schedule `Ω` and every artifact that produced
+/// it.
+///
+/// Produced by [`compile`]; replayable/checkable with [`crate::verify`].
+/// When compilation succeeds, the multicomputer sustains exactly one TFG
+/// invocation per period — constant throughput with latency
+/// [`Schedule::latency`] — with zero run-time flow-control.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    pub(crate) period: f64,
+    pub(crate) bounds: TimeBounds,
+    pub(crate) assignment: PathAssignment,
+    pub(crate) intervals: Intervals,
+    pub(crate) activity: ActivityMatrix,
+    pub(crate) allocation: IntervalAllocation,
+    pub(crate) interval_schedules: Vec<IntervalSchedule>,
+    pub(crate) segments: Vec<Segment>,
+    pub(crate) node_schedules: Vec<NodeSchedule>,
+    pub(crate) peak_utilization: f64,
+    pub(crate) baseline_peak: f64,
+    pub(crate) capacity_scale: f64,
+    pub(crate) guard_time: f64,
+}
+
+impl Schedule {
+    /// The invocation period `τ_in` the schedule sustains, in µs.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Invocation latency implied by the time bounds, in µs (the paper's
+    /// "critical path length obtained after assigning time bounds").
+    pub fn latency(&self) -> f64 {
+        self.bounds.latency()
+    }
+
+    /// Peak utilization `U` of the final path assignment.
+    pub fn peak_utilization(&self) -> f64 {
+        self.peak_utilization
+    }
+
+    /// Peak utilization of the LSD-to-MSD baseline assignment (what Figs.
+    /// 5–6 compare against).
+    pub fn baseline_peak_utilization(&self) -> f64 {
+        self.baseline_peak
+    }
+
+    /// The message time bounds.
+    pub fn bounds(&self) -> &TimeBounds {
+        &self.bounds
+    }
+
+    /// The final path assignment.
+    pub fn assignment(&self) -> &PathAssignment {
+        &self.assignment
+    }
+
+    /// The interval partition of the period frame.
+    pub fn intervals(&self) -> &Intervals {
+        &self.intervals
+    }
+
+    /// The message activity matrix.
+    pub fn activity(&self) -> &ActivityMatrix {
+        &self.activity
+    }
+
+    /// The message–interval allocation matrix `P`.
+    pub fn allocation(&self) -> &IntervalAllocation {
+        &self.allocation
+    }
+
+    /// The per-interval link-feasible-set schedules.
+    pub fn interval_schedules(&self) -> &[IntervalSchedule] {
+        &self.interval_schedules
+    }
+
+    /// Every message transmission segment, sorted by start time.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// All node switching schedules, indexable by node.
+    pub fn node_schedules(&self) -> &[NodeSchedule] {
+        &self.node_schedules
+    }
+
+    /// The switching schedule `ω_i` of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node_schedule(&self, node: NodeId) -> &NodeSchedule {
+        &self.node_schedules[node.index()]
+    }
+
+    /// The message–interval allocation capacity scale that succeeded (1.0
+    /// unless the feedback loop had to tighten).
+    pub fn capacity_scale(&self) -> f64 {
+        self.capacity_scale
+    }
+
+    /// The clock-skew guard time the schedule was compiled with, µs.
+    pub fn guard_time(&self) -> f64 {
+        self.guard_time
+    }
+}
+
+/// Compiles a scheduled-routing communication schedule `Ω` for pipelining
+/// `tfg` on `topo` with input period `period` (µs) — the full Fig. 3
+/// pipeline (see the crate docs for the stage list).
+///
+/// # Errors
+///
+/// Every stage's failure is reported as the corresponding
+/// [`CompileError`] variant: bad time bounds, peak utilization above 1,
+/// infeasible message–interval allocation, or an unschedulable interval
+/// (after exhausting the feedback scales).
+pub fn compile(
+    topo: &dyn Topology,
+    tfg: &TaskFlowGraph,
+    alloc: &Allocation,
+    timing: &Timing,
+    period: f64,
+    config: &CompileConfig,
+) -> Result<Schedule, CompileError> {
+    if alloc.placement().len() != tfg.num_tasks() {
+        return Err(CompileError::AllocationMismatch {
+            alloc_tasks: alloc.placement().len(),
+            tfg_tasks: tfg.num_tasks(),
+        });
+    }
+    let bounds = sr_tfg::assign_time_bounds(tfg, timing, period, config.window_policy)?;
+    // Application-processor capacity: co-located tasks share one AP, so
+    // their total execution demand must fit the period (the paper assumes
+    // one task per processor; this check makes the assumption explicit).
+    {
+        let mut demand: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+        for (id, task) in tfg.iter_tasks() {
+            *demand.entry(alloc.node_of(id).index()).or_insert(0.0) += timing.exec_time(task);
+        }
+        for (node, d) in demand {
+            if d > period + 1e-9 {
+                return Err(CompileError::NodeOverloaded {
+                    node: NodeId(node),
+                    demand: d,
+                    period,
+                });
+            }
+        }
+    }
+    let intervals = Intervals::from_bounds(&bounds);
+    let activity = ActivityMatrix::new(&bounds, &intervals);
+
+    let mut first_err: Option<CompileError> = None;
+    for retry in 0..=config.path_retry_seeds {
+        let ap_config = AssignPathsConfig {
+            seed: config.assign_paths.seed.wrapping_add(retry as u64),
+            ..config.assign_paths
+        };
+        match compile_with_paths(
+            topo, tfg, alloc, &bounds, &intervals, &activity, &ap_config, config, period,
+        ) {
+            Ok(s) => return Ok(s),
+            Err(e @ CompileError::UtilizationExceeded { .. }) => {
+                // The heuristic is deterministic-per-seed but the peak won't
+                // drop below capacity by reseeding alone once it converged;
+                // still allow retries, keeping the first report.
+                first_err.get_or_insert(e);
+            }
+            Err(
+                e @ (CompileError::AllocationInfeasible { .. }
+                | CompileError::IntervalUnschedulable { .. }),
+            ) => {
+                first_err.get_or_insert(e);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(first_err.expect("at least one attempt ran"))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compile_with_paths(
+    topo: &dyn Topology,
+    tfg: &TaskFlowGraph,
+    alloc: &Allocation,
+    bounds: &TimeBounds,
+    intervals: &Intervals,
+    activity: &ActivityMatrix,
+    ap_config: &AssignPathsConfig,
+    config: &CompileConfig,
+    period: f64,
+) -> Result<Schedule, CompileError> {
+    let outcome = assign_paths(tfg, topo, alloc, bounds, intervals, activity, ap_config);
+    if outcome.utilization.effective_peak() > 1.0 + config.utilization_tolerance {
+        return Err(CompileError::UtilizationExceeded {
+            utilization: outcome.utilization.effective_peak(),
+        });
+    }
+    let assignment = outcome.assignment;
+    let subsets = related_subsets(&assignment, activity);
+
+    let scales = if config.feedback_scales.is_empty() {
+        vec![1.0]
+    } else {
+        config.feedback_scales.clone()
+    };
+    let mut last_err: Option<CompileError> = None;
+    for (si, &scale) in scales.iter().enumerate() {
+        let allocation =
+            match allocate_intervals(&assignment, bounds, activity, intervals, &subsets, scale) {
+                Ok(a) => a,
+                Err(e @ CompileError::AllocationInfeasible { .. }) => {
+                    if si == 0 {
+                        return Err(e);
+                    }
+                    // Tighter capacities made allocation itself infeasible:
+                    // report the interval-scheduling failure that sent us
+                    // here.
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
+        let scheduled = if config.greedy_interval_scheduling {
+            schedule_intervals_greedy(
+                &assignment,
+                &allocation,
+                intervals,
+                &subsets,
+                config.guard_time,
+            )
+        } else {
+            schedule_intervals_guarded(
+                &assignment,
+                &allocation,
+                intervals,
+                &subsets,
+                config.max_feasible_sets,
+                config.guard_time,
+            )
+        };
+        match scheduled {
+            Ok(interval_schedules) => {
+                let (segments, node_schedules) =
+                    build_node_schedules(&assignment, &interval_schedules, topo);
+                return Ok(Schedule {
+                    period,
+                    peak_utilization: outcome.utilization.effective_peak(),
+                    baseline_peak: outcome.baseline_peak,
+                    bounds: bounds.clone(),
+                    assignment,
+                    intervals: intervals.clone(),
+                    activity: activity.clone(),
+                    allocation,
+                    interval_schedules,
+                    segments,
+                    node_schedules,
+                    capacity_scale: scale,
+                    guard_time: config.guard_time,
+                });
+            }
+            Err(e @ CompileError::IntervalUnschedulable { .. }) => {
+                last_err = Some(e);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err.expect("loop ran at least once"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_mapping::Allocation;
+    use sr_tfg::{generators, TfgBuilder};
+    use sr_topology::GeneralizedHypercube;
+
+    #[test]
+    fn compiles_simple_chain() {
+        let topo = GeneralizedHypercube::binary(3).unwrap();
+        let tfg = generators::chain(4, 500, 640);
+        let timing = Timing::new(64.0, 10.0); // exec 50, tx 10
+        let alloc = sr_mapping::greedy(&tfg, &topo);
+        let sched = compile(
+            &topo,
+            &tfg,
+            &alloc,
+            &timing,
+            60.0,
+            &CompileConfig::default(),
+        )
+        .expect("chain compiles");
+        assert_eq!(sched.period(), 60.0);
+        assert!(sched.peak_utilization() <= 1.0 + 1e-6);
+        assert!(sched.latency() >= timing.critical_path(&tfg) - 1e-9);
+        assert_eq!(sched.capacity_scale(), 1.0);
+        assert!(!sched.segments().is_empty());
+        // Every message's segments add to its duration.
+        for (i, w) in sched.bounds().windows().iter().enumerate() {
+            if sched.assignment().links(sr_tfg::MessageId(i)).is_empty() {
+                continue;
+            }
+            let total: f64 = sched
+                .segments()
+                .iter()
+                .filter(|s| s.message == sr_tfg::MessageId(i))
+                .map(|s| s.duration())
+                .sum();
+            assert!((total - w.duration()).abs() < 1e-5, "message {i}: {total}");
+        }
+    }
+
+    #[test]
+    fn rejects_overloaded_network() {
+        // One link, two fat messages that cannot fit in the frame.
+        let topo = GeneralizedHypercube::binary(1).unwrap();
+        let mut b = TfgBuilder::new();
+        let t0 = b.task("t0", 200); // exec 20: AP demand stays feasible
+        let t1 = b.task("t1", 200);
+        let t2 = b.task("t2", 200);
+        b.message("m0", t0, t1, 1920).unwrap(); // 30 µs
+        b.message("m1", t1, t2, 1920).unwrap(); // 30 µs
+        let tfg = b.build().unwrap();
+        let timing = Timing::new(64.0, 10.0); // τ_c = 20
+        let alloc = Allocation::new(
+            vec![
+                sr_topology::NodeId(0),
+                sr_topology::NodeId(1),
+                sr_topology::NodeId(0),
+            ],
+            &tfg,
+            &topo,
+        )
+        .unwrap();
+        // 60 µs of traffic must cross the single link every 50 µs period.
+        let err = compile(
+            &topo,
+            &tfg,
+            &alloc,
+            &timing,
+            50.0,
+            &CompileConfig::default(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CompileError::UtilizationExceeded { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_period_below_longest_task() {
+        let topo = GeneralizedHypercube::binary(2).unwrap();
+        let tfg = generators::chain(2, 500, 64);
+        let timing = Timing::new(64.0, 10.0);
+        let alloc = sr_mapping::greedy(&tfg, &topo);
+        let err = compile(
+            &topo,
+            &tfg,
+            &alloc,
+            &timing,
+            10.0,
+            &CompileConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompileError::TimeBounds(_)));
+    }
+
+    #[test]
+    fn colocated_overload_rejected() {
+        let topo = GeneralizedHypercube::binary(2).unwrap();
+        let tfg = generators::chain(3, 500, 64); // exec 50 each
+        let timing = Timing::new(64.0, 10.0);
+        // All three tasks on one node: 150 µs of work per 60 µs period.
+        let alloc = Allocation::new(vec![sr_topology::NodeId(1); 3], &tfg, &topo).unwrap();
+        let err = compile(
+            &topo,
+            &tfg,
+            &alloc,
+            &timing,
+            60.0,
+            &CompileConfig::default(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CompileError::NodeOverloaded { .. }),
+            "got {err:?}"
+        );
+        // A long-enough period admits the same placement.
+        assert!(compile(
+            &topo,
+            &tfg,
+            &alloc,
+            &timing,
+            160.0,
+            &CompileConfig::default()
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn allocation_arity_checked() {
+        let topo = GeneralizedHypercube::binary(2).unwrap();
+        let tfg = generators::chain(2, 500, 64);
+        let other = generators::chain(3, 500, 64);
+        let timing = Timing::new(64.0, 10.0);
+        let alloc = sr_mapping::greedy(&other, &topo);
+        let err = compile(
+            &topo,
+            &tfg,
+            &alloc,
+            &timing,
+            60.0,
+            &CompileConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompileError::AllocationMismatch { .. }));
+    }
+
+    #[test]
+    fn greedy_scheduler_compiles_and_verifies() {
+        let topo = GeneralizedHypercube::binary(4).unwrap();
+        let tfg = generators::diamond(4, 500, 1280);
+        let timing = Timing::new(64.0, 10.0);
+        let alloc = sr_mapping::greedy(&tfg, &topo);
+        let config = CompileConfig {
+            greedy_interval_scheduling: true,
+            ..CompileConfig::default()
+        };
+        let sched = compile(&topo, &tfg, &alloc, &timing, 80.0, &config)
+            .expect("greedy scheduler compiles the diamond");
+        crate::verify(&sched, &topo, &tfg).expect("greedy schedules verify too");
+    }
+
+    #[test]
+    fn guard_time_separates_and_costs_feasibility() {
+        let topo = GeneralizedHypercube::binary(3).unwrap();
+        let tfg = generators::diamond(3, 500, 1280);
+        let timing = Timing::new(64.0, 10.0);
+        let alloc = sr_mapping::greedy(&tfg, &topo);
+
+        // Moderate guard: compiles; every pair of segments on a shared link
+        // is separated by >= guard.
+        let config = CompileConfig {
+            guard_time: 2.0,
+            ..CompileConfig::default()
+        };
+        let sched =
+            compile(&topo, &tfg, &alloc, &timing, 75.0, &config).expect("compiles with 2 µs guard");
+        crate::verify(&sched, &topo, &tfg).expect("verifies with guard check");
+        assert_eq!(sched.guard_time(), 2.0);
+        // Directly inspect separations per link.
+        for l in 0..sr_topology::Topology::num_links(&topo) {
+            let link = sr_topology::LinkId(l);
+            let mut spans: Vec<(f64, f64, sr_tfg::MessageId)> = sched
+                .segments()
+                .iter()
+                .filter(|s| sched.assignment().links(s.message).contains(&link))
+                .map(|s| (s.start, s.end, s.message))
+                .collect();
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in spans.windows(2) {
+                if w[0].2 != w[1].2 {
+                    assert!(
+                        w[1].0 - w[0].1 >= 2.0 - 1e-6,
+                        "guard violated on {link}: {w:?}"
+                    );
+                }
+            }
+        }
+
+        // Absurd guard: scheduling must fail, typed.
+        let config = CompileConfig {
+            guard_time: 100.0,
+            ..CompileConfig::default()
+        };
+        let err = compile(&topo, &tfg, &alloc, &timing, 75.0, &config).unwrap_err();
+        assert!(
+            matches!(err, CompileError::IntervalUnschedulable { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn compiles_dvb_on_cube_at_max_rate() {
+        let topo = GeneralizedHypercube::binary(6).unwrap();
+        let tfg = sr_tfg::dvb_uniform(6);
+        let timing = Timing::calibrated_dvb(128.0); // lighter network load
+        let alloc = sr_mapping::greedy(&tfg, &topo);
+        let sched = compile(
+            &topo,
+            &tfg,
+            &alloc,
+            &timing,
+            50.0,
+            &CompileConfig::default(),
+        )
+        .expect("DVB at B=128 compiles at max rate");
+        assert!(sched.peak_utilization() <= 1.0 + 1e-6);
+        crate::verify(&sched, &topo, &tfg).expect("schedule verifies");
+    }
+}

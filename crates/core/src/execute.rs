@@ -1,0 +1,303 @@
+//! Operational execution of a compiled schedule.
+//!
+//! The verifier proves a schedule is contention-free *within one frame*;
+//! this module closes the loop by **executing** the pipeline over many
+//! invocations — tasks run on their application processors, transmissions
+//! happen exactly at the switching schedule's times — and measuring the
+//! output intervals, as the wormhole simulator does for the baseline. If
+//! scheduled routing keeps its promise, every measured interval equals
+//! `τ_in` and every task is ready before its messages' windows open.
+//!
+//! The frame-to-invocation unfolding uses the paper's single-frame argument
+//! in reverse: message `M_i` of invocation `j` transmits at the schedule's
+//! segment times shifted by whole periods so they land inside
+//! `[release_j, release_j + window]`, where `release_j = j·τ_in + t_e(T_is)`.
+
+use sr_mapping::Allocation;
+use sr_tfg::{MessageId, TaskFlowGraph, TaskId, Timing};
+
+use crate::{Schedule, Segment, EPS};
+
+/// One executed invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutedInvocation {
+    /// Invocation index.
+    pub index: usize,
+    /// Input arrival, µs.
+    pub input_time: f64,
+    /// Completion of the last output task, µs.
+    pub output_time: f64,
+}
+
+/// The measured outcome of executing a schedule for several invocations.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    period: f64,
+    invocations: Vec<ExecutedInvocation>,
+}
+
+impl Execution {
+    /// Per-invocation records, in order.
+    pub fn invocations(&self) -> &[ExecutedInvocation] {
+        &self.invocations
+    }
+
+    /// Output intervals `δ_j`, µs.
+    pub fn output_intervals(&self) -> Vec<f64> {
+        self.invocations
+            .windows(2)
+            .map(|w| w[1].output_time - w[0].output_time)
+            .collect()
+    }
+
+    /// Measured latency of each invocation, µs.
+    pub fn latencies(&self) -> Vec<f64> {
+        self.invocations
+            .iter()
+            .map(|r| r.output_time - r.input_time)
+            .collect()
+    }
+
+    /// `true` when every output interval equals the period within `tol` —
+    /// the operational statement of Eq. (1).
+    pub fn is_throughput_constant(&self, tol: f64) -> bool {
+        self.output_intervals()
+            .iter()
+            .all(|&d| (d - self.period).abs() <= tol)
+    }
+}
+
+/// Why execution of a compiled schedule failed — each variant is a broken
+/// promise and indicates a compiler bug (none are reachable from schedules
+/// produced by [`crate::compile`]; the type exists so corruption is caught
+/// loudly rather than mismeasured).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExecuteError {
+    /// A task had not finished when its outgoing message's window opened.
+    TaskLate {
+        /// The late task.
+        task: TaskId,
+        /// The invocation in which it was late.
+        invocation: usize,
+        /// When the task finished, µs.
+        finished_at: f64,
+        /// When its message's transmission began, µs.
+        needed_at: f64,
+    },
+    /// A message had no transmission segments although its path crosses the
+    /// network.
+    MissingSegments {
+        /// The unscheduled message.
+        message: MessageId,
+    },
+}
+
+impl std::fmt::Display for ExecuteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecuteError::TaskLate {
+                task,
+                invocation,
+                finished_at,
+                needed_at,
+            } => write!(
+                f,
+                "{task} finished at {finished_at:.3} µs but invocation {invocation} \
+                 needed its output at {needed_at:.3} µs"
+            ),
+            ExecuteError::MissingSegments { message } => {
+                write!(f, "{message} has no scheduled transmission segments")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecuteError {}
+
+/// Executes `schedule` for `invocations` periodic invocations and measures
+/// the resulting output intervals and latencies.
+///
+/// Task executions are event-free to model: each AP runs its (single, by
+/// the compile-time capacity check, possibly several) tasks as they become
+/// ready; every message of invocation `j` is delivered exactly when its
+/// last scheduled segment (unfolded into invocation `j`'s window) ends.
+///
+/// # Errors
+///
+/// [`ExecuteError`] when the schedule breaks a promise — possible only for
+/// hand-corrupted schedules.
+pub fn execute(
+    schedule: &Schedule,
+    tfg: &TaskFlowGraph,
+    alloc: &Allocation,
+    timing: &Timing,
+    invocations: usize,
+) -> Result<Execution, ExecuteError> {
+    let period = schedule.period();
+    let nt = tfg.num_tasks();
+
+    // Per-message unfolded delivery/start offsets for invocation 0.
+    // A message's segments are frame times; unfold each into the window of
+    // invocation 0 (release at bounds.task_end(src)).
+    let mut first_tx = vec![f64::INFINITY; tfg.num_messages()];
+    let mut delivery = vec![0.0f64; tfg.num_messages()];
+    for (i, _msg) in tfg.iter_messages() {
+        let links = schedule.assignment().links(i);
+        let release = schedule.bounds().task_end(tfg.message(i).src());
+        if links.is_empty() {
+            // Local: delivered at the source task's completion.
+            first_tx[i.index()] = release;
+            delivery[i.index()] = release;
+            continue;
+        }
+        let segs: Vec<&Segment> = schedule
+            .segments()
+            .iter()
+            .filter(|s| s.message == i)
+            .collect();
+        if segs.is_empty() {
+            return Err(ExecuteError::MissingSegments { message: i });
+        }
+        let mut start = f64::INFINITY;
+        let mut end = f64::NEG_INFINITY;
+        for s in segs {
+            // Shift the frame-time segment up by whole periods until it
+            // starts at or after the release instant (EPS guards against a
+            // segment boundary that equals the folded release up to LP
+            // rounding being pushed a whole period late).
+            let k = ((release - s.start - EPS) / period).ceil().max(0.0);
+            let shifted = s.start + k * period;
+            start = start.min(shifted);
+            end = end.max(shifted + (s.end - s.start));
+        }
+        first_tx[i.index()] = start;
+        delivery[i.index()] = end;
+    }
+
+    // Invocation-0 task completion times under dedicated-AP execution:
+    // a task starts when all its inputs are delivered (input tasks at 0).
+    let mut finish0 = vec![0.0f64; nt];
+    for &t in tfg.topological_order() {
+        let ready = tfg
+            .incoming(t)
+            .iter()
+            .map(|&m| delivery[m.index()])
+            .fold(0.0, f64::max);
+        finish0[t.index()] = ready + timing.exec_time(tfg.task(t));
+        // Promise check: the task must be done before any outgoing
+        // message's first transmission.
+        for &m in tfg.outgoing(t) {
+            if finish0[t.index()] > first_tx[m.index()] + EPS {
+                return Err(ExecuteError::TaskLate {
+                    task: t,
+                    invocation: 0,
+                    finished_at: finish0[t.index()],
+                    needed_at: first_tx[m.index()],
+                });
+            }
+        }
+    }
+    // AP capacity within the steady state: every node's total work fits the
+    // period (checked at compile time), so invocation j is invocation 0
+    // shifted by j·τ_in. Output time of invocation 0:
+    let out0 = tfg
+        .outputs()
+        .iter()
+        .map(|&t| finish0[t.index()])
+        .fold(0.0, f64::max);
+
+    let records = (0..invocations)
+        .map(|j| ExecutedInvocation {
+            index: j,
+            input_time: j as f64 * period,
+            output_time: out0 + j as f64 * period,
+        })
+        .collect();
+    let _ = alloc;
+    Ok(Execution {
+        period,
+        invocations: records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, CompileConfig};
+    use sr_tfg::generators;
+    use sr_topology::GeneralizedHypercube;
+
+    fn setup() -> (
+        GeneralizedHypercube,
+        TaskFlowGraph,
+        Allocation,
+        Timing,
+        Schedule,
+    ) {
+        let topo = GeneralizedHypercube::binary(4).unwrap();
+        let tfg = generators::diamond(4, 500, 1280);
+        let timing = Timing::new(64.0, 10.0);
+        let alloc = sr_mapping::greedy(&tfg, &topo);
+        let sched = compile(
+            &topo,
+            &tfg,
+            &alloc,
+            &timing,
+            80.0,
+            &CompileConfig::default(),
+        )
+        .expect("compiles");
+        (topo, tfg, alloc, timing, sched)
+    }
+
+    #[test]
+    fn execution_has_constant_throughput() {
+        let (_topo, tfg, alloc, timing, sched) = setup();
+        let exec = execute(&sched, &tfg, &alloc, &timing, 25).expect("executes");
+        assert_eq!(exec.invocations().len(), 25);
+        assert!(exec.is_throughput_constant(1e-9));
+        assert_eq!(exec.output_intervals().len(), 24);
+        // Latency is identical every invocation and within the compile-time
+        // bound.
+        let lats = exec.latencies();
+        assert!(lats.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9));
+        assert!(lats[0] <= sched.latency() + 1e-6);
+        assert!(lats[0] >= timing.critical_path(&tfg) - 1e-6);
+    }
+
+    #[test]
+    fn corrupted_schedule_is_caught() {
+        let (_topo, tfg, alloc, timing, mut sched) = setup();
+        // Remove every segment of the first network message.
+        let victim = (0..tfg.num_messages())
+            .map(MessageId)
+            .find(|&m| !sched.assignment().links(m).is_empty())
+            .unwrap();
+        sched.segments.retain(|s| s.message != victim);
+        let err = execute(&sched, &tfg, &alloc, &timing, 5).unwrap_err();
+        assert_eq!(err, ExecuteError::MissingSegments { message: victim });
+    }
+
+    #[test]
+    fn execution_matches_wormhole_under_no_contention() {
+        // A single 2-task pipeline: both systems should deliver the same
+        // steady throughput (δ = τ_in) — the baseline agreement case.
+        let topo = GeneralizedHypercube::binary(3).unwrap();
+        let tfg = generators::chain(2, 500, 640);
+        let timing = Timing::new(64.0, 10.0);
+        let alloc = sr_mapping::greedy(&tfg, &topo);
+        let sched = compile(
+            &topo,
+            &tfg,
+            &alloc,
+            &timing,
+            60.0,
+            &CompileConfig::default(),
+        )
+        .expect("compiles");
+        let exec = execute(&sched, &tfg, &alloc, &timing, 10).expect("executes");
+        assert!(exec.is_throughput_constant(1e-9));
+        assert!((exec.output_intervals()[0] - 60.0).abs() < 1e-9);
+    }
+}

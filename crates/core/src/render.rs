@@ -1,0 +1,126 @@
+//! Human-readable renderings of a compiled schedule.
+//!
+//! Scheduled routing is fully static, so one period frame tells the whole
+//! story; these helpers draw it as ASCII Gantt charts for inspection,
+//! debugging, and documentation.
+
+use std::fmt::Write;
+
+use sr_topology::{LinkId, Topology};
+
+use crate::Schedule;
+
+impl Schedule {
+    /// Renders one link's frame as an ASCII timeline of `width` cells:
+    /// `.` idle, and the carried message's id (mod 10) while busy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn render_link_timeline(&self, link: LinkId, width: usize) -> String {
+        assert!(width > 0, "timeline needs at least one cell");
+        let mut cells = vec!['.'; width];
+        let scale = self.period / width as f64;
+        for seg in &self.segments {
+            if !self.assignment.links(seg.message).contains(&link) {
+                continue;
+            }
+            let a = (seg.start / scale).floor().max(0.0) as usize;
+            let b = ((seg.end / scale).ceil() as usize).min(width);
+            let glyph =
+                char::from_digit((seg.message.index() % 10) as u32, 10).expect("digit in range");
+            for cell in cells.iter_mut().take(b).skip(a.min(width)) {
+                *cell = glyph;
+            }
+        }
+        cells.into_iter().collect()
+    }
+
+    /// Renders every traffic-carrying link of `topo` as a timeline block,
+    /// one row per link:
+    ///
+    /// ```text
+    /// L3  (N0-N1)  000000....2222......
+    /// L17 (N1-N3)  ......111111........
+    /// ```
+    ///
+    /// Idle links are omitted; the header row shows the frame span.
+    pub fn render_timelines(&self, topo: &dyn Topology, width: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} 0 µs{:>w$.1} µs",
+            "link",
+            self.period,
+            w = width.saturating_sub(4)
+        );
+        for l in 0..topo.num_links() {
+            let link = LinkId(l);
+            let row = self.render_link_timeline(link, width);
+            if row.chars().all(|c| c == '.') {
+                continue;
+            }
+            let (a, b) = topo.link_endpoints(link);
+            let _ = writeln!(out, "{:<16} {row}", format!("{link} ({a}-{b})"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, CompileConfig};
+    use sr_tfg::{generators, Timing};
+    use sr_topology::GeneralizedHypercube;
+
+    fn compiled() -> (GeneralizedHypercube, Schedule) {
+        let topo = GeneralizedHypercube::binary(3).unwrap();
+        let tfg = generators::chain(3, 500, 1280);
+        let timing = Timing::new(64.0, 10.0);
+        let alloc = sr_mapping::greedy(&tfg, &topo);
+        let s = compile(
+            &topo,
+            &tfg,
+            &alloc,
+            &timing,
+            100.0,
+            &CompileConfig::default(),
+        )
+        .expect("compiles");
+        (topo, s)
+    }
+
+    #[test]
+    fn busy_cells_match_busy_time() {
+        let (topo, s) = compiled();
+        for l in 0..sr_topology::Topology::num_links(&topo) {
+            let link = LinkId(l);
+            let row = s.render_link_timeline(link, 100);
+            let busy_cells = row.chars().filter(|&c| c != '.').count();
+            let busy_time: f64 = s.link_busy_spans(link).iter().map(|(a, b)| b - a).sum();
+            // 100 cells over a 100 µs frame: 1 cell ≈ 1 µs, ±2 for rounding.
+            assert!(
+                (busy_cells as f64 - busy_time).abs() <= 2.0,
+                "{link}: {busy_cells} cells vs {busy_time} µs\n{row}"
+            );
+        }
+    }
+
+    #[test]
+    fn timelines_skip_idle_links() {
+        let (topo, s) = compiled();
+        let text = s.render_timelines(&topo, 50);
+        // Two network messages -> at most a handful of rows + header.
+        let rows = text.lines().count();
+        assert!(rows >= 2 && rows <= 6, "{text}");
+        assert!(text.contains("µs"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_width_panics() {
+        let (_, s) = compiled();
+        let _ = s.render_link_timeline(LinkId(0), 0);
+    }
+}

@@ -1,0 +1,277 @@
+use sr_tfg::MessageId;
+use sr_topology::{LinkId, NodeId, Topology};
+
+use crate::{IntervalSchedule, PathAssignment};
+
+/// One uninterrupted transmission of (part of) a message: during
+/// `[start, end]` the message's whole path is clear and carries it.
+///
+/// Messages split across several interval slices get several segments; the
+/// verifier checks that the segment lengths add up to the transmission time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// The transmitted message.
+    pub message: MessageId,
+    /// Absolute start within the period frame, µs.
+    pub start: f64,
+    /// Absolute end within the period frame, µs.
+    pub end: f64,
+}
+
+impl Segment {
+    /// Segment length, µs.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A crossbar endpoint inside a communication processor: a network link or
+/// the local application processor's buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Port {
+    /// One of the node's half-duplex network links.
+    Link(LinkId),
+    /// The node's application processor (its input/output buffers).
+    Processor,
+}
+
+/// A crossbar connection: route data arriving on `from` out through `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Connection {
+    /// Where the data enters the CP.
+    pub from: Port,
+    /// Where the data leaves the CP.
+    pub to: Port,
+}
+
+/// A timed switching command in a node schedule `ω_i` (paper §4.1): hold
+/// `connection` during `[start, end]` to carry `message`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Command {
+    /// Absolute start within the period frame, µs.
+    pub start: f64,
+    /// Absolute end within the period frame, µs.
+    pub end: f64,
+    /// The crossbar setting.
+    pub connection: Connection,
+    /// The message being carried (for tracing/verification).
+    pub message: MessageId,
+}
+
+/// The switching schedule `ω_i` of one communication processor: the timed
+/// crossbar commands it executes, independently of every other node, once
+/// per period frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSchedule {
+    node: NodeId,
+    commands: Vec<Command>,
+}
+
+impl NodeSchedule {
+    /// Crate-internal constructor (tests, corrupt-schedule injection).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn new(node: NodeId, commands: Vec<Command>) -> Self {
+        NodeSchedule { node, commands }
+    }
+
+    /// The node this schedule drives.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Commands sorted by start time.
+    pub fn commands(&self) -> &[Command] {
+        &self.commands
+    }
+
+    /// `true` when the node never switches (carries no traffic).
+    pub fn is_idle(&self) -> bool {
+        self.commands.is_empty()
+    }
+}
+
+/// Derives message [`Segment`]s and per-node switching schedules `Ω = {ω_i}`
+/// from the interval schedules (paper §5.4).
+///
+/// For every slice and every member message, each node along the message's
+/// path receives one command covering the slice's span:
+///
+/// * the source connects its processor buffers to the first link,
+/// * intermediate nodes connect incoming link to outgoing link,
+/// * the destination connects the last link to its processor buffers.
+///
+/// Returns `(segments, node schedules)`; node schedules cover every node of
+/// the topology (idle nodes get empty command lists).
+pub fn build_node_schedules(
+    assignment: &PathAssignment,
+    interval_schedules: &[IntervalSchedule],
+    topo: &dyn Topology,
+) -> (Vec<Segment>, Vec<NodeSchedule>) {
+    let mut segments = Vec::new();
+    let mut commands: Vec<Vec<Command>> = vec![Vec::new(); topo.num_nodes()];
+
+    for is in interval_schedules {
+        for slice in &is.slices {
+            for &m in &slice.messages {
+                let seg = Segment {
+                    message: m,
+                    start: slice.start,
+                    end: slice.start + slice.duration,
+                };
+                segments.push(seg);
+                let path = assignment.path(m);
+                let nodes = path.nodes();
+                let links = assignment.links(m);
+                for (i, &node) in nodes.iter().enumerate() {
+                    let from = if i == 0 {
+                        Port::Processor
+                    } else {
+                        Port::Link(links[i - 1])
+                    };
+                    let to = if i == nodes.len() - 1 {
+                        Port::Processor
+                    } else {
+                        Port::Link(links[i])
+                    };
+                    commands[node.index()].push(Command {
+                        start: seg.start,
+                        end: seg.end,
+                        connection: Connection { from, to },
+                        message: m,
+                    });
+                }
+            }
+        }
+    }
+
+    segments.sort_by(|a, b| {
+        a.start
+            .total_cmp(&b.start)
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    let node_schedules = commands
+        .into_iter()
+        .enumerate()
+        .map(|(n, mut cmds)| {
+            cmds.sort_by(|a, b| {
+                a.start
+                    .total_cmp(&b.start)
+                    .then_with(|| a.message.cmp(&b.message))
+            });
+            NodeSchedule {
+                node: NodeId(n),
+                commands: cmds,
+            }
+        })
+        .collect();
+    (segments, node_schedules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Slice;
+    use sr_topology::{Path, Topology};
+
+    fn setup() -> (
+        sr_topology::GeneralizedHypercube,
+        PathAssignment,
+        Vec<IntervalSchedule>,
+    ) {
+        let topo = sr_topology::GeneralizedHypercube::binary(2).unwrap();
+        // One message over two hops: 0 -> 1 -> 3.
+        let pa = PathAssignment::new(
+            vec![Path::new(vec![NodeId(0), NodeId(1), NodeId(3)])],
+            &topo,
+        );
+        let schedules = vec![IntervalSchedule {
+            interval: 0,
+            slices: vec![Slice {
+                messages: vec![MessageId(0)],
+                start: 2.0,
+                duration: 5.0,
+            }],
+        }];
+        (topo, pa, schedules)
+    }
+
+    #[test]
+    fn commands_cover_whole_path() {
+        let (topo, pa, scheds) = setup();
+        let (segments, nodes) = build_node_schedules(&pa, &scheds, &topo);
+        assert_eq!(segments.len(), 1);
+        assert_eq!(segments[0].duration(), 5.0);
+        assert_eq!(nodes.len(), 4);
+
+        let l01 = topo.link_between(NodeId(0), NodeId(1)).unwrap();
+        let l13 = topo.link_between(NodeId(1), NodeId(3)).unwrap();
+
+        // Source: processor -> first link.
+        let src = &nodes[0];
+        assert_eq!(src.commands().len(), 1);
+        assert_eq!(
+            src.commands()[0].connection,
+            Connection {
+                from: Port::Processor,
+                to: Port::Link(l01)
+            }
+        );
+        // Intermediate: link -> link.
+        let mid = &nodes[1];
+        assert_eq!(
+            mid.commands()[0].connection,
+            Connection {
+                from: Port::Link(l01),
+                to: Port::Link(l13)
+            }
+        );
+        // Destination: last link -> processor.
+        let dst = &nodes[3];
+        assert_eq!(
+            dst.commands()[0].connection,
+            Connection {
+                from: Port::Link(l13),
+                to: Port::Processor
+            }
+        );
+        // Uninvolved node is idle.
+        assert!(nodes[2].is_idle());
+        // All commands share the slice's span.
+        for ns in &nodes {
+            for c in ns.commands() {
+                assert_eq!((c.start, c.end), (2.0, 7.0));
+                assert_eq!(c.message, MessageId(0));
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_slices_produce_multiple_segments() {
+        let (topo, pa, _) = setup();
+        let scheds = vec![
+            IntervalSchedule {
+                interval: 0,
+                slices: vec![Slice {
+                    messages: vec![MessageId(0)],
+                    start: 0.0,
+                    duration: 3.0,
+                }],
+            },
+            IntervalSchedule {
+                interval: 1,
+                slices: vec![Slice {
+                    messages: vec![MessageId(0)],
+                    start: 10.0,
+                    duration: 2.0,
+                }],
+            },
+        ];
+        let (segments, nodes) = build_node_schedules(&pa, &scheds, &topo);
+        assert_eq!(segments.len(), 2);
+        let total: f64 = segments.iter().map(Segment::duration).sum();
+        assert!((total - 5.0).abs() < 1e-12);
+        assert_eq!(nodes[0].commands().len(), 2);
+        // Sorted by start.
+        assert!(nodes[0].commands()[0].start < nodes[0].commands()[1].start);
+    }
+}

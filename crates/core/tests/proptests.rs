@@ -1,0 +1,242 @@
+//! Property-based tests of the scheduled-routing compiler's internal
+//! invariants, stage by stage.
+
+use proptest::prelude::*;
+use sr_core::{
+    allocate_intervals, assign_paths, related_subsets, schedule_intervals, ActivityMatrix,
+    AssignPathsConfig, Intervals, PathAssignment, UtilizationMap, EPS,
+};
+use sr_mapping::Allocation;
+use sr_tfg::generators::{layered_random, LayeredParams};
+use sr_tfg::{assign_time_bounds, MessageId, TaskFlowGraph, TimeBounds, Timing, WindowPolicy};
+use sr_topology::{GeneralizedHypercube, Topology};
+
+#[derive(Debug, Clone)]
+struct Stage {
+    tfg: TaskFlowGraph,
+    alloc: Allocation,
+    bounds: TimeBounds,
+}
+
+fn stage() -> impl Strategy<Value = (Stage, u64)> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        1.2f64..4.0,
+        2usize..4,
+        1usize..4,
+    )
+        .prop_filter_map(
+            "period accommodates all messages",
+            |(seed, alloc_seed, period_factor, layers, width)| {
+                let topo = GeneralizedHypercube::binary(4).unwrap();
+                let params = LayeredParams {
+                    layers,
+                    width,
+                    edge_probability: 0.5,
+                    ops: (500, 2000),
+                    bytes: (64, 2048),
+                };
+                let tfg = layered_random(seed, &params);
+                let timing = Timing::new(64.0, 20.0);
+                let alloc = sr_mapping::random(&tfg, &topo, alloc_seed);
+                let period = timing.longest_task(&tfg) * period_factor;
+                let bounds =
+                    assign_time_bounds(&tfg, &timing, period, WindowPolicy::LongestTask).ok()?;
+                Some((Stage { tfg, alloc, bounds }, seed))
+            },
+        )
+}
+
+fn cube() -> GeneralizedHypercube {
+    GeneralizedHypercube::binary(4).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Interval partitions tile the frame exactly and the activity matrix
+    /// is consistent with the windows.
+    #[test]
+    fn intervals_tile_frame((s, _) in stage()) {
+        let intervals = Intervals::from_bounds(&s.bounds);
+        let total: f64 = (0..intervals.len()).map(|k| intervals.length(k)).sum();
+        prop_assert!((total - s.bounds.period()).abs() < 1e-6);
+        let activity = ActivityMatrix::new(&s.bounds, &intervals);
+        for (i, w) in s.bounds.windows().iter().enumerate() {
+            // Constraint (2): active time covers the duration.
+            let at = activity.active_time(MessageId(i), &intervals);
+            prop_assert!(at >= w.duration() - 1e-6,
+                "message {i}: active {at} < duration {}", w.duration());
+        }
+    }
+
+    /// AssignPaths returns valid shortest paths and never exceeds the
+    /// baseline's effective peak.
+    #[test]
+    fn assign_paths_valid_and_no_worse((s, seed) in stage()) {
+        let topo = cube();
+        let intervals = Intervals::from_bounds(&s.bounds);
+        let activity = ActivityMatrix::new(&s.bounds, &intervals);
+        let out = assign_paths(
+            &s.tfg, &topo, &s.alloc, &s.bounds, &intervals, &activity,
+            &AssignPathsConfig { seed, max_restarts: 3, ..AssignPathsConfig::default() },
+        );
+        prop_assert!(out.utilization.effective_peak() <= out.baseline_peak + 1e-9);
+        for (i, m) in s.tfg.messages().iter().enumerate() {
+            let p = out.assignment.path(MessageId(i));
+            prop_assert_eq!(p.source(), s.alloc.node_of(m.src()));
+            prop_assert_eq!(p.destination(), s.alloc.node_of(m.dst()));
+            prop_assert_eq!(
+                p.hops(),
+                topo.distance(p.source(), p.destination())
+            );
+            prop_assert!(p.validate(&topo));
+        }
+    }
+
+    /// Related subsets partition the network-borne messages; messages in
+    /// different subsets never share a link while co-active.
+    #[test]
+    fn subsets_partition_and_separate((s, _) in stage()) {
+        let topo = cube();
+        let intervals = Intervals::from_bounds(&s.bounds);
+        let activity = ActivityMatrix::new(&s.bounds, &intervals);
+        let pa = PathAssignment::lsd_to_msd(&s.tfg, &topo, &s.alloc);
+        let subsets = related_subsets(&pa, &activity);
+
+        // Partition: each network message appears exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for sub in &subsets {
+            for &m in sub {
+                prop_assert!(seen.insert(m), "duplicate {m}");
+                prop_assert!(!pa.links(m).is_empty(), "local message in subset");
+            }
+        }
+        let network_count = (0..s.tfg.num_messages())
+            .filter(|&i| !pa.links(MessageId(i)).is_empty())
+            .count();
+        prop_assert_eq!(seen.len(), network_count);
+
+        // Separation across subsets.
+        for (a, sub_a) in subsets.iter().enumerate() {
+            for sub_b in subsets.iter().skip(a + 1) {
+                for &ma in sub_a {
+                    for &mb in sub_b {
+                        let share_link = pa.links(ma).iter().any(|l| pa.links(mb).contains(l));
+                        let share_interval = activity
+                            .active_intervals(ma)
+                            .iter()
+                            .any(|&k| activity.is_active(mb, k));
+                        prop_assert!(!(share_link && share_interval),
+                            "{ma} and {mb} related across subsets");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whenever message–interval allocation succeeds, constraints (3) and
+    /// (4) hold; whenever interval scheduling then succeeds, the slices
+    /// exactly realize the allocation without link conflicts.
+    #[test]
+    fn allocation_and_scheduling_consistent((s, seed) in stage()) {
+        let topo = cube();
+        let intervals = Intervals::from_bounds(&s.bounds);
+        let activity = ActivityMatrix::new(&s.bounds, &intervals);
+        let out = assign_paths(
+            &s.tfg, &topo, &s.alloc, &s.bounds, &intervals, &activity,
+            &AssignPathsConfig { seed, max_restarts: 2, ..AssignPathsConfig::default() },
+        );
+        let pa = out.assignment;
+        let subsets = related_subsets(&pa, &activity);
+        let Ok(allocation) =
+            allocate_intervals(&pa, &s.bounds, &activity, &intervals, &subsets, 1.0)
+        else { return Ok(()); };
+
+        // (3): totals match durations; allocation only in active intervals.
+        for sub in &subsets {
+            for &m in sub {
+                prop_assert!(
+                    (allocation.total(m) - s.bounds.window(m).duration()).abs() < 1e-5
+                );
+                for k in 0..intervals.len() {
+                    if allocation.allocated(m, k) > EPS {
+                        prop_assert!(activity.is_active(m, k));
+                    }
+                }
+            }
+        }
+        // (4): per-link per-interval demand within capacity.
+        for l in 0..topo.num_links() {
+            for k in 0..intervals.len() {
+                let demand: f64 = (0..s.tfg.num_messages())
+                    .filter(|&i| pa.uses(MessageId(i), sr_topology::LinkId(l)))
+                    .map(|i| allocation.allocated(MessageId(i), k))
+                    .sum();
+                prop_assert!(demand <= intervals.length(k) + 1e-5);
+            }
+        }
+
+        let Ok(scheds) = schedule_intervals(&pa, &allocation, &intervals, &subsets, 50_000)
+        else { return Ok(()); };
+        // Slices realize the allocation exactly.
+        let mut realized = vec![vec![0.0; intervals.len()]; s.tfg.num_messages()];
+        for is in &scheds {
+            for slice in &is.slices {
+                let (ks, ke) = intervals.bounds(is.interval);
+                prop_assert!(slice.start >= ks - 1e-6 && slice.end() <= ke + 1e-5,
+                    "slice leaves interval {}: [{}, {}] vs [{ks}, {ke}]",
+                    is.interval, slice.start, slice.end());
+                for &m in &slice.messages {
+                    realized[m.index()][is.interval] += slice.duration;
+                }
+            }
+        }
+        for i in 0..s.tfg.num_messages() {
+            for k in 0..intervals.len() {
+                prop_assert!(
+                    (realized[i][k] - allocation.allocated(MessageId(i), k)).abs() < 1e-5,
+                    "message {i} interval {k}: {} vs {}",
+                    realized[i][k], allocation.allocated(MessageId(i), k)
+                );
+            }
+        }
+        // No two time-overlapping slices share a link.
+        for is in &scheds {
+            for (a, sa) in is.slices.iter().enumerate() {
+                for sb in is.slices.iter().skip(a + 1) {
+                    let overlap = sa.start.max(sb.start) < sa.end().min(sb.end()) - 1e-9;
+                    if !overlap { continue; }
+                    for &ma in &sa.messages {
+                        for &mb in &sb.messages {
+                            if ma == mb { continue; }
+                            prop_assert!(
+                                pa.links(ma).iter().all(|l| !pa.links(mb).contains(l)),
+                                "overlapping slices share a link: {ma} vs {mb}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The utilization map's aggregate bounds are internally consistent.
+    #[test]
+    fn utilization_bounds_consistent((s, _) in stage()) {
+        let topo = cube();
+        let intervals = Intervals::from_bounds(&s.bounds);
+        let activity = ActivityMatrix::new(&s.bounds, &intervals);
+        let pa = PathAssignment::lsd_to_msd(&s.tfg, &topo, &s.alloc);
+        let u = UtilizationMap::compute(&pa, &s.bounds, &activity, &intervals, topo.num_links());
+        prop_assert!(u.effective_peak() + 1e-12 >= u.peak());
+        prop_assert!(u.hall_peak() >= 0.0);
+        for l in 0..topo.num_links() {
+            prop_assert!(u.link(sr_topology::LinkId(l)) <= u.peak() + 1e-9);
+        }
+        for &(_, _, count) in u.spots() {
+            prop_assert!(count as f64 <= u.peak() + 1e-9);
+        }
+    }
+}

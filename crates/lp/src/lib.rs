@@ -1,0 +1,43 @@
+//! A dense two-phase primal simplex solver.
+//!
+//! Scheduled routing needs two optimization substrates (paper §5.2–5.3):
+//! the **message–interval allocation** feasibility system (constraints
+//! (3),(4)) and the **interval scheduling** problem (minimize the total
+//! transmission time of *link-feasible sets*, after \[BDW86\]). Both are
+//! linear programs over non-negative continuous variables — preemptive
+//! scheduling makes the fractional relaxation exact — so this crate provides
+//! a small, dependency-free LP solver:
+//!
+//! * variables are non-negative reals with linear costs;
+//! * constraints are `≤`, `≥`, or `=` with arbitrary coefficients;
+//! * the objective is minimized (maximize by negating costs);
+//! * phase 1 drives artificial variables to zero (detecting infeasibility),
+//!   phase 2 optimizes the true objective;
+//! * Bland's rule guarantees termination (no cycling).
+//!
+//! # Examples
+//!
+//! ```
+//! use sr_lp::{Problem, Relation};
+//!
+//! # fn main() -> Result<(), sr_lp::LpError> {
+//! // minimize x + 2y  s.t.  x + y >= 4,  y <= 3
+//! let mut p = Problem::minimize();
+//! let x = p.add_var(1.0);
+//! let y = p.add_var(2.0);
+//! p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 4.0)?;
+//! p.add_constraint(&[(y, 1.0)], Relation::Le, 3.0)?;
+//! let sol = p.solve()?;
+//! assert!((sol.objective() - 4.0).abs() < 1e-9); // x = 4, y = 0
+//! assert!((sol.value(x) - 4.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod problem;
+mod simplex;
+
+pub use problem::{LpError, Problem, Relation, Solution, VarId};

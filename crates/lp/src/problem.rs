@@ -1,0 +1,418 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::simplex;
+
+/// Index of a decision variable in a [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Constructs a variable id from its dense index.
+    ///
+    /// Ids are assigned densely from zero in [`Problem::add_var`] order, so
+    /// callers that track insertion order can reconstruct ids. Out-of-range
+    /// ids are rejected when used in [`Problem::add_constraint`].
+    pub fn new(index: usize) -> Self {
+        VarId(index)
+    }
+
+    /// The raw dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// The sense of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    pub(crate) coeffs: Vec<(usize, f64)>,
+    pub(crate) relation: Relation,
+    pub(crate) rhs: f64,
+}
+
+/// Errors from building or solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LpError {
+    /// No assignment of the variables satisfies every constraint.
+    Infeasible,
+    /// The objective decreases without bound over the feasible region.
+    Unbounded,
+    /// A coefficient, cost, or right-hand side was not finite.
+    NonFiniteInput {
+        /// What the offending number was supplied as.
+        what: &'static str,
+    },
+    /// A constraint referenced a variable id that does not exist.
+    UnknownVariable {
+        /// The out-of-range variable.
+        var: VarId,
+        /// Number of variables actually present.
+        num_vars: usize,
+    },
+    /// The pivot count exceeded the safety limit (numerical trouble).
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::NonFiniteInput { what } => write!(f, "{what} must be finite"),
+            LpError::UnknownVariable { var, num_vars } => {
+                write!(
+                    f,
+                    "constraint references {var} but only {num_vars} variables exist"
+                )
+            }
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl Error for LpError {}
+
+/// A linear program: minimize `c·x` subject to linear constraints, `x ≥ 0`.
+///
+/// Build with [`Problem::minimize`] (or [`Problem::maximize`]), add variables
+/// and constraints, then call [`Problem::solve`]. See the crate docs for a
+/// complete example.
+#[derive(Debug, Clone, Default)]
+pub struct Problem {
+    costs: Vec<f64>,
+    constraints: Vec<Constraint>,
+    maximize: bool,
+}
+
+impl Problem {
+    /// A minimization problem.
+    pub fn minimize() -> Self {
+        Problem::default()
+    }
+
+    /// A maximization problem (costs are negated internally).
+    pub fn maximize() -> Self {
+        Problem {
+            maximize: true,
+            ..Problem::default()
+        }
+    }
+
+    /// Adds a non-negative variable with objective coefficient `cost` and
+    /// returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cost` is not finite.
+    pub fn add_var(&mut self, cost: f64) -> VarId {
+        assert!(cost.is_finite(), "variable cost must be finite");
+        let id = VarId(self.costs.len());
+        self.costs.push(cost);
+        id
+    }
+
+    /// Number of variables added so far.
+    pub fn num_vars(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Adds the constraint `Σ coeffs ⟨relation⟩ rhs`.
+    ///
+    /// Repeated variables in `coeffs` are summed. A constraint with no
+    /// coefficients is accepted (it is trivially checked against `rhs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::UnknownVariable`] for out-of-range ids and
+    /// [`LpError::NonFiniteInput`] for non-finite numbers.
+    pub fn add_constraint(
+        &mut self,
+        coeffs: &[(VarId, f64)],
+        relation: Relation,
+        rhs: f64,
+    ) -> Result<(), LpError> {
+        if !rhs.is_finite() {
+            return Err(LpError::NonFiniteInput {
+                what: "right-hand side",
+            });
+        }
+        let mut dense: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+        for &(var, a) in coeffs {
+            if var.0 >= self.costs.len() {
+                return Err(LpError::UnknownVariable {
+                    var,
+                    num_vars: self.costs.len(),
+                });
+            }
+            if !a.is_finite() {
+                return Err(LpError::NonFiniteInput {
+                    what: "coefficient",
+                });
+            }
+            *dense.entry(var.0).or_insert(0.0) += a;
+        }
+        self.constraints.push(Constraint {
+            coeffs: dense.into_iter().collect(),
+            relation,
+            rhs,
+        });
+        Ok(())
+    }
+
+    /// Solves the program.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::Infeasible`], [`LpError::Unbounded`], or
+    /// [`LpError::IterationLimit`] (pathological numerics).
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        let costs: Vec<f64> = if self.maximize {
+            self.costs.iter().map(|c| -c).collect()
+        } else {
+            self.costs.clone()
+        };
+        let values = simplex::solve(&costs, &self.constraints)?;
+        let mut objective: f64 = values.iter().zip(&self.costs).map(|(x, c)| x * c).sum();
+        // Normalize -0.0.
+        if objective == 0.0 {
+            objective = 0.0;
+        }
+        Ok(Solution { values, objective })
+    }
+
+    /// Checks whether `values` satisfies every constraint within `tol`.
+    ///
+    /// Useful for validating solutions produced elsewhere (or by
+    /// [`Problem::solve`] itself, in tests).
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.costs.len() {
+            return false;
+        }
+        if values.iter().any(|&v| v < -tol || !v.is_finite()) {
+            return false;
+        }
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c.coeffs.iter().map(|&(i, a)| a * values[i]).sum();
+            match c.relation {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+/// An optimal solution to a [`Problem`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    values: Vec<f64>,
+    objective: f64,
+}
+
+impl Solution {
+    /// The optimal objective value (in the problem's original sense).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// The value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.0]
+    }
+
+    /// All variable values, indexable by [`VarId::index`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_minimize() {
+        let mut p = Problem::minimize();
+        let x = p.add_var(3.0);
+        let y = p.add_var(5.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0)
+            .unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 6.0).unwrap();
+        let s = p.solve().unwrap();
+        // x = 6, y = 4 -> 18 + 20 = 38.
+        assert!((s.objective() - 38.0).abs() < 1e-8, "got {}", s.objective());
+        assert!(p.is_feasible(s.values(), 1e-8));
+    }
+
+    #[test]
+    fn simple_maximize() {
+        // maximize 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj=12.
+        let mut p = Problem::maximize();
+        let x = p.add_var(3.0);
+        let y = p.add_var(2.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0)
+            .unwrap();
+        p.add_constraint(&[(x, 1.0), (y, 3.0)], Relation::Le, 6.0)
+            .unwrap();
+        let s = p.solve().unwrap();
+        assert!((s.objective() - 12.0).abs() < 1e-8);
+        assert!((s.value(x) - 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // minimize x + y s.t. x + 2y = 4, x - y = 1 -> x=2, y=1, obj=3.
+        let mut p = Problem::minimize();
+        let x = p.add_var(1.0);
+        let y = p.add_var(1.0);
+        p.add_constraint(&[(x, 1.0), (y, 2.0)], Relation::Eq, 4.0)
+            .unwrap();
+        p.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Eq, 1.0)
+            .unwrap();
+        let s = p.solve().unwrap();
+        assert!((s.value(x) - 2.0).abs() < 1e-8);
+        assert!((s.value(y) - 1.0).abs() < 1e-8);
+        assert!((s.objective() - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = Problem::minimize();
+        let x = p.add_var(1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 5.0).unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 3.0).unwrap();
+        assert_eq!(p.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = Problem::minimize();
+        let x = p.add_var(-1.0); // minimize -x with x unbounded above
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 0.0).unwrap();
+        assert_eq!(p.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_handled() {
+        // x >= -3 is vacuous for x >= 0; minimize x -> 0.
+        let mut p = Problem::minimize();
+        let x = p.add_var(1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, -3.0).unwrap();
+        let s = p.solve().unwrap();
+        assert!(s.objective().abs() < 1e-9);
+
+        // -x >= 2 i.e. x <= -2: infeasible for x >= 0.
+        let mut p = Problem::minimize();
+        let x = p.add_var(1.0);
+        p.add_constraint(&[(x, -1.0)], Relation::Ge, 2.0).unwrap();
+        assert_eq!(p.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn repeated_vars_are_summed() {
+        let mut p = Problem::minimize();
+        let x = p.add_var(1.0);
+        p.add_constraint(&[(x, 1.0), (x, 1.0)], Relation::Ge, 4.0)
+            .unwrap();
+        let s = p.solve().unwrap();
+        assert!((s.value(x) - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let mut p = Problem::minimize();
+        let _ = p.add_var(1.0);
+        let err = p
+            .add_constraint(&[(VarId(9), 1.0)], Relation::Le, 1.0)
+            .unwrap_err();
+        assert!(matches!(err, LpError::UnknownVariable { .. }));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let mut p = Problem::minimize();
+        let x = p.add_var(1.0);
+        assert!(p
+            .add_constraint(&[(x, f64::NAN)], Relation::Le, 1.0)
+            .is_err());
+        assert!(p
+            .add_constraint(&[(x, 1.0)], Relation::Le, f64::INFINITY)
+            .is_err());
+    }
+
+    #[test]
+    fn empty_problem_is_trivially_optimal() {
+        let p = Problem::minimize();
+        let s = p.solve().unwrap();
+        assert_eq!(s.objective(), 0.0);
+        assert!(s.values().is_empty());
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // A classic degenerate example (Beale-like); Bland's rule must
+        // terminate.
+        let mut p = Problem::minimize();
+        let x1 = p.add_var(-0.75);
+        let x2 = p.add_var(150.0);
+        let x3 = p.add_var(-0.02);
+        let x4 = p.add_var(6.0);
+        p.add_constraint(
+            &[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Relation::Le,
+            0.0,
+        )
+        .unwrap();
+        p.add_constraint(
+            &[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Relation::Le,
+            0.0,
+        )
+        .unwrap();
+        p.add_constraint(&[(x3, 1.0)], Relation::Le, 1.0).unwrap();
+        let s = p.solve().unwrap();
+        assert!(
+            (s.objective() - (-0.05)).abs() < 1e-6,
+            "got {}",
+            s.objective()
+        );
+    }
+
+    #[test]
+    fn feasibility_checker_rejects_bad_points() {
+        let mut p = Problem::minimize();
+        let x = p.add_var(1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 3.0).unwrap();
+        assert!(p.is_feasible(&[2.0], 1e-9));
+        assert!(!p.is_feasible(&[4.0], 1e-9));
+        assert!(!p.is_feasible(&[-1.0], 1e-9));
+        assert!(!p.is_feasible(&[2.0, 2.0], 1e-9)); // wrong arity
+    }
+}

@@ -1,0 +1,275 @@
+//! The dense two-phase simplex engine behind [`Problem::solve`].
+//!
+//! [`Problem::solve`]: crate::Problem::solve
+
+use crate::problem::{Constraint, LpError, Relation};
+
+/// Pivot tolerance: entries smaller than this are treated as zero.
+const PIVOT_EPS: f64 = 1e-9;
+/// Phase-1 objective values below this count as feasible.
+const FEAS_EPS: f64 = 1e-7;
+
+/// Solves `minimize c·x  s.t.  constraints, x ≥ 0`; returns variable values.
+pub(crate) fn solve(costs: &[f64], constraints: &[Constraint]) -> Result<Vec<f64>, LpError> {
+    let n = costs.len();
+    let m = constraints.len();
+    if m == 0 {
+        // With x ≥ 0 and minimization, any negative cost is unbounded;
+        // otherwise the optimum is the origin.
+        if costs.iter().any(|&c| c < -PIVOT_EPS) {
+            return Err(LpError::Unbounded);
+        }
+        return Ok(vec![0.0; n]);
+    }
+
+    // --- Build the tableau -------------------------------------------------
+    // Normalize every row to rhs >= 0, then append slack/surplus and
+    // artificial columns. Column layout: [structural | slack | artificial].
+    let mut n_slack = 0;
+    let mut n_art = 0;
+    let mut rows: Vec<(Vec<f64>, Relation, f64)> = Vec::with_capacity(m);
+    for c in constraints {
+        let mut dense = vec![0.0; n];
+        for &(i, a) in &c.coeffs {
+            dense[i] += a;
+        }
+        let (dense, relation, rhs) = if c.rhs < 0.0 {
+            let flipped = match c.relation {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+            (dense.iter().map(|a| -a).collect(), flipped, -c.rhs)
+        } else {
+            (dense, c.relation, c.rhs)
+        };
+        match relation {
+            Relation::Le => n_slack += 1,
+            Relation::Ge => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            Relation::Eq => n_art += 1,
+        }
+        rows.push((dense, relation, rhs));
+    }
+
+    let total = n + n_slack + n_art;
+    let width = total + 1; // + rhs column
+    let mut tab = vec![vec![0.0f64; width]; m];
+    let mut basis = vec![0usize; m];
+    let art_start = n + n_slack;
+    let mut slack_idx = n;
+    let mut art_idx = art_start;
+
+    for (r, (dense, relation, rhs)) in rows.into_iter().enumerate() {
+        tab[r][..n].copy_from_slice(&dense);
+        tab[r][total] = rhs;
+        match relation {
+            Relation::Le => {
+                tab[r][slack_idx] = 1.0;
+                basis[r] = slack_idx;
+                slack_idx += 1;
+            }
+            Relation::Ge => {
+                tab[r][slack_idx] = -1.0;
+                slack_idx += 1;
+                tab[r][art_idx] = 1.0;
+                basis[r] = art_idx;
+                art_idx += 1;
+            }
+            Relation::Eq => {
+                tab[r][art_idx] = 1.0;
+                basis[r] = art_idx;
+                art_idx += 1;
+            }
+        }
+    }
+
+    let iter_limit = 20_000 + 100 * (m + total);
+
+    // --- Phase 1: minimize the sum of artificials ---------------------------
+    if n_art > 0 {
+        let mut c1 = vec![0.0; total];
+        for j in art_start..total {
+            c1[j] = 1.0;
+        }
+        let obj = run_phase(&mut tab, &mut basis, &c1, total, total, iter_limit)?;
+        if obj > FEAS_EPS {
+            return Err(LpError::Infeasible);
+        }
+        // Pivot any artificial still in the basis out on a structural/slack
+        // column; an all-zero row is redundant and can stay (its rhs is 0).
+        for r in 0..m {
+            if basis[r] >= art_start {
+                if let Some(j) = (0..art_start).find(|&j| tab[r][j].abs() > PIVOT_EPS) {
+                    pivot(&mut tab, &mut basis, r, j);
+                }
+            }
+        }
+    }
+
+    // --- Phase 2: minimize the true objective ------------------------------
+    // Artificial columns are frozen by restricting the entering-candidate
+    // range to the first `art_start` columns.
+    let mut c2 = vec![0.0; total];
+    c2[..n].copy_from_slice(costs);
+    run_phase(&mut tab, &mut basis, &c2, art_start, total, iter_limit)?;
+
+    let mut values = vec![0.0; n];
+    for r in 0..m {
+        if basis[r] < n {
+            values[basis[r]] = tab[r][total].max(0.0);
+        }
+    }
+    Ok(values)
+}
+
+/// Runs Bland's-rule simplex minimizing `costs` over the current tableau.
+///
+/// Only columns `< allowed` may enter the basis. Returns the objective value
+/// at optimality.
+fn run_phase(
+    tab: &mut [Vec<f64>],
+    basis: &mut [usize],
+    costs: &[f64],
+    allowed: usize,
+    total: usize,
+    iter_limit: usize,
+) -> Result<f64, LpError> {
+    let m = tab.len();
+    for _ in 0..iter_limit {
+        // Reduced costs: z_j - c_j = Σ_i c_B[i]·a[i][j] − c_j.
+        // Bland's rule: the entering column is the *smallest index* with a
+        // positive reduced cost (improving for minimization).
+        let mut entering = None;
+        for j in 0..allowed {
+            let mut zj = 0.0;
+            for r in 0..m {
+                let cb = costs[basis[r]];
+                if cb != 0.0 {
+                    zj += cb * tab[r][j];
+                }
+            }
+            if zj - costs[j] > FEAS_EPS {
+                entering = Some(j);
+                break;
+            }
+        }
+        let Some(col) = entering else {
+            let obj = (0..m).map(|r| costs[basis[r]] * tab[r][total]).sum();
+            return Ok(obj);
+        };
+        // Ratio test; ties broken by smallest basic-variable index (Bland).
+        let mut leaving: Option<(usize, f64)> = None;
+        for r in 0..m {
+            let a = tab[r][col];
+            if a > PIVOT_EPS {
+                let ratio = tab[r][total] / a;
+                match leaving {
+                    None => leaving = Some((r, ratio)),
+                    Some((lr, lratio)) => {
+                        if ratio < lratio - PIVOT_EPS
+                            || ((ratio - lratio).abs() <= PIVOT_EPS && basis[r] < basis[lr])
+                        {
+                            leaving = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((row, _)) = leaving else {
+            return Err(LpError::Unbounded);
+        };
+        pivot(tab, basis, row, col);
+    }
+    Err(LpError::IterationLimit)
+}
+
+/// Performs a Gauss–Jordan pivot at `(row, col)` and updates the basis.
+fn pivot(tab: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
+    let width = tab[row].len();
+    let p = tab[row][col];
+    debug_assert!(p.abs() > PIVOT_EPS, "pivot on (near-)zero element");
+    for j in 0..width {
+        tab[row][j] /= p;
+    }
+    tab[row][col] = 1.0; // kill rounding residue
+    for r in 0..tab.len() {
+        if r == row {
+            continue;
+        }
+        let factor = tab[r][col];
+        if factor.abs() > 0.0 {
+            for j in 0..width {
+                tab[r][j] -= factor * tab[row][j];
+            }
+            tab[r][col] = 0.0;
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(coeffs: Vec<(usize, f64)>, relation: Relation, rhs: f64) -> Constraint {
+        Constraint {
+            coeffs,
+            relation,
+            rhs,
+        }
+    }
+
+    #[test]
+    fn no_constraints_origin_optimal() {
+        let v = solve(&[1.0, 2.0], &[]).unwrap();
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn no_constraints_negative_cost_unbounded() {
+        assert_eq!(solve(&[-1.0], &[]).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn klee_minty_small_terminates() {
+        // 3-dimensional Klee–Minty cube: worst case for Dantzig, fine for
+        // Bland (just slower). maximize 4x1 + 2x2 + x3 == minimize negative.
+        let cons = vec![
+            c(vec![(0, 1.0)], Relation::Le, 5.0),
+            c(vec![(0, 4.0), (1, 1.0)], Relation::Le, 25.0),
+            c(vec![(0, 8.0), (1, 4.0), (2, 1.0)], Relation::Le, 125.0),
+        ];
+        let v = solve(&[-4.0, -2.0, -1.0], &cons).unwrap();
+        let obj = -4.0 * v[0] - 2.0 * v[1] - v[2];
+        assert!((obj - (-125.0)).abs() < 1e-6, "obj={obj}, v={v:?}");
+    }
+
+    #[test]
+    fn transportation_like_equalities() {
+        // Two supplies (3, 4), two demands (5, 2); minimize cost with
+        // x[i][j] flattened as vars 0..4, costs [1, 4, 2, 1].
+        let cons = vec![
+            c(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 3.0),
+            c(vec![(2, 1.0), (3, 1.0)], Relation::Eq, 4.0),
+            c(vec![(0, 1.0), (2, 1.0)], Relation::Eq, 5.0),
+            c(vec![(1, 1.0), (3, 1.0)], Relation::Eq, 2.0),
+        ];
+        let v = solve(&[1.0, 4.0, 2.0, 1.0], &cons).unwrap();
+        let obj: f64 = v.iter().zip([1.0, 4.0, 2.0, 1.0]).map(|(x, c)| x * c).sum();
+        // Optimal: x00=3, x10=2, x11=2 -> 3 + 4 + 2 = 9.
+        assert!((obj - 9.0).abs() < 1e-6, "obj={obj} v={v:?}");
+    }
+
+    #[test]
+    fn redundant_rows_tolerated() {
+        let cons = vec![
+            c(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 2.0),
+            c(vec![(0, 2.0), (1, 2.0)], Relation::Eq, 4.0), // same plane
+        ];
+        let v = solve(&[1.0, 1.0], &cons).unwrap();
+        assert!((v[0] + v[1] - 2.0).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,446 @@
+//! Task-to-node allocation for task-flow graphs.
+//!
+//! The paper treats task allocation as an input ("locations of the sources
+//! and destinations of messages … are fixed by task allocation", §1) but its
+//! experiments obviously require one. This crate supplies the allocation
+//! substrate: the validated [`Allocation`] type, a communication-cost metric
+//! (Σ message-bytes × hop-distance), and four strategies —
+//!
+//! * [`round_robin`] — task *i* on node *i mod N*;
+//! * [`random`] — seeded uniform placement (a stress baseline);
+//! * [`greedy`] — topological-order placement that pulls each task toward
+//!   its already-placed communication partners, preferring unused nodes;
+//! * [`local_search`] — hill climbing over single-task moves and pairwise
+//!   swaps starting from [`greedy`].
+//!
+//! # Examples
+//!
+//! ```
+//! use sr_mapping::{greedy, Allocation};
+//! use sr_topology::{GeneralizedHypercube, Topology};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cube = GeneralizedHypercube::binary(6)?;
+//! let tfg = sr_tfg::dvb(8);
+//! let alloc = greedy(&tfg, &cube);
+//! assert_eq!(alloc.placement().len(), tfg.num_tasks());
+//! assert_eq!(alloc.nodes_used(), tfg.num_tasks()); // one task per node
+//! println!("Σ bytes×hops = {}", alloc.comm_cost(&tfg, &cube));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sr_tfg::{TaskFlowGraph, TaskId};
+use sr_topology::{NodeId, Topology};
+
+/// Errors from constructing an allocation by hand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AllocationError {
+    /// The placement vector's length differs from the task count.
+    WrongLength {
+        /// Number of placements supplied.
+        got: usize,
+        /// Number of tasks in the graph.
+        expected: usize,
+    },
+    /// More tasks than nodes while a one-task-per-node placement was
+    /// requested.
+    TooManyTasks {
+        /// Tasks in the graph.
+        tasks: usize,
+        /// Nodes in the topology.
+        nodes: usize,
+    },
+    /// A task was placed on a node the topology does not have.
+    NodeOutOfRange {
+        /// The offending task.
+        task: TaskId,
+        /// The out-of-range node.
+        node: NodeId,
+        /// Number of nodes in the topology.
+        num_nodes: usize,
+    },
+}
+
+impl fmt::Display for AllocationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocationError::WrongLength { got, expected } => {
+                write!(
+                    f,
+                    "allocation has {got} placements but the graph has {expected} tasks"
+                )
+            }
+            AllocationError::TooManyTasks { tasks, nodes } => {
+                write!(
+                    f,
+                    "{tasks} tasks cannot be placed one-per-node on {nodes} nodes"
+                )
+            }
+            AllocationError::NodeOutOfRange {
+                task,
+                node,
+                num_nodes,
+            } => {
+                write!(
+                    f,
+                    "{task} placed on {node} but the topology has {num_nodes} nodes"
+                )
+            }
+        }
+    }
+}
+
+impl Error for AllocationError {}
+
+/// A mapping of every task to a node.
+///
+/// Several tasks may share a node; the simulators serialize co-located task
+/// executions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    placement: Vec<NodeId>,
+}
+
+impl Allocation {
+    /// Creates an allocation from an explicit placement vector indexed by
+    /// [`TaskId`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocationError`] if the length mismatches the task count
+    /// or any node is out of range for the topology.
+    pub fn new(
+        placement: Vec<NodeId>,
+        tfg: &TaskFlowGraph,
+        topo: &dyn Topology,
+    ) -> Result<Self, AllocationError> {
+        if placement.len() != tfg.num_tasks() {
+            return Err(AllocationError::WrongLength {
+                got: placement.len(),
+                expected: tfg.num_tasks(),
+            });
+        }
+        for (i, &node) in placement.iter().enumerate() {
+            if node.index() >= topo.num_nodes() {
+                return Err(AllocationError::NodeOutOfRange {
+                    task: TaskId(i),
+                    node,
+                    num_nodes: topo.num_nodes(),
+                });
+            }
+        }
+        Ok(Allocation { placement })
+    }
+
+    /// The node hosting `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    pub fn node_of(&self, task: TaskId) -> NodeId {
+        self.placement[task.index()]
+    }
+
+    /// The full placement vector, indexable by [`TaskId`].
+    pub fn placement(&self) -> &[NodeId] {
+        &self.placement
+    }
+
+    /// Tasks hosted on `node`, ascending.
+    pub fn tasks_on(&self, node: NodeId) -> Vec<TaskId> {
+        self.placement
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n == node)
+            .map(|(i, _)| TaskId(i))
+            .collect()
+    }
+
+    /// Total communication cost: Σ over messages of `bytes × hop-distance`.
+    ///
+    /// Messages between co-located tasks cost nothing (they never enter the
+    /// network).
+    pub fn comm_cost(&self, tfg: &TaskFlowGraph, topo: &dyn Topology) -> u64 {
+        tfg.messages()
+            .iter()
+            .map(|m| {
+                let d = topo.distance(self.node_of(m.src()), self.node_of(m.dst()));
+                m.bytes() * d as u64
+            })
+            .sum()
+    }
+
+    /// Number of distinct nodes used.
+    pub fn nodes_used(&self) -> usize {
+        let set: std::collections::HashSet<_> = self.placement.iter().collect();
+        set.len()
+    }
+}
+
+/// Places task *i* on node *i mod N*.
+pub fn round_robin(tfg: &TaskFlowGraph, topo: &dyn Topology) -> Allocation {
+    let n = topo.num_nodes();
+    Allocation {
+        placement: (0..tfg.num_tasks()).map(|i| NodeId(i % n)).collect(),
+    }
+}
+
+/// Places every task uniformly at random (deterministic per `seed`).
+///
+/// Tasks may collide on a node; co-located tasks share one application
+/// processor, which lowers the sustainable pipeline rate. Use
+/// [`random_distinct`] for the paper's one-task-per-processor setting.
+pub fn random(tfg: &TaskFlowGraph, topo: &dyn Topology, seed: u64) -> Allocation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = topo.num_nodes();
+    Allocation {
+        placement: (0..tfg.num_tasks())
+            .map(|_| NodeId(rng.gen_range(0..n)))
+            .collect(),
+    }
+}
+
+/// Places every task on a *distinct* uniformly random node (a random
+/// partial permutation; deterministic per `seed`).
+///
+/// This is the paper's implicit setting: one task per application
+/// processor, so the pipeline rate is limited by the longest task alone.
+///
+/// # Errors
+///
+/// Returns [`AllocationError::TooManyTasks`] when the graph has more tasks
+/// than the topology has nodes.
+pub fn random_distinct(
+    tfg: &TaskFlowGraph,
+    topo: &dyn Topology,
+    seed: u64,
+) -> Result<Allocation, AllocationError> {
+    let n = topo.num_nodes();
+    if tfg.num_tasks() > n {
+        return Err(AllocationError::TooManyTasks {
+            tasks: tfg.num_tasks(),
+            nodes: n,
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Partial Fisher-Yates: draw tfg.num_tasks() distinct nodes.
+    let mut pool: Vec<usize> = (0..n).collect();
+    let placement = (0..tfg.num_tasks())
+        .map(|i| {
+            let j = rng.gen_range(i..n);
+            pool.swap(i, j);
+            NodeId(pool[i])
+        })
+        .collect();
+    Ok(Allocation { placement })
+}
+
+/// Greedy locality placement.
+///
+/// Tasks are placed in topological order. Each task goes to the node that
+/// minimizes Σ `bytes × distance` to its already-placed neighbors, with a
+/// strong penalty for re-using an occupied node (so placements are spread
+/// out while nodes remain, mirroring the paper's one-task-per-processor
+/// experiments) and ascending node id as the final tie-break.
+pub fn greedy(tfg: &TaskFlowGraph, topo: &dyn Topology) -> Allocation {
+    let n = topo.num_nodes();
+    let mut placement: Vec<Option<NodeId>> = vec![None; tfg.num_tasks()];
+    let mut load = vec![0u64; n];
+    // Re-using a node is worse than any realistic communication detour.
+    let occupancy_penalty: u64 = 1 + tfg.total_bytes() * topo.diameter().max(1) as u64;
+
+    for &t in tfg.topological_order() {
+        let mut best: Option<(u64, usize)> = None;
+        for node in 0..n {
+            let mut cost = load[node] * occupancy_penalty;
+            for &m in tfg.incoming(t) {
+                let msg = tfg.message(m);
+                if let Some(src_node) = placement[msg.src().index()] {
+                    cost += msg.bytes() * topo.distance(src_node, NodeId(node)) as u64;
+                }
+            }
+            for &m in tfg.outgoing(t) {
+                let msg = tfg.message(m);
+                if let Some(dst_node) = placement[msg.dst().index()] {
+                    cost += msg.bytes() * topo.distance(NodeId(node), dst_node) as u64;
+                }
+            }
+            if best.map_or(true, |(c, _)| cost < c) {
+                best = Some((cost, node));
+            }
+        }
+        let (_, node) = best.expect("topology has at least one node");
+        placement[t.index()] = Some(node.into());
+        load[node] += 1;
+    }
+    Allocation {
+        placement: placement
+            .into_iter()
+            .map(|p| p.expect("all placed"))
+            .collect(),
+    }
+}
+
+/// Hill-climbing refinement of [`greedy`].
+///
+/// Performs `iterations` random proposals (single-task relocation or
+/// two-task swap), keeping any that strictly lower
+/// [`Allocation::comm_cost`]. Deterministic per `seed`.
+pub fn local_search(
+    tfg: &TaskFlowGraph,
+    topo: &dyn Topology,
+    seed: u64,
+    iterations: usize,
+) -> Allocation {
+    let mut alloc = greedy(tfg, topo);
+    if tfg.num_tasks() < 2 {
+        return alloc;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cost = alloc.comm_cost(tfg, topo);
+    for _ in 0..iterations {
+        let mut candidate = alloc.clone();
+        if rng.gen_bool(0.5) {
+            let t = rng.gen_range(0..tfg.num_tasks());
+            candidate.placement[t] = NodeId(rng.gen_range(0..topo.num_nodes()));
+        } else {
+            let a = rng.gen_range(0..tfg.num_tasks());
+            let b = rng.gen_range(0..tfg.num_tasks());
+            candidate.placement.swap(a, b);
+        }
+        let c = candidate.comm_cost(tfg, topo);
+        if c < cost {
+            cost = c;
+            alloc = candidate;
+        }
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_topology::{GeneralizedHypercube, Torus};
+
+    fn cube() -> GeneralizedHypercube {
+        GeneralizedHypercube::binary(4).unwrap()
+    }
+
+    #[test]
+    fn new_validates_length() {
+        let g = sr_tfg::dvb(2);
+        let t = cube();
+        let err = Allocation::new(vec![NodeId(0)], &g, &t).unwrap_err();
+        assert!(matches!(err, AllocationError::WrongLength { .. }));
+    }
+
+    #[test]
+    fn new_validates_node_range() {
+        let g = sr_tfg::dvb(2);
+        let t = cube();
+        let err = Allocation::new(vec![NodeId(99); g.num_tasks()], &g, &t).unwrap_err();
+        assert!(matches!(err, AllocationError::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn round_robin_wraps() {
+        let g = sr_tfg::generators::chain(20, 10, 10);
+        let t = cube();
+        let a = round_robin(&g, &t);
+        assert_eq!(a.node_of(TaskId(0)), NodeId(0));
+        assert_eq!(a.node_of(TaskId(16)), NodeId(0));
+        assert_eq!(a.tasks_on(NodeId(0)), vec![TaskId(0), TaskId(16)]);
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let g = sr_tfg::dvb(4);
+        let t = cube();
+        assert_eq!(random(&g, &t, 11), random(&g, &t, 11));
+    }
+
+    #[test]
+    fn random_distinct_is_injective_and_reproducible() {
+        let g = sr_tfg::dvb(10); // 14 tasks
+        let t = GeneralizedHypercube::binary(4).unwrap(); // 16 nodes
+        let a = random_distinct(&g, &t, 9).unwrap();
+        assert_eq!(
+            a.nodes_used(),
+            g.num_tasks(),
+            "collision in {:?}",
+            a.placement()
+        );
+        assert_eq!(a, random_distinct(&g, &t, 9).unwrap());
+        assert_ne!(a, random_distinct(&g, &t, 10).unwrap());
+    }
+
+    #[test]
+    fn random_distinct_rejects_overflow() {
+        let g = sr_tfg::dvb(20); // 24 tasks
+        let t = GeneralizedHypercube::binary(4).unwrap(); // 16 nodes
+        assert!(matches!(
+            random_distinct(&g, &t, 0),
+            Err(AllocationError::TooManyTasks {
+                tasks: 24,
+                nodes: 16
+            })
+        ));
+    }
+
+    #[test]
+    fn greedy_uses_distinct_nodes_when_possible() {
+        let g = sr_tfg::dvb(8); // 12 tasks on 16 nodes
+        let t = cube();
+        let a = greedy(&g, &t);
+        assert_eq!(a.nodes_used(), g.num_tasks());
+    }
+
+    #[test]
+    fn greedy_places_communicating_tasks_near() {
+        let g = sr_tfg::generators::chain(4, 10, 1000);
+        let t = Torus::new(&[4, 4]).unwrap();
+        let a = greedy(&g, &t);
+        // Consecutive chain stages should be adjacent on an empty torus.
+        for w in [(0usize, 1usize), (1, 2), (2, 3)] {
+            let d = t.distance(a.node_of(TaskId(w.0)), a.node_of(TaskId(w.1)));
+            assert_eq!(d, 1, "stage {w:?} placed {d} hops apart");
+        }
+    }
+
+    #[test]
+    fn comm_cost_zero_when_colocated() {
+        let g = sr_tfg::generators::chain(3, 10, 100);
+        let t = cube();
+        let a = Allocation::new(vec![NodeId(5); 3], &g, &t).unwrap();
+        assert_eq!(a.comm_cost(&g, &t), 0);
+        assert_eq!(a.nodes_used(), 1);
+    }
+
+    #[test]
+    fn local_search_never_worse_than_greedy() {
+        let g = sr_tfg::dvb(10);
+        let t = Torus::new(&[4, 4, 4]).unwrap();
+        let base = greedy(&g, &t).comm_cost(&g, &t);
+        let tuned = local_search(&g, &t, 3, 500).comm_cost(&g, &t);
+        assert!(tuned <= base);
+    }
+
+    #[test]
+    fn single_task_graph() {
+        let g = sr_tfg::generators::chain(1, 10, 10);
+        let t = cube();
+        let a = local_search(&g, &t, 0, 10);
+        assert_eq!(a.placement().len(), 1);
+        assert_eq!(a.comm_cost(&g, &t), 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for allocation strategies.
+
+use proptest::prelude::*;
+use sr_mapping::{greedy, local_search, random, random_distinct, round_robin, Allocation};
+use sr_tfg::generators::{layered_random, LayeredParams};
+use sr_tfg::TaskFlowGraph;
+use sr_topology::{GeneralizedHypercube, NodeId, Topology, Torus};
+
+fn workload() -> impl Strategy<Value = TaskFlowGraph> {
+    (any::<u64>(), 1usize..4, 1usize..4, 0.2f64..0.9).prop_map(|(seed, layers, width, p)| {
+        layered_random(
+            seed,
+            &LayeredParams {
+                layers,
+                width,
+                edge_probability: p,
+                ops: (100, 1000),
+                bytes: (32, 1024),
+            },
+        )
+    })
+}
+
+fn check_valid(alloc: &Allocation, tfg: &TaskFlowGraph, topo: &dyn Topology) {
+    assert_eq!(alloc.placement().len(), tfg.num_tasks());
+    for &n in alloc.placement() {
+        assert!(n.index() < topo.num_nodes());
+    }
+    // tasks_on is the inverse of node_of.
+    for n in 0..topo.num_nodes() {
+        for t in alloc.tasks_on(NodeId(n)) {
+            assert_eq!(alloc.node_of(t), NodeId(n));
+        }
+    }
+    // Rebuilding through the validated constructor succeeds.
+    assert!(Allocation::new(alloc.placement().to_vec(), tfg, topo).is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_strategies_produce_valid_allocations(tfg in workload(), seed in any::<u64>()) {
+        let cube = GeneralizedHypercube::binary(4).unwrap();
+        let torus = Torus::new(&[4, 4]).unwrap();
+        for topo in [&cube as &dyn Topology, &torus as &dyn Topology] {
+            check_valid(&round_robin(&tfg, topo), &tfg, topo);
+            check_valid(&random(&tfg, topo, seed), &tfg, topo);
+            check_valid(&greedy(&tfg, topo), &tfg, topo);
+            check_valid(&local_search(&tfg, topo, seed, 50), &tfg, topo);
+            if tfg.num_tasks() <= topo.num_nodes() {
+                let d = random_distinct(&tfg, topo, seed).unwrap();
+                check_valid(&d, &tfg, topo);
+                prop_assert_eq!(d.nodes_used(), tfg.num_tasks());
+            }
+        }
+    }
+
+    #[test]
+    fn local_search_never_worse_than_greedy(tfg in workload(), seed in any::<u64>()) {
+        let topo = GeneralizedHypercube::binary(4).unwrap();
+        let base = greedy(&tfg, &topo).comm_cost(&tfg, &topo);
+        let tuned = local_search(&tfg, &topo, seed, 100).comm_cost(&tfg, &topo);
+        prop_assert!(tuned <= base);
+    }
+
+    #[test]
+    fn comm_cost_is_zero_iff_all_messages_local(tfg in workload(), seed in any::<u64>()) {
+        let topo = GeneralizedHypercube::binary(4).unwrap();
+        let alloc = random(&tfg, &topo, seed);
+        let cost = alloc.comm_cost(&tfg, &topo);
+        let all_local = tfg
+            .messages()
+            .iter()
+            .all(|m| alloc.node_of(m.src()) == alloc.node_of(m.dst()));
+        prop_assert_eq!(cost == 0, all_local || tfg.num_messages() == 0);
+    }
+
+    #[test]
+    fn distinct_scatter_is_permutation_prefix(seed in any::<u64>()) {
+        let tfg = sr_tfg::dvb(10); // 14 tasks
+        let topo = GeneralizedHypercube::binary(6).unwrap();
+        let a = random_distinct(&tfg, &topo, seed).unwrap();
+        let distinct: std::collections::HashSet<_> = a.placement().iter().collect();
+        prop_assert_eq!(distinct.len(), tfg.num_tasks());
+    }
+}

@@ -1,0 +1,65 @@
+//! **pipesched** — scheduled routing for task-level pipelining on
+//! distributed-memory multiprocessors.
+//!
+//! An open-source reproduction of Shukla & Agrawal, *"Scheduling Pipelined
+//! Communication in Distributed Memory Multiprocessors for Real-time
+//! Applications"* (ISCA 1991). This umbrella crate re-exports the whole
+//! stack:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`topology`] | `sr-topology` | generalized hypercubes, tori, shortest-path enumeration, dimension-order routing |
+//! | [`tfg`] | `sr-tfg` | task-flow graphs, the DVB benchmark, message time bounds |
+//! | [`lp`] | `sr-lp` | two-phase simplex LP solver |
+//! | [`mapping`] | `sr-mapping` | task-to-node allocation strategies |
+//! | [`wormhole`] | `sr-wormhole` | discrete-event wormhole-routing simulator (the baseline that exhibits output inconsistency) |
+//! | [`sync`] | `sr-sync` | CP clock-drift models, sync-protocol simulation, guard-time sizing |
+//! | [`core`] | `sr-core` | the scheduled-routing compiler and verifier |
+//!
+//! # The 30-second tour
+//!
+//! ```
+//! use sr::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's workhorse configuration: DVB on a binary 6-cube.
+//! let cube = GeneralizedHypercube::binary(6)?;
+//! let tfg = dvb_uniform(6);
+//! let alloc = sr::mapping::greedy(&tfg, &cube);
+//! let timing = Timing::calibrated_dvb(128.0);
+//!
+//! // Wormhole routing: simulate and inspect the output-interval spread.
+//! let wr = WormholeSim::new(&cube, &tfg, &alloc, &timing)?;
+//! let result = wr.run(75.0, &SimConfig::default())?;
+//! println!("WR intervals: {:?}", result.interval_stats());
+//!
+//! // Scheduled routing: compile a contention-free schedule for the same
+//! // period and verify it.
+//! let sched = compile(&cube, &tfg, &alloc, &timing, 75.0, &CompileConfig::default())?;
+//! verify(&sched, &cube, &tfg)?;
+//! assert!(sched.peak_utilization() <= 1.0 + 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sr_core as core;
+pub use sr_lp as lp;
+pub use sr_mapping as mapping;
+pub use sr_sync as sync;
+pub use sr_tfg as tfg;
+pub use sr_topology as topology;
+pub use sr_wormhole as wormhole;
+
+/// The most common imports, for `use sr::prelude::*`.
+pub mod prelude {
+    pub use sr_core::{compile, verify, CompileConfig, CompileError, Schedule};
+    pub use sr_mapping::Allocation;
+    pub use sr_tfg::{
+        assign_time_bounds, dvb, dvb_uniform, TaskFlowGraph, TfgBuilder, Timing, WindowPolicy,
+    };
+    pub use sr_topology::{GeneralizedHypercube, LinkId, NodeId, Path, Topology, Torus};
+    pub use sr_wormhole::{SimConfig, SimResult, Stats, WormholeSim};
+}

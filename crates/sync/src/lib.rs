@@ -1,0 +1,411 @@
+//! Communication-processor clock synchronization.
+//!
+//! Scheduled routing's switching schedules are executed *independently* by
+//! every CP, so their clocks must agree: the paper (§7) proposes letting "a
+//! time interval equal to or greater than **twice the maximum difference
+//! between two clocks** elapse before starting transmission" and asks that
+//! "the tightness of CP synchronization required should be studied", with
+//! synchronization achieved "by periodic synchronizing messages".
+//!
+//! This crate provides that study substrate:
+//!
+//! * a **drifting-clock model** ([`Clock`], [`ClockEnsemble`]): each CP's
+//!   oscillator runs at `1 + drift` with an initial offset;
+//! * a **spanning-tree synchronization protocol** ([`simulate_sync`]): a
+//!   master's timestamp propagates over a BFS tree of the real topology;
+//!   each hop adds bounded delay jitter the receiver cannot observe, so
+//!   residual error accumulates with tree depth and then grows with drift
+//!   until the next round;
+//! * **guard-time sizing** ([`SyncOutcome::required_guard`]): the paper's
+//!   `2 × max skew` rule, ready to feed into
+//!   `sr_core::CompileConfig::guard_time`.
+//!
+//! # Examples
+//!
+//! ```
+//! use sr_sync::{ClockEnsemble, SyncConfig, simulate_sync};
+//! use sr_topology::{GeneralizedHypercube, NodeId, Topology};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cube = GeneralizedHypercube::binary(6)?;
+//! let clocks = ClockEnsemble::random(cube.num_nodes(), 1, 50.0, 5.0);
+//! let outcome = simulate_sync(&cube, NodeId(0), &clocks, &SyncConfig::default(), 20, 9);
+//! println!("skew ≤ {:.3} µs -> guard {:.3} µs",
+//!          outcome.max_skew(), outcome.required_guard());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sr_topology::{NodeId, Topology};
+
+/// One CP's free-running oscillator: at true time `t` (µs) it reads
+/// `t · (1 + drift) + offset`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Clock {
+    /// Fractional rate error (e.g. `50e-6` = 50 ppm fast).
+    pub drift: f64,
+    /// Initial offset at `t = 0`, µs.
+    pub offset: f64,
+}
+
+impl Clock {
+    /// The clock's reading at true time `t`, µs.
+    pub fn read(&self, t: f64) -> f64 {
+        t * (1.0 + self.drift) + self.offset
+    }
+}
+
+/// The clocks of every CP in the machine, indexable by [`NodeId`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockEnsemble {
+    clocks: Vec<Clock>,
+}
+
+impl ClockEnsemble {
+    /// Clocks with uniformly random drifts in `±max_drift_ppm` and offsets
+    /// in `±max_offset` µs (deterministic per `seed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0` or a bound is negative/non-finite.
+    pub fn random(nodes: usize, seed: u64, max_drift_ppm: f64, max_offset: f64) -> Self {
+        assert!(nodes > 0, "need at least one clock");
+        assert!(
+            max_drift_ppm >= 0.0 && max_drift_ppm.is_finite(),
+            "drift bound must be a non-negative finite ppm value"
+        );
+        assert!(
+            max_offset >= 0.0 && max_offset.is_finite(),
+            "offset bound must be non-negative and finite"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clocks = (0..nodes)
+            .map(|_| Clock {
+                drift: rng.gen_range(-max_drift_ppm..=max_drift_ppm) * 1e-6,
+                offset: rng.gen_range(-max_offset..=max_offset),
+            })
+            .collect();
+        ClockEnsemble { clocks }
+    }
+
+    /// Identical perfect clocks (zero drift, zero offset).
+    pub fn perfect(nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one clock");
+        ClockEnsemble {
+            clocks: vec![
+                Clock {
+                    drift: 0.0,
+                    offset: 0.0
+                };
+                nodes
+            ],
+        }
+    }
+
+    /// The clock of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn clock(&self, node: NodeId) -> Clock {
+        self.clocks[node.index()]
+    }
+
+    /// Number of clocks.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// `true` when the ensemble is empty (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+
+    /// Worst pairwise skew of the *uncorrected* clocks at true time `t`.
+    pub fn raw_skew(&self, t: f64) -> f64 {
+        let readings: Vec<f64> = self.clocks.iter().map(|c| c.read(t)).collect();
+        let max = readings.iter().cloned().fold(f64::MIN, f64::max);
+        let min = readings.iter().cloned().fold(f64::MAX, f64::min);
+        max - min
+    }
+}
+
+/// Parameters of the periodic synchronization protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyncConfig {
+    /// Interval between sync rounds, µs.
+    pub interval: f64,
+    /// Nominal per-hop propagation+processing delay of a sync message, µs
+    /// (known to and compensated by the receivers).
+    pub hop_delay: f64,
+    /// Worst-case unobservable per-hop delay jitter, µs (±).
+    pub hop_jitter: f64,
+}
+
+impl Default for SyncConfig {
+    /// 1 ms rounds, 0.1 µs nominal hop delay, ±0.05 µs jitter — loose
+    /// early-90s figures.
+    fn default() -> Self {
+        SyncConfig {
+            interval: 1000.0,
+            hop_delay: 0.1,
+            hop_jitter: 0.05,
+        }
+    }
+}
+
+/// The result of simulating the protocol for several rounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncOutcome {
+    per_round_skew: Vec<f64>,
+    tree_depth: usize,
+}
+
+impl SyncOutcome {
+    /// Worst pairwise corrected-clock skew observed in each round (the
+    /// maximum over the round's duration), µs.
+    pub fn per_round_skew(&self) -> &[f64] {
+        &self.per_round_skew
+    }
+
+    /// The worst skew across all rounds, µs.
+    pub fn max_skew(&self) -> f64 {
+        self.per_round_skew.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Depth of the synchronization tree used.
+    pub fn tree_depth(&self) -> usize {
+        self.tree_depth
+    }
+
+    /// The paper's guard rule: transmissions should wait **twice the
+    /// maximum difference between two clocks** — feed this into
+    /// `sr_core::CompileConfig::guard_time`.
+    pub fn required_guard(&self) -> f64 {
+        2.0 * self.max_skew()
+    }
+}
+
+/// Simulates `rounds` rounds of spanning-tree synchronization.
+///
+/// Each round, the `master`'s clock value propagates along a BFS tree of
+/// `topo`; every hop delays it by `hop_delay ± jitter` (jitter drawn per
+/// hop per round, deterministic for `seed`), and the receiver corrects its
+/// clock assuming the nominal delay — so after the round, node `v`'s
+/// correction error is the sum of its path's jitters, and the error then
+/// grows by relative drift until the next round. The reported per-round
+/// skew is the worst pairwise difference at the *end* of the round (the
+/// instant before re-synchronization, when skew is largest).
+///
+/// # Panics
+///
+/// Panics if the ensemble size differs from the topology's node count or
+/// `master` is out of range.
+pub fn simulate_sync(
+    topo: &dyn Topology,
+    master: NodeId,
+    clocks: &ClockEnsemble,
+    config: &SyncConfig,
+    rounds: usize,
+    seed: u64,
+) -> SyncOutcome {
+    assert_eq!(
+        clocks.len(),
+        topo.num_nodes(),
+        "one clock per node required"
+    );
+    assert!(master.index() < topo.num_nodes(), "master out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // BFS tree from the master.
+    let mut parent: Vec<Option<NodeId>> = vec![None; topo.num_nodes()];
+    let mut depth = vec![usize::MAX; topo.num_nodes()];
+    depth[master.index()] = 0;
+    let mut queue = std::collections::VecDeque::from([master]);
+    let mut max_depth = 0;
+    while let Some(v) = queue.pop_front() {
+        for &w in topo.neighbors(v) {
+            if depth[w.index()] == usize::MAX {
+                depth[w.index()] = depth[v.index()] + 1;
+                max_depth = max_depth.max(depth[w.index()]);
+                parent[w.index()] = Some(v);
+                queue.push_back(w);
+            }
+        }
+    }
+
+    // Corrected-clock error of each node relative to the master, µs.
+    let mut error: Vec<f64> = (0..topo.num_nodes())
+        .map(|i| clocks.clocks[i].offset - clocks.clock(master).offset)
+        .collect();
+    let mut per_round_skew = Vec::with_capacity(rounds);
+
+    // Process nodes in BFS order so parents sync before children.
+    let order: Vec<NodeId> = {
+        let mut idx: Vec<usize> = (0..topo.num_nodes())
+            .filter(|&i| depth[i] != usize::MAX)
+            .collect();
+        idx.sort_by_key(|&i| depth[i]);
+        idx.into_iter().map(NodeId).collect()
+    };
+
+    for _ in 0..rounds {
+        // Sync: each node inherits its parent's post-sync error plus this
+        // hop's unobservable jitter.
+        for &v in &order {
+            if let Some(p) = parent[v.index()] {
+                let jitter = rng.gen_range(-config.hop_jitter..=config.hop_jitter);
+                error[v.index()] = error[p.index()] + jitter;
+            } else {
+                error[v.index()] = 0.0;
+            }
+        }
+        // Drift until the end of the round.
+        for (i, e) in error.iter_mut().enumerate() {
+            *e += (clocks.clocks[i].drift - clocks.clock(master).drift) * config.interval;
+        }
+        let max = error.iter().cloned().fold(f64::MIN, f64::max);
+        let min = error.iter().cloned().fold(f64::MAX, f64::min);
+        per_round_skew.push(max - min);
+    }
+
+    SyncOutcome {
+        per_round_skew,
+        tree_depth: max_depth,
+    }
+}
+
+/// Analytic worst-case bound on post-sync skew for the same protocol:
+/// `2·(depth·jitter + max_relative_drift·interval)` is an upper bound on
+/// the worst pairwise difference at round end (each of two nodes can err
+/// by `depth·jitter` in opposite directions plus opposite drift).
+pub fn skew_bound(tree_depth: usize, config: &SyncConfig, max_drift_ppm: f64) -> f64 {
+    2.0 * (tree_depth as f64 * config.hop_jitter + 2.0 * max_drift_ppm * 1e-6 * config.interval)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_topology::{GeneralizedHypercube, Torus};
+
+    #[test]
+    fn perfect_clocks_stay_synchronized() {
+        let cube = GeneralizedHypercube::binary(4).unwrap();
+        let clocks = ClockEnsemble::perfect(16);
+        assert_eq!(clocks.raw_skew(1e6), 0.0);
+        let out = simulate_sync(
+            &cube,
+            NodeId(0),
+            &clocks,
+            &SyncConfig {
+                hop_jitter: 0.0,
+                ..SyncConfig::default()
+            },
+            10,
+            1,
+        );
+        assert_eq!(out.max_skew(), 0.0);
+        assert_eq!(out.required_guard(), 0.0);
+    }
+
+    #[test]
+    fn drift_alone_grows_between_rounds() {
+        let cube = GeneralizedHypercube::binary(3).unwrap();
+        let clocks = ClockEnsemble::random(8, 5, 100.0, 0.0); // ±100 ppm, no offset
+        let cfg = SyncConfig {
+            interval: 1000.0,
+            hop_delay: 0.0,
+            hop_jitter: 0.0,
+        };
+        let out = simulate_sync(&cube, NodeId(0), &clocks, &cfg, 5, 1);
+        // With zero jitter, the per-round skew is purely the drift spread
+        // over one interval: bounded by 2 × 100 ppm × 1000 µs = 0.2 µs.
+        assert!(out.max_skew() > 0.0);
+        assert!(out.max_skew() <= 0.2 + 1e-12, "skew {}", out.max_skew());
+        // Identical every round (drift is constant).
+        let s = out.per_round_skew();
+        assert!(s.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12));
+    }
+
+    #[test]
+    fn jitter_accumulates_with_tree_depth() {
+        // An 8-ring (depth 4) accumulates more jitter than a 3-cube
+        // (depth 3) under identical parameters — on average and in bound.
+        let ring = Torus::new(&[8]).unwrap();
+        let cube = GeneralizedHypercube::binary(3).unwrap();
+        let clocks = ClockEnsemble::perfect(8);
+        let cfg = SyncConfig {
+            interval: 1000.0,
+            hop_delay: 0.1,
+            hop_jitter: 0.5,
+        };
+        let ring_out = simulate_sync(&ring, NodeId(0), &clocks, &cfg, 50, 1);
+        let cube_out = simulate_sync(&cube, NodeId(0), &clocks, &cfg, 50, 1);
+        assert_eq!(ring_out.tree_depth(), 4);
+        assert_eq!(cube_out.tree_depth(), 3);
+        assert!(
+            ring_out.max_skew() <= skew_bound(4, &cfg, 0.0) + 1e-9,
+            "ring skew {} above bound",
+            ring_out.max_skew()
+        );
+        assert!(cube_out.max_skew() <= skew_bound(3, &cfg, 0.0) + 1e-9);
+    }
+
+    #[test]
+    fn simulated_skew_within_analytic_bound() {
+        let cube = GeneralizedHypercube::binary(6).unwrap();
+        let clocks = ClockEnsemble::random(64, 3, 50.0, 10.0);
+        let cfg = SyncConfig::default();
+        let out = simulate_sync(&cube, NodeId(0), &clocks, &cfg, 40, 7);
+        let bound = skew_bound(out.tree_depth(), &cfg, 50.0);
+        assert!(
+            out.max_skew() <= bound + 1e-9,
+            "skew {} exceeds bound {bound}",
+            out.max_skew()
+        );
+        // Initial offsets are corrected away: skew is far below the raw one.
+        assert!(out.max_skew() < clocks.raw_skew(0.0));
+    }
+
+    #[test]
+    fn shorter_interval_tightens_skew() {
+        let cube = GeneralizedHypercube::binary(4).unwrap();
+        let clocks = ClockEnsemble::random(16, 9, 200.0, 5.0);
+        let fast = SyncConfig {
+            interval: 100.0,
+            hop_delay: 0.0,
+            hop_jitter: 0.0,
+        };
+        let slow = SyncConfig {
+            interval: 10_000.0,
+            hop_delay: 0.0,
+            hop_jitter: 0.0,
+        };
+        let f = simulate_sync(&cube, NodeId(0), &clocks, &fast, 10, 1);
+        let s = simulate_sync(&cube, NodeId(0), &clocks, &slow, 10, 1);
+        assert!(f.max_skew() < s.max_skew());
+        assert!(f.required_guard() < s.required_guard());
+    }
+
+    #[test]
+    #[should_panic(expected = "one clock per node")]
+    fn ensemble_size_checked() {
+        let cube = GeneralizedHypercube::binary(3).unwrap();
+        let clocks = ClockEnsemble::perfect(4);
+        let _ = simulate_sync(&cube, NodeId(0), &clocks, &SyncConfig::default(), 1, 1);
+    }
+
+    #[test]
+    fn clock_reading() {
+        let c = Clock {
+            drift: 100e-6,
+            offset: 2.0,
+        };
+        assert!((c.read(10_000.0) - 10_003.0).abs() < 1e-9);
+    }
+}

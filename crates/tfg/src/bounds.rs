@@ -1,0 +1,457 @@
+use crate::{MessageId, TaskFlowGraph, TaskId, TfgError, Timing};
+
+/// Comparison tolerance for times, in µs.
+pub(crate) const TIME_EPS: f64 = 1e-9;
+
+/// How long a message's transmission window is allowed to be.
+///
+/// The paper (§4) gives every message a window as long as the longest task:
+/// "by allowing each message transmission to be as long as the longest task,
+/// latency may increase, but the maximum possible throughput remains the
+/// same". That is [`WindowPolicy::LongestTask`], the default. The other
+/// policies are useful for experiments on the slack/latency trade-off.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[non_exhaustive]
+pub enum WindowPolicy {
+    /// Window = `τ_c`, the longest task execution time (paper default).
+    #[default]
+    LongestTask,
+    /// Window = the invocation period `τ_in` (maximum slack).
+    FullPeriod,
+    /// Window = the message's own transmission time (zero slack).
+    Tight,
+    /// Window = an explicit duration in µs.
+    Fixed(f64),
+}
+
+/// The release/deadline window of one message, folded into `[0, τ_in)`.
+///
+/// Because every message is regenerated once per period, the paper observes
+/// that "these time bounds enable consideration of all successively generated
+/// messages … by observing only a single time frame of `[0, τ_in]`". A window
+/// whose unfolded deadline passes the frame end wraps around: the message is
+/// then active in `[0, deadline]` ∪ `[release, τ_in]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MessageWindow {
+    release: f64,
+    window: f64,
+    duration: f64,
+    period: f64,
+}
+
+impl MessageWindow {
+    pub(crate) fn new(release_abs: f64, window: f64, duration: f64, period: f64) -> Self {
+        debug_assert!(period > 0.0);
+        let release = release_abs.rem_euclid(period);
+        // Guard against `rem_euclid` returning `period` for values that are
+        // tiny negative epsilons below a multiple of the period.
+        let release = if release >= period - TIME_EPS {
+            0.0
+        } else {
+            release
+        };
+        MessageWindow {
+            release,
+            window,
+            duration,
+            period,
+        }
+    }
+
+    /// Release time `r_i` folded into `[0, τ_in)`: the instant within the
+    /// frame at which the message becomes available for transmission.
+    pub fn release(&self) -> f64 {
+        self.release
+    }
+
+    /// Deadline `d_i` folded into `[0, τ_in)`.
+    pub fn deadline(&self) -> f64 {
+        if self.covers_period() {
+            self.period
+        } else {
+            let d = (self.release + self.window).rem_euclid(self.period);
+            if d < TIME_EPS {
+                self.period
+            } else {
+                d
+            }
+        }
+    }
+
+    /// Allowed transmission span length (unfolded `d_i − r_i`), in µs.
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+
+    /// The message's transmission time at the configured bandwidth, in µs.
+    pub fn duration(&self) -> f64 {
+        self.duration
+    }
+
+    /// The invocation period the window was folded into, in µs.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Slack: window length minus transmission time.
+    pub fn slack(&self) -> f64 {
+        self.window - self.duration
+    }
+
+    /// `true` when the message must occupy its whole window (paper: an
+    /// equality in constraint (2); such messages create utilization
+    /// *hot-spots*).
+    pub fn is_no_slack(&self) -> bool {
+        self.slack() <= TIME_EPS
+    }
+
+    /// `true` when the window spans the entire period frame.
+    pub fn covers_period(&self) -> bool {
+        self.window >= self.period - TIME_EPS
+    }
+
+    /// `true` when the folded window wraps past the frame end.
+    pub fn wraps(&self) -> bool {
+        !self.covers_period() && self.release + self.window > self.period + TIME_EPS
+    }
+
+    /// The active spans within `[0, τ_in]`, in ascending order (one span
+    /// normally, two when the window wraps).
+    pub fn spans(&self) -> Vec<(f64, f64)> {
+        if self.covers_period() {
+            vec![(0.0, self.period)]
+        } else if self.wraps() {
+            let tail = self.release + self.window - self.period;
+            vec![(0.0, tail), (self.release, self.period)]
+        } else {
+            vec![(self.release, self.release + self.window)]
+        }
+    }
+
+    /// `true` when the message may transmit somewhere inside `[a, b]`
+    /// (overlap longer than the tolerance).
+    pub fn active_during(&self, a: f64, b: f64) -> bool {
+        self.spans()
+            .iter()
+            .any(|&(s, e)| (b.min(e) - a.max(s)) > TIME_EPS)
+    }
+}
+
+/// The complete time-bound assignment for a TFG at a given period.
+///
+/// Produced by [`assign_time_bounds`]; consumed by the scheduled-routing
+/// compiler.
+#[derive(Debug, Clone)]
+pub struct TimeBounds {
+    period: f64,
+    windows: Vec<MessageWindow>,
+    task_start: Vec<f64>,
+    task_end: Vec<f64>,
+    latency: f64,
+}
+
+impl TimeBounds {
+    /// The invocation period `τ_in`, in µs.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// The window of a message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn window(&self, id: MessageId) -> &MessageWindow {
+        &self.windows[id.0]
+    }
+
+    /// All windows, indexable by [`MessageId`].
+    pub fn windows(&self) -> &[MessageWindow] {
+        &self.windows
+    }
+
+    /// Scheduled start of a task within invocation 0 (unfolded), in µs.
+    pub fn task_start(&self, id: TaskId) -> f64 {
+        self.task_start[id.0]
+    }
+
+    /// Scheduled completion of a task within invocation 0 (unfolded), in µs.
+    pub fn task_end(&self, id: TaskId) -> f64 {
+        self.task_end[id.0]
+    }
+
+    /// The invocation latency implied by the time bounds: the completion time
+    /// of the last output task when every message is granted its full window.
+    pub fn latency(&self) -> f64 {
+        self.latency
+    }
+}
+
+/// Assigns release/deadline windows to every message of `tfg` for pipelining
+/// with period `period` (paper §4).
+///
+/// In invocation 0, input tasks start at time 0; each message is released at
+/// its source task's completion and must be fully delivered one window later
+/// (window length per `policy`, never less than the message's own
+/// transmission time); each task starts when the windows of all its incoming
+/// messages close. All times are then folded into the single frame
+/// `[0, period)`.
+///
+/// # Errors
+///
+/// * [`TfgError::PeriodTooShort`] if `period < τ_c` (pipelining impossible —
+///   infinite accumulation at the slowest task);
+/// * [`TfgError::MessageExceedsPeriod`] if any message needs longer than the
+///   period to transmit;
+/// * [`TfgError::InvalidTiming`] for a non-positive/non-finite period or
+///   fixed window.
+///
+/// # Examples
+///
+/// ```
+/// use sr_tfg::{assign_time_bounds, TfgBuilder, Timing, WindowPolicy};
+///
+/// # fn main() -> Result<(), sr_tfg::TfgError> {
+/// let mut b = TfgBuilder::new();
+/// let a = b.task("a", 500);
+/// let c = b.task("c", 500);
+/// b.message("m", a, c, 640)?;
+/// let tfg = b.build()?;
+///
+/// let timing = Timing::new(64.0, 10.0); // τ_c = 50 µs
+/// let bounds = assign_time_bounds(&tfg, &timing, 100.0, WindowPolicy::LongestTask)?;
+/// let w = bounds.window(sr_tfg::MessageId(0));
+/// assert_eq!(w.release(), 50.0);       // folded source completion
+/// assert_eq!(w.deadline(), 100.0);     // one τ_c later
+/// assert_eq!(w.duration(), 10.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn assign_time_bounds(
+    tfg: &TaskFlowGraph,
+    timing: &Timing,
+    period: f64,
+    policy: WindowPolicy,
+) -> Result<TimeBounds, TfgError> {
+    if !(period.is_finite() && period > 0.0) {
+        return Err(TfgError::InvalidTiming {
+            what: "period",
+            value: period,
+        });
+    }
+    let tau_c = timing.longest_task(tfg);
+    if period < tau_c - TIME_EPS {
+        return Err(TfgError::PeriodTooShort {
+            period,
+            longest_task: tau_c,
+        });
+    }
+    let base_window = match policy {
+        WindowPolicy::LongestTask => tau_c,
+        WindowPolicy::FullPeriod => period,
+        WindowPolicy::Tight => 0.0, // lifted to each message's duration below
+        WindowPolicy::Fixed(w) => {
+            if !(w.is_finite() && w > 0.0) {
+                return Err(TfgError::InvalidTiming {
+                    what: "fixed window",
+                    value: w,
+                });
+            }
+            w
+        }
+    };
+
+    let n = tfg.num_tasks();
+    let mut task_start = vec![0.0f64; n];
+    let mut task_end = vec![0.0f64; n];
+    let mut window_len = vec![0.0f64; tfg.num_messages()];
+    let mut release_abs = vec![0.0f64; tfg.num_messages()];
+
+    for (id, msg) in tfg.iter_messages() {
+        let duration = timing.tx_time(msg);
+        if duration > period + TIME_EPS {
+            return Err(TfgError::MessageExceedsPeriod {
+                message: id,
+                duration,
+                period,
+            });
+        }
+        window_len[id.0] = base_window.max(duration);
+    }
+
+    for &t in tfg.topological_order() {
+        let ready = tfg
+            .incoming(t)
+            .iter()
+            .map(|&m| {
+                let src = tfg.message(m).src();
+                task_end[src.0] + window_len[m.0]
+            })
+            .fold(0.0, f64::max);
+        task_start[t.0] = ready;
+        task_end[t.0] = ready + timing.exec_time(tfg.task(t));
+        for &m in tfg.outgoing(t) {
+            release_abs[m.0] = task_end[t.0];
+        }
+    }
+
+    let latency = tfg
+        .outputs()
+        .iter()
+        .map(|&t| task_end[t.0])
+        .fold(0.0, f64::max);
+
+    let windows = (0..tfg.num_messages())
+        .map(|i| {
+            let duration = timing.tx_time(tfg.message(MessageId(i)));
+            MessageWindow::new(release_abs[i], window_len[i], duration, period)
+        })
+        .collect();
+
+    Ok(TimeBounds {
+        period,
+        windows,
+        task_start,
+        task_end,
+        latency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TfgBuilder;
+
+    fn chain3(bytes: u64) -> TaskFlowGraph {
+        let mut b = TfgBuilder::new();
+        let a = b.task("a", 500);
+        let c = b.task("c", 500);
+        let d = b.task("d", 500);
+        b.message("ac", a, c, bytes).unwrap();
+        b.message("cd", c, d, bytes).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rejects_short_period() {
+        let g = chain3(64);
+        let t = Timing::new(64.0, 10.0); // τ_c = 50
+        let err = assign_time_bounds(&g, &t, 40.0, WindowPolicy::LongestTask).unwrap_err();
+        assert!(matches!(err, TfgError::PeriodTooShort { .. }));
+    }
+
+    #[test]
+    fn rejects_oversized_message() {
+        let g = chain3(64_000); // 1000 µs at B=64
+        let t = Timing::new(64.0, 10.0);
+        let err = assign_time_bounds(&g, &t, 100.0, WindowPolicy::LongestTask).unwrap_err();
+        assert!(matches!(err, TfgError::MessageExceedsPeriod { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_period() {
+        let g = chain3(64);
+        let t = Timing::new(64.0, 10.0);
+        assert!(assign_time_bounds(&g, &t, f64::NAN, WindowPolicy::LongestTask).is_err());
+        assert!(assign_time_bounds(&g, &t, -5.0, WindowPolicy::LongestTask).is_err());
+    }
+
+    #[test]
+    fn max_throughput_windows_cover_period() {
+        // At τ_in = τ_c every window covers the whole frame.
+        let g = chain3(640);
+        let t = Timing::new(64.0, 10.0); // τ_c = 50, durations 10
+        let b = assign_time_bounds(&g, &t, 50.0, WindowPolicy::LongestTask).unwrap();
+        for w in b.windows() {
+            assert!(w.covers_period());
+            assert_eq!(w.spans(), vec![(0.0, 50.0)]);
+        }
+    }
+
+    #[test]
+    fn folded_release_and_wrap() {
+        let g = chain3(640);
+        let t = Timing::new(64.0, 10.0); // exec 50 each, τ_c = 50
+                                         // Period 80: releases at 50 and 50+50+50 = 150 -> folded 70, window 50
+                                         // wraps to [0,40] ∪ [70,80].
+        let b = assign_time_bounds(&g, &t, 80.0, WindowPolicy::LongestTask).unwrap();
+        let w0 = b.window(MessageId(0));
+        assert!((w0.release() - 50.0).abs() < 1e-9);
+        assert!(w0.wraps());
+        let spans = w0.spans();
+        assert_eq!(spans.len(), 2);
+        assert!((spans[0].1 - 20.0).abs() < 1e-9);
+        assert!((spans[1].0 - 50.0).abs() < 1e-9);
+
+        let w1 = b.window(MessageId(1));
+        assert!((w1.release() - 70.0).abs() < 1e-9);
+        assert!(w1.wraps());
+    }
+
+    #[test]
+    fn task_schedule_accumulates_windows() {
+        let g = chain3(640);
+        let t = Timing::new(64.0, 10.0);
+        let b = assign_time_bounds(&g, &t, 200.0, WindowPolicy::LongestTask).unwrap();
+        assert_eq!(b.task_start(TaskId(0)), 0.0);
+        assert_eq!(b.task_end(TaskId(0)), 50.0);
+        assert_eq!(b.task_start(TaskId(1)), 100.0); // 50 + window 50
+        assert_eq!(b.task_end(TaskId(2)), 250.0);
+        assert_eq!(b.latency(), 250.0);
+    }
+
+    #[test]
+    fn tight_policy_gives_zero_slack() {
+        let g = chain3(640);
+        let t = Timing::new(64.0, 10.0);
+        let b = assign_time_bounds(&g, &t, 200.0, WindowPolicy::Tight).unwrap();
+        for w in b.windows() {
+            assert!(w.is_no_slack());
+            assert!((w.window() - 10.0).abs() < 1e-9);
+        }
+        // Latency shrinks to the true critical path.
+        assert!((b.latency() - t.critical_path(&g)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_never_below_duration() {
+        // A message longer than τ_c still gets a window ≥ its duration.
+        let mut builder = TfgBuilder::new();
+        let a = builder.task("a", 10);
+        let c = builder.task("c", 10);
+        builder.message("big", a, c, 6400).unwrap(); // 100 µs at B=64
+        let g = builder.build().unwrap();
+        let t = Timing::new(64.0, 10.0); // τ_c = 1 µs
+        let b = assign_time_bounds(&g, &t, 150.0, WindowPolicy::LongestTask).unwrap();
+        let w = b.window(MessageId(0));
+        assert!(w.window() >= w.duration());
+    }
+
+    #[test]
+    fn active_during_queries() {
+        let w = MessageWindow::new(70.0, 50.0, 10.0, 80.0); // [0,40] ∪ [70,80]
+        assert!(w.active_during(0.0, 10.0));
+        assert!(w.active_during(75.0, 80.0));
+        assert!(!w.active_during(45.0, 65.0));
+        assert!(!w.active_during(40.0, 70.0)); // touches endpoints only
+    }
+
+    #[test]
+    fn deadline_reporting() {
+        let w = MessageWindow::new(10.0, 30.0, 5.0, 100.0);
+        assert_eq!(w.deadline(), 40.0);
+        let wrap = MessageWindow::new(90.0, 30.0, 5.0, 100.0);
+        assert_eq!(wrap.deadline(), 20.0);
+        let full = MessageWindow::new(25.0, 100.0, 5.0, 100.0);
+        assert_eq!(full.deadline(), 100.0);
+    }
+
+    #[test]
+    fn fixed_policy_validated() {
+        let g = chain3(640);
+        let t = Timing::new(64.0, 10.0);
+        assert!(assign_time_bounds(&g, &t, 100.0, WindowPolicy::Fixed(-1.0)).is_err());
+        let b = assign_time_bounds(&g, &t, 100.0, WindowPolicy::Fixed(20.0)).unwrap();
+        assert!((b.window(MessageId(0)).window() - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,119 @@
+//! Graphviz DOT export for task-flow graphs.
+
+use std::fmt::Write;
+
+use crate::TaskFlowGraph;
+
+impl TaskFlowGraph {
+    /// Renders the graph in Graphviz DOT format: tasks as nodes labeled
+    /// `name\nops`, messages as edges labeled `name (bytes B)`. Input tasks
+    /// are drawn as double circles, output tasks as double octagons.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let g = sr_tfg::generators::chain(2, 100, 64);
+    /// let dot = g.to_dot("pipeline");
+    /// assert!(dot.starts_with("digraph pipeline {"));
+    /// assert!(dot.contains("s0"));
+    /// ```
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph {} {{", sanitize(name));
+        let _ = writeln!(s, "  rankdir=TB;");
+        let _ = writeln!(s, "  node [shape=ellipse, fontname=\"Helvetica\"];");
+        for (id, task) in self.iter_tasks() {
+            let shape = if self.inputs().contains(&id) {
+                "doublecircle"
+            } else if self.outputs().contains(&id) {
+                "doubleoctagon"
+            } else {
+                "ellipse"
+            };
+            let _ = writeln!(
+                s,
+                "  t{} [label=\"{}\\n{} ops\", shape={shape}];",
+                id.index(),
+                escape(task.name()),
+                task.ops()
+            );
+        }
+        for (_, m) in self.iter_messages() {
+            let _ = writeln!(
+                s,
+                "  t{} -> t{} [label=\"{} ({} B)\"];",
+                m.src().index(),
+                m.dst().index(),
+                escape(m.name()),
+                m.bytes()
+            );
+        }
+        let _ = writeln!(s, "}}");
+        s
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() || cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("g_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{dvb, generators};
+
+    #[test]
+    fn dot_contains_all_tasks_and_messages() {
+        let g = dvb(3);
+        let dot = g.to_dot("dvb");
+        for task in g.tasks() {
+            assert!(dot.contains(task.name()), "missing task {}", task.name());
+        }
+        for m in g.messages() {
+            assert!(dot.contains(m.name()), "missing message {}", m.name());
+        }
+        assert_eq!(dot.matches(" -> ").count(), g.num_messages());
+    }
+
+    #[test]
+    fn dot_marks_inputs_and_outputs() {
+        let g = generators::chain(3, 10, 10);
+        let dot = g.to_dot("chain");
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("doubleoctagon"));
+    }
+
+    #[test]
+    fn dot_name_sanitized() {
+        let g = generators::chain(2, 10, 10);
+        assert!(g.to_dot("8x8 torus!").starts_with("digraph g_8x8_torus_ {"));
+        assert!(g.to_dot("").starts_with("digraph g_ {"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let mut b = crate::TfgBuilder::new();
+        let a = b.task("a\"quote", 1);
+        let c = b.task("c", 1);
+        b.message("m", a, c, 1).unwrap();
+        let g = b.build().unwrap();
+        assert!(g.to_dot("q").contains("a\\\"quote"));
+    }
+}

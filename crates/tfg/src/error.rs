@@ -1,0 +1,128 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::{MessageId, TaskId};
+
+/// Errors arising while building or analyzing a task-flow graph.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TfgError {
+    /// The graph has no tasks.
+    Empty,
+    /// A message references a task id that does not exist.
+    UnknownTask {
+        /// The out-of-range task id.
+        task: TaskId,
+        /// Number of tasks actually present.
+        num_tasks: usize,
+    },
+    /// A message's source equals its destination.
+    SelfLoop {
+        /// The offending task.
+        task: TaskId,
+    },
+    /// A zero-byte message was declared.
+    ZeroBytes {
+        /// Name of the offending message.
+        name: String,
+    },
+    /// The precedence relation contains a cycle, so the graph is not a DAG.
+    Cycle {
+        /// A task known to lie on a cycle.
+        witness: TaskId,
+    },
+    /// Time-bound assignment was asked for a period shorter than the longest
+    /// task `τ_c`, which the paper shows leads to infinite accumulation at
+    /// the slowest task's input.
+    PeriodTooShort {
+        /// The rejected period, in µs.
+        period: f64,
+        /// The longest task execution time `τ_c`, in µs.
+        longest_task: f64,
+    },
+    /// A message's transmission time exceeds the invocation period, so it can
+    /// never be pipelined at that rate.
+    MessageExceedsPeriod {
+        /// The offending message.
+        message: MessageId,
+        /// Its transmission time, in µs.
+        duration: f64,
+        /// The invocation period, in µs.
+        period: f64,
+    },
+    /// A non-finite or non-positive timing parameter was supplied.
+    InvalidTiming {
+        /// Description of the offending parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for TfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TfgError::Empty => write!(f, "task-flow graph has no tasks"),
+            TfgError::UnknownTask { task, num_tasks } => {
+                write!(
+                    f,
+                    "message references {task} but only {num_tasks} tasks exist"
+                )
+            }
+            TfgError::SelfLoop { task } => {
+                write!(f, "message from {task} to itself is not allowed")
+            }
+            TfgError::ZeroBytes { name } => {
+                write!(f, "message \"{name}\" transfers zero bytes")
+            }
+            TfgError::Cycle { witness } => {
+                write!(f, "precedence relation has a cycle through {witness}")
+            }
+            TfgError::PeriodTooShort {
+                period,
+                longest_task,
+            } => write!(
+                f,
+                "period {period} µs is shorter than the longest task ({longest_task} µs)"
+            ),
+            TfgError::MessageExceedsPeriod {
+                message,
+                duration,
+                period,
+            } => write!(
+                f,
+                "{message} needs {duration} µs to transmit, longer than the period {period} µs"
+            ),
+            TfgError::InvalidTiming { what, value } => {
+                write!(f, "{what} must be positive and finite, got {value}")
+            }
+        }
+    }
+}
+
+impl Error for TfgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(TfgError::Empty.to_string().contains("no tasks"));
+        assert!(TfgError::Cycle { witness: TaskId(3) }
+            .to_string()
+            .contains("T3"));
+        assert!(TfgError::PeriodTooShort {
+            period: 1.0,
+            longest_task: 2.0
+        }
+        .to_string()
+        .contains("shorter"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<TfgError>();
+    }
+}

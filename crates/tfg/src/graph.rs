@@ -1,0 +1,445 @@
+use crate::{MessageId, TaskId, TfgError};
+
+/// A task: a block of `ops` operations executed sequentially on one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    name: String,
+    ops: u64,
+}
+
+impl Task {
+    /// The task's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of operations the task performs per invocation.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+}
+
+/// A message: `bytes` transferred from `src`'s completion to `dst`'s start.
+///
+/// Identical payloads destined for different tasks are distinct messages at
+/// the application level (paper §2), which is why a message names exactly one
+/// destination task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    name: String,
+    src: TaskId,
+    dst: TaskId,
+    bytes: u64,
+}
+
+impl Message {
+    /// The message's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The producing task.
+    pub fn src(&self) -> TaskId {
+        self.src
+    }
+
+    /// The consuming task.
+    pub fn dst(&self) -> TaskId {
+        self.dst
+    }
+
+    /// Payload size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Incrementally builds a [`TaskFlowGraph`].
+///
+/// # Examples
+///
+/// ```
+/// use sr_tfg::TfgBuilder;
+///
+/// # fn main() -> Result<(), sr_tfg::TfgError> {
+/// let mut b = TfgBuilder::new();
+/// let a = b.task("a", 100);
+/// let c = b.task("c", 300);
+/// b.message("a->c", a, c, 64)?;
+/// let tfg = b.build()?;
+/// assert_eq!(tfg.num_tasks(), 2);
+/// assert_eq!(tfg.inputs(), &[a]);
+/// assert_eq!(tfg.outputs(), &[c]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TfgBuilder {
+    tasks: Vec<Task>,
+    messages: Vec<Message>,
+}
+
+impl TfgBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a task and returns its id.
+    pub fn task(&mut self, name: impl Into<String>, ops: u64) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Task {
+            name: name.into(),
+            ops,
+        });
+        id
+    }
+
+    /// Adds a message from `src` to `dst` and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfgError::UnknownTask`] for out-of-range task ids,
+    /// [`TfgError::SelfLoop`] when `src == dst`, and [`TfgError::ZeroBytes`]
+    /// for an empty payload. Cycles are detected later, in [`Self::build`].
+    pub fn message(
+        &mut self,
+        name: impl Into<String>,
+        src: TaskId,
+        dst: TaskId,
+        bytes: u64,
+    ) -> Result<MessageId, TfgError> {
+        let name = name.into();
+        for task in [src, dst] {
+            if task.0 >= self.tasks.len() {
+                return Err(TfgError::UnknownTask {
+                    task,
+                    num_tasks: self.tasks.len(),
+                });
+            }
+        }
+        if src == dst {
+            return Err(TfgError::SelfLoop { task: src });
+        }
+        if bytes == 0 {
+            return Err(TfgError::ZeroBytes { name });
+        }
+        let id = MessageId(self.messages.len());
+        self.messages.push(Message {
+            name,
+            src,
+            dst,
+            bytes,
+        });
+        Ok(id)
+    }
+
+    /// Validates acyclicity and finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfgError::Empty`] for a task-less graph and
+    /// [`TfgError::Cycle`] when the precedence relation is cyclic.
+    pub fn build(self) -> Result<TaskFlowGraph, TfgError> {
+        TaskFlowGraph::new(self.tasks, self.messages)
+    }
+}
+
+/// A validated task-flow graph `{S_T, S_M}` (paper §2).
+///
+/// Construction is via [`TfgBuilder`]; a built graph is guaranteed acyclic
+/// with all message endpoints in range.
+#[derive(Debug, Clone)]
+pub struct TaskFlowGraph {
+    tasks: Vec<Task>,
+    messages: Vec<Message>,
+    incoming: Vec<Vec<MessageId>>,
+    outgoing: Vec<Vec<MessageId>>,
+    topo: Vec<TaskId>,
+    inputs: Vec<TaskId>,
+    outputs: Vec<TaskId>,
+}
+
+impl TaskFlowGraph {
+    fn new(tasks: Vec<Task>, messages: Vec<Message>) -> Result<Self, TfgError> {
+        if tasks.is_empty() {
+            return Err(TfgError::Empty);
+        }
+        let n = tasks.len();
+        let mut incoming = vec![Vec::new(); n];
+        let mut outgoing = vec![Vec::new(); n];
+        for (i, m) in messages.iter().enumerate() {
+            outgoing[m.src.0].push(MessageId(i));
+            incoming[m.dst.0].push(MessageId(i));
+        }
+        // Kahn's algorithm for topological order / cycle detection.
+        let mut indeg: Vec<usize> = incoming.iter().map(Vec::len).collect();
+        let mut queue: std::collections::VecDeque<TaskId> =
+            (0..n).filter(|&t| indeg[t] == 0).map(TaskId).collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(t) = queue.pop_front() {
+            topo.push(t);
+            for &m in &outgoing[t.0] {
+                let d = messages[m.0].dst;
+                indeg[d.0] -= 1;
+                if indeg[d.0] == 0 {
+                    queue.push_back(d);
+                }
+            }
+        }
+        if topo.len() != n {
+            let witness = TaskId(indeg.iter().position(|&d| d > 0).expect("cycle exists"));
+            return Err(TfgError::Cycle { witness });
+        }
+        let inputs = (0..n)
+            .filter(|&t| incoming[t].is_empty())
+            .map(TaskId)
+            .collect();
+        let outputs = (0..n)
+            .filter(|&t| outgoing[t].is_empty())
+            .map(TaskId)
+            .collect();
+        Ok(TaskFlowGraph {
+            tasks,
+            messages,
+            incoming,
+            outgoing,
+            topo,
+            inputs,
+            outputs,
+        })
+    }
+
+    /// Number of tasks `N_t`.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of messages `N_m`.
+    pub fn num_messages(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// The task with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    /// The message with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn message(&self, id: MessageId) -> &Message {
+        &self.messages[id.0]
+    }
+
+    /// All tasks, indexable by [`TaskId`].
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// All messages, indexable by [`MessageId`].
+    pub fn messages(&self) -> &[Message] {
+        &self.messages
+    }
+
+    /// Iterator over `(id, message)` pairs.
+    pub fn iter_messages(&self) -> impl Iterator<Item = (MessageId, &Message)> {
+        self.messages
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (MessageId(i), m))
+    }
+
+    /// Iterator over `(id, task)` pairs.
+    pub fn iter_tasks(&self) -> impl Iterator<Item = (TaskId, &Task)> {
+        self.tasks.iter().enumerate().map(|(i, t)| (TaskId(i), t))
+    }
+
+    /// Messages arriving at `task`.
+    pub fn incoming(&self, task: TaskId) -> &[MessageId] {
+        &self.incoming[task.0]
+    }
+
+    /// Messages departing from `task`.
+    pub fn outgoing(&self, task: TaskId) -> &[MessageId] {
+        &self.outgoing[task.0]
+    }
+
+    /// Input tasks (no predecessors); they start on external input arrival.
+    pub fn inputs(&self) -> &[TaskId] {
+        &self.inputs
+    }
+
+    /// Output tasks (no successors); their completion ends the invocation.
+    pub fn outputs(&self) -> &[TaskId] {
+        &self.outputs
+    }
+
+    /// Tasks in a topological order of the precedence relation.
+    pub fn topological_order(&self) -> &[TaskId] {
+        &self.topo
+    }
+
+    /// `true` if `a` precedes `b` (a directed path of messages exists).
+    ///
+    /// Computed by forward BFS from `a`; `precedes(t, t)` is `false`.
+    pub fn precedes(&self, a: TaskId, b: TaskId) -> bool {
+        if a == b {
+            return false;
+        }
+        let mut seen = vec![false; self.tasks.len()];
+        let mut stack = vec![a];
+        seen[a.0] = true;
+        while let Some(t) = stack.pop() {
+            for &m in &self.outgoing[t.0] {
+                let d = self.messages[m.0].dst;
+                if d == b {
+                    return true;
+                }
+                if !seen[d.0] {
+                    seen[d.0] = true;
+                    stack.push(d);
+                }
+            }
+        }
+        false
+    }
+
+    /// Total bytes communicated per invocation.
+    pub fn total_bytes(&self) -> u64 {
+        self.messages.iter().map(|m| m.bytes).sum()
+    }
+
+    /// Returns a copy where every task performs `ops` operations.
+    ///
+    /// The paper's evaluation assumes "all tasks take the same time"; this
+    /// adapter applies that normalization without touching the messages.
+    pub fn with_uniform_ops(&self, ops: u64) -> TaskFlowGraph {
+        let mut clone = self.clone();
+        for t in &mut clone.tasks {
+            t.ops = ops;
+        }
+        clone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TaskFlowGraph {
+        let mut b = TfgBuilder::new();
+        let s = b.task("s", 10);
+        let l = b.task("l", 20);
+        let r = b.task("r", 30);
+        let t = b.task("t", 40);
+        b.message("sl", s, l, 1).unwrap();
+        b.message("sr", s, r, 2).unwrap();
+        b.message("lt", l, t, 3).unwrap();
+        b.message("rt", r, t, 4).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert_eq!(TfgBuilder::new().build().unwrap_err(), TfgError::Empty);
+    }
+
+    #[test]
+    fn unknown_task_rejected() {
+        let mut b = TfgBuilder::new();
+        let a = b.task("a", 1);
+        let err = b.message("m", a, TaskId(5), 1).unwrap_err();
+        assert!(matches!(err, TfgError::UnknownTask { .. }));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = TfgBuilder::new();
+        let a = b.task("a", 1);
+        assert_eq!(
+            b.message("m", a, a, 1).unwrap_err(),
+            TfgError::SelfLoop { task: a }
+        );
+    }
+
+    #[test]
+    fn zero_bytes_rejected() {
+        let mut b = TfgBuilder::new();
+        let a = b.task("a", 1);
+        let c = b.task("c", 1);
+        assert!(matches!(
+            b.message("m", a, c, 0).unwrap_err(),
+            TfgError::ZeroBytes { .. }
+        ));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut b = TfgBuilder::new();
+        let a = b.task("a", 1);
+        let c = b.task("c", 1);
+        b.message("ac", a, c, 1).unwrap();
+        b.message("ca", c, a, 1).unwrap();
+        assert!(matches!(b.build().unwrap_err(), TfgError::Cycle { .. }));
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let g = diamond();
+        assert_eq!(g.num_tasks(), 4);
+        assert_eq!(g.num_messages(), 4);
+        assert_eq!(g.inputs(), &[TaskId(0)]);
+        assert_eq!(g.outputs(), &[TaskId(3)]);
+        assert_eq!(g.incoming(TaskId(3)).len(), 2);
+        assert_eq!(g.outgoing(TaskId(0)).len(), 2);
+        assert_eq!(g.total_bytes(), 10);
+    }
+
+    #[test]
+    fn topological_order_respects_precedence() {
+        let g = diamond();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.num_tasks()];
+            for (i, &t) in g.topological_order().iter().enumerate() {
+                p[t.0] = i;
+            }
+            p
+        };
+        for m in g.messages() {
+            assert!(pos[m.src().0] < pos[m.dst().0]);
+        }
+    }
+
+    #[test]
+    fn precedes_is_reachability() {
+        let g = diamond();
+        assert!(g.precedes(TaskId(0), TaskId(3)));
+        assert!(g.precedes(TaskId(1), TaskId(3)));
+        assert!(!g.precedes(TaskId(1), TaskId(2)));
+        assert!(!g.precedes(TaskId(3), TaskId(0)));
+        assert!(!g.precedes(TaskId(0), TaskId(0)));
+    }
+
+    #[test]
+    fn isolated_task_is_input_and_output() {
+        let mut b = TfgBuilder::new();
+        let a = b.task("a", 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.inputs(), &[a]);
+        assert_eq!(g.outputs(), &[a]);
+    }
+
+    #[test]
+    fn uniform_ops_normalization() {
+        let g = diamond().with_uniform_ops(99);
+        assert!(g.tasks().iter().all(|t| t.ops() == 99));
+        assert_eq!(g.num_messages(), 4);
+    }
+}

@@ -1,0 +1,98 @@
+use std::fmt;
+
+/// Dense index of a task within a [`TaskFlowGraph`](crate::TaskFlowGraph).
+///
+/// # Examples
+///
+/// ```
+/// use sr_tfg::TaskId;
+///
+/// let t = TaskId(2);
+/// assert_eq!(t.index(), 2);
+/// assert_eq!(t.to_string(), "T2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TaskId(pub usize);
+
+impl TaskId {
+    /// The raw dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<usize> for TaskId {
+    fn from(value: usize) -> Self {
+        TaskId(value)
+    }
+}
+
+impl From<TaskId> for usize {
+    fn from(value: TaskId) -> Self {
+        value.0
+    }
+}
+
+/// Dense index of a message within a [`TaskFlowGraph`](crate::TaskFlowGraph).
+///
+/// # Examples
+///
+/// ```
+/// use sr_tfg::MessageId;
+///
+/// let m = MessageId(0);
+/// assert_eq!(m.index(), 0);
+/// assert_eq!(m.to_string(), "M0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MessageId(pub usize);
+
+impl MessageId {
+    /// The raw dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+impl From<usize> for MessageId {
+    fn from(value: usize) -> Self {
+        MessageId(value)
+    }
+}
+
+impl From<MessageId> for usize {
+    fn from(value: MessageId) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        let t: TaskId = 3usize.into();
+        assert_eq!(usize::from(t), 3);
+        let m: MessageId = 8usize.into();
+        assert_eq!(usize::from(m), 8);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TaskId(1).to_string(), "T1");
+        assert_eq!(MessageId(4).to_string(), "M4");
+    }
+}

@@ -1,0 +1,62 @@
+//! Task-flow graphs (TFGs) for task-level pipelining.
+//!
+//! A TFG (Shukla & Agrawal, ISCA '91, §2) is a directed acyclic graph whose
+//! vertices are **tasks** (sequential blocks of `C_i` operations) and whose
+//! edges are **messages** (`m_i` bytes sent from the source task's completion
+//! to the destination task, which cannot start before the message arrives).
+//! A TFG is invoked once per periodically arriving input; *task-level
+//! pipelining* overlaps the invocations so the machine sustains one output
+//! per input period `τ_in`.
+//!
+//! This crate provides:
+//!
+//! * the TFG model with validation ([`TaskFlowGraph`], [`TfgBuilder`]);
+//! * timing analysis ([`Timing`]): task execution times, message transmission
+//!   times, the longest task `τ_c`, the longest message `τ_m`, and the
+//!   critical-path length `Λ`;
+//! * the **message time-bound assignment** of §4 ([`assign_time_bounds`]):
+//!   every message gets a release (its source task's completion) and a
+//!   deadline one message-window later, all folded into a single period frame
+//!   `[0, τ_in)` — the foundation scheduled routing builds on;
+//! * the reconstructed **DARPA Vision Benchmark** TFG of Fig. 1 ([`dvb`]) and
+//!   a family of synthetic generators ([`generators`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use sr_tfg::{TfgBuilder, Timing};
+//!
+//! # fn main() -> Result<(), sr_tfg::TfgError> {
+//! let mut b = TfgBuilder::new();
+//! let grab = b.task("grab", 1000);
+//! let warp = b.task("warp", 2000);
+//! b.message("frame", grab, warp, 4096)?;
+//! let tfg = b.build()?;
+//!
+//! let timing = Timing::new(64.0, 40.0); // bytes/µs, ops/µs
+//! assert_eq!(timing.longest_task(&tfg), 50.0);
+//! assert_eq!(timing.critical_path(&tfg), 25.0 + 64.0 + 50.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bounds;
+mod dot;
+mod dvb;
+mod error;
+pub mod generators;
+mod graph;
+mod ids;
+mod textfmt;
+mod timing;
+
+pub use bounds::{assign_time_bounds, MessageWindow, TimeBounds, WindowPolicy};
+pub use dvb::{dvb, dvb_uniform, DVB_LONGEST_MESSAGE_BYTES, DVB_LONGEST_TASK_OPS};
+pub use error::TfgError;
+pub use graph::{Message, Task, TaskFlowGraph, TfgBuilder};
+pub use ids::{MessageId, TaskId};
+pub use textfmt::{from_text, ParseTfgError};
+pub use timing::Timing;

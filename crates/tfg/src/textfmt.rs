@@ -1,0 +1,235 @@
+//! A line-oriented text format for task-flow graphs.
+//!
+//! The format is deliberately trivial to write by hand or generate:
+//!
+//! ```text
+//! # DVB-like fragment — comments and blank lines are ignored
+//! task label 1925
+//! task match0 400
+//! task select 1536
+//! msg a0 label -> match0 192
+//! msg b0 match0 -> select 1536
+//! ```
+//!
+//! * `task <name> <ops>` declares a task (names must be unique);
+//! * `msg <name> <src> -> <dst> <bytes>` declares a message between
+//!   previously declared tasks.
+//!
+//! [`TaskFlowGraph::to_text`] emits this format; [`from_text`] parses it;
+//! the two round-trip.
+
+use std::fmt::Write;
+
+use crate::{TaskFlowGraph, TfgBuilder, TfgError};
+
+/// Errors from parsing the text format.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseTfgError {
+    /// A line did not match either directive.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// Two tasks share a name.
+    DuplicateTask {
+        /// 1-based line number of the second declaration.
+        line: usize,
+        /// The repeated name.
+        name: String,
+    },
+    /// A message references an undeclared task.
+    UnknownTask {
+        /// 1-based line number.
+        line: usize,
+        /// The unresolved name.
+        name: String,
+    },
+    /// The assembled graph failed validation (cycle, empty…).
+    Graph(TfgError),
+}
+
+impl std::fmt::Display for ParseTfgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseTfgError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            ParseTfgError::DuplicateTask { line, name } => {
+                write!(f, "line {line}: task \"{name}\" already declared")
+            }
+            ParseTfgError::UnknownTask { line, name } => {
+                write!(f, "line {line}: unknown task \"{name}\"")
+            }
+            ParseTfgError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseTfgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseTfgError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Parses the text format described in the module docs.
+///
+/// # Errors
+///
+/// Returns a [`ParseTfgError`] locating the first offending line, or the
+/// underlying graph-validation failure.
+pub fn from_text(text: &str) -> Result<TaskFlowGraph, ParseTfgError> {
+    let mut b = TfgBuilder::new();
+    let mut names: std::collections::HashMap<String, crate::TaskId> =
+        std::collections::HashMap::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let stripped = raw.split('#').next().unwrap_or("").trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = stripped.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["task", name, ops] => {
+                let ops: u64 = ops.parse().map_err(|_| ParseTfgError::BadLine {
+                    line,
+                    reason: format!("bad op count \"{ops}\""),
+                })?;
+                if names.contains_key(*name) {
+                    return Err(ParseTfgError::DuplicateTask {
+                        line,
+                        name: name.to_string(),
+                    });
+                }
+                names.insert(name.to_string(), b.task(*name, ops));
+            }
+            ["msg", mname, src, "->", dst, bytes] => {
+                let bytes: u64 = bytes.parse().map_err(|_| ParseTfgError::BadLine {
+                    line,
+                    reason: format!("bad byte count \"{bytes}\""),
+                })?;
+                let &s = names.get(*src).ok_or_else(|| ParseTfgError::UnknownTask {
+                    line,
+                    name: src.to_string(),
+                })?;
+                let &d = names.get(*dst).ok_or_else(|| ParseTfgError::UnknownTask {
+                    line,
+                    name: dst.to_string(),
+                })?;
+                b.message(*mname, s, d, bytes)
+                    .map_err(ParseTfgError::Graph)?;
+            }
+            _ => {
+                return Err(ParseTfgError::BadLine {
+                    line,
+                    reason: format!("expected `task <name> <ops>` or `msg <name> <src> -> <dst> <bytes>`, got \"{stripped}\""),
+                })
+            }
+        }
+    }
+    b.build().map_err(ParseTfgError::Graph)
+}
+
+impl TaskFlowGraph {
+    /// Emits the graph in the text format parsed by [`from_text`]; the two
+    /// round-trip (up to comments and whitespace).
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for (_, t) in self.iter_tasks() {
+            let _ = writeln!(s, "task {} {}", t.name(), t.ops());
+        }
+        for (_, m) in self.iter_messages() {
+            let _ = writeln!(
+                s,
+                "msg {} {} -> {} {}",
+                m.name(),
+                self.task(m.src()).name(),
+                self.task(m.dst()).name(),
+                m.bytes()
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r"
+# a 3-stage pipeline
+task grab 1000
+task warp 2000   # the slow one
+task emit 500
+
+msg frame grab -> warp 4096
+msg clean warp -> emit 2048
+";
+
+    #[test]
+    fn parses_sample() {
+        let g = from_text(SAMPLE).unwrap();
+        assert_eq!(g.num_tasks(), 3);
+        assert_eq!(g.num_messages(), 2);
+        assert_eq!(g.task(crate::TaskId(1)).name(), "warp");
+        assert_eq!(g.message(crate::MessageId(0)).bytes(), 4096);
+    }
+
+    #[test]
+    fn round_trips() {
+        let g = crate::dvb(4);
+        let text = g.to_text();
+        let h = from_text(&text).unwrap();
+        assert_eq!(g.num_tasks(), h.num_tasks());
+        assert_eq!(g.num_messages(), h.num_messages());
+        for (a, b) in g.tasks().iter().zip(h.tasks()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.ops(), b.ops());
+        }
+        for (a, b) in g.messages().iter().zip(h.messages()) {
+            assert_eq!(a.bytes(), b.bytes());
+            assert_eq!(a.src(), b.src());
+            assert_eq!(a.dst(), b.dst());
+        }
+    }
+
+    #[test]
+    fn reports_bad_lines_with_numbers() {
+        let err = from_text("task a 10\nfrobnicate\n").unwrap_err();
+        assert!(
+            matches!(err, ParseTfgError::BadLine { line: 2, .. }),
+            "{err}"
+        );
+
+        let err = from_text("task a x\n").unwrap_err();
+        assert!(matches!(err, ParseTfgError::BadLine { line: 1, .. }));
+    }
+
+    #[test]
+    fn reports_duplicate_and_unknown_tasks() {
+        let err = from_text("task a 1\ntask a 2\n").unwrap_err();
+        assert!(matches!(err, ParseTfgError::DuplicateTask { line: 2, .. }));
+
+        let err = from_text("task a 1\nmsg m a -> ghost 5\n").unwrap_err();
+        assert!(
+            matches!(err, ParseTfgError::UnknownTask { line: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn propagates_graph_validation() {
+        let err = from_text("task a 1\ntask b 1\nmsg x a -> b 0\n").unwrap_err();
+        assert!(matches!(
+            err,
+            ParseTfgError::Graph(TfgError::ZeroBytes { .. })
+        ));
+
+        let err = from_text("").unwrap_err();
+        assert!(matches!(err, ParseTfgError::Graph(TfgError::Empty)));
+    }
+}

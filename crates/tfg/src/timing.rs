@@ -1,0 +1,209 @@
+use crate::{Message, Task, TaskFlowGraph, TfgError};
+
+/// Machine timing parameters: link bandwidth and processor speed.
+///
+/// The paper parameterizes every experiment by the link bandwidth `B`
+/// (bytes/µs) and chooses application-processor speeds so that the ratio
+/// `τ_m / τ_c` (longest message transmission time over longest task
+/// execution time) is 1 at `B = 64` and 0.5 at `B = 128`.
+///
+/// # Examples
+///
+/// ```
+/// use sr_tfg::Timing;
+///
+/// let t = Timing::new(64.0, 38.5);
+/// assert_eq!(t.bandwidth(), 64.0);
+/// assert!((t.tx_time_bytes(3200) - 50.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timing {
+    bandwidth: f64,
+    speed: f64,
+}
+
+impl Timing {
+    /// Creates timing parameters from a link bandwidth (bytes/µs) and a
+    /// processor speed (operations/µs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is non-positive or non-finite; use
+    /// [`Timing::try_new`] for a fallible constructor.
+    pub fn new(bandwidth: f64, speed: f64) -> Self {
+        Self::try_new(bandwidth, speed).expect("timing parameters must be positive and finite")
+    }
+
+    /// Fallible variant of [`Timing::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfgError::InvalidTiming`] if either parameter is
+    /// non-positive or non-finite.
+    pub fn try_new(bandwidth: f64, speed: f64) -> Result<Self, TfgError> {
+        if !(bandwidth.is_finite() && bandwidth > 0.0) {
+            return Err(TfgError::InvalidTiming {
+                what: "bandwidth",
+                value: bandwidth,
+            });
+        }
+        if !(speed.is_finite() && speed > 0.0) {
+            return Err(TfgError::InvalidTiming {
+                what: "speed",
+                value: speed,
+            });
+        }
+        Ok(Timing { bandwidth, speed })
+    }
+
+    /// Timing calibrated the way the paper's evaluation is: processor speed
+    /// is chosen so that the longest DVB task (`1925` ops) takes exactly as
+    /// long as the longest DVB message (`3200` bytes) does at **64 bytes/µs**
+    /// — i.e. `τ_c = 50 µs` regardless of the actual bandwidth, giving
+    /// `τ_m/τ_c = 1` at B=64 and `0.5` at B=128.
+    pub fn calibrated_dvb(bandwidth: f64) -> Self {
+        let tau_c = crate::DVB_LONGEST_MESSAGE_BYTES as f64 / 64.0;
+        Timing::new(bandwidth, crate::DVB_LONGEST_TASK_OPS as f64 / tau_c)
+    }
+
+    /// Link bandwidth in bytes/µs.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Processor speed in operations/µs.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Execution time of a task, in µs.
+    pub fn exec_time(&self, task: &Task) -> f64 {
+        task.ops() as f64 / self.speed
+    }
+
+    /// Transmission time of a message, in µs.
+    pub fn tx_time(&self, message: &Message) -> f64 {
+        self.tx_time_bytes(message.bytes())
+    }
+
+    /// Transmission time of a payload of the given size, in µs.
+    pub fn tx_time_bytes(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth
+    }
+
+    /// `τ_c`: the execution time of the longest task, in µs.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for a valid graph (graphs always have ≥ 1 task).
+    pub fn longest_task(&self, tfg: &TaskFlowGraph) -> f64 {
+        tfg.tasks()
+            .iter()
+            .map(|t| self.exec_time(t))
+            .fold(0.0, f64::max)
+    }
+
+    /// `τ_m`: the transmission time of the longest message, in µs (0 when
+    /// the graph has no messages).
+    pub fn longest_message(&self, tfg: &TaskFlowGraph) -> f64 {
+        tfg.messages()
+            .iter()
+            .map(|m| self.tx_time(m))
+            .fold(0.0, f64::max)
+    }
+
+    /// `Λ`: the critical-path length — the maximum, over all input→output
+    /// chains, of the sum of task execution and message transmission times
+    /// (paper §2). This is the minimum possible invocation latency.
+    pub fn critical_path(&self, tfg: &TaskFlowGraph) -> f64 {
+        let mut finish = vec![0.0f64; tfg.num_tasks()];
+        for &t in tfg.topological_order() {
+            let ready = tfg
+                .incoming(t)
+                .iter()
+                .map(|&m| {
+                    let msg = tfg.message(m);
+                    finish[msg.src().0] + self.tx_time(msg)
+                })
+                .fold(0.0, f64::max);
+            finish[t.0] = ready + self.exec_time(tfg.task(t));
+        }
+        finish.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TfgBuilder;
+
+    fn chain() -> TaskFlowGraph {
+        let mut b = TfgBuilder::new();
+        let a = b.task("a", 100);
+        let c = b.task("c", 200);
+        let d = b.task("d", 50);
+        b.message("ac", a, c, 640).unwrap();
+        b.message("cd", c, d, 320).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn try_new_rejects_bad_params() {
+        assert!(Timing::try_new(0.0, 1.0).is_err());
+        assert!(Timing::try_new(1.0, -3.0).is_err());
+        assert!(Timing::try_new(f64::NAN, 1.0).is_err());
+        assert!(Timing::try_new(1.0, f64::INFINITY).is_err());
+        assert!(Timing::try_new(64.0, 38.5).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn new_panics_on_bad_params() {
+        let _ = Timing::new(-1.0, 1.0);
+    }
+
+    #[test]
+    fn exec_and_tx_times() {
+        let g = chain();
+        let t = Timing::new(64.0, 10.0);
+        assert_eq!(t.exec_time(g.task(crate::TaskId(0))), 10.0);
+        assert_eq!(t.tx_time(g.message(crate::MessageId(0))), 10.0);
+        assert_eq!(t.longest_task(&g), 20.0);
+        assert_eq!(t.longest_message(&g), 10.0);
+    }
+
+    #[test]
+    fn critical_path_of_chain_is_sum() {
+        let g = chain();
+        let t = Timing::new(64.0, 10.0);
+        // 10 + 10 + 20 + 5 + 5 = 50.
+        assert!((t.critical_path(&g) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_takes_maximum_branch() {
+        let mut b = TfgBuilder::new();
+        let s = b.task("s", 10);
+        let fast = b.task("fast", 10);
+        let slow = b.task("slow", 1000);
+        let t = b.task("t", 10);
+        b.message("sf", s, fast, 10).unwrap();
+        b.message("ss", s, slow, 10).unwrap();
+        b.message("ft", fast, t, 10).unwrap();
+        b.message("st", slow, t, 10).unwrap();
+        let g = b.build().unwrap();
+        let timing = Timing::new(10.0, 1.0);
+        // s(10) + m(1) + slow(1000) + m(1) + t(10)
+        assert!((timing.critical_path(&g) - 1022.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibrated_dvb_tau_ratio() {
+        let t64 = Timing::calibrated_dvb(64.0);
+        let t128 = Timing::calibrated_dvb(128.0);
+        let tau_c = 1925.0 / t64.speed();
+        assert!((t64.tx_time_bytes(3200) / tau_c - 1.0).abs() < 1e-12);
+        assert!((t128.tx_time_bytes(3200) / tau_c - 0.5).abs() < 1e-12);
+        assert_eq!(t64.speed(), t128.speed());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for TFG structure and time-bound assignment.
+
+use proptest::prelude::*;
+use sr_tfg::generators::{layered_random, LayeredParams};
+use sr_tfg::{assign_time_bounds, Timing, WindowPolicy};
+
+fn params() -> impl Strategy<Value = LayeredParams> {
+    (1usize..5, 1usize..5, 0.0f64..1.0).prop_map(|(layers, width, p)| LayeredParams {
+        layers,
+        width,
+        edge_probability: p,
+        ops: (100, 2000),
+        bytes: (32, 3200),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_graphs_are_well_formed(seed in any::<u64>(), p in params()) {
+        let g = layered_random(seed, &p);
+        prop_assert_eq!(g.num_tasks(), p.layers * p.width);
+        // Topological order covers every task exactly once.
+        let mut seen = vec![false; g.num_tasks()];
+        for &t in g.topological_order() {
+            prop_assert!(!seen[t.index()]);
+            seen[t.index()] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // Messages respect the layering (src precedes dst in topo order).
+        let mut pos = vec![0; g.num_tasks()];
+        for (i, &t) in g.topological_order().iter().enumerate() {
+            pos[t.index()] = i;
+        }
+        for m in g.messages() {
+            prop_assert!(pos[m.src().index()] < pos[m.dst().index()]);
+        }
+    }
+
+    #[test]
+    fn critical_path_dominates_longest_task(seed in any::<u64>(), p in params()) {
+        let g = layered_random(seed, &p);
+        let t = Timing::new(64.0, 20.0);
+        prop_assert!(t.critical_path(&g) >= t.longest_task(&g) - 1e-9);
+    }
+
+    #[test]
+    fn time_bounds_invariants(
+        seed in any::<u64>(),
+        p in params(),
+        period_factor in 1.0f64..5.0,
+    ) {
+        let g = layered_random(seed, &p);
+        let timing = Timing::new(64.0, 20.0);
+        let tau_c = timing.longest_task(&g);
+        let period = tau_c * period_factor;
+        let bounds = match assign_time_bounds(&g, &timing, period, WindowPolicy::LongestTask) {
+            Ok(b) => b,
+            // A message longer than the period is a legitimate rejection.
+            Err(sr_tfg::TfgError::MessageExceedsPeriod { .. }) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        };
+        for w in bounds.windows() {
+            // Window always long enough for the payload.
+            prop_assert!(w.window() >= w.duration() - 1e-9);
+            // Folded release inside the frame.
+            prop_assert!((0.0..period).contains(&w.release()));
+            // Spans are ordered, disjoint, inside the frame, and sum to
+            // min(window, period).
+            let spans = w.spans();
+            prop_assert!(!spans.is_empty() && spans.len() <= 2);
+            let mut total = 0.0;
+            let mut prev_end = -1.0;
+            for &(s, e) in &spans {
+                prop_assert!(s >= -1e-9 && e <= period + 1e-9);
+                prop_assert!(e > s - 1e-9);
+                prop_assert!(s > prev_end - 1e-9);
+                prev_end = e;
+                total += e - s;
+            }
+            let expect = w.window().min(period);
+            prop_assert!((total - expect).abs() < 1e-6,
+                "span total {total} != window {expect}");
+        }
+        // Task starts never precede their message windows' closes.
+        for (id, m) in g.iter_messages() {
+            let w = bounds.window(id);
+            let src_end = bounds.task_end(m.src());
+            let dst_start = bounds.task_start(m.dst());
+            prop_assert!(dst_start + 1e-9 >= src_end + w.window());
+        }
+        // Latency is the max output completion.
+        let max_out = g.outputs().iter()
+            .map(|&t| bounds.task_end(t))
+            .fold(0.0f64, f64::max);
+        prop_assert!((bounds.latency() - max_out).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_windows_have_no_slack(seed in any::<u64>(), p in params()) {
+        let g = layered_random(seed, &p);
+        let timing = Timing::new(64.0, 20.0);
+        let period = timing.longest_task(&g) * 4.0;
+        if let Ok(bounds) = assign_time_bounds(&g, &timing, period, WindowPolicy::Tight) {
+            for w in bounds.windows() {
+                prop_assert!(w.is_no_slack());
+            }
+        }
+    }
+}

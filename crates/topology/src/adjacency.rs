@@ -1,0 +1,113 @@
+use std::collections::HashMap;
+
+use crate::{LinkId, NodeId};
+
+/// Precomputed adjacency structure shared by the concrete topologies.
+///
+/// Built once at construction from a neighbor function; provides dense link
+/// ids (one per unordered adjacent pair) and O(1) link lookup.
+#[derive(Debug, Clone)]
+pub(crate) struct Adjacency {
+    neighbors: Vec<Vec<NodeId>>,
+    links: Vec<(NodeId, NodeId)>,
+    link_index: HashMap<(NodeId, NodeId), LinkId>,
+}
+
+impl Adjacency {
+    /// Builds the structure for `num_nodes` nodes using `neighbors_of`.
+    ///
+    /// The neighbor function may report duplicates (e.g. a radix-2 torus
+    /// dimension where +1 and -1 reach the same node); they are deduplicated
+    /// here. Link ids are assigned in ascending `(min, max)` endpoint order
+    /// of first discovery, scanning nodes in ascending order.
+    pub(crate) fn build<F>(num_nodes: usize, mut neighbors_of: F) -> Self
+    where
+        F: FnMut(NodeId) -> Vec<NodeId>,
+    {
+        let mut neighbors: Vec<Vec<NodeId>> = Vec::with_capacity(num_nodes);
+        for n in 0..num_nodes {
+            let mut nb = neighbors_of(NodeId(n));
+            nb.sort_unstable();
+            nb.dedup();
+            debug_assert!(nb.iter().all(|m| m.0 < num_nodes && m.0 != n));
+            neighbors.push(nb);
+        }
+        let mut links = Vec::new();
+        let mut link_index = HashMap::new();
+        for (n, nb) in neighbors.iter().enumerate() {
+            for &m in nb {
+                if m.0 > n {
+                    let id = LinkId(links.len());
+                    links.push((NodeId(n), m));
+                    link_index.insert((NodeId(n), m), id);
+                }
+            }
+        }
+        Adjacency {
+            neighbors,
+            links,
+            link_index,
+        }
+    }
+
+    pub(crate) fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    pub(crate) fn link_endpoints(&self, link: LinkId) -> (NodeId, NodeId) {
+        self.links[link.0]
+    }
+
+    pub(crate) fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.link_index.get(&key).copied()
+    }
+
+    pub(crate) fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.neighbors[node.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Adjacency {
+        Adjacency::build(n, |v| {
+            vec![NodeId((v.0 + 1) % n), NodeId((v.0 + n - 1) % n)]
+        })
+    }
+
+    #[test]
+    fn ring_link_count() {
+        let a = ring(5);
+        assert_eq!(a.num_links(), 5);
+    }
+
+    #[test]
+    fn two_node_ring_dedups_parallel_links() {
+        // +1 and -1 from node 0 both reach node 1: one link, not two.
+        let a = ring(2);
+        assert_eq!(a.num_links(), 1);
+        assert_eq!(a.neighbors(NodeId(0)), &[NodeId(1)]);
+    }
+
+    #[test]
+    fn link_between_is_symmetric() {
+        let a = ring(4);
+        assert_eq!(
+            a.link_between(NodeId(0), NodeId(1)),
+            a.link_between(NodeId(1), NodeId(0))
+        );
+        assert!(a.link_between(NodeId(0), NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn endpoints_are_ordered() {
+        let a = ring(4);
+        for l in 0..a.num_links() {
+            let (x, y) = a.link_endpoints(LinkId(l));
+            assert!(x < y);
+        }
+    }
+}

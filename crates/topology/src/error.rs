@@ -1,0 +1,75 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising while constructing or querying a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A topology was requested with no dimensions.
+    NoDimensions,
+    /// A dimension radix/extent was too small to form a network.
+    ///
+    /// Generalized hypercubes and tori require every radix to be at least 2.
+    RadixTooSmall {
+        /// Index of the offending dimension.
+        dimension: usize,
+        /// The rejected radix value.
+        radix: usize,
+    },
+    /// The requested topology would exceed the supported node count.
+    TooManyNodes {
+        /// Product of the radices requested.
+        requested: u128,
+        /// Maximum supported node count.
+        max: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NoDimensions => {
+                write!(f, "topology must have at least one dimension")
+            }
+            TopologyError::RadixTooSmall { dimension, radix } => write!(
+                f,
+                "dimension {dimension} has radix {radix}, but at least 2 is required"
+            ),
+            TopologyError::TooManyNodes { requested, max } => write!(
+                f,
+                "requested {requested} nodes exceeds the supported maximum of {max}"
+            ),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            TopologyError::NoDimensions.to_string(),
+            "topology must have at least one dimension"
+        );
+        let e = TopologyError::RadixTooSmall {
+            dimension: 1,
+            radix: 1,
+        };
+        assert!(e.to_string().contains("dimension 1"));
+        let e = TopologyError::TooManyNodes {
+            requested: 1 << 40,
+            max: 1 << 20,
+        };
+        assert!(e.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<TopologyError>();
+    }
+}

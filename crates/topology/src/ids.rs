@@ -1,0 +1,117 @@
+use std::fmt;
+
+/// Dense index of a node in a [`Topology`](crate::Topology).
+///
+/// Node ids are the mixed-radix encoding of the node's coordinate vector,
+/// so `NodeId(0)` is the all-zeros address.
+///
+/// # Examples
+///
+/// ```
+/// use sr_topology::NodeId;
+///
+/// let n = NodeId(5);
+/// assert_eq!(n.index(), 5);
+/// assert_eq!(n.to_string(), "N5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The raw dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(value: usize) -> Self {
+        NodeId(value)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(value: NodeId) -> Self {
+        value.0
+    }
+}
+
+/// Dense index of a half-duplex link in a [`Topology`](crate::Topology).
+///
+/// A link is a single schedulable resource joining two adjacent nodes; the
+/// paper's channel model is bidirectional half-duplex, so there is exactly
+/// one `LinkId` per adjacent node pair.
+///
+/// # Examples
+///
+/// ```
+/// use sr_topology::LinkId;
+///
+/// let l = LinkId(3);
+/// assert_eq!(l.index(), 3);
+/// assert_eq!(l.to_string(), "L3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LinkId(pub usize);
+
+impl LinkId {
+    /// The raw dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl From<usize> for LinkId {
+    fn from(value: usize) -> Self {
+        LinkId(value)
+    }
+}
+
+impl From<LinkId> for usize {
+    fn from(value: LinkId) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n: NodeId = 7usize.into();
+        let raw: usize = n.into();
+        assert_eq!(raw, 7);
+    }
+
+    #[test]
+    fn link_id_roundtrip() {
+        let l: LinkId = 9usize.into();
+        let raw: usize = l.into();
+        assert_eq!(raw, 9);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(LinkId(0) < LinkId(10));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(format!("{}", NodeId(0)), "N0");
+        assert_eq!(format!("{}", LinkId(0)), "L0");
+    }
+}

@@ -1,0 +1,164 @@
+//! Multicomputer interconnection topologies for scheduled routing.
+//!
+//! This crate models the direct networks evaluated by Shukla & Agrawal
+//! (ISCA '91): mixed-radix **generalized hypercubes** ([`GeneralizedHypercube`])
+//! and **k-ary n-dimensional tori** ([`Torus`]).
+//!
+//! The channel model follows the paper exactly: every pair of adjacent nodes
+//! is joined by a single *bidirectional, half-duplex* link, so a link is one
+//! schedulable resource that can carry at most one message at a time in
+//! either direction. Links are identified by dense [`LinkId`] indices so that
+//! utilization matrices can be plain rectangular arrays.
+//!
+//! Two routing services are provided on every topology:
+//!
+//! * [`Topology::dimension_order_path`] — the deterministic LSD-to-MSD
+//!   ("e-cube") path the paper uses both as the wormhole-routing function and
+//!   as the baseline path assignment, and
+//! * [`Topology::shortest_paths`] — enumeration of the *multiple equivalent
+//!   shortest paths* between non-adjacent nodes that scheduled routing
+//!   exploits, with a configurable cap.
+//!
+//! # Examples
+//!
+//! ```
+//! use sr_topology::{GeneralizedHypercube, NodeId, Topology};
+//!
+//! # fn main() -> Result<(), sr_topology::TopologyError> {
+//! // The paper's binary 6-cube: 64 nodes, 192 links.
+//! let cube = GeneralizedHypercube::binary(6)?;
+//! assert_eq!(cube.num_nodes(), 64);
+//! assert_eq!(cube.num_links(), 192);
+//!
+//! let path = cube.dimension_order_path(NodeId(0), NodeId(63));
+//! assert_eq!(path.hops(), 6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adjacency;
+mod error;
+mod ghc;
+mod ids;
+mod mesh;
+mod mixed_radix;
+mod path;
+mod stats;
+mod torus;
+
+pub use error::TopologyError;
+pub use ghc::GeneralizedHypercube;
+pub use ids::{LinkId, NodeId};
+pub use mesh::Mesh;
+pub use mixed_radix::MixedRadix;
+pub use path::Path;
+pub use stats::TopologyStats;
+pub use torus::Torus;
+
+/// A direct interconnection network with half-duplex links.
+///
+/// Implementations expose dense node and link index spaces
+/// (`0..num_nodes()`, `0..num_links()`) so callers can use flat arrays keyed
+/// by [`NodeId`]/[`LinkId`].
+///
+/// The trait is object-safe; the scheduled-routing and wormhole crates accept
+/// `&dyn Topology`.
+pub trait Topology {
+    /// Human-readable name, e.g. `"GHC(2,2,2,2,2,2)"` or `"Torus(8,8)"`.
+    fn name(&self) -> String;
+
+    /// Number of nodes in the network.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of half-duplex links in the network.
+    fn num_links(&self) -> usize;
+
+    /// The two endpoints of a link, in ascending node order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    fn link_endpoints(&self, link: LinkId) -> (NodeId, NodeId);
+
+    /// The link joining `a` and `b`, if they are adjacent.
+    fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId>;
+
+    /// Neighbors of `node`, in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    fn neighbors(&self, node: NodeId) -> &[NodeId];
+
+    /// Length (in hops) of a shortest path from `a` to `b`.
+    fn distance(&self, a: NodeId, b: NodeId) -> usize;
+
+    /// The deterministic dimension-order (LSD-to-MSD) path from `src` to
+    /// `dst`.
+    ///
+    /// This is the routing function the paper attributes to wormhole-routed
+    /// machines and uses as the baseline path assignment: the source address
+    /// is corrected digit by digit starting from the least significant digit
+    /// until it equals the destination address.
+    fn dimension_order_path(&self, src: NodeId, dst: NodeId) -> Path;
+
+    /// Up to `cap` distinct shortest paths from `src` to `dst`.
+    ///
+    /// The dimension-order path is always first, so `shortest_paths(a, b, 1)`
+    /// degenerates to the baseline routing. Enumeration order is
+    /// deterministic.
+    ///
+    /// For `src == dst` a single empty path is returned.
+    fn shortest_paths(&self, src: NodeId, dst: NodeId, cap: usize) -> Vec<Path>;
+
+    /// Maximum node degree of the topology.
+    fn degree(&self) -> usize {
+        (0..self.num_nodes())
+            .map(|n| self.neighbors(NodeId(n)).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Network diameter (longest shortest-path distance over all pairs).
+    ///
+    /// Computed by brute force; intended for tests and reporting, not inner
+    /// loops.
+    fn diameter(&self) -> usize {
+        let n = self.num_nodes();
+        let mut d = 0;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                d = d.max(self.distance(NodeId(a), NodeId(b)));
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn topology_is_object_safe() {
+        let cube = GeneralizedHypercube::binary(3).unwrap();
+        let dyn_topo: &dyn Topology = &cube;
+        assert_eq!(dyn_topo.num_nodes(), 8);
+        assert_eq!(dyn_topo.degree(), 3);
+    }
+
+    #[test]
+    fn diameter_binary_cube_is_dimension_count() {
+        let cube = GeneralizedHypercube::binary(4).unwrap();
+        assert_eq!(cube.diameter(), 4);
+    }
+
+    #[test]
+    fn diameter_torus() {
+        let t = Torus::new(&[4, 4]).unwrap();
+        assert_eq!(t.diameter(), 4); // 2 + 2
+    }
+}

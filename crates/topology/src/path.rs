@@ -1,0 +1,229 @@
+use crate::{LinkId, NodeId, Topology};
+
+/// A route through the network, stored as the visited node sequence.
+///
+/// A path with `k` hops visits `k + 1` nodes; a zero-hop path (source equals
+/// destination) holds a single node. Paths are simple (no repeated nodes)
+/// when produced by this crate's routing functions; [`Path::is_simple`]
+/// checks the property for externally constructed paths.
+///
+/// # Examples
+///
+/// ```
+/// use sr_topology::{GeneralizedHypercube, NodeId, Topology};
+///
+/// # fn main() -> Result<(), sr_topology::TopologyError> {
+/// let cube = GeneralizedHypercube::binary(3)?;
+/// let p = cube.dimension_order_path(NodeId(0), NodeId(5));
+/// assert_eq!(p.hops(), 2);
+/// assert_eq!(p.source(), NodeId(0));
+/// assert_eq!(p.destination(), NodeId(5));
+/// assert_eq!(p.links(&cube).len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+}
+
+impl Path {
+    /// Creates a path from a node sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn new(nodes: Vec<NodeId>) -> Self {
+        assert!(!nodes.is_empty(), "a path must visit at least one node");
+        Path { nodes }
+    }
+
+    /// A zero-hop path at `node`.
+    pub fn trivial(node: NodeId) -> Self {
+        Path { nodes: vec![node] }
+    }
+
+    /// The visited nodes, source first.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of hops (links traversed).
+    pub fn hops(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// The first node.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// The last node.
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("path is non-empty")
+    }
+
+    /// `true` when no node repeats.
+    pub fn is_simple(&self) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(self.nodes.len());
+        self.nodes.iter().all(|n| seen.insert(*n))
+    }
+
+    /// The links traversed, in hop order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive nodes are not adjacent in `topo`; use
+    /// [`Path::validate`] for a non-panicking check.
+    pub fn links(&self, topo: &dyn Topology) -> Vec<LinkId> {
+        self.nodes
+            .windows(2)
+            .map(|w| {
+                topo.link_between(w[0], w[1]).unwrap_or_else(|| {
+                    panic!(
+                        "path hop {} -> {} is not a link in {}",
+                        w[0],
+                        w[1],
+                        topo.name()
+                    )
+                })
+            })
+            .collect()
+    }
+
+    /// Checks that every consecutive node pair is adjacent in `topo`.
+    pub fn validate(&self, topo: &dyn Topology) -> bool {
+        self.nodes
+            .windows(2)
+            .all(|w| topo.link_between(w[0], w[1]).is_some())
+    }
+}
+
+impl std::fmt::Display for Path {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for n in &self.nodes {
+            if !first {
+                write!(f, "->")?;
+            }
+            write!(f, "{n}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Enumerates routes as interleavings of per-dimension unit moves.
+///
+/// Both topology families route by applying, in some order, a fixed multiset
+/// of single-hop "moves" (digit corrections in a GHC, ±1 steps in a torus).
+/// `move_counts[d]` is how many identical moves dimension `d` still needs;
+/// `advance(node, dim)` applies one move of dimension `dim` and returns the
+/// next node. Enumeration is deterministic: dimension order is tried
+/// ascending at every step, so the all-LSD-first path comes out first.
+pub(crate) fn enumerate_interleavings<F>(
+    src: NodeId,
+    move_counts: &[usize],
+    cap: usize,
+    mut advance: F,
+) -> Vec<Path>
+where
+    F: FnMut(NodeId, usize) -> NodeId,
+{
+    let mut out = Vec::new();
+    if cap == 0 {
+        return out;
+    }
+    let mut counts = move_counts.to_vec();
+    let mut prefix = vec![src];
+    recurse(&mut counts, &mut prefix, cap, &mut out, &mut advance);
+    out
+}
+
+fn recurse<F>(
+    counts: &mut [usize],
+    prefix: &mut Vec<NodeId>,
+    cap: usize,
+    out: &mut Vec<Path>,
+    advance: &mut F,
+) where
+    F: FnMut(NodeId, usize) -> NodeId,
+{
+    if out.len() >= cap {
+        return;
+    }
+    if counts.iter().all(|&c| c == 0) {
+        out.push(Path::new(prefix.clone()));
+        return;
+    }
+    let here = *prefix.last().expect("prefix is non-empty");
+    for dim in 0..counts.len() {
+        if counts[dim] == 0 {
+            continue;
+        }
+        counts[dim] -= 1;
+        prefix.push(advance(here, dim));
+        recurse(counts, prefix, cap, out, advance);
+        prefix.pop();
+        counts[dim] += 1;
+        if out.len() >= cap {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_path() {
+        let p = Path::trivial(NodeId(3));
+        assert_eq!(p.hops(), 0);
+        assert_eq!(p.source(), p.destination());
+        assert!(p.is_simple());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_path_panics() {
+        let _ = Path::new(vec![]);
+    }
+
+    #[test]
+    fn simple_detection() {
+        let p = Path::new(vec![NodeId(0), NodeId(1), NodeId(0)]);
+        assert!(!p.is_simple());
+    }
+
+    #[test]
+    fn display_format() {
+        let p = Path::new(vec![NodeId(0), NodeId(2)]);
+        assert_eq!(p.to_string(), "N0->N2");
+    }
+
+    #[test]
+    fn interleavings_multinomial_count() {
+        // Two dims with 1 move each -> 2 orders; with (2,1) -> 3 orders.
+        let paths = enumerate_interleavings(NodeId(0), &[1, 1], usize::MAX, |n, d| {
+            NodeId(n.0 + (d + 1) * 10)
+        });
+        assert_eq!(paths.len(), 2);
+        let paths = enumerate_interleavings(NodeId(0), &[2, 1], usize::MAX, |n, d| {
+            NodeId(n.0 + (d + 1) * 10)
+        });
+        assert_eq!(paths.len(), 3);
+    }
+
+    #[test]
+    fn interleavings_respect_cap() {
+        let paths = enumerate_interleavings(NodeId(0), &[3, 3], 5, |n, d| NodeId(n.0 * 2 + d + 1));
+        assert_eq!(paths.len(), 5);
+    }
+
+    #[test]
+    fn interleavings_zero_moves_gives_trivial() {
+        let paths = enumerate_interleavings(NodeId(4), &[0, 0], 10, |n, _| n);
+        assert_eq!(paths, vec![Path::trivial(NodeId(4))]);
+    }
+}

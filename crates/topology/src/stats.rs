@@ -1,0 +1,139 @@
+//! Aggregate structural statistics of a topology.
+//!
+//! The paper's §6 discussion leans on structural differences ("being a
+//! topology with more links, it reaches the required utilization value for
+//! more load points", "due to the smaller number of alternative paths in
+//! tori…"); [`TopologyStats`] quantifies exactly those properties so the
+//! comparison is reproducible.
+
+use crate::{NodeId, Topology};
+
+/// Structural summary of a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Half-duplex link count.
+    pub links: usize,
+    /// Maximum node degree.
+    pub degree: usize,
+    /// Network diameter (hops).
+    pub diameter: usize,
+    /// Mean shortest-path distance over distinct ordered pairs.
+    pub mean_distance: f64,
+    /// Mean number of shortest paths over distinct ordered pairs, with path
+    /// enumeration capped at `path_cap` (so GHC factorials do not explode).
+    pub mean_alternative_paths: f64,
+    /// Mean **link diversity**: distinct links usable by some shortest path
+    /// divided by the path length, averaged over pairs. 1.0 means every
+    /// pair has exactly one shortest path; higher values mean routing
+    /// freedom. Note the trade the paper's §6 exposes: tori score high here
+    /// (long paths fan widely) yet still congest, because their *aggregate*
+    /// link capacity and 1-hop adjacency are much lower than a same-size
+    /// GHC's — spreading room is not the same as capacity.
+    pub mean_link_diversity: f64,
+    /// The cap used for the path-diversity average.
+    pub path_cap: usize,
+}
+
+impl TopologyStats {
+    /// Computes all statistics by exhaustive pair enumeration.
+    ///
+    /// Cost is `O(n² · path_cap)`; fine for the paper's 64-node machines,
+    /// not for inner loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path_cap == 0` or the topology has fewer than 2 nodes.
+    pub fn compute(topo: &dyn Topology, path_cap: usize) -> TopologyStats {
+        assert!(path_cap > 0, "path cap must be positive");
+        let n = topo.num_nodes();
+        assert!(n >= 2, "statistics need at least two nodes");
+        let mut dist_sum = 0usize;
+        let mut path_sum = 0usize;
+        let mut diversity_sum = 0.0f64;
+        let mut diameter = 0usize;
+        let mut pairs = 0usize;
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let d = topo.distance(NodeId(a), NodeId(b));
+                dist_sum += d;
+                diameter = diameter.max(d);
+                let paths = topo.shortest_paths(NodeId(a), NodeId(b), path_cap);
+                path_sum += paths.len();
+                let union: std::collections::HashSet<_> =
+                    paths.iter().flat_map(|p| p.links(topo)).collect();
+                diversity_sum += union.len() as f64 / d.max(1) as f64;
+                pairs += 1;
+            }
+        }
+        TopologyStats {
+            nodes: n,
+            links: topo.num_links(),
+            degree: topo.degree(),
+            diameter,
+            mean_distance: dist_sum as f64 / pairs as f64,
+            mean_alternative_paths: path_sum as f64 / pairs as f64,
+            mean_link_diversity: diversity_sum / pairs as f64,
+            path_cap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GeneralizedHypercube, Mesh, Torus};
+
+    #[test]
+    fn cube_statistics() {
+        let c = GeneralizedHypercube::binary(3).unwrap();
+        let s = TopologyStats::compute(&c, 16);
+        assert_eq!(s.nodes, 8);
+        assert_eq!(s.links, 12);
+        assert_eq!(s.degree, 3);
+        assert_eq!(s.diameter, 3);
+        // Mean Hamming distance over distinct pairs of 3-bit words:
+        // Σ d·C(3,d) / 7 = (3 + 6 + 3) / 7 = 12/7.
+        assert!((s.mean_distance - 12.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghc_vs_torus_structural_comparison() {
+        // The paper's structural argument (§6): the 4x4x4 GHC has more
+        // links and shorter distances than the 4x4x4 torus — that, not raw
+        // path fan-out, is why it reaches U <= 1 at more load points.
+        let ghc = GeneralizedHypercube::new(&[4, 4, 4]).unwrap();
+        let torus = Torus::new(&[4, 4, 4]).unwrap();
+        let sg = TopologyStats::compute(&ghc, 32);
+        let st = TopologyStats::compute(&torus, 32);
+        assert!(sg.links > st.links);
+        assert!(sg.mean_distance < st.mean_distance);
+        assert!(sg.diameter < st.diameter);
+        // Both offer genuine routing freedom…
+        assert!(sg.mean_link_diversity > 1.0);
+        assert!(st.mean_link_diversity > 1.0);
+        // …but the torus pays for its spread with much longer paths.
+        assert!(st.mean_alternative_paths > 1.0);
+    }
+
+    #[test]
+    fn torus_beats_mesh() {
+        let torus = Torus::new(&[4, 4]).unwrap();
+        let mesh = Mesh::new(&[4, 4]).unwrap();
+        let st = TopologyStats::compute(&torus, 32);
+        let sm = TopologyStats::compute(&mesh, 32);
+        assert!(st.links > sm.links);
+        assert!(st.diameter < sm.diameter);
+    }
+
+    #[test]
+    #[should_panic(expected = "path cap")]
+    fn zero_cap_panics() {
+        let c = GeneralizedHypercube::binary(2).unwrap();
+        let _ = TopologyStats::compute(&c, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Property-based tests over both topology families.
+
+use proptest::prelude::*;
+use sr_topology::{GeneralizedHypercube, Mesh, NodeId, Topology, Torus};
+
+/// Strategy generating small-but-nontrivial GHC radix vectors.
+fn ghc_radices() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(2usize..5, 1..4)
+}
+
+/// Strategy generating small torus extent vectors.
+fn torus_extents() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(2usize..7, 1..4)
+}
+
+fn check_symmetry(topo: &dyn Topology) {
+    for n in 0..topo.num_nodes() {
+        for &m in topo.neighbors(NodeId(n)) {
+            assert!(
+                topo.neighbors(m).contains(&NodeId(n)),
+                "asymmetric adjacency {n} vs {m} in {}",
+                topo.name()
+            );
+            assert!(topo.link_between(NodeId(n), m).is_some());
+        }
+    }
+}
+
+fn check_handshake(topo: &dyn Topology) {
+    let degree_sum: usize = (0..topo.num_nodes())
+        .map(|n| topo.neighbors(NodeId(n)).len())
+        .sum();
+    assert_eq!(degree_sum, 2 * topo.num_links(), "handshake lemma violated");
+}
+
+fn check_paths(topo: &dyn Topology, a: usize, b: usize) {
+    let a = NodeId(a % topo.num_nodes());
+    let b = NodeId(b % topo.num_nodes());
+    let d = topo.distance(a, b);
+    assert_eq!(d, topo.distance(b, a), "distance asymmetric");
+
+    let dop = topo.dimension_order_path(a, b);
+    assert!(dop.validate(topo));
+    assert_eq!(dop.hops(), d);
+    assert!(dop.is_simple());
+
+    let paths = topo.shortest_paths(a, b, 64);
+    assert!(!paths.is_empty());
+    assert_eq!(
+        paths[0], dop,
+        "first enumerated path must be dimension-order"
+    );
+    let distinct: std::collections::HashSet<_> = paths.iter().collect();
+    assert_eq!(distinct.len(), paths.len(), "duplicate shortest paths");
+    for p in &paths {
+        assert_eq!(p.source(), a);
+        assert_eq!(p.destination(), b);
+        assert_eq!(p.hops(), d, "non-shortest path enumerated");
+        assert!(p.validate(topo));
+        assert!(p.is_simple());
+    }
+}
+
+/// Triangle inequality via one intermediate node.
+fn check_triangle(topo: &dyn Topology, a: usize, b: usize, c: usize) {
+    let n = topo.num_nodes();
+    let (a, b, c) = (NodeId(a % n), NodeId(b % n), NodeId(c % n));
+    assert!(topo.distance(a, c) <= topo.distance(a, b) + topo.distance(b, c));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ghc_adjacency_symmetric(radices in ghc_radices()) {
+        let g = GeneralizedHypercube::new(&radices).unwrap();
+        check_symmetry(&g);
+        check_handshake(&g);
+    }
+
+    #[test]
+    fn torus_adjacency_symmetric(extents in torus_extents()) {
+        let t = Torus::new(&extents).unwrap();
+        check_symmetry(&t);
+        check_handshake(&t);
+    }
+
+    #[test]
+    fn mesh_adjacency_symmetric(extents in torus_extents()) {
+        let m = Mesh::new(&extents).unwrap();
+        check_symmetry(&m);
+        check_handshake(&m);
+    }
+
+    #[test]
+    fn mesh_paths_are_shortest_and_valid(
+        extents in torus_extents(),
+        a in any::<usize>(),
+        b in any::<usize>(),
+    ) {
+        let m = Mesh::new(&extents).unwrap();
+        check_paths(&m, a, b);
+    }
+
+    #[test]
+    fn mesh_distance_matches_bfs(extents in torus_extents(), a in any::<usize>()) {
+        let m = Mesh::new(&extents).unwrap();
+        let src = NodeId(a % m.num_nodes());
+        let bfs = bfs_distances(&m, src);
+        for n in 0..m.num_nodes() {
+            prop_assert_eq!(m.distance(src, NodeId(n)), bfs[n]);
+        }
+    }
+
+    #[test]
+    fn mesh_dominates_torus_distance(extents in torus_extents(), a in any::<usize>(), b in any::<usize>()) {
+        // Removing wraparound can only lengthen shortest paths.
+        let m = Mesh::new(&extents).unwrap();
+        let t = Torus::new(&extents).unwrap();
+        let a = NodeId(a % m.num_nodes());
+        let b = NodeId(b % m.num_nodes());
+        prop_assert!(m.distance(a, b) >= t.distance(a, b));
+    }
+
+    #[test]
+    fn ghc_paths_are_shortest_and_valid(
+        radices in ghc_radices(),
+        a in any::<usize>(),
+        b in any::<usize>(),
+    ) {
+        let g = GeneralizedHypercube::new(&radices).unwrap();
+        check_paths(&g, a, b);
+    }
+
+    #[test]
+    fn torus_paths_are_shortest_and_valid(
+        extents in torus_extents(),
+        a in any::<usize>(),
+        b in any::<usize>(),
+    ) {
+        let t = Torus::new(&extents).unwrap();
+        check_paths(&t, a, b);
+    }
+
+    #[test]
+    fn ghc_triangle_inequality(
+        radices in ghc_radices(),
+        a in any::<usize>(),
+        b in any::<usize>(),
+        c in any::<usize>(),
+    ) {
+        let g = GeneralizedHypercube::new(&radices).unwrap();
+        check_triangle(&g, a, b, c);
+    }
+
+    #[test]
+    fn torus_triangle_inequality(
+        extents in torus_extents(),
+        a in any::<usize>(),
+        b in any::<usize>(),
+        c in any::<usize>(),
+    ) {
+        let t = Torus::new(&extents).unwrap();
+        check_triangle(&t, a, b, c);
+    }
+
+    #[test]
+    fn ghc_distance_matches_bfs(radices in ghc_radices(), a in any::<usize>()) {
+        let g = GeneralizedHypercube::new(&radices).unwrap();
+        let src = NodeId(a % g.num_nodes());
+        let bfs = bfs_distances(&g, src);
+        for n in 0..g.num_nodes() {
+            prop_assert_eq!(g.distance(src, NodeId(n)), bfs[n]);
+        }
+    }
+
+    #[test]
+    fn torus_distance_matches_bfs(extents in torus_extents(), a in any::<usize>()) {
+        let t = Torus::new(&extents).unwrap();
+        let src = NodeId(a % t.num_nodes());
+        let bfs = bfs_distances(&t, src);
+        for n in 0..t.num_nodes() {
+            prop_assert_eq!(t.distance(src, NodeId(n)), bfs[n]);
+        }
+    }
+}
+
+fn bfs_distances(topo: &dyn Topology, src: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; topo.num_nodes()];
+    dist[src.0] = 0;
+    let mut queue = std::collections::VecDeque::from([src]);
+    while let Some(v) = queue.pop_front() {
+        for &w in topo.neighbors(v) {
+            if dist[w.0] == usize::MAX {
+                dist[w.0] = dist[v.0] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}

@@ -1,0 +1,458 @@
+//! The discrete-event core of the wormhole simulator.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::result::{InvocationRecord, SimResult};
+use crate::trace::{FlightRecord, Trace};
+use sr_mapping::Allocation;
+use sr_tfg::{MessageId, TaskFlowGraph, TaskId, Timing};
+
+/// A scheduled simulation event; `seq` makes ordering total and FCFS
+/// tie-breaks deterministic.
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+enum EventKind {
+    /// External input `j` arrives, releasing every input task's instance `j`.
+    Input(usize),
+    /// A task instance finishes executing on its node.
+    TaskDone { task: TaskId, inv: usize },
+    /// A message instance finishes transmitting over its captured path.
+    TxDone { flight: usize },
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// One in-flight message instance (message × invocation).
+struct Flight {
+    message: MessageId,
+    inv: usize,
+    /// Directed channels of the route, hop order.
+    links: Vec<usize>,
+    /// How many channels from the front are currently held.
+    acquired: usize,
+    tx_time: f64,
+    injected_at: f64,
+    path_complete_at: f64,
+}
+
+#[derive(Default)]
+struct LinkState {
+    /// Flights currently multiplexed onto the link (≤ capacity).
+    holders: Vec<usize>,
+    queue: VecDeque<usize>,
+}
+
+struct NodeState {
+    busy: bool,
+    /// Ready task instances: (invocation, topological position, task).
+    ready: BinaryHeap<Reverse<(usize, usize, usize)>>,
+}
+
+pub(crate) struct Engine<'a> {
+    tfg: &'a TaskFlowGraph,
+    alloc: &'a Allocation,
+    timing: &'a Timing,
+    /// Candidate channel routes per message; deterministic routing has one
+    /// candidate, adaptive routing several (committed at injection).
+    routes: &'a [Vec<Vec<usize>>],
+    period: f64,
+    invocations: usize,
+    /// Messages sharable per channel (1 = the paper's base model; 2 = the
+    /// stricter virtual-channel model, with per-message bandwidth halved).
+    link_capacity: usize,
+    /// Transmission-time multiplier (= link_capacity: each message sees
+    /// 1/capacity of the link bandwidth under multiplexing).
+    tx_factor: f64,
+
+    now: f64,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    links: Vec<LinkState>,
+    flights: Vec<Flight>,
+    nodes: Vec<NodeState>,
+    /// `remaining[inv][task]`: predecessor arrivals still outstanding
+    /// (input tasks wait for exactly one: the external input).
+    remaining: Vec<Vec<usize>>,
+    outputs_remaining: Vec<usize>,
+    output_time: Vec<Option<f64>>,
+    topo_pos: Vec<usize>,
+    /// Per-link total captured time (for occupancy statistics).
+    link_busy: Vec<f64>,
+    /// Per-link capture timestamp of each current holder (parallel to
+    /// `LinkState::holders`).
+    hold_since: Vec<Vec<f64>>,
+    end_time: f64,
+    trace: Trace,
+}
+
+impl<'a> Engine<'a> {
+    pub(crate) fn new(
+        tfg: &'a TaskFlowGraph,
+        alloc: &'a Allocation,
+        timing: &'a Timing,
+        routes: &'a [Vec<Vec<usize>>],
+        num_links: usize,
+        period: f64,
+        invocations: usize,
+        link_capacity: usize,
+    ) -> Self {
+        debug_assert!(link_capacity >= 1);
+        let nt = tfg.num_tasks();
+        let mut topo_pos = vec![0usize; nt];
+        for (i, &t) in tfg.topological_order().iter().enumerate() {
+            topo_pos[t.index()] = i;
+        }
+        let base_remaining: Vec<usize> = (0..nt)
+            .map(|t| {
+                let inc = tfg.incoming(TaskId(t)).len();
+                if inc == 0 {
+                    1 // released by the external input event
+                } else {
+                    inc
+                }
+            })
+            .collect();
+        let mut num_nodes = 0;
+        for &n in alloc.placement() {
+            num_nodes = num_nodes.max(n.index() + 1);
+        }
+        Engine {
+            tfg,
+            alloc,
+            timing,
+            routes,
+            period,
+            invocations,
+            link_capacity,
+            tx_factor: link_capacity as f64,
+            now: 0.0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            links: (0..num_links).map(|_| LinkState::default()).collect(),
+            flights: Vec::new(),
+            nodes: (0..num_nodes)
+                .map(|_| NodeState {
+                    busy: false,
+                    ready: BinaryHeap::new(),
+                })
+                .collect(),
+            remaining: (0..invocations).map(|_| base_remaining.clone()).collect(),
+            outputs_remaining: vec![tfg.outputs().len(); invocations],
+            output_time: vec![None; invocations],
+            topo_pos,
+            link_busy: vec![0.0; num_links],
+            hold_since: vec![Vec::new(); num_links],
+            end_time: 0.0,
+            trace: Trace::default(),
+        }
+    }
+
+    fn push_event(&mut self, time: f64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { time, seq, kind }));
+    }
+
+    pub(crate) fn run(mut self, warmup: usize) -> SimResult {
+        for j in 0..self.invocations {
+            self.push_event(j as f64 * self.period, EventKind::Input(j));
+        }
+        while let Some(Reverse(ev)) = self.events.pop() {
+            debug_assert!(ev.time >= self.now - 1e-9, "time went backwards");
+            self.now = ev.time.max(self.now);
+            match ev.kind {
+                EventKind::Input(j) => {
+                    for &t in self.tfg.inputs().to_vec().iter() {
+                        self.predecessor_arrived(t, j);
+                    }
+                }
+                EventKind::TaskDone { task, inv } => self.on_task_done(task, inv),
+                EventKind::TxDone { flight } => self.on_tx_done(flight),
+            }
+        }
+        // Collect the prefix of consecutively completed invocations; a gap
+        // (only possible if the network deadlocked) truncates the series.
+        let mut records = Vec::new();
+        for (j, out) in self.output_time.iter().enumerate() {
+            match out {
+                Some(t) => records.push(InvocationRecord {
+                    index: j,
+                    input_time: j as f64 * self.period,
+                    output_time: *t,
+                }),
+                None => break,
+            }
+        }
+        let deadlocked = records.len() < self.invocations;
+        // Post-mortem: on deadlock, snapshot the wait-for state and extract
+        // one hold-and-wait cycle for the report.
+        let deadlock_cycle = if deadlocked {
+            self.extract_cycle()
+        } else {
+            Vec::new()
+        };
+        self.end_time = self.now;
+        // Close out any links still captured (deadlocked flights).
+        for l in 0..self.links.len() {
+            for &since in &self.hold_since[l] {
+                self.link_busy[l] += self.end_time - since;
+            }
+        }
+        SimResult {
+            period: self.period,
+            records,
+            warmup,
+            deadlocked,
+            link_busy: std::mem::take(&mut self.link_busy),
+            makespan: self.end_time,
+            trace: std::mem::take(&mut self.trace),
+            deadlock_cycle,
+        }
+    }
+
+    /// Walks the wait-for relation (blocked flight → flights holding the
+    /// channel it waits for) from an arbitrary blocked flight until a
+    /// flight repeats; returns the cycle as `(message, invocation, waited
+    /// channel)` triples. Empty when no blocked flight exists.
+    fn extract_cycle(&self) -> Vec<crate::result::DeadlockEdge> {
+        // A flight is blocked iff it sits in some channel's queue.
+        let mut waiting_for: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for (ch, link) in self.links.iter().enumerate() {
+            for &f in &link.queue {
+                waiting_for.insert(f, ch);
+            }
+        }
+        let Some((&start, _)) = waiting_for.iter().min_by_key(|(f, _)| **f) else {
+            return Vec::new();
+        };
+        let mut chain: Vec<usize> = Vec::new();
+        let mut seen = std::collections::HashMap::new();
+        let mut cur = start;
+        loop {
+            if let Some(&pos) = seen.get(&cur) {
+                chain.drain(..pos);
+                break;
+            }
+            seen.insert(cur, chain.len());
+            chain.push(cur);
+            let Some(&ch) = waiting_for.get(&cur) else {
+                // The chain left the blocked set (a holder that is merely
+                // transmitting): no cycle through this flight — report the
+                // chain as-is.
+                break;
+            };
+            // Follow to the lowest-id holder of the waited channel.
+            let Some(&next) = self.links[ch].holders.iter().min() else {
+                break;
+            };
+            cur = next;
+        }
+        chain
+            .into_iter()
+            .map(|f| {
+                let fl = &self.flights[f];
+                crate::result::DeadlockEdge {
+                    message: fl.message,
+                    invocation: fl.inv,
+                    waiting_for: waiting_for
+                        .get(&f)
+                        .map(|&ch| (sr_topology::LinkId(ch / 2), ch % 2 == 1)),
+                }
+            })
+            .collect()
+    }
+
+    /// One of `task`'s inputs for invocation `inv` became available.
+    fn predecessor_arrived(&mut self, task: TaskId, inv: usize) {
+        let r = &mut self.remaining[inv][task.index()];
+        debug_assert!(*r > 0, "excess arrivals for {task} inv {inv}");
+        *r -= 1;
+        if *r == 0 {
+            let node = self.alloc.node_of(task).index();
+            self.nodes[node]
+                .ready
+                .push(Reverse((inv, self.topo_pos[task.index()], task.index())));
+            self.start_next(node);
+        }
+    }
+
+    /// Starts the highest-priority ready instance if the AP is idle.
+    fn start_next(&mut self, node: usize) {
+        if self.nodes[node].busy {
+            return;
+        }
+        let Some(Reverse((inv, _, task))) = self.nodes[node].ready.pop() else {
+            return;
+        };
+        self.nodes[node].busy = true;
+        let exec = self.timing.exec_time(self.tfg.task(TaskId(task)));
+        self.push_event(
+            self.now + exec,
+            EventKind::TaskDone {
+                task: TaskId(task),
+                inv,
+            },
+        );
+    }
+
+    fn on_task_done(&mut self, task: TaskId, inv: usize) {
+        let node = self.alloc.node_of(task).index();
+        self.nodes[node].busy = false;
+
+        // Inject outgoing messages (message-id order => deterministic FCFS).
+        for &m in self.tfg.outgoing(task).to_vec().iter() {
+            self.inject(m, inv);
+        }
+
+        if self.tfg.outgoing(task).is_empty() {
+            // Output task: this invocation completes when all outputs have.
+            let rem = &mut self.outputs_remaining[inv];
+            *rem -= 1;
+            if *rem == 0 {
+                self.output_time[inv] = Some(self.now);
+            }
+        }
+
+        self.start_next(node);
+    }
+
+    /// Creates the flight for message `m`, invocation `inv`, and pushes it
+    /// into the network.
+    fn inject(&mut self, m: MessageId, inv: usize) {
+        let msg = self.tfg.message(m);
+        let links = self.select_route(m);
+        // Under virtual-channel multiplexing every message sees only
+        // 1/capacity of the raw link bandwidth (paper §6, last paragraph).
+        let tx_time = self.timing.tx_time(msg) * self.tx_factor;
+        let id = self.flights.len();
+        self.flights.push(Flight {
+            message: m,
+            inv,
+            links,
+            acquired: 0,
+            tx_time,
+            injected_at: self.now,
+            path_complete_at: self.now,
+        });
+        if self.flights[id].links.is_empty() {
+            // Co-located sender and receiver: no network involvement.
+            self.push_event(self.now, EventKind::TxDone { flight: id });
+        } else {
+            self.advance(id);
+        }
+    }
+
+    /// Commits a route for a fresh flight: with one candidate this is the
+    /// deterministic routing function; with several it is the §3 adaptive
+    /// policy — take the first candidate whose first channel has a free
+    /// slot, else the one with the shortest queue on its first channel
+    /// (first wins ties). The choice is final ("the adaptive flow-control
+    /// commits it to a path").
+    fn select_route(&self, m: MessageId) -> Vec<usize> {
+        let candidates = &self.routes[m.index()];
+        if candidates.len() == 1 || candidates[0].is_empty() {
+            return candidates[0].clone();
+        }
+        let mut best: Option<(usize, usize)> = None; // (queue length, index)
+        for (i, c) in candidates.iter().enumerate() {
+            let first = c[0];
+            let link = &self.links[first];
+            if link.holders.len() < self.link_capacity {
+                return c.clone();
+            }
+            let q = link.queue.len();
+            if best.map_or(true, |(bq, _)| q < bq) {
+                best = Some((q, i));
+            }
+        }
+        candidates[best.expect("at least one candidate").1].clone()
+    }
+
+    /// Acquires links for `flight` until it blocks or holds its whole path.
+    ///
+    /// Invariant: a link with an empty queue and no holder is free; a held
+    /// link queues requesters FCFS.
+    fn advance(&mut self, flight: usize) {
+        loop {
+            let next = {
+                let f = &mut self.flights[flight];
+                if f.acquired == f.links.len() {
+                    f.path_complete_at = self.now;
+                    let tx = f.tx_time;
+                    self.push_event(self.now + tx, EventKind::TxDone { flight });
+                    return;
+                }
+                f.links[f.acquired]
+            };
+            let link = &mut self.links[next];
+            if link.holders.len() < self.link_capacity {
+                debug_assert!(link.queue.is_empty(), "spare link slot with waiters");
+                link.holders.push(flight);
+                self.hold_since[next].push(self.now);
+                self.flights[flight].acquired += 1;
+            } else {
+                link.queue.push_back(flight);
+                return;
+            }
+        }
+    }
+
+    fn on_tx_done(&mut self, flight: usize) {
+        let (message, inv, held) = {
+            let f = &self.flights[flight];
+            self.trace.flights.push(FlightRecord {
+                message: f.message,
+                invocation: f.inv,
+                injected_at: f.injected_at,
+                path_complete_at: f.path_complete_at,
+                delivered_at: self.now,
+            });
+            (f.message, f.inv, f.links[..f.acquired].to_vec())
+        };
+        // Deliver to the destination task.
+        let dst = self.tfg.message(message).dst();
+        self.predecessor_arrived(dst, inv);
+
+        // Release the captured path in hop order, granting waiters FCFS.
+        for l in held {
+            let link = &mut self.links[l];
+            let pos = link
+                .holders
+                .iter()
+                .position(|&h| h == flight)
+                .expect("released foreign channel");
+            link.holders.swap_remove(pos);
+            let since = self.hold_since[l].swap_remove(pos);
+            self.link_busy[l] += self.now - since;
+            if let Some(w) = link.queue.pop_front() {
+                link.holders.push(w);
+                self.hold_since[l].push(self.now);
+                self.flights[w].acquired += 1;
+                self.advance(w);
+            }
+        }
+    }
+}

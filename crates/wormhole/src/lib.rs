@@ -1,0 +1,56 @@
+//! A discrete-event simulator for **wormhole routing** under task-level
+//! pipelining.
+//!
+//! This is the paper's baseline (ISCA '91, §3 and §6): second-generation
+//! multicomputers route messages over a deterministic dimension-order path,
+//! resolve link contention **first-come-first-served in hardware**, and are
+//! oblivious to the application's timing requirements. When a task-flow
+//! graph is invoked periodically, messages of *different invocations*
+//! coexist in the network; the FCFS policy then delays messages of the
+//! current invocation behind less-urgent ones, and the interval between
+//! successive pipeline outputs stops being constant — **output
+//! inconsistency** (OI).
+//!
+//! The channel model follows the paper's:
+//!
+//! * one half-duplex link per adjacent node pair, captured by at most one
+//!   message at a time;
+//! * a message acquires its path's links hop by hop, holds every acquired
+//!   link while blocked, and holds *all* of them until it is completely
+//!   received (transmission time dominates propagation after path setup);
+//! * co-located sender/receiver exchange messages without the network.
+//!
+//! Each node's application processor executes ready task instances one at a
+//! time, earliest invocation first.
+//!
+//! # Examples
+//!
+//! ```
+//! use sr_wormhole::{SimConfig, WormholeSim};
+//! use sr_topology::GeneralizedHypercube;
+//! use sr_tfg::{Timing, dvb_uniform};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cube = GeneralizedHypercube::binary(6)?;
+//! let tfg = dvb_uniform(8);
+//! let alloc = sr_mapping::greedy(&tfg, &cube);
+//! let timing = Timing::calibrated_dvb(64.0);
+//!
+//! let sim = WormholeSim::new(&cube, &tfg, &alloc, &timing)?;
+//! let result = sim.run(75.0, &SimConfig::default())?;
+//! println!("output-interval spread: {:?}", result.interval_stats());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod result;
+mod sim;
+mod trace;
+
+pub use result::{DeadlockEdge, InvocationRecord, SimResult, Stats};
+pub use sim::{SimConfig, SimError, WormholeSim};
+pub use trace::{FlightRecord, Trace};

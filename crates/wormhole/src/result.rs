@@ -1,0 +1,330 @@
+/// Summary statistics of a per-invocation series.
+///
+/// The paper plots output inconsistency as an "up-down spike": the maximum,
+/// minimum, and middle (average) of the observed values across invocations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Smallest observed value.
+    pub min: f64,
+    /// Arithmetic mean of the observed values.
+    pub mean: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl Stats {
+    /// Computes statistics over a slice.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn from_slice(values: &[f64]) -> Option<Stats> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        Some(Stats {
+            min,
+            mean: sum / values.len() as f64,
+            max,
+        })
+    }
+
+    /// The spread `max − min`.
+    pub fn spread(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// Timing record of one completed TFG invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvocationRecord {
+    /// Invocation index (0-based).
+    pub index: usize,
+    /// Arrival time of this invocation's input, in µs.
+    pub input_time: f64,
+    /// Completion time of the last output task, in µs.
+    pub output_time: f64,
+}
+
+impl InvocationRecord {
+    /// Latency `λ_j = t_out − t_in` of this invocation, in µs.
+    pub fn latency(&self) -> f64 {
+        self.output_time - self.input_time
+    }
+}
+
+/// One participant in a deadlock's hold-and-wait chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlockEdge {
+    /// The blocked (or holding) message.
+    pub message: sr_tfg::MessageId,
+    /// Its invocation.
+    pub invocation: usize,
+    /// The channel it waits for as `(link, reverse-direction?)`, or `None`
+    /// for a flight that holds resources without waiting.
+    pub waiting_for: Option<(sr_topology::LinkId, bool)>,
+}
+
+/// The outcome of a wormhole-routing simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    pub(crate) period: f64,
+    pub(crate) records: Vec<InvocationRecord>,
+    pub(crate) warmup: usize,
+    pub(crate) deadlocked: bool,
+    pub(crate) link_busy: Vec<f64>,
+    pub(crate) makespan: f64,
+    pub(crate) trace: crate::trace::Trace,
+    pub(crate) deadlock_cycle: Vec<DeadlockEdge>,
+}
+
+impl SimResult {
+    /// The input arrival period `τ_in` the run used, in µs.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// All completed invocations, in order.
+    pub fn records(&self) -> &[InvocationRecord] {
+        &self.records
+    }
+
+    /// `true` if the network deadlocked before all invocations completed.
+    ///
+    /// Hold-while-blocked link capture can deadlock (notably on tori, whose
+    /// wraparound rings make dimension-order routing cyclic without virtual
+    /// channels); the run then ends early with the completed prefix.
+    pub fn deadlocked(&self) -> bool {
+        self.deadlocked
+    }
+
+    /// Post-warmup output generation intervals `δ_j = t_out(j) − t_out(j−1)`.
+    pub fn output_intervals(&self) -> Vec<f64> {
+        self.records
+            .windows(2)
+            .skip(self.warmup.saturating_sub(1))
+            .map(|w| w[1].output_time - w[0].output_time)
+            .collect()
+    }
+
+    /// Post-warmup invocation latencies.
+    pub fn latencies(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .skip(self.warmup)
+            .map(InvocationRecord::latency)
+            .collect()
+    }
+
+    /// Min/mean/max of the post-warmup output intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two post-warmup invocations completed.
+    pub fn interval_stats(&self) -> Stats {
+        Stats::from_slice(&self.output_intervals())
+            .expect("need at least two completed invocations after warmup")
+    }
+
+    /// Min/mean/max of the post-warmup latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no post-warmup invocation completed.
+    pub fn latency_stats(&self) -> Stats {
+        Stats::from_slice(&self.latencies())
+            .expect("need at least one completed invocation after warmup")
+    }
+
+    /// Total simulated time, µs (the instant the last event fired).
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+
+    /// The message-level trace: injection, path capture, and delivery of
+    /// every completed flight.
+    pub fn trace(&self) -> &crate::trace::Trace {
+        &self.trace
+    }
+
+    /// On deadlock, the hold-and-wait chain the post-mortem extracted (a
+    /// cycle when one exists through the first blocked flight); empty for
+    /// clean runs.
+    pub fn deadlock_cycle(&self) -> &[DeadlockEdge] {
+        &self.deadlock_cycle
+    }
+
+    /// Measured occupancy of a link: the fraction of the whole run during
+    /// which some message had one of the link's two directed channels
+    /// captured (including time spent *blocked* while holding it — exactly
+    /// the capture semantics whose cost scheduled routing eliminates).
+    /// Reports the busier of the two directions.
+    ///
+    /// Returns 0 for links that never carried traffic and for zero-length
+    /// runs.
+    pub fn link_occupancy(&self, link: sr_topology::LinkId) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        let a = self.link_busy.get(link.index() * 2).copied().unwrap_or(0.0);
+        let b = self
+            .link_busy
+            .get(link.index() * 2 + 1)
+            .copied()
+            .unwrap_or(0.0);
+        a.max(b) / self.makespan
+    }
+
+    /// The highest [`SimResult::link_occupancy`] over all links.
+    pub fn peak_link_occupancy(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.link_busy
+            .iter()
+            .fold(0.0f64, |acc, &b| acc.max(b / self.makespan))
+    }
+
+    /// Whether the run exhibits **output inconsistency**: some post-warmup
+    /// output interval deviates from the input period by more than `tol` µs
+    /// (Eq. (1) of the paper: pipelining succeeds iff every `δ_j = τ_in`).
+    ///
+    /// A deadlocked run counts as inconsistent.
+    pub fn has_output_inconsistency(&self, tol: f64) -> bool {
+        if self.deadlocked {
+            return true;
+        }
+        self.output_intervals()
+            .iter()
+            .any(|&d| (d - self.period).abs() > tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(index: usize, input: f64, output: f64) -> InvocationRecord {
+        InvocationRecord {
+            index,
+            input_time: input,
+            output_time: output,
+        }
+    }
+
+    #[test]
+    fn stats_from_slice() {
+        let s = Stats::from_slice(&[1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.spread(), 2.0);
+        assert!(Stats::from_slice(&[]).is_none());
+    }
+
+    #[test]
+    fn consistent_run_reports_no_oi() {
+        let r = SimResult {
+            period: 10.0,
+            records: (0..5)
+                .map(|j| rec(j, j as f64 * 10.0, 100.0 + j as f64 * 10.0))
+                .collect(),
+            warmup: 1,
+            deadlocked: false,
+            link_busy: vec![25.0, 0.0],
+            makespan: 140.0,
+            trace: Default::default(),
+            deadlock_cycle: Vec::new(),
+        };
+        assert!(!r.has_output_inconsistency(1e-9));
+        assert_eq!(r.interval_stats().spread(), 0.0);
+        assert_eq!(r.latency_stats().mean, 100.0);
+    }
+
+    #[test]
+    fn alternating_outputs_report_oi() {
+        // Output intervals alternate 8, 12, 8, 12 around a period of 10.
+        let outputs = [100.0, 108.0, 120.0, 128.0, 140.0];
+        let r = SimResult {
+            period: 10.0,
+            records: outputs
+                .iter()
+                .enumerate()
+                .map(|(j, &o)| rec(j, j as f64 * 10.0, o))
+                .collect(),
+            warmup: 0,
+            deadlocked: false,
+            link_busy: Vec::new(),
+            makespan: 140.0,
+            trace: Default::default(),
+            deadlock_cycle: Vec::new(),
+        };
+        assert!(r.has_output_inconsistency(1e-9));
+        let s = r.interval_stats();
+        assert_eq!(s.min, 8.0);
+        assert_eq!(s.max, 12.0);
+    }
+
+    #[test]
+    fn warmup_skips_initial_records() {
+        let r = SimResult {
+            period: 10.0,
+            // First interval is bogus (35), the rest are exactly 10.
+            records: vec![
+                rec(0, 0.0, 50.0),
+                rec(1, 10.0, 85.0),
+                rec(2, 20.0, 95.0),
+                rec(3, 30.0, 105.0),
+            ],
+            warmup: 2,
+            deadlocked: false,
+            link_busy: Vec::new(),
+            makespan: 105.0,
+            trace: Default::default(),
+            deadlock_cycle: Vec::new(),
+        };
+        assert_eq!(r.output_intervals(), vec![10.0, 10.0]);
+        assert!(!r.has_output_inconsistency(1e-9));
+        assert_eq!(r.latencies().len(), 2);
+    }
+
+    #[test]
+    fn occupancy_accounting() {
+        let r = SimResult {
+            period: 10.0,
+            records: vec![rec(0, 0.0, 50.0), rec(1, 10.0, 60.0)],
+            warmup: 0,
+            deadlocked: false,
+            // Channels: link 0 has 30 µs (+dir) and 12 µs (−dir); link 1 idle.
+            link_busy: vec![30.0, 12.0, 0.0, 0.0],
+            makespan: 60.0,
+            trace: Default::default(),
+            deadlock_cycle: Vec::new(),
+        };
+        assert!((r.link_occupancy(sr_topology::LinkId(0)) - 0.5).abs() < 1e-12);
+        assert_eq!(r.link_occupancy(sr_topology::LinkId(1)), 0.0);
+        assert_eq!(r.link_occupancy(sr_topology::LinkId(9)), 0.0); // out of range
+        assert!((r.peak_link_occupancy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadlock_is_inconsistent() {
+        let r = SimResult {
+            period: 10.0,
+            records: vec![],
+            warmup: 0,
+            deadlocked: true,
+            link_busy: Vec::new(),
+            makespan: 0.0,
+            trace: Default::default(),
+            deadlock_cycle: Vec::new(),
+        };
+        assert!(r.has_output_inconsistency(1e-9));
+    }
+}

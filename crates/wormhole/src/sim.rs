@@ -1,0 +1,864 @@
+use std::error::Error;
+use std::fmt;
+
+use sr_mapping::Allocation;
+use sr_tfg::{MessageId, TaskFlowGraph, Timing};
+use sr_topology::{LinkId, Path, Topology};
+
+use crate::engine::Engine;
+use crate::result::SimResult;
+
+/// Errors from configuring or running a wormhole simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The allocation does not cover this TFG/topology pair.
+    AllocationMismatch {
+        /// Number of placements in the allocation.
+        alloc_tasks: usize,
+        /// Number of tasks in the graph.
+        tfg_tasks: usize,
+    },
+    /// A custom route set had the wrong number of paths.
+    RouteCount {
+        /// Paths supplied.
+        got: usize,
+        /// Messages in the graph.
+        expected: usize,
+    },
+    /// A custom route does not start/end at the allocated nodes, or is not a
+    /// valid walk in the topology.
+    BadRoute {
+        /// The message whose route is invalid.
+        message: MessageId,
+    },
+    /// The input period must be positive and finite.
+    InvalidPeriod(f64),
+    /// Too few invocations for the requested warmup (need at least
+    /// `warmup + 2` to measure one steady-state output interval).
+    TooFewInvocations {
+        /// Invocations requested.
+        invocations: usize,
+        /// Warmup requested.
+        warmup: usize,
+    },
+    /// Virtual-channel count must be at least 1.
+    InvalidVirtualChannels,
+    /// Adaptive routing needs at least one candidate path.
+    InvalidPathCap,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::AllocationMismatch {
+                alloc_tasks,
+                tfg_tasks,
+            } => write!(
+                f,
+                "allocation covers {alloc_tasks} tasks but the graph has {tfg_tasks}"
+            ),
+            SimError::RouteCount { got, expected } => {
+                write!(f, "{got} routes supplied for {expected} messages")
+            }
+            SimError::BadRoute { message } => {
+                write!(f, "route for {message} is not a valid allocated path")
+            }
+            SimError::InvalidPeriod(p) => {
+                write!(f, "input period must be positive and finite, got {p}")
+            }
+            SimError::TooFewInvocations {
+                invocations,
+                warmup,
+            } => write!(
+                f,
+                "{invocations} invocations cannot cover a warmup of {warmup} plus measurement"
+            ),
+            SimError::InvalidVirtualChannels => {
+                write!(f, "virtual-channel count must be at least 1")
+            }
+            SimError::InvalidPathCap => {
+                write!(f, "adaptive routing needs a path cap of at least 1")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Run-length parameters for a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Total TFG invocations to simulate.
+    pub invocations: usize,
+    /// Leading invocations excluded from statistics (pipeline fill).
+    pub warmup: usize,
+}
+
+impl Default for SimConfig {
+    /// 150 invocations with a 30-invocation warmup — long enough to drain
+    /// pipeline-fill backlogs and expose the alternating-delay cycles of §3
+    /// at every load the paper sweeps.
+    fn default() -> Self {
+        SimConfig {
+            invocations: 150,
+            warmup: 30,
+        }
+    }
+}
+
+/// A configured wormhole-routing simulation (topology + TFG + allocation +
+/// timing + routes).
+///
+/// By default every message follows the deterministic dimension-order
+/// (LSD-to-MSD) route between its allocated endpoints, as in the paper's
+/// baseline machines; [`WormholeSim::with_routes`] substitutes custom paths
+/// (e.g. to replay a scheduled-routing path assignment under wormhole
+/// flow-control).
+pub struct WormholeSim<'a> {
+    topo: &'a dyn Topology,
+    tfg: &'a TaskFlowGraph,
+    alloc: &'a Allocation,
+    timing: &'a Timing,
+    /// Candidate paths per message (one = deterministic; several =
+    /// adaptive selection at injection).
+    paths: Vec<Vec<Path>>,
+    routes: Vec<Vec<LinkId>>,
+    virtual_channels: usize,
+}
+
+impl fmt::Debug for WormholeSim<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WormholeSim")
+            .field("topology", &self.topo.name())
+            .field("tasks", &self.tfg.num_tasks())
+            .field("messages", &self.tfg.num_messages())
+            .finish()
+    }
+}
+
+impl<'a> WormholeSim<'a> {
+    /// Creates a simulation with dimension-order routing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::AllocationMismatch`] if `alloc` was built for a
+    /// different task count.
+    pub fn new(
+        topo: &'a dyn Topology,
+        tfg: &'a TaskFlowGraph,
+        alloc: &'a Allocation,
+        timing: &'a Timing,
+    ) -> Result<Self, SimError> {
+        if alloc.placement().len() != tfg.num_tasks() {
+            return Err(SimError::AllocationMismatch {
+                alloc_tasks: alloc.placement().len(),
+                tfg_tasks: tfg.num_tasks(),
+            });
+        }
+        let paths: Vec<Vec<Path>> = tfg
+            .messages()
+            .iter()
+            .map(|m| {
+                let src = alloc.node_of(m.src());
+                let dst = alloc.node_of(m.dst());
+                vec![topo.dimension_order_path(src, dst)]
+            })
+            .collect();
+        let routes = paths.iter().map(|p| p[0].links(topo)).collect();
+        Ok(WormholeSim {
+            topo,
+            tfg,
+            alloc,
+            timing,
+            paths,
+            routes,
+            virtual_channels: 1,
+        })
+    }
+
+    /// Switches to **adaptive cut-through routing** (§3's second scenario,
+    /// after \[Nga89\]): each message considers up to `path_cap` shortest
+    /// paths and, at injection, commits to the first one whose entry
+    /// channel is free (falling back to the shortest entry queue). The
+    /// paper argues — and the tests demonstrate — that output inconsistency
+    /// persists under this policy too, because commitment is still
+    /// oblivious to invocation deadlines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidPathCap`] for `path_cap = 0`.
+    pub fn with_adaptive_routing(mut self, path_cap: usize) -> Result<Self, SimError> {
+        if path_cap == 0 {
+            return Err(SimError::InvalidPathCap);
+        }
+        self.paths = self
+            .tfg
+            .messages()
+            .iter()
+            .map(|m| {
+                let src = self.alloc.node_of(m.src());
+                let dst = self.alloc.node_of(m.dst());
+                self.topo.shortest_paths(src, dst, path_cap)
+            })
+            .collect();
+        self.routes = self.paths.iter().map(|p| p[0].links(self.topo)).collect();
+        Ok(self)
+    }
+
+    /// Switches to the paper's "stricter model" (§6): every physical link is
+    /// multiplexed between `n` virtual channels, so up to `n` messages share
+    /// it concurrently while each sees only `1/n` of the bandwidth. The
+    /// paper conjectures this increases the instances of output
+    /// inconsistency (messages occupy their paths longer).
+    ///
+    /// `n = 1` is the base model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidVirtualChannels`] for `n = 0`.
+    pub fn with_virtual_channels(mut self, n: usize) -> Result<Self, SimError> {
+        if n == 0 {
+            return Err(SimError::InvalidVirtualChannels);
+        }
+        self.virtual_channels = n;
+        Ok(self)
+    }
+
+    /// The number of virtual channels per link in force.
+    pub fn virtual_channels(&self) -> usize {
+        self.virtual_channels
+    }
+
+    /// Replaces the per-message routes (one [`Path`] per message, in
+    /// [`MessageId`] order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RouteCount`] on arity mismatch and
+    /// [`SimError::BadRoute`] if a path is not a valid topology walk from the
+    /// message's allocated source node to its allocated destination node.
+    pub fn with_routes(mut self, paths: &[Path]) -> Result<Self, SimError> {
+        if paths.len() != self.tfg.num_messages() {
+            return Err(SimError::RouteCount {
+                got: paths.len(),
+                expected: self.tfg.num_messages(),
+            });
+        }
+        let mut routes = Vec::with_capacity(paths.len());
+        for (i, (path, msg)) in paths.iter().zip(self.tfg.messages()).enumerate() {
+            let src = self.alloc.node_of(msg.src());
+            let dst = self.alloc.node_of(msg.dst());
+            if path.source() != src || path.destination() != dst || !path.validate(self.topo) {
+                return Err(SimError::BadRoute {
+                    message: MessageId(i),
+                });
+            }
+            routes.push(path.links(self.topo));
+        }
+        self.routes = routes;
+        self.paths = paths.iter().map(|p| vec![p.clone()]).collect();
+        Ok(self)
+    }
+
+    /// The directed-channel candidate routes of each message: wormhole
+    /// machines have a *pair* of unidirectional channels per adjacent node
+    /// pair (the paper's "channel"), so the channel id is
+    /// `2·link + direction`.
+    fn channel_routes(&self) -> Vec<Vec<Vec<usize>>> {
+        let encode = |path: &Path| -> Vec<usize> {
+            path.nodes()
+                .windows(2)
+                .map(|w| {
+                    let link = self
+                        .topo
+                        .link_between(w[0], w[1])
+                        .expect("validated path hop");
+                    let dir = usize::from(w[0] > w[1]);
+                    link.index() * 2 + dir
+                })
+                .collect()
+        };
+        self.paths
+            .iter()
+            .map(|cands| cands.iter().map(encode).collect())
+            .collect()
+    }
+
+    /// The per-message link routes in force, indexable by [`MessageId`].
+    pub fn routes(&self) -> &[Vec<LinkId>] {
+        &self.routes
+    }
+
+    /// Simulates `config.invocations` periodic invocations at input period
+    /// `period` (µs) and returns the per-invocation records.
+    ///
+    /// The run always terminates: if the network deadlocks (possible under
+    /// hold-while-blocked capture, e.g. on torus wraparound rings), the
+    /// result carries the completed prefix and
+    /// [`SimResult::deadlocked`] is `true`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidPeriod`] or [`SimError::TooFewInvocations`]
+    /// for malformed run parameters.
+    pub fn run(&self, period: f64, config: &SimConfig) -> Result<SimResult, SimError> {
+        if !(period.is_finite() && period > 0.0) {
+            return Err(SimError::InvalidPeriod(period));
+        }
+        if config.invocations < config.warmup + 2 {
+            return Err(SimError::TooFewInvocations {
+                invocations: config.invocations,
+                warmup: config.warmup,
+            });
+        }
+        let channels = self.channel_routes();
+        let engine = Engine::new(
+            self.tfg,
+            self.alloc,
+            self.timing,
+            &channels,
+            self.topo.num_links() * 2,
+            period,
+            config.invocations,
+            self.virtual_channels,
+        );
+        Ok(engine.run(config.warmup))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_tfg::{generators, TfgBuilder};
+    use sr_topology::{GeneralizedHypercube, NodeId, Torus};
+
+    fn cube(dims: usize) -> GeneralizedHypercube {
+        GeneralizedHypercube::binary(dims).unwrap()
+    }
+
+    /// A 2-task pipeline on adjacent nodes: no contention, so pipelining is
+    /// perfect and latency equals the critical path.
+    #[test]
+    fn uncontended_chain_has_constant_output() {
+        let topo = cube(3);
+        let tfg = generators::chain(3, 1000, 640);
+        let timing = Timing::new(64.0, 100.0); // exec 10, tx 10
+        let alloc = Allocation::new(vec![NodeId(0), NodeId(1), NodeId(3)], &tfg, &topo).unwrap();
+        let sim = WormholeSim::new(&topo, &tfg, &alloc, &timing).unwrap();
+        let res = sim.run(20.0, &SimConfig::default()).unwrap();
+        assert!(!res.deadlocked());
+        assert!(!res.has_output_inconsistency(1e-6));
+        let lat = res.latency_stats();
+        // 10 + 10 + 10 + 10 + 10 = 50.
+        assert!((lat.mean - 50.0).abs() < 1e-6, "latency {lat:?}");
+        assert!((lat.max - lat.min).abs() < 1e-9);
+    }
+
+    /// Saturating the slowest stage (period = exec time) still pipelines.
+    #[test]
+    fn max_rate_pipelining_without_contention() {
+        let topo = cube(3);
+        let tfg = generators::chain(4, 1000, 320);
+        let timing = Timing::new(64.0, 100.0); // exec 10, tx 5
+        let alloc = Allocation::new(
+            vec![NodeId(0), NodeId(1), NodeId(3), NodeId(7)],
+            &tfg,
+            &topo,
+        )
+        .unwrap();
+        let sim = WormholeSim::new(&topo, &tfg, &alloc, &timing).unwrap();
+        let res = sim.run(10.0, &SimConfig::default()).unwrap();
+        assert!(!res.has_output_inconsistency(1e-6));
+        assert!((res.interval_stats().mean - 10.0).abs() < 1e-6);
+    }
+
+    /// The §3 Claim scenario: two large messages of *different invocations*
+    /// share a link; FCFS favors the older invocation's message and the
+    /// output interval alternates (output inconsistency).
+    #[test]
+    fn shared_link_produces_output_inconsistency() {
+        let topo = cube(3);
+        // T0 -(M1 big)-> T1 -(tiny)-> T2 -(M2 big)-> T3, all on the critical
+        // path; route M1 and M2 over a common link by explicit paths.
+        let tfg = generators::claim_chain(1000, 6400, 64);
+        let timing = Timing::new(64.0, 100.0); // exec 10, big tx 100, tiny 1
+                                               // Both big messages must traverse the directed channel N0->N1:
+                                               // M1 = T0(N0) -> T1(N1); M2 = T2(N0) -> T3(N3), whose dimension-
+                                               // order route N0 -> N1 -> N3 starts with the same channel.
+        let alloc = Allocation::new(
+            vec![NodeId(0), NodeId(1), NodeId(0), NodeId(3)],
+            &tfg,
+            &topo,
+        )
+        .unwrap();
+        let sim = WormholeSim::new(&topo, &tfg, &alloc, &timing).unwrap();
+        // Period between exec and the point where invocations decouple:
+        // big-tx (100) spans several periods of 110 -> M2 of invocation j
+        // and M1 of invocation j+1 collide on link 0-1.
+        let res = sim
+            .run(
+                110.0,
+                &SimConfig {
+                    invocations: 40,
+                    warmup: 6,
+                },
+            )
+            .unwrap();
+        assert!(!res.deadlocked());
+        assert!(
+            res.has_output_inconsistency(1e-6),
+            "expected OI; intervals {:?}",
+            res.interval_stats()
+        );
+        // Long-run average throughput still matches the input rate (the
+        // delays alternate rather than accumulate).
+        let s = res.interval_stats();
+        assert!(s.spread() > 1.0, "spikes should be visible: {s:?}");
+    }
+
+    #[test]
+    fn colocated_tasks_serialize_on_one_ap() {
+        let topo = cube(2);
+        let tfg = generators::chain(2, 1000, 64);
+        let timing = Timing::new(64.0, 100.0); // exec 10 each
+        let alloc = Allocation::new(vec![NodeId(0), NodeId(0)], &tfg, &topo).unwrap();
+        let sim = WormholeSim::new(&topo, &tfg, &alloc, &timing).unwrap();
+        let res = sim.run(20.0, &SimConfig::default()).unwrap();
+        // Both tasks on one AP: latency = 10 + 10 (message is local/instant).
+        assert!((res.latency_stats().mean - 20.0).abs() < 1e-6);
+        assert!(!res.has_output_inconsistency(1e-6));
+    }
+
+    #[test]
+    fn saturated_input_rate_grows_latency_monotonically() {
+        let topo = cube(2);
+        let tfg = generators::chain(2, 1000, 64);
+        let timing = Timing::new(64.0, 100.0); // exec 10
+        let alloc = Allocation::new(vec![NodeId(0), NodeId(0)], &tfg, &topo).unwrap();
+        let sim = WormholeSim::new(&topo, &tfg, &alloc, &timing).unwrap();
+        // Period 5 < 2 tasks x 10 on one AP: backlog grows forever.
+        let res = sim
+            .run(
+                5.0,
+                &SimConfig {
+                    invocations: 30,
+                    warmup: 0,
+                },
+            )
+            .unwrap();
+        let lats = res.latencies();
+        assert!(lats.windows(2).all(|w| w[1] >= w[0] - 1e-9));
+        assert!(lats.last().unwrap() > &100.0);
+    }
+
+    #[test]
+    fn run_parameter_validation() {
+        let topo = cube(2);
+        let tfg = generators::chain(2, 10, 10);
+        let timing = Timing::new(1.0, 1.0);
+        let alloc = Allocation::new(vec![NodeId(0), NodeId(1)], &tfg, &topo).unwrap();
+        let sim = WormholeSim::new(&topo, &tfg, &alloc, &timing).unwrap();
+        assert!(matches!(
+            sim.run(0.0, &SimConfig::default()),
+            Err(SimError::InvalidPeriod(_))
+        ));
+        assert!(matches!(
+            sim.run(
+                10.0,
+                &SimConfig {
+                    invocations: 3,
+                    warmup: 5
+                }
+            ),
+            Err(SimError::TooFewInvocations { .. })
+        ));
+    }
+
+    #[test]
+    fn custom_routes_validated() {
+        let topo = cube(3);
+        let tfg = generators::chain(2, 10, 10);
+        let timing = Timing::new(1.0, 1.0);
+        let alloc = Allocation::new(vec![NodeId(0), NodeId(3)], &tfg, &topo).unwrap();
+        let sim = WormholeSim::new(&topo, &tfg, &alloc, &timing).unwrap();
+
+        // Wrong arity.
+        let err = WormholeSim::new(&topo, &tfg, &alloc, &timing)
+            .unwrap()
+            .with_routes(&[])
+            .unwrap_err();
+        assert!(matches!(err, SimError::RouteCount { .. }));
+
+        // Wrong endpoints.
+        let bad = Path::new(vec![NodeId(0), NodeId(1)]);
+        let err = WormholeSim::new(&topo, &tfg, &alloc, &timing)
+            .unwrap()
+            .with_routes(&[bad])
+            .unwrap_err();
+        assert!(matches!(err, SimError::BadRoute { .. }));
+
+        // A valid non-minimal-order alternative route is accepted.
+        let alt = Path::new(vec![NodeId(0), NodeId(2), NodeId(3)]);
+        let ok = WormholeSim::new(&topo, &tfg, &alloc, &timing)
+            .unwrap()
+            .with_routes(&[alt])
+            .unwrap();
+        assert_eq!(ok.routes()[0].len(), 2);
+        drop(sim);
+    }
+
+    #[test]
+    fn zero_virtual_channels_rejected() {
+        let topo = cube(2);
+        let tfg = generators::chain(2, 10, 10);
+        let timing = Timing::new(1.0, 1.0);
+        let alloc = Allocation::new(vec![NodeId(0), NodeId(1)], &tfg, &topo).unwrap();
+        let err = WormholeSim::new(&topo, &tfg, &alloc, &timing)
+            .unwrap()
+            .with_virtual_channels(0)
+            .unwrap_err();
+        assert_eq!(err, SimError::InvalidVirtualChannels);
+    }
+
+    /// A directed hold-and-wait cycle around the ring's wraparound: two
+    /// long clockwise messages interlock once a blocker staggers their
+    /// channel captures. One virtual channel deadlocks; two multiplex
+    /// through (Dally's classic result, and the paper's §6 remark).
+    #[test]
+    fn virtual_channels_break_cyclic_deadlock() {
+        let topo = sr_topology::Torus::new(&[4]).unwrap(); // ring 0-1-2-3
+        let mut b = TfgBuilder::new();
+        let w_s = b.task("w_s", 0); // blocker fires instantly
+        let w_d = b.task("w_d", 1000);
+        let b_s = b.task("b_s", 500); // injects at 5 µs
+        let b_d = b.task("b_d", 1000);
+        let a_s = b.task("a_s", 1000); // injects at 10 µs
+        let a_d = b.task("a_d", 1000);
+        b.message("W", w_s, w_d, 1280).unwrap(); // 20 µs on channel 2->3
+        b.message("B", b_s, b_d, 6400).unwrap(); // 100 µs, 2->3->0->1
+        b.message("A", a_s, a_d, 6400).unwrap(); // 100 µs, 0->1->2->3
+        let tfg = b.build().unwrap();
+        let timing = Timing::new(64.0, 100.0);
+        let alloc = Allocation::new(
+            vec![
+                NodeId(2),
+                NodeId(3), // W
+                NodeId(2),
+                NodeId(1), // B
+                NodeId(0),
+                NodeId(3), // A
+            ],
+            &tfg,
+            &topo,
+        )
+        .unwrap();
+        // Deliberately non-minimal clockwise routes create the cycle:
+        // A holds 0->1, 1->2 and waits for 2->3; B (granted 2->3 after the
+        // blocker) holds 2->3, 3->0 and waits for 0->1.
+        let routes = [
+            Path::new(vec![NodeId(2), NodeId(3)]),
+            Path::new(vec![NodeId(2), NodeId(3), NodeId(0), NodeId(1)]),
+            Path::new(vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]),
+        ];
+        let cfg = SimConfig {
+            invocations: 3,
+            warmup: 0,
+        };
+
+        let base = WormholeSim::new(&topo, &tfg, &alloc, &timing)
+            .unwrap()
+            .with_routes(&routes)
+            .unwrap();
+        let res = base.run(5000.0, &cfg).unwrap();
+        assert!(res.deadlocked(), "expected directed hold-and-wait deadlock");
+        // The post-mortem names the two interlocked messages (A and B) in a
+        // genuine cycle: every participant is waiting.
+        let cycle = res.deadlock_cycle();
+        assert!(cycle.len() >= 2, "cycle: {cycle:?}");
+        assert!(cycle.iter().all(|e| e.waiting_for.is_some()), "{cycle:?}");
+        // Messages: W = 0, B = 1, A = 2; the interlocked pair is A and B.
+        let names: std::collections::HashSet<usize> =
+            cycle.iter().map(|e| e.message.index()).collect();
+        assert!(names.contains(&1) && names.contains(&2), "{cycle:?}");
+
+        let vc = WormholeSim::new(&topo, &tfg, &alloc, &timing)
+            .unwrap()
+            .with_routes(&routes)
+            .unwrap()
+            .with_virtual_channels(2)
+            .unwrap();
+        assert_eq!(vc.virtual_channels(), 2);
+        let res = vc.run(5000.0, &cfg).unwrap();
+        assert!(!res.deadlocked(), "two VCs must break the cycle");
+    }
+
+    /// With ample capacity and no contention, virtual channels only slow
+    /// messages down (the halved-bandwidth cost without the blocking win).
+    #[test]
+    fn virtual_channels_halve_bandwidth() {
+        let topo = cube(3);
+        let tfg = generators::chain(2, 1000, 6400); // tx 100 at B=64
+        let timing = Timing::new(64.0, 100.0);
+        let alloc = Allocation::new(vec![NodeId(0), NodeId(1)], &tfg, &topo).unwrap();
+        let cfg = SimConfig {
+            invocations: 8,
+            warmup: 2,
+        };
+        let lat1 = WormholeSim::new(&topo, &tfg, &alloc, &timing)
+            .unwrap()
+            .run(500.0, &cfg)
+            .unwrap()
+            .latency_stats()
+            .mean;
+        let lat2 = WormholeSim::new(&topo, &tfg, &alloc, &timing)
+            .unwrap()
+            .with_virtual_channels(2)
+            .unwrap()
+            .run(500.0, &cfg)
+            .unwrap()
+            .latency_stats()
+            .mean;
+        // 10 + 100 + 10 = 120 vs 10 + 200 + 10 = 220.
+        assert!((lat1 - 120.0).abs() < 1e-6);
+        assert!((lat2 - 220.0).abs() < 1e-6);
+    }
+
+    /// §3's adaptive scenario: M1 blocks the entry channel of M2's
+    /// dimension-order path, adaptive routing commits M2 to the equivalent
+    /// path — which shares a channel with M3. The commitment is still
+    /// deadline-oblivious, so output inconsistency persists.
+    #[test]
+    fn adaptive_routing_does_not_cure_inconsistency() {
+        let topo = cube(3);
+        let mut b = TfgBuilder::new();
+        // S emits both M1 (to A) and M2 (to D2); D2 feeds T3s, which emits
+        // M3 — the paper's three-message construction.
+        let s_task = b.task("S", 1000); // 10 µs
+        let a = b.task("A", 1000);
+        let d2 = b.task("D2", 1000);
+        let t3s = b.task("T3s", 1000);
+        let t3d = b.task("T3d", 1000);
+        b.message("M1", s_task, a, 6400).unwrap(); // 100 µs, N1->N0
+        b.message("M2", s_task, d2, 6400).unwrap(); // 100 µs, N1->N2
+        b.message("c", d2, t3s, 64).unwrap(); // 1 µs coupling, N2->N3
+        b.message("M3", t3s, t3d, 6400).unwrap(); // 100 µs, N3->N2
+        let tfg = b.build().unwrap();
+        let timing = Timing::new(64.0, 100.0);
+        // S@N1, A@N0 (M1 on channel 1->0); D2@N2: M2's two shortest paths
+        // are N1->N0->N2 (entry blocked by M1) and N1->N3->N2; T3s@N3,
+        // T3d@N2: M3 on channel 3->2 — shared with M2's committed path.
+        let alloc = Allocation::new(
+            vec![NodeId(1), NodeId(0), NodeId(2), NodeId(3), NodeId(2)],
+            &tfg,
+            &topo,
+        )
+        .unwrap();
+        let sim = WormholeSim::new(&topo, &tfg, &alloc, &timing)
+            .unwrap()
+            .with_adaptive_routing(4)
+            .unwrap();
+        let res = sim
+            .run(
+                130.0,
+                &SimConfig {
+                    invocations: 40,
+                    warmup: 6,
+                },
+            )
+            .unwrap();
+        assert!(!res.deadlocked());
+        assert!(
+            res.has_output_inconsistency(1e-6),
+            "adaptive routing should still be inconsistent: {:?}",
+            res.interval_stats()
+        );
+    }
+
+    /// When the entry channel is visibly busy *at injection*, the adaptive
+    /// policy reroutes and avoids the wait that deterministic routing eats.
+    #[test]
+    fn adaptive_routing_exploits_free_paths() {
+        let topo = cube(3);
+        let mut b = TfgBuilder::new();
+        let s1 = b.task("s1", 0); // blocker source, fires at t=0
+        let a = b.task("a", 1000);
+        let s2 = b.task("s2", 1000); // injects M2 at t=10
+        let d = b.task("d", 1000);
+        b.message("M1", s1, a, 6400).unwrap(); // 100 µs on channel 0->1
+        b.message("M2", s2, d, 640).unwrap(); // 10 µs, N0 -> N3
+        let tfg = b.build().unwrap();
+        let timing = Timing::new(64.0, 100.0);
+        let alloc = Allocation::new(
+            vec![NodeId(0), NodeId(1), NodeId(0), NodeId(3)],
+            &tfg,
+            &topo,
+        )
+        .unwrap();
+        let cfg = SimConfig {
+            invocations: 8,
+            warmup: 2,
+        };
+        let run = |adaptive: bool| {
+            let mut sim = WormholeSim::new(&topo, &tfg, &alloc, &timing).unwrap();
+            if adaptive {
+                sim = sim.with_adaptive_routing(4).unwrap();
+            }
+            // Long period: invocations never overlap; the effect is purely
+            // the injection-time reroute.
+            sim.run(400.0, &cfg).unwrap()
+        };
+        let det = run(false);
+        let ada = run(true);
+        // M2 is message id 1; under dimension-order it waits ~90 µs for
+        // channel 0->1, under adaptive it departs immediately via N2.
+        let det_blocked = det.trace().blocked_series(sr_tfg::MessageId(1));
+        let ada_blocked = ada.trace().blocked_series(sr_tfg::MessageId(1));
+        assert!(det_blocked.iter().all(|&b| b > 80.0), "{det_blocked:?}");
+        assert!(ada_blocked.iter().all(|&b| b < 1.0), "{ada_blocked:?}");
+        // Both remain consistent (no cross-invocation overlap at τ_in=400).
+        assert!(!det.has_output_inconsistency(1e-6));
+        assert!(!ada.has_output_inconsistency(1e-6));
+    }
+
+    #[test]
+    fn adaptive_zero_cap_rejected() {
+        let topo = cube(2);
+        let tfg = generators::chain(2, 10, 10);
+        let timing = Timing::new(1.0, 1.0);
+        let alloc = Allocation::new(vec![NodeId(0), NodeId(1)], &tfg, &topo).unwrap();
+        let err = WormholeSim::new(&topo, &tfg, &alloc, &timing)
+            .unwrap()
+            .with_adaptive_routing(0)
+            .unwrap_err();
+        assert_eq!(err, SimError::InvalidPathCap);
+    }
+
+    /// The trace exposes the §3 mechanism directly: in the claim scenario,
+    /// the big message's blocked time varies from invocation to invocation.
+    #[test]
+    fn trace_shows_varying_blocked_time() {
+        let topo = cube(3);
+        let tfg = generators::claim_chain(1000, 6400, 64);
+        let timing = Timing::new(64.0, 100.0);
+        let alloc = Allocation::new(
+            vec![NodeId(0), NodeId(1), NodeId(0), NodeId(3)],
+            &tfg,
+            &topo,
+        )
+        .unwrap();
+        let sim = WormholeSim::new(&topo, &tfg, &alloc, &timing).unwrap();
+        let res = sim
+            .run(
+                120.0,
+                &SimConfig {
+                    invocations: 30,
+                    warmup: 4,
+                },
+            )
+            .unwrap();
+        assert!(res.has_output_inconsistency(1e-6));
+        // M1 (message 0) contends with M2 (message 2) on channel 0->1: its
+        // blocked series is non-constant.
+        let blocked = res.trace().blocked_series(sr_tfg::MessageId(0));
+        assert_eq!(blocked.len(), 30);
+        let spread = blocked.iter().cloned().fold(f64::MIN, f64::max)
+            - blocked.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 1.0, "blocked series {blocked:?}");
+        // Every flight's accounting is sane.
+        for f in res.trace().flights() {
+            assert!(f.blocked() >= -1e-9);
+            assert!(f.residence() >= f.blocked() - 1e-9);
+        }
+        assert!(res.trace().max_blocked() >= spread);
+    }
+
+    /// Simulation is fully deterministic: identical runs give identical
+    /// records and traces.
+    #[test]
+    fn simulation_is_deterministic() {
+        let topo = cube(4);
+        let tfg = sr_tfg::dvb_uniform(6);
+        let timing = Timing::calibrated_dvb(64.0);
+        let alloc = sr_mapping::random_distinct(&tfg, &topo, 3).unwrap();
+        let cfg = SimConfig {
+            invocations: 25,
+            warmup: 5,
+        };
+        let run = || {
+            WormholeSim::new(&topo, &tfg, &alloc, &timing)
+                .unwrap()
+                .run(55.0, &cfg)
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.records(), b.records());
+        assert_eq!(a.trace().flights(), b.trace().flights());
+        assert_eq!(a.deadlocked(), b.deadlocked());
+    }
+
+    #[test]
+    fn torus_wraparound_traffic_runs() {
+        let topo = Torus::new(&[4, 4]).unwrap();
+        let tfg = sr_tfg::dvb_uniform(4);
+        let timing = Timing::calibrated_dvb(64.0);
+        let alloc = sr_mapping::greedy(&tfg, &topo);
+        let sim = WormholeSim::new(&topo, &tfg, &alloc, &timing).unwrap();
+        let res = sim.run(100.0, &SimConfig::default()).unwrap();
+        assert!(!res.records().is_empty());
+    }
+
+    #[test]
+    fn fan_in_over_shared_links_still_delivers_everything() {
+        let topo = cube(4);
+        let tfg = generators::diamond(6, 500, 3200);
+        let timing = Timing::new(64.0, 100.0);
+        let alloc = sr_mapping::greedy(&tfg, &topo);
+        let sim = WormholeSim::new(&topo, &tfg, &alloc, &timing).unwrap();
+        let res = sim
+            .run(
+                200.0,
+                &SimConfig {
+                    invocations: 20,
+                    warmup: 4,
+                },
+            )
+            .unwrap();
+        assert!(!res.deadlocked());
+        assert_eq!(res.records().len(), 20);
+    }
+
+    /// Building a TFG whose allocation makes one message dominate: check the
+    /// latency matches hand analysis (path setup is free, tx dominates).
+    #[test]
+    fn latency_is_distance_insensitive() {
+        let timing = Timing::new(64.0, 100.0);
+        let topo = cube(4);
+        let mut b = TfgBuilder::new();
+        let a = b.task("a", 1000);
+        let z = b.task("z", 1000);
+        b.message("long", a, z, 6400).unwrap(); // 100 µs
+        let tfg = b.build().unwrap();
+        // 4 hops apart vs 1 hop apart: same latency under the paper's model.
+        let far = Allocation::new(vec![NodeId(0), NodeId(15)], &tfg, &topo).unwrap();
+        let near = Allocation::new(vec![NodeId(0), NodeId(1)], &tfg, &topo).unwrap();
+        let cfg = SimConfig {
+            invocations: 10,
+            warmup: 2,
+        };
+        let lat_far = WormholeSim::new(&topo, &tfg, &far, &timing)
+            .unwrap()
+            .run(200.0, &cfg)
+            .unwrap()
+            .latency_stats()
+            .mean;
+        let lat_near = WormholeSim::new(&topo, &tfg, &near, &timing)
+            .unwrap()
+            .run(200.0, &cfg)
+            .unwrap()
+            .latency_stats()
+            .mean;
+        assert!((lat_far - lat_near).abs() < 1e-6);
+        assert!((lat_far - 120.0).abs() < 1e-6); // 10 + 100 + 10
+    }
+}

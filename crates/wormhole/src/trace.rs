@@ -1,0 +1,126 @@
+//! Message-level tracing for wormhole simulation runs.
+//!
+//! A [`Trace`] records, for every message instance (message × invocation),
+//! when it was injected, how long it stalled acquiring its path, and when
+//! it was delivered. This is the evidence behind the paper's §3 argument:
+//! under FCFS flow control the *blocked time* of a message varies from
+//! invocation to invocation, and those variations surface as output
+//! inconsistency.
+
+use sr_tfg::MessageId;
+
+/// The lifecycle of one message instance through the network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightRecord {
+    /// Which message.
+    pub message: MessageId,
+    /// Which invocation's instance.
+    pub invocation: usize,
+    /// When the source task completed and the message entered the network,
+    /// µs.
+    pub injected_at: f64,
+    /// When the last channel of the path was captured (equals
+    /// `injected_at` for an unobstructed path or a local message), µs.
+    pub path_complete_at: f64,
+    /// When the message was fully received, µs.
+    pub delivered_at: f64,
+}
+
+impl FlightRecord {
+    /// Time spent blocked waiting for channels, µs.
+    pub fn blocked(&self) -> f64 {
+        self.path_complete_at - self.injected_at
+    }
+
+    /// Total network residence time, µs.
+    pub fn residence(&self) -> f64 {
+        self.delivered_at - self.injected_at
+    }
+}
+
+/// All flight records of a traced simulation run, in injection order.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    pub(crate) flights: Vec<FlightRecord>,
+}
+
+impl Trace {
+    /// Every flight, in injection order.
+    pub fn flights(&self) -> &[FlightRecord] {
+        &self.flights
+    }
+
+    /// Flights of one message across invocations, in invocation order.
+    pub fn of_message(&self, message: MessageId) -> Vec<FlightRecord> {
+        let mut v: Vec<FlightRecord> = self
+            .flights
+            .iter()
+            .copied()
+            .filter(|f| f.message == message)
+            .collect();
+        v.sort_by_key(|f| f.invocation);
+        v
+    }
+
+    /// The per-invocation blocked times of one message — the quantity whose
+    /// invocation-to-invocation variation causes output inconsistency.
+    pub fn blocked_series(&self, message: MessageId) -> Vec<f64> {
+        self.of_message(message)
+            .iter()
+            .map(FlightRecord::blocked)
+            .collect()
+    }
+
+    /// Longest blocked time observed across all flights (0 for an empty
+    /// trace).
+    pub fn max_blocked(&self) -> f64 {
+        self.flights
+            .iter()
+            .map(FlightRecord::blocked)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(message: usize, invocation: usize, inj: f64, cap: f64, del: f64) -> FlightRecord {
+        FlightRecord {
+            message: MessageId(message),
+            invocation,
+            injected_at: inj,
+            path_complete_at: cap,
+            delivered_at: del,
+        }
+    }
+
+    #[test]
+    fn record_arithmetic() {
+        let r = f(0, 0, 10.0, 15.0, 115.0);
+        assert_eq!(r.blocked(), 5.0);
+        assert_eq!(r.residence(), 105.0);
+    }
+
+    #[test]
+    fn per_message_series_sorted_by_invocation() {
+        let t = Trace {
+            flights: vec![
+                f(0, 1, 20.0, 25.0, 30.0),
+                f(1, 0, 0.0, 0.0, 5.0),
+                f(0, 0, 10.0, 10.0, 15.0),
+            ],
+        };
+        let s = t.blocked_series(MessageId(0));
+        assert_eq!(s, vec![0.0, 5.0]);
+        assert_eq!(t.of_message(MessageId(1)).len(), 1);
+        assert_eq!(t.max_blocked(), 5.0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::default();
+        assert!(t.flights().is_empty());
+        assert_eq!(t.max_blocked(), 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the wormhole simulator on random workloads.
+
+use proptest::prelude::*;
+use sr_tfg::generators::{layered_random, LayeredParams};
+use sr_tfg::Timing;
+use sr_topology::{GeneralizedHypercube, Topology, Torus};
+use sr_wormhole::{SimConfig, WormholeSim};
+
+fn params() -> impl Strategy<Value = LayeredParams> {
+    (2usize..4, 1usize..4, 0.3f64..0.9).prop_map(|(layers, width, p)| LayeredParams {
+        layers,
+        width,
+        edge_probability: p,
+        ops: (300, 1500),
+        bytes: (64, 3200),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Determinism: identical configurations produce identical results.
+    #[test]
+    fn runs_are_deterministic(seed in any::<u64>(), p in params(), alloc_seed in any::<u64>()) {
+        let topo = GeneralizedHypercube::binary(4).unwrap();
+        let tfg = layered_random(seed, &p);
+        let timing = Timing::new(64.0, 20.0);
+        let alloc = sr_mapping::random(&tfg, &topo, alloc_seed);
+        let cfg = SimConfig { invocations: 12, warmup: 2 };
+        let period = timing.longest_task(&tfg) * 1.5;
+        let run = || {
+            WormholeSim::new(&topo, &tfg, &alloc, &timing)
+                .unwrap()
+                .run(period, &cfg)
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.records(), b.records());
+        prop_assert_eq!(a.trace().flights(), b.trace().flights());
+    }
+
+    /// Causality and conservation: inputs precede outputs, every completed
+    /// invocation delivers every message exactly once, blocked time is
+    /// non-negative, occupancies are valid fractions.
+    #[test]
+    fn causality_and_conservation(
+        seed in any::<u64>(),
+        p in params(),
+        alloc_seed in any::<u64>(),
+        torus in any::<bool>(),
+    ) {
+        let topo: Box<dyn Topology> = if torus {
+            Box::new(Torus::new(&[4, 4]).unwrap())
+        } else {
+            Box::new(GeneralizedHypercube::binary(4).unwrap())
+        };
+        let tfg = layered_random(seed, &p);
+        let timing = Timing::new(64.0, 20.0);
+        let alloc = sr_mapping::random(&tfg, topo.as_ref(), alloc_seed);
+        let cfg = SimConfig { invocations: 10, warmup: 2 };
+        let period = timing.longest_task(&tfg) * 1.2;
+        let res = WormholeSim::new(topo.as_ref(), &tfg, &alloc, &timing)
+            .unwrap()
+            .run(period, &cfg)
+            .unwrap();
+
+        for r in res.records() {
+            prop_assert!(r.output_time >= r.input_time - 1e-9);
+        }
+        // Message conservation over completed invocations.
+        let completed = res.records().len();
+        for inv in 0..completed {
+            let delivered = res
+                .trace()
+                .flights()
+                .iter()
+                .filter(|f| f.invocation == inv)
+                .count();
+            prop_assert_eq!(delivered, tfg.num_messages(),
+                "invocation {} delivered {} of {}", inv, delivered, tfg.num_messages());
+        }
+        for f in res.trace().flights() {
+            prop_assert!(f.blocked() >= -1e-9);
+            prop_assert!(f.delivered_at >= f.path_complete_at - 1e-9);
+        }
+        for l in 0..topo.num_links() {
+            let o = res.link_occupancy(sr_topology::LinkId(l));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&o));
+        }
+    }
+
+    /// Virtual channels never *create* deadlock, and under no contention
+    /// they only scale transmission times.
+    #[test]
+    fn more_virtual_channels_never_deadlock_more(
+        seed in any::<u64>(),
+        alloc_seed in any::<u64>(),
+    ) {
+        let topo = Torus::new(&[4, 4]).unwrap();
+        let p = LayeredParams {
+            layers: 3, width: 3, edge_probability: 0.6,
+            ops: (500, 1500), bytes: (640, 6400),
+        };
+        let tfg = layered_random(seed, &p);
+        let timing = Timing::new(64.0, 20.0);
+        let alloc = sr_mapping::random(&tfg, &topo, alloc_seed);
+        let cfg = SimConfig { invocations: 10, warmup: 2 };
+        let period = timing.longest_task(&tfg); // saturating
+        let run = |vc: usize| {
+            WormholeSim::new(&topo, &tfg, &alloc, &timing)
+                .unwrap()
+                .with_virtual_channels(vc)
+                .unwrap()
+                .run(period, &cfg)
+                .unwrap()
+        };
+        let base = run(1);
+        let multi = run(4);
+        if !base.deadlocked() {
+            // 4 VCs admit strictly more interleavings but the acquisition
+            // graph only loses edges — no new deadlocks.
+            prop_assert!(!multi.deadlocked() || multi.records().len() >= base.records().len());
+        }
+    }
+}

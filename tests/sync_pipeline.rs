@@ -1,0 +1,65 @@
+//! End-to-end §7 synchronization pipeline: simulate clock skew, size the
+//! guard, compile with it, verify and execute the guarded schedule.
+
+use sr::prelude::*;
+use sr::sync::{simulate_sync, skew_bound, ClockEnsemble, SyncConfig};
+
+#[test]
+fn skew_to_guard_to_schedule() {
+    let cube = GeneralizedHypercube::binary(6).unwrap();
+    let tfg = dvb_uniform(10);
+    let timing = Timing::calibrated_dvb(128.0);
+    let alloc = sr::mapping::random_distinct(&tfg, &cube, 7).unwrap();
+    let period = timing.longest_task(&tfg) / 0.8;
+
+    let clocks = ClockEnsemble::random(64, 1, 50.0, 5.0);
+    let cfg = SyncConfig {
+        interval: 500.0,
+        ..SyncConfig::default()
+    };
+    let outcome = simulate_sync(&cube, NodeId(0), &clocks, &cfg, 25, 3);
+    assert!(outcome.max_skew() <= skew_bound(outcome.tree_depth(), &cfg, 50.0) + 1e-9);
+
+    let guard = outcome.required_guard();
+    assert!(guard > 0.0 && guard < 5.0, "guard {guard}");
+    let compile_config = CompileConfig {
+        guard_time: guard,
+        ..CompileConfig::default()
+    };
+    let sched = compile(&cube, &tfg, &alloc, &timing, period, &compile_config)
+        .expect("tight sync admits a schedule");
+    verify(&sched, &cube, &tfg).expect("guarded schedule verifies");
+    assert_eq!(sched.guard_time(), guard);
+
+    // Operational execution still gives one output per period.
+    let exec = sr::core::execute(&sched, &tfg, &alloc, &timing, 20).expect("executes");
+    assert!(exec.is_throughput_constant(1e-9));
+}
+
+#[test]
+fn hopeless_skew_is_rejected_at_compile_time() {
+    let cube = GeneralizedHypercube::binary(6).unwrap();
+    let tfg = dvb_uniform(10);
+    let timing = Timing::calibrated_dvb(128.0);
+    let alloc = sr::mapping::random_distinct(&tfg, &cube, 7).unwrap();
+    let period = timing.longest_task(&tfg) / 0.8;
+
+    // Sync so loose the guard swamps the intervals.
+    let clocks = ClockEnsemble::random(64, 1, 200.0, 5.0);
+    let cfg = SyncConfig {
+        interval: 200_000.0,
+        ..SyncConfig::default()
+    };
+    let outcome = simulate_sync(&cube, NodeId(0), &clocks, &cfg, 10, 3);
+    let guard = outcome.required_guard();
+    assert!(guard > 10.0, "guard {guard}");
+    let compile_config = CompileConfig {
+        guard_time: guard,
+        ..CompileConfig::default()
+    };
+    let err = compile(&cube, &tfg, &alloc, &timing, period, &compile_config).unwrap_err();
+    assert!(
+        matches!(err, CompileError::IntervalUnschedulable { .. }),
+        "got {err:?}"
+    );
+}
