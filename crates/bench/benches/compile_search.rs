@@ -1,0 +1,54 @@
+//! End-to-end benchmark of the scheduled-routing compiler's feedback
+//! search: the retry loop over `(path seed, capacity scale)` candidates
+//! that [`sr::compile`] walks until a schedulable configuration is found.
+//!
+//! The workload is the standard DVB task set on a 16-node 4×4 torus. Loads
+//! are chosen so the sweep covers both the easy regime (first candidate
+//! succeeds; measures fixed pipeline cost) and the contended regime near
+//! the feasibility boundary (several candidates are evaluated; this is
+//! where the parallel search pays off).
+//!
+//! Run with `CRITERION_JSON=BENCH_compile.json cargo bench --bench
+//! compile_search` to capture machine-readable numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sr::prelude::*;
+use sr_bench::{standard_workload, Platform};
+use std::hint::black_box;
+
+/// Loads (τ_c/τ_in) swept by the benchmark. 0.5 compiles on the first
+/// candidate; the higher points force the feedback loops to iterate (the
+/// capacity scale drops to 0.8 before an interval schedule exists).
+const LOADS: &[f64] = &[0.5, 0.85, 0.95];
+
+fn bench_compile_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile_search");
+    g.sample_size(10);
+    let platform = Platform::torus4x4(128.0);
+    let (tfg, alloc, timing) = standard_workload(&platform);
+    let tau_c = timing.longest_task(&tfg);
+    let topo = platform.topo.as_ref();
+
+    for &load in LOADS {
+        let period = tau_c / load;
+        for (label, parallelism) in [("serial", 1usize), ("parallel", 0usize)] {
+            let config = CompileConfig {
+                parallelism,
+                ..CompileConfig::default()
+            };
+            g.bench_with_input(
+                BenchmarkId::new(format!("torus4x4_dvb_{label}"), load),
+                &period,
+                |b, &period| {
+                    b.iter(|| {
+                        black_box(compile(topo, &tfg, &alloc, &timing, period, &config).unwrap())
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile_search);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Microbenchmark of the dense simplex kernel on synthetic covering LPs
+//! whose tableaus are fully dense — the shape that stresses the pivot
+//! inner loop (every row touched, every column updated).
+//!
+//! Instances are generated deterministically (splitmix64) so before/after
+//! numbers compare the same pivots. Each instance minimizes a positive
+//! cost over `m` dense `≥` covering rows plus per-variable upper bounds,
+//! which is feasible and bounded by construction.
+//!
+//! Run with `cargo bench --bench simplex_dense`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sr::lp::{Problem, Relation};
+use std::hint::black_box;
+
+/// Deterministic coefficient stream.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Builds an `n`-variable dense covering LP with `n/2` `≥` rows and `n`
+/// upper-bound rows.
+fn dense_instance(n: usize) -> Problem {
+    let mut rng = SplitMix(0xC0FF_EE00 ^ n as u64);
+    let mut p = Problem::minimize();
+    let vars: Vec<_> = (0..n).map(|_| p.add_var(0.5 + rng.next_f64())).collect();
+    for _ in 0..n / 2 {
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 0.1 + rng.next_f64())).collect();
+        p.add_constraint(&terms, Relation::Ge, 1.0 + 3.0 * rng.next_f64())
+            .unwrap();
+    }
+    for &v in &vars {
+        p.add_constraint(&[(v, 1.0)], Relation::Le, 2.0 + rng.next_f64())
+            .unwrap();
+    }
+    p
+}
+
+fn bench_simplex_dense(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex_dense");
+    g.sample_size(10);
+    for n in [16usize, 48, 96, 160] {
+        g.bench_with_input(BenchmarkId::new("covering", n), &n, |b, &n| {
+            b.iter(|| black_box(dense_instance(n).solve().unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simplex_dense);
+criterion_main!(benches);

@@ -49,8 +49,10 @@ fn write_csv(dir: &Option<PathBuf>, name: &str, contents: &str) {
 
 fn utilization_figure(id: &str, title: &str, platforms: Vec<Platform>, csv: &Option<PathBuf>) {
     println!("## {id}: {title}\n");
-    for p in platforms {
-        let series = figure_utilization(&p, 1);
+    // Compute every platform's series concurrently, then print in the
+    // original order so the report is byte-identical to a serial run.
+    let series = sr_par::par_map(&platforms, 0, |p| figure_utilization(p, 1));
+    for (p, series) in platforms.iter().zip(series) {
         println!("{}", utilization_markdown(&p.name, &series));
         write_csv(
             csv,
@@ -63,8 +65,8 @@ fn utilization_figure(id: &str, title: &str, platforms: Vec<Platform>, csv: &Opt
 fn performance_figure(id: &str, title: &str, platforms: Vec<Platform>, csv: &Option<PathBuf>) {
     let sim = SimConfig::default();
     println!("## {id}: {title}\n");
-    for p in platforms {
-        let series = figure_performance(&p, &sim);
+    let series = sr_par::par_map(&platforms, 0, |p| figure_performance(p, &sim));
+    for (p, series) in platforms.iter().zip(series) {
         println!("{}", performance_markdown(&p.name, &series));
         write_csv(
             csv,

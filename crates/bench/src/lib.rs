@@ -149,6 +149,17 @@ impl Platform {
         }
     }
 
+    /// A 16-node 4×4 torus — the smallest platform that fits the standard
+    /// DVB workload; used by the `compile_search` bench where compile time
+    /// is dominated by the feedback search rather than path enumeration.
+    pub fn torus4x4(bandwidth: f64) -> Self {
+        Platform {
+            name: format!("4x4 torus, B={bandwidth}"),
+            topo: Box::new(Torus::new(&[4, 4]).expect("valid")),
+            bandwidth,
+        }
+    }
+
     /// The paper's 4×4×4 torus.
     pub fn torus444(bandwidth: f64) -> Self {
         Platform {
@@ -186,32 +197,32 @@ pub fn figure_utilization(platform: &Platform, seed: u64) -> Vec<UtilizationPoin
     let (tfg, alloc, timing) = standard_workload(platform);
     let tau_c = timing.longest_task(&tfg);
     let topo = platform.topo.as_ref();
-    sweep_periods(tau_c)
-        .into_iter()
-        .map(|period| {
-            let bounds = assign_time_bounds(&tfg, &timing, period, WindowPolicy::LongestTask)
-                .expect("period ≥ τ_c by construction");
-            let intervals = Intervals::from_bounds(&bounds);
-            let activity = ActivityMatrix::new(&bounds, &intervals);
-            let outcome = assign_paths(
-                &tfg,
-                topo,
-                &alloc,
-                &bounds,
-                &intervals,
-                &activity,
-                &AssignPathsConfig {
-                    seed,
-                    ..AssignPathsConfig::default()
-                },
-            );
-            UtilizationPoint {
-                load: tau_c / period,
-                lsd_peak: outcome.baseline_peak,
-                final_peak: outcome.utilization.effective_peak(),
-            }
-        })
-        .collect()
+    // Load points are independent; sweep them across all cores (order is
+    // preserved, each point is deterministic, so the series is identical
+    // to a serial sweep).
+    sr_par::par_map(&sweep_periods(tau_c), 0, |&period| {
+        let bounds = assign_time_bounds(&tfg, &timing, period, WindowPolicy::LongestTask)
+            .expect("period ≥ τ_c by construction");
+        let intervals = Intervals::from_bounds(&bounds);
+        let activity = ActivityMatrix::new(&bounds, &intervals);
+        let outcome = assign_paths(
+            &tfg,
+            topo,
+            &alloc,
+            &bounds,
+            &intervals,
+            &activity,
+            &AssignPathsConfig {
+                seed,
+                ..AssignPathsConfig::default()
+            },
+        );
+        UtilizationPoint {
+            load: tau_c / period,
+            lsd_peak: outcome.baseline_peak,
+            final_peak: outcome.utilization.effective_peak(),
+        }
+    })
 }
 
 /// Regenerates one Fig. 7–10 series: wormhole vs scheduled routing
@@ -222,82 +233,84 @@ pub fn figure_performance(platform: &Platform, sim: &SimConfig) -> Vec<Performan
     let critical_path = timing.critical_path(&tfg);
     let topo = platform.topo.as_ref();
 
-    sweep_periods(tau_c)
-        .into_iter()
-        .map(|period| {
-            let load = tau_c / period;
+    // Per-load points are independent: simulate and compile them across
+    // all cores. The inner compile is pinned serial — the sweep already
+    // saturates the machine, and nesting pools would oversubscribe it.
+    sr_par::par_map(&sweep_periods(tau_c), 0, |&period| {
+        let load = tau_c / period;
 
-            // --- Wormhole routing (simulated) ---
-            let wr =
-                WormholeSim::new(topo, &tfg, &alloc, &timing).expect("workload matches platform");
-            let res = wr.run(period, sim).expect("valid run parameters");
-            let (wr_throughput, wr_latency, wr_oi, wr_deadlock) =
-                if res.records().len() >= sim.warmup + 2 {
-                    let ints = res.interval_stats();
-                    let lats = res.latency_stats();
-                    (
-                        Spike {
-                            // τ_in/τ_out: the *max* throughput comes from the
-                            // *min* interval.
-                            min: period / ints.max,
-                            mid: period / ints.mean,
-                            max: period / ints.min.max(f64::MIN_POSITIVE),
-                        },
-                        Spike {
-                            min: lats.min / critical_path,
-                            mid: lats.mean / critical_path,
-                            max: lats.max / critical_path,
-                        },
-                        res.has_output_inconsistency(1e-6),
-                        res.deadlocked(),
-                    )
-                } else {
-                    (
-                        Spike {
-                            min: 0.0,
-                            mid: 0.0,
-                            max: 0.0,
-                        },
-                        Spike {
-                            min: 0.0,
-                            mid: 0.0,
-                            max: 0.0,
-                        },
-                        true,
-                        res.deadlocked(),
-                    )
-                };
+        // --- Wormhole routing (simulated) ---
+        let wr = WormholeSim::new(topo, &tfg, &alloc, &timing).expect("workload matches platform");
+        let res = wr.run(period, sim).expect("valid run parameters");
+        let (wr_throughput, wr_latency, wr_oi, wr_deadlock) =
+            if res.records().len() >= sim.warmup + 2 {
+                let ints = res.interval_stats();
+                let lats = res.latency_stats();
+                (
+                    Spike {
+                        // τ_in/τ_out: the *max* throughput comes from the
+                        // *min* interval.
+                        min: period / ints.max,
+                        mid: period / ints.mean,
+                        max: period / ints.min.max(f64::MIN_POSITIVE),
+                    },
+                    Spike {
+                        min: lats.min / critical_path,
+                        mid: lats.mean / critical_path,
+                        max: lats.max / critical_path,
+                    },
+                    res.has_output_inconsistency(1e-6),
+                    res.deadlocked(),
+                )
+            } else {
+                (
+                    Spike {
+                        min: 0.0,
+                        mid: 0.0,
+                        max: 0.0,
+                    },
+                    Spike {
+                        min: 0.0,
+                        mid: 0.0,
+                        max: 0.0,
+                    },
+                    true,
+                    res.deadlocked(),
+                )
+            };
 
-            // --- Scheduled routing (compiled) ---
-            let sr = compile(
-                topo,
-                &tfg,
-                &alloc,
-                &timing,
-                period,
-                &CompileConfig::default(),
-            )
-            .map(|sched| {
-                verify(&sched, topo, &tfg).expect("compiled schedules verify");
-                SrPoint {
-                    throughput: 1.0,
-                    latency: sched.latency() / critical_path,
-                    utilization: sched.peak_utilization(),
-                }
-            })
-            .map_err(|e| failure_stage(&e));
-
-            PerformancePoint {
-                load,
-                period,
-                wr_throughput,
-                wr_latency,
-                wr_oi,
-                wr_deadlock,
-                sr,
+        // --- Scheduled routing (compiled) ---
+        let sr = compile(
+            topo,
+            &tfg,
+            &alloc,
+            &timing,
+            period,
+            &CompileConfig {
+                parallelism: 1,
+                ..CompileConfig::default()
+            },
+        )
+        .map(|sched| {
+            verify(&sched, topo, &tfg).expect("compiled schedules verify");
+            SrPoint {
+                throughput: 1.0,
+                latency: sched.latency() / critical_path,
+                utilization: sched.peak_utilization(),
             }
         })
-        .collect()
+        .map_err(|e| failure_stage(&e));
+
+        PerformancePoint {
+            load,
+            period,
+            wr_throughput,
+            wr_latency,
+            wr_oi,
+            wr_deadlock,
+            sr,
+        }
+    })
 }
 
 fn failure_stage(e: &CompileError) -> String {

@@ -24,7 +24,10 @@ fn fig7_b128_shape_holds() {
     let mut first_latency = None;
     for p in &series {
         let sr = p.sr.as_ref().unwrap_or_else(|e| {
-            panic!("SR must compile at every load at B=128; failed at {}: {e}", p.load)
+            panic!(
+                "SR must compile at every load at B=128; failed at {}: {e}",
+                p.load
+            )
         });
         assert_eq!(sr.throughput, 1.0);
         assert!(sr.utilization <= 1.0 + 1e-6);
@@ -34,10 +37,7 @@ fn fig7_b128_shape_holds() {
             "SR latency must be flat across loads"
         );
     }
-    let high_load_oi = series
-        .iter()
-        .filter(|p| p.load > 0.7 && p.wr_oi)
-        .count();
+    let high_load_oi = series.iter().filter(|p| p.load > 0.7 && p.wr_oi).count();
     assert!(
         high_load_oi >= 2,
         "wormhole routing should be inconsistent at saturated loads"
@@ -62,7 +62,10 @@ fn fig6_torus8x8_b64_shape_holds() {
             "AssignPaths worse than baseline at load {}",
             p.load
         );
-        assert!(p.final_peak >= 0.99, "torus B=64 should be at/above capacity");
+        assert!(
+            p.final_peak >= 0.99,
+            "torus B=64 should be at/above capacity"
+        );
     }
     let above_capacity = series.iter().filter(|p| p.final_peak > 1.0 + 1e-6).count();
     assert!(
@@ -78,7 +81,11 @@ fn fig6_torus8x8_b64_shape_holds() {
 fn fig5_cube6_b64_shape_holds() {
     let series = figure_utilization(&Platform::cube6(64.0), 1);
     for p in &series {
-        assert!(p.lsd_peak / p.final_peak > 2.0, "improvement at load {}", p.load);
+        assert!(
+            p.lsd_peak / p.final_peak > 2.0,
+            "improvement at load {}",
+            p.load
+        );
         assert!(p.final_peak >= 1.0 - 1e-9, "B=64 floor is exactly 1.0");
         assert!(p.final_peak <= 1.2, "heuristic should stay near the floor");
     }

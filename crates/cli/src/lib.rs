@@ -208,6 +208,8 @@ pub struct Options {
     pub period: Option<f64>,
     /// Clock-skew guard time, µs.
     pub guard: f64,
+    /// Worker threads for the compile feedback search (0 = auto).
+    pub parallelism: usize,
     /// Virtual channels for simulation.
     pub virtual_channels: usize,
     /// Adaptive-routing path cap for simulation (1 = deterministic).
@@ -230,6 +232,7 @@ impl Default for Options {
             bandwidth: 64.0,
             period: None,
             guard: 0.0,
+            parallelism: 0,
             virtual_channels: 1,
             adaptive: 1,
             dump: false,
@@ -284,6 +287,11 @@ pub fn parse_args(args: &[String]) -> Result<Options, SpecError> {
                     .parse()
                     .map_err(|_| SpecError::new("bad --guard"))?
             }
+            "--parallelism" => {
+                opts.parallelism = value("--parallelism")?
+                    .parse()
+                    .map_err(|_| SpecError::new("bad --parallelism"))?
+            }
             "--vc" => {
                 opts.virtual_channels = value("--vc")?
                     .parse()
@@ -306,7 +314,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, SpecError> {
 /// Usage text shown for malformed command lines.
 pub const USAGE: &str = "usage: srsched <compile|simulate|sweep|info|minperiod> \
 [--topo SPEC] [--tfg SPEC] [--alloc SPEC] [--bandwidth B] [--period T] \
-[--guard G] [--vc N] [--adaptive P] [--dump] [--timeline] [--json FILE]";
+[--guard G] [--parallelism N] [--vc N] [--adaptive P] [--dump] [--timeline] \
+[--json FILE]";
 
 /// Runs a parsed command, writing human-readable output to `out`.
 ///
@@ -361,6 +370,7 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
         "compile" => {
             let config = CompileConfig {
                 guard_time: opts.guard,
+                parallelism: opts.parallelism,
                 ..CompileConfig::default()
             };
             match compile(topo.as_ref(), &tfg, &alloc, &timing, period, &config) {
@@ -427,6 +437,7 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
         "minperiod" => {
             let config = CompileConfig {
                 guard_time: opts.guard,
+                parallelism: opts.parallelism,
                 ..CompileConfig::default()
             };
             match sr::core::find_min_period(
@@ -532,6 +543,7 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
                     p,
                     &CompileConfig {
                         guard_time: opts.guard,
+                        parallelism: opts.parallelism,
                         ..CompileConfig::default()
                     },
                 ) {

@@ -1,11 +1,50 @@
+use std::sync::OnceLock;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use sr_mapping::Allocation;
 use sr_tfg::{MessageId, TaskFlowGraph, TimeBounds};
-use sr_topology::{Path, Topology};
+use sr_topology::{NodeId, Path, Topology};
 
 use crate::{ActivityMatrix, Hotspot, Intervals, PathAssignment, UtilizationMap, EPS};
+
+/// Memoized shortest-path enumeration, keyed by `(source, destination)`.
+///
+/// The alternative paths of a message depend only on its endpoint nodes
+/// and the enumeration cap — not on the heuristic seed — so the compile
+/// feedback search shares one pool across all its `AssignPaths` retries
+/// (and across worker threads: cells are [`OnceLock`]s, so each pair is
+/// enumerated exactly once no matter how many threads ask).
+pub struct PathPool<'a> {
+    topo: &'a dyn Topology,
+    cap: usize,
+    cells: Vec<OnceLock<Vec<Path>>>,
+}
+
+impl<'a> PathPool<'a> {
+    /// An empty pool enumerating up to `cap` shortest paths per pair.
+    pub fn new(topo: &'a dyn Topology, cap: usize) -> Self {
+        let n = topo.num_nodes();
+        PathPool {
+            topo,
+            cap: cap.max(1),
+            cells: (0..n * n).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// The per-pair enumeration cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// The shortest paths `src → dst` (index 0 = dimension order),
+    /// enumerating and caching them on first request.
+    pub fn paths(&self, src: NodeId, dst: NodeId) -> &[Path] {
+        let idx = src.index() * self.topo.num_nodes() + dst.index();
+        self.cells[idx].get_or_init(|| self.topo.shortest_paths(src, dst, self.cap))
+    }
+}
 
 /// Tuning knobs for the [`assign_paths`] heuristic (paper Fig. 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,20 +107,35 @@ pub fn assign_paths(
     activity: &ActivityMatrix,
     config: &AssignPathsConfig,
 ) -> AssignPathsOutcome {
+    let pool = PathPool::new(topo, config.path_cap);
+    assign_paths_pooled(tfg, topo, alloc, bounds, intervals, activity, config, &pool)
+}
+
+/// [`assign_paths`] drawing its candidate paths from a shared [`PathPool`]
+/// instead of enumerating per call. The pool's cap takes the place of
+/// [`AssignPathsConfig::path_cap`]; results are identical to
+/// [`assign_paths`] when the caps agree.
+#[allow(clippy::too_many_arguments)]
+pub fn assign_paths_pooled(
+    tfg: &TaskFlowGraph,
+    topo: &dyn Topology,
+    alloc: &Allocation,
+    bounds: &TimeBounds,
+    intervals: &Intervals,
+    activity: &ActivityMatrix,
+    config: &AssignPathsConfig,
+    pool: &PathPool<'_>,
+) -> AssignPathsOutcome {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let num_links = topo.num_links();
     let compute =
         |pa: &PathAssignment| UtilizationMap::compute(pa, bounds, activity, intervals, num_links);
 
     // Alternative shortest paths per message (index 0 = dimension order).
-    let candidates: Vec<Vec<Path>> = tfg
+    let candidates: Vec<&[Path]> = tfg
         .messages()
         .iter()
-        .map(|m| {
-            let src = alloc.node_of(m.src());
-            let dst = alloc.node_of(m.dst());
-            topo.shortest_paths(src, dst, config.path_cap.max(1))
-        })
+        .map(|m| pool.paths(alloc.node_of(m.src()), alloc.node_of(m.dst())))
         .collect();
 
     let baseline = PathAssignment::lsd_to_msd(tfg, topo, alloc);
@@ -134,7 +188,7 @@ pub fn assign_paths(
 }
 
 fn random_assignment(
-    candidates: &[Vec<Path>],
+    candidates: &[&[Path]],
     topo: &dyn Topology,
     rng: &mut StdRng,
 ) -> PathAssignment {
@@ -150,7 +204,7 @@ fn random_assignment(
 /// reroute changes anything (or the step cap is hit).
 fn improve<F>(
     current: &mut PathAssignment,
-    candidates: &[Vec<Path>],
+    candidates: &[&[Path]],
     topo: &dyn Topology,
     compute: &F,
     max_inner: usize,
@@ -195,7 +249,7 @@ fn improve<F>(
                 let tu = compute(&trial);
                 let tp = tu.effective_peak();
                 if tp < peak - EPS {
-                    if best_reduce.map_or(true, |(_, _, bp)| tp < bp - EPS) {
+                    if best_reduce.is_none_or(|(_, _, bp)| tp < bp - EPS) {
                         best_reduce = Some((m, pi, tp));
                     }
                 } else if reposition.is_none()
@@ -345,6 +399,44 @@ mod tests {
         );
         assert_eq!(a.assignment, b.assignment);
         assert_eq!(a.restarts, b.restarts);
+    }
+
+    #[test]
+    fn pool_matches_direct_enumeration_and_pooled_run_is_identical() {
+        let s = contended_setup();
+        let cfg = AssignPathsConfig::default();
+        let pool = PathPool::new(&s.topo, cfg.path_cap);
+        for src in 0..s.topo.num_nodes() {
+            for dst in [0usize, 3, 5] {
+                let direct = s
+                    .topo
+                    .shortest_paths(NodeId(src), NodeId(dst), cfg.path_cap);
+                assert_eq!(pool.paths(NodeId(src), NodeId(dst)), &direct[..]);
+                // Second lookup hits the cache and agrees.
+                assert_eq!(pool.paths(NodeId(src), NodeId(dst)), &direct[..]);
+            }
+        }
+        let direct = assign_paths(
+            &s.tfg,
+            &s.topo,
+            &s.alloc,
+            &s.bounds,
+            &s.intervals,
+            &s.activity,
+            &cfg,
+        );
+        let pooled = assign_paths_pooled(
+            &s.tfg,
+            &s.topo,
+            &s.alloc,
+            &s.bounds,
+            &s.intervals,
+            &s.activity,
+            &cfg,
+            &pool,
+        );
+        assert_eq!(direct.assignment, pooled.assignment);
+        assert_eq!(direct.restarts, pooled.restarts);
     }
 
     #[test]

@@ -149,7 +149,7 @@ pub fn admit_best_effort(
             }
         }
         if let Some(&(s, _)) = free.iter().find(|&&(s, e)| e - s + EPS >= duration) {
-            if best.as_ref().map_or(true, |g| s < g.start - EPS) {
+            if best.as_ref().is_none_or(|g| s < g.start - EPS) {
                 best = Some(BestEffortGrant {
                     path,
                     start: s,

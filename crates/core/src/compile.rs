@@ -1,12 +1,15 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
 use sr_mapping::Allocation;
-use sr_tfg::{TaskFlowGraph, TimeBounds, Timing, WindowPolicy};
+use sr_tfg::{MessageId, TaskFlowGraph, TimeBounds, Timing, WindowPolicy};
 use sr_topology::{NodeId, Topology};
 
 use crate::interval_sched::{schedule_intervals_greedy, schedule_intervals_guarded};
 use crate::{
-    allocate_intervals, assign_paths, build_node_schedules, related_subsets, ActivityMatrix,
+    allocate_intervals, assign_paths_pooled, build_node_schedules, related_subsets, ActivityMatrix,
     AssignPathsConfig, CompileError, IntervalAllocation, IntervalSchedule, Intervals, NodeSchedule,
-    PathAssignment, Segment,
+    PathAssignment, PathPool, Segment,
 };
 
 /// Configuration of the end-to-end scheduled-routing compiler.
@@ -40,6 +43,12 @@ pub struct CompileConfig {
     /// difference between two clocks"). Zero assumes perfectly synchronized
     /// communication processors.
     pub guard_time: f64,
+    /// Worker threads for the feedback search over `(path seed, capacity
+    /// scale)` candidates: `0` = one worker per hardware thread, `1` =
+    /// fully serial, `n` = at most `n` workers. Any setting returns the
+    /// exact schedule the serial search would: candidates are ranked by
+    /// `(seed, scale)` and the lowest-ranked success wins.
+    pub parallelism: usize,
 }
 
 impl Default for CompileConfig {
@@ -53,6 +62,7 @@ impl Default for CompileConfig {
             path_retry_seeds: 3,
             greedy_interval_scheduling: false,
             guard_time: 0.0,
+            parallelism: 0,
         }
     }
 }
@@ -193,12 +203,15 @@ pub fn compile(
     // Application-processor capacity: co-located tasks share one AP, so
     // their total execution demand must fit the period (the paper assumes
     // one task per processor; this check makes the assumption explicit).
+    // Dense per-node accumulation so the reported node is always the
+    // lowest-indexed offender (a HashMap here made the error message
+    // depend on iteration order).
     {
-        let mut demand: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+        let mut demand = vec![0.0f64; topo.num_nodes()];
         for (id, task) in tfg.iter_tasks() {
-            *demand.entry(alloc.node_of(id).index()).or_insert(0.0) += timing.exec_time(task);
+            demand[alloc.node_of(id).index()] += timing.exec_time(task);
         }
-        for (node, d) in demand {
+        for (node, &d) in demand.iter().enumerate() {
             if d > period + 1e-9 {
                 return Err(CompileError::NodeOverloaded {
                     node: NodeId(node),
@@ -211,121 +224,270 @@ pub fn compile(
     let intervals = Intervals::from_bounds(&bounds);
     let activity = ActivityMatrix::new(&bounds, &intervals);
 
-    let mut first_err: Option<CompileError> = None;
-    for retry in 0..=config.path_retry_seeds {
-        let ap_config = AssignPathsConfig {
-            seed: config.assign_paths.seed.wrapping_add(retry as u64),
-            ..config.assign_paths
-        };
-        match compile_with_paths(
-            topo, tfg, alloc, &bounds, &intervals, &activity, &ap_config, config, period,
-        ) {
-            Ok(s) => return Ok(s),
-            Err(e @ CompileError::UtilizationExceeded { .. }) => {
-                // The heuristic is deterministic-per-seed but the peak won't
-                // drop below capacity by reseeding alone once it converged;
-                // still allow retries, keeping the first report.
-                first_err.get_or_insert(e);
-            }
-            Err(
-                e @ (CompileError::AllocationInfeasible { .. }
-                | CompileError::IntervalUnschedulable { .. }),
-            ) => {
-                first_err.get_or_insert(e);
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    Err(first_err.expect("at least one attempt ran"))
+    let ctx = SearchCtx {
+        topo,
+        tfg,
+        alloc,
+        bounds: &bounds,
+        intervals: &intervals,
+        activity: &activity,
+        config,
+        period,
+        scales: if config.feedback_scales.is_empty() {
+            vec![1.0]
+        } else {
+            config.feedback_scales.clone()
+        },
+        // Shared across every seed retry (and worker thread): candidate
+        // paths depend on endpoints only, so each pair is enumerated once
+        // per compile instead of once per retry.
+        pool: PathPool::new(topo, config.assign_paths.path_cap),
+    };
+    ctx.search(sr_par::effective_threads(config.parallelism))
 }
 
-#[allow(clippy::too_many_arguments)]
-fn compile_with_paths(
-    topo: &dyn Topology,
-    tfg: &TaskFlowGraph,
-    alloc: &Allocation,
-    bounds: &TimeBounds,
-    intervals: &Intervals,
-    activity: &ActivityMatrix,
-    ap_config: &AssignPathsConfig,
-    config: &CompileConfig,
-    period: f64,
-) -> Result<Schedule, CompileError> {
-    let outcome = assign_paths(tfg, topo, alloc, bounds, intervals, activity, ap_config);
-    if outcome.utilization.effective_peak() > 1.0 + config.utilization_tolerance {
-        return Err(CompileError::UtilizationExceeded {
-            utilization: outcome.utilization.effective_peak(),
-        });
-    }
-    let assignment = outcome.assignment;
-    let subsets = related_subsets(&assignment, activity);
+/// One seed's path-assignment stage: either the assignment is viable
+/// (peak utilization within capacity) or the seed fails outright.
+enum SeedOutcome {
+    Viable(SeedEval),
+    Utilization(CompileError),
+}
 
-    let scales = if config.feedback_scales.is_empty() {
-        vec![1.0]
-    } else {
-        config.feedback_scales.clone()
-    };
-    let mut last_err: Option<CompileError> = None;
-    for (si, &scale) in scales.iter().enumerate() {
-        let allocation =
-            match allocate_intervals(&assignment, bounds, activity, intervals, &subsets, scale) {
-                Ok(a) => a,
-                Err(e @ CompileError::AllocationInfeasible { .. }) => {
-                    if si == 0 {
-                        return Err(e);
-                    }
-                    // Tighter capacities made allocation itself infeasible:
-                    // report the interval-scheduling failure that sent us
-                    // here.
-                    break;
-                }
-                Err(e) => return Err(e),
-            };
-        let scheduled = if config.greedy_interval_scheduling {
+/// The artifacts every `(seed, scale)` candidate of one seed shares.
+struct SeedEval {
+    peak: f64,
+    baseline_peak: f64,
+    assignment: PathAssignment,
+    subsets: Vec<Vec<MessageId>>,
+}
+
+/// One `(seed, scale)` candidate's allocate-then-schedule stage.
+enum ScaleOutcome {
+    Scheduled {
+        allocation: IntervalAllocation,
+        interval_schedules: Vec<IntervalSchedule>,
+    },
+    Unschedulable(CompileError),
+    AllocInfeasible(CompileError),
+    Hard(CompileError),
+}
+
+/// Shared inputs of the feedback search over `(seed, scale)` candidates.
+struct SearchCtx<'a> {
+    topo: &'a dyn Topology,
+    tfg: &'a TaskFlowGraph,
+    alloc: &'a Allocation,
+    bounds: &'a TimeBounds,
+    intervals: &'a Intervals,
+    activity: &'a ActivityMatrix,
+    config: &'a CompileConfig,
+    period: f64,
+    scales: Vec<f64>,
+    pool: PathPool<'a>,
+}
+
+impl SearchCtx<'_> {
+    /// Runs `AssignPaths` for retry index `sidx` and prepares the
+    /// downstream artifacts. Deterministic per `sidx`.
+    fn eval_seed(&self, sidx: usize) -> SeedOutcome {
+        let ap_config = AssignPathsConfig {
+            seed: self.config.assign_paths.seed.wrapping_add(sidx as u64),
+            ..self.config.assign_paths
+        };
+        let outcome = assign_paths_pooled(
+            self.tfg,
+            self.topo,
+            self.alloc,
+            self.bounds,
+            self.intervals,
+            self.activity,
+            &ap_config,
+            &self.pool,
+        );
+        let peak = outcome.utilization.effective_peak();
+        if peak > 1.0 + self.config.utilization_tolerance {
+            // The heuristic is deterministic-per-seed but the peak won't
+            // drop below capacity by reseeding alone once it converged;
+            // other seeds are still tried, keeping the first report.
+            return SeedOutcome::Utilization(CompileError::UtilizationExceeded {
+                utilization: peak,
+            });
+        }
+        let subsets = related_subsets(&outcome.assignment, self.activity);
+        SeedOutcome::Viable(SeedEval {
+            peak,
+            baseline_peak: outcome.baseline_peak,
+            assignment: outcome.assignment,
+            subsets,
+        })
+    }
+
+    /// Allocates message–interval shares at `scale` capacity and schedules
+    /// the intervals. Deterministic per `(seed artifacts, scale)`.
+    fn eval_scale(&self, ev: &SeedEval, scale: f64) -> ScaleOutcome {
+        let allocation = match allocate_intervals(
+            &ev.assignment,
+            self.bounds,
+            self.activity,
+            self.intervals,
+            &ev.subsets,
+            scale,
+        ) {
+            Ok(a) => a,
+            Err(e @ CompileError::AllocationInfeasible { .. }) => {
+                return ScaleOutcome::AllocInfeasible(e)
+            }
+            Err(e) => return ScaleOutcome::Hard(e),
+        };
+        let scheduled = if self.config.greedy_interval_scheduling {
             schedule_intervals_greedy(
-                &assignment,
+                &ev.assignment,
                 &allocation,
-                intervals,
-                &subsets,
-                config.guard_time,
+                self.intervals,
+                &ev.subsets,
+                self.config.guard_time,
             )
         } else {
             schedule_intervals_guarded(
-                &assignment,
+                &ev.assignment,
                 &allocation,
-                intervals,
-                &subsets,
-                config.max_feasible_sets,
-                config.guard_time,
+                self.intervals,
+                &ev.subsets,
+                self.config.max_feasible_sets,
+                self.config.guard_time,
             )
         };
         match scheduled {
-            Ok(interval_schedules) => {
-                let (segments, node_schedules) =
-                    build_node_schedules(&assignment, &interval_schedules, topo);
-                return Ok(Schedule {
-                    period,
-                    peak_utilization: outcome.utilization.effective_peak(),
-                    baseline_peak: outcome.baseline_peak,
-                    bounds: bounds.clone(),
-                    assignment,
-                    intervals: intervals.clone(),
-                    activity: activity.clone(),
-                    allocation,
-                    interval_schedules,
-                    segments,
-                    node_schedules,
-                    capacity_scale: scale,
-                    guard_time: config.guard_time,
-                });
-            }
-            Err(e @ CompileError::IntervalUnschedulable { .. }) => {
-                last_err = Some(e);
-            }
-            Err(e) => return Err(e),
+            Ok(interval_schedules) => ScaleOutcome::Scheduled {
+                allocation,
+                interval_schedules,
+            },
+            Err(e @ CompileError::IntervalUnschedulable { .. }) => ScaleOutcome::Unschedulable(e),
+            Err(e) => ScaleOutcome::Hard(e),
         }
     }
-    Err(last_err.expect("loop ran at least once"))
+
+    /// The feedback search over the `(seed, scale)` candidate grid.
+    ///
+    /// Selection is a serial replay of the paper's feedback loops over
+    /// candidate ranks `(seed-major, scale-minor)`; any candidate the walk
+    /// needs that has no precomputed result is evaluated on the spot. With
+    /// `threads > 1` the grid is speculatively filled first by a worker
+    /// pool (scale-major claim order, so every seed's first-choice
+    /// candidate starts early), with an atomic rank watermark cancelling
+    /// candidates that can no longer win. Either way the walk — and hence
+    /// the returned schedule or error — is identical to a fully serial
+    /// search, because every stage is a deterministic function of its
+    /// inputs.
+    fn search(&self, threads: usize) -> Result<Schedule, CompileError> {
+        let num_seeds = self.config.path_retry_seeds + 1;
+        let num_scales = self.scales.len();
+
+        let mut seeds: Vec<Option<SeedOutcome>> = (0..num_seeds).map(|_| None).collect();
+        let mut slots: Vec<Option<ScaleOutcome>> =
+            (0..num_seeds * num_scales).map(|_| None).collect();
+
+        if threads > 1 {
+            // Speculative parallel fill. `best` is the lowest candidate
+            // rank known to have scheduled; anything ranked above it is
+            // skipped (the walk re-evaluates lazily in the rare case a
+            // skipped candidate still matters).
+            let seed_cells: Vec<OnceLock<SeedOutcome>> =
+                (0..num_seeds).map(|_| OnceLock::new()).collect();
+            let best = AtomicUsize::new(usize::MAX);
+            let jobs: Vec<(usize, usize)> = (0..num_scales)
+                .flat_map(|si| (0..num_seeds).map(move |sidx| (sidx, si)))
+                .collect();
+            let results = sr_par::par_map(&jobs, threads, |&(sidx, si)| {
+                let rank = sidx * num_scales + si;
+                if rank > best.load(Ordering::Relaxed) {
+                    return None;
+                }
+                let seed_out = seed_cells[sidx].get_or_init(|| self.eval_seed(sidx));
+                let SeedOutcome::Viable(ev) = seed_out else {
+                    return None;
+                };
+                let out = self.eval_scale(ev, self.scales[si]);
+                if matches!(out, ScaleOutcome::Scheduled { .. }) {
+                    best.fetch_min(rank, Ordering::Relaxed);
+                }
+                Some((rank, out))
+            });
+            for (rank, out) in results.into_iter().flatten() {
+                slots[rank] = Some(out);
+            }
+            for (cell, seed) in seed_cells.into_iter().zip(seeds.iter_mut()) {
+                *seed = cell.into_inner();
+            }
+        }
+
+        // Deterministic selection: replay the serial feedback loops.
+        let mut first_err: Option<CompileError> = None;
+        for (sidx, seed_cell) in seeds.iter_mut().enumerate() {
+            let seed_out = seed_cell.take().unwrap_or_else(|| self.eval_seed(sidx));
+            let ev = match seed_out {
+                SeedOutcome::Viable(ev) => ev,
+                SeedOutcome::Utilization(e) => {
+                    first_err.get_or_insert(e);
+                    continue;
+                }
+            };
+            let mut last_err: Option<CompileError> = None;
+            let mut seed_err: Option<CompileError> = None;
+            for si in 0..num_scales {
+                let rank = sidx * num_scales + si;
+                let out = slots[rank]
+                    .take()
+                    .unwrap_or_else(|| self.eval_scale(&ev, self.scales[si]));
+                match out {
+                    ScaleOutcome::Scheduled {
+                        allocation,
+                        interval_schedules,
+                    } => {
+                        let (segments, node_schedules) =
+                            build_node_schedules(&ev.assignment, &interval_schedules, self.topo);
+                        return Ok(Schedule {
+                            period: self.period,
+                            peak_utilization: ev.peak,
+                            baseline_peak: ev.baseline_peak,
+                            bounds: self.bounds.clone(),
+                            assignment: ev.assignment,
+                            intervals: self.intervals.clone(),
+                            activity: self.activity.clone(),
+                            allocation,
+                            interval_schedules,
+                            segments,
+                            node_schedules,
+                            capacity_scale: self.scales[si],
+                            guard_time: self.config.guard_time,
+                        });
+                    }
+                    ScaleOutcome::Unschedulable(e) => {
+                        last_err = Some(e);
+                    }
+                    ScaleOutcome::AllocInfeasible(e) => {
+                        // At full capacity the subset itself is infeasible:
+                        // that is this seed's report. Deeper in the scale
+                        // ladder, the tightened capacities caused it —
+                        // report the interval-scheduling failure that sent
+                        // us down the ladder instead.
+                        seed_err = Some(if si == 0 {
+                            e
+                        } else {
+                            last_err.take().expect("a scale ran before the break")
+                        });
+                        break;
+                    }
+                    ScaleOutcome::Hard(e) => return Err(e),
+                }
+            }
+            let e = seed_err
+                .or(last_err)
+                .expect("at least one scale candidate ran");
+            first_err.get_or_insert(e);
+        }
+        Err(first_err.expect("at least one seed ran"))
+    }
 }
 
 #[cfg(test)]

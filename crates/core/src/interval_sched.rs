@@ -82,22 +82,37 @@ pub fn schedule_intervals_guarded(
     max_sets: usize,
     guard: f64,
 ) -> Result<Vec<IntervalSchedule>, CompileError> {
+    // The conflict structure of a subset depends only on the path
+    // assignment, so densify each subset's link-conflict matrix once here
+    // instead of per (interval, subset) pair.
+    let conflicts: Vec<ConflictMatrix> = subsets
+        .iter()
+        .map(|s| ConflictMatrix::new(assignment, s))
+        .collect();
+    let mut scratch = SubsetScratch::default();
+
     let mut out = Vec::new();
     for k in 0..intervals.len() {
         let mut slices = Vec::new();
-        for subset in subsets {
-            let active: Vec<MessageId> = subset
-                .iter()
-                .copied()
-                .filter(|&m| allocation.allocated(m, k) > EPS)
-                .collect();
-            if active.is_empty() {
+        for (subset, conflict) in subsets.iter().zip(&conflicts) {
+            scratch.active.clear();
+            scratch
+                .active
+                .extend((0..subset.len()).filter(|&p| allocation.allocated(subset[p], k) > EPS));
+            if scratch.active.is_empty() {
                 continue;
             }
-            let sub_slices = schedule_subset_interval(
-                assignment, allocation, intervals, &active, k, max_sets, guard,
+            schedule_subset_interval(
+                allocation,
+                intervals,
+                subset,
+                conflict,
+                &mut scratch,
+                k,
+                max_sets,
+                guard,
+                &mut slices,
             )?;
-            slices.extend(sub_slices);
         }
         if !slices.is_empty() {
             slices.sort_by(|a, b| {
@@ -114,22 +129,92 @@ pub fn schedule_intervals_guarded(
     Ok(out)
 }
 
+/// Dense pairwise link-conflict matrix over one related subset's positions,
+/// stored as a flat `n × n` bool buffer.
+struct ConflictMatrix {
+    n: usize,
+    bits: Vec<bool>,
+}
+
+impl ConflictMatrix {
+    fn new(assignment: &PathAssignment, subset: &[MessageId]) -> Self {
+        let n = subset.len();
+        let mut bits = vec![false; n * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let clash = assignment
+                    .links(subset[i])
+                    .iter()
+                    .any(|l| assignment.links(subset[j]).contains(l));
+                bits[i * n + j] = clash;
+                bits[j * n + i] = clash;
+            }
+        }
+        ConflictMatrix { n, bits }
+    }
+
+    #[inline]
+    fn clashes(&self, i: usize, j: usize) -> bool {
+        self.bits[i * self.n + j]
+    }
+}
+
+/// Reusable buffers for one subset-interval scheduling call: the active
+/// position list, the DFS stack, the flat set arena (member positions +
+/// per-set end offsets — one growing allocation instead of a `Vec` clone
+/// per enumerated set), and the per-message set-membership lists the LP
+/// constraints are built from.
+#[derive(Default)]
+struct SubsetScratch {
+    /// Subset positions with positive allocation in the current interval.
+    active: Vec<usize>,
+    stack: Vec<usize>,
+    set_data: Vec<usize>,
+    set_ends: Vec<usize>,
+    member_sets: Vec<Vec<usize>>,
+}
+
+impl SubsetScratch {
+    fn clear_sets(&mut self) {
+        self.stack.clear();
+        self.set_data.clear();
+        self.set_ends.clear();
+        for m in &mut self.member_sets {
+            m.clear();
+        }
+    }
+
+    fn num_sets(&self) -> usize {
+        self.set_ends.len()
+    }
+
+    /// Members (as `active` indices) of set `j`.
+    fn set(&self, j: usize) -> &[usize] {
+        let start = if j == 0 { 0 } else { self.set_ends[j - 1] };
+        &self.set_data[start..self.set_ends[j]]
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn schedule_subset_interval(
-    assignment: &PathAssignment,
     allocation: &IntervalAllocation,
     intervals: &Intervals,
-    active: &[MessageId],
+    subset: &[MessageId],
+    conflict: &ConflictMatrix,
+    scratch: &mut SubsetScratch,
     k: usize,
     max_sets: usize,
     guard: f64,
-) -> Result<Vec<Slice>, CompileError> {
+    slices: &mut Vec<Slice>,
+) -> Result<(), CompileError> {
     let (start, _) = intervals.bounds(k);
     let available = intervals.length(k);
-    let n = active.len();
+    let n = scratch.active.len();
 
     // Fast path: one message.
     if n == 1 {
-        let need = allocation.allocated(active[0], k) + guard;
+        let m = subset[scratch.active[0]];
+        let need = allocation.allocated(m, k) + guard;
         if need > available + EPS {
             return Err(CompileError::IntervalUnschedulable {
                 interval: k,
@@ -137,33 +222,22 @@ fn schedule_subset_interval(
                 available,
             });
         }
-        return Ok(vec![Slice {
-            messages: vec![active[0]],
+        slices.push(Slice {
+            messages: vec![m],
             start: start + guard,
             duration: need - guard,
-        }]);
+        });
+        return Ok(());
     }
 
-    // Conflict graph: adjacency over `active` positions.
-    let conflict: Vec<Vec<bool>> = (0..n)
-        .map(|i| {
-            (0..n)
-                .map(|j| {
-                    i != j
-                        && assignment
-                            .links(active[i])
-                            .iter()
-                            .any(|l| assignment.links(active[j]).contains(l))
-                })
-                .collect()
-        })
-        .collect();
-
-    // Enumerate all non-empty independent sets (the link-feasible sets).
-    let mut sets: Vec<Vec<usize>> = Vec::new();
-    let mut stack: Vec<usize> = Vec::new();
-    enumerate_independent(&conflict, 0, &mut stack, &mut sets, max_sets);
-    if sets.len() >= max_sets {
+    // Enumerate all non-empty independent sets (the link-feasible sets)
+    // into the flat arena, recording set membership per message as we go.
+    scratch.clear_sets();
+    if scratch.member_sets.len() < n {
+        scratch.member_sets.resize_with(n, Vec::new);
+    }
+    let full = enumerate_independent(conflict, scratch, max_sets);
+    if !full {
         return Err(CompileError::TooManyFeasibleSets {
             interval: k,
             cap: max_sets,
@@ -171,24 +245,18 @@ fn schedule_subset_interval(
     }
 
     // LP: minimize Σ y_j with per-message coverage equalities.
+    let num_sets = scratch.num_sets();
     let mut lp = Problem::minimize();
-    let ys: Vec<VarId> = sets.iter().map(|_| lp.add_var(1.0)).collect();
-    for (mi, &m) in active.iter().enumerate() {
-        let terms: Vec<(VarId, f64)> = sets
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.contains(&mi))
-            .map(|(j, _)| (ys[j], 1.0))
-            .collect();
-        lp.add_constraint(&terms, Relation::Eq, allocation.allocated(m, k))
+    let ys: Vec<VarId> = (0..num_sets).map(|_| lp.add_var(1.0)).collect();
+    let mut terms: Vec<(VarId, f64)> = Vec::new();
+    for (ai, &pos) in scratch.active.iter().enumerate() {
+        terms.clear();
+        terms.extend(scratch.member_sets[ai].iter().map(|&j| (ys[j], 1.0)));
+        lp.add_constraint(&terms, Relation::Eq, allocation.allocated(subset[pos], k))
             .expect("variables are registered");
     }
     let sol = lp.solve().map_err(CompileError::Lp)?;
-    let used_slices = sets
-        .iter()
-        .enumerate()
-        .filter(|&(j, _)| sol.value(ys[j]) > EPS)
-        .count();
+    let used_slices = (0..num_sets).filter(|&j| sol.value(ys[j]) > EPS).count();
     let required = sol.objective() + guard * used_slices as f64;
     if required > available + EPS {
         return Err(CompileError::IntervalUnschedulable {
@@ -200,21 +268,24 @@ fn schedule_subset_interval(
 
     // Materialize slices back-to-back from the interval start, each
     // preceded by its guard gap.
-    let mut slices = Vec::new();
     let mut cursor = start;
-    for (j, s) in sets.iter().enumerate() {
-        let y = sol.value(ys[j]);
+    for (j, &yv) in ys.iter().enumerate() {
+        let y = sol.value(yv);
         if y > EPS {
             cursor += guard;
             slices.push(Slice {
-                messages: s.iter().map(|&mi| active[mi]).collect(),
+                messages: scratch
+                    .set(j)
+                    .iter()
+                    .map(|&ai| subset[scratch.active[ai]])
+                    .collect(),
                 start: cursor,
                 duration: y,
             });
             cursor += y;
         }
     }
-    Ok(slices)
+    Ok(())
 }
 
 /// Greedy alternative to the \[BDW86\] LP: repeatedly transmit a maximal
@@ -315,30 +386,48 @@ pub fn schedule_intervals_greedy(
     Ok(out)
 }
 
-/// Depth-first enumeration of independent sets of `conflict`, in
-/// lexicographic order of member positions; stops at `cap`.
+/// Depth-first enumeration of the independent sets of the active messages,
+/// in lexicographic order of member positions, into the flat arena in
+/// `scratch` (no per-set allocation). Returns `false` as soon as the set
+/// count reaches `cap` — the enumeration aborts immediately rather than
+/// unwinding through every level.
 fn enumerate_independent(
-    conflict: &[Vec<bool>],
-    from: usize,
-    stack: &mut Vec<usize>,
-    out: &mut Vec<Vec<usize>>,
+    conflict: &ConflictMatrix,
+    scratch: &mut SubsetScratch,
     cap: usize,
-) {
-    if out.len() >= cap {
-        return;
-    }
-    for v in from..conflict.len() {
-        if stack.iter().any(|&u| conflict[u][v]) {
+) -> bool {
+    enumerate_rec(conflict, scratch, 0, cap)
+}
+
+fn enumerate_rec(
+    conflict: &ConflictMatrix,
+    scratch: &mut SubsetScratch,
+    from: usize,
+    cap: usize,
+) -> bool {
+    for vi in from..scratch.active.len() {
+        let v = scratch.active[vi];
+        let clashes = scratch
+            .stack
+            .iter()
+            .any(|&ui| conflict.clashes(scratch.active[ui], v));
+        if clashes {
             continue;
         }
-        stack.push(v);
-        out.push(stack.clone());
-        enumerate_independent(conflict, v + 1, stack, out, cap);
-        stack.pop();
-        if out.len() >= cap {
-            return;
+        scratch.stack.push(vi);
+        let set_id = scratch.set_ends.len();
+        for si in 0..scratch.stack.len() {
+            let ai = scratch.stack[si];
+            scratch.set_data.push(ai);
+            scratch.member_sets[ai].push(set_id);
         }
+        scratch.set_ends.push(scratch.set_data.len());
+        if scratch.num_sets() >= cap || !enumerate_rec(conflict, scratch, vi + 1, cap) {
+            return false;
+        }
+        scratch.stack.pop();
     }
+    true
 }
 
 #[cfg(test)]

@@ -37,7 +37,7 @@ impl Intervals {
         let mut endpoints: Vec<f64> = Vec::with_capacity(pts.len());
         for p in pts {
             let p = p.clamp(0.0, period);
-            if endpoints.last().map_or(true, |&last| p - last > EPS) {
+            if endpoints.last().is_none_or(|&last| p - last > EPS) {
                 endpoints.push(p);
             }
         }

@@ -80,7 +80,9 @@ mod utilization;
 mod verify;
 
 pub use allocation_lp::{allocate_intervals, IntervalAllocation};
-pub use assign_paths::{assign_paths, AssignPathsConfig, AssignPathsOutcome};
+pub use assign_paths::{
+    assign_paths, assign_paths_pooled, AssignPathsConfig, AssignPathsOutcome, PathPool,
+};
 pub use assignment::PathAssignment;
 pub use besteffort::{admit_best_effort, BestEffortGrant};
 pub use compile::{compile, CompileConfig, Schedule};

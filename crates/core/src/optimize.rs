@@ -106,6 +106,7 @@ pub struct CoDesignResult {
 /// Deterministic per `seed`. The scoring runs a reduced `assign_paths`
 /// (few restarts), so this is the expensive-but-effective end of the
 /// mapping spectrum.
+#[allow(clippy::too_many_arguments)] // mirrors the compile() surface plus search knobs
 pub fn co_design(
     topo: &dyn Topology,
     tfg: &TaskFlowGraph,

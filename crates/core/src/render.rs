@@ -113,7 +113,7 @@ mod tests {
         let text = s.render_timelines(&topo, 50);
         // Two network messages -> at most a handful of rows + header.
         let rows = text.lines().count();
-        assert!(rows >= 2 && rows <= 6, "{text}");
+        assert!((2..=6).contains(&rows), "{text}");
         assert!(text.contains("µs"));
     }
 

@@ -57,7 +57,7 @@ impl Schedule {
             busy_links += 1;
             let fraction = busy / self.period();
             busy_total += fraction;
-            if busiest.map_or(true, |(_, f)| fraction > f) {
+            if busiest.is_none_or(|(_, f)| fraction > f) {
                 busiest = Some((link, fraction));
             }
         }

@@ -95,6 +95,7 @@ impl UtilizationMap {
                 peak_value = u;
                 peak_at = Some(Hotspot::Link(LinkId(l)));
             }
+            #[allow(clippy::needless_range_loop)] // `k` is also the interval index
             for k in 0..k_count {
                 let c = spot_count[l][k];
                 if c > 0 {

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use sr_core::{
-    allocate_intervals, assign_paths, related_subsets, schedule_intervals, ActivityMatrix,
-    AssignPathsConfig, Intervals, PathAssignment, UtilizationMap, EPS,
+    allocate_intervals, assign_paths, compile, related_subsets, schedule_intervals, ActivityMatrix,
+    AssignPathsConfig, CompileConfig, Intervals, PathAssignment, UtilizationMap, EPS,
 };
 use sr_mapping::Allocation;
 use sr_tfg::generators::{layered_random, LayeredParams};
@@ -193,6 +193,7 @@ proptest! {
                 }
             }
         }
+        #[allow(clippy::needless_range_loop)] // `i`/`k` are also the id values
         for i in 0..s.tfg.num_messages() {
             for k in 0..intervals.len() {
                 prop_assert!(
@@ -219,6 +220,45 @@ proptest! {
                     }
                 }
             }
+        }
+    }
+
+    /// The parallel feedback search is bit-identical to the serial walk:
+    /// the same (seed, capacity-scale) candidate wins, so success yields
+    /// the same segments and utilization, and failure yields the same
+    /// error, regardless of worker count.
+    #[test]
+    fn parallel_compile_matches_serial((s, _) in stage()) {
+        let topo = cube();
+        let timing = Timing::new(64.0, 20.0);
+        let period = s.bounds.period();
+        let serial = CompileConfig { parallelism: 1, ..CompileConfig::default() };
+        let parallel = CompileConfig { parallelism: 4, ..serial.clone() };
+        let a = compile(&topo, &s.tfg, &s.alloc, &timing, period, &serial);
+        let b = compile(&topo, &s.tfg, &s.alloc, &timing, period, &parallel);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(x.capacity_scale().to_bits(), y.capacity_scale().to_bits());
+                prop_assert_eq!(
+                    x.peak_utilization().to_bits(),
+                    y.peak_utilization().to_bits()
+                );
+                for i in 0..s.tfg.num_messages() {
+                    let (pa, pb) = (x.assignment().path(MessageId(i)), y.assignment().path(MessageId(i)));
+                    prop_assert_eq!(pa.nodes(), pb.nodes(), "message {} routed differently", i);
+                }
+                prop_assert_eq!(x.segments().len(), y.segments().len());
+                for (sa, sb) in x.segments().iter().zip(y.segments()) {
+                    prop_assert_eq!(sa.message, sb.message);
+                    prop_assert_eq!(sa.start.to_bits(), sb.start.to_bits());
+                    prop_assert_eq!(sa.end.to_bits(), sb.end.to_bits());
+                }
+            }
+            (Err(ea), Err(eb)) => {
+                prop_assert_eq!(format!("{ea}"), format!("{eb}"));
+            }
+            (Ok(_), Err(e)) => prop_assert!(false, "serial succeeded, parallel failed: {e}"),
+            (Err(e), Ok(_)) => prop_assert!(false, "serial failed ({e}), parallel succeeded"),
         }
     }
 

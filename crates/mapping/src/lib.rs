@@ -261,6 +261,7 @@ pub fn greedy(tfg: &TaskFlowGraph, topo: &dyn Topology) -> Allocation {
 
     for &t in tfg.topological_order() {
         let mut best: Option<(u64, usize)> = None;
+        #[allow(clippy::needless_range_loop)] // `node` is also the NodeId value
         for node in 0..n {
             let mut cost = load[node] * occupancy_penalty;
             for &m in tfg.incoming(t) {
@@ -275,7 +276,7 @@ pub fn greedy(tfg: &TaskFlowGraph, topo: &dyn Topology) -> Allocation {
                     cost += msg.bytes() * topo.distance(NodeId(node), dst_node) as u64;
                 }
             }
-            if best.map_or(true, |(c, _)| cost < c) {
+            if best.is_none_or(|(c, _)| cost < c) {
                 best = Some((cost, node));
             }
         }

@@ -1,0 +1,151 @@
+//! Minimal std-only data parallelism for the scheduled-routing compiler.
+//!
+//! The build environment cannot fetch `rayon`, so this crate provides the
+//! one primitive the workspace needs: an order-preserving parallel map
+//! over a slice, backed by `std::thread::scope` workers that pull indices
+//! from a shared atomic counter (self-balancing for irregular item costs).
+//!
+//! Results are returned in input order regardless of completion order, so
+//! callers get deterministic output as long as the mapped function is
+//! itself deterministic per item.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of hardware threads, with a floor of 1.
+#[must_use]
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a user-facing parallelism knob: `0` means "auto" (all
+/// hardware threads), anything else is taken literally.
+#[must_use]
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        max_threads()
+    } else {
+        requested
+    }
+}
+
+/// Maps `f` over `items` with up to `threads` worker threads (`0` = auto),
+/// returning results in input order.
+///
+/// `f` receives `(index, &item)`. With one effective thread (or one item)
+/// the map runs inline on the caller's thread — no pool, no overhead — so
+/// serial configurations pay nothing.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` on any worker.
+pub fn par_map_indexed<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = effective_threads(threads).min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            return produced;
+                        }
+                        produced.push((i, f(i, &items[i])));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            let produced = match handle.join() {
+                Ok(p) => p,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            for (i, r) in produced {
+                slots[i] = Some(r);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index was claimed exactly once"))
+        .collect()
+}
+
+/// [`par_map_indexed`] without the index.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items, threads, |_, t| f(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [0, 1, 2, 7] {
+            let out = par_map_indexed(&items, threads, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, 4, |x| *x).is_empty());
+        assert_eq!(par_map(&[9u32], 4, |x| *x + 1), vec![10]);
+    }
+
+    #[test]
+    fn irregular_costs_balance() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, 4, |&x| {
+            // Skewed work per item.
+            (0..(x % 7) * 1000).fold(x, |acc, i| acc.wrapping_add(i))
+        });
+        let expect: Vec<u64> = items
+            .iter()
+            .map(|&x| (0..(x % 7) * 1000).fold(x, |acc, i| acc.wrapping_add(i)))
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn panics_propagate() {
+        let items: Vec<u32> = (0..16).collect();
+        let _ = par_map(&items, 4, |&x| {
+            if x == 7 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

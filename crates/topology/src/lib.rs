@@ -65,8 +65,10 @@ pub use torus::Torus;
 /// by [`NodeId`]/[`LinkId`].
 ///
 /// The trait is object-safe; the scheduled-routing and wormhole crates accept
-/// `&dyn Topology`.
-pub trait Topology {
+/// `&dyn Topology`. `Send + Sync` is a supertrait so the compiler's parallel
+/// feedback search can share one topology across worker threads (every
+/// implementation is immutable data).
+pub trait Topology: Send + Sync {
     /// Human-readable name, e.g. `"GHC(2,2,2,2,2,2)"` or `"Torus(8,8)"`.
     fn name(&self) -> String;
 

@@ -213,6 +213,7 @@ mod tests {
         let mr = MixedRadix::new(&[4, 4, 4]).unwrap();
         for n in 0..64 {
             let all = mr.digits(NodeId(n));
+            #[allow(clippy::needless_range_loop)] // `dim` is also the query argument
             for dim in 0..3 {
                 assert_eq!(mr.digit(NodeId(n), dim), all[dim]);
             }

@@ -107,6 +107,7 @@ proptest! {
         let m = Mesh::new(&extents).unwrap();
         let src = NodeId(a % m.num_nodes());
         let bfs = bfs_distances(&m, src);
+        #[allow(clippy::needless_range_loop)] // `n` is also the NodeId value
         for n in 0..m.num_nodes() {
             prop_assert_eq!(m.distance(src, NodeId(n)), bfs[n]);
         }
@@ -169,6 +170,7 @@ proptest! {
         let g = GeneralizedHypercube::new(&radices).unwrap();
         let src = NodeId(a % g.num_nodes());
         let bfs = bfs_distances(&g, src);
+        #[allow(clippy::needless_range_loop)] // `n` is also the NodeId value
         for n in 0..g.num_nodes() {
             prop_assert_eq!(g.distance(src, NodeId(n)), bfs[n]);
         }
@@ -179,6 +181,7 @@ proptest! {
         let t = Torus::new(&extents).unwrap();
         let src = NodeId(a % t.num_nodes());
         let bfs = bfs_distances(&t, src);
+        #[allow(clippy::needless_range_loop)] // `n` is also the NodeId value
         for n in 0..t.num_nodes() {
             prop_assert_eq!(t.distance(src, NodeId(n)), bfs[n]);
         }

@@ -108,6 +108,7 @@ pub(crate) struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         tfg: &'a TaskFlowGraph,
         alloc: &'a Allocation,
@@ -384,7 +385,7 @@ impl<'a> Engine<'a> {
                 return c.clone();
             }
             let q = link.queue.len();
-            if best.map_or(true, |(bq, _)| q < bq) {
+            if best.is_none_or(|(bq, _)| q < bq) {
                 best = Some((q, i));
             }
         }

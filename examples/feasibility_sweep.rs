@@ -25,16 +25,17 @@ fn sweep(name: &str, topo: &dyn Topology, bandwidth: f64) {
             break;
         }
         let period = tau_c / load;
-        match compile(
+        if compile(
             topo,
             &tfg,
             &alloc,
             &timing,
             period,
             &CompileConfig::default(),
-        ) {
-            Ok(_) => boundary = Some(load),
-            Err(_) => {}
+        )
+        .is_ok()
+        {
+            boundary = Some(load)
         }
     }
     match boundary {

@@ -152,7 +152,11 @@ fn wr_latency_grows_with_load_sr_latency_does_not() {
     let tfg = dvb_uniform(8);
     let cube = GeneralizedHypercube::binary(6).unwrap();
     let timing = Timing::calibrated_dvb(64.0);
-    let alloc = sr::mapping::random_distinct(&tfg, &cube, 7).unwrap();
+    // Seed 13 (formerly 7): the vendored StdRng draws a different stream
+    // than upstream rand's, and the seed-7 placement is borderline — it no
+    // longer compiles at load 0.9. Any seed whose placement compiles at all
+    // three loads works here; 13 does and keeps WR latency growth visible.
+    let alloc = sr::mapping::random_distinct(&tfg, &cube, 13).unwrap();
     let tau_c = timing.longest_task(&tfg);
 
     let mut wr_lat = Vec::new();

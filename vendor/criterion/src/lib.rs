@@ -1,0 +1,359 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the subset of the criterion 0.5 API its benches use:
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion`],
+//! [`Criterion::benchmark_group`], `bench_function` / `bench_with_input`,
+//! [`BenchmarkId`], `sample_size`, and [`Bencher::iter`].
+//!
+//! Measurement model (simpler than upstream, same shape): a short warm-up
+//! sizes an iteration batch so each sample spans ≥ ~2 ms, then
+//! `sample_size` samples are timed and min / mean / median are reported.
+//! Set `CRITERION_JSON=<path>` to also write all results of the process as
+//! a JSON array — the CI smoke run uses this to publish
+//! `BENCH_compile.json`.
+//!
+//! Command line: any non-flag argument is a substring filter on benchmark
+//! ids; `--quick` cuts samples to 3; other flags cargo passes (e.g.
+//! `--bench`) are ignored.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target minimum wall-clock span of one sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(2);
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{param}", name.into()),
+        }
+    }
+
+    /// Id carrying only a parameter (group name supplies the prefix).
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark id (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    batch: u64,
+    samples: usize,
+    collected: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, batching iterations so samples are measurable.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + batch sizing: grow the batch until it spans the
+        // target, so per-sample noise stays small for fast bodies.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let span = t.elapsed();
+            if span >= SAMPLE_TARGET || batch >= 1 << 20 {
+                break;
+            }
+            // Aim directly for the target from the observed speed.
+            let scale = (SAMPLE_TARGET.as_nanos() / span.as_nanos().max(1)).max(2);
+            batch = batch.saturating_mul(scale as u64).min(1 << 20);
+        }
+        self.batch = batch;
+        self.collected.clear();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.collected.push(t.elapsed());
+        }
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    id: String,
+    min_ns: f64,
+    mean_ns: f64,
+    median_ns: f64,
+    samples: usize,
+}
+
+/// Shared measurement settings and result sink.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            sample_size: 20,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line filter / `--quick` (called by the group macro).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut skip_value = false;
+        for arg in std::env::args().skip(1) {
+            if skip_value {
+                skip_value = false;
+                continue;
+            }
+            match arg.as_str() {
+                "--quick" => self.sample_size = 3,
+                "--bench" | "--test" => {}
+                // Flags with a value we ignore.
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" => skip_value = true,
+                a if a.starts_with('-') => {}
+                filter => self.filter = Some(filter.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Default number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let id = id.into_id();
+        let samples = self.sample_size;
+        self.run_one(id, samples, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, samples: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            batch: 1,
+            samples,
+            collected: Vec::new(),
+        };
+        f(&mut b);
+        if b.collected.is_empty() {
+            // The closure never called `iter`.
+            return;
+        }
+        let mut per_iter: Vec<f64> = b
+            .collected
+            .iter()
+            .map(|d| d.as_nanos() as f64 / b.batch as f64)
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        let min = per_iter[0];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let median = per_iter[per_iter.len() / 2];
+        println!(
+            "{id:<50} time: [{} {} {}]  ({} samples)",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(median),
+            per_iter.len(),
+        );
+        self.results.push(BenchResult {
+            id,
+            min_ns: min,
+            mean_ns: mean,
+            median_ns: median,
+            samples: per_iter.len(),
+        });
+    }
+
+    /// Writes all results as a JSON array to `CRITERION_JSON`, if set.
+    fn write_json(&self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            out.push_str(&format!(
+                "  {{\"name\": {:?}, \"min_ns\": {:.1}, \"mean_ns\": {:.1}, \
+                 \"median_ns\": {:.1}, \"samples\": {}}}{comma}\n",
+                r.id, r.min_ns, r.mean_ns, r.median_ns, r.samples
+            ));
+        }
+        out.push_str("]\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("criterion shim: cannot write {path}: {e}");
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        self.write_json();
+    }
+}
+
+/// A named group sharing settings, created by
+/// [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Benchmarks `f` as `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        self.parent.run_one(full, samples, f);
+    }
+
+    /// Benchmarks `f` with a borrowed input as `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function (`criterion_group!(name, f1, f2)`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 3).into_id(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(2.5).into_id(), "2.5");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("smoke", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].mean_ns > 0.0);
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[1].id, "grp/7");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion::default().sample_size(2);
+        c.filter = Some("match".into());
+        c.bench_function("other", |b| b.iter(|| 1));
+        assert!(c.results.is_empty());
+        c.bench_function("match_this", |b| b.iter(|| 1));
+        assert_eq!(c.results.len(), 1);
+    }
+}
