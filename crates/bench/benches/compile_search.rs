@@ -9,9 +9,13 @@
 //! where the parallel search pays off).
 //!
 //! Run with `CRITERION_JSON=BENCH_compile.json cargo bench --bench
-//! compile_search` to capture machine-readable numbers.
+//! compile_search` to capture machine-readable numbers. Set
+//! `SR_METRICS_JSON=<path>` to additionally write the compile pipeline's
+//! observability counters (LP pivots, candidates walked, …) per load point
+//! — the companion artifact to the timing numbers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sr::obs::MetricsRecorder;
 use sr::prelude::*;
 use sr_bench::{standard_workload, Platform};
 use std::hint::black_box;
@@ -46,8 +50,52 @@ fn bench_compile_search(c: &mut Criterion) {
                 },
             );
         }
+        // Serial again, but with a live MetricsRecorder: the difference to
+        // `serial` is the recording overhead (`serial` itself goes through
+        // the no-op recorder, so `serial` vs older baselines bounds the
+        // no-op overhead).
+        let config = CompileConfig {
+            parallelism: 1,
+            ..CompileConfig::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::new("torus4x4_dvb_recorded", load),
+            &period,
+            |b, &period| {
+                b.iter(|| {
+                    let rec = MetricsRecorder::new();
+                    black_box(
+                        compile_with_recorder(topo, &tfg, &alloc, &timing, period, &config, &rec)
+                            .unwrap(),
+                    );
+                    black_box(rec)
+                })
+            },
+        );
     }
     g.finish();
+
+    // Companion metrics artifact: one instrumented serial compile per load,
+    // written when SR_METRICS_JSON names a destination.
+    if let Ok(path) = std::env::var("SR_METRICS_JSON") {
+        let config = CompileConfig {
+            parallelism: 1,
+            ..CompileConfig::default()
+        };
+        let mut entries = Vec::new();
+        for &load in LOADS {
+            let rec = MetricsRecorder::new();
+            compile_with_recorder(topo, &tfg, &alloc, &timing, tau_c / load, &config, &rec)
+                .expect("benchmark loads compile");
+            entries.push(format!("\"{load}\":{}", rec.metrics_json()));
+        }
+        let json = format!(
+            "{{\"bench\":\"compile_search\",\"workload\":\"torus4x4_dvb\",\"loads\":{{{}}}}}",
+            entries.join(",")
+        );
+        std::fs::write(&path, json).expect("SR_METRICS_JSON path is writable");
+        eprintln!("wrote compile metrics to {path}");
+    }
 }
 
 criterion_group!(benches, bench_compile_search);

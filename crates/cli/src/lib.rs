@@ -220,6 +220,11 @@ pub struct Options {
     pub timeline: bool,
     /// Write the compiled schedule as JSON to this path.
     pub json: Option<String>,
+    /// Write a Chrome-tracing JSON of the run to this path
+    /// (load via `chrome://tracing` or <https://ui.perfetto.dev>).
+    pub trace_out: Option<String>,
+    /// Print the collected counters/histograms/span totals to stderr.
+    pub metrics: bool,
 }
 
 impl Default for Options {
@@ -238,6 +243,8 @@ impl Default for Options {
             dump: false,
             timeline: false,
             json: None,
+            trace_out: None,
+            metrics: false,
         }
     }
 }
@@ -305,6 +312,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, SpecError> {
             "--dump" => opts.dump = true,
             "--timeline" => opts.timeline = true,
             "--json" => opts.json = Some(value("--json")?),
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--metrics" => opts.metrics = true,
             other => return Err(SpecError::new(format!("unknown flag '{other}'\n{USAGE}"))),
         }
     }
@@ -315,7 +324,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, SpecError> {
 pub const USAGE: &str = "usage: srsched <compile|simulate|sweep|info|minperiod> \
 [--topo SPEC] [--tfg SPEC] [--alloc SPEC] [--bandwidth B] [--period T] \
 [--guard G] [--parallelism N] [--vc N] [--adaptive P] [--dump] [--timeline] \
-[--json FILE]";
+[--json FILE] [--trace-out FILE] [--metrics]";
 
 /// Runs a parsed command, writing human-readable output to `out`.
 ///
@@ -330,6 +339,12 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
     let timing = Timing::calibrated_dvb(opts.bandwidth);
     let tau_c = timing.longest_task(&tfg);
     let period = opts.period.unwrap_or(tau_c * 2.0);
+
+    // One recorder per invocation; it stays a no-op (never recording,
+    // never allocating) unless --trace-out or --metrics asked for it.
+    let recording = opts.metrics || opts.trace_out.is_some();
+    let metrics = MetricsRecorder::new();
+    let rec: &dyn Recorder = if recording { &metrics } else { &sr::obs::NOOP };
 
     match opts.command.as_str() {
         "info" => {
@@ -373,7 +388,16 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
                 parallelism: opts.parallelism,
                 ..CompileConfig::default()
             };
-            match compile(topo.as_ref(), &tfg, &alloc, &timing, period, &config) {
+            let compiled = sr::core::compile_with_recorder(
+                topo.as_ref(),
+                &tfg,
+                &alloc,
+                &timing,
+                period,
+                &config,
+                rec,
+            );
+            match compiled {
                 Ok(s) => {
                     verify(&s, topo.as_ref(), &tfg)?;
                     writeln!(out, "schedule compiled and verified")?;
@@ -433,6 +457,10 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
                 }
                 Err(e) => writeln!(out, "schedule infeasible: {e}")?,
             }
+            // Observability output is written for failed compiles too —
+            // the trace of an infeasible search is exactly what you want
+            // to look at.
+            write_observability(opts, &metrics, out)?;
         }
         "minperiod" => {
             let config = CompileConfig {
@@ -473,7 +501,19 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
             let sim = WormholeSim::new(topo.as_ref(), &tfg, &alloc, &timing)?
                 .with_virtual_channels(opts.virtual_channels)?
                 .with_adaptive_routing(opts.adaptive)?;
+            let span = sr::obs::span_with(rec, "simulate", || format!("period={period}"));
             let res = sim.run(period, &SimConfig::default())?;
+            drop(span);
+            // The simulator is recorder-free by design; funnel its flight
+            // trace into histograms here instead.
+            if recording {
+                rec.add("wormhole.flights", res.trace().flights().len() as u64);
+                rec.add("wormhole.invocations", res.records().len() as u64);
+                for f in res.trace().flights() {
+                    rec.observe("wormhole.blocked_us", f.blocked());
+                    rec.observe("wormhole.residence_us", f.residence());
+                }
+            }
             writeln!(
                 out,
                 "wormhole simulation: {} invocations at τ_in = {period} µs",
@@ -507,12 +547,20 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
                     "  latency         : {:.2}/{:.2}/{:.2} µs",
                     l.min, l.mean, l.max
                 )?;
+                if let Some(b) = res.trace().blocked_summary() {
+                    writeln!(
+                        out,
+                        "  blocked time    : p50 {:.2}, p95 {:.2}, max {:.2} µs over {} flights",
+                        b.p50, b.p95, b.max, b.count
+                    )?;
+                }
                 writeln!(
                     out,
                     "  inconsistent    : {}",
                     res.has_output_inconsistency(1e-6)
                 )?;
             }
+            write_observability(opts, &metrics, out)?;
         }
         "sweep" => {
             writeln!(
@@ -561,6 +609,27 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
             }
         }
         _ => unreachable!("validated in parse_args"),
+    }
+    Ok(())
+}
+
+/// Flushes the recorder per `--trace-out`/`--metrics`: the Chrome trace to
+/// its file (noting the path in `out`), the metrics table to stderr (so it
+/// never mixes with parseable stdout output).
+fn write_observability(
+    opts: &Options,
+    metrics: &MetricsRecorder,
+    out: &mut dyn fmt::Write,
+) -> Result<(), Box<dyn Error>> {
+    if let Some(path) = &opts.trace_out {
+        std::fs::write(path, metrics.chrome_trace_json())?;
+        writeln!(
+            out,
+            "wrote Chrome trace to {path} (load in chrome://tracing)"
+        )?;
+    }
+    if opts.metrics {
+        eprint!("{}", metrics.metrics_table());
     }
     Ok(())
 }
@@ -627,6 +696,11 @@ mod tests {
         let o = parse_args(&args("simulate --vc 2 --dump")).unwrap();
         assert_eq!(o.virtual_channels, 2);
         assert!(o.dump);
+
+        let o = parse_args(&args("compile --trace-out /tmp/t.json --metrics")).unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("/tmp/t.json"));
+        assert!(o.metrics);
+        assert!(parse_args(&args("compile --trace-out")).is_err());
 
         assert!(parse_args(&args("explode")).is_err());
         assert!(parse_args(&args("compile --period")).is_err());
@@ -723,6 +797,43 @@ mod tests {
         run(&opts, &mut out).unwrap();
         let json = std::fs::read_to_string(&path).unwrap();
         assert!(json.contains("\"period_us\":120.0"), "{json}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_compile_trace_out_writes_chrome_json() {
+        let dir = std::env::temp_dir().join("srsched_test_trace");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("trace.json");
+        let opts = parse_args(&args(&format!(
+            "compile --topo cube:3 --tfg chain:3 --period 120 --trace-out {}",
+            path.display()
+        )))
+        .unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        assert!(out.contains("wrote Chrome trace"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert!(json.contains("\"name\":\"compile\""), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_simulate_trace_out_has_flight_histograms() {
+        let dir = std::env::temp_dir().join("srsched_test_trace");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("sim_trace.json");
+        let opts = parse_args(&args(&format!(
+            "simulate --topo cube:4 --tfg dvb:4 --period 70 --bandwidth 128 --trace-out {}",
+            path.display()
+        )))
+        .unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"name\":\"simulate\""), "{json}");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -1,8 +1,25 @@
-use sr_lp::{LpError, Problem, Relation, VarId};
+use sr_lp::{LpError, Problem, Relation, SolveStats, VarId};
 use sr_tfg::{MessageId, TimeBounds};
 use sr_topology::LinkId;
 
 use crate::{ActivityMatrix, CompileError, Intervals, PathAssignment, EPS};
+
+/// Work statistics from one [`allocate_intervals_stats`] pass: how much
+/// LP machinery the message–interval allocation stage ground through.
+///
+/// Exact operation counts — deterministic for fixed inputs, so the compile
+/// pipeline can report them independently of its thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocationStats {
+    /// Simplex work summed over every subset LP.
+    pub lp: SolveStats,
+    /// Subset LPs solved (one per maximal related subset).
+    pub lp_solves: u64,
+    /// LP variables created across all subset LPs.
+    pub vars: u64,
+    /// LP constraints created across all subset LPs.
+    pub constraints: u64,
+}
 
 /// The message–interval allocation matrix `P = [p_ik]` (paper §5.2):
 /// `p_ik` is the time message `M_i` transmits during interval `A_k`.
@@ -79,6 +96,34 @@ pub fn allocate_intervals(
     subsets: &[Vec<MessageId>],
     capacity_scale: f64,
 ) -> Result<IntervalAllocation, CompileError> {
+    allocate_intervals_stats(
+        assignment,
+        bounds,
+        activity,
+        intervals,
+        subsets,
+        capacity_scale,
+        &mut AllocationStats::default(),
+    )
+}
+
+/// [`allocate_intervals`] that also accumulates LP work counters into
+/// `stats` (identical allocation either way).
+///
+/// # Errors
+///
+/// As [`allocate_intervals`]. `stats` reflects the work done up to a
+/// failure too.
+#[allow(clippy::too_many_arguments)]
+pub fn allocate_intervals_stats(
+    assignment: &PathAssignment,
+    bounds: &TimeBounds,
+    activity: &ActivityMatrix,
+    intervals: &Intervals,
+    subsets: &[Vec<MessageId>],
+    capacity_scale: f64,
+    stats: &mut AllocationStats,
+) -> Result<IntervalAllocation, CompileError> {
     let mut p = vec![vec![0.0; intervals.len()]; assignment.len()];
 
     for subset in subsets {
@@ -90,11 +135,13 @@ pub fn allocate_intervals(
             subset,
             capacity_scale,
             &mut p,
+            stats,
         )?;
     }
     Ok(IntervalAllocation { p })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn solve_subset(
     assignment: &PathAssignment,
     bounds: &TimeBounds,
@@ -103,6 +150,7 @@ fn solve_subset(
     subset: &[MessageId],
     capacity_scale: f64,
     p: &mut [Vec<f64>],
+    stats: &mut AllocationStats,
 ) -> Result<(), CompileError> {
     let mut lp = Problem::minimize();
     // var_of[(message position in subset, interval)] -> LP variable.
@@ -148,8 +196,14 @@ fn solve_subset(
         }
     }
 
-    let sol = match lp.solve() {
-        Ok(s) => s,
+    stats.lp_solves += 1;
+    stats.vars += lp.num_vars() as u64;
+    stats.constraints += lp.num_constraints() as u64;
+    let sol = match lp.solve_with_stats() {
+        Ok((s, solve_stats)) => {
+            stats.lp.merge(&solve_stats);
+            s
+        }
         Err(LpError::Infeasible) => {
             return Err(CompileError::AllocationInfeasible {
                 subset: subset.to_vec(),

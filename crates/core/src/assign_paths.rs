@@ -1,3 +1,4 @@
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use rand::rngs::StdRng;
@@ -20,6 +21,8 @@ pub struct PathPool<'a> {
     topo: &'a dyn Topology,
     cap: usize,
     cells: Vec<OnceLock<Vec<Path>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl<'a> PathPool<'a> {
@@ -30,6 +33,8 @@ impl<'a> PathPool<'a> {
             topo,
             cap: cap.max(1),
             cells: (0..n * n).map(|_| OnceLock::new()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -42,7 +47,24 @@ impl<'a> PathPool<'a> {
     /// enumerating and caching them on first request.
     pub fn paths(&self, src: NodeId, dst: NodeId) -> &[Path] {
         let idx = src.index() * self.topo.num_nodes() + dst.index();
+        if let Some(cached) = self.cells[idx].get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         self.cells[idx].get_or_init(|| self.topo.shortest_paths(src, dst, self.cap))
+    }
+
+    /// Lookup counters `(hits, misses)` since construction. A "miss" is a
+    /// lookup that found its cell empty — under concurrent first lookups of
+    /// the same pair several threads can each count a miss even though the
+    /// enumeration runs once, so hit/miss totals depend on thread timing
+    /// (report them as parallelism-dependent metrics only).
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -416,6 +438,10 @@ mod tests {
                 assert_eq!(pool.paths(NodeId(src), NodeId(dst)), &direct[..]);
             }
         }
+        // Each pair was looked up twice: one miss then one hit.
+        let (hits, misses) = pool.stats();
+        assert_eq!(misses, (s.topo.num_nodes() * 3) as u64);
+        assert_eq!(hits, misses);
         let direct = assign_paths(
             &s.tfg,
             &s.topo,

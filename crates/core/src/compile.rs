@@ -2,14 +2,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use sr_mapping::Allocation;
+use sr_obs::{span_with, Recorder, NOOP};
 use sr_tfg::{MessageId, TaskFlowGraph, TimeBounds, Timing, WindowPolicy};
 use sr_topology::{NodeId, Topology};
 
-use crate::interval_sched::{schedule_intervals_greedy, schedule_intervals_guarded};
+use crate::interval_sched::{schedule_intervals_greedy, schedule_intervals_guarded_stats};
 use crate::{
-    allocate_intervals, assign_paths_pooled, build_node_schedules, related_subsets, ActivityMatrix,
-    AssignPathsConfig, CompileError, IntervalAllocation, IntervalSchedule, Intervals, NodeSchedule,
-    PathAssignment, PathPool, Segment,
+    allocate_intervals_stats, assign_paths_pooled, build_node_schedules, related_subsets,
+    ActivityMatrix, AllocationStats, AssignPathsConfig, CompileError, IntervalAllocation,
+    IntervalSchedStats, IntervalSchedule, Intervals, NodeSchedule, PathAssignment, PathPool,
+    Segment,
 };
 
 /// Configuration of the end-to-end scheduled-routing compiler.
@@ -193,12 +195,42 @@ pub fn compile(
     period: f64,
     config: &CompileConfig,
 ) -> Result<Schedule, CompileError> {
+    compile_with_recorder(topo, tfg, alloc, timing, period, config, &NOOP)
+}
+
+/// [`compile`] with an [`sr_obs::Recorder`] observing the pipeline: nested
+/// spans around the four Fig. 3 phases and every `(seed, scale)` candidate,
+/// plus work counters (LP pivots, feasible sets, path-pool traffic, …).
+///
+/// Counters outside the `par.` namespace are emitted only from the
+/// deterministic candidate walk, so they are identical for any
+/// [`CompileConfig::parallelism`] setting; `par.`-prefixed counters and all
+/// span timings depend on thread scheduling. Passing [`sr_obs::NOOP`]
+/// reduces this to [`compile`] — the instrumentation then costs one
+/// non-inlined boolean query per span site and never allocates.
+///
+/// # Errors
+///
+/// As [`compile`].
+pub fn compile_with_recorder(
+    topo: &dyn Topology,
+    tfg: &TaskFlowGraph,
+    alloc: &Allocation,
+    timing: &Timing,
+    period: f64,
+    config: &CompileConfig,
+    rec: &dyn Recorder,
+) -> Result<Schedule, CompileError> {
+    let root = span_with(rec, "compile", || {
+        format!("period={period} messages={}", tfg.num_messages())
+    });
     if alloc.placement().len() != tfg.num_tasks() {
         return Err(CompileError::AllocationMismatch {
             alloc_tasks: alloc.placement().len(),
             tfg_tasks: tfg.num_tasks(),
         });
     }
+    let phase = sr_obs::span(rec, "phase.time_bounds");
     let bounds = sr_tfg::assign_time_bounds(tfg, timing, period, config.window_policy)?;
     // Application-processor capacity: co-located tasks share one AP, so
     // their total execution demand must fit the period (the paper assumes
@@ -223,6 +255,9 @@ pub fn compile(
     }
     let intervals = Intervals::from_bounds(&bounds);
     let activity = ActivityMatrix::new(&bounds, &intervals);
+    drop(phase);
+    rec.add("compile.messages", tfg.num_messages() as u64);
+    rec.add("compile.intervals", intervals.len() as u64);
 
     let ctx = SearchCtx {
         topo,
@@ -242,15 +277,20 @@ pub fn compile(
         // paths depend on endpoints only, so each pair is enumerated once
         // per compile instead of once per retry.
         pool: PathPool::new(topo, config.assign_paths.path_cap),
+        rec,
     };
-    ctx.search(sr_par::effective_threads(config.parallelism))
+    let result = ctx.search(sr_par::effective_threads(config.parallelism));
+    drop(root);
+    result
 }
 
 /// One seed's path-assignment stage: either the assignment is viable
-/// (peak utilization within capacity) or the seed fails outright.
+/// (peak utilization within capacity) or the seed fails outright. Either
+/// way the heuristic's restart count rides along so the deterministic walk
+/// — not the (possibly parallel) evaluation — reports it.
 enum SeedOutcome {
     Viable(SeedEval),
-    Utilization(CompileError),
+    Utilization { err: CompileError, restarts: u64 },
 }
 
 /// The artifacts every `(seed, scale)` candidate of one seed shares.
@@ -259,6 +299,7 @@ struct SeedEval {
     baseline_peak: f64,
     assignment: PathAssignment,
     subsets: Vec<Vec<MessageId>>,
+    restarts: u64,
 }
 
 /// One `(seed, scale)` candidate's allocate-then-schedule stage.
@@ -270,6 +311,31 @@ enum ScaleOutcome {
     Unschedulable(CompileError),
     AllocInfeasible(CompileError),
     Hard(CompileError),
+}
+
+/// Work counters of one `(seed, scale)` candidate, carried beside its
+/// [`ScaleOutcome`] so only the deterministic walk turns them into recorder
+/// counters (a speculatively evaluated candidate the walk never consumes is
+/// never reported).
+#[derive(Clone, Copy, Default)]
+struct ScaleStats {
+    alloc: AllocationStats,
+    isched: IntervalSchedStats,
+}
+
+/// `candidate`-span outcome codes (the `outcome` arg in a Chrome trace).
+const OUTCOME_SCHEDULED: f64 = 0.0;
+const OUTCOME_UNSCHEDULABLE: f64 = 1.0;
+const OUTCOME_ALLOC_INFEASIBLE: f64 = 2.0;
+const OUTCOME_HARD_ERROR: f64 = 3.0;
+
+/// Reports one merged [`sr_lp::SolveStats`] under `prefix.` counter names.
+fn add_lp_counters(rec: &dyn Recorder, prefix: &str, lp: &sr_lp::SolveStats) {
+    rec.add(&format!("{prefix}.pivots"), lp.pivots);
+    rec.add(&format!("{prefix}.phase1_pivots"), lp.phase1_pivots);
+    rec.add(&format!("{prefix}.degenerate_pivots"), lp.degenerate_pivots);
+    rec.add(&format!("{prefix}.bland_switches"), lp.bland_switches);
+    rec.add(&format!("{prefix}.price_recomputes"), lp.price_recomputes);
 }
 
 /// Shared inputs of the feedback search over `(seed, scale)` candidates.
@@ -284,12 +350,14 @@ struct SearchCtx<'a> {
     period: f64,
     scales: Vec<f64>,
     pool: PathPool<'a>,
+    rec: &'a dyn Recorder,
 }
 
 impl SearchCtx<'_> {
     /// Runs `AssignPaths` for retry index `sidx` and prepares the
     /// downstream artifacts. Deterministic per `sidx`.
     fn eval_seed(&self, sidx: usize) -> SeedOutcome {
+        let span = span_with(self.rec, "phase.assign_paths", || format!("seed={sidx}"));
         let ap_config = AssignPathsConfig {
             seed: self.config.assign_paths.seed.wrapping_add(sidx as u64),
             ..self.config.assign_paths
@@ -305,13 +373,16 @@ impl SearchCtx<'_> {
             &self.pool,
         );
         let peak = outcome.utilization.effective_peak();
+        span.annotate("peak_utilization", peak);
+        span.annotate("restarts", outcome.restarts as f64);
         if peak > 1.0 + self.config.utilization_tolerance {
             // The heuristic is deterministic-per-seed but the peak won't
             // drop below capacity by reseeding alone once it converged;
             // other seeds are still tried, keeping the first report.
-            return SeedOutcome::Utilization(CompileError::UtilizationExceeded {
-                utilization: peak,
-            });
+            return SeedOutcome::Utilization {
+                err: CompileError::UtilizationExceeded { utilization: peak },
+                restarts: outcome.restarts as u64,
+            };
         }
         let subsets = related_subsets(&outcome.assignment, self.activity);
         SeedOutcome::Viable(SeedEval {
@@ -319,26 +390,46 @@ impl SearchCtx<'_> {
             baseline_peak: outcome.baseline_peak,
             assignment: outcome.assignment,
             subsets,
+            restarts: outcome.restarts as u64,
         })
     }
 
     /// Allocates message–interval shares at `scale` capacity and schedules
-    /// the intervals. Deterministic per `(seed artifacts, scale)`.
-    fn eval_scale(&self, ev: &SeedEval, scale: f64) -> ScaleOutcome {
-        let allocation = match allocate_intervals(
+    /// the intervals. Deterministic per `(seed artifacts, scale)`; the
+    /// returned [`ScaleStats`] are likewise deterministic and left to the
+    /// walk to report.
+    fn eval_scale(&self, ev: &SeedEval, sidx: usize, si: usize) -> (ScaleOutcome, ScaleStats) {
+        let scale = self.scales[si];
+        let mut stats = ScaleStats::default();
+        let candidate = span_with(self.rec, "candidate", || {
+            format!("seed={sidx} scale={scale}")
+        });
+
+        let alloc_span = sr_obs::span(self.rec, "phase.allocate_intervals");
+        let allocated = allocate_intervals_stats(
             &ev.assignment,
             self.bounds,
             self.activity,
             self.intervals,
             &ev.subsets,
             scale,
-        ) {
+            &mut stats.alloc,
+        );
+        alloc_span.annotate("lp_pivots", stats.alloc.lp.pivots as f64);
+        drop(alloc_span);
+        let allocation = match allocated {
             Ok(a) => a,
             Err(e @ CompileError::AllocationInfeasible { .. }) => {
-                return ScaleOutcome::AllocInfeasible(e)
+                candidate.annotate("outcome", OUTCOME_ALLOC_INFEASIBLE);
+                return (ScaleOutcome::AllocInfeasible(e), stats);
             }
-            Err(e) => return ScaleOutcome::Hard(e),
+            Err(e) => {
+                candidate.annotate("outcome", OUTCOME_HARD_ERROR);
+                return (ScaleOutcome::Hard(e), stats);
+            }
         };
+
+        let sched_span = sr_obs::span(self.rec, "phase.schedule_intervals");
         let scheduled = if self.config.greedy_interval_scheduling {
             schedule_intervals_greedy(
                 &ev.assignment,
@@ -348,23 +439,33 @@ impl SearchCtx<'_> {
                 self.config.guard_time,
             )
         } else {
-            schedule_intervals_guarded(
+            schedule_intervals_guarded_stats(
                 &ev.assignment,
                 &allocation,
                 self.intervals,
                 &ev.subsets,
                 self.config.max_feasible_sets,
                 self.config.guard_time,
+                &mut stats.isched,
             )
         };
-        match scheduled {
-            Ok(interval_schedules) => ScaleOutcome::Scheduled {
-                allocation,
-                interval_schedules,
-            },
-            Err(e @ CompileError::IntervalUnschedulable { .. }) => ScaleOutcome::Unschedulable(e),
-            Err(e) => ScaleOutcome::Hard(e),
-        }
+        sched_span.annotate("lp_pivots", stats.isched.lp.pivots as f64);
+        drop(sched_span);
+        let (outcome, code) = match scheduled {
+            Ok(interval_schedules) => (
+                ScaleOutcome::Scheduled {
+                    allocation,
+                    interval_schedules,
+                },
+                OUTCOME_SCHEDULED,
+            ),
+            Err(e @ CompileError::IntervalUnschedulable { .. }) => {
+                (ScaleOutcome::Unschedulable(e), OUTCOME_UNSCHEDULABLE)
+            }
+            Err(e) => (ScaleOutcome::Hard(e), OUTCOME_HARD_ERROR),
+        };
+        candidate.annotate("outcome", code);
+        (outcome, stats)
     }
 
     /// The feedback search over the `(seed, scale)` candidate grid.
@@ -380,11 +481,22 @@ impl SearchCtx<'_> {
     /// search, because every stage is a deterministic function of its
     /// inputs.
     fn search(&self, threads: usize) -> Result<Schedule, CompileError> {
+        let result = self.search_walk(threads);
+        // Path-pool traffic is inherently thread-dependent (see
+        // [`PathPool::stats`]), hence the `par.` namespace; reported on
+        // success and failure alike.
+        let (hits, misses) = self.pool.stats();
+        self.rec.add("par.pathpool.hits", hits);
+        self.rec.add("par.pathpool.misses", misses);
+        result
+    }
+
+    fn search_walk(&self, threads: usize) -> Result<Schedule, CompileError> {
         let num_seeds = self.config.path_retry_seeds + 1;
         let num_scales = self.scales.len();
 
         let mut seeds: Vec<Option<SeedOutcome>> = (0..num_seeds).map(|_| None).collect();
-        let mut slots: Vec<Option<ScaleOutcome>> =
+        let mut slots: Vec<Option<(ScaleOutcome, ScaleStats)>> =
             (0..num_seeds * num_scales).map(|_| None).collect();
 
         if threads > 1 {
@@ -407,45 +519,82 @@ impl SearchCtx<'_> {
                 let SeedOutcome::Viable(ev) = seed_out else {
                     return None;
                 };
-                let out = self.eval_scale(ev, self.scales[si]);
-                if matches!(out, ScaleOutcome::Scheduled { .. }) {
+                let out = self.eval_scale(ev, sidx, si);
+                if matches!(out.0, ScaleOutcome::Scheduled { .. }) {
                     best.fetch_min(rank, Ordering::Relaxed);
                 }
                 Some((rank, out))
             });
+            let mut scale_evals = 0u64;
             for (rank, out) in results.into_iter().flatten() {
                 slots[rank] = Some(out);
+                scale_evals += 1;
             }
+            let mut seed_evals = 0u64;
             for (cell, seed) in seed_cells.into_iter().zip(seeds.iter_mut()) {
                 *seed = cell.into_inner();
+                seed_evals += seed.is_some() as u64;
             }
+            // How much the speculative fill actually computed — depends on
+            // worker timing, hence `par.`.
+            self.rec.add("par.speculative.seed_evals", seed_evals);
+            self.rec.add("par.speculative.scale_evals", scale_evals);
         }
 
-        // Deterministic selection: replay the serial feedback loops.
+        // Deterministic selection: replay the serial feedback loops. All
+        // non-`par.` counters are emitted here, from the consumed outcomes
+        // only, so their values are independent of the thread count.
+        let rec = self.rec;
         let mut first_err: Option<CompileError> = None;
         for (sidx, seed_cell) in seeds.iter_mut().enumerate() {
             let seed_out = seed_cell.take().unwrap_or_else(|| self.eval_seed(sidx));
+            rec.add("search.seeds_walked", 1);
             let ev = match seed_out {
                 SeedOutcome::Viable(ev) => ev,
-                SeedOutcome::Utilization(e) => {
-                    first_err.get_or_insert(e);
+                SeedOutcome::Utilization { err, restarts } => {
+                    rec.add("assign_paths.restarts", restarts);
+                    rec.add("search.outcome.utilization_exceeded", 1);
+                    first_err.get_or_insert(err);
                     continue;
                 }
             };
+            rec.add("assign_paths.restarts", ev.restarts);
             let mut last_err: Option<CompileError> = None;
             let mut seed_err: Option<CompileError> = None;
             for si in 0..num_scales {
                 let rank = sidx * num_scales + si;
-                let out = slots[rank]
+                let (out, stats) = slots[rank]
                     .take()
-                    .unwrap_or_else(|| self.eval_scale(&ev, self.scales[si]));
+                    .unwrap_or_else(|| self.eval_scale(&ev, sidx, si));
+                rec.add("search.candidates_walked", 1);
+                self.report_scale_stats(&stats);
                 match out {
                     ScaleOutcome::Scheduled {
                         allocation,
                         interval_schedules,
                     } => {
+                        rec.add("search.outcome.scheduled", 1);
+                        rec.add("search.winner.rank", rank as u64);
+                        rec.add("search.winner.seed", sidx as u64);
+                        rec.add(
+                            "search.winner.scale_permille",
+                            (self.scales[si] * 1000.0).round() as u64,
+                        );
+                        rec.add(
+                            "interval_sched.scheduled_intervals",
+                            interval_schedules.len() as u64,
+                        );
+                        rec.add(
+                            "interval_sched.slices",
+                            interval_schedules
+                                .iter()
+                                .map(|is| is.slices.len() as u64)
+                                .sum(),
+                        );
+                        let span = sr_obs::span(rec, "phase.build_node_schedules");
                         let (segments, node_schedules) =
                             build_node_schedules(&ev.assignment, &interval_schedules, self.topo);
+                        drop(span);
                         return Ok(Schedule {
                             period: self.period,
                             peak_utilization: ev.peak,
@@ -463,9 +612,11 @@ impl SearchCtx<'_> {
                         });
                     }
                     ScaleOutcome::Unschedulable(e) => {
+                        rec.add("search.outcome.interval_unschedulable", 1);
                         last_err = Some(e);
                     }
                     ScaleOutcome::AllocInfeasible(e) => {
+                        rec.add("search.outcome.alloc_infeasible", 1);
                         // At full capacity the subset itself is infeasible:
                         // that is this seed's report. Deeper in the scale
                         // ladder, the tightened capacities caused it —
@@ -478,7 +629,10 @@ impl SearchCtx<'_> {
                         });
                         break;
                     }
-                    ScaleOutcome::Hard(e) => return Err(e),
+                    ScaleOutcome::Hard(e) => {
+                        rec.add("search.outcome.hard_error", 1);
+                        return Err(e);
+                    }
                 }
             }
             let e = seed_err
@@ -487,6 +641,26 @@ impl SearchCtx<'_> {
             first_err.get_or_insert(e);
         }
         Err(first_err.expect("at least one seed ran"))
+    }
+
+    /// Turns one consumed candidate's [`ScaleStats`] into counters.
+    fn report_scale_stats(&self, stats: &ScaleStats) {
+        let rec = self.rec;
+        if !rec.enabled() {
+            return;
+        }
+        rec.add("alloc_lp.solves", stats.alloc.lp_solves);
+        rec.add("alloc_lp.vars", stats.alloc.vars);
+        rec.add("alloc_lp.constraints", stats.alloc.constraints);
+        add_lp_counters(rec, "alloc_lp", &stats.alloc.lp);
+        rec.add("sched_lp.solves", stats.isched.lp_solves);
+        add_lp_counters(rec, "sched_lp", &stats.isched.lp);
+        rec.add("interval_sched.feasible_sets", stats.isched.feasible_sets);
+        rec.add("interval_sched.arena_cells", stats.isched.arena_cells);
+        rec.add(
+            "interval_sched.singleton_fast_paths",
+            stats.isched.singleton_fast_paths,
+        );
     }
 }
 
@@ -529,6 +703,56 @@ mod tests {
                 .map(|s| s.duration())
                 .sum();
             assert!((total - w.duration()).abs() < 1e-5, "message {i}: {total}");
+        }
+    }
+
+    #[test]
+    fn recorder_observes_phases_and_counters() {
+        let topo = GeneralizedHypercube::binary(3).unwrap();
+        let tfg = generators::chain(4, 500, 640);
+        let timing = Timing::new(64.0, 10.0);
+        let alloc = sr_mapping::greedy(&tfg, &topo);
+        let rec = sr_obs::MetricsRecorder::new();
+        let sched = compile_with_recorder(
+            &topo,
+            &tfg,
+            &alloc,
+            &timing,
+            60.0,
+            &CompileConfig::default(),
+            &rec,
+        )
+        .expect("chain compiles under a recorder");
+        // Identical to the uninstrumented compile (bit-identical artifacts).
+        let plain = compile(
+            &topo,
+            &tfg,
+            &alloc,
+            &timing,
+            60.0,
+            &CompileConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(sched.assignment(), plain.assignment());
+        assert_eq!(sched.capacity_scale(), plain.capacity_scale());
+
+        let counters = rec.counters();
+        assert_eq!(counters["compile.messages"], tfg.num_messages() as u64);
+        assert_eq!(counters["search.outcome.scheduled"], 1);
+        assert_eq!(counters["search.seeds_walked"], 1);
+        assert!(counters["alloc_lp.solves"] > 0);
+        assert!(counters["alloc_lp.pivots"] > 0);
+        let names: Vec<String> = rec.spans().into_iter().map(|s| s.name).collect();
+        for phase in [
+            "compile",
+            "phase.time_bounds",
+            "phase.assign_paths",
+            "candidate",
+            "phase.allocate_intervals",
+            "phase.schedule_intervals",
+            "phase.build_node_schedules",
+        ] {
+            assert!(names.iter().any(|n| n == phase), "missing span {phase}");
         }
     }
 

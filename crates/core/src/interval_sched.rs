@@ -1,7 +1,26 @@
-use sr_lp::{Problem, Relation, VarId};
+use sr_lp::{Problem, Relation, SolveStats, VarId};
 use sr_tfg::MessageId;
 
 use crate::{CompileError, IntervalAllocation, Intervals, PathAssignment, EPS};
+
+/// Work counters for one interval-scheduling pass (paper §5.3), aggregated
+/// over every (interval, related-subset) LP the pass solved. Deterministic
+/// for a fixed problem: independent of thread count and wall time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntervalSchedStats {
+    /// Merged simplex counters across all subset-interval LPs.
+    pub lp: SolveStats,
+    /// Number of subset-interval LPs solved (singleton fast paths excluded).
+    pub lp_solves: u64,
+    /// Link-feasible sets enumerated across all LPs (LP variables).
+    pub feasible_sets: u64,
+    /// Flat-arena cells written by the independent-set enumeration
+    /// (`set_data` traffic): total membership entries across all sets.
+    pub arena_cells: u64,
+    /// Subset-intervals with exactly one active message, scheduled without
+    /// enumeration or an LP.
+    pub singleton_fast_paths: u64,
+}
 
 /// A timed transmission of one **link-feasible set**: every listed message
 /// transmits simultaneously for `[start, start + duration]` (paper Def. 5.5
@@ -82,6 +101,29 @@ pub fn schedule_intervals_guarded(
     max_sets: usize,
     guard: f64,
 ) -> Result<Vec<IntervalSchedule>, CompileError> {
+    let mut stats = IntervalSchedStats::default();
+    schedule_intervals_guarded_stats(
+        assignment, allocation, intervals, subsets, max_sets, guard, &mut stats,
+    )
+}
+
+/// [`schedule_intervals_guarded`] that additionally accumulates work
+/// counters into `stats`. On error, `stats` reflects the work done up to
+/// the failure.
+///
+/// # Errors
+///
+/// As [`schedule_intervals_guarded`].
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_intervals_guarded_stats(
+    assignment: &PathAssignment,
+    allocation: &IntervalAllocation,
+    intervals: &Intervals,
+    subsets: &[Vec<MessageId>],
+    max_sets: usize,
+    guard: f64,
+    stats: &mut IntervalSchedStats,
+) -> Result<Vec<IntervalSchedule>, CompileError> {
     // The conflict structure of a subset depends only on the path
     // assignment, so densify each subset's link-conflict matrix once here
     // instead of per (interval, subset) pair.
@@ -112,6 +154,7 @@ pub fn schedule_intervals_guarded(
                 max_sets,
                 guard,
                 &mut slices,
+                stats,
             )?;
         }
         if !slices.is_empty() {
@@ -206,6 +249,7 @@ fn schedule_subset_interval(
     max_sets: usize,
     guard: f64,
     slices: &mut Vec<Slice>,
+    stats: &mut IntervalSchedStats,
 ) -> Result<(), CompileError> {
     let (start, _) = intervals.bounds(k);
     let available = intervals.length(k);
@@ -213,6 +257,7 @@ fn schedule_subset_interval(
 
     // Fast path: one message.
     if n == 1 {
+        stats.singleton_fast_paths += 1;
         let m = subset[scratch.active[0]];
         let need = allocation.allocated(m, k) + guard;
         if need > available + EPS {
@@ -246,6 +291,8 @@ fn schedule_subset_interval(
 
     // LP: minimize Σ y_j with per-message coverage equalities.
     let num_sets = scratch.num_sets();
+    stats.feasible_sets += num_sets as u64;
+    stats.arena_cells += scratch.set_data.len() as u64;
     let mut lp = Problem::minimize();
     let ys: Vec<VarId> = (0..num_sets).map(|_| lp.add_var(1.0)).collect();
     let mut terms: Vec<(VarId, f64)> = Vec::new();
@@ -255,7 +302,12 @@ fn schedule_subset_interval(
         lp.add_constraint(&terms, Relation::Eq, allocation.allocated(subset[pos], k))
             .expect("variables are registered");
     }
-    let sol = lp.solve().map_err(CompileError::Lp)?;
+    stats.lp_solves += 1;
+    let sol = {
+        let (sol, solve_stats) = lp.solve_with_stats().map_err(CompileError::Lp)?;
+        stats.lp.merge(&solve_stats);
+        sol
+    };
     let used_slices = (0..num_sets).filter(|&j| sol.value(ys[j]) > EPS).count();
     let required = sol.objective() + guard * used_slices as f64;
     if required > available + EPS {
@@ -599,6 +651,28 @@ mod tests {
         let subsets = vec![vec![MessageId(0), MessageId(1), MessageId(2)]];
         let err = schedule_intervals(&pa, &alloc, &intervals, &subsets, 3).unwrap_err();
         assert!(matches!(err, CompileError::TooManyFeasibleSets { .. }));
+    }
+
+    #[test]
+    fn stats_count_sets_and_fast_paths() {
+        // Two conflicting messages -> one LP over 2 singleton feasible sets;
+        // plus one lone message in its own subset -> singleton fast path.
+        let (_topo, pa) = ring_assignment(vec![vec![0, 1], vec![1, 0], vec![2, 3]]);
+        let intervals = one_interval(10.0);
+        let alloc = uniform_alloc(3, 1, 0, 2.0);
+        let subsets = vec![vec![MessageId(0), MessageId(1)], vec![MessageId(2)]];
+        let mut stats = IntervalSchedStats::default();
+        let scheds = schedule_intervals_guarded_stats(
+            &pa, &alloc, &intervals, &subsets, 10_000, 0.0, &mut stats,
+        )
+        .unwrap();
+        assert_eq!(scheds.len(), 1);
+        assert_eq!(stats.singleton_fast_paths, 1);
+        assert_eq!(stats.lp_solves, 1);
+        // Sets over {m0, m1} (mutually conflicting): {m0}, {m1}.
+        assert_eq!(stats.feasible_sets, 2);
+        assert_eq!(stats.arena_cells, 2);
+        assert!(stats.lp.pivots > 0);
     }
 
     #[test]

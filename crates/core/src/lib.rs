@@ -79,18 +79,20 @@ mod switching;
 mod utilization;
 mod verify;
 
-pub use allocation_lp::{allocate_intervals, IntervalAllocation};
+pub use allocation_lp::{
+    allocate_intervals, allocate_intervals_stats, AllocationStats, IntervalAllocation,
+};
 pub use assign_paths::{
     assign_paths, assign_paths_pooled, AssignPathsConfig, AssignPathsOutcome, PathPool,
 };
 pub use assignment::PathAssignment;
 pub use besteffort::{admit_best_effort, BestEffortGrant};
-pub use compile::{compile, CompileConfig, Schedule};
+pub use compile::{compile, compile_with_recorder, CompileConfig, Schedule};
 pub use error::{CompileError, VerifyError};
 pub use execute::{execute, ExecuteError, ExecutedInvocation, Execution};
 pub use interval_sched::{
-    schedule_intervals, schedule_intervals_greedy, schedule_intervals_guarded, IntervalSchedule,
-    Slice,
+    schedule_intervals, schedule_intervals_greedy, schedule_intervals_guarded,
+    schedule_intervals_guarded_stats, IntervalSchedStats, IntervalSchedule, Slice,
 };
 pub use intervals::{ActivityMatrix, Intervals};
 pub use optimize::{co_design, find_min_period, CoDesignResult, MinPeriodResult};

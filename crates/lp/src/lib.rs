@@ -41,3 +41,4 @@ mod problem;
 mod simplex;
 
 pub use problem::{LpError, Problem, Relation, Solution, VarId};
+pub use simplex::SolveStats;

@@ -2,6 +2,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::simplex;
+use crate::simplex::SolveStats;
 
 /// Index of a decision variable in a [`Problem`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -189,18 +190,31 @@ impl Problem {
     /// [`LpError::Infeasible`], [`LpError::Unbounded`], or
     /// [`LpError::IterationLimit`] (pathological numerics).
     pub fn solve(&self) -> Result<Solution, LpError> {
+        self.solve_with_stats().map(|(s, _)| s)
+    }
+
+    /// Solves the program and reports solver work counters alongside the
+    /// solution — same algorithm and result as [`Problem::solve`], plus a
+    /// [`SolveStats`] of pivot/pricing activity for observability.
+    ///
+    /// # Errors
+    ///
+    /// As [`Problem::solve`]. Counters reflect the work done up to the
+    /// failure, but are only returned on success.
+    pub fn solve_with_stats(&self) -> Result<(Solution, SolveStats), LpError> {
         let costs: Vec<f64> = if self.maximize {
             self.costs.iter().map(|c| -c).collect()
         } else {
             self.costs.clone()
         };
-        let values = simplex::solve(&costs, &self.constraints)?;
+        let mut stats = SolveStats::default();
+        let values = simplex::solve(&costs, &self.constraints, &mut stats)?;
         let mut objective: f64 = values.iter().zip(&self.costs).map(|(x, c)| x * c).sum();
         // Normalize -0.0.
         if objective == 0.0 {
             objective = 0.0;
         }
-        Ok(Solution { values, objective })
+        Ok((Solution { values, objective }, stats))
     }
 
     /// Checks whether `values` satisfies every constraint within `tol`.
@@ -403,6 +417,21 @@ mod tests {
             "got {}",
             s.objective()
         );
+    }
+
+    #[test]
+    fn solve_with_stats_matches_solve() {
+        let mut p = Problem::minimize();
+        let x = p.add_var(3.0);
+        let y = p.add_var(5.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0)
+            .unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 6.0).unwrap();
+        let plain = p.solve().unwrap();
+        let (s, stats) = p.solve_with_stats().unwrap();
+        assert_eq!(s, plain);
+        assert!(stats.pivots > 0, "{stats:?}");
+        assert!(stats.price_recomputes > 0, "{stats:?}");
     }
 
     #[test]

@@ -15,6 +15,40 @@
 
 use crate::problem::{Constraint, LpError, Relation};
 
+/// Work counters from one simplex solve, exposed via
+/// [`crate::Problem::solve_with_stats`].
+///
+/// All fields are exact operation counts, so for a fixed problem they are
+/// deterministic — the scheduled-routing compiler sums them across its
+/// candidate walk and reports them as thread-count-independent metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Total Gauss–Jordan pivots (both phases, plus driving leftover
+    /// artificials out of the basis).
+    pub pivots: u64,
+    /// Pivots spent in phase 1 (artificial elimination).
+    pub phase1_pivots: u64,
+    /// Pivots whose ratio test was (near-)zero — degenerate steps.
+    pub degenerate_pivots: u64,
+    /// Times Dantzig pricing stalled and the phase fell back to Bland's
+    /// rule.
+    pub bland_switches: u64,
+    /// Exact reduced-cost recomputations (Dantzig cache rebuilds: phase
+    /// entry, optimality confirmation, and Bland restarts).
+    pub price_recomputes: u64,
+}
+
+impl SolveStats {
+    /// Accumulates another solve's counters into this one.
+    pub fn merge(&mut self, other: &SolveStats) {
+        self.pivots += other.pivots;
+        self.phase1_pivots += other.phase1_pivots;
+        self.degenerate_pivots += other.degenerate_pivots;
+        self.bland_switches += other.bland_switches;
+        self.price_recomputes += other.price_recomputes;
+    }
+}
+
 /// Pivot tolerance: entries smaller than this are treated as zero.
 const PIVOT_EPS: f64 = 1e-9;
 /// Phase-1 objective values below this count as feasible.
@@ -85,8 +119,13 @@ impl Tableau {
     }
 }
 
-/// Solves `minimize c·x  s.t.  constraints, x ≥ 0`; returns variable values.
-pub(crate) fn solve(costs: &[f64], constraints: &[Constraint]) -> Result<Vec<f64>, LpError> {
+/// Solves `minimize c·x  s.t.  constraints, x ≥ 0`; returns variable values
+/// and accumulates work counters into `stats`.
+pub(crate) fn solve(
+    costs: &[f64],
+    constraints: &[Constraint],
+    stats: &mut SolveStats,
+) -> Result<Vec<f64>, LpError> {
     let n = costs.len();
     let m = constraints.len();
     if m == 0 {
@@ -178,7 +217,9 @@ pub(crate) fn solve(costs: &[f64], constraints: &[Constraint]) -> Result<Vec<f64
             total,
             iter_limit,
             &mut scratch,
+            stats,
         )?;
+        stats.phase1_pivots = stats.pivots;
         if obj > FEAS_EPS {
             return Err(LpError::Infeasible);
         }
@@ -190,6 +231,7 @@ pub(crate) fn solve(costs: &[f64], constraints: &[Constraint]) -> Result<Vec<f64
             }
             if let Some(j) = (0..art_start).find(|&j| tab.get(r, j).abs() > PIVOT_EPS) {
                 tab.pivot(r, j, &mut scratch);
+                stats.pivots += 1;
                 *b = j;
             }
         }
@@ -208,6 +250,7 @@ pub(crate) fn solve(costs: &[f64], constraints: &[Constraint]) -> Result<Vec<f64
         total,
         iter_limit,
         &mut scratch,
+        stats,
     )?;
 
     let mut values = vec![0.0; n];
@@ -249,6 +292,7 @@ fn reduced_costs(tab: &Tableau, basis: &[usize], costs: &[f64], allowed: usize, 
 /// rule on exact reduced costs until an improving pivot lands. Only columns
 /// `< allowed` may enter the basis. Returns the objective value at
 /// optimality (recomputed exactly, not from the incremental cache).
+#[allow(clippy::too_many_arguments)]
 fn run_phase(
     tab: &mut Tableau,
     basis: &mut [usize],
@@ -257,10 +301,12 @@ fn run_phase(
     total: usize,
     iter_limit: usize,
     scratch: &mut Vec<f64>,
+    stats: &mut SolveStats,
 ) -> Result<f64, LpError> {
     let m = basis.len();
     let mut red = vec![0.0; allowed];
     reduced_costs(tab, basis, costs, allowed, &mut red);
+    stats.price_recomputes += 1;
     let mut degenerate_run = 0usize;
     let mut bland = false;
 
@@ -283,6 +329,7 @@ fn run_phase(
             // Apparent optimality: confirm against exact reduced costs so
             // incremental-cache drift can never end the phase early.
             reduced_costs(tab, basis, costs, allowed, &mut red);
+            stats.price_recomputes += 1;
             if red[..allowed].iter().any(|&v| v > FEAS_EPS) {
                 continue;
             }
@@ -313,6 +360,7 @@ fn run_phase(
         };
 
         tab.pivot(row, col, scratch);
+        stats.pivots += 1;
         basis[row] = col;
 
         // Incremental objective-row update: eliminating `col` from the
@@ -330,11 +378,14 @@ fn run_phase(
         // --- Stall bookkeeping -----------------------------------------
         if ratio <= PIVOT_EPS {
             degenerate_run += 1;
+            stats.degenerate_pivots += 1;
             if !bland && degenerate_run >= stall_limit(m) {
                 // Cycling risk: restart pricing on exact reduced costs
                 // under Bland's rule, which terminates by construction.
                 bland = true;
+                stats.bland_switches += 1;
                 reduced_costs(tab, basis, costs, allowed, &mut red);
+                stats.price_recomputes += 1;
             }
         } else {
             degenerate_run = 0;
@@ -347,6 +398,12 @@ fn run_phase(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Shadows the crate-level `solve` for tests that don't care about
+    /// stats (explicit items take precedence over the glob import).
+    fn solve(costs: &[f64], constraints: &[Constraint]) -> Result<Vec<f64>, LpError> {
+        super::solve(costs, constraints, &mut SolveStats::default())
+    }
 
     fn c(coeffs: Vec<(usize, f64)>, relation: Relation, rhs: f64) -> Constraint {
         Constraint {
@@ -427,9 +484,35 @@ mod tests {
             ),
             c(vec![(2, 1.0)], Relation::Le, 1.0),
         ];
-        let v = solve(&[-0.75, 150.0, -0.02, 6.0], &cons).unwrap();
+        let mut stats = SolveStats::default();
+        let v = super::solve(&[-0.75, 150.0, -0.02, 6.0], &cons, &mut stats).unwrap();
         let obj = -0.75 * v[0] + 150.0 * v[1] - 0.02 * v[2] + 6.0 * v[3];
         assert!((obj - (-0.05)).abs() < 1e-6, "obj={obj}, v={v:?}");
+        // The instance is degenerate by construction; the counters must
+        // have seen the pivots and at least one Bland fallback.
+        assert!(stats.pivots > 0);
+        assert!(stats.degenerate_pivots > 0, "{stats:?}");
+        assert!(stats.bland_switches >= 1, "{stats:?}");
+        assert!(stats.price_recomputes >= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn stats_count_phase1_and_merge() {
+        // An equality system forces artificials, so phase 1 must pivot.
+        let cons = vec![
+            c(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 3.0),
+            c(vec![(0, 1.0), (1, -1.0)], Relation::Eq, 1.0),
+        ];
+        let mut stats = SolveStats::default();
+        super::solve(&[1.0, 1.0], &cons, &mut stats).unwrap();
+        assert!(stats.phase1_pivots > 0, "{stats:?}");
+        assert!(stats.pivots >= stats.phase1_pivots);
+
+        let mut total = SolveStats::default();
+        total.merge(&stats);
+        total.merge(&stats);
+        assert_eq!(total.pivots, 2 * stats.pivots);
+        assert_eq!(total.price_recomputes, 2 * stats.price_recomputes);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | [`wormhole`] | `sr-wormhole` | discrete-event wormhole-routing simulator (the baseline that exhibits output inconsistency) |
 //! | [`sync`] | `sr-sync` | CP clock-drift models, sync-protocol simulation, guard-time sizing |
 //! | [`core`] | `sr-core` | the scheduled-routing compiler and verifier |
+//! | [`obs`] | `sr-obs` | spans, counters, metrics tables, Chrome-trace export for the compile pipeline |
 //!
 //! # The 30-second tour
 //!
@@ -48,6 +49,7 @@
 pub use sr_core as core;
 pub use sr_lp as lp;
 pub use sr_mapping as mapping;
+pub use sr_obs as obs;
 pub use sr_sync as sync;
 pub use sr_tfg as tfg;
 pub use sr_topology as topology;
@@ -55,8 +57,11 @@ pub use sr_wormhole as wormhole;
 
 /// The most common imports, for `use sr::prelude::*`.
 pub mod prelude {
-    pub use sr_core::{compile, verify, CompileConfig, CompileError, Schedule};
+    pub use sr_core::{
+        compile, compile_with_recorder, verify, CompileConfig, CompileError, Schedule,
+    };
     pub use sr_mapping::Allocation;
+    pub use sr_obs::{MetricsRecorder, Recorder};
     pub use sr_tfg::{
         assign_time_bounds, dvb, dvb_uniform, TaskFlowGraph, TfgBuilder, Timing, WindowPolicy,
     };

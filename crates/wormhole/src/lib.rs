@@ -53,4 +53,4 @@ mod trace;
 
 pub use result::{DeadlockEdge, InvocationRecord, SimResult, Stats};
 pub use sim::{SimConfig, SimError, WormholeSim};
-pub use trace::{FlightRecord, Trace};
+pub use trace::{BlockedSummary, FlightRecord, Trace};

@@ -79,6 +79,58 @@ impl Trace {
             .map(FlightRecord::blocked)
             .fold(0.0, f64::max)
     }
+
+    /// Distribution of blocked times across all flights, or `None` for an
+    /// empty trace. The spread between `p50` and `max` is the paper's §3
+    /// inconsistency evidence in one line.
+    pub fn blocked_summary(&self) -> Option<BlockedSummary> {
+        BlockedSummary::of(self.flights.iter().map(FlightRecord::blocked))
+    }
+
+    /// Distribution of network residence times across all flights, or
+    /// `None` for an empty trace.
+    pub fn residence_summary(&self) -> Option<BlockedSummary> {
+        BlockedSummary::of(self.flights.iter().map(FlightRecord::residence))
+    }
+}
+
+/// Order statistics of a set of per-flight durations (µs): blocked times or
+/// residence times. Percentiles use the nearest-rank definition, so every
+/// reported value is one actually observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockedSummary {
+    /// Number of flights summarized.
+    pub count: usize,
+    /// Arithmetic mean, µs.
+    pub mean: f64,
+    /// Median (nearest-rank), µs.
+    pub p50: f64,
+    /// 95th percentile (nearest-rank), µs.
+    pub p95: f64,
+    /// Maximum, µs.
+    pub max: f64,
+}
+
+impl BlockedSummary {
+    /// Summarizes a sequence of durations; `None` when empty.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Option<BlockedSummary> {
+        let mut v: Vec<f64> = values.into_iter().collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(f64::total_cmp);
+        let nearest = |q: f64| {
+            let rank = (q * v.len() as f64).ceil() as usize;
+            v[rank.clamp(1, v.len()) - 1]
+        };
+        Some(BlockedSummary {
+            count: v.len(),
+            mean: v.iter().sum::<f64>() / v.len() as f64,
+            p50: nearest(0.5),
+            p95: nearest(0.95),
+            max: v[v.len() - 1],
+        })
+    }
 }
 
 #[cfg(test)]
@@ -122,5 +174,33 @@ mod tests {
         let t = Trace::default();
         assert!(t.flights().is_empty());
         assert_eq!(t.max_blocked(), 0.0);
+        assert!(t.blocked_summary().is_none());
+        assert!(t.residence_summary().is_none());
+    }
+
+    #[test]
+    fn blocked_summary_order_statistics() {
+        // Blocked times 0..=19 µs across 20 flights.
+        let t = Trace {
+            flights: (0..20).map(|i| f(i, 0, 0.0, i as f64, 100.0)).collect(),
+        };
+        let s = t.blocked_summary().unwrap();
+        assert_eq!(s.count, 20);
+        assert_eq!(s.mean, 9.5);
+        assert_eq!(s.p50, 9.0); // nearest-rank: 10th of 20
+        assert_eq!(s.p95, 18.0); // 19th of 20
+        assert_eq!(s.max, 19.0);
+        // Residence = delivered - injected = 100 for every flight.
+        let r = t.residence_summary().unwrap();
+        assert_eq!((r.p50, r.p95, r.max), (100.0, 100.0, 100.0));
+    }
+
+    #[test]
+    fn single_flight_summary_is_degenerate() {
+        let s = BlockedSummary::of([3.0]).unwrap();
+        assert_eq!(
+            (s.count, s.mean, s.p50, s.p95, s.max),
+            (1, 3.0, 3.0, 3.0, 3.0)
+        );
     }
 }

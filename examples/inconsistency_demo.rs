@@ -45,9 +45,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  δ_{:<2} = {d:>6.1} µs", i + 1);
     }
     println!(
-        "  -> output inconsistency: {}\n",
+        "  -> output inconsistency: {}",
         res.has_output_inconsistency(1e-6)
     );
+    // The mechanism behind the inconsistency, in one line: FCFS arbitration
+    // makes the per-flight blocked time a distribution, not a constant.
+    if let Some(b) = res.trace().blocked_summary() {
+        println!(
+            "  -> blocked time over {} flights: p50 {:.1} µs, p95 {:.1} µs, max {:.1} µs\n",
+            b.count, b.p50, b.p95, b.max
+        );
+    }
 
     // --- Scheduled routing ---
     let sched = compile(

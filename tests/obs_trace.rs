@@ -1,0 +1,311 @@
+//! Golden-file and well-formedness tests for the compile pipeline's
+//! observability export: a 2-cube compile must emit a Chrome-tracing JSON
+//! document that parses, whose spans are properly nested (the four compile
+//! phases under the root `compile` span, the LP phases under their
+//! candidate), and whose span structure matches a checked-in golden file.
+//! The no-op recorder must emit nothing at all.
+
+use sr::obs::{MetricsRecorder, Recorder, SpanRecord, NOOP};
+use sr::prelude::*;
+
+/// Compile a 3-stage chain on a binary 2-cube with a fully serial search
+/// and a live recorder. The workload compiles on the first candidate, so
+/// the span sequence is small and stable — ideal for a golden file.
+fn compile_2cube_recorded() -> (MetricsRecorder, Schedule) {
+    let cube = GeneralizedHypercube::binary(2).unwrap();
+    let tfg = sr::tfg::generators::chain(3, 500, 640);
+    let alloc = sr::mapping::greedy(&tfg, &cube);
+    let timing = Timing::new(64.0, 10.0);
+    let config = CompileConfig {
+        parallelism: 1,
+        ..CompileConfig::default()
+    };
+    let rec = MetricsRecorder::new();
+    let sched = compile_with_recorder(&cube, &tfg, &alloc, &timing, 200.0, &config, &rec)
+        .expect("2-cube chain compiles");
+    (rec, sched)
+}
+
+/// Render spans (already in begin order) as `depth name` lines. With a
+/// serial search everything runs on one logical thread, so nesting depth
+/// follows from interval containment: a span is a child of the innermost
+/// earlier span that has not yet ended when it starts.
+fn depth_lines(spans: &[SpanRecord]) -> String {
+    let mut stack: Vec<f64> = Vec::new(); // end times of open ancestors
+    let mut out = String::new();
+    for s in spans {
+        let end = s.start_us + s.dur_us.expect("compile closes every span");
+        while let Some(&top) = stack.last() {
+            if s.start_us >= top {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        out.push_str(&format!("{} {}\n", stack.len(), s.name));
+        stack.push(end);
+    }
+    out
+}
+
+#[test]
+fn two_cube_compile_matches_golden_span_structure() {
+    let (rec, sched) = compile_2cube_recorded();
+    assert!(sched.peak_utilization() <= 1.0 + 1e-9);
+
+    let got = depth_lines(&rec.spans());
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/trace_2cube.txt"
+    );
+    let want = std::fs::read_to_string(golden_path).expect("golden file exists");
+    assert_eq!(
+        got, want,
+        "span structure drifted from tests/golden/trace_2cube.txt;\n\
+         if the change is intentional, update the golden file to:\n{got}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// A tiny recursive-descent JSON validator — enough to prove the trace is
+// well-formed without pulling in a JSON dependency.
+// ---------------------------------------------------------------------------
+
+struct Json<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Json<'a> {
+    fn new(s: &'a str) -> Self {
+        Json {
+            b: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        self.ws();
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected {lit} at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        self.ws();
+        let start = self.i;
+        while self.i < self.b.len()
+            && matches!(
+                self.b[self.i],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|v| v.is_finite())
+            .map(|_| ())
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        while let Some(&c) = self.b.get(self.i) {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.b.get(self.i).ok_or("truncated escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {
+                            out.push(esc as char)
+                        }
+                        b'u' => {
+                            self.i += 4;
+                            out.push('?');
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                }
+                _ => out.push(c as char),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.eat(b'{')?;
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.string()?;
+            self.eat(b':')?;
+            self.value()?;
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("bad object at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.eat(b'[')?;
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("bad array at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn document(mut self) -> Result<(), String> {
+        self.value()?;
+        self.ws();
+        if self.i == self.b.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing bytes at {}", self.i))
+        }
+    }
+}
+
+#[test]
+fn chrome_trace_is_well_formed_json() {
+    let (rec, _) = compile_2cube_recorded();
+    let json = rec.chrome_trace_json();
+
+    Json::new(&json).document().expect("trace parses as JSON");
+
+    // Structural spot checks: the container keys, the process-name
+    // metadata event, and complete events carrying timestamps/durations.
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.contains("\"displayTimeUnit\":\"ms\""));
+    assert!(json.contains("\"ph\":\"M\""));
+    assert!(json.contains("\"process_name\""));
+    for key in [
+        "\"name\":\"compile\"",
+        "\"ph\":\"X\"",
+        "\"ts\":",
+        "\"dur\":",
+        "\"pid\":1",
+    ] {
+        assert!(json.contains(key), "trace JSON missing {key}");
+    }
+    // Every phase span must surface in the trace, and the LP phases must
+    // carry their pivot-counter args for chrome://tracing's detail pane.
+    for name in [
+        "phase.time_bounds",
+        "phase.assign_paths",
+        "phase.allocate_intervals",
+        "phase.schedule_intervals",
+        "phase.build_node_schedules",
+        "candidate",
+    ] {
+        assert!(
+            json.contains(&format!("\"name\":\"{name}\"")),
+            "missing span {name}"
+        );
+    }
+    assert!(json.contains("\"lp_pivots\""), "LP phases carry pivot args");
+}
+
+#[test]
+fn spans_are_nested_or_disjoint() {
+    let (rec, _) = compile_2cube_recorded();
+    let spans = rec.spans();
+    assert!(!spans.is_empty());
+    let eps = 1e-6;
+    for (i, a) in spans.iter().enumerate() {
+        let (a0, a1) = (a.start_us, a.start_us + a.dur_us.unwrap());
+        for b in &spans[i + 1..] {
+            if a.tid != b.tid {
+                continue;
+            }
+            let (b0, b1) = (b.start_us, b.start_us + b.dur_us.unwrap());
+            let disjoint = b0 >= a1 - eps || a0 >= b1 - eps;
+            let a_in_b = b0 <= a0 + eps && a1 <= b1 + eps;
+            let b_in_a = a0 <= b0 + eps && b1 <= a1 + eps;
+            assert!(
+                disjoint || a_in_b || b_in_a,
+                "spans {} and {} partially overlap",
+                a.name,
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn noop_recorder_emits_nothing() {
+    // The no-op recorder is the default for `compile()`: it must report
+    // disabled, hand out the sentinel span id, and never allocate.
+    assert!(!NOOP.enabled());
+    let id = NOOP.begin_span("compile", "");
+    assert_eq!(id, sr::obs::SpanId::NONE);
+    NOOP.end_span(id);
+    NOOP.add("search.candidates_walked", 1);
+    NOOP.observe("wormhole.blocked_us", 1.0);
+
+    // An untouched metrics recorder exports an empty trace (metadata only,
+    // no complete events) and no counters.
+    let rec = MetricsRecorder::new();
+    let json = rec.chrome_trace_json();
+    Json::new(&json).document().expect("empty trace parses");
+    assert!(!json.contains("\"ph\":\"X\""));
+    assert!(rec.counters().is_empty());
+}

@@ -301,7 +301,7 @@ pub mod prop {
         use super::super::{StdRng, Strategy};
         use rand::Rng;
 
-        /// Size argument of [`vec`]: an exact length or a length range.
+        /// Size argument of [`vec()`]: an exact length or a length range.
         pub trait IntoSizeRange {
             /// Samples a concrete length.
             fn sample_len(&self, rng: &mut StdRng) -> usize;
