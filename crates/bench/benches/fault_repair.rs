@@ -1,0 +1,83 @@
+//! Benchmark of incremental schedule repair vs recompiling from scratch.
+//!
+//! The workload is the standard DVB task set on a 16-node 4×4 torus at load
+//! 0.5 (the easy compile regime, so the recompile column measures the fixed
+//! pipeline cost rather than feedback-search luck). For `k = 1..3` failed
+//! links the bench times [`sr::fault::repair`] — re-route affected messages
+//! only, with every unaffected allocation row pinned — against a full
+//! [`sr::core::compile`] on the masked topology. Repair should win by an
+//! order of magnitude: it skips time-bound assignment, interval
+//! construction, and the whole feedback search, and its LP only carries the
+//! affected rows.
+//!
+//! Run with `CRITERION_JSON=BENCH_fault.json cargo bench --bench
+//! fault_repair` to capture machine-readable numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sr::prelude::*;
+use sr::tfg::MessageId;
+use sr_bench::{standard_workload, Platform};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+/// Failed-link counts swept by the benchmark.
+const KS: &[usize] = &[1, 2, 3];
+
+fn bench_fault_repair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fault_repair");
+    g.sample_size(10);
+    let platform = Platform::torus4x4(128.0);
+    let (tfg, alloc, timing) = standard_workload(&platform);
+    let topo = platform.topo.as_ref();
+    let period = timing.longest_task(&tfg) / 0.5;
+    let config = CompileConfig {
+        parallelism: 1,
+        ..CompileConfig::default()
+    };
+    let sched = compile(topo, &tfg, &alloc, &timing, period, &config).unwrap();
+
+    // Fail links that actually carry scheduled traffic (spread across the
+    // used-link list), so every point measures a real repair rather than
+    // the unchanged fast path.
+    let used: Vec<LinkId> = (0..tfg.num_messages())
+        .map(MessageId)
+        .flat_map(|m| sched.assignment().links(m).iter().copied())
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+
+    for &k in KS {
+        let mut faults = FaultSet::new();
+        for i in 0..k {
+            faults = faults.fail_link(used[i * used.len() / k]);
+        }
+        g.bench_with_input(
+            BenchmarkId::new("torus4x4_dvb_repair", k),
+            &faults,
+            |b, faults| {
+                b.iter(|| {
+                    black_box(repair(
+                        &sched,
+                        topo,
+                        &tfg,
+                        &timing,
+                        faults,
+                        &RepairConfig::default(),
+                    ))
+                })
+            },
+        );
+        let masked = MaskedTopology::new(topo, faults.clone());
+        g.bench_with_input(
+            BenchmarkId::new("torus4x4_dvb_recompile", k),
+            &period,
+            |b, &period| {
+                b.iter(|| black_box(compile(&masked, &tfg, &alloc, &timing, period, &config).ok()))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fault_repair);
+criterion_main!(benches);

@@ -225,6 +225,16 @@ pub struct Options {
     pub trace_out: Option<String>,
     /// Print the collected counters/histograms/span totals to stderr.
     pub metrics: bool,
+    /// Spare-capacity reservation ε for the compiler (headroom for repair).
+    pub spare: f64,
+    /// Link ids to fail (`faults --fail-links 3,17`).
+    pub fail_links: Vec<usize>,
+    /// Node ids to fail (`faults --fail-nodes 5`).
+    pub fail_nodes: Vec<usize>,
+    /// Attempt incremental repair after injecting the faults.
+    pub repair: bool,
+    /// Sweep random link failures up to this count (`faults --sweep 3`).
+    pub sweep_k: Option<usize>,
 }
 
 impl Default for Options {
@@ -245,6 +255,11 @@ impl Default for Options {
             json: None,
             trace_out: None,
             metrics: false,
+            spare: 0.0,
+            fail_links: Vec::new(),
+            fail_nodes: Vec::new(),
+            repair: false,
+            sweep_k: None,
         }
     }
 }
@@ -260,7 +275,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, SpecError> {
     opts.command = it.next().ok_or_else(|| SpecError::new(USAGE))?.to_string();
     if !matches!(
         opts.command.as_str(),
-        "compile" | "simulate" | "sweep" | "info" | "minperiod"
+        "compile" | "simulate" | "sweep" | "info" | "minperiod" | "faults"
     ) {
         return Err(SpecError::new(format!(
             "unknown command '{}'\n{USAGE}",
@@ -309,6 +324,24 @@ pub fn parse_args(args: &[String]) -> Result<Options, SpecError> {
                     .parse()
                     .map_err(|_| SpecError::new("bad --adaptive"))?
             }
+            "--spare" => {
+                opts.spare = value("--spare")?
+                    .parse()
+                    .map_err(|_| SpecError::new("bad --spare"))?;
+                if !(0.0..1.0).contains(&opts.spare) {
+                    return Err(SpecError::new("--spare must be in [0, 1)"));
+                }
+            }
+            "--fail-links" => opts.fail_links = parse_id_list(&value("--fail-links")?)?,
+            "--fail-nodes" => opts.fail_nodes = parse_id_list(&value("--fail-nodes")?)?,
+            "--repair" => opts.repair = true,
+            "--sweep" => {
+                opts.sweep_k = Some(
+                    value("--sweep")?
+                        .parse()
+                        .map_err(|_| SpecError::new("bad --sweep"))?,
+                )
+            }
             "--dump" => opts.dump = true,
             "--timeline" => opts.timeline = true,
             "--json" => opts.json = Some(value("--json")?),
@@ -320,11 +353,23 @@ pub fn parse_args(args: &[String]) -> Result<Options, SpecError> {
     Ok(opts)
 }
 
+/// Parses a comma-separated id list like `3,17,40`.
+fn parse_id_list(s: &str) -> Result<Vec<usize>, SpecError> {
+    s.split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            p.parse::<usize>()
+                .map_err(|_| SpecError::new(format!("bad id '{p}' in '{s}'")))
+        })
+        .collect()
+}
+
 /// Usage text shown for malformed command lines.
-pub const USAGE: &str = "usage: srsched <compile|simulate|sweep|info|minperiod> \
+pub const USAGE: &str = "usage: srsched <compile|simulate|sweep|info|minperiod|faults> \
 [--topo SPEC] [--tfg SPEC] [--alloc SPEC] [--bandwidth B] [--period T] \
-[--guard G] [--parallelism N] [--vc N] [--adaptive P] [--dump] [--timeline] \
-[--json FILE] [--trace-out FILE] [--metrics]";
+[--guard G] [--spare E] [--parallelism N] [--vc N] [--adaptive P] [--dump] [--timeline] \
+[--json FILE] [--trace-out FILE] [--metrics] \
+[--fail-links L1,L2] [--fail-nodes N1,N2] [--repair] [--sweep K]";
 
 /// Runs a parsed command, writing human-readable output to `out`.
 ///
@@ -386,6 +431,7 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
             let config = CompileConfig {
                 guard_time: opts.guard,
                 parallelism: opts.parallelism,
+                spare_capacity: opts.spare,
                 ..CompileConfig::default()
             };
             let compiled = sr::core::compile_with_recorder(
@@ -466,6 +512,7 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
             let config = CompileConfig {
                 guard_time: opts.guard,
                 parallelism: opts.parallelism,
+                spare_capacity: opts.spare,
                 ..CompileConfig::default()
             };
             match sr::core::find_min_period(
@@ -592,6 +639,7 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
                     &CompileConfig {
                         guard_time: opts.guard,
                         parallelism: opts.parallelism,
+                        spare_capacity: opts.spare,
                         ..CompileConfig::default()
                     },
                 ) {
@@ -608,9 +656,219 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
                 writeln!(out, "{load:<8.3} {wr:<26} {sr:<12}")?;
             }
         }
+        "faults" => {
+            run_faults(opts, topo.as_ref(), &tfg, &alloc, &timing, period, rec, out)?;
+            write_observability(opts, &metrics, out)?;
+        }
         _ => unreachable!("validated in parse_args"),
     }
     Ok(())
+}
+
+/// The `faults` subcommand: inject a fault set (or sweep random ones) into a
+/// freshly compiled schedule and report damage, repair, and how the wormhole
+/// baseline fares under the *same* failures.
+#[allow(clippy::too_many_arguments)]
+fn run_faults(
+    opts: &Options,
+    topo: &dyn Topology,
+    tfg: &TaskFlowGraph,
+    alloc: &Allocation,
+    timing: &Timing,
+    period: f64,
+    rec: &dyn Recorder,
+    out: &mut dyn fmt::Write,
+) -> Result<(), Box<dyn Error>> {
+    let config = CompileConfig {
+        guard_time: opts.guard,
+        parallelism: opts.parallelism,
+        spare_capacity: opts.spare,
+        ..CompileConfig::default()
+    };
+    let sched =
+        match sr::core::compile_with_recorder(topo, tfg, alloc, timing, period, &config, rec) {
+            Ok(s) => s,
+            Err(e) => {
+                writeln!(out, "baseline schedule infeasible: {e}")?;
+                return Ok(());
+            }
+        };
+    writeln!(
+        out,
+        "baseline: period {} µs, U = {:.3}, spare ε = {}",
+        sched.period(),
+        sched.peak_utilization(),
+        opts.spare
+    )?;
+
+    if let Some(k_max) = opts.sweep_k {
+        let cfg = SweepConfig {
+            k_max,
+            ..SweepConfig::default()
+        };
+        writeln!(
+            out,
+            "fault sweep on {} ({} random draws per k):",
+            topo.name(),
+            cfg.trials
+        )?;
+        writeln!(
+            out,
+            "{:<4} {:<10} {:<9} {:<9} {:<11} {:<10} {:<9} wormhole",
+            "k", "unchanged", "repaired", "degraded", "infeasible", "feasible%", "rerouted"
+        )?;
+        for p in sweep_link_failures(&sched, topo, tfg, timing, &cfg) {
+            // One representative draw per k for the WR-under-faults column,
+            // using the same seed derivation as the sweep's first trial.
+            let seed = cfg.seed.wrapping_add((p.k as u64) << 32);
+            let faults = FaultSet::random_links(topo, p.k, seed);
+            let wr = wormhole_under_faults(topo, tfg, alloc, timing, period, &faults, opts)?;
+            writeln!(
+                out,
+                "{:<4} {:<10} {:<9} {:<9} {:<11} {:<10.0} {:<9.1} {}",
+                p.k,
+                p.unchanged,
+                p.repaired,
+                p.degraded,
+                p.infeasible,
+                p.feasible_fraction() * 100.0,
+                p.mean_rerouted,
+                wr
+            )?;
+        }
+        return Ok(());
+    }
+
+    let mut faults = FaultSet::new();
+    for &l in &opts.fail_links {
+        if l >= topo.num_links() {
+            return Err(Box::new(SpecError::new(format!(
+                "--fail-links: L{l} out of range ({} has {} links)",
+                topo.name(),
+                topo.num_links()
+            ))));
+        }
+        faults = faults.fail_link(LinkId(l));
+    }
+    for &n in &opts.fail_nodes {
+        if n >= topo.num_nodes() {
+            return Err(Box::new(SpecError::new(format!(
+                "--fail-nodes: N{n} out of range ({} has {} nodes)",
+                topo.name(),
+                topo.num_nodes()
+            ))));
+        }
+        faults = faults.fail_node(NodeId(n));
+    }
+    writeln!(out, "faults  : {faults}")?;
+    let report = analyze_damage(&sched, &faults);
+    writeln!(
+        out,
+        "damage  : {} unaffected, {} affected, {} lost (of {} messages)",
+        report.unaffected.len(),
+        report.affected.len(),
+        report.lost.len(),
+        tfg.num_messages()
+    )?;
+
+    if !opts.repair {
+        match verify_with_faults(&sched, topo, tfg, &faults) {
+            Ok(()) => writeln!(out, "schedule remains valid under these faults")?,
+            Err(e) => writeln!(
+                out,
+                "schedule invalid under faults: {e} (rerun with --repair)"
+            )?,
+        }
+        let wr = wormhole_under_faults(topo, tfg, alloc, timing, period, &faults, opts)?;
+        writeln!(out, "wormhole under same faults: {wr}")?;
+        return Ok(());
+    }
+
+    let t0 = std::time::Instant::now();
+    let outcome = sr::fault::repair_with_recorder(
+        &sched,
+        topo,
+        tfg,
+        timing,
+        &faults,
+        &RepairConfig::default(),
+        rec,
+    );
+    let repair_ms = t0.elapsed().as_secs_f64() * 1e3;
+    writeln!(
+        out,
+        "repair  : {} in {repair_ms:.2} ms ({} rerouted, {} demoted, {} dropped)",
+        outcome.verdict,
+        outcome.rerouted.len(),
+        outcome.demoted.len(),
+        outcome.dropped.len()
+    )?;
+    if let Some(repaired) = &outcome.schedule {
+        verify_with_faults(repaired, topo, tfg, &faults)?;
+        writeln!(
+            out,
+            "  repaired schedule verified; U = {:.3}",
+            repaired.peak_utilization()
+        )?;
+    }
+
+    // How does an incremental repair compare with recompiling from scratch
+    // on the surviving network?
+    let masked = MaskedTopology::new(topo, faults.clone());
+    if masked.is_connected() {
+        let t1 = std::time::Instant::now();
+        let full = compile(&masked, tfg, alloc, timing, period, &config);
+        let full_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let ratio = if repair_ms > 0.0 {
+            full_ms / repair_ms
+        } else {
+            f64::INFINITY
+        };
+        match full {
+            Ok(_) => writeln!(
+                out,
+                "recompile: feasible in {full_ms:.2} ms ({ratio:.1}× repair time)"
+            )?,
+            Err(e) => writeln!(out, "recompile: infeasible in {full_ms:.2} ms ({e})")?,
+        }
+    } else {
+        writeln!(
+            out,
+            "recompile: skipped (surviving network is disconnected)"
+        )?;
+    }
+
+    let wr = wormhole_under_faults(topo, tfg, alloc, timing, period, &faults, opts)?;
+    writeln!(out, "wormhole under same faults: {wr}")?;
+    Ok(())
+}
+
+/// Runs the wormhole baseline over the masked topology under `faults` and
+/// summarizes the outcome in one word (or an OI spread).
+fn wormhole_under_faults(
+    topo: &dyn Topology,
+    tfg: &TaskFlowGraph,
+    alloc: &Allocation,
+    timing: &Timing,
+    period: f64,
+    faults: &FaultSet,
+    opts: &Options,
+) -> Result<String, Box<dyn Error>> {
+    let masked = MaskedTopology::new(topo, faults.clone());
+    if !masked.is_connected() {
+        return Ok("disconnected".into());
+    }
+    let res = WormholeSim::new(&masked, tfg, alloc, timing)?
+        .with_virtual_channels(opts.virtual_channels)?
+        .with_adaptive_routing(opts.adaptive)?
+        .run(period, &SimConfig::default())?;
+    Ok(if res.deadlocked() {
+        "deadlock".into()
+    } else if res.has_output_inconsistency(1e-6) {
+        format!("OI (spread {:.1} µs)", res.interval_stats().spread())
+    } else {
+        "consistent".into()
+    })
 }
 
 /// Flushes the recorder per `--trace-out`/`--metrics`: the Chrome trace to
@@ -706,6 +964,59 @@ mod tests {
         assert!(parse_args(&args("compile --period")).is_err());
         assert!(parse_args(&args("compile --frobnicate 3")).is_err());
         assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn parse_fault_flags() {
+        let o = parse_args(&args("faults --fail-links 3,17 --fail-nodes 5 --repair")).unwrap();
+        assert_eq!(o.command, "faults");
+        assert_eq!(o.fail_links, vec![3, 17]);
+        assert_eq!(o.fail_nodes, vec![5]);
+        assert!(o.repair);
+        assert_eq!(o.sweep_k, None);
+
+        let o = parse_args(&args("faults --sweep 3 --spare 0.1")).unwrap();
+        assert_eq!(o.sweep_k, Some(3));
+        assert_eq!(o.spare, 0.1);
+
+        assert!(parse_args(&args("faults --fail-links 3,BAD")).is_err());
+        assert!(parse_args(&args("faults --sweep x")).is_err());
+        assert!(parse_args(&args("compile --spare 1.5")).is_err());
+    }
+
+    #[test]
+    fn run_faults_point_repair() {
+        let opts = parse_args(&args(
+            "faults --topo torus:4x4 --tfg dvb:4 --bandwidth 128 --fail-links 0 --repair",
+        ))
+        .unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        assert!(out.contains("damage"), "{out}");
+        assert!(out.contains("repair  :"), "{out}");
+        assert!(out.contains("wormhole under same faults"), "{out}");
+    }
+
+    #[test]
+    fn run_faults_out_of_range_link_errors() {
+        let opts = parse_args(&args(
+            "faults --topo cube:3 --tfg chain:3 --fail-links 9999 --period 120",
+        ))
+        .unwrap();
+        let mut out = String::new();
+        assert!(run(&opts, &mut out).is_err());
+    }
+
+    #[test]
+    fn run_faults_sweep_smoke() {
+        let opts = parse_args(&args(
+            "faults --topo cube:3 --tfg chain:3 --period 120 --sweep 1",
+        ))
+        .unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        assert!(out.contains("fault sweep"), "{out}");
+        assert!(out.lines().count() >= 4, "{out}");
     }
 
     #[test]

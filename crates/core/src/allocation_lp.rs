@@ -141,6 +141,112 @@ pub fn allocate_intervals_stats(
     Ok(IntervalAllocation { p })
 }
 
+/// Re-solves the message–interval allocation for `affected` messages only,
+/// treating every other message's existing allocation as **pinned**: their
+/// rows are copied from `pinned` bit-identically, and their per-link
+/// per-interval usage is subtracted from the capacity available to the LP
+/// (constraint (4) becomes `Σ x_ik ≤ capacity_scale·|A_k| − reserved_lk`).
+///
+/// This is the allocation stage of incremental repair: after `AssignPaths`
+/// re-routes the affected messages over the masked topology, only their
+/// rows are re-derived — the unaffected traffic keeps its exact split, so
+/// downstream slices and Ω entries for it never move.
+///
+/// Rows of messages whose (possibly updated) path assignment has no links —
+/// local messages, and dropped/demoted messages encoded with trivial paths —
+/// are zeroed rather than pinned: they carry no network traffic.
+///
+/// `subsets` must be the maximal related subsets of the *new* `assignment`;
+/// subsets containing no affected message are skipped (their members are
+/// pinned anyway).
+///
+/// # Errors
+///
+/// [`CompileError::AllocationInfeasible`] when some affected message cannot
+/// fit in the capacity left by the pinned traffic; [`CompileError::Lp`] on
+/// solver trouble.
+///
+/// # Panics
+///
+/// Panics if `pinned` has a different message count than `assignment`.
+#[allow(clippy::too_many_arguments)]
+pub fn allocate_intervals_pinned(
+    assignment: &PathAssignment,
+    bounds: &TimeBounds,
+    activity: &ActivityMatrix,
+    intervals: &Intervals,
+    subsets: &[Vec<MessageId>],
+    affected: &[MessageId],
+    pinned: &IntervalAllocation,
+    capacity_scale: f64,
+) -> Result<IntervalAllocation, CompileError> {
+    assert_eq!(
+        pinned.num_messages(),
+        assignment.len(),
+        "pinned allocation does not match the assignment"
+    );
+    let is_affected: Vec<bool> = {
+        let mut v = vec![false; assignment.len()];
+        for &m in affected {
+            v[m.index()] = true;
+        }
+        v
+    };
+
+    // Start from the pinned matrix; blank what must be re-derived (affected
+    // rows) or cannot carry traffic (link-less rows).
+    let mut p = vec![vec![0.0; intervals.len()]; assignment.len()];
+    for i in 0..assignment.len() {
+        if !is_affected[i] && !assignment.links(MessageId(i)).is_empty() {
+            p[i].clone_from_slice(pinned.row(MessageId(i)));
+        }
+    }
+
+    // Capacity already consumed by pinned traffic, per link per interval.
+    let mut reserved: std::collections::HashMap<LinkId, Vec<f64>> =
+        std::collections::HashMap::new();
+    for i in 0..assignment.len() {
+        let m = MessageId(i);
+        if is_affected[i] {
+            continue;
+        }
+        for &l in assignment.links(m) {
+            let row = reserved
+                .entry(l)
+                .or_insert_with(|| vec![0.0; intervals.len()]);
+            for (k, r) in row.iter_mut().enumerate() {
+                *r += p[i][k];
+            }
+        }
+    }
+
+    let mut stats = AllocationStats::default();
+    for subset in subsets {
+        let members: Vec<MessageId> = subset
+            .iter()
+            .copied()
+            .filter(|m| is_affected[m.index()])
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        solve_subset_capacities(
+            assignment,
+            bounds,
+            activity,
+            intervals,
+            &members,
+            |link, k| {
+                let used = reserved.get(&link).map_or(0.0, |r| r[k]);
+                (capacity_scale * intervals.length(k) - used).max(0.0)
+            },
+            &mut p,
+            &mut stats,
+        )?;
+    }
+    Ok(IntervalAllocation { p })
+}
+
 #[allow(clippy::too_many_arguments)]
 fn solve_subset(
     assignment: &PathAssignment,
@@ -152,6 +258,35 @@ fn solve_subset(
     p: &mut [Vec<f64>],
     stats: &mut AllocationStats,
 ) -> Result<(), CompileError> {
+    solve_subset_capacities(
+        assignment,
+        bounds,
+        activity,
+        intervals,
+        subset,
+        |_, k| capacity_scale * intervals.length(k),
+        p,
+        stats,
+    )
+}
+
+/// One subset LP with an arbitrary per-link per-interval capacity function
+/// (full scaled interval length for a fresh compile, residual capacity
+/// after pinned traffic for incremental repair).
+#[allow(clippy::too_many_arguments)]
+fn solve_subset_capacities<C>(
+    assignment: &PathAssignment,
+    bounds: &TimeBounds,
+    activity: &ActivityMatrix,
+    intervals: &Intervals,
+    subset: &[MessageId],
+    capacity: C,
+    p: &mut [Vec<f64>],
+    stats: &mut AllocationStats,
+) -> Result<(), CompileError>
+where
+    C: Fn(LinkId, usize) -> f64,
+{
     let mut lp = Problem::minimize();
     // var_of[(message position in subset, interval)] -> LP variable.
     let mut var_of: std::collections::HashMap<(usize, usize), VarId> =
@@ -191,7 +326,7 @@ fn solve_subset(
             if terms.is_empty() {
                 continue;
             }
-            lp.add_constraint(&terms, Relation::Le, capacity_scale * intervals.length(k))
+            lp.add_constraint(&terms, Relation::Le, capacity(link, k))
                 .expect("variables are registered");
         }
     }
@@ -371,6 +506,63 @@ mod tests {
         )
         .unwrap();
         check_constraints(&f, &alloc, 1.0);
+    }
+
+    #[test]
+    fn pinned_reallocation_keeps_unaffected_rows_bit_identical() {
+        let f = shared_link(50.0, 1280); // 20+20 µs: tight but feasible
+        let full = allocate_intervals(
+            &f.assignment,
+            &f.bounds,
+            &f.activity,
+            &f.intervals,
+            &f.subsets,
+            1.0,
+        )
+        .unwrap();
+        // Re-derive only message 1, pinning message 0.
+        let repaired = allocate_intervals_pinned(
+            &f.assignment,
+            &f.bounds,
+            &f.activity,
+            &f.intervals,
+            &f.subsets,
+            &[MessageId(1)],
+            &full,
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(repaired.row(MessageId(0)), full.row(MessageId(0)));
+        check_constraints(&f, &repaired, 1.0);
+    }
+
+    #[test]
+    fn pinned_reallocation_is_infeasible_when_residual_capacity_runs_out() {
+        // 20+20 µs over a 50 µs frame fits; but squeeze the affected
+        // message into capacity scale 0.5 while message 0 stays pinned at
+        // its full-scale split: 25-20=5 µs of residual cannot carry 20 µs.
+        let f = shared_link(50.0, 1280);
+        let full = allocate_intervals(
+            &f.assignment,
+            &f.bounds,
+            &f.activity,
+            &f.intervals,
+            &f.subsets,
+            1.0,
+        )
+        .unwrap();
+        let err = allocate_intervals_pinned(
+            &f.assignment,
+            &f.bounds,
+            &f.activity,
+            &f.intervals,
+            &f.subsets,
+            &[MessageId(1)],
+            &full,
+            0.5,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompileError::AllocationInfeasible { .. }));
     }
 
     #[test]

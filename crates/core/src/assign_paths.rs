@@ -163,9 +163,138 @@ pub fn assign_paths_pooled(
     let baseline = PathAssignment::lsd_to_msd(tfg, topo, alloc);
     let baseline_effective = compute(&baseline).effective_peak();
 
+    let (best, restarts) = hill_climb(
+        baseline,
+        baseline_effective,
+        &candidates,
+        topo,
+        bounds,
+        intervals,
+        activity,
+        config,
+        &mut rng,
+    );
+
+    let utilization = compute(&best);
+    AssignPathsOutcome {
+        assignment: best,
+        utilization,
+        baseline_peak: baseline_effective,
+        restarts,
+    }
+}
+
+/// Re-runs the Fig. 4 heuristic for `affected` messages only, holding every
+/// other message to its path in `base` — the path-assignment stage of
+/// incremental repair.
+///
+/// Frozen messages get a single-entry candidate list (their `base` path),
+/// which the improvement loop and random restarts leave untouched by
+/// construction; each affected message's candidates are the masked
+/// topology's surviving shortest paths between its original endpoints. The
+/// returned outcome's `baseline_peak` is the peak of the starting
+/// assignment (frozen paths + first candidate for each affected message).
+///
+/// `topo` should be the masked topology so candidate enumeration sees only
+/// surviving edges; every frozen path must itself survive (guaranteed when
+/// `affected` is taken from [`crate::analyze_damage`] and dead messages
+/// were reset to trivial paths first).
+///
+/// # Panics
+///
+/// Panics if an affected message has no surviving route — check
+/// reachability (e.g. `MaskedTopology::connects`) before calling.
+pub fn assign_paths_partial(
+    topo: &dyn Topology,
+    bounds: &TimeBounds,
+    intervals: &Intervals,
+    activity: &ActivityMatrix,
+    base: &PathAssignment,
+    affected: &[MessageId],
+    config: &AssignPathsConfig,
+) -> AssignPathsOutcome {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let num_links = topo.num_links();
+    let compute =
+        |pa: &PathAssignment| UtilizationMap::compute(pa, bounds, activity, intervals, num_links);
+
+    let is_affected: Vec<bool> = {
+        let mut v = vec![false; base.len()];
+        for &m in affected {
+            v[m.index()] = true;
+        }
+        v
+    };
+    let owned: Vec<Vec<Path>> = (0..base.len())
+        .map(|i| {
+            let m = MessageId(i);
+            let p = base.path(m);
+            if is_affected[i] {
+                let alts = topo.shortest_paths(p.source(), p.destination(), config.path_cap);
+                assert!(
+                    !alts.is_empty(),
+                    "affected message {m} has no surviving route {} -> {}",
+                    p.source(),
+                    p.destination()
+                );
+                alts
+            } else {
+                vec![p.clone()]
+            }
+        })
+        .collect();
+    let candidates: Vec<&[Path]> = owned.iter().map(Vec::as_slice).collect();
+
+    let mut start = base.clone();
+    for &m in affected {
+        start.set_path(m, candidates[m.index()][0].clone(), topo);
+    }
+    let start_peak = compute(&start).effective_peak();
+
+    let (best, restarts) = hill_climb(
+        start,
+        start_peak,
+        &candidates,
+        topo,
+        bounds,
+        intervals,
+        activity,
+        config,
+        &mut rng,
+    );
+
+    let utilization = compute(&best);
+    AssignPathsOutcome {
+        assignment: best,
+        utilization,
+        baseline_peak: start_peak,
+        restarts,
+    }
+}
+
+/// The restart loop shared by [`assign_paths_pooled`] and
+/// [`assign_paths_partial`]: polish `start` with [`improve`], then explore
+/// random restarts over `candidates`, keeping the best peak seen. Returns
+/// `(best assignment, restarts performed)`.
+#[allow(clippy::too_many_arguments)]
+fn hill_climb(
+    start: PathAssignment,
+    start_peak: f64,
+    candidates: &[&[Path]],
+    topo: &dyn Topology,
+    bounds: &TimeBounds,
+    intervals: &Intervals,
+    activity: &ActivityMatrix,
+    config: &AssignPathsConfig,
+    rng: &mut StdRng,
+) -> (PathAssignment, usize) {
+    let num_links = topo.num_links();
+    let compute =
+        |pa: &PathAssignment| UtilizationMap::compute(pa, bounds, activity, intervals, num_links);
+
     // A peak below this is impossible: each message needs at least
     // duration/active-time of whichever links it ends up on.
-    let lower_bound = (0..tfg.num_messages())
+    let lower_bound = (0..candidates.len())
         .filter(|&i| !candidates[i].is_empty() && candidates[i][0].hops() > 0)
         .map(|i| {
             let m = MessageId(i);
@@ -178,16 +307,15 @@ pub fn assign_paths_pooled(
         })
         .fold(0.0f64, f64::max);
 
-    // Start from the deterministic baseline (so we can never end up worse),
-    // then explore random restarts.
-    let mut best = baseline.clone();
-    let mut best_peak = baseline_effective;
+    // Start from the deterministic start point (so we can never end up
+    // worse), then explore random restarts.
+    let mut best = start.clone();
+    let mut best_peak = start_peak;
     let mut restarts = 0;
 
-    // Polish the baseline itself first, then explore random restarts.
-    let mut current = baseline.clone();
+    let mut current = start;
     loop {
-        improve(&mut current, &candidates, topo, &compute, config.max_inner);
+        improve(&mut current, candidates, topo, &compute, config.max_inner);
         let peak = compute(&current).effective_peak();
         if peak < best_peak - EPS {
             best = current.clone();
@@ -197,16 +325,10 @@ pub fn assign_paths_pooled(
         if restarts >= config.max_restarts.max(1) || best_peak <= lower_bound + EPS {
             break;
         }
-        current = random_assignment(&candidates, topo, &mut rng);
+        current = random_assignment(candidates, topo, rng);
     }
 
-    let utilization = compute(&best);
-    AssignPathsOutcome {
-        assignment: best,
-        utilization,
-        baseline_peak: baseline_effective,
-        restarts,
-    }
+    (best, restarts)
 }
 
 fn random_assignment(

@@ -11,7 +11,7 @@ use crate::{
     allocate_intervals_stats, assign_paths_pooled, build_node_schedules, related_subsets,
     ActivityMatrix, AllocationStats, AssignPathsConfig, CompileError, IntervalAllocation,
     IntervalSchedStats, IntervalSchedule, Intervals, NodeSchedule, PathAssignment, PathPool,
-    Segment,
+    Segment, UtilizationMap,
 };
 
 /// Configuration of the end-to-end scheduled-routing compiler.
@@ -51,6 +51,15 @@ pub struct CompileConfig {
     /// exact schedule the serial search would: candidates are ranked by
     /// `(seed, scale)` and the lowest-ranked success wins.
     pub parallelism: usize,
+    /// Fraction `ε ∈ [0, 1)` of link capacity held back at compile time as
+    /// repair headroom: the schedulability test tightens to `U ≤ 1 − ε`
+    /// and every capacity scale is multiplied by `1 − ε` during
+    /// message–interval allocation. A schedule compiled with spare capacity
+    /// leaves every link at most `(1 − ε)`-full in every interval, so
+    /// incremental repair after a fault is more likely to find room for the
+    /// re-routed messages. Zero (the default) reproduces the paper's
+    /// pipeline exactly.
+    pub spare_capacity: f64,
 }
 
 impl Default for CompileConfig {
@@ -65,6 +74,7 @@ impl Default for CompileConfig {
             greedy_interval_scheduling: false,
             guard_time: 0.0,
             parallelism: 0,
+            spare_capacity: 0.0,
         }
     }
 }
@@ -174,6 +184,55 @@ impl Schedule {
     /// The clock-skew guard time the schedule was compiled with, µs.
     pub fn guard_time(&self) -> f64 {
         self.guard_time
+    }
+
+    /// Rebuilds a schedule around replacement routing artifacts, carrying
+    /// over this schedule's period, time bounds, intervals, activity,
+    /// capacity scale, and guard time.
+    ///
+    /// This is the assembly step of incremental repair: after the affected
+    /// messages have been re-routed (`assignment`), re-allocated
+    /// (`allocation`), and re-packed (`interval_schedules`), the segments
+    /// and node switching schedules `Ω` are re-derived and the peak
+    /// utilization recomputed. Slices that were kept verbatim produce
+    /// bit-identical segments and commands, so unaffected messages' Ω
+    /// entries do not move.
+    ///
+    /// The caller is responsible for the artifacts' mutual consistency;
+    /// run [`crate::verify`] (or [`crate::verify_with_faults`]) on the
+    /// result.
+    pub fn patched(
+        &self,
+        assignment: PathAssignment,
+        allocation: IntervalAllocation,
+        interval_schedules: Vec<IntervalSchedule>,
+        topo: &dyn Topology,
+    ) -> Schedule {
+        let (segments, node_schedules) =
+            build_node_schedules(&assignment, &interval_schedules, topo);
+        let peak_utilization = UtilizationMap::compute(
+            &assignment,
+            &self.bounds,
+            &self.activity,
+            &self.intervals,
+            topo.num_links(),
+        )
+        .effective_peak();
+        Schedule {
+            period: self.period,
+            bounds: self.bounds.clone(),
+            assignment,
+            intervals: self.intervals.clone(),
+            activity: self.activity.clone(),
+            allocation,
+            interval_schedules,
+            segments,
+            node_schedules,
+            peak_utilization,
+            baseline_peak: self.baseline_peak,
+            capacity_scale: self.capacity_scale,
+            guard_time: self.guard_time,
+        }
     }
 }
 
@@ -375,7 +434,7 @@ impl SearchCtx<'_> {
         let peak = outcome.utilization.effective_peak();
         span.annotate("peak_utilization", peak);
         span.annotate("restarts", outcome.restarts as f64);
-        if peak > 1.0 + self.config.utilization_tolerance {
+        if peak > 1.0 - self.config.spare_capacity + self.config.utilization_tolerance {
             // The heuristic is deterministic-per-seed but the peak won't
             // drop below capacity by reseeding alone once it converged;
             // other seeds are still tried, keeping the first report.
@@ -412,7 +471,9 @@ impl SearchCtx<'_> {
             self.activity,
             self.intervals,
             &ev.subsets,
-            scale,
+            // Spare capacity shrinks what the allocation may hand out; the
+            // stored `capacity_scale` stays the nominal ladder value.
+            scale * (1.0 - self.config.spare_capacity),
             &mut stats.alloc,
         );
         alloc_span.annotate("lp_pivots", stats.alloc.lp.pivots as f64);
@@ -925,6 +986,79 @@ mod tests {
             matches!(err, CompileError::IntervalUnschedulable { .. }),
             "got {err:?}"
         );
+    }
+
+    #[test]
+    fn spare_capacity_tightens_both_gates() {
+        let topo = GeneralizedHypercube::binary(3).unwrap();
+        let tfg = generators::diamond(3, 500, 1280);
+        let timing = Timing::new(64.0, 10.0);
+        let alloc = sr_mapping::greedy(&tfg, &topo);
+
+        // Moderate headroom: still compiles, and every link stays at most
+        // (1-ε)-full in every interval.
+        let eps = 0.2;
+        let config = CompileConfig {
+            spare_capacity: eps,
+            ..CompileConfig::default()
+        };
+        let sched =
+            compile(&topo, &tfg, &alloc, &timing, 75.0, &config).expect("compiles with ε=0.2");
+        assert!(sched.peak_utilization() <= 1.0 - eps + 1e-6);
+        crate::verify(&sched, &topo, &tfg).expect("spare-capacity schedule verifies");
+        for k in 0..sched.intervals().len() {
+            let cap = (1.0 - eps) * sched.intervals().length(k);
+            for l in 0..sr_topology::Topology::num_links(&topo) {
+                let used: f64 = (0..tfg.num_messages())
+                    .map(sr_tfg::MessageId)
+                    .filter(|&m| sched.assignment().uses(m, sr_topology::LinkId(l)))
+                    .map(|m| sched.allocation().allocated(m, k))
+                    .sum();
+                assert!(
+                    used <= cap * sched.capacity_scale() + 1e-6,
+                    "interval {k} link {l}: {used} > {cap}"
+                );
+            }
+        }
+
+        // Absurd headroom: the schedulability gate rejects the workload.
+        let config = CompileConfig {
+            spare_capacity: 0.95,
+            ..CompileConfig::default()
+        };
+        let err = compile(&topo, &tfg, &alloc, &timing, 75.0, &config).unwrap_err();
+        assert!(
+            matches!(err, CompileError::UtilizationExceeded { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn patched_with_identical_artifacts_reproduces_the_schedule() {
+        let topo = GeneralizedHypercube::binary(3).unwrap();
+        let tfg = generators::diamond(3, 500, 1280);
+        let timing = Timing::new(64.0, 10.0);
+        let alloc = sr_mapping::greedy(&tfg, &topo);
+        let sched = compile(
+            &topo,
+            &tfg,
+            &alloc,
+            &timing,
+            75.0,
+            &CompileConfig::default(),
+        )
+        .unwrap();
+        let patched = sched.patched(
+            sched.assignment.clone(),
+            sched.allocation.clone(),
+            sched.interval_schedules.clone(),
+            &topo,
+        );
+        assert_eq!(patched.segments, sched.segments);
+        assert_eq!(patched.node_schedules, sched.node_schedules);
+        assert_eq!(patched.peak_utilization, sched.peak_utilization);
+        assert_eq!(patched.period, sched.period);
+        crate::verify(&patched, &topo, &tfg).expect("patched identity verifies");
     }
 
     #[test]

@@ -1,0 +1,139 @@
+use sr_tfg::MessageId;
+use sr_topology::FaultSet;
+
+use crate::Schedule;
+
+/// The damage a [`FaultSet`] does to a compiled schedule: which messages
+/// keep their clear-path guarantee and which lost it.
+///
+/// Produced by [`analyze_damage`]. The partition drives incremental repair:
+/// `unaffected` messages keep their paths, allocations, and Ω entries
+/// bit-identical (the *pinning rule*), `affected` messages are re-routed
+/// over the masked topology, and `lost` messages cannot be carried at all
+/// because a communication endpoint itself failed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DamageReport {
+    /// Messages whose assigned path touches no failed link or node. Their
+    /// schedule entries remain valid verbatim.
+    pub unaffected: Vec<MessageId>,
+    /// Messages whose path crosses a failed link or an interior failed
+    /// node: the transmission must be re-routed.
+    pub affected: Vec<MessageId>,
+    /// Messages whose source or destination node failed: no route can
+    /// exist, the message is gone with its endpoint.
+    pub lost: Vec<MessageId>,
+}
+
+impl DamageReport {
+    /// `true` when the fault set touches no scheduled path at all.
+    pub fn is_clean(&self) -> bool {
+        self.affected.is_empty() && self.lost.is_empty()
+    }
+
+    /// Messages needing attention: `affected` then `lost`, ascending within
+    /// each.
+    pub fn damaged(&self) -> impl Iterator<Item = MessageId> + '_ {
+        self.affected.iter().chain(self.lost.iter()).copied()
+    }
+}
+
+/// Partitions a compiled schedule's messages by what `faults` does to their
+/// assigned paths (see [`DamageReport`]).
+///
+/// Purely path-based: no topology access is needed because the schedule
+/// already carries every message's node sequence and link list. Messages
+/// with trivial (zero-hop) paths — co-located endpoints — are unaffected
+/// unless their single node failed, in which case they are lost.
+pub fn analyze_damage(schedule: &Schedule, faults: &FaultSet) -> DamageReport {
+    let mut report = DamageReport::default();
+    let assignment = schedule.assignment();
+    for i in 0..assignment.len() {
+        let m = MessageId(i);
+        let path = assignment.path(m);
+        let nodes = path.nodes();
+        if faults.is_node_failed(path.source()) || faults.is_node_failed(path.destination()) {
+            report.lost.push(m);
+        } else if nodes.iter().any(|&v| faults.is_node_failed(v))
+            || assignment
+                .links(m)
+                .iter()
+                .any(|&l| faults.is_link_failed(l))
+        {
+            report.affected.push(m);
+        } else {
+            report.unaffected.push(m);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, CompileConfig};
+    use sr_tfg::{generators, Timing};
+    use sr_topology::GeneralizedHypercube;
+
+    fn compiled() -> (GeneralizedHypercube, Schedule) {
+        let topo = GeneralizedHypercube::binary(3).unwrap();
+        let tfg = generators::diamond(3, 500, 1280);
+        let timing = Timing::new(64.0, 10.0);
+        let alloc = sr_mapping::greedy(&tfg, &topo);
+        let sched = compile(
+            &topo,
+            &tfg,
+            &alloc,
+            &timing,
+            75.0,
+            &CompileConfig::default(),
+        )
+        .expect("diamond compiles");
+        (topo, sched)
+    }
+
+    #[test]
+    fn no_faults_means_all_unaffected() {
+        let (_, sched) = compiled();
+        let report = analyze_damage(&sched, &FaultSet::new());
+        assert!(report.is_clean());
+        assert_eq!(report.unaffected.len(), sched.assignment().len());
+    }
+
+    #[test]
+    fn failed_link_partitions_by_usage() {
+        let (_, sched) = compiled();
+        // Pick a link used by at least one message.
+        let m0 = sched.segments()[0].message;
+        let link = sched.assignment().links(m0)[0];
+        let report = analyze_damage(&sched, &FaultSet::new().fail_link(link));
+        assert!(report.affected.contains(&m0));
+        assert!(report.lost.is_empty());
+        for &m in &report.unaffected {
+            assert!(!sched.assignment().links(m).contains(&link));
+        }
+        assert_eq!(
+            report.unaffected.len() + report.affected.len(),
+            sched.assignment().len()
+        );
+    }
+
+    #[test]
+    fn failed_endpoint_loses_its_messages() {
+        let (_, sched) = compiled();
+        let m0 = sched.segments()[0].message;
+        let src = sched.assignment().path(m0).source();
+        let report = analyze_damage(&sched, &FaultSet::new().fail_node(src));
+        assert!(report.lost.contains(&m0));
+        // Every lost message starts or ends at the dead node; every affected
+        // one merely passes through it.
+        for &m in &report.lost {
+            let p = sched.assignment().path(m);
+            assert!(p.source() == src || p.destination() == src);
+        }
+        for &m in &report.affected {
+            let p = sched.assignment().path(m);
+            assert!(p.source() != src && p.destination() != src);
+            assert!(p.nodes().contains(&src));
+        }
+    }
+}

@@ -183,6 +183,12 @@ pub enum VerifyError {
         /// When the conflict occurs, µs.
         at: f64,
     },
+    /// A scheduled message's path crosses a failed link or node (only
+    /// raised by [`crate::verify_with_faults`]).
+    UsesFailedResource {
+        /// The message routed over a failed resource.
+        message: MessageId,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -214,6 +220,9 @@ impl fmt::Display for VerifyError {
             }
             VerifyError::ConflictingCommands { node, at } => {
                 write!(f, "switching commands conflict at {node}, t={at:.3} µs")
+            }
+            VerifyError::UsesFailedResource { message } => {
+                write!(f, "{message} is routed over a failed link or node")
             }
         }
     }

@@ -66,6 +66,7 @@ mod assign_paths;
 mod assignment;
 mod besteffort;
 mod compile;
+mod damage;
 mod error;
 mod execute;
 mod export;
@@ -80,14 +81,17 @@ mod utilization;
 mod verify;
 
 pub use allocation_lp::{
-    allocate_intervals, allocate_intervals_stats, AllocationStats, IntervalAllocation,
+    allocate_intervals, allocate_intervals_pinned, allocate_intervals_stats, AllocationStats,
+    IntervalAllocation,
 };
 pub use assign_paths::{
-    assign_paths, assign_paths_pooled, AssignPathsConfig, AssignPathsOutcome, PathPool,
+    assign_paths, assign_paths_partial, assign_paths_pooled, AssignPathsConfig, AssignPathsOutcome,
+    PathPool,
 };
 pub use assignment::PathAssignment;
 pub use besteffort::{admit_best_effort, BestEffortGrant};
 pub use compile::{compile, compile_with_recorder, CompileConfig, Schedule};
+pub use damage::{analyze_damage, DamageReport};
 pub use error::{CompileError, VerifyError};
 pub use execute::{execute, ExecuteError, ExecutedInvocation, Execution};
 pub use interval_sched::{
@@ -100,7 +104,7 @@ pub use subsets::related_subsets;
 pub use summary::ScheduleSummary;
 pub use switching::{build_node_schedules, Command, Connection, NodeSchedule, Port, Segment};
 pub use utilization::{Hotspot, UtilizationMap};
-pub use verify::verify;
+pub use verify::{verify, verify_with_faults};
 
 /// Comparison tolerance for schedule times, in µs.
 ///

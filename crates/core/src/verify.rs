@@ -1,7 +1,7 @@
 use std::collections::HashMap;
 
 use sr_tfg::{MessageId, TaskFlowGraph};
-use sr_topology::{LinkId, Topology};
+use sr_topology::{FaultSet, LinkId, Topology};
 
 use crate::{Command, Connection, Port, Schedule, Segment, VerifyError, EPS};
 
@@ -36,6 +36,47 @@ pub fn verify(
     check_windows(schedule)?;
     check_link_contention(schedule)?;
     check_commands(schedule, topo)?;
+    Ok(())
+}
+
+/// [`verify`] under a fault set: all four replay checks, plus a fifth —
+/// no scheduled message's path touches a failed link or node.
+///
+/// This is the acceptance check for incrementally repaired schedules:
+/// `topo` is the *healthy* topology (the id space the schedule is indexed
+/// by), and `faults` marks what has since died. Messages whose path
+/// assignment is trivial (zero hops) carry no network traffic and are
+/// exempt, which is how the repair engine encodes dropped/demoted
+/// messages.
+///
+/// # Errors
+///
+/// The first violation found; [`VerifyError::UsesFailedResource`] for the
+/// fault check.
+pub fn verify_with_faults(
+    schedule: &Schedule,
+    topo: &dyn Topology,
+    tfg: &TaskFlowGraph,
+    faults: &FaultSet,
+) -> Result<(), VerifyError> {
+    verify(schedule, topo, tfg)?;
+    for i in 0..tfg.num_messages() {
+        let m = MessageId(i);
+        let links = schedule.assignment.links(m);
+        if links.is_empty() {
+            continue;
+        }
+        let nodes_ok = schedule
+            .assignment
+            .path(m)
+            .nodes()
+            .iter()
+            .all(|&v| !faults.is_node_failed(v));
+        let links_ok = links.iter().all(|&l| !faults.is_link_failed(l));
+        if !nodes_ok || !links_ok {
+            return Err(VerifyError::UsesFailedResource { message: m });
+        }
+    }
     Ok(())
 }
 
@@ -295,6 +336,23 @@ mod tests {
                 "got {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn fault_check_flags_scheduled_path_over_dead_link() {
+        let (topo, tfg, sched) = compiled();
+        // No faults: identical to plain verify.
+        verify_with_faults(&sched, &topo, &tfg, &FaultSet::new()).expect("clean without faults");
+        // Fail a link some message actually uses.
+        let used = sched.assignment.links(sched.segments[0].message)[0];
+        let err = verify_with_faults(&sched, &topo, &tfg, &FaultSet::new().fail_link(used))
+            .expect_err("dead link under a scheduled path");
+        assert!(matches!(err, VerifyError::UsesFailedResource { .. }));
+        // Fail a node on some message's path.
+        let mid = sched.assignment.path(sched.segments[0].message).nodes()[0];
+        let err = verify_with_faults(&sched, &topo, &tfg, &FaultSet::new().fail_node(mid))
+            .expect_err("dead node under a scheduled path");
+        assert!(matches!(err, VerifyError::UsesFailedResource { .. }));
     }
 
     #[test]

@@ -1,0 +1,662 @@
+use std::collections::{BTreeSet, HashMap};
+
+use sr_core::{
+    admit_best_effort, allocate_intervals_pinned, analyze_damage, assign_paths_partial,
+    related_subsets, AssignPathsConfig, BestEffortGrant, DamageReport, IntervalSchedule,
+    PathAssignment, Schedule, Slice, EPS,
+};
+use sr_obs::{span_with, Recorder, NOOP};
+use sr_tfg::{MessageId, TaskFlowGraph, Timing};
+use sr_topology::{FaultSet, LinkId, MaskedTopology, Path, Topology};
+
+/// Tuning knobs for incremental schedule repair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairConfig {
+    /// Path-assignment knobs for the partial `AssignPaths` run over the
+    /// masked topology.
+    pub assign_paths: AssignPathsConfig,
+    /// Capacity scales tried for the pinned re-allocation, analogous to
+    /// [`sr_core::CompileConfig::feedback_scales`]: when the re-routed
+    /// traffic cannot be packed into the surviving idle time, a tighter
+    /// scale spreads it across more intervals.
+    pub feedback_scales: Vec<f64>,
+    /// Per-message criticality (`critical[m]`): critical messages must stay
+    /// on the real-time schedule for a repair to count, non-critical ones
+    /// may be demoted to best-effort when full repair fails. `None` (the
+    /// default) treats every message as critical.
+    pub critical: Option<Vec<bool>>,
+    /// Shortest-path cap for best-effort admission of demoted messages.
+    pub best_effort_path_cap: usize,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            assign_paths: AssignPathsConfig::default(),
+            feedback_scales: vec![1.0, 0.9, 0.8],
+            critical: None,
+            best_effort_path_cap: 16,
+        }
+    }
+}
+
+/// How a repair attempt ended, from best to worst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairVerdict {
+    /// The fault set touches no scheduled path; the schedule stands as-is.
+    Unchanged,
+    /// Every affected message was re-routed onto surviving resources; no
+    /// message was demoted or dropped.
+    Repaired,
+    /// A valid schedule was produced, but some messages were demoted to
+    /// best-effort or dropped with a failed endpoint.
+    Degraded,
+    /// No valid schedule exists within the degradation ladder: a critical
+    /// message is unroutable, or the surviving capacity cannot carry the
+    /// critical traffic.
+    Infeasible,
+}
+
+impl std::fmt::Display for RepairVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RepairVerdict::Unchanged => "unchanged",
+            RepairVerdict::Repaired => "repaired",
+            RepairVerdict::Degraded => "degraded",
+            RepairVerdict::Infeasible => "infeasible",
+        })
+    }
+}
+
+/// The result of [`repair`].
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// How the degradation ladder ended.
+    pub verdict: RepairVerdict,
+    /// The repaired schedule (`None` only for
+    /// [`RepairVerdict::Infeasible`]). Check it with
+    /// [`sr_core::verify_with_faults`].
+    pub schedule: Option<Schedule>,
+    /// The damage partition the repair started from.
+    pub report: DamageReport,
+    /// Messages re-routed onto surviving paths.
+    pub rerouted: Vec<MessageId>,
+    /// Messages demoted off the real-time schedule, with the best-effort
+    /// grant found for each (`None` when the repaired schedule has no idle
+    /// window wide enough this frame).
+    pub demoted: Vec<(MessageId, Option<BestEffortGrant>)>,
+    /// Messages dropped entirely: an endpoint failed, or no surviving route
+    /// exists between their endpoints.
+    pub dropped: Vec<MessageId>,
+}
+
+/// Incrementally repairs a compiled schedule after `faults`, touching only
+/// affected messages.
+///
+/// The pipeline: damage analysis → partial `AssignPaths` over the masked
+/// topology (unaffected paths frozen) → pinned message–interval
+/// re-allocation (unaffected rows bit-identical, surviving capacity
+/// reduced by their usage) → idle-time packing of the re-routed traffic
+/// (retained slices never move) → Ω rebuild via [`Schedule::patched`].
+/// When full repair fails, the degradation ladder demotes non-critical
+/// messages to best-effort and retries with the critical subset only.
+///
+/// `topo` is the healthy topology the schedule was compiled for.
+///
+/// # Panics
+///
+/// Panics if [`RepairConfig::critical`] is set with the wrong length, or
+/// if `schedule` does not belong to `tfg`.
+pub fn repair(
+    schedule: &Schedule,
+    topo: &dyn Topology,
+    tfg: &TaskFlowGraph,
+    timing: &Timing,
+    faults: &FaultSet,
+    config: &RepairConfig,
+) -> RepairOutcome {
+    repair_with_recorder(schedule, topo, tfg, timing, faults, config, &NOOP)
+}
+
+/// [`repair`] with an [`sr_obs::Recorder`] observing the attempt: a
+/// `repair` span annotated with the damage size, plus counters for the
+/// partition (`repair.affected`, `repair.lost`, `repair.unreachable`), the
+/// resolution (`repair.rerouted`, `repair.demoted`, `repair.dropped`), and
+/// the outcome (`repair.outcome.*`).
+pub fn repair_with_recorder(
+    schedule: &Schedule,
+    topo: &dyn Topology,
+    tfg: &TaskFlowGraph,
+    timing: &Timing,
+    faults: &FaultSet,
+    config: &RepairConfig,
+    rec: &dyn Recorder,
+) -> RepairOutcome {
+    assert_eq!(
+        schedule.assignment().len(),
+        tfg.num_messages(),
+        "schedule does not belong to this TFG"
+    );
+    if let Some(critical) = &config.critical {
+        assert_eq!(
+            critical.len(),
+            tfg.num_messages(),
+            "criticality vector does not cover every message"
+        );
+    }
+    let span = span_with(rec, "repair", || faults.to_string());
+    let report = analyze_damage(schedule, faults);
+    span.annotate("affected", report.affected.len() as f64);
+    rec.add("repair.affected", report.affected.len() as u64);
+    rec.add("repair.lost", report.lost.len() as u64);
+
+    if report.is_clean() {
+        rec.add("repair.outcome.unchanged", 1);
+        return RepairOutcome {
+            verdict: RepairVerdict::Unchanged,
+            schedule: Some(schedule.clone()),
+            report,
+            rerouted: Vec::new(),
+            demoted: Vec::new(),
+            dropped: Vec::new(),
+        };
+    }
+
+    let masked = MaskedTopology::new(topo, faults.clone());
+    let is_critical = |m: MessageId| config.critical.as_ref().is_none_or(|v| v[m.index()]);
+
+    // Messages that cannot be carried at all: endpoints dead, or endpoints
+    // disconnected by the mask.
+    let unreachable: Vec<MessageId> = report
+        .affected
+        .iter()
+        .copied()
+        .filter(|&m| {
+            let p = schedule.assignment().path(m);
+            !masked.connects(p.source(), p.destination())
+        })
+        .collect();
+    rec.add("repair.unreachable", unreachable.len() as u64);
+    let dropped: Vec<MessageId> = {
+        let mut v = report.lost.clone();
+        v.extend(unreachable.iter().copied());
+        v.sort_unstable();
+        v
+    };
+    if dropped.iter().any(|&m| is_critical(m)) {
+        rec.add("repair.outcome.infeasible", 1);
+        rec.add("repair.dropped", dropped.len() as u64);
+        return RepairOutcome {
+            verdict: RepairVerdict::Infeasible,
+            schedule: None,
+            report,
+            rerouted: Vec::new(),
+            demoted: Vec::new(),
+            dropped,
+        };
+    }
+
+    let reroutable: Vec<MessageId> = report
+        .affected
+        .iter()
+        .copied()
+        .filter(|m| !unreachable.contains(m))
+        .collect();
+
+    // Rung 1: re-route every reachable affected message.
+    let excluded: BTreeSet<MessageId> = dropped.iter().copied().collect();
+    if let Some(repaired) = try_repair(schedule, &masked, &excluded, &reroutable, config, rec) {
+        let verdict = if dropped.is_empty() {
+            RepairVerdict::Repaired
+        } else {
+            RepairVerdict::Degraded
+        };
+        rec.add(
+            match verdict {
+                RepairVerdict::Repaired => "repair.outcome.repaired",
+                _ => "repair.outcome.degraded",
+            },
+            1,
+        );
+        rec.add("repair.rerouted", reroutable.len() as u64);
+        rec.add("repair.dropped", dropped.len() as u64);
+        return RepairOutcome {
+            verdict,
+            schedule: Some(repaired),
+            report,
+            rerouted: reroutable,
+            demoted: Vec::new(),
+            dropped,
+        };
+    }
+
+    // Rung 2: shed non-critical affected messages to best-effort and
+    // repair the critical rest.
+    let (critical_reroute, demotable): (Vec<MessageId>, Vec<MessageId>) =
+        reroutable.iter().copied().partition(|&m| is_critical(m));
+    if !demotable.is_empty() {
+        let mut excluded2 = excluded.clone();
+        excluded2.extend(demotable.iter().copied());
+        if let Some(repaired) = try_repair(
+            schedule,
+            &masked,
+            &excluded2,
+            &critical_reroute,
+            config,
+            rec,
+        ) {
+            let demoted: Vec<(MessageId, Option<BestEffortGrant>)> = demotable
+                .iter()
+                .map(|&m| {
+                    let p = schedule.assignment().path(m);
+                    let grant = admit_best_effort(
+                        &repaired,
+                        &masked,
+                        timing,
+                        p.source(),
+                        p.destination(),
+                        tfg.message(m).bytes(),
+                        config.best_effort_path_cap,
+                    );
+                    (m, grant)
+                })
+                .collect();
+            rec.add("repair.outcome.degraded", 1);
+            rec.add("repair.rerouted", critical_reroute.len() as u64);
+            rec.add("repair.demoted", demoted.len() as u64);
+            rec.add("repair.dropped", dropped.len() as u64);
+            return RepairOutcome {
+                verdict: RepairVerdict::Degraded,
+                schedule: Some(repaired),
+                report,
+                rerouted: critical_reroute,
+                demoted,
+                dropped,
+            };
+        }
+    }
+
+    rec.add("repair.outcome.infeasible", 1);
+    RepairOutcome {
+        verdict: RepairVerdict::Infeasible,
+        schedule: None,
+        report,
+        rerouted: Vec::new(),
+        demoted: Vec::new(),
+        dropped,
+    }
+}
+
+/// One rung of the ladder: re-route `reroute` over the mask with everything
+/// else frozen (and `excluded` reset to trivial paths), re-allocate their
+/// rows against the pinned capacity, and pack them into the surviving idle
+/// time. `None` when no feedback scale yields a packable allocation.
+fn try_repair(
+    schedule: &Schedule,
+    masked: &MaskedTopology<'_>,
+    excluded: &BTreeSet<MessageId>,
+    reroute: &[MessageId],
+    config: &RepairConfig,
+    rec: &dyn Recorder,
+) -> Option<Schedule> {
+    let mut base = schedule.assignment().clone();
+    for &m in excluded {
+        let at = base.path(m).source();
+        base.set_path(m, Path::trivial(at), masked);
+    }
+
+    let outcome = assign_paths_partial(
+        masked,
+        schedule.bounds(),
+        schedule.intervals(),
+        schedule.activity(),
+        &base,
+        reroute,
+        &config.assign_paths,
+    );
+    rec.add("repair.assign_paths.restarts", outcome.restarts as u64);
+    if outcome.utilization.effective_peak() > 1.0 + EPS {
+        rec.add("repair.utilization_exceeded", 1);
+        return None;
+    }
+
+    let subsets = related_subsets(&outcome.assignment, schedule.activity());
+    let scales: &[f64] = if config.feedback_scales.is_empty() {
+        &[1.0]
+    } else {
+        &config.feedback_scales
+    };
+    for &scale in scales {
+        rec.add("repair.candidates", 1);
+        let allocation = match allocate_intervals_pinned(
+            &outcome.assignment,
+            schedule.bounds(),
+            schedule.activity(),
+            schedule.intervals(),
+            &subsets,
+            reroute,
+            schedule.allocation(),
+            scale,
+        ) {
+            Ok(a) => a,
+            Err(_) => {
+                rec.add("repair.alloc_infeasible", 1);
+                continue;
+            }
+        };
+        if let Some(interval_schedules) = pack_affected(
+            schedule,
+            &outcome.assignment,
+            &allocation,
+            reroute,
+            excluded,
+        ) {
+            return Some(schedule.patched(
+                outcome.assignment.clone(),
+                allocation,
+                interval_schedules,
+                masked,
+            ));
+        }
+        rec.add("repair.pack_failed", 1);
+    }
+    None
+}
+
+/// Packs the re-routed messages' allocations into the idle time the
+/// retained slices leave on their links, earliest-fit with preemption.
+///
+/// Every slice of the original schedule survives verbatim with the
+/// re-routed/excluded messages filtered out of its member set (so retained
+/// messages' segments are bit-identical); the re-routed traffic is placed
+/// into per-link free spans separated from existing traffic by the
+/// schedule's guard time. `None` when some message's allocation does not
+/// fit — the caller then tightens the allocation scale.
+fn pack_affected(
+    schedule: &Schedule,
+    assignment: &PathAssignment,
+    allocation: &sr_core::IntervalAllocation,
+    reroute: &[MessageId],
+    excluded: &BTreeSet<MessageId>,
+) -> Option<Vec<IntervalSchedule>> {
+    let intervals = schedule.intervals();
+    let guard = schedule.guard_time();
+    let moved: BTreeSet<MessageId> = reroute
+        .iter()
+        .copied()
+        .chain(excluded.iter().copied())
+        .collect();
+
+    // Retained slices per interval, with moved messages filtered out.
+    let mut per_interval: Vec<Vec<Slice>> = vec![Vec::new(); intervals.len()];
+    for is in schedule.interval_schedules() {
+        for slice in &is.slices {
+            let members: Vec<MessageId> = slice
+                .messages
+                .iter()
+                .copied()
+                .filter(|m| !moved.contains(m))
+                .collect();
+            if !members.is_empty() {
+                per_interval[is.interval].push(Slice {
+                    messages: members,
+                    start: slice.start,
+                    duration: slice.duration,
+                });
+            }
+        }
+    }
+
+    // Busy spans per link from the retained slices.
+    let mut busy: HashMap<LinkId, Vec<(f64, f64)>> = HashMap::new();
+    for slices in &per_interval {
+        for slice in slices {
+            for &m in &slice.messages {
+                for &l in assignment.links(m) {
+                    busy.entry(l).or_default().push((slice.start, slice.end()));
+                }
+            }
+        }
+    }
+
+    let mut ordered = reroute.to_vec();
+    ordered.sort_unstable();
+    for &m in &ordered {
+        let links = assignment.links(m);
+        for (k, interval_slices) in per_interval.iter_mut().enumerate() {
+            let mut need = allocation.allocated(m, k);
+            if need <= EPS {
+                continue;
+            }
+            let (a, b) = intervals.bounds(k);
+            let mut free = vec![(a, b)];
+            for &l in links {
+                let spans = busy.entry(l).or_default();
+                free = intersect(&free, &free_within(spans, a, b, guard));
+                if free.is_empty() {
+                    break;
+                }
+            }
+            let mut placed: Vec<Slice> = Vec::new();
+            for &(s, e) in &free {
+                if need <= EPS {
+                    break;
+                }
+                let chunk = (e - s).min(need);
+                if chunk <= EPS {
+                    continue;
+                }
+                placed.push(Slice {
+                    messages: vec![m],
+                    start: s,
+                    duration: chunk,
+                });
+                need -= chunk;
+            }
+            if need > EPS {
+                return None; // does not fit at this allocation scale
+            }
+            for slice in placed {
+                for &l in links {
+                    busy.entry(l).or_default().push((slice.start, slice.end()));
+                }
+                interval_slices.push(slice);
+            }
+        }
+    }
+
+    Some(
+        per_interval
+            .into_iter()
+            .enumerate()
+            .filter(|(_, slices)| !slices.is_empty())
+            .map(|(interval, mut slices)| {
+                slices.sort_by(|x, y| {
+                    x.start
+                        .total_cmp(&y.start)
+                        .then_with(|| x.messages.cmp(&y.messages))
+                });
+                IntervalSchedule { interval, slices }
+            })
+            .collect(),
+    )
+}
+
+/// The sub-spans of `[a, b]` at least `guard` away from every busy span.
+fn free_within(busy: &mut [(f64, f64)], a: f64, b: f64, guard: f64) -> Vec<(f64, f64)> {
+    busy.sort_by(|x, y| x.0.total_cmp(&y.0));
+    let mut out = Vec::new();
+    let mut cursor = a;
+    for &(s, e) in busy.iter() {
+        let (s, e) = (s - guard, e + guard);
+        if e <= cursor + EPS {
+            continue;
+        }
+        if s >= b - EPS {
+            break;
+        }
+        if s - cursor > EPS {
+            out.push((cursor, s));
+        }
+        cursor = cursor.max(e);
+        if cursor >= b - EPS {
+            break;
+        }
+    }
+    if b - cursor > EPS {
+        out.push((cursor, b));
+    }
+    out
+}
+
+/// Intersects two ascending disjoint span lists.
+fn intersect(a: &[(f64, f64)], b: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let s = a[i].0.max(b[j].0);
+        let e = a[i].1.min(b[j].1);
+        if e - s > EPS {
+            out.push((s, e));
+        }
+        if a[i].1 < b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_core::{compile, verify_with_faults, CompileConfig};
+    use sr_tfg::{generators, Timing};
+    use sr_topology::GeneralizedHypercube;
+
+    fn compiled() -> (GeneralizedHypercube, TaskFlowGraph, Timing, Schedule) {
+        let topo = GeneralizedHypercube::binary(3).unwrap();
+        let tfg = generators::diamond(3, 500, 1280);
+        let timing = Timing::new(64.0, 10.0);
+        let alloc = sr_mapping::greedy(&tfg, &topo);
+        let sched = compile(
+            &topo,
+            &tfg,
+            &alloc,
+            &timing,
+            75.0,
+            &CompileConfig::default(),
+        )
+        .expect("diamond compiles");
+        (topo, tfg, timing, sched)
+    }
+
+    #[test]
+    fn no_faults_is_unchanged() {
+        let (topo, tfg, timing, sched) = compiled();
+        let out = repair(
+            &sched,
+            &topo,
+            &tfg,
+            &timing,
+            &FaultSet::new(),
+            &RepairConfig::default(),
+        );
+        assert_eq!(out.verdict, RepairVerdict::Unchanged);
+        let repaired = out.schedule.unwrap();
+        assert_eq!(repaired.segments(), sched.segments());
+    }
+
+    #[test]
+    fn single_dead_link_repairs_and_pins_the_rest() {
+        let (topo, tfg, timing, sched) = compiled();
+        let victim = sched.segments()[0].message;
+        let dead = sched.assignment().links(victim)[0];
+        let faults = FaultSet::new().fail_link(dead);
+
+        let rec = sr_obs::MetricsRecorder::new();
+        let out = repair_with_recorder(
+            &sched,
+            &topo,
+            &tfg,
+            &timing,
+            &faults,
+            &RepairConfig::default(),
+            &rec,
+        );
+        assert_eq!(
+            out.verdict,
+            RepairVerdict::Repaired,
+            "report: {:?}",
+            out.report
+        );
+        let repaired = out.schedule.expect("repaired schedule");
+        verify_with_faults(&repaired, &topo, &tfg, &faults).expect("verifier-clean repair");
+
+        // Pinning rule: unaffected messages keep allocation rows and
+        // segments bit-identical.
+        for &m in &out.report.unaffected {
+            assert_eq!(
+                repaired.allocation().row(m),
+                sched.allocation().row(m),
+                "allocation moved for unaffected {m}"
+            );
+            assert_eq!(repaired.assignment().path(m), sched.assignment().path(m));
+            let before: Vec<_> = sched.segments().iter().filter(|s| s.message == m).collect();
+            let after: Vec<_> = repaired
+                .segments()
+                .iter()
+                .filter(|s| s.message == m)
+                .collect();
+            assert_eq!(before, after, "segments moved for unaffected {m}");
+        }
+        // Affected messages avoid the dead link.
+        for &m in &out.rerouted {
+            assert!(!repaired.assignment().links(m).contains(&dead));
+        }
+        assert_eq!(rec.counters()["repair.outcome.repaired"], 1);
+        assert!(rec.counters()["repair.affected"] >= 1);
+    }
+
+    #[test]
+    fn dead_endpoint_is_infeasible_when_critical() {
+        let (topo, tfg, timing, sched) = compiled();
+        let victim = sched.segments()[0].message;
+        let src = sched.assignment().path(victim).source();
+        let faults = FaultSet::new().fail_node(src);
+        let out = repair(
+            &sched,
+            &topo,
+            &tfg,
+            &timing,
+            &faults,
+            &RepairConfig::default(),
+        );
+        assert_eq!(out.verdict, RepairVerdict::Infeasible);
+        assert!(out.schedule.is_none());
+        assert!(out.dropped.contains(&victim));
+    }
+
+    #[test]
+    fn dead_endpoint_degrades_when_not_critical() {
+        let (topo, tfg, timing, sched) = compiled();
+        let victim = sched.segments()[0].message;
+        let src = sched.assignment().path(victim).source();
+        let faults = FaultSet::new().fail_node(src);
+        // Nothing is critical: dropping the dead-endpoint messages is fine.
+        let config = RepairConfig {
+            critical: Some(vec![false; tfg.num_messages()]),
+            ..RepairConfig::default()
+        };
+        let out = repair(&sched, &topo, &tfg, &timing, &faults, &config);
+        assert_eq!(out.verdict, RepairVerdict::Degraded);
+        let repaired = out.schedule.expect("degraded schedule");
+        verify_with_faults(&repaired, &topo, &tfg, &faults).expect("clean degraded schedule");
+        // Dropped messages carry no network traffic in the repaired schedule.
+        for &m in &out.dropped {
+            assert!(repaired.assignment().links(m).is_empty());
+            assert!(repaired.segments().iter().all(|s| s.message != m));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+use sr_core::Schedule;
+use sr_tfg::{TaskFlowGraph, Timing};
+use sr_topology::{FaultSet, Topology};
+
+use crate::{repair, RepairConfig, RepairVerdict};
+
+/// Parameters of a [`sweep_link_failures`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// Largest number of simultaneously failed links tried (the sweep runs
+    /// `k = 1..=k_max`).
+    pub k_max: usize,
+    /// Random fault draws per `k`.
+    pub trials: usize,
+    /// Base seed for the deterministic fault draws.
+    pub seed: u64,
+    /// Repair configuration applied to every draw.
+    pub repair: RepairConfig,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            k_max: 3,
+            trials: 8,
+            seed: 0xfa17,
+            repair: RepairConfig::default(),
+        }
+    }
+}
+
+/// One row of a fault sweep: repair outcomes over `trials` random draws of
+/// `k` failed links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Number of links failed per draw.
+    pub k: usize,
+    /// Draws evaluated.
+    pub trials: usize,
+    /// Draws that touched no scheduled path.
+    pub unchanged: usize,
+    /// Draws fully repaired (every affected message re-routed).
+    pub repaired: usize,
+    /// Draws repaired with demotions or drops.
+    pub degraded: usize,
+    /// Draws with no feasible repair.
+    pub infeasible: usize,
+    /// Mean messages re-routed over the draws that produced a schedule.
+    pub mean_rerouted: f64,
+}
+
+impl SweepPoint {
+    /// Fraction of draws that ended with a valid schedule (unchanged,
+    /// repaired, or degraded).
+    pub fn feasible_fraction(&self) -> f64 {
+        if self.trials == 0 {
+            return 1.0;
+        }
+        (self.trials - self.infeasible) as f64 / self.trials as f64
+    }
+}
+
+/// Sweeps repair feasibility against the number of failed links: for each
+/// `k = 1..=k_max`, draws [`SweepConfig::trials`] deterministic random
+/// [`FaultSet`]s of `k` links (seeded per `(k, trial)`) and runs [`repair`]
+/// on each, tallying the verdicts.
+///
+/// Draws are *not* filtered for connectivity — a draw that disconnects a
+/// critical message's endpoints simply counts as infeasible, which is the
+/// honest operational statistic.
+pub fn sweep_link_failures(
+    schedule: &Schedule,
+    topo: &dyn Topology,
+    tfg: &TaskFlowGraph,
+    timing: &Timing,
+    config: &SweepConfig,
+) -> Vec<SweepPoint> {
+    (1..=config.k_max)
+        .map(|k| {
+            let mut point = SweepPoint {
+                k,
+                trials: config.trials,
+                unchanged: 0,
+                repaired: 0,
+                degraded: 0,
+                infeasible: 0,
+                mean_rerouted: 0.0,
+            };
+            let mut rerouted_sum = 0usize;
+            let mut with_schedule = 0usize;
+            for trial in 0..config.trials {
+                let seed = config
+                    .seed
+                    .wrapping_add((k as u64) << 32)
+                    .wrapping_add(trial as u64);
+                let faults = FaultSet::random_links(topo, k, seed);
+                let out = repair(schedule, topo, tfg, timing, &faults, &config.repair);
+                match out.verdict {
+                    RepairVerdict::Unchanged => point.unchanged += 1,
+                    RepairVerdict::Repaired => point.repaired += 1,
+                    RepairVerdict::Degraded => point.degraded += 1,
+                    RepairVerdict::Infeasible => point.infeasible += 1,
+                }
+                if out.schedule.is_some() {
+                    rerouted_sum += out.rerouted.len();
+                    with_schedule += 1;
+                }
+            }
+            if with_schedule > 0 {
+                point.mean_rerouted = rerouted_sum as f64 / with_schedule as f64;
+            }
+            point
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_core::{compile, CompileConfig};
+    use sr_tfg::generators;
+    use sr_topology::GeneralizedHypercube;
+
+    #[test]
+    fn sweep_tallies_every_trial() {
+        let topo = GeneralizedHypercube::binary(3).unwrap();
+        let tfg = generators::diamond(3, 500, 1280);
+        let timing = Timing::new(64.0, 10.0);
+        let alloc = sr_mapping::greedy(&tfg, &topo);
+        let sched = compile(
+            &topo,
+            &tfg,
+            &alloc,
+            &timing,
+            75.0,
+            &CompileConfig::default(),
+        )
+        .unwrap();
+        let cfg = SweepConfig {
+            k_max: 2,
+            trials: 4,
+            ..SweepConfig::default()
+        };
+        let points = sweep_link_failures(&sched, &topo, &tfg, &timing, &cfg);
+        assert_eq!(points.len(), 2);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.k, i + 1);
+            assert_eq!(
+                p.unchanged + p.repaired + p.degraded + p.infeasible,
+                p.trials
+            );
+            assert!(p.feasible_fraction() >= 0.0 && p.feasible_fraction() <= 1.0);
+        }
+        // Deterministic: same config, same tallies.
+        let again = sweep_link_failures(&sched, &topo, &tfg, &timing, &cfg);
+        assert_eq!(points, again);
+    }
+}

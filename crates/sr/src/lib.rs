@@ -15,6 +15,7 @@
 //! | [`wormhole`] | `sr-wormhole` | discrete-event wormhole-routing simulator (the baseline that exhibits output inconsistency) |
 //! | [`sync`] | `sr-sync` | CP clock-drift models, sync-protocol simulation, guard-time sizing |
 //! | [`core`] | `sr-core` | the scheduled-routing compiler and verifier |
+//! | [`fault`] | `sr-fault` | fault injection, damage analysis, incremental schedule repair, fault sweeps |
 //! | [`obs`] | `sr-obs` | spans, counters, metrics tables, Chrome-trace export for the compile pipeline |
 //!
 //! # The 30-second tour
@@ -47,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub use sr_core as core;
+pub use sr_fault as fault;
 pub use sr_lp as lp;
 pub use sr_mapping as mapping;
 pub use sr_obs as obs;
@@ -58,7 +60,12 @@ pub use sr_wormhole as wormhole;
 /// The most common imports, for `use sr::prelude::*`.
 pub mod prelude {
     pub use sr_core::{
-        compile, compile_with_recorder, verify, CompileConfig, CompileError, Schedule,
+        analyze_damage, compile, compile_with_recorder, verify, verify_with_faults, CompileConfig,
+        CompileError, DamageReport, Schedule,
+    };
+    pub use sr_fault::{
+        repair, sweep_link_failures, FaultSet, MaskedTopology, RepairConfig, RepairOutcome,
+        RepairVerdict, SweepConfig,
     };
     pub use sr_mapping::Allocation;
     pub use sr_obs::{MetricsRecorder, Recorder};

@@ -1,0 +1,563 @@
+use std::collections::BTreeSet;
+
+use crate::{LinkId, NodeId, Path, Topology};
+
+/// A set of failed links and nodes.
+///
+/// A failed node takes all of its incident links down with it; a failed link
+/// leaves its endpoints alive. The set is the input both to the masked
+/// topology view ([`MaskedTopology`]) and to the damage analyzer in
+/// `sr-core`, which partitions a compiled schedule's messages into those
+/// whose paths survive untouched and those that must be re-routed.
+///
+/// # Examples
+///
+/// ```
+/// use sr_topology::{FaultSet, LinkId, NodeId};
+///
+/// let faults = FaultSet::new().fail_link(LinkId(3)).fail_node(NodeId(5));
+/// assert!(faults.is_link_failed(LinkId(3)));
+/// assert!(faults.is_node_failed(NodeId(5)));
+/// assert_eq!(faults.num_failed_links(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSet {
+    links: BTreeSet<LinkId>,
+    nodes: BTreeSet<NodeId>,
+}
+
+impl FaultSet {
+    /// An empty fault set (the healthy network).
+    pub fn new() -> Self {
+        FaultSet::default()
+    }
+
+    /// Builder: marks `link` as failed.
+    pub fn fail_link(mut self, link: LinkId) -> Self {
+        self.links.insert(link);
+        self
+    }
+
+    /// Builder: marks `node` as failed.
+    pub fn fail_node(mut self, node: NodeId) -> Self {
+        self.nodes.insert(node);
+        self
+    }
+
+    /// A fault set with the given failed links.
+    pub fn with_links<I: IntoIterator<Item = LinkId>>(links: I) -> Self {
+        FaultSet {
+            links: links.into_iter().collect(),
+            nodes: BTreeSet::new(),
+        }
+    }
+
+    /// A fault set with the given failed nodes.
+    pub fn with_nodes<I: IntoIterator<Item = NodeId>>(nodes: I) -> Self {
+        FaultSet {
+            links: BTreeSet::new(),
+            nodes: nodes.into_iter().collect(),
+        }
+    }
+
+    /// Draws `k` distinct failed links uniformly from `topo`, deterministic
+    /// in `seed`.
+    ///
+    /// Uses a partial Fisher–Yates shuffle over the dense link index space
+    /// driven by a splitmix64 stream, so draws are reproducible without any
+    /// external RNG dependency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > topo.num_links()`.
+    pub fn random_links(topo: &dyn Topology, k: usize, seed: u64) -> Self {
+        let n = topo.num_links();
+        assert!(k <= n, "cannot fail {k} of {n} links");
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut state = seed;
+        for i in 0..k {
+            let j = i + (splitmix64(&mut state) as usize) % (n - i);
+            idx.swap(i, j);
+        }
+        FaultSet::with_links(idx[..k].iter().map(|&i| LinkId(i)))
+    }
+
+    /// `true` when `link` is failed (explicitly, not via a failed endpoint).
+    pub fn is_link_failed(&self, link: LinkId) -> bool {
+        self.links.contains(&link)
+    }
+
+    /// `true` when `node` is failed.
+    pub fn is_node_failed(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// `true` when `link` is unusable in `topo`: failed itself or incident
+    /// to a failed node.
+    pub fn link_masked(&self, link: LinkId, topo: &dyn Topology) -> bool {
+        if self.is_link_failed(link) {
+            return true;
+        }
+        let (a, b) = topo.link_endpoints(link);
+        self.is_node_failed(a) || self.is_node_failed(b)
+    }
+
+    /// The explicitly failed links, ascending.
+    pub fn failed_links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.links.iter().copied()
+    }
+
+    /// The failed nodes, ascending.
+    pub fn failed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Number of explicitly failed links.
+    pub fn num_failed_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of failed nodes.
+    pub fn num_failed_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when nothing is failed.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty() && self.nodes.is_empty()
+    }
+}
+
+impl std::fmt::Display for FaultSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return write!(f, "no faults");
+        }
+        let mut first = true;
+        for l in &self.links {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+            first = false;
+        }
+        for n in &self.nodes {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{n}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A topology with a [`FaultSet`] applied: the same dense node/link index
+/// space as the inner topology, but failed links (and every link incident to
+/// a failed node) are invisible to adjacency, routing, and path enumeration.
+///
+/// Keeping the index space unchanged is what makes incremental repair cheap:
+/// utilization matrices, pinned allocations, and switching schedules indexed
+/// by the original [`LinkId`]s stay valid verbatim for surviving resources.
+///
+/// Routing on the mask is recomputed from scratch by breadth-first search
+/// (the inner topology's algebraic routing no longer applies once edges are
+/// missing): [`Topology::distance`] reads a precomputed all-pairs BFS table,
+/// and [`Topology::shortest_paths`] enumerates shortest paths through the
+/// BFS distance DAG in deterministic ascending-neighbor order. When the
+/// inner dimension-order path survives the mask intact it is promoted to the
+/// front of the enumeration, preserving the trait's "dimension-order first"
+/// contract wherever it is still meaningful.
+///
+/// # Examples
+///
+/// ```
+/// use sr_topology::{FaultSet, MaskedTopology, NodeId, Topology, Torus};
+///
+/// # fn main() -> Result<(), sr_topology::TopologyError> {
+/// let torus = Torus::new(&[4, 4])?;
+/// let healthy = torus.shortest_paths(NodeId(0), NodeId(1), 8);
+/// let link = torus.link_between(NodeId(0), NodeId(1)).unwrap();
+/// let masked = MaskedTopology::new(&torus, FaultSet::new().fail_link(link));
+/// // The direct hop is gone; the masked route detours.
+/// assert_eq!(healthy[0].hops(), 1);
+/// assert!(masked.connects(NodeId(0), NodeId(1)));
+/// assert_eq!(masked.distance(NodeId(0), NodeId(1)), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub struct MaskedTopology<'a> {
+    inner: &'a dyn Topology,
+    faults: FaultSet,
+    neighbors: Vec<Vec<NodeId>>,
+    /// All-pairs hop distance over surviving edges; `u32::MAX` = unreachable.
+    dist: Vec<u32>,
+    name: String,
+}
+
+const UNREACHABLE: u32 = u32::MAX;
+
+impl<'a> MaskedTopology<'a> {
+    /// Applies `faults` to `inner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault set names a node or link outside `inner`'s index
+    /// space.
+    pub fn new(inner: &'a dyn Topology, faults: FaultSet) -> Self {
+        let n = inner.num_nodes();
+        for node in faults.failed_nodes() {
+            assert!(
+                node.index() < n,
+                "failed node {node} out of range for {}",
+                inner.name()
+            );
+        }
+        for link in faults.failed_links() {
+            assert!(
+                link.index() < inner.num_links(),
+                "failed link {link} out of range for {}",
+                inner.name()
+            );
+        }
+        let neighbors: Vec<Vec<NodeId>> = (0..n)
+            .map(|u| {
+                let u = NodeId(u);
+                if faults.is_node_failed(u) {
+                    return Vec::new();
+                }
+                inner
+                    .neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(|&v| {
+                        !faults.is_node_failed(v)
+                            && !faults.is_link_failed(
+                                inner.link_between(u, v).expect("neighbors are adjacent"),
+                            )
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut dist = vec![UNREACHABLE; n * n];
+        let mut queue = std::collections::VecDeque::new();
+        for src in 0..n {
+            let row = &mut dist[src * n..(src + 1) * n];
+            row[src] = 0;
+            queue.clear();
+            queue.push_back(src);
+            while let Some(u) = queue.pop_front() {
+                let du = row[u];
+                for &v in &neighbors[u] {
+                    if row[v.index()] == UNREACHABLE {
+                        row[v.index()] = du + 1;
+                        queue.push_back(v.index());
+                    }
+                }
+            }
+        }
+        let name = format!(
+            "Masked({}, -{}L/-{}N)",
+            inner.name(),
+            faults.num_failed_links(),
+            faults.num_failed_nodes()
+        );
+        MaskedTopology {
+            inner,
+            faults,
+            neighbors,
+            dist,
+            name,
+        }
+    }
+
+    /// The fault set applied to this view.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// The unmasked topology.
+    pub fn inner(&self) -> &'a dyn Topology {
+        self.inner
+    }
+
+    /// `true` when a surviving route from `a` to `b` exists.
+    pub fn connects(&self, a: NodeId, b: NodeId) -> bool {
+        self.dist[a.index() * self.inner.num_nodes() + b.index()] != UNREACHABLE
+    }
+
+    /// `true` when every pair of surviving nodes is mutually reachable.
+    pub fn is_connected(&self) -> bool {
+        let n = self.inner.num_nodes();
+        let alive: Vec<usize> = (0..n)
+            .filter(|&u| !self.faults.is_node_failed(NodeId(u)))
+            .collect();
+        alive
+            .iter()
+            .all(|&u| alive.iter().all(|&v| self.dist[u * n + v] != UNREACHABLE))
+    }
+
+    fn masked_dist(&self, a: NodeId, b: NodeId) -> u32 {
+        self.dist[a.index() * self.inner.num_nodes() + b.index()]
+    }
+
+    /// Enumerates up to `cap` shortest paths through the BFS distance DAG,
+    /// trying neighbors in ascending order at every step.
+    fn enumerate_shortest(&self, src: NodeId, dst: NodeId, cap: usize) -> Vec<Path> {
+        let mut out = Vec::new();
+        if cap == 0 || !self.connects(src, dst) {
+            return out;
+        }
+        let mut prefix = vec![src];
+        self.dag_recurse(dst, &mut prefix, cap, &mut out);
+        out
+    }
+
+    fn dag_recurse(&self, dst: NodeId, prefix: &mut Vec<NodeId>, cap: usize, out: &mut Vec<Path>) {
+        if out.len() >= cap {
+            return;
+        }
+        let here = *prefix.last().expect("prefix is non-empty");
+        if here == dst {
+            out.push(Path::new(prefix.clone()));
+            return;
+        }
+        let remaining = self.masked_dist(here, dst);
+        for &v in &self.neighbors[here.index()] {
+            if self.masked_dist(v, dst) + 1 == remaining {
+                prefix.push(v);
+                self.dag_recurse(dst, prefix, cap, out);
+                prefix.pop();
+                if out.len() >= cap {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// `true` when `path` uses only surviving nodes and links.
+    pub fn path_survives(&self, path: &Path) -> bool {
+        path.nodes().iter().all(|&v| !self.faults.is_node_failed(v))
+            && path.nodes().windows(2).all(|w| {
+                self.inner
+                    .link_between(w[0], w[1])
+                    .is_some_and(|l| !self.faults.is_link_failed(l))
+            })
+    }
+}
+
+impl Topology for MaskedTopology<'_> {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+
+    fn num_links(&self) -> usize {
+        self.inner.num_links()
+    }
+
+    fn link_endpoints(&self, link: LinkId) -> (NodeId, NodeId) {
+        // Endpoints stay defined even for failed links: the id space is the
+        // inner topology's, only usability changes.
+        self.inner.link_endpoints(link)
+    }
+
+    fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        if self.faults.is_node_failed(a) || self.faults.is_node_failed(b) {
+            return None;
+        }
+        self.inner
+            .link_between(a, b)
+            .filter(|&l| !self.faults.is_link_failed(l))
+    }
+
+    fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.neighbors[node.index()]
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        let d = self.masked_dist(a, b);
+        assert!(
+            d != UNREACHABLE,
+            "{a} and {b} are disconnected in {}",
+            self.name
+        );
+        d as usize
+    }
+
+    /// The inner dimension-order path when it survives the mask; otherwise
+    /// the first masked shortest path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` are disconnected under the mask; call
+    /// [`MaskedTopology::connects`] first.
+    fn dimension_order_path(&self, src: NodeId, dst: NodeId) -> Path {
+        let inner_path = self.inner.dimension_order_path(src, dst);
+        if self.path_survives(&inner_path) {
+            return inner_path;
+        }
+        self.enumerate_shortest(src, dst, 1)
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| panic!("{src} and {dst} are disconnected in {}", self.name))
+    }
+
+    fn shortest_paths(&self, src: NodeId, dst: NodeId, cap: usize) -> Vec<Path> {
+        if src == dst {
+            return if cap == 0 {
+                Vec::new()
+            } else {
+                vec![Path::trivial(src)]
+            };
+        }
+        let mut paths = self.enumerate_shortest(src, dst, cap);
+        // Promote the surviving dimension-order path to the front to keep the
+        // trait's "dimension-order first" contract where it still applies.
+        let dop = self.inner.dimension_order_path(src, dst);
+        if self.path_survives(&dop) {
+            if let Some(pos) = paths.iter().position(|p| *p == dop) {
+                paths[..=pos].rotate_right(1);
+            } else if !paths.is_empty() {
+                // Cap cut it off during enumeration; force it in.
+                paths.pop();
+                paths.insert(0, dop);
+            }
+        }
+        paths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GeneralizedHypercube, Mesh, Torus};
+
+    #[test]
+    fn empty_fault_set_changes_nothing() {
+        let cube = GeneralizedHypercube::binary(3).unwrap();
+        let masked = MaskedTopology::new(&cube, FaultSet::new());
+        assert_eq!(masked.num_nodes(), 8);
+        assert_eq!(masked.num_links(), 12);
+        for a in 0..8 {
+            for b in 0..8 {
+                assert_eq!(
+                    masked.distance(NodeId(a), NodeId(b)),
+                    cube.distance(NodeId(a), NodeId(b))
+                );
+            }
+            assert_eq!(masked.neighbors(NodeId(a)), cube.neighbors(NodeId(a)));
+        }
+        let p = masked.dimension_order_path(NodeId(0), NodeId(7));
+        assert_eq!(p, cube.dimension_order_path(NodeId(0), NodeId(7)));
+    }
+
+    #[test]
+    fn failed_link_is_invisible() {
+        let cube = GeneralizedHypercube::binary(3).unwrap();
+        let link = cube.link_between(NodeId(0), NodeId(1)).unwrap();
+        let masked = MaskedTopology::new(&cube, FaultSet::new().fail_link(link));
+        assert_eq!(masked.link_between(NodeId(0), NodeId(1)), None);
+        assert!(!masked.neighbors(NodeId(0)).contains(&NodeId(1)));
+        assert_eq!(masked.distance(NodeId(0), NodeId(1)), 3);
+        let p = masked.dimension_order_path(NodeId(0), NodeId(1));
+        assert_eq!(p.hops(), 3);
+        assert!(masked.path_survives(&p));
+    }
+
+    #[test]
+    fn failed_node_takes_links_down() {
+        let torus = Torus::new(&[4, 4]).unwrap();
+        let masked = MaskedTopology::new(&torus, FaultSet::new().fail_node(NodeId(5)));
+        assert!(masked.neighbors(NodeId(5)).is_empty());
+        for &v in torus.neighbors(NodeId(5)) {
+            assert!(!masked.neighbors(v).contains(&NodeId(5)));
+            assert_eq!(masked.link_between(v, NodeId(5)), None);
+        }
+        assert!(!masked.connects(NodeId(0), NodeId(5)));
+        assert!(masked.connects(NodeId(0), NodeId(10)));
+    }
+
+    #[test]
+    fn shortest_paths_avoid_faults_and_are_shortest() {
+        let torus = Torus::new(&[4, 4]).unwrap();
+        let link = torus.link_between(NodeId(0), NodeId(1)).unwrap();
+        let faults = FaultSet::new().fail_link(link);
+        let masked = MaskedTopology::new(&torus, faults);
+        let paths = masked.shortest_paths(NodeId(0), NodeId(1), 16);
+        assert!(!paths.is_empty());
+        for p in &paths {
+            assert_eq!(p.hops(), masked.distance(NodeId(0), NodeId(1)));
+            assert!(masked.path_survives(p));
+            assert!(p.is_simple());
+        }
+    }
+
+    #[test]
+    fn surviving_dimension_order_path_comes_first() {
+        let torus = Torus::new(&[4, 4]).unwrap();
+        // Fail a link unrelated to the 0 -> 5 route.
+        let far = torus.link_between(NodeId(10), NodeId(11)).unwrap();
+        let masked = MaskedTopology::new(&torus, FaultSet::new().fail_link(far));
+        let paths = masked.shortest_paths(NodeId(0), NodeId(5), 8);
+        assert_eq!(paths[0], torus.dimension_order_path(NodeId(0), NodeId(5)));
+    }
+
+    #[test]
+    fn trivial_pair_yields_trivial_path() {
+        let mesh = Mesh::new(&[3, 3]).unwrap();
+        let masked = MaskedTopology::new(&mesh, FaultSet::new());
+        let paths = masked.shortest_paths(NodeId(4), NodeId(4), 4);
+        assert_eq!(paths, vec![Path::trivial(NodeId(4))]);
+    }
+
+    #[test]
+    fn disconnection_detected() {
+        // Mesh corner: node 0 in a 2x2 mesh has exactly two links; failing
+        // both isolates it.
+        let mesh = Mesh::new(&[2, 2]).unwrap();
+        let l1 = mesh.link_between(NodeId(0), NodeId(1)).unwrap();
+        let l2 = mesh.link_between(NodeId(0), NodeId(2)).unwrap();
+        let masked = MaskedTopology::new(&mesh, FaultSet::with_links([l1, l2]));
+        assert!(!masked.connects(NodeId(0), NodeId(3)));
+        assert!(!masked.is_connected());
+        assert!(masked.shortest_paths(NodeId(0), NodeId(3), 4).is_empty());
+        assert!(masked.connects(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn random_links_is_deterministic_and_distinct() {
+        let torus = Torus::new(&[4, 4]).unwrap();
+        let a = FaultSet::random_links(&torus, 5, 42);
+        let b = FaultSet::random_links(&torus, 5, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.num_failed_links(), 5);
+        let c = FaultSet::random_links(&torus, 5, 43);
+        assert_ne!(a, c); // overwhelmingly likely for distinct seeds
+    }
+
+    #[test]
+    fn display_lists_faults() {
+        let fs = FaultSet::new().fail_link(LinkId(2)).fail_node(NodeId(7));
+        assert_eq!(fs.to_string(), "L2,N7");
+        assert_eq!(FaultSet::new().to_string(), "no faults");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_fault_panics() {
+        let mesh = Mesh::new(&[2, 2]).unwrap();
+        let _ = MaskedTopology::new(&mesh, FaultSet::new().fail_node(NodeId(99)));
+    }
+}

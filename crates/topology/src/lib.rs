@@ -41,6 +41,7 @@
 
 mod adjacency;
 mod error;
+mod fault;
 mod ghc;
 mod ids;
 mod mesh;
@@ -50,6 +51,7 @@ mod stats;
 mod torus;
 
 pub use error::TopologyError;
+pub use fault::{FaultSet, MaskedTopology};
 pub use ghc::GeneralizedHypercube;
 pub use ids::{LinkId, NodeId};
 pub use mesh::Mesh;

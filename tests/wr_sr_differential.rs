@@ -145,6 +145,72 @@ fn executed_schedule_is_operationally_constant() {
     assert!(exec.latencies()[0] <= sched.latency() + 1e-6);
 }
 
+/// Under the *same* injected fault set, wormhole routing obliviously
+/// re-routes over the masked topology and keeps (or worsens) its output
+/// inconsistency, while scheduled routing repairs incrementally and — where
+/// the repair is feasible — its executed output interval stays exactly
+/// constant.
+#[test]
+fn same_faults_wr_obliviously_reroutes_sr_repairs() {
+    let tfg = dvb_uniform(8);
+    let cube = GeneralizedHypercube::binary(6).unwrap();
+    let timing = Timing::calibrated_dvb(128.0);
+    let alloc = sr::mapping::random_distinct(&tfg, &cube, 7).unwrap();
+    let period = timing.longest_task(&tfg) / 0.9;
+
+    let sched = compile(
+        &cube,
+        &tfg,
+        &alloc,
+        &timing,
+        period,
+        &CompileConfig::default(),
+    )
+    .expect("compiles");
+
+    // Fail a link some scheduled message actually uses.
+    let dead = (0..tfg.num_messages())
+        .map(sr::tfg::MessageId)
+        .find_map(|m| sched.assignment().links(m).first().copied())
+        .expect("traffic exists");
+    let faults = FaultSet::new().fail_link(dead);
+
+    // SR: incremental repair, then operational execution of the repaired
+    // schedule — one output per period, exactly.
+    let outcome = repair(
+        &sched,
+        &cube,
+        &tfg,
+        &timing,
+        &faults,
+        &RepairConfig::default(),
+    );
+    let repaired = outcome
+        .schedule
+        .as_ref()
+        .expect("one dead link on a 6-cube at load 0.9 is repairable");
+    verify_with_faults(repaired, &cube, &tfg, &faults).unwrap();
+    let exec = sr::core::execute(repaired, &tfg, &alloc, &timing, 40).expect("executes");
+    assert!(
+        exec.is_throughput_constant(1e-9),
+        "repaired SR output interval must stay constant"
+    );
+
+    // WR on the identical fault set: the simulator silently re-routes over
+    // the masked topology and the output interval still wobbles (or the
+    // network outright deadlocks on the detours).
+    let masked = MaskedTopology::new(&cube, faults.clone());
+    let wr = WormholeSim::new(&masked, &tfg, &alloc, &timing)
+        .unwrap()
+        .run(period, &SimConfig::default())
+        .unwrap();
+    assert!(
+        wr.deadlocked() || wr.has_output_inconsistency(1e-6),
+        "WR under faults should stay inconsistent: {:?}",
+        wr.interval_stats()
+    );
+}
+
 /// SR's latency is period-independent while WR's mean latency grows with
 /// load — the monotone degradation the paper plots.
 #[test]
