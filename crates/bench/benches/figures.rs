@@ -11,7 +11,9 @@ use sr::prelude::*;
 use sr_bench::{figure_performance, figure_utilization, Platform};
 use std::hint::black_box;
 
-/// A shortened simulation config so a bench iteration stays sub-second.
+/// The one shortened simulation config every figure group measures with,
+/// so a bench iteration stays sub-second and all sim-backed groups stay
+/// comparable.
 fn bench_sim() -> SimConfig {
     SimConfig {
         invocations: 30,
@@ -102,18 +104,8 @@ fn bench_claim(c: &mut Criterion) {
     .unwrap();
     g.bench_function("wormhole_sim", |b| {
         let sim = WormholeSim::new(&cube, &tfg, &alloc, &timing).unwrap();
-        b.iter(|| {
-            black_box(
-                sim.run(
-                    110.0,
-                    &SimConfig {
-                        invocations: 30,
-                        warmup: 4,
-                    },
-                )
-                .unwrap(),
-            )
-        })
+        let cfg = bench_sim();
+        b.iter(|| black_box(sim.run(110.0, &cfg).unwrap()))
     });
     g.bench_function("sr_compile", |b| {
         b.iter(|| {

@@ -1,16 +1,23 @@
-//! Microbenchmark of the dense simplex kernel on synthetic covering LPs
-//! whose tableaus are fully dense — the shape that stresses the pivot
-//! inner loop (every row touched, every column updated).
+//! Microbenchmarks of the simplex kernels.
 //!
-//! Instances are generated deterministically (splitmix64) so before/after
-//! numbers compare the same pivots. Each instance minimizes a positive
-//! cost over `m` dense `≥` covering rows plus per-variable upper bounds,
-//! which is feasible and bounded by construction.
+//! Two instance families, both generated deterministically (splitmix64) so
+//! before/after numbers compare the same pivots:
 //!
-//! Run with `cargo bench --bench simplex_dense`.
+//! * `simplex_dense/covering`: synthetic covering LPs whose tableaus are
+//!   fully dense — the shape that stresses the dense engine's pivot inner
+//!   loop (every row touched, every column updated).
+//! * `simplex_alloc/{dense,sparse_cold,sparse_warm}`: allocation-shaped
+//!   feasibility LPs mirroring the compile pipeline's message–interval
+//!   allocation subsets — one equality row per message plus sparse
+//!   capacity rows — solved by the dense engine, the sparse revised engine
+//!   cold, and the sparse engine warm-started from the optimal basis of
+//!   the neighboring capacity rung (the compile walk's reuse pattern).
+//!
+//! Run with `CRITERION_JSON=BENCH_simplex.json cargo bench --bench
+//! simplex_dense` to capture machine-readable numbers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sr::lp::{Problem, Relation};
+use sr::lp::{LpEngine, Problem, Relation};
 use std::hint::black_box;
 
 /// Deterministic coefficient stream.
@@ -45,16 +52,109 @@ fn dense_instance(n: usize) -> Problem {
     p
 }
 
+/// Builds an allocation-shaped feasibility LP over `msgs` messages: one
+/// variable per (message, active interval), one equality row per message
+/// spreading its demand over its active run, and one `≤` capacity row per
+/// (link, interval) coupling the messages routed through that link —
+/// every variable appears in one equality and a handful of capacity rows,
+/// exactly the sparsity pattern of the compile pipeline's subset LPs.
+/// `capacity_scale` shrinks the capacity rows the way the compile walk's
+/// ladder does; capacities are sized so `0.9` is still feasible.
+fn allocation_instance(msgs: usize, capacity_scale: f64) -> Problem {
+    const K: usize = 8; // intervals
+    const L: usize = 16; // links
+    let mut rng = SplitMix(0xA110_C8ED ^ msgs as u64);
+    let mut p = Problem::minimize();
+
+    // Per-message shape: an active run of 2–4 intervals, 2–3 links, a
+    // demand in [0.5, 1.5). Feasibility LP, so costs are zero.
+    let mut vars = Vec::with_capacity(msgs);
+    let mut demand = Vec::with_capacity(msgs);
+    let mut actives = Vec::with_capacity(msgs);
+    let mut links = Vec::with_capacity(msgs);
+    for _ in 0..msgs {
+        let len = 2 + (rng.next_f64() * 3.0) as usize;
+        let start = (rng.next_f64() * (K - len) as f64) as usize;
+        let ks: Vec<usize> = (start..start + len).collect();
+        let nl = 2 + (rng.next_f64() * 2.0) as usize;
+        let ls: Vec<usize> = (0..nl)
+            .map(|_| (rng.next_f64() * L as f64) as usize)
+            .collect();
+        vars.push(ks.iter().map(|_| p.add_var(0.0)).collect::<Vec<_>>());
+        demand.push(0.5 + rng.next_f64());
+        actives.push(ks);
+        links.push(ls);
+    }
+    for m in 0..msgs {
+        let terms: Vec<_> = vars[m].iter().map(|&v| (v, 1.0)).collect();
+        p.add_constraint(&terms, Relation::Eq, demand[m]).unwrap();
+    }
+    // Capacity rows: messages sharing a (link, interval) cell compete for
+    // it; the even spread (demand/|run| per interval) is feasible at 1.2×
+    // headroom, so both the 1.0 and 0.9 rungs admit a solution.
+    for l in 0..L {
+        for k in 0..K {
+            let mut terms = Vec::new();
+            let mut even = 0.0;
+            for m in 0..msgs {
+                if !links[m].contains(&l) {
+                    continue;
+                }
+                if let Some(pos) = actives[m].iter().position(|&a| a == k) {
+                    terms.push((vars[m][pos], 1.0));
+                    even += demand[m] / actives[m].len() as f64;
+                }
+            }
+            if terms.len() > 1 {
+                p.add_constraint(&terms, Relation::Le, capacity_scale * 1.2 * even)
+                    .unwrap();
+            }
+        }
+    }
+    p
+}
+
 fn bench_simplex_dense(c: &mut Criterion) {
     let mut g = c.benchmark_group("simplex_dense");
     g.sample_size(10);
     for n in [16usize, 48, 96, 160] {
         g.bench_with_input(BenchmarkId::new("covering", n), &n, |b, &n| {
-            b.iter(|| black_box(dense_instance(n).solve().unwrap()))
+            b.iter(|| {
+                black_box(
+                    dense_instance(n)
+                        .solve_with_engine(LpEngine::Dense)
+                        .unwrap(),
+                )
+            })
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_simplex_dense);
+fn bench_simplex_alloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex_alloc");
+    g.sample_size(10);
+    for msgs in [24usize, 48, 96] {
+        let rung = allocation_instance(msgs, 0.9);
+        g.bench_with_input(BenchmarkId::new("dense", msgs), &msgs, |b, _| {
+            b.iter(|| black_box(rung.solve_with_engine(LpEngine::Dense).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("sparse_cold", msgs), &msgs, |b, _| {
+            b.iter(|| black_box(rung.solve_with_engine(LpEngine::Sparse).unwrap()))
+        });
+        // Warm *hit* path: re-solve from the rung's own optimal basis —
+        // one factorization plus one optimality-proving pricing pass, no
+        // phase 1. This is what the compile walk pays when a cached basis
+        // is still primal feasible; a miss degrades to `sparse_cold` plus
+        // the probe factorization.
+        let (_, basis, _) = rung.solve_warm(None).unwrap();
+        let basis = basis.expect("allocation instances end artificial-free");
+        g.bench_with_input(BenchmarkId::new("sparse_warm", msgs), &msgs, |b, _| {
+            b.iter(|| black_box(rung.solve_warm(Some(&basis)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simplex_dense, bench_simplex_alloc);
 criterion_main!(benches);

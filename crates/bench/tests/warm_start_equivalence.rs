@@ -1,0 +1,67 @@
+//! Warm-started compiles must be *artifact-identical* to cold ones.
+//!
+//! The compile walk reuses optimal bases across each seed's capacity-scale
+//! ladder ([`CompileConfig::warm_start`]). Warm starts change which vertex
+//! an allocation LP lands on, so any warm-influenced winning rung is
+//! re-derived cold inside the walk; the contract tested here is that the
+//! *published* schedule — accepted candidate, paths, segments, utilization
+//! — is bitwise the same with warm starts on and off, on the standard DVB
+//! workload the figures use.
+
+use sr::prelude::*;
+use sr::tfg::MessageId;
+use sr_bench::{standard_workload, Platform};
+
+/// Loads covering both the easy regime (first candidate wins) and the
+/// contended regime where the ladder actually descends (scale 0.8 at 0.85)
+/// — the case where warm starts see non-trivial reuse.
+const LOADS: &[f64] = &[0.5, 0.85, 0.95];
+
+#[test]
+fn warm_start_schedules_match_cold_on_torus4x4_dvb() {
+    let platform = Platform::torus4x4(128.0);
+    let (tfg, alloc, timing) = standard_workload(&platform);
+    let tau_c = timing.longest_task(&tfg);
+    let topo = platform.topo.as_ref();
+
+    for &load in LOADS {
+        let period = tau_c / load;
+        let warm = CompileConfig {
+            warm_start: true,
+            parallelism: 1,
+            ..CompileConfig::default()
+        };
+        let cold = CompileConfig {
+            warm_start: false,
+            ..warm.clone()
+        };
+        let w = compile(topo, &tfg, &alloc, &timing, period, &warm)
+            .unwrap_or_else(|e| panic!("warm compile failed at load {load}: {e}"));
+        let c = compile(topo, &tfg, &alloc, &timing, period, &cold)
+            .unwrap_or_else(|e| panic!("cold compile failed at load {load}: {e}"));
+
+        assert_eq!(
+            w.capacity_scale().to_bits(),
+            c.capacity_scale().to_bits(),
+            "accepted capacity scale diverged at load {load}"
+        );
+        assert_eq!(
+            w.peak_utilization().to_bits(),
+            c.peak_utilization().to_bits(),
+            "peak utilization diverged at load {load}"
+        );
+        for i in 0..tfg.num_messages() {
+            assert_eq!(
+                w.assignment().path(MessageId(i)).nodes(),
+                c.assignment().path(MessageId(i)).nodes(),
+                "message {i} routed differently at load {load}"
+            );
+        }
+        assert_eq!(w.segments().len(), c.segments().len());
+        for (sw, sc) in w.segments().iter().zip(c.segments()) {
+            assert_eq!(sw.message, sc.message);
+            assert_eq!(sw.start.to_bits(), sc.start.to_bits());
+            assert_eq!(sw.end.to_bits(), sc.end.to_bits());
+        }
+    }
+}

@@ -1,4 +1,4 @@
-use sr_lp::{LpError, Problem, Relation, SolveStats, VarId};
+use sr_lp::{Basis, LpError, Problem, Relation, SolveStats, VarId};
 use sr_tfg::{MessageId, TimeBounds};
 use sr_topology::LinkId;
 
@@ -19,6 +19,41 @@ pub struct AllocationStats {
     pub vars: u64,
     /// LP constraints created across all subset LPs.
     pub constraints: u64,
+}
+
+/// Warm-start bases for the allocation subset LPs, keyed by subset
+/// position.
+///
+/// Each maximal related subset solves one LP; along a candidate's
+/// capacity-scale ladder the subset LPs are *structurally identical* — the
+/// assignment, activity, intervals, and subsets are fixed, only the
+/// capacity right-hand sides shrink — so the optimal basis of the previous
+/// scale is a legal warm start for the next one ([`sr_lp::Problem::solve_warm`]).
+/// The cache must be discarded whenever the assignment or subsets change
+/// (i.e. across seeds); reusing it would still be *correct* (a mismatched
+/// basis degrades to a cold solve) but would churn on misses.
+#[derive(Debug, Clone, Default)]
+pub struct AllocBasisCache {
+    bases: Vec<Option<Basis>>,
+}
+
+impl AllocBasisCache {
+    /// An empty cache (every subset LP starts cold).
+    pub fn new() -> Self {
+        AllocBasisCache::default()
+    }
+
+    /// Number of subset slots currently holding a reusable basis.
+    pub fn warm_slots(&self) -> usize {
+        self.bases.iter().filter(|b| b.is_some()).count()
+    }
+
+    fn slot(&mut self, si: usize) -> &mut Option<Basis> {
+        if self.bases.len() <= si {
+            self.bases.resize(si + 1, None);
+        }
+        &mut self.bases[si]
+    }
 }
 
 /// The message–interval allocation matrix `P = [p_ik]` (paper §5.2):
@@ -127,14 +162,62 @@ pub fn allocate_intervals_stats(
     let mut p = vec![vec![0.0; intervals.len()]; assignment.len()];
 
     for subset in subsets {
-        solve_subset(
+        solve_subset_capacities(
             assignment,
             bounds,
             activity,
             intervals,
             subset,
-            capacity_scale,
+            |_, k| capacity_scale * intervals.length(k),
             &mut p,
+            None,
+            stats,
+        )?;
+    }
+    Ok(IntervalAllocation { p })
+}
+
+/// [`allocate_intervals_stats`] with warm-started subset LPs.
+///
+/// Each subset LP warm-starts from the basis stored in `cache` at its
+/// subset position and deposits its own optimal basis back, so a caller
+/// walking a capacity-scale ladder (same assignment and subsets, shrinking
+/// capacities) skips phase 1 whenever the previous scale's split still fits
+/// — for these zero-objective feasibility systems that is the entire solve.
+///
+/// The *feasibility verdict* is identical to the cold path (it is a
+/// property of the LP, not the start point), but a warm solve may land on a
+/// different optimal vertex than a cold one, so the allocation matrix can
+/// differ. Callers that promise cold-identical output (the compile walk's
+/// accepted candidate) must re-derive it cold — see
+/// `CompileConfig::warm_start`.
+///
+/// # Errors
+///
+/// As [`allocate_intervals`].
+#[allow(clippy::too_many_arguments)]
+pub fn allocate_intervals_warm(
+    assignment: &PathAssignment,
+    bounds: &TimeBounds,
+    activity: &ActivityMatrix,
+    intervals: &Intervals,
+    subsets: &[Vec<MessageId>],
+    capacity_scale: f64,
+    cache: &mut AllocBasisCache,
+    stats: &mut AllocationStats,
+) -> Result<IntervalAllocation, CompileError> {
+    let mut p = vec![vec![0.0; intervals.len()]; assignment.len()];
+
+    for (si, subset) in subsets.iter().enumerate() {
+        solve_subset_capacities(
+            assignment,
+            bounds,
+            activity,
+            intervals,
+            subset,
+            |_, k| capacity_scale * intervals.length(k),
+            &mut p,
+            Some(cache.slot(si)),
             stats,
         )?;
     }
@@ -180,6 +263,76 @@ pub fn allocate_intervals_pinned(
     pinned: &IntervalAllocation,
     capacity_scale: f64,
 ) -> Result<IntervalAllocation, CompileError> {
+    allocate_intervals_pinned_impl(
+        assignment,
+        bounds,
+        activity,
+        intervals,
+        subsets,
+        affected,
+        pinned,
+        capacity_scale,
+        None,
+        &mut AllocationStats::default(),
+    )
+}
+
+/// [`allocate_intervals_pinned`] with warm-started subset LPs and work
+/// counters — the repair ladder's variant.
+///
+/// `sr-fault::repair` walks the same affected-message allocation across a
+/// shrinking capacity-scale ladder; the subset LPs differ only in their
+/// residual capacities (pinned traffic folded into the right-hand side), so
+/// the previous rung's bases warm-start the next. Same verdicts as the cold
+/// path; the affected rows' split may sit on a different optimal vertex.
+///
+/// # Errors
+///
+/// As [`allocate_intervals_pinned`].
+///
+/// # Panics
+///
+/// As [`allocate_intervals_pinned`].
+#[allow(clippy::too_many_arguments)]
+pub fn allocate_intervals_pinned_warm(
+    assignment: &PathAssignment,
+    bounds: &TimeBounds,
+    activity: &ActivityMatrix,
+    intervals: &Intervals,
+    subsets: &[Vec<MessageId>],
+    affected: &[MessageId],
+    pinned: &IntervalAllocation,
+    capacity_scale: f64,
+    cache: &mut AllocBasisCache,
+    stats: &mut AllocationStats,
+) -> Result<IntervalAllocation, CompileError> {
+    allocate_intervals_pinned_impl(
+        assignment,
+        bounds,
+        activity,
+        intervals,
+        subsets,
+        affected,
+        pinned,
+        capacity_scale,
+        Some(cache),
+        stats,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn allocate_intervals_pinned_impl(
+    assignment: &PathAssignment,
+    bounds: &TimeBounds,
+    activity: &ActivityMatrix,
+    intervals: &Intervals,
+    subsets: &[Vec<MessageId>],
+    affected: &[MessageId],
+    pinned: &IntervalAllocation,
+    capacity_scale: f64,
+    mut cache: Option<&mut AllocBasisCache>,
+    stats: &mut AllocationStats,
+) -> Result<IntervalAllocation, CompileError> {
     assert_eq!(
         pinned.num_messages(),
         assignment.len(),
@@ -220,8 +373,7 @@ pub fn allocate_intervals_pinned(
         }
     }
 
-    let mut stats = AllocationStats::default();
-    for subset in subsets {
+    for (si, subset) in subsets.iter().enumerate() {
         let members: Vec<MessageId> = subset
             .iter()
             .copied()
@@ -241,38 +393,20 @@ pub fn allocate_intervals_pinned(
                 (capacity_scale * intervals.length(k) - used).max(0.0)
             },
             &mut p,
-            &mut stats,
+            cache.as_deref_mut().map(|c| c.slot(si)),
+            stats,
         )?;
     }
     Ok(IntervalAllocation { p })
 }
 
-#[allow(clippy::too_many_arguments)]
-fn solve_subset(
-    assignment: &PathAssignment,
-    bounds: &TimeBounds,
-    activity: &ActivityMatrix,
-    intervals: &Intervals,
-    subset: &[MessageId],
-    capacity_scale: f64,
-    p: &mut [Vec<f64>],
-    stats: &mut AllocationStats,
-) -> Result<(), CompileError> {
-    solve_subset_capacities(
-        assignment,
-        bounds,
-        activity,
-        intervals,
-        subset,
-        |_, k| capacity_scale * intervals.length(k),
-        p,
-        stats,
-    )
-}
-
 /// One subset LP with an arbitrary per-link per-interval capacity function
 /// (full scaled interval length for a fresh compile, residual capacity
 /// after pinned traffic for incremental repair).
+///
+/// When `warm` is supplied the LP warm-starts from the slot's basis and the
+/// new optimal basis is stored back into it; `None` keeps the cold path
+/// (bit-identical to the pre-warm-start implementation).
 #[allow(clippy::too_many_arguments)]
 fn solve_subset_capacities<C>(
     assignment: &PathAssignment,
@@ -282,6 +416,7 @@ fn solve_subset_capacities<C>(
     subset: &[MessageId],
     capacity: C,
     p: &mut [Vec<f64>],
+    warm: Option<&mut Option<Basis>>,
     stats: &mut AllocationStats,
 ) -> Result<(), CompileError>
 where
@@ -334,7 +469,14 @@ where
     stats.lp_solves += 1;
     stats.vars += lp.num_vars() as u64;
     stats.constraints += lp.num_constraints() as u64;
-    let sol = match lp.solve_with_stats() {
+    let solved = match warm {
+        Some(slot) => lp.solve_warm(slot.as_ref()).map(|(s, basis, st)| {
+            *slot = basis;
+            (s, st)
+        }),
+        None => lp.solve_with_stats(),
+    };
+    let sol = match solved {
         Ok((s, solve_stats)) => {
             stats.lp.merge(&solve_stats);
             s

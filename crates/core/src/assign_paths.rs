@@ -8,6 +8,7 @@ use sr_mapping::Allocation;
 use sr_tfg::{MessageId, TaskFlowGraph, TimeBounds};
 use sr_topology::{NodeId, Path, Topology};
 
+use crate::utilization::UtilEval;
 use crate::{ActivityMatrix, Hotspot, Intervals, PathAssignment, UtilizationMap, EPS};
 
 /// Memoized shortest-path enumeration, keyed by `(source, destination)`.
@@ -315,7 +316,15 @@ fn hill_climb(
 
     let mut current = start;
     loop {
-        improve(&mut current, candidates, topo, &compute, config.max_inner);
+        improve(
+            &mut current,
+            candidates,
+            topo,
+            bounds,
+            intervals,
+            activity,
+            config.max_inner,
+        );
         let peak = compute(&current).effective_peak();
         if peak < best_peak - EPS {
             best = current.clone();
@@ -346,23 +355,31 @@ fn random_assignment(
 /// The inner do-while of Fig. 4: repeatedly attack the peak with the best
 /// reducing reroute, falling back to peak-repositioning reroutes, until no
 /// reroute changes anything (or the step cap is hit).
-fn improve<F>(
+///
+/// Trials run against an incrementally maintained [`UtilEval`] — apply the
+/// candidate path, read the peak, apply the original path back — instead of
+/// cloning the assignment and recomputing every link per trial. The
+/// evaluator's figures are bitwise identical to a full
+/// [`UtilizationMap::compute`], so every accept/reposition decision (and
+/// hence the heuristic's output) is unchanged.
+#[allow(clippy::too_many_arguments)]
+fn improve(
     current: &mut PathAssignment,
     candidates: &[&[Path]],
     topo: &dyn Topology,
-    compute: &F,
+    bounds: &TimeBounds,
+    intervals: &Intervals,
+    activity: &ActivityMatrix,
     max_inner: usize,
-) where
-    F: Fn(&PathAssignment) -> UtilizationMap,
-{
+) {
+    let mut eval = UtilEval::new(current, bounds, activity, intervals, topo.num_links());
     let mut seen_positions: Vec<(u64, Option<Hotspot>)> = Vec::new();
     for _ in 0..max_inner {
-        let u = compute(current);
-        let peak = u.effective_peak();
+        let peak = eval.effective_peak();
         if peak <= EPS {
             return; // nothing on the network
         }
-        let Some(location) = u.effective_location() else {
+        let Some(location) = eval.effective_location() else {
             return;
         };
         // Cycle guard for reposition-only progress.
@@ -384,33 +401,41 @@ fn improve<F>(
         let mut best_reduce: Option<(MessageId, usize, f64)> = None;
         let mut reposition: Option<(MessageId, usize)> = None;
         for &m in &reroutable {
+            let original = current.path(m).clone();
+            let mut moved = false;
             for (pi, alt) in candidates[m.index()].iter().enumerate() {
-                if alt == current.path(m) {
+                if *alt == original {
                     continue;
                 }
-                let mut trial = current.clone();
-                trial.set_path(m, alt.clone(), topo);
-                let tu = compute(&trial);
-                let tp = tu.effective_peak();
+                // Chain trials without undoing in between: the evaluator's
+                // state is a pure function of the assignment, so applying
+                // alt_i+1 over alt_i equals undo-then-apply, at half the
+                // link recomputations.
+                eval.set_path(current, m, alt.clone(), topo);
+                moved = true;
+                let tp = eval.effective_peak();
                 if tp < peak - EPS {
                     if best_reduce.is_none_or(|(_, _, bp)| tp < bp - EPS) {
                         best_reduce = Some((m, pi, tp));
                     }
                 } else if reposition.is_none()
                     && (tp - peak).abs() <= EPS
-                    && tu.effective_location() != Some(location)
+                    && eval.effective_location() != Some(location)
                 {
                     reposition = Some((m, pi));
                 }
+            }
+            if moved {
+                eval.set_path(current, m, original, topo);
             }
         }
 
         if let Some((m, pi, _)) = best_reduce {
             let p = candidates[m.index()][pi].clone();
-            current.set_path(m, p, topo);
+            eval.set_path(current, m, p, topo);
         } else if let Some((m, pi)) = reposition {
             let p = candidates[m.index()][pi].clone();
-            current.set_path(m, p, topo);
+            eval.set_path(current, m, p, topo);
         } else {
             return; // converged: no reroute changes the peak at all
         }

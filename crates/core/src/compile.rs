@@ -1,5 +1,4 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
 
 use sr_mapping::Allocation;
 use sr_obs::{span_with, Recorder, NOOP};
@@ -8,10 +7,10 @@ use sr_topology::{NodeId, Topology};
 
 use crate::interval_sched::{schedule_intervals_greedy, schedule_intervals_guarded_stats};
 use crate::{
-    allocate_intervals_stats, assign_paths_pooled, build_node_schedules, related_subsets,
-    ActivityMatrix, AllocationStats, AssignPathsConfig, CompileError, IntervalAllocation,
-    IntervalSchedStats, IntervalSchedule, Intervals, NodeSchedule, PathAssignment, PathPool,
-    Segment, UtilizationMap,
+    allocate_intervals_stats, allocate_intervals_warm, assign_paths_pooled, build_node_schedules,
+    related_subsets, ActivityMatrix, AllocBasisCache, AllocationStats, AssignPathsConfig,
+    CompileError, IntervalAllocation, IntervalSchedStats, IntervalSchedule, Intervals,
+    NodeSchedule, PathAssignment, PathPool, Segment, UtilizationMap,
 };
 
 /// Configuration of the end-to-end scheduled-routing compiler.
@@ -51,6 +50,19 @@ pub struct CompileConfig {
     /// exact schedule the serial search would: candidates are ranked by
     /// `(seed, scale)` and the lowest-ranked success wins.
     pub parallelism: usize,
+    /// Warm-start the allocation subset LPs along each seed's capacity-scale
+    /// ladder (default `true`).
+    ///
+    /// Scales after the first re-solve structurally identical LPs with
+    /// tighter capacities, so each subset LP is seeded from the previous
+    /// scale's optimal basis ([`crate::AllocBasisCache`]) — for these
+    /// zero-objective feasibility systems a warm hit skips the entire solve.
+    /// Feasibility *verdicts* are unaffected, and any warm-influenced
+    /// candidate that wins the walk is re-derived cold before the schedule
+    /// is emitted, so the accepted candidate and final schedule match a
+    /// `warm_start: false` compile; ladders are evaluated whole per seed,
+    /// so results stay bit-identical at any [`CompileConfig::parallelism`].
+    pub warm_start: bool,
     /// Fraction `ε ∈ [0, 1)` of link capacity held back at compile time as
     /// repair headroom: the schedulability test tightens to `U ≤ 1 − ε`
     /// and every capacity scale is multiplied by `1 − ε` during
@@ -74,6 +86,7 @@ impl Default for CompileConfig {
             greedy_interval_scheduling: false,
             guard_time: 0.0,
             parallelism: 0,
+            warm_start: true,
             spare_capacity: 0.0,
         }
     }
@@ -382,6 +395,35 @@ struct ScaleStats {
     isched: IntervalSchedStats,
 }
 
+impl ScaleStats {
+    /// Folds another candidate evaluation's work into this one — used when
+    /// a warm-influenced winner is re-derived cold, so the walk reports the
+    /// candidate's *total* work (warm probe plus cold confirmation).
+    fn absorb(&mut self, other: &ScaleStats) {
+        self.alloc.lp.merge(&other.alloc.lp);
+        self.alloc.lp_solves += other.alloc.lp_solves;
+        self.alloc.vars += other.alloc.vars;
+        self.alloc.constraints += other.alloc.constraints;
+        self.isched.lp.merge(&other.isched.lp);
+        self.isched.lp_solves += other.isched.lp_solves;
+        self.isched.feasible_sets += other.isched.feasible_sets;
+        self.isched.arena_cells += other.isched.arena_cells;
+        self.isched.singleton_fast_paths += other.isched.singleton_fast_paths;
+    }
+}
+
+/// One seed's full evaluation: the path-assignment stage plus however much
+/// of its capacity-scale ladder [`SearchCtx::eval_ladder`] walked. Ladders
+/// are always produced whole-seed (never one scale at a time) because with
+/// [`CompileConfig::warm_start`] each rung's warm basis cache depends on the
+/// rungs before it — evaluating a seed's ladder serially inside one job
+/// keeps every outcome a deterministic function of the seed alone, so the
+/// search stays bit-identical at any parallelism.
+struct SeedResult {
+    seed_out: SeedOutcome,
+    ladder: Vec<(ScaleOutcome, ScaleStats)>,
+}
+
 /// `candidate`-span outcome codes (the `outcome` arg in a Chrome trace).
 const OUTCOME_SCHEDULED: f64 = 0.0;
 const OUTCOME_UNSCHEDULABLE: f64 = 1.0;
@@ -395,6 +437,13 @@ fn add_lp_counters(rec: &dyn Recorder, prefix: &str, lp: &sr_lp::SolveStats) {
     rec.add(&format!("{prefix}.degenerate_pivots"), lp.degenerate_pivots);
     rec.add(&format!("{prefix}.bland_switches"), lp.bland_switches);
     rec.add(&format!("{prefix}.price_recomputes"), lp.price_recomputes);
+    // Sparse revised-simplex work (zero under the dense engine).
+    rec.add(&format!("{prefix}.factorizations"), lp.factorizations);
+    rec.add(&format!("{prefix}.refactorizations"), lp.refactorizations);
+    rec.add(&format!("{prefix}.eta_vectors"), lp.eta_vectors);
+    rec.add(&format!("{prefix}.eta_nonzeros"), lp.eta_nonzeros);
+    rec.add(&format!("{prefix}.warm_hits"), lp.warm_hits);
+    rec.add(&format!("{prefix}.warm_misses"), lp.warm_misses);
 }
 
 /// Shared inputs of the feedback search over `(seed, scale)` candidates.
@@ -454,10 +503,18 @@ impl SearchCtx<'_> {
     }
 
     /// Allocates message–interval shares at `scale` capacity and schedules
-    /// the intervals. Deterministic per `(seed artifacts, scale)`; the
-    /// returned [`ScaleStats`] are likewise deterministic and left to the
-    /// walk to report.
-    fn eval_scale(&self, ev: &SeedEval, sidx: usize, si: usize) -> (ScaleOutcome, ScaleStats) {
+    /// the intervals. Deterministic per `(seed artifacts, scale, cache
+    /// state)`; the returned [`ScaleStats`] are likewise deterministic and
+    /// left to the walk to report. With a basis `cache` the subset LPs are
+    /// warm-started from (and update) the previous rung's optimal bases;
+    /// `None` is the cold evaluation.
+    fn eval_scale(
+        &self,
+        ev: &SeedEval,
+        sidx: usize,
+        si: usize,
+        cache: Option<&mut AllocBasisCache>,
+    ) -> (ScaleOutcome, ScaleStats) {
         let scale = self.scales[si];
         let mut stats = ScaleStats::default();
         let candidate = span_with(self.rec, "candidate", || {
@@ -465,17 +522,30 @@ impl SearchCtx<'_> {
         });
 
         let alloc_span = sr_obs::span(self.rec, "phase.allocate_intervals");
-        let allocated = allocate_intervals_stats(
-            &ev.assignment,
-            self.bounds,
-            self.activity,
-            self.intervals,
-            &ev.subsets,
-            // Spare capacity shrinks what the allocation may hand out; the
-            // stored `capacity_scale` stays the nominal ladder value.
-            scale * (1.0 - self.config.spare_capacity),
-            &mut stats.alloc,
-        );
+        // Spare capacity shrinks what the allocation may hand out; the
+        // stored `capacity_scale` stays the nominal ladder value.
+        let effective = scale * (1.0 - self.config.spare_capacity);
+        let allocated = match cache {
+            Some(cache) => allocate_intervals_warm(
+                &ev.assignment,
+                self.bounds,
+                self.activity,
+                self.intervals,
+                &ev.subsets,
+                effective,
+                cache,
+                &mut stats.alloc,
+            ),
+            None => allocate_intervals_stats(
+                &ev.assignment,
+                self.bounds,
+                self.activity,
+                self.intervals,
+                &ev.subsets,
+                effective,
+                &mut stats.alloc,
+            ),
+        };
         alloc_span.annotate("lp_pivots", stats.alloc.lp.pivots as f64);
         drop(alloc_span);
         let allocation = match allocated {
@@ -529,18 +599,73 @@ impl SearchCtx<'_> {
         (outcome, stats)
     }
 
+    /// Walks one viable seed's capacity-scale ladder in rank order,
+    /// threading the warm-basis cache from rung to rung when
+    /// [`CompileConfig::warm_start`] is set. Stops at the first terminal
+    /// rung (scheduled, allocation-infeasible, or hard error) or when the
+    /// `best` watermark proves no remaining rung can win.
+    ///
+    /// A warm-influenced rung that schedules is immediately **re-derived
+    /// cold** and the cold outcome replaces it (with both evaluations'
+    /// stats merged): the warm solve may sit on a different optimal vertex
+    /// of the same polytope, and the compile contract is that the emitted
+    /// schedule equals the `warm_start: false` one. Rung 0 needs no
+    /// confirmation — its cache is empty, so its solves are cold already.
+    fn eval_ladder(
+        &self,
+        ev: &SeedEval,
+        sidx: usize,
+        best: &AtomicUsize,
+    ) -> Vec<(ScaleOutcome, ScaleStats)> {
+        let num_scales = self.scales.len();
+        let mut cache = self.config.warm_start.then(AllocBasisCache::new);
+        let mut ladder = Vec::new();
+        for si in 0..num_scales {
+            if sidx * num_scales + si > best.load(Ordering::Relaxed) {
+                break;
+            }
+            let (mut out, mut stats) = self.eval_scale(ev, sidx, si, cache.as_mut());
+            if matches!(out, ScaleOutcome::Scheduled { .. }) && si > 0 && cache.is_some() {
+                let (cold_out, cold_stats) = self.eval_scale(ev, sidx, si, None);
+                stats.absorb(&cold_stats);
+                out = cold_out;
+            }
+            if matches!(out, ScaleOutcome::Scheduled { .. }) {
+                best.fetch_min(sidx * num_scales + si, Ordering::Relaxed);
+            }
+            let stop = !matches!(out, ScaleOutcome::Unschedulable(_));
+            ladder.push((out, stats));
+            if stop {
+                break;
+            }
+        }
+        ladder
+    }
+
+    /// [`Self::eval_seed`] plus [`Self::eval_ladder`]: everything one seed
+    /// contributes to the search, computed as a single deterministic job.
+    fn eval_seed_full(&self, sidx: usize, best: &AtomicUsize) -> SeedResult {
+        let seed_out = self.eval_seed(sidx);
+        let ladder = match &seed_out {
+            SeedOutcome::Viable(ev) => self.eval_ladder(ev, sidx, best),
+            SeedOutcome::Utilization { .. } => Vec::new(),
+        };
+        SeedResult { seed_out, ladder }
+    }
+
     /// The feedback search over the `(seed, scale)` candidate grid.
     ///
     /// Selection is a serial replay of the paper's feedback loops over
-    /// candidate ranks `(seed-major, scale-minor)`; any candidate the walk
+    /// candidate ranks `(seed-major, scale-minor)`; any seed the walk
     /// needs that has no precomputed result is evaluated on the spot. With
-    /// `threads > 1` the grid is speculatively filled first by a worker
-    /// pool (scale-major claim order, so every seed's first-choice
-    /// candidate starts early), with an atomic rank watermark cancelling
-    /// candidates that can no longer win. Either way the walk — and hence
+    /// `threads > 1` the seeds are speculatively evaluated first by a
+    /// worker pool — each job runs one seed's path assignment and then its
+    /// whole capacity-scale ladder (so the ladder's warm-basis chain stays
+    /// inside one job) — with an atomic rank watermark cancelling seeds and
+    /// ladder tails that can no longer win. Either way the walk — and hence
     /// the returned schedule or error — is identical to a fully serial
-    /// search, because every stage is a deterministic function of its
-    /// inputs.
+    /// search, because every seed's result is a deterministic function of
+    /// its inputs.
     fn search(&self, threads: usize) -> Result<Schedule, CompileError> {
         let result = self.search_walk(threads);
         // Path-pool traffic is inherently thread-dependent (see
@@ -556,45 +681,32 @@ impl SearchCtx<'_> {
         let num_seeds = self.config.path_retry_seeds + 1;
         let num_scales = self.scales.len();
 
-        let mut seeds: Vec<Option<SeedOutcome>> = (0..num_seeds).map(|_| None).collect();
-        let mut slots: Vec<Option<(ScaleOutcome, ScaleStats)>> =
-            (0..num_seeds * num_scales).map(|_| None).collect();
+        let mut results: Vec<Option<SeedResult>> = (0..num_seeds).map(|_| None).collect();
 
         if threads > 1 {
-            // Speculative parallel fill. `best` is the lowest candidate
-            // rank known to have scheduled; anything ranked above it is
-            // skipped (the walk re-evaluates lazily in the rare case a
-            // skipped candidate still matters).
-            let seed_cells: Vec<OnceLock<SeedOutcome>> =
-                (0..num_seeds).map(|_| OnceLock::new()).collect();
+            // Speculative parallel fill, one job per seed. `best` is the
+            // lowest candidate rank known to have scheduled; a seed whose
+            // lowest possible rank exceeds it is skipped outright, and a
+            // running ladder stops extending past it. The walk below never
+            // consumes a skipped/truncated entry while a better winner
+            // exists, and re-evaluates lazily in the rare case one still
+            // matters.
             let best = AtomicUsize::new(usize::MAX);
-            let jobs: Vec<(usize, usize)> = (0..num_scales)
-                .flat_map(|si| (0..num_seeds).map(move |sidx| (sidx, si)))
-                .collect();
-            let results = sr_par::par_map(&jobs, threads, |&(sidx, si)| {
-                let rank = sidx * num_scales + si;
-                if rank > best.load(Ordering::Relaxed) {
+            let jobs: Vec<usize> = (0..num_seeds).collect();
+            let fill = sr_par::par_map(&jobs, threads, |&sidx| {
+                if sidx * num_scales > best.load(Ordering::Relaxed) {
                     return None;
                 }
-                let seed_out = seed_cells[sidx].get_or_init(|| self.eval_seed(sidx));
-                let SeedOutcome::Viable(ev) = seed_out else {
-                    return None;
-                };
-                let out = self.eval_scale(ev, sidx, si);
-                if matches!(out.0, ScaleOutcome::Scheduled { .. }) {
-                    best.fetch_min(rank, Ordering::Relaxed);
-                }
-                Some((rank, out))
+                Some(self.eval_seed_full(sidx, &best))
             });
-            let mut scale_evals = 0u64;
-            for (rank, out) in results.into_iter().flatten() {
-                slots[rank] = Some(out);
-                scale_evals += 1;
-            }
             let mut seed_evals = 0u64;
-            for (cell, seed) in seed_cells.into_iter().zip(seeds.iter_mut()) {
-                *seed = cell.into_inner();
-                seed_evals += seed.is_some() as u64;
+            let mut scale_evals = 0u64;
+            for (slot, filled) in results.iter_mut().zip(fill) {
+                if let Some(r) = filled {
+                    seed_evals += 1;
+                    scale_evals += r.ladder.len() as u64;
+                    *slot = Some(r);
+                }
             }
             // How much the speculative fill actually computed — depends on
             // worker timing, hence `par.`.
@@ -606,11 +718,14 @@ impl SearchCtx<'_> {
         // non-`par.` counters are emitted here, from the consumed outcomes
         // only, so their values are independent of the thread count.
         let rec = self.rec;
+        let unbounded = AtomicUsize::new(usize::MAX);
         let mut first_err: Option<CompileError> = None;
-        for (sidx, seed_cell) in seeds.iter_mut().enumerate() {
-            let seed_out = seed_cell.take().unwrap_or_else(|| self.eval_seed(sidx));
+        for (sidx, slot) in results.iter_mut().enumerate() {
+            let seed_result = slot
+                .take()
+                .unwrap_or_else(|| self.eval_seed_full(sidx, &unbounded));
             rec.add("search.seeds_walked", 1);
-            let ev = match seed_out {
+            let ev = match seed_result.seed_out {
                 SeedOutcome::Viable(ev) => ev,
                 SeedOutcome::Utilization { err, restarts } => {
                     rec.add("assign_paths.restarts", restarts);
@@ -620,13 +735,25 @@ impl SearchCtx<'_> {
                 }
             };
             rec.add("assign_paths.restarts", ev.restarts);
+            // A speculative ladder may have been truncated by the rank
+            // watermark. The walk only reaches such a seed when every
+            // lower-ranked candidate failed — in which case the watermark
+            // that truncated it has since been proven stale — so re-derive
+            // the whole ladder (the warm-basis chain must restart from rung
+            // 0 to reproduce the serial result exactly).
+            let terminal = seed_result
+                .ladder
+                .last()
+                .is_some_and(|(out, _)| !matches!(out, ScaleOutcome::Unschedulable(_)));
+            let ladder = if terminal || seed_result.ladder.len() == num_scales {
+                seed_result.ladder
+            } else {
+                self.eval_ladder(&ev, sidx, &unbounded)
+            };
             let mut last_err: Option<CompileError> = None;
             let mut seed_err: Option<CompileError> = None;
-            for si in 0..num_scales {
+            for (si, (out, stats)) in ladder.into_iter().enumerate() {
                 let rank = sidx * num_scales + si;
-                let (out, stats) = slots[rank]
-                    .take()
-                    .unwrap_or_else(|| self.eval_scale(&ev, sidx, si));
                 rec.add("search.candidates_walked", 1);
                 self.report_scale_stats(&stats);
                 match out {

@@ -172,33 +172,42 @@ pub fn schedule_intervals_guarded_stats(
     Ok(out)
 }
 
-/// Dense pairwise link-conflict matrix over one related subset's positions,
-/// stored as a flat `n × n` bool buffer.
+/// Pairwise link-conflict matrix over one related subset's positions,
+/// stored as packed `u64` bitset rows: bit `j` of row `i` is set when
+/// messages `i` and `j` share a link. The row layout lets the independent-
+/// set DFS keep one *forbidden* mask per depth (the union of the stack
+/// members' rows) and test a candidate with a single bit probe instead of
+/// scanning the stack.
 struct ConflictMatrix {
-    n: usize,
-    bits: Vec<bool>,
+    /// `u64` words per row (`⌈n/64⌉`).
+    words: usize,
+    rows: Vec<u64>,
 }
 
 impl ConflictMatrix {
     fn new(assignment: &PathAssignment, subset: &[MessageId]) -> Self {
         let n = subset.len();
-        let mut bits = vec![false; n * n];
+        let words = n.div_ceil(64);
+        let mut rows = vec![0u64; n * words];
         for i in 0..n {
             for j in i + 1..n {
                 let clash = assignment
                     .links(subset[i])
                     .iter()
                     .any(|l| assignment.links(subset[j]).contains(l));
-                bits[i * n + j] = clash;
-                bits[j * n + i] = clash;
+                if clash {
+                    rows[i * words + j / 64] |= 1u64 << (j % 64);
+                    rows[j * words + i / 64] |= 1u64 << (i % 64);
+                }
             }
         }
-        ConflictMatrix { n, bits }
+        ConflictMatrix { words, rows }
     }
 
+    /// Bitset row of position `i`.
     #[inline]
-    fn clashes(&self, i: usize, j: usize) -> bool {
-        self.bits[i * self.n + j]
+    fn row(&self, i: usize) -> &[u64] {
+        &self.rows[i * self.words..(i + 1) * self.words]
     }
 }
 
@@ -212,6 +221,10 @@ struct SubsetScratch {
     /// Subset positions with positive allocation in the current interval.
     active: Vec<usize>,
     stack: Vec<usize>,
+    /// Per-depth forbidden masks for the DFS: level `d` holds the union of
+    /// the conflict rows of the first `d` stack members, `words` `u64`s per
+    /// level.
+    forbidden: Vec<u64>,
     set_data: Vec<usize>,
     set_ends: Vec<usize>,
     member_sets: Vec<Vec<usize>>,
@@ -448,6 +461,11 @@ fn enumerate_independent(
     scratch: &mut SubsetScratch,
     cap: usize,
 ) -> bool {
+    let words = conflict.words;
+    scratch.forbidden.clear();
+    scratch
+        .forbidden
+        .resize((scratch.active.len() + 1) * words, 0);
     enumerate_rec(conflict, scratch, 0, cap)
 }
 
@@ -457,14 +475,20 @@ fn enumerate_rec(
     from: usize,
     cap: usize,
 ) -> bool {
+    let words = conflict.words;
+    let depth = scratch.stack.len();
     for vi in from..scratch.active.len() {
         let v = scratch.active[vi];
-        let clashes = scratch
-            .stack
-            .iter()
-            .any(|&ui| conflict.clashes(scratch.active[ui], v));
-        if clashes {
+        if scratch.forbidden[depth * words + v / 64] >> (v % 64) & 1 != 0 {
             continue;
+        }
+        // Extend the forbidden mask into the next level: everything the
+        // stack forbids plus everything `v` conflicts with.
+        let (cur_levels, next_level) = scratch.forbidden.split_at_mut((depth + 1) * words);
+        let cur = &cur_levels[depth * words..];
+        let row = conflict.row(v);
+        for w in 0..words {
+            next_level[w] = cur[w] | row[w];
         }
         scratch.stack.push(vi);
         let set_id = scratch.set_ends.len();

@@ -81,7 +81,8 @@ mod utilization;
 mod verify;
 
 pub use allocation_lp::{
-    allocate_intervals, allocate_intervals_pinned, allocate_intervals_stats, AllocationStats,
+    allocate_intervals, allocate_intervals_pinned, allocate_intervals_pinned_warm,
+    allocate_intervals_stats, allocate_intervals_warm, AllocBasisCache, AllocationStats,
     IntervalAllocation,
 };
 pub use assign_paths::{

@@ -39,6 +39,219 @@ pub struct UtilizationMap {
     hall_at: Option<LinkId>,
 }
 
+/// Per-message inputs of the utilization computation, gathered once so the
+/// per-link passes (full and incremental alike) read plain arrays.
+struct MsgInputs {
+    durations: Vec<f64>,
+    no_slack: Vec<bool>,
+    actives: Vec<Vec<usize>>,
+    /// Activity signatures as interval bitmasks — populated only when the
+    /// frame has at most 64 intervals (the common case), enabling the
+    /// word-parallel Hall-bound path.
+    masks: Option<Vec<u64>>,
+}
+
+impl MsgInputs {
+    fn new(n: usize, bounds: &TimeBounds, activity: &ActivityMatrix, k_count: usize) -> Self {
+        let mut durations = Vec::with_capacity(n);
+        let mut no_slack = Vec::with_capacity(n);
+        let mut actives = Vec::with_capacity(n);
+        for i in 0..n {
+            let m = MessageId(i);
+            let w = bounds.window(m);
+            durations.push(w.duration());
+            no_slack.push(w.is_no_slack());
+            actives.push(activity.active_intervals(m));
+        }
+        let masks = (k_count <= 64).then(|| {
+            actives
+                .iter()
+                .map(|ks| ks.iter().fold(0u64, |acc, &k| acc | (1u64 << k)))
+                .collect()
+        });
+        MsgInputs {
+            durations,
+            no_slack,
+            actives,
+            masks,
+        }
+    }
+}
+
+/// Reusable per-link work buffers (one interval slot each).
+struct LinkScratch {
+    used: Vec<bool>,
+    spots: Vec<usize>,
+}
+
+impl LinkScratch {
+    fn new(k_count: usize) -> Self {
+        LinkScratch {
+            used: vec![false; k_count],
+            spots: vec![0; k_count],
+        }
+    }
+}
+
+/// One link's derived quantities. `spots` lives in the caller's scratch.
+struct LinkFigures {
+    tx: f64,
+    util: f64,
+    hall: f64,
+}
+
+/// Computes one link's utilization figures from its (ascending) message
+/// list. This is the single source of truth for per-link arithmetic: the
+/// full [`UtilizationMap::compute`] and the incremental [`UtilEval`] both
+/// call it, so their floating-point results are bitwise identical by
+/// construction (contributions always accumulate in ascending message
+/// order).
+fn link_figures(
+    msgs: &[usize],
+    inputs: &MsgInputs,
+    intervals: &Intervals,
+    scratch: &mut LinkScratch,
+) -> LinkFigures {
+    let k_count = scratch.used.len();
+    scratch.used.fill(false);
+    scratch.spots.fill(0);
+    let mut tx = 0.0f64;
+    for &i in msgs {
+        tx += inputs.durations[i];
+        let no_slack = inputs.no_slack[i];
+        for &k in &inputs.actives[i] {
+            scratch.used[k] = true;
+            if no_slack {
+                scratch.spots[k] += 1;
+            }
+        }
+    }
+    let util = if tx <= 0.0 {
+        0.0
+    } else {
+        let denom: f64 = (0..k_count)
+            .filter(|&k| scratch.used[k])
+            .map(|k| intervals.length(k))
+            .sum();
+        if denom > 0.0 {
+            tx / denom
+        } else {
+            f64::INFINITY
+        }
+    };
+    LinkFigures {
+        tx,
+        util,
+        hall: hall_bound(msgs, inputs, intervals),
+    }
+}
+
+/// Hall-type group bound for one link: for small unions `S` of the distinct
+/// activity signatures found on it, the messages active only inside `S`
+/// demand at most `|S|` of link time. Def. 5.1's union denominator cannot
+/// see such sub-window overloads (the paper notes its conditions are only
+/// necessary); this bound catches the common case of same-release messages
+/// funneling into one link.
+fn hall_bound(msgs: &[usize], inputs: &MsgInputs, intervals: &Intervals) -> f64 {
+    if msgs.len() < 2 {
+        return 0.0;
+    }
+    if let Some(masks) = &inputs.masks {
+        return hall_bound_masked(msgs, inputs, masks, intervals);
+    }
+    let sigs: Vec<Vec<usize>> = {
+        let mut s: Vec<Vec<usize>> = msgs.iter().map(|&i| inputs.actives[i].clone()).collect();
+        s.sort();
+        s.dedup();
+        s
+    };
+    let mut candidates: Vec<Vec<usize>> = sigs.clone();
+    for a in 0..sigs.len() {
+        for b in (a + 1)..sigs.len() {
+            let mut u = sigs[a].clone();
+            u.extend_from_slice(&sigs[b]);
+            u.sort_unstable();
+            u.dedup();
+            candidates.push(u);
+        }
+    }
+    let mut hall = 0.0f64;
+    for s in candidates {
+        let len: f64 = s.iter().map(|&k| intervals.length(k)).sum();
+        if len <= 0.0 {
+            continue;
+        }
+        let demand: f64 = msgs
+            .iter()
+            .filter(|&&i| inputs.actives[i].iter().all(|k| s.contains(k)))
+            .map(|&i| inputs.durations[i])
+            .sum();
+        let ratio = demand / len;
+        if ratio > hall {
+            hall = ratio;
+        }
+    }
+    hall
+}
+
+/// Word-parallel [`hall_bound`] for frames with at most 64 intervals. The
+/// candidate set (distinct signatures plus pairwise unions) is identical to
+/// the list path's, and each candidate's length and demand are summed in
+/// ascending interval / ascending message order, so the returned maximum is
+/// bitwise identical — only the order candidates are *visited* in differs,
+/// which a max over identical values cannot observe.
+fn hall_bound_masked(
+    msgs: &[usize],
+    inputs: &MsgInputs,
+    masks: &[u64],
+    intervals: &Intervals,
+) -> f64 {
+    let mut sigs: Vec<u64> = msgs.iter().map(|&i| masks[i]).collect();
+    sigs.sort_unstable();
+    sigs.dedup();
+    let mut hall = 0.0f64;
+    let mut consider = |s: u64| {
+        let mut len = 0.0f64;
+        let mut t = s;
+        while t != 0 {
+            len += intervals.length(t.trailing_zeros() as usize);
+            t &= t - 1;
+        }
+        if len <= 0.0 {
+            return;
+        }
+        let demand: f64 = msgs
+            .iter()
+            .filter(|&&i| masks[i] & !s == 0)
+            .map(|&i| inputs.durations[i])
+            .sum();
+        let ratio = demand / len;
+        if ratio > hall {
+            hall = ratio;
+        }
+    };
+    for &s in &sigs {
+        consider(s);
+    }
+    for a in 0..sigs.len() {
+        for b in (a + 1)..sigs.len() {
+            consider(sigs[a] | sigs[b]);
+        }
+    }
+    hall
+}
+
+/// The ascending message list of every link.
+fn per_link_messages(assignment: &PathAssignment, num_links: usize) -> Vec<Vec<usize>> {
+    let mut per_link: Vec<Vec<usize>> = vec![Vec::new(); num_links];
+    for i in 0..assignment.len() {
+        for &l in assignment.links(MessageId(i)) {
+            per_link[l.index()].push(i);
+        }
+    }
+    per_link
+}
+
 impl UtilizationMap {
     /// Computes all utilizations for `assignment` under the given time
     /// bounds.
@@ -50,115 +263,40 @@ impl UtilizationMap {
         num_links: usize,
     ) -> Self {
         let k_count = intervals.len();
-        let mut tx_sum = vec![0.0f64; num_links];
-        let mut interval_used = vec![vec![false; k_count]; num_links];
-        let mut spot_count = vec![vec![0usize; k_count]; num_links];
-        let mut per_link_msgs: Vec<Vec<usize>> = vec![Vec::new(); num_links];
-
-        for i in 0..assignment.len() {
-            let m = MessageId(i);
-            let w = bounds.window(m);
-            let no_slack = w.is_no_slack();
-            let actives = activity.active_intervals(m);
-            for &l in assignment.links(m) {
-                tx_sum[l.index()] += w.duration();
-                per_link_msgs[l.index()].push(i);
-                for &k in &actives {
-                    interval_used[l.index()][k] = true;
-                    if no_slack {
-                        spot_count[l.index()][k] += 1;
-                    }
-                }
-            }
-        }
+        let inputs = MsgInputs::new(assignment.len(), bounds, activity, k_count);
+        let per_link_msgs = per_link_messages(assignment, num_links);
+        let mut scratch = LinkScratch::new(k_count);
 
         let mut link_util = vec![0.0f64; num_links];
         let mut peak_value = 0.0f64;
         let mut peak_at = None;
         let mut spots = Vec::new();
+        let mut hall_peak = 0.0f64;
+        let mut hall_at = None;
 
-        for l in 0..num_links {
-            if tx_sum[l] <= 0.0 {
-                continue;
-            }
-            let denom: f64 = (0..k_count)
-                .filter(|&k| interval_used[l][k])
-                .map(|k| intervals.length(k))
-                .sum();
-            let u = if denom > 0.0 {
-                tx_sum[l] / denom
-            } else {
-                f64::INFINITY
-            };
-            link_util[l] = u;
-            if u > peak_value {
-                peak_value = u;
-                peak_at = Some(Hotspot::Link(LinkId(l)));
-            }
-            #[allow(clippy::needless_range_loop)] // `k` is also the interval index
-            for k in 0..k_count {
-                let c = spot_count[l][k];
-                if c > 0 {
-                    spots.push((LinkId(l), k, c));
-                    if c as f64 > peak_value {
-                        peak_value = c as f64;
-                        peak_at = Some(Hotspot::Spot(LinkId(l), k));
+        for (l, msgs) in per_link_msgs.iter().enumerate() {
+            let fig = link_figures(msgs, &inputs, intervals, &mut scratch);
+            if fig.tx > 0.0 {
+                link_util[l] = fig.util;
+                if fig.util > peak_value {
+                    peak_value = fig.util;
+                    peak_at = Some(Hotspot::Link(LinkId(l)));
+                }
+                #[allow(clippy::needless_range_loop)] // `k` is also the interval index
+                for k in 0..k_count {
+                    let c = scratch.spots[k];
+                    if c > 0 {
+                        spots.push((LinkId(l), k, c));
+                        if c as f64 > peak_value {
+                            peak_value = c as f64;
+                            peak_at = Some(Hotspot::Spot(LinkId(l), k));
+                        }
                     }
                 }
             }
-        }
-
-        // Hall-type group bound: for each link, for small unions S of the
-        // distinct activity signatures found on it, the messages active only
-        // inside S demand at most |S| of link time. Def. 5.1's union
-        // denominator cannot see such sub-window overloads (the paper notes
-        // its conditions are only necessary); this bound catches the common
-        // case of same-release messages funneling into one link.
-        let mut hall_peak = 0.0f64;
-        let mut hall_at = None;
-        for (l, msgs) in per_link_msgs.iter().enumerate() {
-            if msgs.len() < 2 {
-                continue;
-            }
-            let sigs: Vec<Vec<usize>> = {
-                let mut s: Vec<Vec<usize>> = msgs
-                    .iter()
-                    .map(|&i| activity.active_intervals(MessageId(i)))
-                    .collect();
-                s.sort();
-                s.dedup();
-                s
-            };
-            let mut candidates: Vec<Vec<usize>> = sigs.clone();
-            for a in 0..sigs.len() {
-                for b in (a + 1)..sigs.len() {
-                    let mut u = sigs[a].clone();
-                    u.extend_from_slice(&sigs[b]);
-                    u.sort_unstable();
-                    u.dedup();
-                    candidates.push(u);
-                }
-            }
-            for s in candidates {
-                let len: f64 = s.iter().map(|&k| intervals.length(k)).sum();
-                if len <= 0.0 {
-                    continue;
-                }
-                let demand: f64 = msgs
-                    .iter()
-                    .filter(|&&i| {
-                        activity
-                            .active_intervals(MessageId(i))
-                            .iter()
-                            .all(|k| s.contains(k))
-                    })
-                    .map(|&i| bounds.window(MessageId(i)).duration())
-                    .sum();
-                let ratio = demand / len;
-                if ratio > hall_peak {
-                    hall_peak = ratio;
-                    hall_at = Some(LinkId(l));
-                }
+            if fig.hall > hall_peak {
+                hall_peak = fig.hall;
+                hall_at = Some(LinkId(l));
             }
         }
 
@@ -239,6 +377,183 @@ impl UtilizationMap {
     }
 }
 
+/// Incrementally maintained effective-peak evaluator for the `AssignPaths`
+/// hill climb.
+///
+/// [`UtilizationMap::compute`] is a pure per-link reduction, so rerouting
+/// one message can only change the figures of links on its old and new
+/// paths. This evaluator caches every link's figures and, on
+/// [`UtilEval::set_path`], recomputes just the touched links (via the same
+/// [`link_figures`] the full computation uses, over the same
+/// ascending-message lists) and rescans the cached per-link values for the
+/// peak. The result is **bitwise identical** to a fresh
+/// `UtilizationMap::compute` of the updated assignment — same peak, same
+/// location, same tie-breaks — while a reroute trial costs `O(touched
+/// links + num_links)` instead of `O(messages × links)`.
+///
+/// Undo is just another `set_path`: every cached figure is a pure function
+/// of the assignment, so restoring a path restores the evaluator's state
+/// exactly.
+pub(crate) struct UtilEval<'a> {
+    intervals: &'a Intervals,
+    inputs: MsgInputs,
+    per_link_msgs: Vec<Vec<usize>>,
+    tx_sum: Vec<f64>,
+    link_util: Vec<f64>,
+    /// Per link: the row maximum of the no-slack spot counts and the first
+    /// interval achieving it. The full computation's running `c > peak`
+    /// scan always lands on the first occurrence of the row maximum, so
+    /// this pair is enough to reproduce its selection exactly.
+    spot_max: Vec<usize>,
+    spot_arg: Vec<usize>,
+    hall_link: Vec<f64>,
+    scratch: LinkScratch,
+    touched: Vec<usize>,
+    peak_value: f64,
+    peak_at: Option<Hotspot>,
+    hall_peak: f64,
+    hall_at: Option<LinkId>,
+}
+
+impl<'a> UtilEval<'a> {
+    pub(crate) fn new(
+        assignment: &PathAssignment,
+        bounds: &TimeBounds,
+        activity: &ActivityMatrix,
+        intervals: &'a Intervals,
+        num_links: usize,
+    ) -> Self {
+        let mut eval = UtilEval {
+            intervals,
+            inputs: MsgInputs::new(assignment.len(), bounds, activity, intervals.len()),
+            per_link_msgs: per_link_messages(assignment, num_links),
+            tx_sum: vec![0.0; num_links],
+            link_util: vec![0.0; num_links],
+            spot_max: vec![0; num_links],
+            spot_arg: vec![0; num_links],
+            hall_link: vec![0.0; num_links],
+            scratch: LinkScratch::new(intervals.len()),
+            touched: Vec::new(),
+            peak_value: 0.0,
+            peak_at: None,
+            hall_peak: 0.0,
+            hall_at: None,
+        };
+        for l in 0..num_links {
+            eval.recompute_link(l);
+        }
+        eval.rescan();
+        eval
+    }
+
+    /// Applies a reroute to `assignment` and brings the evaluator up to
+    /// date with it.
+    pub(crate) fn set_path(
+        &mut self,
+        assignment: &mut PathAssignment,
+        m: MessageId,
+        path: sr_topology::Path,
+        topo: &dyn sr_topology::Topology,
+    ) {
+        let i = m.index();
+        self.touched.clear();
+        for &l in assignment.links(m) {
+            let v = &mut self.per_link_msgs[l.index()];
+            if let Ok(pos) = v.binary_search(&i) {
+                v.remove(pos);
+            }
+            self.touched.push(l.index());
+        }
+        assignment.set_path(m, path, topo);
+        for &l in assignment.links(m) {
+            let v = &mut self.per_link_msgs[l.index()];
+            if let Err(pos) = v.binary_search(&i) {
+                v.insert(pos, i);
+            }
+            self.touched.push(l.index());
+        }
+        self.touched.sort_unstable();
+        self.touched.dedup();
+        let touched = std::mem::take(&mut self.touched);
+        for &l in &touched {
+            self.recompute_link(l);
+        }
+        self.touched = touched;
+        self.rescan();
+    }
+
+    /// `max(peak, hall_peak)`, equal to
+    /// [`UtilizationMap::effective_peak`] of the current assignment.
+    pub(crate) fn effective_peak(&self) -> f64 {
+        self.peak_value.max(self.hall_peak)
+    }
+
+    /// Where the effective peak occurs, equal to
+    /// [`UtilizationMap::effective_location`] of the current assignment.
+    pub(crate) fn effective_location(&self) -> Option<Hotspot> {
+        if self.hall_peak > self.peak_value {
+            self.hall_at.map(Hotspot::Group)
+        } else {
+            self.peak_at
+        }
+    }
+
+    fn recompute_link(&mut self, l: usize) {
+        let fig = link_figures(
+            &self.per_link_msgs[l],
+            &self.inputs,
+            self.intervals,
+            &mut self.scratch,
+        );
+        self.tx_sum[l] = fig.tx;
+        self.link_util[l] = if fig.tx > 0.0 { fig.util } else { 0.0 };
+        self.hall_link[l] = fig.hall;
+        let mut smax = 0usize;
+        let mut sarg = 0usize;
+        for (k, &c) in self.scratch.spots.iter().enumerate() {
+            if c > smax {
+                smax = c;
+                sarg = k;
+            }
+        }
+        self.spot_max[l] = smax;
+        self.spot_arg[l] = sarg;
+    }
+
+    /// Re-derives the global peak from the cached per-link figures with the
+    /// exact selection order of [`UtilizationMap::compute`]: links in
+    /// ascending index, each link's net utilization before its spot counts,
+    /// strict `>` everywhere.
+    fn rescan(&mut self) {
+        let mut peak_value = 0.0f64;
+        let mut peak_at = None;
+        let mut hall_peak = 0.0f64;
+        let mut hall_at = None;
+        for l in 0..self.tx_sum.len() {
+            if self.tx_sum[l] > 0.0 {
+                let u = self.link_util[l];
+                if u > peak_value {
+                    peak_value = u;
+                    peak_at = Some(Hotspot::Link(LinkId(l)));
+                }
+                let c = self.spot_max[l];
+                if c > 0 && c as f64 > peak_value {
+                    peak_value = c as f64;
+                    peak_at = Some(Hotspot::Spot(LinkId(l), self.spot_arg[l]));
+                }
+            }
+            if self.hall_link[l] > hall_peak {
+                hall_peak = self.hall_link[l];
+                hall_at = Some(LinkId(l));
+            }
+        }
+        self.peak_value = peak_value;
+        self.peak_at = peak_at;
+        self.hall_peak = hall_peak;
+        self.hall_at = hall_at;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +624,58 @@ mod tests {
         assert!(u.peak_location().is_some());
         assert_eq!(u.spot(LinkId(0), u.spots()[0].1), 2);
         assert!(!u.is_schedulable(1e-6));
+    }
+
+    /// The incremental evaluator's contract is *bitwise* agreement with a
+    /// fresh full computation after any sequence of reroutes — that is what
+    /// lets the hill climb swap one in for the other without changing a
+    /// single accept/reject decision.
+    #[test]
+    fn incremental_eval_matches_full_compute_bitwise() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use sr_topology::Topology;
+
+        for policy in [WindowPolicy::LongestTask, WindowPolicy::Tight] {
+            let topo = GeneralizedHypercube::binary(3).unwrap();
+            let tfg = sr_tfg::generators::diamond(3, 500, 1280);
+            let timing = Timing::new(64.0, 10.0);
+            let alloc = sr_mapping::greedy(&tfg, &topo);
+            let bounds = assign_time_bounds(&tfg, &timing, 100.0, policy).unwrap();
+            let intervals = Intervals::from_bounds(&bounds);
+            let activity = ActivityMatrix::new(&bounds, &intervals);
+            let num_links = topo.num_links();
+
+            let candidates: Vec<Vec<sr_topology::Path>> = tfg
+                .messages()
+                .iter()
+                .map(|m| topo.shortest_paths(alloc.node_of(m.src()), alloc.node_of(m.dst()), 8))
+                .collect();
+            let mut pa = crate::PathAssignment::lsd_to_msd(&tfg, &topo, &alloc);
+            let mut eval = UtilEval::new(&pa, &bounds, &activity, &intervals, num_links);
+
+            let mut rng = StdRng::seed_from_u64(7);
+            for step in 0..200 {
+                let i = rng.gen_range(0..candidates.len());
+                let alts = &candidates[i];
+                let p = alts[rng.gen_range(0..alts.len())].clone();
+                eval.set_path(&mut pa, MessageId(i), p, &topo);
+
+                let full = UtilizationMap::compute(&pa, &bounds, &activity, &intervals, num_links);
+                assert_eq!(
+                    eval.effective_peak().to_bits(),
+                    full.effective_peak().to_bits(),
+                    "{policy:?} step {step}: peak diverged ({} vs {})",
+                    eval.effective_peak(),
+                    full.effective_peak()
+                );
+                assert_eq!(
+                    eval.effective_location(),
+                    full.effective_location(),
+                    "{policy:?} step {step}: location diverged"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,9 +1,9 @@
 use std::collections::{BTreeSet, HashMap};
 
 use sr_core::{
-    admit_best_effort, allocate_intervals_pinned, analyze_damage, assign_paths_partial,
-    related_subsets, AssignPathsConfig, BestEffortGrant, DamageReport, IntervalSchedule,
-    PathAssignment, Schedule, Slice, EPS,
+    admit_best_effort, allocate_intervals_pinned_warm, analyze_damage, assign_paths_partial,
+    related_subsets, AllocBasisCache, AllocationStats, AssignPathsConfig, BestEffortGrant,
+    DamageReport, IntervalSchedule, PathAssignment, Schedule, Slice, EPS,
 };
 use sr_obs::{span_with, Recorder, NOOP};
 use sr_tfg::{MessageId, TaskFlowGraph, Timing};
@@ -326,9 +326,16 @@ fn try_repair(
     } else {
         &config.feedback_scales
     };
+    // The pinned subset LPs are structurally identical down the scale
+    // ladder (pinned rows fold into the RHS; only capacities shrink), so
+    // each rung warm-starts from the previous rung's optimal bases. The
+    // first rung's cache is empty, keeping it bit-identical to a cold
+    // solve — which is what the pinning contract tests observe.
+    let mut cache = AllocBasisCache::new();
     for &scale in scales {
         rec.add("repair.candidates", 1);
-        let allocation = match allocate_intervals_pinned(
+        let mut alloc_stats = AllocationStats::default();
+        let allocated = allocate_intervals_pinned_warm(
             &outcome.assignment,
             schedule.bounds(),
             schedule.activity(),
@@ -337,7 +344,14 @@ fn try_repair(
             reroute,
             schedule.allocation(),
             scale,
-        ) {
+            &mut cache,
+            &mut alloc_stats,
+        );
+        rec.add("repair.alloc_lp.solves", alloc_stats.lp_solves);
+        rec.add("repair.alloc_lp.pivots", alloc_stats.lp.pivots);
+        rec.add("repair.alloc_lp.warm_hits", alloc_stats.lp.warm_hits);
+        rec.add("repair.alloc_lp.warm_misses", alloc_stats.lp.warm_misses);
+        let allocation = match allocated {
             Ok(a) => a,
             Err(_) => {
                 rec.add("repair.alloc_infeasible", 1);

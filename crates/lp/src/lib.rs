@@ -37,8 +37,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod basis;
 mod problem;
 mod simplex;
+mod sparse;
 
-pub use problem::{LpError, Problem, Relation, Solution, VarId};
+pub use basis::Basis;
+pub use problem::{LpEngine, LpError, Problem, Relation, Solution, VarId};
 pub use simplex::SolveStats;

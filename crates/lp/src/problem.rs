@@ -1,8 +1,29 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::basis::Basis;
 use crate::simplex;
 use crate::simplex::SolveStats;
+use crate::sparse;
+
+/// Which simplex engine [`Problem::solve`] runs.
+///
+/// Both engines implement the same two-phase primal simplex with identical
+/// pivot rules and tolerances, so they agree on feasibility verdicts and
+/// optimal objectives (to rounding error). The sparse engine is the default
+/// — the scheduling LPs have a handful of nonzeros per column, so the
+/// revised method with an eta-file basis does a small fraction of the dense
+/// tableau's arithmetic — while the dense engine is retained as the
+/// differential oracle for tests and benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LpEngine {
+    /// Dense row-major tableau (PR 1 kernel). Exact full-tableau pivots.
+    Dense,
+    /// Sparse revised simplex with product-form basis factorization and
+    /// warm-start support.
+    #[default]
+    Sparse,
+}
 
 /// Index of a decision variable in a [`Problem`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -183,7 +204,7 @@ impl Problem {
         Ok(())
     }
 
-    /// Solves the program.
+    /// Solves the program with the default engine ([`LpEngine::Sparse`]).
     ///
     /// # Errors
     ///
@@ -202,19 +223,79 @@ impl Problem {
     /// As [`Problem::solve`]. Counters reflect the work done up to the
     /// failure, but are only returned on success.
     pub fn solve_with_stats(&self) -> Result<(Solution, SolveStats), LpError> {
-        let costs: Vec<f64> = if self.maximize {
+        self.solve_with_engine(LpEngine::default())
+    }
+
+    /// Solves the program with an explicit engine choice.
+    ///
+    /// # Errors
+    ///
+    /// As [`Problem::solve`].
+    pub fn solve_with_engine(&self, engine: LpEngine) -> Result<(Solution, SolveStats), LpError> {
+        let costs = self.min_costs();
+        let mut stats = SolveStats::default();
+        let values = match engine {
+            LpEngine::Dense => simplex::solve(&costs, &self.constraints, &mut stats)?,
+            LpEngine::Sparse => sparse::solve(&costs, &self.constraints, None, &mut stats)?.values,
+        };
+        Ok((self.finish(values), stats))
+    }
+
+    /// Solves with the sparse engine, optionally warm-starting from the
+    /// optimal basis of a previous solve, and returns the new optimal basis
+    /// for the next one.
+    ///
+    /// The warm basis must come from a *structurally identical* problem —
+    /// same variables, same constraint rows in the same order with the same
+    /// relations; only right-hand sides and coefficients may differ. When
+    /// the old vertex is still primal feasible, phase 1 is skipped outright
+    /// (a `warm_hits` count in the stats); otherwise the solve falls back
+    /// to a cold start (`warm_misses`) — a stale or mismatched basis can
+    /// cost time but never correctness, because optimality is re-proven by
+    /// pricing either way. The returned basis is `None` when a redundant
+    /// row left an artificial variable basic.
+    ///
+    /// # Errors
+    ///
+    /// As [`Problem::solve`].
+    pub fn solve_warm(
+        &self,
+        warm: Option<&Basis>,
+    ) -> Result<(Solution, Option<Basis>, SolveStats), LpError> {
+        let costs = self.min_costs();
+        let mut stats = SolveStats::default();
+        let warm_cols = warm
+            .filter(|b| b.matches_shape(self.costs.len(), self.constraints.len()))
+            .map(|b| b.cols.as_slice());
+        if warm.is_some() && warm_cols.is_none() {
+            stats.warm_misses += 1;
+        }
+        let out = sparse::solve(&costs, &self.constraints, warm_cols, &mut stats)?;
+        let basis = out.basis.map(|cols| Basis {
+            cols,
+            num_vars: self.costs.len(),
+        });
+        Ok((self.finish(out.values), basis, stats))
+    }
+
+    /// Costs in minimization sense (negated for maximization problems).
+    fn min_costs(&self) -> Vec<f64> {
+        if self.maximize {
             self.costs.iter().map(|c| -c).collect()
         } else {
             self.costs.clone()
-        };
-        let mut stats = SolveStats::default();
-        let values = simplex::solve(&costs, &self.constraints, &mut stats)?;
+        }
+    }
+
+    /// Wraps raw variable values into a [`Solution`] with the objective in
+    /// the problem's original sense.
+    fn finish(&self, values: Vec<f64>) -> Solution {
         let mut objective: f64 = values.iter().zip(&self.costs).map(|(x, c)| x * c).sum();
         // Normalize -0.0.
         if objective == 0.0 {
             objective = 0.0;
         }
-        Ok((Solution { values, objective }, stats))
+        Solution { values, objective }
     }
 
     /// Checks whether `values` satisfies every constraint within `tol`.

@@ -33,9 +33,27 @@ pub struct SolveStats {
     /// Times Dantzig pricing stalled and the phase fell back to Bland's
     /// rule.
     pub bland_switches: u64,
-    /// Exact reduced-cost recomputations (Dantzig cache rebuilds: phase
-    /// entry, optimality confirmation, and Bland restarts).
+    /// Exact reduced-cost recomputations. For the dense engine these are
+    /// Dantzig cache rebuilds (phase entry, optimality confirmation, Bland
+    /// restarts); the sparse engine prices exactly every iteration, so
+    /// there it counts BTRAN pricing passes.
     pub price_recomputes: u64,
+    /// Sparse engine: fresh basis factorizations (cold/warm starts plus
+    /// refactorizations). Always 0 for the dense engine.
+    pub factorizations: u64,
+    /// Sparse engine: mid-solve refactorizations triggered by eta-file
+    /// growth.
+    pub refactorizations: u64,
+    /// Sparse engine: eta vectors created (factorization + pivot updates).
+    pub eta_vectors: u64,
+    /// Sparse engine: total nonzeros stored across all eta vectors — the
+    /// fill-in the factorization paid for.
+    pub eta_nonzeros: u64,
+    /// Sparse engine: warm starts whose supplied basis was factorable and
+    /// primal feasible for the new right-hand side (phase 1 skipped).
+    pub warm_hits: u64,
+    /// Sparse engine: warm starts that fell back to a cold start.
+    pub warm_misses: u64,
 }
 
 impl SolveStats {
@@ -46,6 +64,12 @@ impl SolveStats {
         self.degenerate_pivots += other.degenerate_pivots;
         self.bland_switches += other.bland_switches;
         self.price_recomputes += other.price_recomputes;
+        self.factorizations += other.factorizations;
+        self.refactorizations += other.refactorizations;
+        self.eta_vectors += other.eta_vectors;
+        self.eta_nonzeros += other.eta_nonzeros;
+        self.warm_hits += other.warm_hits;
+        self.warm_misses += other.warm_misses;
     }
 }
 

@@ -11,7 +11,7 @@
 //!   (minimization).
 
 use proptest::prelude::*;
-use sr_lp::{LpError, Problem, Relation, VarId};
+use sr_lp::{LpEngine, LpError, Problem, Relation, VarId};
 
 #[derive(Debug, Clone)]
 struct KnownFeasible {
@@ -103,6 +103,45 @@ proptest! {
             Err(LpError::Unbounded) => {} // legitimately unbounded without the box
             Err(e) => prop_assert!(false, "unexpected error {e}"),
         }
+    }
+
+    /// The dense tableau and the sparse revised engine share their pivot
+    /// rules, so they must agree on feasibility status, produce feasible
+    /// points, and reach objectives equal to within accumulated rounding
+    /// (the 1e-9 differential-oracle contract).
+    #[test]
+    fn dense_and_sparse_engines_agree(kf in known_feasible()) {
+        let p = build(&kf, true);
+        match (p.solve_with_engine(LpEngine::Dense), p.solve_with_engine(LpEngine::Sparse)) {
+            (Ok((d, _)), Ok((s, _))) => {
+                prop_assert!(p.is_feasible(d.values(), 1e-5),
+                    "dense point infeasible: {:?}", d.values());
+                prop_assert!(p.is_feasible(s.values(), 1e-5),
+                    "sparse point infeasible: {:?}", s.values());
+                let tol = 1e-9 * (1.0 + d.objective().abs());
+                prop_assert!((d.objective() - s.objective()).abs() <= tol,
+                    "objectives diverged: dense {} vs sparse {}",
+                    d.objective(), s.objective());
+            }
+            (Err(x), Err(y)) => prop_assert_eq!(x, y),
+            (a, b) => prop_assert!(false, "engine status diverged: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// A warm start from any structurally valid basis must degrade to a
+    /// correct solve, never a wrong answer: same status as cold, feasible
+    /// point, same objective to within rounding.
+    #[test]
+    fn warm_start_agrees_with_cold(kf in known_feasible()) {
+        let p = build(&kf, true);
+        let Ok((cold_sol, cold_basis, _)) = p.solve_warm(None) else { return Ok(()); };
+        let Some(basis) = cold_basis else { return Ok(()); };
+        let (warm_sol, _, warm_stats) = p.solve_warm(Some(&basis)).expect("cold-solvable");
+        prop_assert!(p.is_feasible(warm_sol.values(), 1e-5));
+        let tol = 1e-9 * (1.0 + cold_sol.objective().abs());
+        prop_assert!((warm_sol.objective() - cold_sol.objective()).abs() <= tol,
+            "warm objective {} vs cold {}", warm_sol.objective(), cold_sol.objective());
+        prop_assert_eq!(warm_stats.warm_hits + warm_stats.warm_misses, 1);
     }
 
     #[test]
