@@ -100,6 +100,38 @@ fn bench_wormhole(c: &mut Criterion) {
     g.finish();
 }
 
+/// Event-sink overhead on the wormhole engine, same methodology as the
+/// recorder gate: the `dvb8_cube6` rows above run through `run()` (the
+/// `NO_EVENTS` sink — a single cached-bool branch per emission site); these
+/// rows run the identical simulation with a live `RingEventSink` so
+/// EXPERIMENTS.md can gate the disabled-path delta at ≤ 2%.
+fn bench_event_sink(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wormhole_events");
+    let platform = Platform::cube6(64.0);
+    let (tfg, alloc, timing) = standard_workload(&platform);
+    let topo = platform.topo.as_ref();
+    let sim = WormholeSim::new(topo, &tfg, &alloc, &timing).unwrap();
+    let cap: usize = sim.routes().iter().map(|r| 2 + 3 * r.len()).sum::<usize>() + 1;
+    for invocations in [30usize, 120] {
+        let cfg = SimConfig {
+            invocations,
+            warmup: 5,
+        };
+        g.bench_with_input(
+            BenchmarkId::new("dvb8_cube6_ring", invocations),
+            &invocations,
+            |b, &n| {
+                b.iter(|| {
+                    let sink = RingEventSink::with_capacity(cap * n + 1024);
+                    black_box(sim.run_with_events(60.0, &cfg, &sink).unwrap());
+                    black_box(sink)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_compile(c: &mut Criterion) {
     let mut g = c.benchmark_group("sr_compile");
     g.sample_size(10);
@@ -149,6 +181,7 @@ criterion_group!(
     bench_simplex,
     bench_assign_paths,
     bench_wormhole,
+    bench_event_sink,
     bench_compile,
     bench_verify
 );

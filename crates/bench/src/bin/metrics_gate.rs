@@ -1,0 +1,170 @@
+//! `metrics_gate` — the CI metrics-regression gate.
+//!
+//! Regenerates the deterministic metrics document for the torus 4×4 DVB
+//! figure workload (serial-compile counters at three loads plus the WR/SR
+//! output-interval statistics at the highest) and either writes it as the
+//! golden baseline or checks the current build against the checked-in one:
+//!
+//! ```text
+//! metrics_gate --write [PATH]                # regenerate the baseline
+//! metrics_gate --check [PATH]                # CI: fail on drift
+//! metrics_gate --check --inject-drift [PATH] # CI negative test: must fail
+//! ```
+//!
+//! `PATH` defaults to `results/metrics_baseline_torus4x4_dvb.json`. Exit
+//! status is nonzero on any violation (and on a *passing* check under
+//! `--inject-drift`, which would mean the gate is blind).
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use sr::obs::OiReport;
+use sr::prelude::*;
+use sr_bench::gate::{compare_metrics, flatten_json, FLOAT_TOL};
+
+const DEFAULT_PATH: &str = "results/metrics_baseline_torus4x4_dvb.json";
+/// Loads gated for compile counters; the last one also drives the OI stats.
+const LOADS: [f64; 3] = [0.5, 0.7, 0.85];
+
+fn oi_json(r: &OiReport) -> String {
+    let s = r.interval_summary.unwrap_or_default();
+    format!(
+        "{{\"outputs\": {}, \"min_interval_us\": {}, \"p50_us\": {}, \"p95_us\": {}, \
+         \"max_us\": {}, \"max_deviation_us\": {}, \"stalls\": {}, \
+         \"cross_invocation_stalls\": {}}}",
+        r.outputs.len(),
+        r.min_interval_us,
+        s.p50,
+        s.p95,
+        s.max,
+        r.max_deviation_us,
+        r.stalls.len(),
+        r.cross_invocation_stalls()
+    )
+}
+
+/// Builds the metrics document. Everything in it is deterministic: compiles
+/// run serially (`parallelism: 1`), the simulator core is single-threaded,
+/// and the replay is a pure function of the schedule.
+fn build_document() -> String {
+    let topo = Torus::new(&[4, 4]).expect("torus 4x4");
+    let tfg = dvb_uniform(10);
+    let alloc = sr::mapping::random_distinct(&tfg, &topo, 7).expect("16 nodes fit");
+    let timing = Timing::calibrated_dvb(128.0);
+    let tau_c = timing.longest_task(&tfg);
+    let config = CompileConfig {
+        parallelism: 1,
+        ..CompileConfig::default()
+    };
+
+    let mut doc = String::from("{\n\"workload\": \"torus4x4_dvb\",\n\"loads\": {");
+    let mut last_schedule = None;
+    for (i, &load) in LOADS.iter().enumerate() {
+        let rec = MetricsRecorder::new();
+        let sched = sr::core::compile_with_recorder(
+            &topo,
+            &tfg,
+            &alloc,
+            &timing,
+            tau_c / load,
+            &config,
+            &rec,
+        )
+        .expect("gate loads compile");
+        let _ = write!(
+            doc,
+            "{}\n\"{load}\": {{\"counters\": {{",
+            if i == 0 { "" } else { "," }
+        );
+        for (j, (name, v)) in rec.counters().iter().enumerate() {
+            let _ = write!(doc, "{}\"{name}\": {v}", if j == 0 { "" } else { ", " });
+        }
+        doc.push_str("}}");
+        last_schedule = Some(sched);
+    }
+    doc.push_str("\n},\n");
+
+    // OI statistics at the highest gated load, wormhole and scheduled.
+    let period = tau_c / LOADS[LOADS.len() - 1];
+    let cfg = SimConfig::default();
+    let sim = WormholeSim::new(&topo, &tfg, &alloc, &timing).expect("sim builds");
+    let cap: usize = sim.routes().iter().map(|r| 2 + 3 * r.len()).sum::<usize>() + 1;
+    let sink = RingEventSink::with_capacity(cap * cfg.invocations + 1024);
+    sim.run_with_events(period, &cfg, &sink).expect("sim runs");
+    let wr = analyze_oi(&sink.events(), period, cfg.warmup);
+    let sched = last_schedule.expect("at least one load");
+    let sr_events =
+        replay_events(&sched, &tfg, &timing, cfg.invocations).expect("schedule replays");
+    let sr = analyze_oi(&sr_events, period, cfg.warmup);
+    let _ = write!(
+        doc,
+        "\"oi\": {{\n\"wr\": {},\n\"sr\": {}\n}}\n}}\n",
+        oi_json(&wr),
+        oi_json(&sr)
+    );
+    doc
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode_write = args.iter().any(|a| a == "--write");
+    let mode_check = args.iter().any(|a| a == "--check");
+    let inject = args.iter().any(|a| a == "--inject-drift");
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or(DEFAULT_PATH);
+    if mode_write == mode_check {
+        eprintln!("usage: metrics_gate --write|--check [--inject-drift] [PATH]");
+        return ExitCode::FAILURE;
+    }
+
+    let doc = build_document();
+    if mode_write {
+        if let Err(e) = std::fs::write(path, &doc) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote metrics baseline to {path}");
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {path}: {e} (generate with --write)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = flatten_json(&baseline_text);
+    let mut current = flatten_json(&doc);
+    if inject {
+        // Negative test: perturb one counter by 1 and one float past the
+        // tolerance; the gate must catch both.
+        let counter = current
+            .keys()
+            .find(|k| k.contains(".counters."))
+            .cloned()
+            .expect("document has counters");
+        *current.get_mut(&counter).unwrap() += 1.0;
+        let float = ".oi.wr.max_deviation_us".to_string();
+        *current.get_mut(&float).unwrap() += 10.0 * FLOAT_TOL;
+        println!("injected drift into {counter} and {float}");
+    }
+
+    let violations = compare_metrics(&baseline, &current, FLOAT_TOL);
+    if violations.is_empty() {
+        println!(
+            "metrics gate passed: {} metrics match {path}",
+            baseline.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("metrics gate FAILED against {path}:");
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

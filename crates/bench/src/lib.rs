@@ -23,6 +23,8 @@
 use sr::core::{assign_paths, ActivityMatrix, AssignPathsConfig, Intervals};
 use sr::prelude::*;
 
+pub mod gate;
+
 /// The standard sweep: 12 input periods from `τ_c` to `5·τ_c`, as in the
 /// paper ("twelve different values of the input period are selected between
 /// its minimum value of τ_c and 5·τ_c").

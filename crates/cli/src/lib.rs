@@ -28,6 +28,8 @@ use std::fmt;
 use sr::prelude::*;
 use sr::tfg::generators;
 
+pub mod report;
+
 /// Errors from parsing spec strings or command lines.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpecError(String);
@@ -235,6 +237,8 @@ pub struct Options {
     pub repair: bool,
     /// Sweep random link failures up to this count (`faults --sweep 3`).
     pub sweep_k: Option<usize>,
+    /// Output path for the `report` subcommand's HTML.
+    pub out: String,
 }
 
 impl Default for Options {
@@ -260,6 +264,7 @@ impl Default for Options {
             fail_nodes: Vec::new(),
             repair: false,
             sweep_k: None,
+            out: "report.html".into(),
         }
     }
 }
@@ -275,7 +280,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, SpecError> {
     opts.command = it.next().ok_or_else(|| SpecError::new(USAGE))?.to_string();
     if !matches!(
         opts.command.as_str(),
-        "compile" | "simulate" | "sweep" | "info" | "minperiod" | "faults"
+        "compile" | "simulate" | "sweep" | "info" | "minperiod" | "faults" | "report"
     ) {
         return Err(SpecError::new(format!(
             "unknown command '{}'\n{USAGE}",
@@ -345,6 +350,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, SpecError> {
             "--dump" => opts.dump = true,
             "--timeline" => opts.timeline = true,
             "--json" => opts.json = Some(value("--json")?),
+            "--out" => opts.out = value("--out")?,
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--metrics" => opts.metrics = true,
             other => return Err(SpecError::new(format!("unknown flag '{other}'\n{USAGE}"))),
@@ -365,10 +371,10 @@ fn parse_id_list(s: &str) -> Result<Vec<usize>, SpecError> {
 }
 
 /// Usage text shown for malformed command lines.
-pub const USAGE: &str = "usage: srsched <compile|simulate|sweep|info|minperiod|faults> \
+pub const USAGE: &str = "usage: srsched <compile|simulate|sweep|info|minperiod|faults|report> \
 [--topo SPEC] [--tfg SPEC] [--alloc SPEC] [--bandwidth B] [--period T] \
 [--guard G] [--spare E] [--parallelism N] [--vc N] [--adaptive P] [--dump] [--timeline] \
-[--json FILE] [--trace-out FILE] [--metrics] \
+[--json FILE] [--trace-out FILE] [--metrics] [--out FILE] \
 [--fail-links L1,L2] [--fail-nodes N1,N2] [--repair] [--sweep K]";
 
 /// Runs a parsed command, writing human-readable output to `out`.
@@ -506,7 +512,7 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
             // Observability output is written for failed compiles too —
             // the trace of an infeasible search is exactly what you want
             // to look at.
-            write_observability(opts, &metrics, out)?;
+            write_observability(opts, &metrics, &[], out)?;
         }
         "minperiod" => {
             let config = CompileConfig {
@@ -548,9 +554,19 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
             let sim = WormholeSim::new(topo.as_ref(), &tfg, &alloc, &timing)?
                 .with_virtual_channels(opts.virtual_channels)?
                 .with_adaptive_routing(opts.adaptive)?;
+            let sim_cfg = SimConfig::default();
+            // With --trace-out, capture the simulation event stream so flit
+            // events interleave with compile spans in one Chrome trace.
+            let sink = opts.trace_out.as_ref().map(|_| {
+                RingEventSink::with_capacity(event_capacity(sim.routes(), sim_cfg.invocations))
+            });
             let span = sr::obs::span_with(rec, "simulate", || format!("period={period}"));
-            let res = sim.run(period, &SimConfig::default())?;
+            let res = match &sink {
+                Some(s) => sim.run_with_events(period, &sim_cfg, s)?,
+                None => sim.run(period, &sim_cfg)?,
+            };
             drop(span);
+            let sim_events = sink.map(|s| s.events()).unwrap_or_default();
             // The simulator is recorder-free by design; funnel its flight
             // trace into histograms here instead.
             if recording {
@@ -607,7 +623,11 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
                     res.has_output_inconsistency(1e-6)
                 )?;
             }
-            write_observability(opts, &metrics, out)?;
+            write_observability(opts, &metrics, &sim_events, out)?;
+        }
+        "report" => {
+            let events = run_report(opts, topo.as_ref(), &tfg, &alloc, &timing, period, rec, out)?;
+            write_observability(opts, &metrics, &events, out)?;
         }
         "sweep" => {
             writeln!(
@@ -658,7 +678,7 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
         }
         "faults" => {
             run_faults(opts, topo.as_ref(), &tfg, &alloc, &timing, period, rec, out)?;
-            write_observability(opts, &metrics, out)?;
+            write_observability(opts, &metrics, &[], out)?;
         }
         _ => unreachable!("validated in parse_args"),
     }
@@ -843,6 +863,103 @@ fn run_faults(
     Ok(())
 }
 
+/// Ring-sink capacity covering a whole run: per message-invocation one
+/// inject, one deliver, and at most one acquire + release + block per route
+/// link, plus one output event per invocation and fixed slack for safety.
+fn event_capacity(routes: &[Vec<LinkId>], invocations: usize) -> usize {
+    let per_inv: usize = routes.iter().map(|r| 2 + 3 * r.len()).sum::<usize>() + 1;
+    per_inv * invocations + 1024
+}
+
+/// The `report` subcommand: compile the schedule, run the wormhole baseline
+/// with event capture, replay the schedule's event stream, analyze both OI
+/// distributions, and render the self-contained HTML report to `opts.out`.
+/// Returns the wormhole event stream so `--trace-out` can interleave it.
+#[allow(clippy::too_many_arguments)]
+fn run_report(
+    opts: &Options,
+    topo: &dyn Topology,
+    tfg: &TaskFlowGraph,
+    alloc: &Allocation,
+    timing: &Timing,
+    period: f64,
+    rec: &dyn Recorder,
+    out: &mut dyn fmt::Write,
+) -> Result<Vec<SimEvent>, Box<dyn Error>> {
+    let config = CompileConfig {
+        guard_time: opts.guard,
+        parallelism: opts.parallelism,
+        spare_capacity: opts.spare,
+        ..CompileConfig::default()
+    };
+    let sched =
+        match sr::core::compile_with_recorder(topo, tfg, alloc, timing, period, &config, rec) {
+            Ok(s) => s,
+            Err(e) => {
+                writeln!(out, "schedule infeasible: {e} — no report written")?;
+                return Ok(Vec::new());
+            }
+        };
+    verify(&sched, topo, tfg)?;
+
+    let sim = WormholeSim::new(topo, tfg, alloc, timing)?
+        .with_virtual_channels(opts.virtual_channels)?
+        .with_adaptive_routing(opts.adaptive)?;
+    let cfg = SimConfig::default();
+    let sink = RingEventSink::with_capacity(event_capacity(sim.routes(), cfg.invocations));
+    let res = {
+        let span = sr::obs::span_with(rec, "simulate", || format!("period={period}"));
+        let r = sim.run_with_events(period, &cfg, &sink)?;
+        drop(span);
+        r
+    };
+    let wr_events = sink.events();
+    let wr_oi = analyze_oi(&wr_events, period, cfg.warmup);
+    let sr_events = {
+        let span = sr::obs::span_with(rec, "replay", || format!("period={period}"));
+        let e = sr::core::replay_events(&sched, tfg, timing, cfg.invocations)?;
+        drop(span);
+        e
+    };
+    let sr_oi = analyze_oi(&sr_events, period, cfg.warmup);
+
+    let html = report::render_report(&report::ReportInput {
+        topo,
+        tfg,
+        sched: &sched,
+        period,
+        wr: &wr_oi,
+        sr: &sr_oi,
+        wr_deadlocked: res.deadlocked(),
+        spec: format!(
+            "{} · {} · alloc {} · B = {} bytes/µs · τ_in = {period} µs",
+            opts.topo, opts.tfg, opts.alloc, opts.bandwidth
+        ),
+    });
+    std::fs::write(&opts.out, &html)?;
+    writeln!(out, "wrote report to {} ({} bytes)", opts.out, html.len())?;
+    writeln!(
+        out,
+        "  wormhole : {} outputs, max |δ − τ_in| = {:.3} µs, {} cross-invocation stalls{}",
+        wr_oi.outputs.len(),
+        wr_oi.max_deviation_us,
+        wr_oi.cross_invocation_stalls(),
+        if res.deadlocked() {
+            " (deadlocked)"
+        } else {
+            ""
+        }
+    )?;
+    writeln!(
+        out,
+        "  scheduled: {} outputs, max |δ − τ_in| = {:.3} µs, {} stalls",
+        sr_oi.outputs.len(),
+        sr_oi.max_deviation_us,
+        sr_oi.stalls.len()
+    )?;
+    Ok(wr_events)
+}
+
 /// Runs the wormhole baseline over the masked topology under `faults` and
 /// summarizes the outcome in one word (or an OI spread).
 fn wormhole_under_faults(
@@ -873,14 +990,16 @@ fn wormhole_under_faults(
 
 /// Flushes the recorder per `--trace-out`/`--metrics`: the Chrome trace to
 /// its file (noting the path in `out`), the metrics table to stderr (so it
-/// never mixes with parseable stdout output).
+/// never mixes with parseable stdout output). Simulation events, when the
+/// command captured any, interleave with the compile spans in the trace.
 fn write_observability(
     opts: &Options,
     metrics: &MetricsRecorder,
+    events: &[SimEvent],
     out: &mut dyn fmt::Write,
 ) -> Result<(), Box<dyn Error>> {
     if let Some(path) = &opts.trace_out {
-        std::fs::write(path, metrics.chrome_trace_json())?;
+        std::fs::write(path, metrics.chrome_trace_json_with_events(events))?;
         writeln!(
             out,
             "wrote Chrome trace to {path} (load in chrome://tracing)"
@@ -1145,6 +1264,76 @@ mod tests {
         run(&opts, &mut out).unwrap();
         let json = std::fs::read_to_string(&path).unwrap();
         assert!(json.contains("\"name\":\"simulate\""), "{json}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parse_report_command() {
+        let o = parse_args(&args("report --topo torus:4x4 --out /tmp/r.html")).unwrap();
+        assert_eq!(o.command, "report");
+        assert_eq!(o.out, "/tmp/r.html");
+        assert_eq!(parse_args(&args("report")).unwrap().out, "report.html");
+        assert!(parse_args(&args("report --out")).is_err());
+    }
+
+    #[test]
+    fn run_report_writes_selfcontained_html() {
+        let dir = std::env::temp_dir().join("srsched_test_report");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("report.html");
+        let opts = parse_args(&args(&format!(
+            "report --topo cube:3 --tfg chain:3 --period 120 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        assert!(out.contains("wrote report"), "{out}");
+        let html = std::fs::read_to_string(&path).unwrap();
+        assert!(html.starts_with("<!DOCTYPE html>"), "not a document");
+        for id in ["overview", "gantt", "heatmap", "oi"] {
+            assert!(html.contains(&format!("<section id=\"{id}\">")), "{id}");
+        }
+        // Self-contained: no external resources of any kind.
+        for banned in ["http://", "https://", "<script", "<link", "src="] {
+            assert!(!html.contains(banned), "external reference: {banned}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_report_infeasible_writes_nothing() {
+        let dir = std::env::temp_dir().join("srsched_test_report");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("never.html");
+        let _ = std::fs::remove_file(&path);
+        let opts = parse_args(&args(&format!(
+            "report --topo cube:1 --tfg diamond:6 --period 50 --alloc random:1 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        assert!(out.contains("infeasible"), "{out}");
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn run_simulate_trace_out_interleaves_sim_events() {
+        let dir = std::env::temp_dir().join("srsched_test_trace");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("sim_events.json");
+        let opts = parse_args(&args(&format!(
+            "simulate --topo cube:3 --tfg chain:3 --period 120 --trace-out {}",
+            path.display()
+        )))
+        .unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        // Simulation events live on pid 2 next to the pid-1 compile spans.
+        assert!(json.contains("\"simulation\""), "{json}");
+        assert!(json.contains("\"cat\":\"sim\""), "{json}");
         let _ = std::fs::remove_file(&path);
     }
 

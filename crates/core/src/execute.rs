@@ -115,31 +115,39 @@ impl std::fmt::Display for ExecuteError {
 
 impl std::error::Error for ExecuteError {}
 
-/// Executes `schedule` for `invocations` periodic invocations and measures
-/// the resulting output intervals and latencies.
-///
-/// Task executions are event-free to model: each AP runs its (single, by
-/// the compile-time capacity check, possibly several) tasks as they become
-/// ready; every message of invocation `j` is delivered exactly when its
-/// last scheduled segment (unfolded into invocation `j`'s window) ends.
-///
-/// # Errors
-///
-/// [`ExecuteError`] when the schedule breaks a promise — possible only for
-/// hand-corrupted schedules.
-pub fn execute(
+/// Invocation-0 unfolding of a schedule: the frame-relative switching
+/// tables mapped onto the timeline of the first invocation. Invocation `j`
+/// is this shifted by `j·τ_in` (AP capacity within the period is checked at
+/// compile time), which is what [`execute`] and the event replay
+/// ([`crate::replay_events`]) both build on.
+pub(crate) struct Unfolded {
+    /// Per-message unfolded segments `(start, end)`, µs, in schedule order
+    /// (empty for node-local messages).
+    pub(crate) segments0: Vec<Vec<(f64, f64)>>,
+    /// Per-message delivery instant (end of the last segment; the source
+    /// task's completion bound for local messages), µs.
+    pub(crate) delivery: Vec<f64>,
+    /// Per-task completion time under dedicated-AP execution, µs.
+    pub(crate) finish0: Vec<f64>,
+    /// Output time of invocation 0 (latest output task completion), µs.
+    pub(crate) out0: f64,
+}
+
+/// Unfolds the schedule's frame-relative segments into invocation 0's
+/// window and derives task completion times, checking the schedule's
+/// promises along the way.
+pub(crate) fn unfold_invocation0(
     schedule: &Schedule,
     tfg: &TaskFlowGraph,
-    alloc: &Allocation,
     timing: &Timing,
-    invocations: usize,
-) -> Result<Execution, ExecuteError> {
+) -> Result<Unfolded, ExecuteError> {
     let period = schedule.period();
     let nt = tfg.num_tasks();
 
     // Per-message unfolded delivery/start offsets for invocation 0.
     // A message's segments are frame times; unfold each into the window of
     // invocation 0 (release at bounds.task_end(src)).
+    let mut segments0 = vec![Vec::new(); tfg.num_messages()];
     let mut first_tx = vec![f64::INFINITY; tfg.num_messages()];
     let mut delivery = vec![0.0f64; tfg.num_messages()];
     for (i, _msg) in tfg.iter_messages() {
@@ -168,6 +176,7 @@ pub fn execute(
             // rounding being pushed a whole period late).
             let k = ((release - s.start - EPS) / period).ceil().max(0.0);
             let shifted = s.start + k * period;
+            segments0[i.index()].push((shifted, shifted + (s.end - s.start)));
             start = start.min(shifted);
             end = end.max(shifted + (s.end - s.start));
         }
@@ -198,20 +207,50 @@ pub fn execute(
             }
         }
     }
-    // AP capacity within the steady state: every node's total work fits the
-    // period (checked at compile time), so invocation j is invocation 0
-    // shifted by j·τ_in. Output time of invocation 0:
+    // Output time of invocation 0:
     let out0 = tfg
         .outputs()
         .iter()
         .map(|&t| finish0[t.index()])
         .fold(0.0, f64::max);
 
+    Ok(Unfolded {
+        segments0,
+        delivery,
+        finish0,
+        out0,
+    })
+}
+
+/// Executes `schedule` for `invocations` periodic invocations and measures
+/// the resulting output intervals and latencies.
+///
+/// Task executions are event-free to model: each AP runs its (single, by
+/// the compile-time capacity check, possibly several) tasks as they become
+/// ready; every message of invocation `j` is delivered exactly when its
+/// last scheduled segment (unfolded into invocation `j`'s window) ends.
+///
+/// # Errors
+///
+/// [`ExecuteError`] when the schedule breaks a promise — possible only for
+/// hand-corrupted schedules.
+pub fn execute(
+    schedule: &Schedule,
+    tfg: &TaskFlowGraph,
+    alloc: &Allocation,
+    timing: &Timing,
+    invocations: usize,
+) -> Result<Execution, ExecuteError> {
+    let period = schedule.period();
+    // AP capacity within the steady state: every node's total work fits the
+    // period (checked at compile time), so invocation j is invocation 0
+    // shifted by j·τ_in.
+    let unfolded = unfold_invocation0(schedule, tfg, timing)?;
     let records = (0..invocations)
         .map(|j| ExecutedInvocation {
             index: j,
             input_time: j as f64 * period,
-            output_time: out0 + j as f64 * period,
+            output_time: unfolded.out0 + j as f64 * period,
         })
         .collect();
     let _ = alloc;

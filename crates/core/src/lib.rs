@@ -74,6 +74,7 @@ mod interval_sched;
 mod intervals;
 mod optimize;
 mod render;
+mod replay;
 mod subsets;
 mod summary;
 mod switching;
@@ -101,6 +102,7 @@ pub use interval_sched::{
 };
 pub use intervals::{ActivityMatrix, Intervals};
 pub use optimize::{co_design, find_min_period, CoDesignResult, MinPeriodResult};
+pub use replay::replay_events;
 pub use subsets::related_subsets;
 pub use summary::ScheduleSummary;
 pub use switching::{build_node_schedules, Command, Connection, NodeSchedule, Port, Segment};

@@ -12,28 +12,45 @@ use crate::Schedule;
 
 impl Schedule {
     /// Renders one link's frame as an ASCII timeline of `width` cells:
-    /// `.` idle, and the carried message's id (mod 10) while busy.
+    /// `.` idle, the carried message's id (mod 10) while busy, and `*`
+    /// where `width` is too coarse to separate distinct messages (two or
+    /// more different messages land on one cell) — previously the last
+    /// writer silently won, hiding the collapse.
+    ///
+    /// Every segment paints at least one cell, so sub-cell segments stay
+    /// visible at any width.
     ///
     /// # Panics
     ///
     /// Panics if `width == 0`.
     pub fn render_link_timeline(&self, link: LinkId, width: usize) -> String {
         assert!(width > 0, "timeline needs at least one cell");
-        let mut cells = vec!['.'; width];
+        let mut cells: Vec<Option<usize>> = vec![None; width];
+        let mut shared = vec![false; width];
         let scale = self.period / width as f64;
         for seg in &self.segments {
             if !self.assignment.links(seg.message).contains(&link) {
                 continue;
             }
-            let a = (seg.start / scale).floor().max(0.0) as usize;
-            let b = ((seg.end / scale).ceil() as usize).min(width);
-            let glyph =
-                char::from_digit((seg.message.index() % 10) as u32, 10).expect("digit in range");
-            for cell in cells.iter_mut().take(b).skip(a.min(width)) {
-                *cell = glyph;
+            let a = ((seg.start / scale).floor().max(0.0) as usize).min(width - 1);
+            let b = ((seg.end / scale).ceil() as usize).clamp(a + 1, width.max(a + 1));
+            let m = seg.message.index();
+            for i in a..b.min(width) {
+                match cells[i] {
+                    Some(prev) if prev != m => shared[i] = true,
+                    _ => cells[i] = Some(m),
+                }
             }
         }
-        cells.into_iter().collect()
+        cells
+            .iter()
+            .zip(&shared)
+            .map(|(c, &s)| match (c, s) {
+                (_, true) => '*',
+                (Some(m), false) => char::from_digit((m % 10) as u32, 10).expect("digit in range"),
+                (None, false) => '.',
+            })
+            .collect()
     }
 
     /// Renders every traffic-carrying link of `topo` as a timeline block,
@@ -44,14 +61,15 @@ impl Schedule {
     /// L17 (N1-N3)  ......111111........
     /// ```
     ///
-    /// Idle links are omitted; the header row shows the frame span.
+    /// Idle links are omitted; the header row labels the `[0, τ_in)` frame
+    /// the timelines span.
     pub fn render_timelines(&self, topo: &dyn Topology, width: usize) -> String {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<16} 0 µs{:>w$.1} µs",
+            "{:<16} 0 µs{:>w$} = τ_in",
             "link",
-            self.period,
+            format!("{:.1} µs", self.period),
             w = width.saturating_sub(4)
         );
         for l in 0..topo.num_links() {
@@ -122,5 +140,56 @@ mod tests {
     fn zero_width_panics() {
         let (_, s) = compiled();
         let _ = s.render_link_timeline(LinkId(0), 0);
+    }
+
+    #[test]
+    fn header_labels_the_tau_in_frame() {
+        let (topo, s) = compiled();
+        let text = s.render_timelines(&topo, 50);
+        let header = text.lines().next().unwrap();
+        assert!(header.contains("τ_in"), "{header}");
+        assert!(header.contains("µs"), "{header}");
+    }
+
+    /// Two messages forced over the single link of a 2-node machine: at
+    /// widths too coarse to separate them the shared cell renders `*`
+    /// instead of silently showing only the last-painted message, and every
+    /// segment stays visible (≥ 1 cell) at any width.
+    #[test]
+    fn narrow_width_marks_collapsed_cells() {
+        use sr_mapping::Allocation;
+        use sr_topology::NodeId;
+        let topo = GeneralizedHypercube::binary(1).unwrap();
+        let mut b = sr_tfg::TfgBuilder::new();
+        let t0 = b.task("t0", 500);
+        let t1 = b.task("t1", 500);
+        let t2 = b.task("t2", 500);
+        b.message("a", t0, t1, 640).unwrap();
+        b.message("b", t0, t2, 640).unwrap();
+        let tfg = b.build().unwrap();
+        let timing = Timing::new(64.0, 10.0);
+        let alloc = Allocation::new(vec![NodeId(0), NodeId(1), NodeId(1)], &tfg, &topo).unwrap();
+        let s = compile(
+            &topo,
+            &tfg,
+            &alloc,
+            &timing,
+            100.0,
+            &CompileConfig::default(),
+        )
+        .expect("compiles");
+        // Both messages traverse LinkId(0); one cell cannot separate them.
+        let collapsed = s.render_link_timeline(LinkId(0), 1);
+        assert_eq!(collapsed, "*");
+        // At generous width both ids are visible and nothing is starred.
+        let wide = s.render_link_timeline(LinkId(0), 100);
+        assert!(wide.contains('0') && wide.contains('1'), "{wide}");
+        // Output length always matches the requested width.
+        for width in 1..8 {
+            assert_eq!(
+                s.render_link_timeline(LinkId(0), width).chars().count(),
+                width
+            );
+        }
     }
 }

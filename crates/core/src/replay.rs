@@ -1,0 +1,186 @@
+//! Event replay of a compiled schedule: the scheduled-routing counterpart
+//! of the wormhole engine's event stream.
+//!
+//! [`replay_events`] unfolds the frame-relative switching tables over `n`
+//! invocations and narrates them in the same [`SimEvent`] vocabulary the
+//! wormhole simulator emits, so the OI analyzer
+//! ([`sr_obs::analyze_oi`]) and the Chrome-trace / report renderers work
+//! identically on both systems. The structural contrast is visible in the
+//! stream itself: a scheduled-routing replay **never contains a
+//! [`SimEventKind::HeaderBlocked`] event** — every message finds its whole
+//! path clear by construction — whereas a contended wormhole run does,
+//! and each block identifies the earlier-invocation culprit.
+//!
+//! Channel ids use the simulator's directed encoding (`2·link +
+//! direction`, direction 1 when the hop goes from the higher-numbered node
+//! to the lower), so per-channel occupancy lines up across the two engines.
+//! A scheduled segment holds *all* channels of the message's path
+//! simultaneously (circuit-style, the paper's "completely clear path"), so
+//! the replay emits one acquire/release pair per path channel per segment.
+
+use sr_obs::{SimEvent, SimEventKind, NO_ID};
+use sr_tfg::{TaskFlowGraph, Timing};
+
+use crate::execute::{unfold_invocation0, ExecuteError};
+use crate::Schedule;
+
+/// Replays `schedule` for `invocations` periodic invocations as a
+/// [`SimEvent`] stream, sorted by timestamp (ties keep emission order:
+/// message id, then hop, then event kind).
+///
+/// Event inventory per invocation `j` (all times shifted by `j·τ_in`):
+///
+/// * [`SimEventKind::MessageInjected`] when the source task completes;
+/// * [`SimEventKind::LinkAcquired`] / [`SimEventKind::LinkReleased`] at
+///   each unfolded segment's start/end, once per directed channel of the
+///   message's path;
+/// * [`SimEventKind::FlitDelivered`] at the end of the last segment (the
+///   source task's completion for node-local messages);
+/// * [`SimEventKind::OutputProduced`] when the last output task finishes.
+///
+/// # Errors
+///
+/// [`ExecuteError`] when the schedule breaks a promise — possible only for
+/// hand-corrupted schedules (same contract as [`crate::execute`]).
+pub fn replay_events(
+    schedule: &Schedule,
+    tfg: &TaskFlowGraph,
+    timing: &Timing,
+    invocations: usize,
+) -> Result<Vec<SimEvent>, ExecuteError> {
+    let period = schedule.period();
+    let unfolded = unfold_invocation0(schedule, tfg, timing)?;
+
+    // Directed channel ids per message, hop order.
+    let channels: Vec<Vec<u32>> = tfg
+        .iter_messages()
+        .map(|(i, _)| {
+            let nodes = schedule.assignment().path(i).nodes();
+            schedule
+                .assignment()
+                .links(i)
+                .iter()
+                .zip(nodes.windows(2))
+                .map(|(l, w)| (l.index() * 2 + usize::from(w[0] > w[1])) as u32)
+                .collect()
+        })
+        .collect();
+
+    let mut events = Vec::new();
+    for j in 0..invocations {
+        let shift = j as f64 * period;
+        let inv = j as u32;
+        for (i, msg) in tfg.iter_messages() {
+            let m = i.index();
+            events.push(SimEvent {
+                time_us: unfolded.finish0[msg.src().index()] + shift,
+                kind: SimEventKind::MessageInjected,
+                message: m as u32,
+                invocation: inv,
+                channel: NO_ID,
+            });
+            for &(a, b) in &unfolded.segments0[m] {
+                for &ch in &channels[m] {
+                    events.push(SimEvent {
+                        time_us: a + shift,
+                        kind: SimEventKind::LinkAcquired,
+                        message: m as u32,
+                        invocation: inv,
+                        channel: ch,
+                    });
+                    events.push(SimEvent {
+                        time_us: b + shift,
+                        kind: SimEventKind::LinkReleased,
+                        message: m as u32,
+                        invocation: inv,
+                        channel: ch,
+                    });
+                }
+            }
+            events.push(SimEvent {
+                time_us: unfolded.delivery[m] + shift,
+                kind: SimEventKind::FlitDelivered,
+                message: m as u32,
+                invocation: inv,
+                channel: NO_ID,
+            });
+        }
+        events.push(SimEvent {
+            time_us: unfolded.out0 + shift,
+            kind: SimEventKind::OutputProduced,
+            message: NO_ID,
+            invocation: inv,
+            channel: NO_ID,
+        });
+    }
+    events.sort_by(|a, b| a.time_us.total_cmp(&b.time_us));
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, CompileConfig};
+    use sr_tfg::generators;
+    use sr_topology::GeneralizedHypercube;
+
+    fn setup() -> (TaskFlowGraph, Timing, Schedule) {
+        let topo = GeneralizedHypercube::binary(4).unwrap();
+        let tfg = generators::diamond(4, 500, 1280);
+        let timing = Timing::new(64.0, 10.0);
+        let alloc = sr_mapping::greedy(&tfg, &topo);
+        let sched = compile(
+            &topo,
+            &tfg,
+            &alloc,
+            &timing,
+            80.0,
+            &CompileConfig::default(),
+        )
+        .expect("compiles");
+        (tfg, timing, sched)
+    }
+
+    #[test]
+    fn replay_is_blockfree_and_exactly_periodic() {
+        let (tfg, timing, sched) = setup();
+        let events = replay_events(&sched, &tfg, &timing, 12).expect("replays");
+        assert!(!events.is_empty());
+        // Scheduled routing never blocks a header.
+        assert!(events.iter().all(|e| e.kind != SimEventKind::HeaderBlocked));
+        // Sorted, with balanced acquire/release counts.
+        assert!(events.windows(2).all(|w| w[1].time_us >= w[0].time_us));
+        let count = |k: SimEventKind| events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(
+            count(SimEventKind::LinkAcquired),
+            count(SimEventKind::LinkReleased)
+        );
+        assert_eq!(count(SimEventKind::OutputProduced), 12);
+        assert_eq!(
+            count(SimEventKind::MessageInjected),
+            12 * tfg.num_messages()
+        );
+        // The analyzer sees exactly-τ_in spacing — Eq. (1) operationally.
+        let report = sr_obs::analyze_oi(&events, sched.period(), 2);
+        assert_eq!(report.outputs.len(), 10);
+        assert!(report.is_consistent(1e-9));
+        assert!(report.stalls.is_empty());
+        // And it agrees with execute() about the output instants.
+        let alloc_topo = GeneralizedHypercube::binary(4).unwrap();
+        let alloc = sr_mapping::greedy(&tfg, &alloc_topo);
+        let exec = crate::execute(&sched, &tfg, &alloc, &timing, 12).unwrap();
+        assert!((report.outputs[0] - exec.invocations()[2].output_time).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replay_rejects_corrupted_schedule() {
+        let (tfg, timing, mut sched) = setup();
+        let victim = (0..tfg.num_messages())
+            .map(sr_tfg::MessageId)
+            .find(|&m| !sched.assignment().links(m).is_empty())
+            .unwrap();
+        sched.segments.retain(|s| s.message != victim);
+        let err = replay_events(&sched, &tfg, &timing, 3).unwrap_err();
+        assert_eq!(err, ExecuteError::MissingSegments { message: victim });
+    }
+}

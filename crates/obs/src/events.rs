@@ -1,0 +1,339 @@
+//! Simulation event streams: a flat, copyable event record ([`SimEvent`])
+//! and a bounded, preallocated ring-buffer sink ([`RingEventSink`]) behind
+//! the [`EventSink`] trait.
+//!
+//! The wormhole engine and the scheduled-routing replay both narrate a run
+//! as the same six event kinds, so one analyzer (the OI analyzer in
+//! [`crate::oi`]) serves both systems. The design mirrors the [`Recorder`]
+//! pattern of this crate: the default sink is a no-op ([`NO_EVENTS`]) whose
+//! every method is an empty inline body, and instrumented code guards each
+//! emission on [`EventSink::enabled`], so uninstrumented runs pay one
+//! boolean test per event site.
+//!
+//! [`Recorder`]: crate::Recorder
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Sentinel for "no message/channel" in a [`SimEvent`] field.
+pub const NO_ID: u32 = u32::MAX;
+
+/// What happened at one instant of a simulated (or replayed) run.
+///
+/// Channel ids use the wormhole encoding `2·link + direction` (a physical
+/// link is a pair of unidirectional channels; direction 1 means the hop goes
+/// from the higher-numbered node to the lower).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimEventKind {
+    /// A message instance entered the network (source task completed).
+    MessageInjected,
+    /// The header stalled: the next channel of the route was occupied.
+    HeaderBlocked,
+    /// A channel of the route was captured.
+    LinkAcquired,
+    /// A captured channel was released.
+    LinkReleased,
+    /// The last flit arrived: the message is fully received.
+    FlitDelivered,
+    /// An invocation's final output task completed.
+    OutputProduced,
+}
+
+impl SimEventKind {
+    /// Short stable label, used in trace exports and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimEventKind::MessageInjected => "inject",
+            SimEventKind::HeaderBlocked => "blocked",
+            SimEventKind::LinkAcquired => "acquire",
+            SimEventKind::LinkReleased => "release",
+            SimEventKind::FlitDelivered => "deliver",
+            SimEventKind::OutputProduced => "output",
+        }
+    }
+}
+
+/// One timestamped event of a run. Flat and `Copy` so a preallocated ring
+/// of them never touches the allocator on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimEvent {
+    /// Simulated time, µs.
+    pub time_us: f64,
+    /// What happened.
+    pub kind: SimEventKind,
+    /// Message id, or [`NO_ID`] for events not tied to a message
+    /// ([`SimEventKind::OutputProduced`]).
+    pub message: u32,
+    /// Invocation index.
+    pub invocation: u32,
+    /// Directed channel id (`2·link + direction`), or [`NO_ID`] for events
+    /// not tied to a channel.
+    pub channel: u32,
+}
+
+/// A sink for [`SimEvent`]s, cheap enough to call from the simulator's
+/// inner loop. See [`NoopEventSink`] for the zero-overhead default and
+/// [`RingEventSink`] for the bounded collecting implementation.
+pub trait EventSink: Send + Sync {
+    /// Whether this sink stores anything; emitters skip even constructing
+    /// the event when false.
+    fn enabled(&self) -> bool;
+
+    /// Records one event.
+    fn record(&self, event: SimEvent);
+}
+
+/// The zero-overhead default sink: every method is an empty body.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopEventSink;
+
+/// A ready-made [`NoopEventSink`] to pass as `&sr_obs::NO_EVENTS`.
+pub static NO_EVENTS: NoopEventSink = NoopEventSink;
+
+impl EventSink for NoopEventSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn record(&self, _event: SimEvent) {}
+}
+
+struct Ring {
+    buf: Vec<SimEvent>,
+    /// Index of the oldest event once the buffer has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+/// A bounded, preallocated ring-buffer sink: the backing `Vec` is allocated
+/// once at construction and recording never reallocates. When full, the
+/// *oldest* events are overwritten (the tail of a run — deliveries and
+/// outputs — is what the OI analyzer needs) and [`RingEventSink::dropped`]
+/// counts the overwrites.
+pub struct RingEventSink {
+    capacity: usize,
+    inner: Mutex<Ring>,
+}
+
+impl RingEventSink {
+    /// A sink holding at most `capacity` events (at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingEventSink {
+            capacity,
+            inner: Mutex::new(Ring {
+                buf: Vec::with_capacity(capacity),
+                head: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Ring> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The fixed capacity chosen at construction.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.lock().buf.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lock().buf.is_empty()
+    }
+
+    /// How many old events were overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Snapshot of the retained events in recording order (oldest first).
+    pub fn events(&self) -> Vec<SimEvent> {
+        let ring = self.lock();
+        let mut out = Vec::with_capacity(ring.buf.len());
+        out.extend_from_slice(&ring.buf[ring.head..]);
+        out.extend_from_slice(&ring.buf[..ring.head]);
+        out
+    }
+}
+
+impl EventSink for RingEventSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: SimEvent) {
+        let mut ring = self.lock();
+        if ring.buf.len() < self.capacity {
+            ring.buf.push(event);
+        } else {
+            let head = ring.head;
+            ring.buf[head] = event;
+            ring.head = (head + 1) % self.capacity;
+            ring.dropped += 1;
+        }
+    }
+}
+
+/// Renders a slice of simulation events as Chrome-tracing entries (without
+/// the `traceEvents` envelope): each acquire→release pair becomes a
+/// complete (`"ph":"X"`) event on the channel's own track, everything else
+/// an instant (`"ph":"i"`) event on a shared lifecycle track. All entries
+/// sit on `pid` 2 so they interleave with — but stay visually separate
+/// from — the compile spans of
+/// [`MetricsRecorder::chrome_trace_json_with_events`].
+///
+/// Each returned entry is prefixed with `",\n"` so it can be appended
+/// directly after a previous entry.
+///
+/// [`MetricsRecorder::chrome_trace_json_with_events`]:
+/// crate::MetricsRecorder::chrome_trace_json_with_events
+pub(crate) fn events_chrome_entries(events: &[SimEvent]) -> String {
+    let mut out = String::new();
+    if events.is_empty() {
+        return out;
+    }
+    out.push_str(
+        ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\
+         \"args\":{\"name\":\"simulation\"}}",
+    );
+    let end_time = events
+        .iter()
+        .map(|e| e.time_us)
+        .fold(f64::NEG_INFINITY, f64::max);
+    // Open captures per (channel, message, invocation); matched FIFO.
+    let mut open: Vec<(u32, u32, u32, f64)> = Vec::new();
+    let emit_capture = |out: &mut String, ch: u32, m: u32, inv: u32, start: f64, end: f64| {
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"M{m}/i{inv}\",\"cat\":\"sim\",\"ph\":\"X\",\
+             \"ts\":{start:.3},\"dur\":{:.3},\"pid\":2,\"tid\":{},\
+             \"args\":{{\"channel\":{ch}}}}}",
+            (end - start).max(0.0),
+            ch + 1
+        );
+    };
+    for e in events {
+        match e.kind {
+            SimEventKind::LinkAcquired => {
+                open.push((e.channel, e.message, e.invocation, e.time_us));
+            }
+            SimEventKind::LinkReleased => {
+                if let Some(pos) = open.iter().position(|&(ch, m, inv, _)| {
+                    ch == e.channel && m == e.message && inv == e.invocation
+                }) {
+                    let (ch, m, inv, start) = open.remove(pos);
+                    emit_capture(&mut out, ch, m, inv, start, e.time_us);
+                }
+            }
+            kind => {
+                let name = match kind {
+                    SimEventKind::OutputProduced => format!("output i{}", e.invocation),
+                    k => format!("{} M{}/i{}", k.label(), e.message, e.invocation),
+                };
+                let _ = write!(
+                    out,
+                    ",\n{{\"name\":\"{name}\",\"cat\":\"sim\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{:.3},\"pid\":2,\"tid\":0,\"args\":{{\"channel\":{}}}}}",
+                    e.time_us,
+                    i64::from(e.channel != NO_ID) * i64::from(e.channel)
+                        - i64::from(e.channel == NO_ID)
+                );
+            }
+        }
+    }
+    // Channels still held at the end of the stream (deadlocked flights).
+    for (ch, m, inv, start) in open {
+        emit_capture(&mut out, ch, m, inv, start, end_time);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64, kind: SimEventKind, m: u32, inv: u32, ch: u32) -> SimEvent {
+        SimEvent {
+            time_us: t,
+            kind,
+            message: m,
+            invocation: inv,
+            channel: ch,
+        }
+    }
+
+    #[test]
+    fn noop_sink_is_inert() {
+        assert!(!NO_EVENTS.enabled());
+        NO_EVENTS.record(ev(0.0, SimEventKind::MessageInjected, 0, 0, NO_ID));
+    }
+
+    #[test]
+    fn ring_preserves_order_below_capacity() {
+        let sink = RingEventSink::with_capacity(8);
+        for i in 0..5 {
+            sink.record(ev(i as f64, SimEventKind::MessageInjected, i, 0, NO_ID));
+        }
+        assert_eq!(sink.len(), 5);
+        assert_eq!(sink.dropped(), 0);
+        let events = sink.events();
+        assert_eq!(events.len(), 5);
+        assert!(events.windows(2).all(|w| w[0].time_us < w[1].time_us));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let sink = RingEventSink::with_capacity(4);
+        for i in 0..10u32 {
+            sink.record(ev(i as f64, SimEventKind::MessageInjected, i, 0, NO_ID));
+        }
+        assert_eq!(sink.len(), 4);
+        assert_eq!(sink.dropped(), 6);
+        let kept: Vec<u32> = sink.events().iter().map(|e| e.message).collect();
+        // The newest four survive, in order.
+        assert_eq!(kept, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_zero_capacity_clamps_to_one() {
+        let sink = RingEventSink::with_capacity(0);
+        assert_eq!(sink.capacity(), 1);
+        assert!(sink.is_empty());
+        sink.record(ev(1.0, SimEventKind::OutputProduced, NO_ID, 0, NO_ID));
+        sink.record(ev(2.0, SimEventKind::OutputProduced, NO_ID, 1, NO_ID));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.events()[0].invocation, 1);
+    }
+
+    #[test]
+    fn chrome_entries_pair_captures_and_close_leaks() {
+        let events = vec![
+            ev(0.0, SimEventKind::MessageInjected, 0, 0, NO_ID),
+            ev(0.0, SimEventKind::LinkAcquired, 0, 0, 3),
+            ev(1.0, SimEventKind::HeaderBlocked, 1, 0, 3),
+            ev(5.0, SimEventKind::LinkReleased, 0, 0, 3),
+            ev(5.0, SimEventKind::FlitDelivered, 0, 0, NO_ID),
+            // Channel 4 acquired but never released (deadlock-style leak).
+            ev(6.0, SimEventKind::LinkAcquired, 1, 0, 4),
+            ev(9.0, SimEventKind::OutputProduced, NO_ID, 0, NO_ID),
+        ];
+        let s = events_chrome_entries(&events);
+        assert!(s.contains("\"name\":\"M0/i0\""));
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"dur\":5.000"));
+        assert!(s.contains("blocked M1/i0"));
+        assert!(s.contains("output i0"));
+        // The leaked capture is closed at the stream's end time (9 − 6).
+        assert!(s.contains("\"dur\":3.000"), "{s}");
+        assert!(events_chrome_entries(&[]).is_empty());
+    }
+}

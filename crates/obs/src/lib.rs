@@ -45,6 +45,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod events;
+mod oi;
+
+pub use events::{
+    EventSink, NoopEventSink, RingEventSink, SimEvent, SimEventKind, NO_EVENTS, NO_ID,
+};
+pub use oi::{analyze_oi, MessageSlack, OiReport, Stall};
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Mutex;
@@ -204,13 +212,15 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Summarizes a sample set (need not be sorted). Empty input gives the
-    /// all-zero summary.
+    /// Summarizes a sample set (need not be sorted). NaN samples are
+    /// dropped — they would otherwise sort above `+inf` under
+    /// [`f64::total_cmp`] and poison `max`/`mean`. Empty input (or
+    /// all-NaN input) gives the all-zero summary.
     pub fn of(samples: &[f64]) -> Summary {
-        if samples.is_empty() {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| !v.is_nan()).collect();
+        if sorted.is_empty() {
             return Summary::default();
         }
-        let mut sorted: Vec<f64> = samples.to_vec();
         sorted.sort_by(f64::total_cmp);
         Summary {
             count: sorted.len(),
@@ -328,6 +338,17 @@ impl MetricsRecorder {
     /// recording thread, span details and numeric annotations under
     /// `args`. Load the file via `chrome://tracing` or Perfetto.
     pub fn chrome_trace_json(&self) -> String {
+        self.chrome_trace_json_with_events(&[])
+    }
+
+    /// Like [`MetricsRecorder::chrome_trace_json`], but interleaves a
+    /// simulation [`SimEvent`] stream into the same trace document:
+    /// compile spans stay on pid 1 (wall-clock µs) while the simulation
+    /// narrates itself on pid 2 (simulated µs), one track per directed
+    /// channel, link occupancy as complete events and the point events
+    /// (inject / block / deliver / output) as instants. The two processes
+    /// use different time bases — compare shapes, not absolute offsets.
+    pub fn chrome_trace_json_with_events(&self, events: &[SimEvent]) -> String {
         let now = self.now_us();
         let inner = self.lock();
         let mut out = String::from("{\"traceEvents\":[\n");
@@ -361,6 +382,7 @@ impl MetricsRecorder {
             }
             out.push_str("}}");
         }
+        out.push_str(&events::events_chrome_entries(events));
         out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
         out
     }
@@ -636,6 +658,51 @@ mod tests {
     }
 
     #[test]
+    fn percentile_endpoints() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        // q = 0 clamps to the first element, q = 1 to the last.
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert_eq!(percentile(&[5.0], 0.0), 5.0);
+        assert_eq!(percentile(&[5.0], 1.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty sample set")]
+    fn percentile_empty_panics() {
+        percentile(&[], 0.5);
+    }
+
+    #[test]
+    fn summary_empty_input() {
+        let s = Summary::of(&[]);
+        assert_eq!(s, Summary::default());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.p50, 42.0);
+        assert_eq!(s.p95, 42.0);
+        assert_eq!(s.max, 42.0);
+    }
+
+    #[test]
+    fn summary_filters_nan() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0, f64::NAN]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!(!s.p95.is_nan());
+        // All-NaN behaves like empty.
+        assert_eq!(Summary::of(&[f64::NAN]), Summary::default());
+    }
+
+    #[test]
     fn spans_nest_and_annotate() {
         let r = MetricsRecorder::new();
         {
@@ -688,6 +755,36 @@ mod tests {
         // An untouched recorder exports only the process-name metadata.
         let empty = MetricsRecorder::new().chrome_trace_json();
         assert!(!empty.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn chrome_trace_interleaves_sim_events() {
+        let r = MetricsRecorder::new();
+        {
+            let _s = span(&r, "compile");
+        }
+        let events = [
+            SimEvent {
+                time_us: 1.0,
+                kind: SimEventKind::LinkAcquired,
+                message: 3,
+                invocation: 0,
+                channel: 2,
+            },
+            SimEvent {
+                time_us: 5.0,
+                kind: SimEventKind::LinkReleased,
+                message: 3,
+                invocation: 0,
+                channel: 2,
+            },
+        ];
+        let json = r.chrome_trace_json_with_events(&events);
+        assert!(json.contains("\"compile\""));
+        assert!(json.contains("\"pid\":2"));
+        assert!(json.contains("\"simulation\""));
+        assert!(json.contains("M3/i0"));
+        assert!(json.trim_end().ends_with("\"displayTimeUnit\":\"ms\"}"));
     }
 
     #[test]

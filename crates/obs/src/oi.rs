@@ -1,0 +1,464 @@
+//! The **output-inconsistency analyzer**: a pure function over a
+//! [`SimEvent`] stream that reconstructs per-invocation output timestamps
+//! and diagnoses *where* and *why* the inter-output interval deviates from
+//! `τ_in`.
+//!
+//! The paper's §3 Claim is that wormhole routing's FCFS link arbitration
+//! lets a message of invocation `j` stall behind a message of an *earlier*
+//! invocation, perturbing `δ_j` away from `τ_in`, while scheduled routing
+//! holds `δ_j = τ_in` exactly. Because the wormhole engine and the
+//! scheduled-routing replay narrate runs as the same event stream, one call
+//! to [`analyze_oi`] turns either into the same inspectable report:
+//! interval order statistics, worst deviation from the period, per-message
+//! deadline slack, and the per-link blocking chain behind every stall
+//! (which message of which invocation held the channel).
+
+use crate::events::{SimEvent, SimEventKind, NO_ID};
+use crate::{percentile, Summary};
+
+/// One header stall: who waited, on which channel, for how long, and which
+/// earlier flight held the channel when the wait began.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stall {
+    /// The waiting message.
+    pub message: u32,
+    /// The waiting message's invocation.
+    pub invocation: u32,
+    /// The contested directed channel (`2·link + direction`).
+    pub channel: u32,
+    /// When the wait began, µs.
+    pub at_us: f64,
+    /// How long the wait lasted, µs (up to the end of the stream for a
+    /// stall that never resolved — a deadlocked flight).
+    pub blocked_us: f64,
+    /// The message holding the channel when the wait began, or [`NO_ID`] if
+    /// the holder was not visible in the (possibly truncated) stream.
+    pub holder_message: u32,
+    /// The holder's invocation.
+    pub holder_invocation: u32,
+    /// Whether the waiter eventually acquired the channel.
+    pub resolved: bool,
+}
+
+impl Stall {
+    /// The §3 signature: the channel was held by a *different invocation's*
+    /// message — cross-invocation contention, the mechanism behind OI.
+    pub fn is_cross_invocation(&self) -> bool {
+        self.holder_message != NO_ID && self.holder_invocation != self.invocation
+    }
+}
+
+/// Per-message deadline-slack summary across invocations. A message's slack
+/// in invocation `j` is `τ_in − residence` (residence = delivery −
+/// injection): how much later it could have been delivered without eating
+/// into the next invocation's window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MessageSlack {
+    /// The message.
+    pub message: u32,
+    /// Complete flights observed (injection and delivery both in-stream).
+    pub flights: usize,
+    /// Worst (smallest) slack across flights, µs. Negative means the
+    /// message overran its invocation's window.
+    pub min_slack_us: f64,
+    /// Longest network residence across flights, µs.
+    pub max_residence_us: f64,
+}
+
+/// The OI analyzer's verdict over one run. Produced by [`analyze_oi`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OiReport {
+    /// The input period `τ_in`, µs.
+    pub period_us: f64,
+    /// Invocations skipped at the front (pipeline fill).
+    pub warmup: usize,
+    /// Output timestamps of the analyzed invocations (a gap in the
+    /// invocation sequence — deadlock — truncates the series), µs.
+    pub outputs: Vec<f64>,
+    /// Inter-output intervals `δ_j` between consecutive analyzed
+    /// invocations, µs.
+    pub intervals: Vec<f64>,
+    /// Order statistics of the intervals (`None` with fewer than two
+    /// outputs).
+    pub interval_summary: Option<Summary>,
+    /// Smallest observed interval, µs (0 when none).
+    pub min_interval_us: f64,
+    /// Largest deviation `|δ_j − τ_in|`, µs.
+    pub max_deviation_us: f64,
+    /// Per-message deadline slack, in message-id order.
+    pub slack: Vec<MessageSlack>,
+    /// Every header stall, in stream order, with its blocking culprit.
+    pub stalls: Vec<Stall>,
+}
+
+impl OiReport {
+    /// Whether every analyzed interval equals `τ_in` within `tol` — the
+    /// paper's Eq. (1) throughput-constancy test.
+    pub fn is_consistent(&self, tol: f64) -> bool {
+        self.max_deviation_us <= tol
+    }
+
+    /// Number of stalls caused by a different invocation's message.
+    pub fn cross_invocation_stalls(&self) -> usize {
+        self.stalls
+            .iter()
+            .filter(|s| s.is_cross_invocation())
+            .count()
+    }
+
+    /// A compact human-readable rendering of the report (used by the demo
+    /// example and the `report` subcommand's text output).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "OI report: τ_in = {} µs, {} outputs after warmup {}",
+            self.period_us,
+            self.outputs.len(),
+            self.warmup
+        );
+        match &self.interval_summary {
+            Some(s) => {
+                let _ = writeln!(
+                    out,
+                    "  intervals δ_j : min {:.2}  p50 {:.2}  p95 {:.2}  max {:.2} µs",
+                    self.min_interval_us, s.p50, s.p95, s.max
+                );
+                let _ = writeln!(
+                    out,
+                    "  max |δ − τ_in|: {:.2} µs -> {}",
+                    self.max_deviation_us,
+                    if self.is_consistent(1e-6) {
+                        "consistent"
+                    } else {
+                        "OUTPUT INCONSISTENCY"
+                    }
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  too few outputs to measure an interval");
+            }
+        }
+        let cross = self.cross_invocation_stalls();
+        let _ = writeln!(
+            out,
+            "  stalls        : {} total, {} cross-invocation",
+            self.stalls.len(),
+            cross
+        );
+        for s in self
+            .stalls
+            .iter()
+            .filter(|s| s.is_cross_invocation())
+            .take(4)
+        {
+            let _ = writeln!(
+                out,
+                "    M{}/i{} blocked {:.2} µs on ch{} by M{}/i{}{}",
+                s.message,
+                s.invocation,
+                s.blocked_us,
+                s.channel,
+                s.holder_message,
+                s.holder_invocation,
+                if s.resolved { "" } else { " (never resolved)" }
+            );
+        }
+        for ms in &self.slack {
+            let _ = writeln!(
+                out,
+                "  slack M{}     : min {:.2} µs over {} flights (max residence {:.2} µs)",
+                ms.message, ms.min_slack_us, ms.flights, ms.max_residence_us
+            );
+        }
+        out
+    }
+}
+
+/// Analyzes an event stream (from the wormhole engine or the SR replay)
+/// against input period `period_us`, skipping the first `warmup`
+/// invocations of the output series (pipeline fill), and returns the
+/// [`OiReport`].
+///
+/// The stream need not be sorted; events are stably ordered by timestamp
+/// first (ties keep emission order). Truncated streams (a full
+/// [`RingEventSink`](crate::RingEventSink)) degrade gracefully: flights
+/// missing their injection or delivery are skipped from the slack table and
+/// stalls without a visible holder carry [`NO_ID`].
+pub fn analyze_oi(events: &[SimEvent], period_us: f64, warmup: usize) -> OiReport {
+    let mut ordered: Vec<&SimEvent> = events.iter().collect();
+    ordered.sort_by(|a, b| a.time_us.total_cmp(&b.time_us));
+    let end_time = ordered.last().map_or(0.0, |e| e.time_us);
+
+    // --- Output series -----------------------------------------------------
+    let mut outputs_by_inv: std::collections::BTreeMap<u32, f64> =
+        std::collections::BTreeMap::new();
+    for e in &ordered {
+        if e.kind == SimEventKind::OutputProduced {
+            outputs_by_inv.entry(e.invocation).or_insert(e.time_us);
+        }
+    }
+    // Consecutive invocations from `warmup`; a gap (deadlock) truncates.
+    let mut outputs = Vec::new();
+    let mut next = warmup as u32;
+    while let Some(&t) = outputs_by_inv.get(&next) {
+        outputs.push(t);
+        next += 1;
+    }
+    let intervals: Vec<f64> = outputs.windows(2).map(|w| w[1] - w[0]).collect();
+    let interval_summary = if intervals.is_empty() {
+        None
+    } else {
+        Some(Summary::of(&intervals))
+    };
+    let min_interval_us = if intervals.is_empty() {
+        0.0
+    } else {
+        let mut sorted = intervals.clone();
+        sorted.sort_by(f64::total_cmp);
+        percentile(&sorted, 0.0)
+    };
+    let max_deviation_us = intervals
+        .iter()
+        .map(|d| (d - period_us).abs())
+        .fold(0.0, f64::max);
+
+    // --- Per-message deadline slack ---------------------------------------
+    let mut injected: std::collections::HashMap<(u32, u32), f64> = std::collections::HashMap::new();
+    let mut slack_map: std::collections::BTreeMap<u32, MessageSlack> =
+        std::collections::BTreeMap::new();
+    for e in &ordered {
+        match e.kind {
+            SimEventKind::MessageInjected => {
+                injected
+                    .entry((e.message, e.invocation))
+                    .or_insert(e.time_us);
+            }
+            SimEventKind::FlitDelivered => {
+                if let Some(t0) = injected.remove(&(e.message, e.invocation)) {
+                    let residence = e.time_us - t0;
+                    let slack = period_us - residence;
+                    let entry = slack_map.entry(e.message).or_insert(MessageSlack {
+                        message: e.message,
+                        flights: 0,
+                        min_slack_us: f64::INFINITY,
+                        max_residence_us: f64::NEG_INFINITY,
+                    });
+                    entry.flights += 1;
+                    entry.min_slack_us = entry.min_slack_us.min(slack);
+                    entry.max_residence_us = entry.max_residence_us.max(residence);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // --- Blocking chains ----------------------------------------------------
+    // Current holders per channel (acquire order = FCFS grant order) and
+    // pending header stalls awaiting their acquire.
+    let mut holders: std::collections::HashMap<u32, Vec<(u32, u32)>> =
+        std::collections::HashMap::new();
+    let mut pending: Vec<(u32, u32, u32, f64, u32, u32)> = Vec::new();
+    let mut stalls = Vec::new();
+    for e in &ordered {
+        match e.kind {
+            SimEventKind::HeaderBlocked => {
+                let (hm, hi) = holders
+                    .get(&e.channel)
+                    .and_then(|h| h.first())
+                    .copied()
+                    .unwrap_or((NO_ID, NO_ID));
+                pending.push((e.message, e.invocation, e.channel, e.time_us, hm, hi));
+            }
+            SimEventKind::LinkAcquired => {
+                if let Some(pos) = pending.iter().position(|&(m, i, c, ..)| {
+                    m == e.message && i == e.invocation && c == e.channel
+                }) {
+                    let (m, i, c, t0, hm, hi) = pending.remove(pos);
+                    stalls.push(Stall {
+                        message: m,
+                        invocation: i,
+                        channel: c,
+                        at_us: t0,
+                        blocked_us: e.time_us - t0,
+                        holder_message: hm,
+                        holder_invocation: hi,
+                        resolved: true,
+                    });
+                }
+                holders
+                    .entry(e.channel)
+                    .or_default()
+                    .push((e.message, e.invocation));
+            }
+            SimEventKind::LinkReleased => {
+                if let Some(h) = holders.get_mut(&e.channel) {
+                    if let Some(pos) = h
+                        .iter()
+                        .position(|&(m, i)| m == e.message && i == e.invocation)
+                    {
+                        h.remove(pos);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // Stalls that never resolved: deadlocked (or truncated) flights.
+    for (m, i, c, t0, hm, hi) in pending {
+        stalls.push(Stall {
+            message: m,
+            invocation: i,
+            channel: c,
+            at_us: t0,
+            blocked_us: end_time - t0,
+            holder_message: hm,
+            holder_invocation: hi,
+            resolved: false,
+        });
+    }
+    stalls.sort_by(|a, b| a.at_us.total_cmp(&b.at_us));
+
+    OiReport {
+        period_us,
+        warmup,
+        outputs,
+        intervals,
+        interval_summary,
+        min_interval_us,
+        max_deviation_us,
+        slack: slack_map.into_values().collect(),
+        stalls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64, kind: SimEventKind, m: u32, inv: u32, ch: u32) -> SimEvent {
+        SimEvent {
+            time_us: t,
+            kind,
+            message: m,
+            invocation: inv,
+            channel: ch,
+        }
+    }
+
+    /// Two invocations: i0's message holds channel 0, i1's message stalls
+    /// behind it — the §3 cross-invocation mechanism in miniature.
+    fn contended_stream() -> Vec<SimEvent> {
+        vec![
+            ev(0.0, SimEventKind::MessageInjected, 0, 0, NO_ID),
+            ev(0.0, SimEventKind::LinkAcquired, 0, 0, 0),
+            ev(10.0, SimEventKind::MessageInjected, 0, 1, NO_ID),
+            ev(10.0, SimEventKind::HeaderBlocked, 0, 1, 0),
+            ev(30.0, SimEventKind::LinkReleased, 0, 0, 0),
+            ev(30.0, SimEventKind::FlitDelivered, 0, 0, NO_ID),
+            ev(30.0, SimEventKind::LinkAcquired, 0, 1, 0),
+            ev(31.0, SimEventKind::OutputProduced, NO_ID, 0, NO_ID),
+            ev(60.0, SimEventKind::LinkReleased, 0, 1, 0),
+            ev(60.0, SimEventKind::FlitDelivered, 0, 1, NO_ID),
+            ev(61.0, SimEventKind::OutputProduced, NO_ID, 1, NO_ID),
+        ]
+    }
+
+    #[test]
+    fn detects_cross_invocation_stall() {
+        let r = analyze_oi(&contended_stream(), 10.0, 0);
+        assert_eq!(r.outputs, vec![31.0, 61.0]);
+        assert_eq!(r.intervals, vec![30.0]);
+        assert!(!r.is_consistent(1e-6));
+        assert!((r.max_deviation_us - 20.0).abs() < 1e-9);
+        assert_eq!(r.stalls.len(), 1);
+        let s = &r.stalls[0];
+        assert!(s.is_cross_invocation());
+        assert_eq!((s.message, s.invocation), (0, 1));
+        assert_eq!((s.holder_message, s.holder_invocation), (0, 0));
+        assert!((s.blocked_us - 20.0).abs() < 1e-9);
+        assert!(s.resolved);
+        assert_eq!(r.cross_invocation_stalls(), 1);
+        // Slack: i0 residence 30 => slack -20; i1 residence 50 => slack -40.
+        assert_eq!(r.slack.len(), 1);
+        assert_eq!(r.slack[0].flights, 2);
+        assert!((r.slack[0].min_slack_us - (10.0 - 50.0)).abs() < 1e-9);
+        assert!((r.slack[0].max_residence_us - 50.0).abs() < 1e-9);
+        let text = r.render();
+        assert!(text.contains("OUTPUT INCONSISTENCY"), "{text}");
+        assert!(text.contains("by M0/i0"), "{text}");
+    }
+
+    #[test]
+    fn constant_spacing_is_consistent() {
+        let events: Vec<SimEvent> = (0..5)
+            .map(|j| {
+                ev(
+                    100.0 + 50.0 * j as f64,
+                    SimEventKind::OutputProduced,
+                    NO_ID,
+                    j,
+                    NO_ID,
+                )
+            })
+            .collect();
+        let r = analyze_oi(&events, 50.0, 1);
+        assert_eq!(r.outputs.len(), 4);
+        assert!(r.is_consistent(1e-9));
+        assert_eq!(r.min_interval_us, 50.0);
+        assert_eq!(r.interval_summary.unwrap().max, 50.0);
+        assert!(r.render().contains("consistent"));
+    }
+
+    #[test]
+    fn gap_in_invocations_truncates_series() {
+        // Invocation 1 never completes (deadlock): only i0 is analyzable.
+        let events = vec![
+            ev(10.0, SimEventKind::OutputProduced, NO_ID, 0, NO_ID),
+            ev(90.0, SimEventKind::OutputProduced, NO_ID, 2, NO_ID),
+        ];
+        let r = analyze_oi(&events, 40.0, 0);
+        assert_eq!(r.outputs, vec![10.0]);
+        assert!(r.intervals.is_empty());
+        assert!(r.interval_summary.is_none());
+        assert_eq!(r.max_deviation_us, 0.0);
+        assert!(r.render().contains("too few outputs"));
+    }
+
+    #[test]
+    fn unresolved_stall_reported_as_deadlock() {
+        let events = vec![
+            ev(0.0, SimEventKind::LinkAcquired, 0, 0, 5),
+            ev(2.0, SimEventKind::HeaderBlocked, 1, 1, 5),
+            ev(50.0, SimEventKind::OutputProduced, NO_ID, 0, NO_ID),
+        ];
+        let r = analyze_oi(&events, 10.0, 0);
+        assert_eq!(r.stalls.len(), 1);
+        assert!(!r.stalls[0].resolved);
+        assert!((r.stalls[0].blocked_us - 48.0).abs() < 1e-9);
+        assert!(r.stalls[0].is_cross_invocation());
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_report() {
+        let r = analyze_oi(&[], 10.0, 0);
+        assert!(r.outputs.is_empty());
+        assert!(r.stalls.is_empty());
+        assert!(r.slack.is_empty());
+        assert!(r.is_consistent(0.0));
+    }
+
+    #[test]
+    fn stall_without_visible_holder_gets_no_id() {
+        // Truncated stream: the acquire that precedes this block was lost.
+        let events = vec![
+            ev(2.0, SimEventKind::HeaderBlocked, 1, 1, 5),
+            ev(4.0, SimEventKind::LinkAcquired, 1, 1, 5),
+        ];
+        let r = analyze_oi(&events, 10.0, 0);
+        assert_eq!(r.stalls.len(), 1);
+        assert_eq!(r.stalls[0].holder_message, NO_ID);
+        assert!(!r.stalls[0].is_cross_invocation());
+    }
+}

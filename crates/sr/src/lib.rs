@@ -60,15 +60,18 @@ pub use sr_wormhole as wormhole;
 /// The most common imports, for `use sr::prelude::*`.
 pub mod prelude {
     pub use sr_core::{
-        analyze_damage, compile, compile_with_recorder, verify, verify_with_faults, CompileConfig,
-        CompileError, DamageReport, Schedule,
+        analyze_damage, compile, compile_with_recorder, replay_events, verify, verify_with_faults,
+        CompileConfig, CompileError, DamageReport, Schedule,
     };
     pub use sr_fault::{
         repair, sweep_link_failures, FaultSet, MaskedTopology, RepairConfig, RepairOutcome,
         RepairVerdict, SweepConfig,
     };
     pub use sr_mapping::Allocation;
-    pub use sr_obs::{MetricsRecorder, Recorder};
+    pub use sr_obs::{
+        analyze_oi, EventSink, MetricsRecorder, OiReport, Recorder, RingEventSink, SimEvent,
+        SimEventKind,
+    };
     pub use sr_tfg::{
         assign_time_bounds, dvb, dvb_uniform, TaskFlowGraph, TfgBuilder, Timing, WindowPolicy,
     };

@@ -6,6 +6,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use crate::result::{InvocationRecord, SimResult};
 use crate::trace::{FlightRecord, Trace};
 use sr_mapping::Allocation;
+use sr_obs::{EventSink, SimEvent, SimEventKind, NO_ID};
 use sr_tfg::{MessageId, TaskFlowGraph, TaskId, Timing};
 
 /// A scheduled simulation event; `seq` makes ordering total and FCFS
@@ -105,6 +106,10 @@ pub(crate) struct Engine<'a> {
     hold_since: Vec<Vec<f64>>,
     end_time: f64,
     trace: Trace,
+    /// Event-stream sink; every state transition narrates itself here when
+    /// `events_on` (cached [`EventSink::enabled`]) is set.
+    sink: &'a dyn EventSink,
+    events_on: bool,
 }
 
 impl<'a> Engine<'a> {
@@ -118,6 +123,7 @@ impl<'a> Engine<'a> {
         period: f64,
         invocations: usize,
         link_capacity: usize,
+        sink: &'a dyn EventSink,
     ) -> Self {
         debug_assert!(link_capacity >= 1);
         let nt = tfg.num_tasks();
@@ -167,6 +173,23 @@ impl<'a> Engine<'a> {
             hold_since: vec![Vec::new(); num_links],
             end_time: 0.0,
             trace: Trace::default(),
+            sink,
+            events_on: sink.enabled(),
+        }
+    }
+
+    /// Records one event at the current simulated time; free when the sink
+    /// is the no-op (`events_on` caches `enabled()`, so the disabled path
+    /// is a single branch).
+    fn emit(&self, kind: SimEventKind, message: u32, invocation: u32, channel: u32) {
+        if self.events_on {
+            self.sink.record(SimEvent {
+                time_us: self.now,
+                kind,
+                message,
+                invocation,
+                channel,
+            });
         }
     }
 
@@ -334,6 +357,7 @@ impl<'a> Engine<'a> {
             *rem -= 1;
             if *rem == 0 {
                 self.output_time[inv] = Some(self.now);
+                self.emit(SimEventKind::OutputProduced, NO_ID, inv as u32, NO_ID);
             }
         }
 
@@ -358,6 +382,12 @@ impl<'a> Engine<'a> {
             injected_at: self.now,
             path_complete_at: self.now,
         });
+        self.emit(
+            SimEventKind::MessageInjected,
+            m.index() as u32,
+            inv as u32,
+            NO_ID,
+        );
         if self.flights[id].links.is_empty() {
             // Co-located sender and receiver: no network involvement.
             self.push_event(self.now, EventKind::TxDone { flight: id });
@@ -397,6 +427,10 @@ impl<'a> Engine<'a> {
     /// Invariant: a link with an empty queue and no holder is free; a held
     /// link queues requesters FCFS.
     fn advance(&mut self, flight: usize) {
+        let (fm, fi) = {
+            let f = &self.flights[flight];
+            (f.message.index() as u32, f.inv as u32)
+        };
         loop {
             let next = {
                 let f = &mut self.flights[flight];
@@ -414,8 +448,10 @@ impl<'a> Engine<'a> {
                 link.holders.push(flight);
                 self.hold_since[next].push(self.now);
                 self.flights[flight].acquired += 1;
+                self.emit(SimEventKind::LinkAcquired, fm, fi, next as u32);
             } else {
                 link.queue.push_back(flight);
+                self.emit(SimEventKind::HeaderBlocked, fm, fi, next as u32);
                 return;
             }
         }
@@ -433,25 +469,54 @@ impl<'a> Engine<'a> {
             });
             (f.message, f.inv, f.links[..f.acquired].to_vec())
         };
+        self.emit(
+            SimEventKind::FlitDelivered,
+            message.index() as u32,
+            inv as u32,
+            NO_ID,
+        );
         // Deliver to the destination task.
         let dst = self.tfg.message(message).dst();
         self.predecessor_arrived(dst, inv);
 
         // Release the captured path in hop order, granting waiters FCFS.
+        // Link mutation stays inside one scoped borrow (as before events
+        // existed) so the disabled-sink path pays only the emit branches.
         for l in held {
-            let link = &mut self.links[l];
-            let pos = link
-                .holders
-                .iter()
-                .position(|&h| h == flight)
-                .expect("released foreign channel");
-            link.holders.swap_remove(pos);
-            let since = self.hold_since[l].swap_remove(pos);
+            let (since, waiter) = {
+                let link = &mut self.links[l];
+                let pos = link
+                    .holders
+                    .iter()
+                    .position(|&h| h == flight)
+                    .expect("released foreign channel");
+                link.holders.swap_remove(pos);
+                let since = self.hold_since[l].swap_remove(pos);
+                let waiter = link.queue.pop_front();
+                if let Some(w) = waiter {
+                    link.holders.push(w);
+                    self.hold_since[l].push(self.now);
+                }
+                (since, waiter)
+            };
             self.link_busy[l] += self.now - since;
-            if let Some(w) = link.queue.pop_front() {
-                link.holders.push(w);
-                self.hold_since[l].push(self.now);
+            self.emit(
+                SimEventKind::LinkReleased,
+                message.index() as u32,
+                inv as u32,
+                l as u32,
+            );
+            if let Some(w) = waiter {
                 self.flights[w].acquired += 1;
+                if self.events_on {
+                    let fw = &self.flights[w];
+                    self.emit(
+                        SimEventKind::LinkAcquired,
+                        fw.message.index() as u32,
+                        fw.inv as u32,
+                        l as u32,
+                    );
+                }
                 self.advance(w);
             }
         }

@@ -303,6 +303,30 @@ impl<'a> WormholeSim<'a> {
     /// Returns [`SimError::InvalidPeriod`] or [`SimError::TooFewInvocations`]
     /// for malformed run parameters.
     pub fn run(&self, period: f64, config: &SimConfig) -> Result<SimResult, SimError> {
+        self.run_with_events(period, config, &sr_obs::NO_EVENTS)
+    }
+
+    /// Like [`WormholeSim::run`], but narrates every engine transition —
+    /// injection, header block, channel acquire/release, delivery, output —
+    /// into `sink` as [`sr_obs::SimEvent`]s (directed channel ids, µs of
+    /// simulated time). Pass [`sr_obs::NO_EVENTS`] for the free path; the
+    /// engine checks [`sr_obs::EventSink::enabled`] once and pays a single
+    /// branch per site when disabled.
+    ///
+    /// The simulation is single-threaded and deterministic, so the event
+    /// stream (and its length) is identical across runs and unaffected by
+    /// any compile-side `parallelism` setting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidPeriod`] or [`SimError::TooFewInvocations`]
+    /// for malformed run parameters.
+    pub fn run_with_events(
+        &self,
+        period: f64,
+        config: &SimConfig,
+        sink: &dyn sr_obs::EventSink,
+    ) -> Result<SimResult, SimError> {
         if !(period.is_finite() && period > 0.0) {
             return Err(SimError::InvalidPeriod(period));
         }
@@ -322,6 +346,7 @@ impl<'a> WormholeSim<'a> {
             period,
             config.invocations,
             self.virtual_channels,
+            sink,
         );
         Ok(engine.run(config.warmup))
     }
@@ -771,6 +796,45 @@ mod tests {
             assert!(f.residence() >= f.blocked() - 1e-9);
         }
         assert!(res.trace().max_blocked() >= spread);
+    }
+
+    /// The event stream narrates every transition, balances acquires with
+    /// releases, and is bit-identical across runs; the default `run` stays
+    /// on the no-op path with unchanged results.
+    #[test]
+    fn event_stream_narrates_the_run() {
+        use sr_obs::SimEventKind as K;
+        let topo = cube(3);
+        let tfg = generators::chain(3, 1000, 640);
+        let timing = Timing::new(64.0, 100.0);
+        let alloc = Allocation::new(vec![NodeId(0), NodeId(1), NodeId(3)], &tfg, &topo).unwrap();
+        let sim = WormholeSim::new(&topo, &tfg, &alloc, &timing).unwrap();
+        let cfg = SimConfig {
+            invocations: 5,
+            warmup: 0,
+        };
+        let sink = sr_obs::RingEventSink::with_capacity(4096);
+        let res = sim.run_with_events(20.0, &cfg, &sink).unwrap();
+        assert!(!res.deadlocked());
+        let events = sink.events();
+        assert_eq!(sink.dropped(), 0);
+        let count = |k: K| events.iter().filter(|e| e.kind == k).count();
+        // 2 one-hop messages × 5 invocations, uncontended.
+        assert_eq!(count(K::MessageInjected), 10);
+        assert_eq!(count(K::FlitDelivered), 10);
+        assert_eq!(count(K::HeaderBlocked), 0);
+        assert_eq!(count(K::LinkAcquired), 10);
+        assert_eq!(count(K::LinkAcquired), count(K::LinkReleased));
+        assert_eq!(count(K::OutputProduced), 5);
+        // Timestamps are monotone (the engine emits in event order).
+        assert!(events.windows(2).all(|w| w[1].time_us >= w[0].time_us));
+        // Deterministic: a second instrumented run yields the same stream.
+        let sink2 = sr_obs::RingEventSink::with_capacity(4096);
+        sim.run_with_events(20.0, &cfg, &sink2).unwrap();
+        assert_eq!(events, sink2.events());
+        // The uninstrumented entry point is unchanged.
+        let plain = sim.run(20.0, &cfg).unwrap();
+        assert_eq!(plain.records(), res.records());
     }
 
     /// Simulation is fully deterministic: identical runs give identical

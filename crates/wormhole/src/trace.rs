@@ -112,9 +112,11 @@ pub struct BlockedSummary {
 }
 
 impl BlockedSummary {
-    /// Summarizes a sequence of durations; `None` when empty.
+    /// Summarizes a sequence of durations; `None` when empty (or when every
+    /// value is NaN — NaN samples are dropped, since they would sort above
+    /// `+inf` under [`f64::total_cmp`] and poison `max`/`mean`).
     pub fn of(values: impl IntoIterator<Item = f64>) -> Option<BlockedSummary> {
-        let mut v: Vec<f64> = values.into_iter().collect();
+        let mut v: Vec<f64> = values.into_iter().filter(|x| !x.is_nan()).collect();
         if v.is_empty() {
             return None;
         }
@@ -202,5 +204,21 @@ mod tests {
             (s.count, s.mean, s.p50, s.p95, s.max),
             (1, 3.0, 3.0, 3.0, 3.0)
         );
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(BlockedSummary::of([]).is_none());
+    }
+
+    #[test]
+    fn summary_filters_nan() {
+        let s = BlockedSummary::of([2.0, f64::NAN, 4.0]).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 3.0);
+        assert!(!s.p95.is_nan());
+        // All-NaN behaves like empty.
+        assert!(BlockedSummary::of([f64::NAN, f64::NAN]).is_none());
     }
 }

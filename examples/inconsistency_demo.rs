@@ -31,31 +31,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let period = 120.0;
     println!("τ_in = {period} µs; M1 and M2 both need 100 µs of link time.\n");
 
-    // --- Wormhole routing ---
+    let cfg = SimConfig {
+        invocations: 30,
+        warmup: 4,
+    };
+
+    // --- Wormhole routing, with the event stream captured ---
     let wr = WormholeSim::new(&cube, &tfg, &alloc, &timing)?;
-    let res = wr.run(
-        period,
-        &SimConfig {
-            invocations: 30,
-            warmup: 4,
-        },
-    )?;
+    let sink = RingEventSink::with_capacity(1 << 14);
+    let res = wr.run_with_events(period, &cfg, &sink)?;
     println!("wormhole routing output intervals (should all equal τ_in):");
     for (i, d) in res.output_intervals().iter().take(10).enumerate() {
         println!("  δ_{:<2} = {d:>6.1} µs", i + 1);
     }
-    println!(
-        "  -> output inconsistency: {}",
-        res.has_output_inconsistency(1e-6)
-    );
-    // The mechanism behind the inconsistency, in one line: FCFS arbitration
-    // makes the per-flight blocked time a distribution, not a constant.
-    if let Some(b) = res.trace().blocked_summary() {
-        println!(
-            "  -> blocked time over {} flights: p50 {:.1} µs, p95 {:.1} µs, max {:.1} µs\n",
-            b.count, b.p50, b.p95, b.max
-        );
-    }
+    // The OI analyzer reconstructs the distribution from the event stream
+    // and attributes each stall to the earlier-invocation message that held
+    // the channel — the Claim's mechanism, named.
+    let oi = analyze_oi(&sink.events(), period, cfg.warmup);
+    println!("\n{}", oi.render());
 
     // --- Scheduled routing ---
     let sched = compile(
@@ -75,9 +68,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!(
-        "  -> constant δ = {period} µs, latency {:.1} µs, U = {:.2}",
+        "  -> latency {:.1} µs, U = {:.2}",
         sched.latency(),
         sched.peak_utilization()
     );
+    // Same analyzer, same τ_in, over the schedule's replayed event stream:
+    // every interval is exactly the input period.
+    let replay = replay_events(&sched, &tfg, &timing, cfg.invocations)?;
+    let oi = analyze_oi(&replay, period, cfg.warmup);
+    println!("\n{}", oi.render());
     Ok(())
 }

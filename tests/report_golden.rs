@@ -1,0 +1,54 @@
+//! Golden structure test for the `report` subcommand on the torus 4×4 DVB
+//! figure workload: the document's tag skeleton (sections, headings, SVG
+//! panels) is pinned in `tests/golden/report_structure.txt`. Timing values
+//! float freely — only the *shape* of the report is golden, so adding or
+//! dropping a panel fails loudly while rerunning with different LP pivots
+//! does not.
+
+use sr_cli::{parse_args, report, run};
+
+fn args(s: &str) -> Vec<String> {
+    s.split_whitespace().map(String::from).collect()
+}
+
+#[test]
+fn torus4x4_dvb_report_matches_golden_structure() {
+    let dir = std::env::temp_dir().join("srsched_report_golden");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("torus4x4_dvb.html");
+    let opts = parse_args(&args(&format!(
+        "report --topo torus:4x4 --tfg dvb:10 --bandwidth 128 --alloc scatter:7 \
+         --period 58.82 --out {}",
+        path.display()
+    )))
+    .unwrap();
+    let mut out = String::new();
+    run(&opts, &mut out).unwrap();
+
+    // The one-line text summary shows both flow-control disciplines ran.
+    assert!(out.contains("wormhole :"), "{out}");
+    assert!(out.contains("scheduled:"), "{out}");
+
+    let html = std::fs::read_to_string(&path).unwrap();
+    // Self-contained: a full document with zero external references.
+    assert!(html.starts_with("<!DOCTYPE html>"));
+    for banned in ["http://", "https://", "<script", "<link", "src=", "@import"] {
+        assert!(!html.contains(banned), "external reference: {banned}");
+    }
+    // Both disciplines appear in the side-by-side panel.
+    assert!(html.contains("<th>wormhole</th><th>scheduled</th>"));
+
+    let got = report::structure(&html);
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/report_structure.txt"
+    );
+    let want = std::fs::read_to_string(golden_path).expect("golden file");
+    assert_eq!(
+        got.trim(),
+        want.trim(),
+        "report skeleton drifted from {golden_path}; if the change is \
+         intentional, update the golden file to:\n{got}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
