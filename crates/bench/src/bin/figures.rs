@@ -2,40 +2,104 @@
 //!
 //! ```text
 //! figures [fig5|fig6|fig7|fig8|fig9|fig10|claim|ablation|all] [--csv DIR]
+//! figures scale [--platform NxN]... [--engine simplex|flow] [--flat]
+//!               [--load L] [--json PATH] [--budget-s S]
 //! ```
 //!
 //! Each figure prints a Markdown table of the same series the paper plots;
 //! with `--csv DIR`, raw CSV files are written alongside.
+//!
+//! `scale` runs the compile-time scaling sweep (ROADMAP item 2): a tiled
+//! DVB workload on N×N tori (default 8x8 → 32x32 → 64x64, the 64 → 1024 →
+//! 4096-node trajectory), written as `BENCH_scale.json` (`--json` to move
+//! it). `--budget-s` makes the run fail if any compile exceeds the
+//! wall-clock budget — the CI smoke gate.
 
 use std::path::PathBuf;
 
 use sr::prelude::*;
 use sr::sync::{simulate_sync, ClockEnsemble, SyncConfig};
 use sr_bench::{
-    figure_performance, figure_utilization, performance_csv, performance_markdown,
-    standard_workload, utilization_csv, utilization_markdown, Platform,
+    figure_performance, figure_utilization, performance_csv, performance_markdown, scale_json,
+    scale_markdown, scale_point, standard_workload, utilization_csv, utilization_markdown,
+    Platform,
 };
 
 struct Args {
     what: String,
     csv_dir: Option<PathBuf>,
+    scale_extents: Vec<usize>,
+    scale_engine: AllocEngine,
+    scale_flat: bool,
+    scale_load: f64,
+    scale_bandwidth: f64,
+    scale_json_path: PathBuf,
+    scale_budget_s: Option<f64>,
 }
 
 fn parse_args() -> Args {
-    let mut what = "all".to_string();
-    let mut csv_dir = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+    let mut args = Args {
+        what: "all".to_string(),
+        csv_dir: None,
+        scale_extents: Vec::new(),
+        scale_engine: AllocEngine::Flow,
+        scale_flat: false,
+        scale_load: 0.5,
+        scale_bandwidth: 256.0,
+        scale_json_path: PathBuf::from("BENCH_scale.json"),
+        scale_budget_s: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
         match a.as_str() {
             "--csv" => {
-                csv_dir = Some(PathBuf::from(
-                    args.next().expect("--csv requires a directory"),
+                args.csv_dir = Some(PathBuf::from(
+                    argv.next().expect("--csv requires a directory"),
                 ))
             }
-            other => what = other.to_string(),
+            "--platform" => {
+                let p = argv.next().expect("--platform requires NxN");
+                let n = p
+                    .split_once('x')
+                    .filter(|(a, b)| a == b)
+                    .and_then(|(a, _)| a.parse::<usize>().ok())
+                    .unwrap_or_else(|| panic!("bad --platform '{p}' (expected NxN, e.g. 16x16)"));
+                args.scale_extents.push(n);
+            }
+            "--engine" => {
+                args.scale_engine = match argv.next().expect("--engine requires a value").as_str() {
+                    "simplex" => AllocEngine::Simplex,
+                    "flow" => AllocEngine::Flow,
+                    other => panic!("bad --engine '{other}' (expected simplex|flow)"),
+                }
+            }
+            "--flat" => args.scale_flat = true,
+            "--load" => {
+                args.scale_load = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--load requires a number")
+            }
+            "--bandwidth" => {
+                args.scale_bandwidth = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--bandwidth requires a number")
+            }
+            "--json" => {
+                args.scale_json_path = PathBuf::from(argv.next().expect("--json requires a path"))
+            }
+            "--budget-s" => {
+                args.scale_budget_s = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--budget-s requires a number"),
+                )
+            }
+            other => args.what = other.to_string(),
         }
     }
-    Args { what, csv_dir }
+    args
 }
 
 fn write_csv(dir: &Option<PathBuf>, name: &str, contents: &str) {
@@ -290,8 +354,74 @@ fn sync_ablation() {
     println!();
 }
 
-fn main() {
+/// The scaling sweep: compile + verify the tiled DVB workload on each N×N
+/// torus, print the trajectory, write `BENCH_scale.json`, and enforce the
+/// wall-clock budget. Returns false when the gate fails.
+fn scale_sweep(args: &Args) -> bool {
+    let extents = if args.scale_extents.is_empty() {
+        vec![8, 32, 64] // the 64 → 1024 → 4096-node trajectory
+    } else {
+        args.scale_extents.clone()
+    };
+    println!(
+        "## scale: tiled DVB compile trajectory (load {}, engine {:?}, {})\n",
+        args.scale_load,
+        args.scale_engine,
+        if args.scale_flat {
+            "flat".to_string()
+        } else {
+            "partitioned".to_string()
+        }
+    );
+    let mut points = Vec::new();
+    for &n in &extents {
+        let point = scale_point(
+            n,
+            args.scale_bandwidth,
+            args.scale_engine,
+            !args.scale_flat,
+            args.scale_load,
+            sr_bench::ALLOC_SEED,
+        );
+        eprintln!(
+            "{}: compile {:.1} ms, verify {:.1} ms",
+            point.platform, point.compile_ms, point.verify_ms
+        );
+        points.push(point);
+    }
+    println!("{}", scale_markdown(&points));
+    std::fs::write(&args.scale_json_path, scale_json(&points)).expect("write scale json");
+    eprintln!("wrote {}", args.scale_json_path.display());
+
+    let mut ok = true;
+    for p in &points {
+        // The trajectory is gated on feasibility first, then wall-clock.
+        if let Err(e) = &p.outcome {
+            eprintln!("INFEASIBLE: {}: {e}", p.platform);
+            ok = false;
+        }
+        if let Some(budget) = args.scale_budget_s {
+            if p.compile_ms > budget * 1e3 {
+                eprintln!(
+                    "BUDGET EXCEEDED: {} compiled in {:.1} ms > {budget} s",
+                    p.platform, p.compile_ms
+                );
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+fn main() -> std::process::ExitCode {
     let args = parse_args();
+    if args.what == "scale" {
+        return if scale_sweep(&args) {
+            std::process::ExitCode::SUCCESS
+        } else {
+            std::process::ExitCode::FAILURE
+        };
+    }
     let csv = args.csv_dir;
     let all = args.what == "all";
 
@@ -352,4 +482,5 @@ fn main() {
         routing_ablation();
         sync_ablation();
     }
+    std::process::ExitCode::SUCCESS
 }

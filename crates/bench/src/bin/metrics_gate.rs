@@ -1,8 +1,9 @@
 //! `metrics_gate` — the CI metrics-regression gate.
 //!
 //! Regenerates the deterministic metrics document for the torus 4×4 DVB
-//! figure workload (serial-compile counters at three loads plus the WR/SR
-//! output-interval statistics at the highest) and either writes it as the
+//! figure workload (serial-compile counters at three loads, the flow-engine
+//! counter namespace at the middle one, plus the WR/SR output-interval
+//! statistics at the highest) and either writes it as the
 //! golden baseline or checks the current build against the checked-in one:
 //!
 //! ```text
@@ -83,6 +84,31 @@ fn build_document() -> String {
         last_schedule = Some(sched);
     }
     doc.push_str("\n},\n");
+
+    // Flow-engine counter namespace: the same workload at the middle load,
+    // compiled with the min-cost-flow allocation backend. Only the flow
+    // engine emits `alloc_flow.*`, so this section gates the namespace
+    // without perturbing the simplex sections above.
+    let flow_config = CompileConfig {
+        alloc_engine: AllocEngine::Flow,
+        ..config.clone()
+    };
+    let rec = MetricsRecorder::new();
+    sr::core::compile_with_recorder(
+        &topo,
+        &tfg,
+        &alloc,
+        &timing,
+        tau_c / LOADS[1],
+        &flow_config,
+        &rec,
+    )
+    .expect("flow gate load compiles");
+    let _ = write!(doc, "\"flow\": {{\n\"{}\": {{\"counters\": {{", LOADS[1]);
+    for (j, (name, v)) in rec.counters().iter().enumerate() {
+        let _ = write!(doc, "{}\"{name}\": {v}", if j == 0 { "" } else { ", " });
+    }
+    doc.push_str("}}\n},\n");
 
     // OI statistics at the highest gated load, wormhole and scheduled.
     let period = tau_c / LOADS[LOADS.len() - 1];

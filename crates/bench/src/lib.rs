@@ -144,20 +144,26 @@ impl Platform {
 
     /// The paper's 8×8 torus.
     pub fn torus8x8(bandwidth: f64) -> Self {
-        Platform {
-            name: format!("8x8 torus, B={bandwidth}"),
-            topo: Box::new(Torus::new(&[8, 8]).expect("valid")),
-            bandwidth,
-        }
+        Platform::torus_nxn(8, bandwidth)
     }
 
     /// A 16-node 4×4 torus — the smallest platform that fits the standard
     /// DVB workload; used by the `compile_search` bench where compile time
     /// is dominated by the feedback search rather than path enumeration.
     pub fn torus4x4(bandwidth: f64) -> Self {
+        Platform::torus_nxn(4, bandwidth)
+    }
+
+    /// An N×N torus at any extent — the scaling-sweep fabric family
+    /// (8→64 nodes, 16→256, 32→1024, 64→4096).
+    ///
+    /// The display name carries the node count (`8x8 torus 64n`) so figure
+    /// CSV files for multi-digit extents sort and diff cleanly next to the
+    /// paper's 64-node platforms.
+    pub fn torus_nxn(n: usize, bandwidth: f64) -> Self {
         Platform {
-            name: format!("4x4 torus, B={bandwidth}"),
-            topo: Box::new(Torus::new(&[4, 4]).expect("valid")),
+            name: format!("{n}x{n} torus {}n, B={bandwidth}", n * n),
+            topo: Box::new(Torus::new(&[n, n]).expect("valid")),
             bandwidth,
         }
     }
@@ -165,7 +171,7 @@ impl Platform {
     /// The paper's 4×4×4 torus.
     pub fn torus444(bandwidth: f64) -> Self {
         Platform {
-            name: format!("4x4x4 torus, B={bandwidth}"),
+            name: format!("4x4x4 torus 64n, B={bandwidth}"),
             topo: Box::new(Torus::new(&[4, 4, 4]).expect("valid")),
             bandwidth,
         }
@@ -418,6 +424,208 @@ pub fn utilization_csv(points: &[UtilizationPoint]) -> String {
     s
 }
 
+/// One point of the compile-time scaling sweep (ROADMAP item 2: 64 → 1024
+/// → 4096-node fabrics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePoint {
+    /// Platform display name.
+    pub platform: String,
+    /// Fabric size in nodes.
+    pub nodes: usize,
+    /// Tasks in the tiled workload.
+    pub tasks: usize,
+    /// Messages in the tiled workload.
+    pub messages: usize,
+    /// Allocation engine used (`simplex` or `flow`).
+    pub engine: String,
+    /// Partition count handed to the compiler (1 = flat).
+    pub partition: usize,
+    /// Wall-clock compile time, ms.
+    pub compile_ms: f64,
+    /// Wall-clock verify time, ms (0 when the compile failed).
+    pub verify_ms: f64,
+    /// Compile outcome: peak utilization, or the error string.
+    pub outcome: Result<f64, String>,
+}
+
+/// Number of 4-row bands the N×N scaling fabric is partitioned into (the
+/// `CompileConfig::partition` count). 1 when the extent is not a multiple
+/// of 4 — then bands would not align with whole rows.
+pub fn scale_bands(n: usize) -> usize {
+    if n >= 8 && n.is_multiple_of(4) {
+        n / 4
+    } else {
+        1
+    }
+}
+
+/// The scaling workload on the N×N torus: a farm of uniform-ops DVB
+/// pipelines ([`sr::tfg::dvb_tiled`]), one per 4-row × 8-column slot, every
+/// slot using the *same* seeded placement pattern.
+///
+/// Geometry drives feasibility here. Message windows follow
+/// `WindowPolicy::LongestTask`, so the effective peak utilization is
+/// window-relative and does *not* fall as the input period grows — the
+/// levers are path locality and link bandwidth. Three deliberate choices:
+///
+/// * **4×8 slots** keep every pipeline's routes short (the `select` fan-in
+///   is the paper's hub node); slots have disjoint bounding boxes, so
+///   shortest paths of different pipelines can never meet on a link.
+/// * **One pattern, replicated.** Independently scattering each pipeline
+///   makes the fabric-wide peak the *maximum over tiles* of a random
+///   draw, so U grows with fabric size purely through sampling variance;
+///   replicating a single 14-cell pattern makes the farm regular —
+///   translation-invariant dimension-order baselines give every tile the
+///   same U, and the trajectory measures compile time, not placement luck.
+/// * **Whole-row bands** align with [`sr::core::band_partition`]
+///   (`scale_bands` 4-row bands, row distance ≤ 3 never wraps), so the
+///   partitioned compiler sees every pipeline as interior to one band.
+///
+/// A single hub-fanout DVB pipeline cannot be scaled instead: every extra
+/// model funnels another message through the `select` hub's four links and
+/// U grows without bound — scaling the fabric means scaling the *farm*.
+///
+/// # Panics
+///
+/// Panics unless `n` is a multiple of 8 (the slot grid must tile the torus).
+pub fn scale_workload(
+    n: usize,
+    bandwidth: f64,
+    seed: u64,
+) -> (Platform, TaskFlowGraph, Allocation, Timing) {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    assert!(n >= 8 && n.is_multiple_of(8), "scaling fabric needs 8 | N, got {n}");
+    let platform = Platform::torus_nxn(n, bandwidth);
+    let bands = scale_bands(n);
+    let col_slots = n / 8;
+    let tfg = dvb_tiled(bands * col_slots, DVB_MODELS);
+    let per_tile = tfg.num_tasks() / (bands * col_slots);
+
+    // One Fisher–Yates draw of `per_tile` distinct cells in the 4×8 slot.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cells: Vec<(usize, usize)> = (0..4).flat_map(|r| (0..8).map(move |c| (r, c))).collect();
+    for i in 0..per_tile {
+        let j = rng.gen_range(i..cells.len());
+        cells.swap(i, j);
+    }
+
+    let mut placement = Vec::with_capacity(tfg.num_tasks());
+    for band in 0..bands {
+        for slot in 0..col_slots {
+            for &(dr, dc) in &cells[..per_tile] {
+                placement.push(NodeId((band * 4 + dr) * n + slot * 8 + dc));
+            }
+        }
+    }
+    let alloc = Allocation::new(placement, &tfg, platform.topo.as_ref())
+        .expect("placement is in range by construction");
+    (platform, tfg, alloc, Timing::calibrated_dvb(bandwidth))
+}
+
+/// Compiles and verifies the scaling workload on the N×N torus, recording
+/// wall-clock times. A schedule that compiles but fails [`verify`] panics —
+/// the sweep is also a correctness oracle at sizes the unit tests never
+/// reach.
+pub fn scale_point(
+    n: usize,
+    bandwidth: f64,
+    engine: AllocEngine,
+    partitioned: bool,
+    load: f64,
+    seed: u64,
+) -> ScalePoint {
+    let (platform, tfg, alloc, timing) = scale_workload(n, bandwidth, seed);
+    let config = CompileConfig {
+        alloc_engine: engine,
+        partition: if partitioned { scale_bands(n) } else { 0 },
+        ..CompileConfig::default()
+    };
+    let config = &config;
+    let period = timing.longest_task(&tfg) / load;
+    let t0 = std::time::Instant::now();
+    let compiled = compile(
+        platform.topo.as_ref(),
+        &tfg,
+        &alloc,
+        &timing,
+        period,
+        config,
+    );
+    let compile_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (verify_ms, outcome) = match compiled {
+        Ok(s) => {
+            let t1 = std::time::Instant::now();
+            verify(&s, platform.topo.as_ref(), &tfg).expect("scale schedule verifies");
+            (t1.elapsed().as_secs_f64() * 1e3, Ok(s.peak_utilization()))
+        }
+        Err(e) => (0.0, Err(e.to_string())),
+    };
+    ScalePoint {
+        platform: platform.name.clone(),
+        nodes: platform.topo.num_nodes(),
+        tasks: tfg.num_tasks(),
+        messages: tfg.num_messages(),
+        engine: match config.alloc_engine {
+            AllocEngine::Simplex => "simplex".to_string(),
+            AllocEngine::Flow => "flow".to_string(),
+        },
+        partition: config.partition.max(1),
+        compile_ms,
+        verify_ms,
+        outcome,
+    }
+}
+
+/// Renders the scale sweep as a Markdown table.
+pub fn scale_markdown(points: &[ScalePoint]) -> String {
+    let mut out = String::from(
+        "| platform | nodes | messages | engine | parts | compile (ms) | verify (ms) | U |\n\
+         |---|---|---|---|---|---|---|---|\n",
+    );
+    for p in points {
+        let u = match &p.outcome {
+            Ok(u) => format!("{u:.3}"),
+            Err(e) => e.clone(),
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {:.1} | {:.1} | {u} |\n",
+            p.platform, p.nodes, p.messages, p.engine, p.partition, p.compile_ms, p.verify_ms
+        ));
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the scale sweep as the `BENCH_scale.json` artifact (one document,
+/// hand-rolled like the metrics baseline — no serde in the workspace).
+pub fn scale_json(points: &[ScalePoint]) -> String {
+    let mut out = String::from("{\n\"workload\": \"tiled_dvb\",\n\"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let tail = match &p.outcome {
+            Ok(u) => format!("\"ok\": true, \"peak_utilization\": {u}"),
+            Err(e) => format!("\"ok\": false, \"error\": \"{}\"", json_escape(e)),
+        };
+        out.push_str(&format!(
+            "{}{{\"platform\": \"{}\", \"nodes\": {}, \"tasks\": {}, \"messages\": {}, \
+             \"engine\": \"{}\", \"partition\": {}, \"compile_ms\": {}, \"verify_ms\": {}, {tail}}}",
+            if i == 0 { "" } else { ",\n" },
+            json_escape(&p.platform),
+            p.nodes,
+            p.tasks,
+            p.messages,
+            p.engine,
+            p.partition,
+            p.compile_ms,
+            p.verify_ms,
+        ));
+    }
+    out.push_str("\n]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,6 +649,39 @@ mod tests {
         ] {
             assert_eq!(p.topo.num_nodes(), 64, "{}", p.name);
         }
+    }
+
+    /// `verify()`-as-oracle on a 16×16 torus: `scale_point` panics if the
+    /// compiled schedule fails verification, so reaching the assertions
+    /// means the end-to-end schedule is conflict-free at 256 nodes — a size
+    /// the paper-figure tests never touch. Both engines must also land on
+    /// the same peak utilization for the same (flat) configuration.
+    #[test]
+    fn scale_point_16x16_verifies_under_both_engines() {
+        let simplex = scale_point(16, 256.0, AllocEngine::Simplex, false, 0.5, 7);
+        let flow = scale_point(16, 256.0, AllocEngine::Flow, false, 0.5, 7);
+        assert_eq!(simplex.nodes, 256);
+        assert_eq!(simplex.tasks, 8 * 14);
+        let u_simplex = simplex.outcome.expect("simplex compiles the 16x16 farm");
+        let u_flow = flow.outcome.expect("flow compiles the 16x16 farm");
+        assert_eq!(
+            u_simplex.to_bits(),
+            u_flow.to_bits(),
+            "{u_simplex} vs {u_flow}"
+        );
+        assert!(u_simplex <= 1.0, "workload must be feasible: U={u_simplex}");
+
+        // The partitioned path trades assignment quality for locality; it
+        // must still verify (the oracle), not match the flat U.
+        let part = scale_point(16, 256.0, AllocEngine::Flow, true, 0.5, 7);
+        assert_eq!(part.partition, scale_bands(16));
+        let u_part = part
+            .outcome
+            .expect("partitioned flow compiles the 16x16 farm");
+        assert!(
+            u_part <= 1.0,
+            "partitioned farm must stay feasible: U={u_part}"
+        );
     }
 
     #[test]

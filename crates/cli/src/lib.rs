@@ -212,6 +212,10 @@ pub struct Options {
     pub guard: f64,
     /// Worker threads for the compile feedback search (0 = auto).
     pub parallelism: usize,
+    /// Message–interval allocation backend (`--alloc-engine simplex|flow`).
+    pub alloc_engine: AllocEngine,
+    /// Fabric bands for partitioned path search/allocation (0/1 = flat).
+    pub partition: usize,
     /// Virtual channels for simulation.
     pub virtual_channels: usize,
     /// Adaptive-routing path cap for simulation (1 = deterministic).
@@ -252,6 +256,8 @@ impl Default for Options {
             period: None,
             guard: 0.0,
             parallelism: 0,
+            alloc_engine: AllocEngine::Simplex,
+            partition: 0,
             virtual_channels: 1,
             adaptive: 1,
             dump: false,
@@ -319,6 +325,22 @@ pub fn parse_args(args: &[String]) -> Result<Options, SpecError> {
                     .parse()
                     .map_err(|_| SpecError::new("bad --parallelism"))?
             }
+            "--alloc-engine" => {
+                opts.alloc_engine = match value("--alloc-engine")?.as_str() {
+                    "simplex" => AllocEngine::Simplex,
+                    "flow" => AllocEngine::Flow,
+                    other => {
+                        return Err(SpecError::new(format!(
+                            "bad --alloc-engine '{other}' (expected simplex|flow)"
+                        )))
+                    }
+                }
+            }
+            "--partition" => {
+                opts.partition = value("--partition")?
+                    .parse()
+                    .map_err(|_| SpecError::new("bad --partition"))?
+            }
             "--vc" => {
                 opts.virtual_channels = value("--vc")?
                     .parse()
@@ -373,7 +395,9 @@ fn parse_id_list(s: &str) -> Result<Vec<usize>, SpecError> {
 /// Usage text shown for malformed command lines.
 pub const USAGE: &str = "usage: srsched <compile|simulate|sweep|info|minperiod|faults|report> \
 [--topo SPEC] [--tfg SPEC] [--alloc SPEC] [--bandwidth B] [--period T] \
-[--guard G] [--spare E] [--parallelism N] [--vc N] [--adaptive P] [--dump] [--timeline] \
+[--guard G] [--spare E] [--parallelism N] [--alloc-engine simplex|flow] [--partition N] \
+[--vc N] [--adaptive P] \
+[--dump] [--timeline] \
 [--json FILE] [--trace-out FILE] [--metrics] [--out FILE] \
 [--fail-links L1,L2] [--fail-nodes N1,N2] [--repair] [--sweep K]";
 
@@ -438,6 +462,8 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
                 guard_time: opts.guard,
                 parallelism: opts.parallelism,
                 spare_capacity: opts.spare,
+                alloc_engine: opts.alloc_engine,
+                partition: opts.partition,
                 ..CompileConfig::default()
             };
             let compiled = sr::core::compile_with_recorder(
@@ -519,6 +545,8 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
                 guard_time: opts.guard,
                 parallelism: opts.parallelism,
                 spare_capacity: opts.spare,
+                alloc_engine: opts.alloc_engine,
+                partition: opts.partition,
                 ..CompileConfig::default()
             };
             match sr::core::find_min_period(
@@ -660,6 +688,8 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
                         guard_time: opts.guard,
                         parallelism: opts.parallelism,
                         spare_capacity: opts.spare,
+                        alloc_engine: opts.alloc_engine,
+                        partition: opts.partition,
                         ..CompileConfig::default()
                     },
                 ) {
@@ -703,6 +733,8 @@ fn run_faults(
         guard_time: opts.guard,
         parallelism: opts.parallelism,
         spare_capacity: opts.spare,
+        alloc_engine: opts.alloc_engine,
+        partition: opts.partition,
         ..CompileConfig::default()
     };
     let sched =
@@ -890,6 +922,8 @@ fn run_report(
         guard_time: opts.guard,
         parallelism: opts.parallelism,
         spare_capacity: opts.spare,
+        alloc_engine: opts.alloc_engine,
+        partition: opts.partition,
         ..CompileConfig::default()
     };
     let sched =
@@ -1079,6 +1113,19 @@ mod tests {
         assert!(o.metrics);
         assert!(parse_args(&args("compile --trace-out")).is_err());
 
+        let o = parse_args(&args("compile --alloc-engine flow")).unwrap();
+        assert_eq!(o.alloc_engine, AllocEngine::Flow);
+        let o = parse_args(&args("compile --alloc-engine simplex")).unwrap();
+        assert_eq!(o.alloc_engine, AllocEngine::Simplex);
+        assert!(parse_args(&args("compile --alloc-engine lp")).is_err());
+        assert!(parse_args(&args("compile --alloc-engine")).is_err());
+
+        let o = parse_args(&args("compile --partition 4")).unwrap();
+        assert_eq!(o.partition, 4);
+        assert_eq!(parse_args(&args("compile")).unwrap().partition, 0);
+        assert!(parse_args(&args("compile --partition four")).is_err());
+        assert!(parse_args(&args("compile --partition")).is_err());
+
         assert!(parse_args(&args("explode")).is_err());
         assert!(parse_args(&args("compile --period")).is_err());
         assert!(parse_args(&args("compile --frobnicate 3")).is_err());
@@ -1150,6 +1197,17 @@ mod tests {
     #[test]
     fn run_compile_reports_feasibility() {
         let opts = parse_args(&args("compile --topo cube:4 --tfg chain:4 --period 100")).unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        assert!(out.contains("compiled and verified"), "{out}");
+    }
+
+    #[test]
+    fn run_compile_flow_engine() {
+        let opts = parse_args(&args(
+            "compile --topo cube:4 --tfg chain:4 --period 100 --alloc-engine flow",
+        ))
+        .unwrap();
         let mut out = String::new();
         run(&opts, &mut out).unwrap();
         assert!(out.contains("compiled and verified"), "{out}");

@@ -1,0 +1,547 @@
+//! Flow-based backend for the message–interval allocation stage.
+//!
+//! The allocation LP of `allocation_lp` (paper §5.2, constraints (3),(4))
+//! is structurally a packing of message time into per-(link, interval)
+//! capacities. This module reformulates each maximal related subset as a
+//! **time-expanded min-cost-flow network** and solves it with successive
+//! shortest paths — std-only, no simplex involved — which scales to
+//! instances whose LPs would carry thousands of columns:
+//!
+//! * a source arc per message carrying its transmission time,
+//! * one *chain* of arcs per (message, active interval): the message's
+//!   flow for interval `A_k` traverses a capacity arc for every link on
+//!   its path, charged against `capacity_scale · |A_k|` shared with every
+//!   other message on that link,
+//! * entry arcs cost the interval index (earlier intervals are cheaper),
+//!   every other arc costs zero, so the min-cost solution is a
+//!   deterministic early-packed split.
+//!
+//! Exactness contract. Any LP-feasible allocation routes along its own
+//! chains, so the network always admits a full-value flow when the LP is
+//! feasible — a max flow short of total demand is therefore an **exact**
+//! infeasibility verdict. The converse direction is a relaxation: at a
+//! shared capacity node, flow conservation lets flow *jump* from one
+//! message's chain to another's, so a full-value flow can imply an
+//! extracted split that oversubscribes a link the jump bypassed. The
+//! extracted matrix is therefore re-checked against constraint (4)
+//! exactly; the rare subset that fails the check falls back to the
+//! simplex oracle (counted in [`FlowAllocStats::fallbacks`]). Chains of
+//! length one — the dominant conflict pattern — cannot jump and never
+//! fall back.
+
+use sr_tfg::{MessageId, TimeBounds};
+use sr_topology::LinkId;
+
+use crate::allocation_lp::{solve_subset_capacities, AllocationStats};
+use crate::{ActivityMatrix, CompileError, IntervalAllocation, Intervals, PathAssignment, EPS};
+
+/// Residual-capacity tolerance for the augmenting search, far below the
+/// schedule-level [`EPS`].
+const FLOW_EPS: f64 = 1e-9;
+
+/// Work counters for one flow-allocation pass, deterministic for fixed
+/// inputs (the network build order and the augmenting search are both
+/// input-ordered).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowAllocStats {
+    /// Subset networks solved.
+    pub solves: u64,
+    /// Network nodes built across all subsets.
+    pub nodes: u64,
+    /// Forward arcs built across all subsets.
+    pub arcs: u64,
+    /// Shortest-path augmentations performed.
+    pub augmentations: u64,
+    /// Subsets whose extracted split violated constraint (4) (chain
+    /// jumping) and were re-solved by the simplex oracle.
+    pub fallbacks: u64,
+}
+
+/// Solves the message–interval allocation with the flow backend: same
+/// inputs, same feasibility verdict, and the same constraint guarantees as
+/// [`crate::allocate_intervals`], but each subset is solved as a
+/// min-cost-flow network instead of an LP (falling back to the simplex for
+/// the rare subset where the relaxation is loose — see the module docs).
+///
+/// `lp_stats` accumulates the work of any fallback solves so the compile
+/// pipeline's `alloc_lp.*` counters stay meaningful under this engine.
+///
+/// # Errors
+///
+/// [`CompileError::AllocationInfeasible`] when a subset has no feasible
+/// split (the flow verdict is exact); [`CompileError::Lp`] on fallback
+/// solver trouble.
+#[allow(clippy::too_many_arguments)]
+pub fn allocate_intervals_flow(
+    assignment: &PathAssignment,
+    bounds: &TimeBounds,
+    activity: &ActivityMatrix,
+    intervals: &Intervals,
+    subsets: &[Vec<MessageId>],
+    capacity_scale: f64,
+    stats: &mut FlowAllocStats,
+    lp_stats: &mut AllocationStats,
+) -> Result<IntervalAllocation, CompileError> {
+    let mut p = vec![vec![0.0; intervals.len()]; assignment.len()];
+    for subset in subsets {
+        solve_subset_flow(
+            assignment,
+            bounds,
+            activity,
+            intervals,
+            subset,
+            capacity_scale,
+            &mut p,
+            stats,
+            lp_stats,
+        )?;
+    }
+    Ok(IntervalAllocation::from_matrix(p))
+}
+
+/// One forward arc of the residual network; its reverse twin sits at
+/// `index ^ 1`.
+struct Arc {
+    to: usize,
+    cap: f64,
+    cost: f64,
+}
+
+/// A tiny min-cost-flow network solved by successive shortest paths
+/// (Bellman–Ford per augmentation — subset networks are small and may
+/// carry negative residual costs).
+struct FlowNet {
+    arcs: Vec<Arc>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl FlowNet {
+    fn new(nodes: usize) -> Self {
+        FlowNet {
+            arcs: Vec::new(),
+            adj: vec![Vec::new(); nodes],
+        }
+    }
+
+    fn add_node(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    fn add_arc(&mut self, from: usize, to: usize, cap: f64, cost: f64) -> usize {
+        let i = self.arcs.len();
+        self.arcs.push(Arc { to, cap, cost });
+        self.arcs.push(Arc {
+            to: from,
+            cap: 0.0,
+            cost: -cost,
+        });
+        self.adj[from].push(i);
+        self.adj[to].push(i + 1);
+        i
+    }
+
+    /// Successive-shortest-paths max flow from `s` to `t`; returns the
+    /// value pushed. Deterministic: Bellman–Ford relaxes arcs in build
+    /// order with strict improvement, so path selection is input-ordered.
+    fn max_flow_min_cost(&mut self, s: usize, t: usize, stats: &mut FlowAllocStats) -> f64 {
+        let n = self.adj.len();
+        let mut pushed = 0.0f64;
+        loop {
+            let mut dist = vec![f64::INFINITY; n];
+            let mut prev: Vec<Option<usize>> = vec![None; n];
+            dist[s] = 0.0;
+            for _ in 0..n {
+                let mut improved = false;
+                for u in 0..n {
+                    if dist[u].is_infinite() {
+                        continue;
+                    }
+                    for &ai in &self.adj[u] {
+                        let a = &self.arcs[ai];
+                        if a.cap > FLOW_EPS && dist[u] + a.cost < dist[a.to] - FLOW_EPS {
+                            dist[a.to] = dist[u] + a.cost;
+                            prev[a.to] = Some(ai);
+                            improved = true;
+                        }
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+            if prev[t].is_none() {
+                return pushed;
+            }
+            // Bottleneck along the path, then augment.
+            let mut bottleneck = f64::INFINITY;
+            let mut v = t;
+            while let Some(ai) = prev[v] {
+                bottleneck = bottleneck.min(self.arcs[ai].cap);
+                v = self.arcs[ai ^ 1].to;
+            }
+            let mut v = t;
+            while let Some(ai) = prev[v] {
+                self.arcs[ai].cap -= bottleneck;
+                self.arcs[ai ^ 1].cap += bottleneck;
+                v = self.arcs[ai ^ 1].to;
+            }
+            stats.augmentations += 1;
+            pushed += bottleneck;
+        }
+    }
+
+    /// Flow carried by forward arc `ai` (its reverse twin's residual).
+    fn flow(&self, ai: usize) -> f64 {
+        self.arcs[ai ^ 1].cap
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve_subset_flow(
+    assignment: &PathAssignment,
+    bounds: &TimeBounds,
+    activity: &ActivityMatrix,
+    intervals: &Intervals,
+    subset: &[MessageId],
+    capacity_scale: f64,
+    p: &mut [Vec<f64>],
+    stats: &mut FlowAllocStats,
+    lp_stats: &mut AllocationStats,
+) -> Result<(), CompileError> {
+    // A member without links cannot be expressed as a chain; related
+    // subsets never contain one, but stay safe and defer to the LP.
+    if subset.iter().any(|&m| assignment.links(m).is_empty()) {
+        return solve_fallback(
+            assignment,
+            bounds,
+            activity,
+            subset,
+            capacity_scale,
+            intervals,
+            p,
+            stats,
+            lp_stats,
+        );
+    }
+
+    let actives: Vec<Vec<usize>> = subset
+        .iter()
+        .map(|&m| activity.active_intervals(m))
+        .collect();
+    let durations: Vec<f64> = subset
+        .iter()
+        .map(|&m| bounds.window(m).duration())
+        .collect();
+    let total: f64 = durations.iter().sum();
+
+    // Nodes: source, sink, one per member, then (link, interval) capacity
+    // pairs created in ascending (link, interval) order.
+    let mut net = FlowNet::new(2 + subset.len());
+    let (source, sink) = (0usize, 1usize);
+    let member_node = |mi: usize| 2 + mi;
+
+    let mut on_link: std::collections::BTreeMap<LinkId, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (mi, &m) in subset.iter().enumerate() {
+        for &l in assignment.links(m) {
+            on_link.entry(l).or_default().push(mi);
+        }
+    }
+    // cap_arc[(link, k)] -> (in node, capacity arc index); the out node is
+    // the arc's head.
+    let mut cap_arc: std::collections::HashMap<(LinkId, usize), (usize, usize)> =
+        std::collections::HashMap::new();
+    let mut link_ks: Vec<usize> = Vec::new();
+    for (&link, members) in &on_link {
+        link_ks.clear();
+        for &mi in members {
+            link_ks.extend_from_slice(&actives[mi]);
+        }
+        link_ks.sort_unstable();
+        link_ks.dedup();
+        for &k in &link_ks {
+            let input = net.add_node();
+            let output = net.add_node();
+            let ai = net.add_arc(input, output, capacity_scale * intervals.length(k), 0.0);
+            cap_arc.insert((link, k), (input, ai));
+        }
+    }
+
+    // Source and chain arcs, member-major then interval-major. Transfer
+    // and exit arcs are deduplicated — messages sharing consecutive links
+    // share them.
+    let mut entry_arcs: Vec<Vec<usize>> = vec![Vec::new(); subset.len()];
+    let mut seen_transfer: std::collections::HashSet<(usize, usize)> =
+        std::collections::HashSet::new();
+    for (mi, &m) in subset.iter().enumerate() {
+        net.add_arc(source, member_node(mi), durations[mi], 0.0);
+        let links = assignment.links(m);
+        for &k in &actives[mi] {
+            let first_in = cap_arc[&(links[0], k)].0;
+            entry_arcs[mi].push(net.add_arc(member_node(mi), first_in, durations[mi], k as f64));
+            for w in links.windows(2) {
+                let from_out = net.arcs[cap_arc[&(w[0], k)].1].to;
+                let to_in = cap_arc[&(w[1], k)].0;
+                if seen_transfer.insert((from_out, to_in)) {
+                    net.add_arc(from_out, to_in, total, 0.0);
+                }
+            }
+            let last_out = net.arcs[cap_arc[&(links[links.len() - 1], k)].1].to;
+            if seen_transfer.insert((last_out, sink)) {
+                net.add_arc(last_out, sink, total, 0.0);
+            }
+        }
+    }
+
+    stats.solves += 1;
+    stats.nodes += net.adj.len() as u64;
+    stats.arcs += (net.arcs.len() / 2) as u64;
+    let value = net.max_flow_min_cost(source, sink, stats);
+    if value < total - EPS {
+        // Exact verdict: an LP-feasible split always induces a full flow.
+        return Err(CompileError::AllocationInfeasible {
+            subset: subset.to_vec(),
+        });
+    }
+
+    // Extract the split from the entry arcs; conservation at the member
+    // node makes each row sum to its duration (up to augmentation
+    // rounding, absorbed into the largest entry).
+    let mut x: Vec<Vec<f64>> = Vec::with_capacity(subset.len());
+    for (mi, ks) in actives.iter().enumerate() {
+        let mut row: Vec<f64> = ks
+            .iter()
+            .zip(&entry_arcs[mi])
+            .map(|(_, &ai)| net.flow(ai))
+            .collect();
+        let shortfall = durations[mi] - row.iter().sum::<f64>();
+        if shortfall.abs() > FLOW_EPS {
+            if let Some(big) = (0..row.len()).max_by(|&a, &b| row[a].total_cmp(&row[b])) {
+                row[big] += shortfall;
+            }
+        }
+        x.push(row);
+    }
+
+    // Exact constraint-(4) re-check: chain jumping can undercharge a link.
+    let exact = on_link.values().all(|members| {
+        link_ks.clear();
+        for &mi in members {
+            link_ks.extend_from_slice(&actives[mi]);
+        }
+        link_ks.sort_unstable();
+        link_ks.dedup();
+        link_ks.iter().all(|&k| {
+            let used: f64 = members
+                .iter()
+                .filter_map(|&mi| {
+                    actives[mi]
+                        .iter()
+                        .position(|&ak| ak == k)
+                        .map(|pos| x[mi][pos])
+                })
+                .sum();
+            used <= capacity_scale * intervals.length(k) + EPS
+        })
+    });
+    if !exact {
+        return solve_fallback(
+            assignment,
+            bounds,
+            activity,
+            subset,
+            capacity_scale,
+            intervals,
+            p,
+            stats,
+            lp_stats,
+        );
+    }
+
+    for (mi, &m) in subset.iter().enumerate() {
+        for (pos, &k) in actives[mi].iter().enumerate() {
+            if x[mi][pos] > EPS {
+                p[m.index()][k] = x[mi][pos];
+            }
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve_fallback(
+    assignment: &PathAssignment,
+    bounds: &TimeBounds,
+    activity: &ActivityMatrix,
+    subset: &[MessageId],
+    capacity_scale: f64,
+    intervals: &Intervals,
+    p: &mut [Vec<f64>],
+    stats: &mut FlowAllocStats,
+    lp_stats: &mut AllocationStats,
+) -> Result<(), CompileError> {
+    stats.fallbacks += 1;
+    solve_subset_capacities(
+        assignment,
+        bounds,
+        activity,
+        subset,
+        |_, k| capacity_scale * intervals.length(k),
+        p,
+        None,
+        lp_stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{allocate_intervals, related_subsets};
+    use sr_mapping::Allocation;
+    use sr_tfg::{assign_time_bounds, TfgBuilder, Timing, WindowPolicy};
+    use sr_topology::{GeneralizedHypercube, NodeId};
+
+    struct Fixture {
+        assignment: PathAssignment,
+        bounds: TimeBounds,
+        activity: ActivityMatrix,
+        intervals: Intervals,
+        subsets: Vec<Vec<MessageId>>,
+    }
+
+    fn shared_link(period: f64, bytes: u64) -> Fixture {
+        let topo = GeneralizedHypercube::binary(1).unwrap();
+        let mut b = TfgBuilder::new();
+        let t0 = b.task("t0", 500);
+        let t1 = b.task("t1", 500);
+        let t2 = b.task("t2", 500);
+        b.message("m0", t0, t1, bytes).unwrap();
+        b.message("m1", t1, t2, bytes).unwrap();
+        let tfg = b.build().unwrap();
+        let timing = Timing::new(64.0, 10.0);
+        let alloc = Allocation::new(vec![NodeId(0), NodeId(1), NodeId(0)], &tfg, &topo).unwrap();
+        let bounds = assign_time_bounds(&tfg, &timing, period, WindowPolicy::LongestTask).unwrap();
+        let intervals = Intervals::from_bounds(&bounds);
+        let activity = ActivityMatrix::new(&bounds, &intervals);
+        let assignment = PathAssignment::lsd_to_msd(&tfg, &topo, &alloc);
+        let subsets = related_subsets(&assignment, &activity);
+        Fixture {
+            assignment,
+            bounds,
+            activity,
+            intervals,
+            subsets,
+        }
+    }
+
+    fn flow_alloc(f: &Fixture, scale: f64) -> Result<IntervalAllocation, CompileError> {
+        allocate_intervals_flow(
+            &f.assignment,
+            &f.bounds,
+            &f.activity,
+            &f.intervals,
+            &f.subsets,
+            scale,
+            &mut FlowAllocStats::default(),
+            &mut AllocationStats::default(),
+        )
+    }
+
+    fn check_constraints(f: &Fixture, alloc: &IntervalAllocation, scale: f64) {
+        for m in 0..f.assignment.len() {
+            let m = MessageId(m);
+            if f.assignment.links(m).is_empty() {
+                continue;
+            }
+            assert!(
+                (alloc.total(m) - f.bounds.window(m).duration()).abs() < 1e-6,
+                "(3) violated for {m}"
+            );
+            for k in 0..f.intervals.len() {
+                if alloc.allocated(m, k) > EPS {
+                    assert!(f.activity.is_active(m, k), "inactive allocation {m}@{k}");
+                }
+            }
+        }
+        for k in 0..f.intervals.len() {
+            let sum: f64 = (0..f.assignment.len())
+                .filter(|&i| !f.assignment.links(MessageId(i)).is_empty())
+                .map(|i| alloc.allocated(MessageId(i), k))
+                .sum();
+            assert!(
+                sum <= scale * f.intervals.length(k) + 1e-6,
+                "(4) violated in interval {k}: {sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn flow_matches_simplex_verdict_feasible() {
+        let f = shared_link(50.0, 640);
+        let flow = flow_alloc(&f, 1.0).unwrap();
+        check_constraints(&f, &flow, 1.0);
+        // Simplex agrees on feasibility.
+        assert!(allocate_intervals(
+            &f.assignment,
+            &f.bounds,
+            &f.activity,
+            &f.intervals,
+            &f.subsets,
+            1.0
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn flow_matches_simplex_verdict_infeasible() {
+        let f = shared_link(50.0, 1920); // 30+30 µs over a 50 µs frame
+        let err = flow_alloc(&f, 1.0).unwrap_err();
+        assert!(matches!(err, CompileError::AllocationInfeasible { .. }));
+        assert!(allocate_intervals(
+            &f.assignment,
+            &f.bounds,
+            &f.activity,
+            &f.intervals,
+            &f.subsets,
+            1.0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn flow_respects_capacity_scale() {
+        let f = shared_link(50.0, 1280); // 20+20 µs: fits at 1.0, not at 0.5
+        assert!(flow_alloc(&f, 1.0).is_ok());
+        let err = flow_alloc(&f, 0.5).unwrap_err();
+        assert!(matches!(err, CompileError::AllocationInfeasible { .. }));
+    }
+
+    #[test]
+    fn multi_interval_split_is_valid() {
+        let f = shared_link(120.0, 640);
+        let alloc = flow_alloc(&f, 1.0).unwrap();
+        check_constraints(&f, &alloc, 1.0);
+    }
+
+    #[test]
+    fn stats_count_network_work() {
+        let f = shared_link(50.0, 640);
+        let mut stats = FlowAllocStats::default();
+        allocate_intervals_flow(
+            &f.assignment,
+            &f.bounds,
+            &f.activity,
+            &f.intervals,
+            &f.subsets,
+            1.0,
+            &mut stats,
+            &mut AllocationStats::default(),
+        )
+        .unwrap();
+        assert!(stats.solves >= 1);
+        assert!(stats.arcs > 0);
+        assert!(stats.augmentations > 0);
+        assert_eq!(stats.fallbacks, 0);
+    }
+}

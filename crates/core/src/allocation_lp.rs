@@ -166,7 +166,6 @@ pub fn allocate_intervals_stats(
             assignment,
             bounds,
             activity,
-            intervals,
             subset,
             |_, k| capacity_scale * intervals.length(k),
             &mut p,
@@ -213,7 +212,6 @@ pub fn allocate_intervals_warm(
             assignment,
             bounds,
             activity,
-            intervals,
             subset,
             |_, k| capacity_scale * intervals.length(k),
             &mut p,
@@ -320,6 +318,116 @@ pub fn allocate_intervals_pinned_warm(
     )
 }
 
+/// Partitioned message–interval allocation for large fabrics: subsets whose
+/// members' paths stay inside one node partition (`part_of[node] = part`)
+/// are solved concurrently via [`sr_par::par_map`], then the remaining
+/// **boundary** subsets are solved serially with every interior row pinned
+/// ([`allocate_intervals_pinned`]'s residual-capacity pass).
+///
+/// Maximal related subsets never couple through a `(link, interval)` pair,
+/// so the parallel interior solves and the pinned boundary pass produce the
+/// same rows — and the same feasibility verdict — as the serial
+/// [`allocate_intervals`]; only the wall-clock changes. The result and the
+/// `stats` counters are deterministic and independent of `threads` (each
+/// subset's LP is solved exactly once, and counters are folded in subset
+/// order).
+///
+/// # Errors
+///
+/// As [`allocate_intervals`]. With several infeasible subsets the smallest
+/// *interior* subset index wins (boundary subsets are only reached when
+/// every interior one is feasible), which can differ from the serial
+/// walk's report; the feasibility verdict itself is always identical.
+///
+/// # Panics
+///
+/// Panics if `part_of` does not cover every node on some member's path.
+#[allow(clippy::too_many_arguments)]
+pub fn allocate_intervals_partitioned(
+    assignment: &PathAssignment,
+    bounds: &TimeBounds,
+    activity: &ActivityMatrix,
+    intervals: &Intervals,
+    subsets: &[Vec<MessageId>],
+    capacity_scale: f64,
+    part_of: &[usize],
+    threads: usize,
+    stats: &mut AllocationStats,
+) -> Result<IntervalAllocation, CompileError> {
+    // A subset is interior when every node of every member's path sits in
+    // one part; anything else is boundary traffic.
+    let subset_part = |subset: &[MessageId]| -> Option<usize> {
+        let first = subset.first()?;
+        let home = part_of[assignment.path(*first).source().index()];
+        subset
+            .iter()
+            .all(|&m| {
+                assignment
+                    .path(m)
+                    .nodes()
+                    .iter()
+                    .all(|n| part_of[n.index()] == home)
+            })
+            .then_some(home)
+    };
+    let interior: Vec<usize> = (0..subsets.len())
+        .filter(|&si| subset_part(&subsets[si]).is_some())
+        .collect();
+
+    let mut p = vec![vec![0.0; intervals.len()]; assignment.len()];
+    let solved = sr_par::par_map(&interior, threads, |&si| {
+        let mut local = vec![vec![0.0; intervals.len()]; assignment.len()];
+        let mut local_stats = AllocationStats::default();
+        solve_subset_capacities(
+            assignment,
+            bounds,
+            activity,
+            &subsets[si],
+            |_, k| capacity_scale * intervals.length(k),
+            &mut local,
+            None,
+            &mut local_stats,
+        )
+        .map(|()| {
+            let rows: Vec<(usize, Vec<f64>)> = subsets[si]
+                .iter()
+                .map(|&m| (m.index(), std::mem::take(&mut local[m.index()])))
+                .collect();
+            (rows, local_stats)
+        })
+    });
+    for result in solved {
+        let (rows, local_stats) = result?;
+        for (mi, row) in rows {
+            p[mi] = row;
+        }
+        stats.lp.merge(&local_stats.lp);
+        stats.lp_solves += local_stats.lp_solves;
+        stats.vars += local_stats.vars;
+        stats.constraints += local_stats.constraints;
+    }
+
+    let boundary: Vec<MessageId> = (0..subsets.len())
+        .filter(|&si| subset_part(&subsets[si]).is_none())
+        .flat_map(|si| subsets[si].iter().copied())
+        .collect();
+    if boundary.is_empty() {
+        return Ok(IntervalAllocation { p });
+    }
+    allocate_intervals_pinned_impl(
+        assignment,
+        bounds,
+        activity,
+        intervals,
+        subsets,
+        &boundary,
+        &IntervalAllocation { p },
+        capacity_scale,
+        None,
+        stats,
+    )
+}
+
 #[allow(clippy::too_many_arguments)]
 fn allocate_intervals_pinned_impl(
     assignment: &PathAssignment,
@@ -386,7 +494,6 @@ fn allocate_intervals_pinned_impl(
             assignment,
             bounds,
             activity,
-            intervals,
             &members,
             |link, k| {
                 let used = reserved.get(&link).map_or(0.0, |r| r[k]);
@@ -408,11 +515,10 @@ fn allocate_intervals_pinned_impl(
 /// new optimal basis is stored back into it; `None` keeps the cold path
 /// (bit-identical to the pre-warm-start implementation).
 #[allow(clippy::too_many_arguments)]
-fn solve_subset_capacities<C>(
+pub(crate) fn solve_subset_capacities<C>(
     assignment: &PathAssignment,
     bounds: &TimeBounds,
     activity: &ActivityMatrix,
-    intervals: &Intervals,
     subset: &[MessageId],
     capacity: C,
     p: &mut [Vec<f64>],
@@ -423,12 +529,18 @@ where
     C: Fn(LinkId, usize) -> f64,
 {
     let mut lp = Problem::minimize();
+    // Per-member active-interval lists, computed once (`active_intervals`
+    // walks the whole activity row, so repeated calls are O(K) each).
+    let actives: Vec<Vec<usize>> = subset
+        .iter()
+        .map(|&m| activity.active_intervals(m))
+        .collect();
     // var_of[(message position in subset, interval)] -> LP variable.
     let mut var_of: std::collections::HashMap<(usize, usize), VarId> =
         std::collections::HashMap::new();
 
-    for (mi, &m) in subset.iter().enumerate() {
-        for k in activity.active_intervals(m) {
+    for (mi, ks) in actives.iter().enumerate() {
+        for &k in ks {
             // Zero objective: this is a feasibility system.
             var_of.insert((mi, k), lp.add_var(0.0));
         }
@@ -436,31 +548,40 @@ where
 
     // (3): total allocation equals the transmission time.
     for (mi, &m) in subset.iter().enumerate() {
-        let terms: Vec<(VarId, f64)> = activity
-            .active_intervals(m)
-            .into_iter()
-            .map(|k| (var_of[&(mi, k)], 1.0))
+        let terms: Vec<(VarId, f64)> = actives[mi]
+            .iter()
+            .map(|&k| (var_of[&(mi, k)], 1.0))
             .collect();
         lp.add_constraint(&terms, Relation::Eq, bounds.window(m).duration())
             .expect("variables are registered");
     }
 
-    // (4): per-link per-interval capacity.
-    let links: std::collections::BTreeSet<LinkId> = subset
-        .iter()
-        .flat_map(|&m| assignment.links(m).iter().copied())
-        .collect();
-    for &link in &links {
-        for k in 0..intervals.len() {
-            let terms: Vec<(VarId, f64)> = subset
+    // (4): per-link per-interval capacity, built from sparse per-link
+    // interval maps: only the links this subset's paths touch carry state,
+    // and each link visits only the intervals where one of its messages is
+    // active. The constraints emitted — and their ascending link-then-
+    // interval order — are identical to a dense links × K scan, which only
+    // ever produced empty rows elsewhere.
+    let mut on_link: std::collections::BTreeMap<LinkId, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (mi, &m) in subset.iter().enumerate() {
+        for &l in assignment.links(m) {
+            on_link.entry(l).or_default().push(mi);
+        }
+    }
+    let mut link_ks: Vec<usize> = Vec::new();
+    for (&link, members) in &on_link {
+        link_ks.clear();
+        for &mi in members {
+            link_ks.extend_from_slice(&actives[mi]);
+        }
+        link_ks.sort_unstable();
+        link_ks.dedup();
+        for &k in &link_ks {
+            let terms: Vec<(VarId, f64)> = members
                 .iter()
-                .enumerate()
-                .filter(|(_, &m)| assignment.uses(m, link))
-                .filter_map(|(mi, _)| var_of.get(&(mi, k)).map(|&v| (v, 1.0)))
+                .filter_map(|&mi| var_of.get(&(mi, k)).map(|&v| (v, 1.0)))
                 .collect();
-            if terms.is_empty() {
-                continue;
-            }
             lp.add_constraint(&terms, Relation::Le, capacity(link, k))
                 .expect("variables are registered");
         }
@@ -490,7 +611,7 @@ where
     };
 
     for (mi, &m) in subset.iter().enumerate() {
-        for k in activity.active_intervals(m) {
+        for &k in &actives[mi] {
             let v = sol.value(var_of[&(mi, k)]);
             if v > EPS {
                 p[m.index()][k] = v;
@@ -506,7 +627,7 @@ mod tests {
     use crate::related_subsets;
     use sr_mapping::Allocation;
     use sr_tfg::{assign_time_bounds, TfgBuilder, Timing, WindowPolicy};
-    use sr_topology::{GeneralizedHypercube, NodeId, Topology};
+    use sr_topology::{GeneralizedHypercube, NodeId};
 
     struct Fixture {
         assignment: PathAssignment,
@@ -534,7 +655,6 @@ mod tests {
         let activity = ActivityMatrix::new(&bounds, &intervals);
         let assignment = PathAssignment::lsd_to_msd(&tfg, &topo, &alloc);
         let subsets = related_subsets(&assignment, &activity);
-        let _ = topo.num_links();
         Fixture {
             assignment,
             bounds,
@@ -725,5 +845,46 @@ mod tests {
         assert!(subsets.is_empty());
         let ia = allocate_intervals(&pa, &bounds, &activity, &intervals, &subsets, 1.0).unwrap();
         assert_eq!(ia.total(MessageId(0)), 0.0);
+    }
+
+    #[test]
+    fn partitioned_allocation_matches_flat() {
+        // A scattered DVB workload on a 4x4 torus yields several related
+        // subsets, some confined to one node band and some crossing bands.
+        let topo = sr_topology::Torus::new(&[4, 4]).unwrap();
+        let tfg = sr_tfg::dvb_uniform(4);
+        let timing = Timing::calibrated_dvb(128.0);
+        let alloc = sr_mapping::random_distinct(&tfg, &topo, 7).unwrap();
+        let period = timing.longest_task(&tfg) * 2.0;
+        let bounds = assign_time_bounds(&tfg, &timing, period, WindowPolicy::LongestTask).unwrap();
+        let intervals = Intervals::from_bounds(&bounds);
+        let activity = ActivityMatrix::new(&bounds, &intervals);
+        let assignment = PathAssignment::lsd_to_msd(&tfg, &topo, &alloc);
+        let subsets = related_subsets(&assignment, &activity);
+        assert!(subsets.len() > 1, "fixture should have multiple subsets");
+
+        let flat =
+            allocate_intervals(&assignment, &bounds, &activity, &intervals, &subsets, 1.0).unwrap();
+        let part_of = crate::band_partition(sr_topology::Topology::num_nodes(&topo), 4);
+        for threads in [1, 4] {
+            let mut stats = AllocationStats::default();
+            let part = allocate_intervals_partitioned(
+                &assignment,
+                &bounds,
+                &activity,
+                &intervals,
+                &subsets,
+                1.0,
+                &part_of,
+                threads,
+                &mut stats,
+            )
+            .unwrap();
+            assert!(stats.lp_solves > 0);
+            for m in 0..assignment.len() {
+                let m = MessageId(m);
+                assert_eq!(part.row(m), flat.row(m), "{m} differs at threads={threads}");
+            }
+        }
     }
 }

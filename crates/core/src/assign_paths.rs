@@ -273,6 +273,186 @@ pub fn assign_paths_partial(
     }
 }
 
+/// Maps each node to one of `parts` contiguous index bands, as equal in
+/// size as possible. On a row-major torus or mesh a band is a sub-grid of
+/// whole rows (a sub-torus), which is the tiling
+/// [`assign_paths_partitioned`] expects: nodes of one band are adjacent
+/// only to their own band and its index neighbors.
+///
+/// `parts` is clamped to `[1, num_nodes]`.
+pub fn band_partition(num_nodes: usize, parts: usize) -> Vec<usize> {
+    let parts = parts.clamp(1, num_nodes.max(1));
+    (0..num_nodes)
+        .map(|n| (n * parts / num_nodes.max(1)).min(parts - 1))
+        .collect()
+}
+
+/// Hierarchical `AssignPaths` for large fabrics: partition the nodes
+/// (`part_of[node] = part id`), hill-climb each part's **interior**
+/// messages independently — in parallel via [`sr_par::par_map`] — with
+/// candidates restricted to paths that stay inside the part, then stitch
+/// the **boundary** traffic (messages crossing parts, plus interiors with
+/// no in-part route) with a final serial climb over the merged assignment.
+///
+/// Because each part only moves its own interior messages and only onto
+/// its own links, merging the parts' reroutes cannot raise any link above
+/// the load the owning part already accepted, so the merged peak — and the
+/// final outcome — is never worse than the LSD-to-MSD baseline (the same
+/// guarantee [`assign_paths`] gives). The result is deterministic for a
+/// fixed `(config.seed, part_of)` and independent of `threads`.
+///
+/// This trades assignment quality for wall-clock scaling: each part's
+/// climb only attacks the global peak where its own messages can move, so
+/// tightly coupled workloads may end with a higher peak than a flat
+/// [`assign_paths`] run. Use flat assignment when it is affordable.
+///
+/// # Panics
+///
+/// Panics if `part_of.len() != topo.num_nodes()`.
+#[allow(clippy::too_many_arguments)]
+pub fn assign_paths_partitioned(
+    tfg: &TaskFlowGraph,
+    topo: &dyn Topology,
+    alloc: &Allocation,
+    bounds: &TimeBounds,
+    intervals: &Intervals,
+    activity: &ActivityMatrix,
+    config: &AssignPathsConfig,
+    pool: &PathPool<'_>,
+    part_of: &[usize],
+    threads: usize,
+) -> AssignPathsOutcome {
+    assert_eq!(
+        part_of.len(),
+        topo.num_nodes(),
+        "partition does not cover the topology"
+    );
+    let num_links = topo.num_links();
+    let compute =
+        |pa: &PathAssignment| UtilizationMap::compute(pa, bounds, activity, intervals, num_links);
+
+    let candidates: Vec<&[Path]> = tfg
+        .messages()
+        .iter()
+        .map(|m| pool.paths(alloc.node_of(m.src()), alloc.node_of(m.dst())))
+        .collect();
+    let baseline = PathAssignment::lsd_to_msd(tfg, topo, alloc);
+    let baseline_effective = compute(&baseline).effective_peak();
+
+    // A message is interior to part `p` when both endpoints live in `p`
+    // AND it has at least two candidate paths confined to `p` (otherwise
+    // there is nothing the part-local climb could do with it, and the
+    // stitch pass handles it with the full candidate set instead).
+    let in_part = |path: &Path, p: usize| path.nodes().iter().all(|n| part_of[n.index()] == p);
+    let home: Vec<Option<usize>> = tfg
+        .messages()
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let s = part_of[alloc.node_of(m.src()).index()];
+            let d = part_of[alloc.node_of(m.dst()).index()];
+            (s == d && candidates[i].iter().filter(|p| in_part(p, s)).count() > 1).then_some(s)
+        })
+        .collect();
+
+    let num_parts = part_of.iter().copied().max().map_or(1, |m| m + 1);
+    let part_ids: Vec<usize> = (0..num_parts)
+        .filter(|&p| home.contains(&Some(p)))
+        .collect();
+    let optimized = sr_par::par_map(&part_ids, threads, |&pid| {
+        // Part-local problem: this part's interior messages keep their
+        // in-part candidates, everything else is frozen at baseline (the
+        // frozen load is exactly what the other parts see too).
+        let owned: Vec<Vec<Path>> = (0..candidates.len())
+            .map(|i| {
+                if home[i] == Some(pid) {
+                    candidates[i]
+                        .iter()
+                        .filter(|p| in_part(p, pid))
+                        .cloned()
+                        .collect()
+                } else {
+                    vec![baseline.path(MessageId(i)).clone()]
+                }
+            })
+            .collect();
+        let cand: Vec<&[Path]> = owned.iter().map(Vec::as_slice).collect();
+        let mut rng = StdRng::seed_from_u64(
+            config
+                .seed
+                .wrapping_add((pid as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        );
+        hill_climb(
+            baseline.clone(),
+            baseline_effective,
+            &cand,
+            topo,
+            bounds,
+            intervals,
+            activity,
+            config,
+            &mut rng,
+        )
+    });
+
+    // Merge: each part contributes the paths of its own interior messages.
+    // Parts only reroute onto links they own, so no link ends up above the
+    // load its owning part accepted.
+    let mut merged = baseline.clone();
+    let mut restarts = 0;
+    for (&pid, (part_best, part_restarts)) in part_ids.iter().zip(optimized) {
+        restarts += part_restarts;
+        for (i, h) in home.iter().enumerate() {
+            if *h == Some(pid) {
+                let m = MessageId(i);
+                merged.set_path(m, part_best.path(m).clone(), topo);
+            }
+        }
+    }
+    // Defensive: the merge argument above holds exactly; guard against EPS
+    // pathologies so the baseline guarantee is unconditional.
+    let merged_peak = compute(&merged).effective_peak();
+    let (stitch_start, stitch_peak) = if merged_peak <= baseline_effective + EPS {
+        (merged, merged_peak)
+    } else {
+        (baseline, baseline_effective)
+    };
+
+    // Boundary stitch: only messages without a home part may move, now
+    // with their full candidate sets; every interior message is frozen at
+    // its merged path.
+    let owned: Vec<Vec<Path>> = (0..candidates.len())
+        .map(|i| {
+            if home[i].is_none() {
+                candidates[i].to_vec()
+            } else {
+                vec![stitch_start.path(MessageId(i)).clone()]
+            }
+        })
+        .collect();
+    let cand: Vec<&[Path]> = owned.iter().map(Vec::as_slice).collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let (best, stitch_restarts) = hill_climb(
+        stitch_start,
+        stitch_peak,
+        &cand,
+        topo,
+        bounds,
+        intervals,
+        activity,
+        config,
+        &mut rng,
+    );
+
+    let utilization = compute(&best);
+    AssignPathsOutcome {
+        assignment: best,
+        utilization,
+        baseline_peak: baseline_effective,
+        restarts: restarts + stitch_restarts,
+    }
+}
+
 /// The restart loop shared by [`assign_paths_pooled`] and
 /// [`assign_paths_partial`]: polish `start` with [`improve`], then explore
 /// random restarts over `candidates`, keeping the best peak seen. Returns
@@ -610,6 +790,47 @@ mod tests {
         );
         assert_eq!(direct.assignment, pooled.assignment);
         assert_eq!(direct.restarts, pooled.restarts);
+    }
+
+    #[test]
+    fn band_partition_covers_and_balances() {
+        let p = band_partition(16, 4);
+        assert_eq!(p.len(), 16);
+        assert!(
+            p.windows(2).all(|w| w[1] >= w[0]),
+            "bands must be contiguous"
+        );
+        for part in 0..4 {
+            assert_eq!(p.iter().filter(|&&x| x == part).count(), 4);
+        }
+        assert_eq!(band_partition(5, 0), vec![0; 5]); // clamped up to 1 part
+        assert_eq!(band_partition(3, 7), vec![0, 1, 2]); // clamped down to n
+        assert!(band_partition(0, 4).is_empty());
+    }
+
+    #[test]
+    fn partitioned_never_worse_than_baseline_and_thread_independent() {
+        let topo = sr_topology::Torus::new(&[4, 4]).unwrap();
+        let tfg = sr_tfg::dvb_uniform(4);
+        let timing = Timing::calibrated_dvb(128.0);
+        let alloc = sr_mapping::random_distinct(&tfg, &topo, 7).unwrap();
+        let period = timing.longest_task(&tfg) * 2.0;
+        let bounds = assign_time_bounds(&tfg, &timing, period, WindowPolicy::LongestTask).unwrap();
+        let intervals = Intervals::from_bounds(&bounds);
+        let activity = ActivityMatrix::new(&bounds, &intervals);
+        let cfg = AssignPathsConfig::default();
+        let pool = PathPool::new(&topo, cfg.path_cap);
+        let part_of = band_partition(sr_topology::Topology::num_nodes(&topo), 4);
+
+        let serial = assign_paths_partitioned(
+            &tfg, &topo, &alloc, &bounds, &intervals, &activity, &cfg, &pool, &part_of, 1,
+        );
+        assert!(serial.utilization.effective_peak() <= serial.baseline_peak + 1e-9);
+        let parallel = assign_paths_partitioned(
+            &tfg, &topo, &alloc, &bounds, &intervals, &activity, &cfg, &pool, &part_of, 4,
+        );
+        assert_eq!(serial.assignment, parallel.assignment);
+        assert_eq!(serial.restarts, parallel.restarts);
     }
 
     #[test]

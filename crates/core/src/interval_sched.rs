@@ -133,22 +133,38 @@ pub fn schedule_intervals_guarded_stats(
         .collect();
     let mut scratch = SubsetScratch::default();
 
-    let mut out = Vec::new();
-    for k in 0..intervals.len() {
-        let mut slices = Vec::new();
-        for (subset, conflict) in subsets.iter().zip(&conflicts) {
-            scratch.active.clear();
-            scratch
-                .active
-                .extend((0..subset.len()).filter(|&p| allocation.allocated(subset[p], k) > EPS));
-            if scratch.active.is_empty() {
-                continue;
+    // One row-major sweep over the allocation replaces the dense
+    // K × subsets × members probing: collect, per interval, the active
+    // positions of each subset. Allocation rows are zero outside a
+    // message's few active intervals, so the per-interval lists stay
+    // sparse, and (interval, subset) pairs without traffic are never
+    // visited below. Subset and position order within each interval match
+    // the dense scan's ascending iteration exactly.
+    let mut active_at: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); intervals.len()];
+    for (si, subset) in subsets.iter().enumerate() {
+        for (p, &m) in subset.iter().enumerate() {
+            for (k, &a) in allocation.row(m).iter().enumerate() {
+                if a > EPS {
+                    match active_at[k].last_mut() {
+                        Some((s, positions)) if *s == si => positions.push(p),
+                        _ => active_at[k].push((si, vec![p])),
+                    }
+                }
             }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (k, active_subsets) in active_at.iter().enumerate() {
+        let mut slices = Vec::new();
+        for (si, positions) in active_subsets {
+            scratch.active.clear();
+            scratch.active.extend_from_slice(positions);
             schedule_subset_interval(
                 allocation,
                 intervals,
-                subset,
-                conflict,
+                &subsets[*si],
+                &conflicts[*si],
                 &mut scratch,
                 k,
                 max_sets,

@@ -61,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod allocation_flow;
 mod allocation_lp;
 mod assign_paths;
 mod assignment;
@@ -81,18 +82,19 @@ mod switching;
 mod utilization;
 mod verify;
 
+pub use allocation_flow::{allocate_intervals_flow, FlowAllocStats};
 pub use allocation_lp::{
-    allocate_intervals, allocate_intervals_pinned, allocate_intervals_pinned_warm,
-    allocate_intervals_stats, allocate_intervals_warm, AllocBasisCache, AllocationStats,
-    IntervalAllocation,
+    allocate_intervals, allocate_intervals_partitioned, allocate_intervals_pinned,
+    allocate_intervals_pinned_warm, allocate_intervals_stats, allocate_intervals_warm,
+    AllocBasisCache, AllocationStats, IntervalAllocation,
 };
 pub use assign_paths::{
-    assign_paths, assign_paths_partial, assign_paths_pooled, AssignPathsConfig, AssignPathsOutcome,
-    PathPool,
+    assign_paths, assign_paths_partial, assign_paths_partitioned, assign_paths_pooled,
+    band_partition, AssignPathsConfig, AssignPathsOutcome, PathPool,
 };
 pub use assignment::PathAssignment;
 pub use besteffort::{admit_best_effort, BestEffortGrant};
-pub use compile::{compile, compile_with_recorder, CompileConfig, Schedule};
+pub use compile::{compile, compile_with_recorder, AllocEngine, CompileConfig, Schedule};
 pub use damage::{analyze_damage, DamageReport};
 pub use error::{CompileError, VerifyError};
 pub use execute::{execute, ExecuteError, ExecutedInvocation, Execution};

@@ -82,6 +82,11 @@ impl MsgInputs {
 struct LinkScratch {
     used: Vec<bool>,
     spots: Vec<usize>,
+    /// Intervals marked by the current call, ascending after
+    /// [`link_figures`] returns. Cleared lazily at the next call, so one
+    /// link costs O(its active entries) rather than O(K) — and links with
+    /// no traffic are free.
+    marked: Vec<usize>,
 }
 
 impl LinkScratch {
@@ -89,6 +94,7 @@ impl LinkScratch {
         LinkScratch {
             used: vec![false; k_count],
             spots: vec![0; k_count],
+            marked: Vec::new(),
         }
     }
 }
@@ -112,27 +118,32 @@ fn link_figures(
     intervals: &Intervals,
     scratch: &mut LinkScratch,
 ) -> LinkFigures {
-    let k_count = scratch.used.len();
-    scratch.used.fill(false);
-    scratch.spots.fill(0);
+    for &k in &scratch.marked {
+        scratch.used[k] = false;
+        scratch.spots[k] = 0;
+    }
+    scratch.marked.clear();
     let mut tx = 0.0f64;
     for &i in msgs {
         tx += inputs.durations[i];
         let no_slack = inputs.no_slack[i];
         for &k in &inputs.actives[i] {
-            scratch.used[k] = true;
+            if !scratch.used[k] {
+                scratch.used[k] = true;
+                scratch.marked.push(k);
+            }
             if no_slack {
                 scratch.spots[k] += 1;
             }
         }
     }
+    scratch.marked.sort_unstable();
     let util = if tx <= 0.0 {
         0.0
     } else {
-        let denom: f64 = (0..k_count)
-            .filter(|&k| scratch.used[k])
-            .map(|k| intervals.length(k))
-            .sum();
+        // Ascending-interval summation, exactly as a dense 0..K filter
+        // scan would accumulate it.
+        let denom: f64 = scratch.marked.iter().map(|&k| intervals.length(k)).sum();
         if denom > 0.0 {
             tx / denom
         } else {
@@ -282,8 +293,7 @@ impl UtilizationMap {
                     peak_value = fig.util;
                     peak_at = Some(Hotspot::Link(LinkId(l)));
                 }
-                #[allow(clippy::needless_range_loop)] // `k` is also the interval index
-                for k in 0..k_count {
+                for &k in &scratch.marked {
                     let c = scratch.spots[k];
                     if c > 0 {
                         spots.push((LinkId(l), k, c));
@@ -510,7 +520,10 @@ impl<'a> UtilEval<'a> {
         self.hall_link[l] = fig.hall;
         let mut smax = 0usize;
         let mut sarg = 0usize;
-        for (k, &c) in self.scratch.spots.iter().enumerate() {
+        // `marked` is ascending, so the strict `>` lands on the first
+        // interval achieving the row maximum — the dense scan's selection.
+        for &k in &self.scratch.marked {
+            let c = self.scratch.spots[k];
             if c > smax {
                 smax = c;
                 sarg = k;

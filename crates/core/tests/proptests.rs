@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use sr_core::{
     allocate_intervals, assign_paths, compile, related_subsets, schedule_intervals, ActivityMatrix,
-    AssignPathsConfig, CompileConfig, Intervals, PathAssignment, UtilizationMap, EPS,
+    AllocEngine, AssignPathsConfig, CompileConfig, Intervals, PathAssignment, UtilizationMap, EPS,
 };
 use sr_mapping::Allocation;
 use sr_tfg::generators::{layered_random, LayeredParams};
@@ -259,6 +259,41 @@ proptest! {
             }
             (Ok(_), Err(e)) => prop_assert!(false, "serial succeeded, parallel failed: {e}"),
             (Err(e), Ok(_)) => prop_assert!(false, "serial failed ({e}), parallel succeeded"),
+        }
+    }
+
+    /// The min-cost-flow allocation engine is a drop-in replacement for the
+    /// revised simplex: on random small instances both engines reach the
+    /// same feasibility verdict, and when both compile, the flow schedule
+    /// verifies and lands on the same capacity-ladder rung, path assignment,
+    /// and peak utilization. (Interval splits — and hence Ω segments — may
+    /// differ: the LP has many optimal vertices and each engine picks one.)
+    #[test]
+    fn flow_engine_matches_simplex_oracle((s, _) in stage()) {
+        let topo = cube();
+        let timing = Timing::new(64.0, 20.0);
+        let period = s.bounds.period();
+        let simplex_cfg = CompileConfig { parallelism: 1, ..CompileConfig::default() };
+        let flow_cfg = CompileConfig { alloc_engine: AllocEngine::Flow, ..simplex_cfg.clone() };
+        let a = compile(&topo, &s.tfg, &s.alloc, &timing, period, &simplex_cfg);
+        let b = compile(&topo, &s.tfg, &s.alloc, &timing, period, &flow_cfg);
+        match (a, b) {
+            (Ok(simplex), Ok(flow)) => {
+                prop_assert!(sr_core::verify(&simplex, &topo, &s.tfg).is_ok());
+                prop_assert!(sr_core::verify(&flow, &topo, &s.tfg).is_ok());
+                prop_assert_eq!(
+                    simplex.capacity_scale().to_bits(),
+                    flow.capacity_scale().to_bits()
+                );
+                prop_assert_eq!(simplex.assignment(), flow.assignment());
+                prop_assert_eq!(
+                    simplex.peak_utilization().to_bits(),
+                    flow.peak_utilization().to_bits()
+                );
+            }
+            (Err(_), Err(_)) => {}
+            (Ok(_), Err(e)) => prop_assert!(false, "simplex compiled, flow failed: {e}"),
+            (Err(e), Ok(_)) => prop_assert!(false, "simplex failed ({e}), flow compiled"),
         }
     }
 

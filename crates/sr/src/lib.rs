@@ -61,7 +61,7 @@ pub use sr_wormhole as wormhole;
 pub mod prelude {
     pub use sr_core::{
         analyze_damage, compile, compile_with_recorder, replay_events, verify, verify_with_faults,
-        CompileConfig, CompileError, DamageReport, Schedule,
+        AllocEngine, CompileConfig, CompileError, DamageReport, Schedule,
     };
     pub use sr_fault::{
         repair, sweep_link_failures, FaultSet, MaskedTopology, RepairConfig, RepairOutcome,
@@ -73,7 +73,8 @@ pub mod prelude {
         SimEventKind,
     };
     pub use sr_tfg::{
-        assign_time_bounds, dvb, dvb_uniform, TaskFlowGraph, TfgBuilder, Timing, WindowPolicy,
+        assign_time_bounds, dvb, dvb_tiled, dvb_uniform, TaskFlowGraph, TfgBuilder, Timing,
+        WindowPolicy,
     };
     pub use sr_topology::{GeneralizedHypercube, LinkId, NodeId, Path, Topology, Torus};
     pub use sr_wormhole::{SimConfig, SimResult, Stats, WormholeSim};

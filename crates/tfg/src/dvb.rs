@@ -79,6 +79,63 @@ pub fn dvb(n_models: usize) -> TaskFlowGraph {
     b.build().expect("DVB graph is a DAG by construction")
 }
 
+/// `tiles` disjoint copies of the uniform-ops DVB graph in one TFG.
+///
+/// The paper's benchmark is one recognition pipeline on a 64-node machine;
+/// scaling the fabric two orders of magnitude (ROADMAP item 2) cannot scale
+/// the *single* pipeline the same way, because `label`/`select` are fan
+/// hubs — every extra model funnels another message through the same
+/// node's few links, so peak utilization grows without bound. The natural
+/// scaled workload is instead many independent pipelines, one per region
+/// of the machine, which is what a recognition farm would run. Task and
+/// message indices are contiguous per tile (tile `t` owns tasks
+/// `t·(n+4) .. (t+1)·(n+4)`), so a banded allocation can pin each pipeline
+/// into its own sub-torus.
+///
+/// # Panics
+///
+/// Panics if `tiles == 0` or `n_models == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use sr_tfg::dvb_tiled;
+///
+/// let g = dvb_tiled(4, 10);
+/// assert_eq!(g.num_tasks(), 4 * 14);
+/// assert_eq!(g.num_messages(), 4 * 24);
+/// assert_eq!(g.inputs().len(), 4);
+/// ```
+pub fn dvb_tiled(tiles: usize, n_models: usize) -> TaskFlowGraph {
+    assert!(tiles > 0, "need at least one tile");
+    assert!(n_models > 0, "DVB needs at least one object model");
+    let mut b = TfgBuilder::new();
+    for t in 0..tiles {
+        let label = b.task(format!("label.{t}"), DVB_LONGEST_TASK_OPS);
+        let select = b.task(format!("select.{t}"), 1536);
+        let verify = b.task(format!("verify.{t}"), DVB_LONGEST_TASK_OPS);
+        let report = b.task(format!("report.{t}"), 768);
+        for i in 0..n_models {
+            let m = b.task(format!("match{i}.{t}"), 400);
+            b.message(format!("a{i}.{t}"), label, m, 192)
+                .expect("valid message");
+            b.message(format!("b{i}.{t}"), m, select, 1536)
+                .expect("valid message");
+        }
+        b.message(format!("c.{t}"), select, verify, DVB_LONGEST_MESSAGE_BYTES)
+            .expect("valid message");
+        b.message(format!("h.{t}"), label, verify, 768)
+            .expect("valid message");
+        b.message(format!("g.{t}"), verify, report, 1728)
+            .expect("valid message");
+        b.message(format!("i.{t}"), select, report, 384)
+            .expect("valid message");
+    }
+    b.build()
+        .expect("tiled DVB is a DAG by construction")
+        .with_uniform_ops(DVB_LONGEST_TASK_OPS)
+}
+
 /// The DVB graph with every task normalized to the longest task's size.
 ///
 /// The paper's evaluation assumes "all tasks … take the same time", so the

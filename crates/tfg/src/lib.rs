@@ -54,7 +54,7 @@ mod textfmt;
 mod timing;
 
 pub use bounds::{assign_time_bounds, MessageWindow, TimeBounds, WindowPolicy};
-pub use dvb::{dvb, dvb_uniform, DVB_LONGEST_MESSAGE_BYTES, DVB_LONGEST_TASK_OPS};
+pub use dvb::{dvb, dvb_tiled, dvb_uniform, DVB_LONGEST_MESSAGE_BYTES, DVB_LONGEST_TASK_OPS};
 pub use error::TfgError;
 pub use graph::{Message, Task, TaskFlowGraph, TfgBuilder};
 pub use ids::{MessageId, TaskId};

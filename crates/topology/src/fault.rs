@@ -1,4 +1,5 @@
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::OnceLock;
 
 use crate::{LinkId, NodeId, Path, Topology};
 
@@ -170,9 +171,12 @@ fn splitmix64(state: &mut u64) -> u64 {
 ///
 /// Routing on the mask is recomputed from scratch by breadth-first search
 /// (the inner topology's algebraic routing no longer applies once edges are
-/// missing): [`Topology::distance`] reads a precomputed all-pairs BFS table,
-/// and [`Topology::shortest_paths`] enumerates shortest paths through the
-/// BFS distance DAG in deterministic ascending-neighbor order. When the
+/// missing): [`Topology::distance`] reads a per-source BFS distance row
+/// computed lazily on first use (so constructing the mask is `O(n + faults)`
+/// and a workload that routes between few pairs never pays for the full
+/// all-pairs table), and [`Topology::shortest_paths`] enumerates shortest
+/// paths through the BFS distance DAG in deterministic ascending-neighbor
+/// order. When the
 /// inner dimension-order path survives the mask intact it is promoted to the
 /// front of the enumeration, preserving the trait's "dimension-order first"
 /// contract wherever it is still meaningful.
@@ -198,8 +202,9 @@ pub struct MaskedTopology<'a> {
     inner: &'a dyn Topology,
     faults: FaultSet,
     neighbors: Vec<Vec<NodeId>>,
-    /// All-pairs hop distance over surviving edges; `u32::MAX` = unreachable.
-    dist: Vec<u32>,
+    /// Per-source hop-distance rows over surviving edges, BFS-computed
+    /// lazily on first use; `u32::MAX` = unreachable.
+    dist: Vec<OnceLock<Vec<u32>>>,
     name: String,
 }
 
@@ -247,23 +252,7 @@ impl<'a> MaskedTopology<'a> {
                     .collect()
             })
             .collect();
-        let mut dist = vec![UNREACHABLE; n * n];
-        let mut queue = std::collections::VecDeque::new();
-        for src in 0..n {
-            let row = &mut dist[src * n..(src + 1) * n];
-            row[src] = 0;
-            queue.clear();
-            queue.push_back(src);
-            while let Some(u) = queue.pop_front() {
-                let du = row[u];
-                for &v in &neighbors[u] {
-                    if row[v.index()] == UNREACHABLE {
-                        row[v.index()] = du + 1;
-                        queue.push_back(v.index());
-                    }
-                }
-            }
-        }
+        let dist = (0..n).map(|_| OnceLock::new()).collect();
         let name = format!(
             "Masked({}, -{}L/-{}N)",
             inner.name(),
@@ -289,9 +278,30 @@ impl<'a> MaskedTopology<'a> {
         self.inner
     }
 
+    /// The BFS distance row from `src`, computed on first use and cached.
+    fn dist_row(&self, src: usize) -> &[u32] {
+        self.dist[src].get_or_init(|| {
+            let n = self.inner.num_nodes();
+            let mut row = vec![UNREACHABLE; n];
+            row[src] = 0;
+            let mut queue = VecDeque::new();
+            queue.push_back(src);
+            while let Some(u) = queue.pop_front() {
+                let du = row[u];
+                for &v in &self.neighbors[u] {
+                    if row[v.index()] == UNREACHABLE {
+                        row[v.index()] = du + 1;
+                        queue.push_back(v.index());
+                    }
+                }
+            }
+            row
+        })
+    }
+
     /// `true` when a surviving route from `a` to `b` exists.
     pub fn connects(&self, a: NodeId, b: NodeId) -> bool {
-        self.dist[a.index() * self.inner.num_nodes() + b.index()] != UNREACHABLE
+        self.masked_dist(a, b) != UNREACHABLE
     }
 
     /// `true` when every pair of surviving nodes is mutually reachable.
@@ -300,13 +310,21 @@ impl<'a> MaskedTopology<'a> {
         let alive: Vec<usize> = (0..n)
             .filter(|&u| !self.faults.is_node_failed(NodeId(u)))
             .collect();
-        alive
-            .iter()
-            .all(|&u| alive.iter().all(|&v| self.dist[u * n + v] != UNREACHABLE))
+        // Links are undirected, so reachability is symmetric and transitive:
+        // one surviving node reaching every other one is equivalent to full
+        // pairwise mutual reachability.
+        let Some(&first) = alive.first() else {
+            return true;
+        };
+        let row = self.dist_row(first);
+        alive.iter().all(|&v| row[v] != UNREACHABLE)
     }
 
     fn masked_dist(&self, a: NodeId, b: NodeId) -> u32 {
-        self.dist[a.index() * self.inner.num_nodes() + b.index()]
+        // Undirected links make hop distance symmetric; reading through the
+        // *destination* row means path enumeration toward one target forces
+        // exactly one BFS, however many intermediate nodes it inspects.
+        self.dist_row(b.index())[a.index()]
     }
 
     /// Enumerates up to `cap` shortest paths through the BFS distance DAG,
