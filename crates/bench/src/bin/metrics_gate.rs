@@ -1,18 +1,25 @@
 //! `metrics_gate` — the CI metrics-regression gate.
 //!
-//! Regenerates the deterministic metrics document for the torus 4×4 DVB
-//! figure workload (serial-compile counters at three loads, the flow-engine
-//! counter namespace at the middle one, plus the WR/SR output-interval
-//! statistics at the highest) and either writes it as the
-//! golden baseline or checks the current build against the checked-in one:
+//! Regenerates a deterministic metrics document for one of the pinned gate
+//! workloads and either writes it as the golden baseline or checks the
+//! current build against the checked-in one:
+//!
+//! * `torus4x4` (default) — the torus 4×4 DVB figure workload:
+//!   serial-compile counters at three loads, the flow-engine counter
+//!   namespace at the middle one, plus the WR/SR output-interval statistics
+//!   at the highest.
+//! * `scale16` — the 16×16 scaling-fabric point from the scale smoke run
+//!   (`scale_workload(16, ...)` at load 0.5): flat and band-partitioned
+//!   serial-compile counters, gating the compile pipeline's counter values
+//!   at 256 nodes where the partitioned path actually splits work.
 //!
 //! ```text
-//! metrics_gate --write [PATH]                # regenerate the baseline
-//! metrics_gate --check [PATH]                # CI: fail on drift
-//! metrics_gate --check --inject-drift [PATH] # CI negative test: must fail
+//! metrics_gate --write [--workload W] [PATH]   # regenerate the baseline
+//! metrics_gate --check [--workload W] [PATH]   # CI: fail on drift
+//! metrics_gate --check --inject-drift [PATH]   # CI negative test: must fail
 //! ```
 //!
-//! `PATH` defaults to `results/metrics_baseline_torus4x4_dvb.json`. Exit
+//! `PATH` defaults to `results/metrics_baseline_<workload>_dvb.json`. Exit
 //! status is nonzero on any violation (and on a *passing* check under
 //! `--inject-drift`, which would mean the gate is blind).
 
@@ -22,10 +29,15 @@ use std::process::ExitCode;
 use sr::obs::OiReport;
 use sr::prelude::*;
 use sr_bench::gate::{compare_metrics, flatten_json, FLOAT_TOL};
+use sr_bench::{scale_bands, scale_workload};
 
-const DEFAULT_PATH: &str = "results/metrics_baseline_torus4x4_dvb.json";
+const DEFAULT_PATH_TORUS4X4: &str = "results/metrics_baseline_torus4x4_dvb.json";
+const DEFAULT_PATH_SCALE16: &str = "results/metrics_baseline_scale16_dvb.json";
 /// Loads gated for compile counters; the last one also drives the OI stats.
 const LOADS: [f64; 3] = [0.5, 0.7, 0.85];
+/// The single load gated on the 16×16 scaling point (matches the scale
+/// smoke sweep's lightest point, so CI compiles it anyway).
+const SCALE_LOAD: f64 = 0.5;
 
 fn oi_json(r: &OiReport) -> String {
     let s = r.interval_summary.unwrap_or_default();
@@ -44,10 +56,17 @@ fn oi_json(r: &OiReport) -> String {
     )
 }
 
-/// Builds the metrics document. Everything in it is deterministic: compiles
-/// run serially (`parallelism: 1`), the simulator core is single-threaded,
-/// and the replay is a pure function of the schedule.
-fn build_document() -> String {
+fn counters_json(doc: &mut String, rec: &MetricsRecorder) {
+    for (j, (name, v)) in rec.counters().iter().enumerate() {
+        let _ = write!(doc, "{}\"{name}\": {v}", if j == 0 { "" } else { ", " });
+    }
+}
+
+/// Builds the metrics document for the torus 4×4 DVB workload. Everything
+/// in it is deterministic: compiles run serially (`parallelism: 1`), the
+/// simulator core is single-threaded, and the replay is a pure function of
+/// the schedule.
+fn build_document_torus4x4() -> String {
     let topo = Torus::new(&[4, 4]).expect("torus 4x4");
     let tfg = dvb_uniform(10);
     let alloc = sr::mapping::random_distinct(&tfg, &topo, 7).expect("16 nodes fit");
@@ -77,9 +96,7 @@ fn build_document() -> String {
             "{}\n\"{load}\": {{\"counters\": {{",
             if i == 0 { "" } else { "," }
         );
-        for (j, (name, v)) in rec.counters().iter().enumerate() {
-            let _ = write!(doc, "{}\"{name}\": {v}", if j == 0 { "" } else { ", " });
-        }
+        counters_json(&mut doc, &rec);
         doc.push_str("}}");
         last_schedule = Some(sched);
     }
@@ -105,9 +122,7 @@ fn build_document() -> String {
     )
     .expect("flow gate load compiles");
     let _ = write!(doc, "\"flow\": {{\n\"{}\": {{\"counters\": {{", LOADS[1]);
-    for (j, (name, v)) in rec.counters().iter().enumerate() {
-        let _ = write!(doc, "{}\"{name}\": {v}", if j == 0 { "" } else { ", " });
-    }
+    counters_json(&mut doc, &rec);
     doc.push_str("}}\n},\n");
 
     // OI statistics at the highest gated load, wormhole and scheduled.
@@ -131,22 +146,81 @@ fn build_document() -> String {
     doc
 }
 
+/// Builds the metrics document for the 16×16 scaling-fabric point: the
+/// `scale_workload` farm at load 0.5, compiled serially flat and with the
+/// 4-band row partition. No simulator section — at 256 nodes the gate's
+/// job is the compile pipeline's counter values, and the scale smoke run
+/// already exercises the same point for wall-clock figures.
+fn build_document_scale16() -> String {
+    let (platform, tfg, alloc, timing) = scale_workload(16, 256.0, 7);
+    let topo = platform.topo.as_ref();
+    let period = timing.longest_task(&tfg) / SCALE_LOAD;
+
+    let mut doc = String::from("{\n\"workload\": \"scale16_dvb\",\n");
+    for (section, partition) in [("flat", 0usize), ("partitioned", scale_bands(16))] {
+        let config = CompileConfig {
+            parallelism: 1,
+            partition,
+            ..CompileConfig::default()
+        };
+        let rec = MetricsRecorder::new();
+        sr::core::compile_with_recorder(topo, &tfg, &alloc, &timing, period, &config, &rec)
+            .expect("scale16 gate point compiles");
+        let _ = write!(
+            doc,
+            "\"{section}\": {{\n\"{SCALE_LOAD}\": {{\"counters\": {{"
+        );
+        counters_json(&mut doc, &rec);
+        doc.push_str("}}\n},\n");
+    }
+    doc.truncate(doc.len() - 2);
+    doc.push_str("\n}\n");
+    doc
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mode_write = args.iter().any(|a| a == "--write");
-    let mode_check = args.iter().any(|a| a == "--check");
-    let inject = args.iter().any(|a| a == "--inject-drift");
-    let path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or(DEFAULT_PATH);
-    if mode_write == mode_check {
-        eprintln!("usage: metrics_gate --write|--check [--inject-drift] [PATH]");
+    let mut mode_write = false;
+    let mut mode_check = false;
+    let mut inject = false;
+    let mut workload = String::from("torus4x4");
+    let mut positional: Option<String> = None;
+    let mut usage_error = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--write" => mode_write = true,
+            "--check" => mode_check = true,
+            "--inject-drift" => inject = true,
+            "--workload" => match it.next() {
+                Some(w) => workload = w,
+                None => usage_error = true,
+            },
+            _ if a.starts_with("--") => usage_error = true,
+            _ => positional = Some(a),
+        }
+    }
+    let default_path = match workload.as_str() {
+        "torus4x4" => DEFAULT_PATH_TORUS4X4,
+        "scale16" => DEFAULT_PATH_SCALE16,
+        other => {
+            eprintln!("unknown workload {other:?} (expected torus4x4 or scale16)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let path = positional.as_deref().unwrap_or(default_path);
+    if mode_write == mode_check || usage_error {
+        eprintln!(
+            "usage: metrics_gate --write|--check [--inject-drift] \
+             [--workload torus4x4|scale16] [PATH]"
+        );
         return ExitCode::FAILURE;
     }
 
-    let doc = build_document();
+    let doc = match workload.as_str() {
+        "scale16" => build_document_scale16(),
+        _ => build_document_torus4x4(),
+    };
     if mode_write {
         if let Err(e) = std::fs::write(path, &doc) {
             eprintln!("cannot write {path}: {e}");
@@ -174,9 +248,15 @@ fn main() -> ExitCode {
             .cloned()
             .expect("document has counters");
         *current.get_mut(&counter).unwrap() += 1.0;
+        // The scale16 document has no simulator section; the float probe
+        // only applies to workloads that carry OI statistics.
         let float = ".oi.wr.max_deviation_us".to_string();
-        *current.get_mut(&float).unwrap() += 10.0 * FLOAT_TOL;
-        println!("injected drift into {counter} and {float}");
+        if let Some(v) = current.get_mut(&float) {
+            *v += 10.0 * FLOAT_TOL;
+            println!("injected drift into {counter} and {float}");
+        } else {
+            println!("injected drift into {counter}");
+        }
     }
 
     let violations = compare_metrics(&baseline, &current, FLOAT_TOL);

@@ -494,7 +494,10 @@ pub fn scale_workload(
     seed: u64,
 ) -> (Platform, TaskFlowGraph, Allocation, Timing) {
     use rand::{rngs::StdRng, Rng, SeedableRng};
-    assert!(n >= 8 && n.is_multiple_of(8), "scaling fabric needs 8 | N, got {n}");
+    assert!(
+        n >= 8 && n.is_multiple_of(8),
+        "scaling fabric needs 8 | N, got {n}"
+    );
     let platform = Platform::torus_nxn(n, bandwidth);
     let bands = scale_bands(n);
     let col_slots = n / 8;

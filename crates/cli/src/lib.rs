@@ -231,6 +231,17 @@ pub struct Options {
     pub trace_out: Option<String>,
     /// Print the collected counters/histograms/span totals to stderr.
     pub metrics: bool,
+    /// Append a JSONL flight-recorder journal (meta, counters, spans,
+    /// events) to this path, with bounded rotation.
+    pub journal: Option<String>,
+    /// Write the Prometheus text exposition of the metrics to this path.
+    pub prom: Option<String>,
+    /// For `report`: replay the wormhole event stream from this journal
+    /// instead of running the simulator.
+    pub from_journal: Option<String>,
+    /// Pin the compiler's capacity-scale ladder to this single scale
+    /// (diagnostics: forces the allocation to answer at one rung).
+    pub cap_scale: Option<f64>,
     /// Spare-capacity reservation ε for the compiler (headroom for repair).
     pub spare: f64,
     /// Link ids to fail (`faults --fail-links 3,17`).
@@ -265,6 +276,10 @@ impl Default for Options {
             json: None,
             trace_out: None,
             metrics: false,
+            journal: None,
+            prom: None,
+            from_journal: None,
+            cap_scale: None,
             spare: 0.0,
             fail_links: Vec::new(),
             fail_nodes: Vec::new(),
@@ -286,7 +301,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, SpecError> {
     opts.command = it.next().ok_or_else(|| SpecError::new(USAGE))?.to_string();
     if !matches!(
         opts.command.as_str(),
-        "compile" | "simulate" | "sweep" | "info" | "minperiod" | "faults" | "report"
+        "compile" | "simulate" | "sweep" | "info" | "minperiod" | "faults" | "report" | "explain"
     ) {
         return Err(SpecError::new(format!(
             "unknown command '{}'\n{USAGE}",
@@ -375,6 +390,18 @@ pub fn parse_args(args: &[String]) -> Result<Options, SpecError> {
             "--out" => opts.out = value("--out")?,
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--metrics" => opts.metrics = true,
+            "--journal" => opts.journal = Some(value("--journal")?),
+            "--prom" => opts.prom = Some(value("--prom")?),
+            "--from-journal" => opts.from_journal = Some(value("--from-journal")?),
+            "--cap-scale" => {
+                let s: f64 = value("--cap-scale")?
+                    .parse()
+                    .map_err(|_| SpecError::new("bad --cap-scale"))?;
+                if !(s > 0.0 && s <= 1.0) {
+                    return Err(SpecError::new("--cap-scale must be in (0, 1]"));
+                }
+                opts.cap_scale = Some(s);
+            }
             other => return Err(SpecError::new(format!("unknown flag '{other}'\n{USAGE}"))),
         }
     }
@@ -393,12 +420,14 @@ fn parse_id_list(s: &str) -> Result<Vec<usize>, SpecError> {
 }
 
 /// Usage text shown for malformed command lines.
-pub const USAGE: &str = "usage: srsched <compile|simulate|sweep|info|minperiod|faults|report> \
+pub const USAGE: &str = "usage: srsched \
+<compile|simulate|sweep|info|minperiod|faults|report|explain> \
 [--topo SPEC] [--tfg SPEC] [--alloc SPEC] [--bandwidth B] [--period T] \
 [--guard G] [--spare E] [--parallelism N] [--alloc-engine simplex|flow] [--partition N] \
-[--vc N] [--adaptive P] \
+[--vc N] [--adaptive P] [--cap-scale S] \
 [--dump] [--timeline] \
-[--json FILE] [--trace-out FILE] [--metrics] [--out FILE] \
+[--json FILE] [--trace-out FILE] [--metrics] [--journal FILE] [--prom FILE] [--out FILE] \
+[--from-journal FILE] \
 [--fail-links L1,L2] [--fail-nodes N1,N2] [--repair] [--sweep K]";
 
 /// Runs a parsed command, writing human-readable output to `out`.
@@ -416,8 +445,9 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
     let period = opts.period.unwrap_or(tau_c * 2.0);
 
     // One recorder per invocation; it stays a no-op (never recording,
-    // never allocating) unless --trace-out or --metrics asked for it.
-    let recording = opts.metrics || opts.trace_out.is_some();
+    // never allocating) unless an observability output asked for it.
+    let recording =
+        opts.metrics || opts.trace_out.is_some() || opts.journal.is_some() || opts.prom.is_some();
     let metrics = MetricsRecorder::new();
     let rec: &dyn Recorder = if recording { &metrics } else { &sr::obs::NOOP };
 
@@ -458,14 +488,7 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
             )?;
         }
         "compile" => {
-            let config = CompileConfig {
-                guard_time: opts.guard,
-                parallelism: opts.parallelism,
-                spare_capacity: opts.spare,
-                alloc_engine: opts.alloc_engine,
-                partition: opts.partition,
-                ..CompileConfig::default()
-            };
+            let config = compile_config(opts);
             let compiled = sr::core::compile_with_recorder(
                 topo.as_ref(),
                 &tfg,
@@ -540,15 +563,25 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
             // to look at.
             write_observability(opts, &metrics, &[], out)?;
         }
+        "explain" => {
+            let config = compile_config(opts);
+            let (compiled, diag) = sr::core::compile_diagnosed(
+                topo.as_ref(),
+                &tfg,
+                &alloc,
+                &timing,
+                period,
+                &config,
+                rec,
+            );
+            if let Ok(s) = &compiled {
+                verify(s, topo.as_ref(), &tfg)?;
+            }
+            write!(out, "{}", diag.render_text(topo.as_ref(), &tfg))?;
+            write_observability(opts, &metrics, &[], out)?;
+        }
         "minperiod" => {
-            let config = CompileConfig {
-                guard_time: opts.guard,
-                parallelism: opts.parallelism,
-                spare_capacity: opts.spare,
-                alloc_engine: opts.alloc_engine,
-                partition: opts.partition,
-                ..CompileConfig::default()
-            };
+            let config = compile_config(opts);
             match sr::core::find_min_period(
                 topo.as_ref(),
                 &tfg,
@@ -583,9 +616,9 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
                 .with_virtual_channels(opts.virtual_channels)?
                 .with_adaptive_routing(opts.adaptive)?;
             let sim_cfg = SimConfig::default();
-            // With --trace-out, capture the simulation event stream so flit
-            // events interleave with compile spans in one Chrome trace.
-            let sink = opts.trace_out.as_ref().map(|_| {
+            // With --trace-out or --journal, capture the simulation event
+            // stream so flit events land in the Chrome trace / the journal.
+            let sink = (opts.trace_out.is_some() || opts.journal.is_some()).then(|| {
                 RingEventSink::with_capacity(event_capacity(sim.routes(), sim_cfg.invocations))
             });
             let span = sr::obs::span_with(rec, "simulate", || format!("period={period}"));
@@ -684,14 +717,7 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
                     &alloc,
                     &timing,
                     p,
-                    &CompileConfig {
-                        guard_time: opts.guard,
-                        parallelism: opts.parallelism,
-                        spare_capacity: opts.spare,
-                        alloc_engine: opts.alloc_engine,
-                        partition: opts.partition,
-                        ..CompileConfig::default()
-                    },
+                    &compile_config(opts),
                 ) {
                     Ok(s) => format!("ok (U={:.2})", s.peak_utilization()),
                     Err(e) => match e {
@@ -729,14 +755,7 @@ fn run_faults(
     rec: &dyn Recorder,
     out: &mut dyn fmt::Write,
 ) -> Result<(), Box<dyn Error>> {
-    let config = CompileConfig {
-        guard_time: opts.guard,
-        parallelism: opts.parallelism,
-        spare_capacity: opts.spare,
-        alloc_engine: opts.alloc_engine,
-        partition: opts.partition,
-        ..CompileConfig::default()
-    };
+    let config = compile_config(opts);
     let sched =
         match sr::core::compile_with_recorder(topo, tfg, alloc, timing, period, &config, rec) {
             Ok(s) => s,
@@ -903,6 +922,24 @@ fn event_capacity(routes: &[Vec<LinkId>], invocations: usize) -> usize {
     per_inv * invocations + 1024
 }
 
+/// The compiler configuration every subcommand shares, assembled from the
+/// command-line knobs (including `--cap-scale`, which pins the feedback
+/// ladder to a single capacity scale).
+fn compile_config(opts: &Options) -> CompileConfig {
+    let mut config = CompileConfig {
+        guard_time: opts.guard,
+        parallelism: opts.parallelism,
+        spare_capacity: opts.spare,
+        alloc_engine: opts.alloc_engine,
+        partition: opts.partition,
+        ..CompileConfig::default()
+    };
+    if let Some(s) = opts.cap_scale {
+        config.feedback_scales = vec![s];
+    }
+    config
+}
+
 /// The `report` subcommand: compile the schedule, run the wormhole baseline
 /// with event capture, replay the schedule's event stream, analyze both OI
 /// distributions, and render the self-contained HTML report to `opts.out`.
@@ -918,36 +955,50 @@ fn run_report(
     rec: &dyn Recorder,
     out: &mut dyn fmt::Write,
 ) -> Result<Vec<SimEvent>, Box<dyn Error>> {
-    let config = CompileConfig {
-        guard_time: opts.guard,
-        parallelism: opts.parallelism,
-        spare_capacity: opts.spare,
-        alloc_engine: opts.alloc_engine,
-        partition: opts.partition,
-        ..CompileConfig::default()
+    let config = compile_config(opts);
+    let (compiled, diag) =
+        sr::core::compile_diagnosed(topo, tfg, alloc, timing, period, &config, rec);
+    let sched = match compiled {
+        Ok(s) => s,
+        Err(e) => {
+            writeln!(
+                out,
+                "schedule infeasible: {e} — no report written (run `srsched explain` for the \
+                 candidate walk and saturated links)"
+            )?;
+            return Ok(Vec::new());
+        }
     };
-    let sched =
-        match sr::core::compile_with_recorder(topo, tfg, alloc, timing, period, &config, rec) {
-            Ok(s) => s,
-            Err(e) => {
-                writeln!(out, "schedule infeasible: {e} — no report written")?;
-                return Ok(Vec::new());
-            }
-        };
     verify(&sched, topo, tfg)?;
 
-    let sim = WormholeSim::new(topo, tfg, alloc, timing)?
-        .with_virtual_channels(opts.virtual_channels)?
-        .with_adaptive_routing(opts.adaptive)?;
     let cfg = SimConfig::default();
-    let sink = RingEventSink::with_capacity(event_capacity(sim.routes(), cfg.invocations));
-    let res = {
-        let span = sr::obs::span_with(rec, "simulate", || format!("period={period}"));
-        let r = sim.run_with_events(period, &cfg, &sink)?;
-        drop(span);
-        r
+    // The wormhole side comes either from a live run or, with
+    // --from-journal, replayed from a flight recording on disk.
+    let (wr_events, wr_deadlocked) = match &opts.from_journal {
+        Some(path) => {
+            let data = read_journal(std::path::Path::new(path))?;
+            writeln!(
+                out,
+                "replaying {} journaled events from {path} ({} malformed lines skipped)",
+                data.events.len(),
+                data.skipped
+            )?;
+            (data.events, false)
+        }
+        None => {
+            let sim = WormholeSim::new(topo, tfg, alloc, timing)?
+                .with_virtual_channels(opts.virtual_channels)?
+                .with_adaptive_routing(opts.adaptive)?;
+            let sink = RingEventSink::with_capacity(event_capacity(sim.routes(), cfg.invocations));
+            let res = {
+                let span = sr::obs::span_with(rec, "simulate", || format!("period={period}"));
+                let r = sim.run_with_events(period, &cfg, &sink)?;
+                drop(span);
+                r
+            };
+            (sink.events(), res.deadlocked())
+        }
     };
-    let wr_events = sink.events();
     let wr_oi = analyze_oi(&wr_events, period, cfg.warmup);
     let sr_events = {
         let span = sr::obs::span_with(rec, "replay", || format!("period={period}"));
@@ -964,10 +1015,19 @@ fn run_report(
         period,
         wr: &wr_oi,
         sr: &sr_oi,
-        wr_deadlocked: res.deadlocked(),
+        wr_deadlocked,
+        diag: &diag,
         spec: format!(
-            "{} · {} · alloc {} · B = {} bytes/µs · τ_in = {period} µs",
-            opts.topo, opts.tfg, opts.alloc, opts.bandwidth
+            "{} · {} · alloc {} · B = {} bytes/µs · τ_in = {period} µs{}",
+            opts.topo,
+            opts.tfg,
+            opts.alloc,
+            opts.bandwidth,
+            if opts.from_journal.is_some() {
+                " · wormhole side replayed from journal"
+            } else {
+                ""
+            }
         ),
     });
     std::fs::write(&opts.out, &html)?;
@@ -978,11 +1038,7 @@ fn run_report(
         wr_oi.outputs.len(),
         wr_oi.max_deviation_us,
         wr_oi.cross_invocation_stalls(),
-        if res.deadlocked() {
-            " (deadlocked)"
-        } else {
-            ""
-        }
+        if wr_deadlocked { " (deadlocked)" } else { "" }
     )?;
     writeln!(
         out,
@@ -1022,10 +1078,12 @@ fn wormhole_under_faults(
     })
 }
 
-/// Flushes the recorder per `--trace-out`/`--metrics`: the Chrome trace to
-/// its file (noting the path in `out`), the metrics table to stderr (so it
-/// never mixes with parseable stdout output). Simulation events, when the
-/// command captured any, interleave with the compile spans in the trace.
+/// Flushes the recorder per `--trace-out`/`--metrics`/`--journal`/`--prom`:
+/// the Chrome trace to its file (noting the path in `out`), the metrics
+/// table to stderr (so it never mixes with parseable stdout output), the
+/// JSONL flight-recorder journal (meta, counters, histograms, spans, and
+/// any captured simulation events) appended with bounded rotation, and the
+/// Prometheus text exposition to its file.
 fn write_observability(
     opts: &Options,
     metrics: &MetricsRecorder,
@@ -1038,6 +1096,36 @@ fn write_observability(
             out,
             "wrote Chrome trace to {path} (load in chrome://tracing)"
         )?;
+    }
+    if let Some(path) = &opts.journal {
+        let mut w = JournalWriter::create(std::path::Path::new(path), sr::obs::DEFAULT_MAX_BYTES)?;
+        w.meta(&[
+            ("command", opts.command.as_str()),
+            ("topo", opts.topo.as_str()),
+            ("tfg", opts.tfg.as_str()),
+            ("alloc", opts.alloc.as_str()),
+            ("bandwidth", &format!("{}", opts.bandwidth)),
+        ])?;
+        w.recorder(metrics)?;
+        w.events(events)?;
+        w.flush()?;
+        // Journal self-accounting rides in the `journal.*` namespace so the
+        // Prometheus export and `--metrics` table (both rendered below)
+        // report what was persisted. The journal itself was already
+        // written, so these counters are never inside the file they count.
+        metrics.add("journal.lines", w.lines());
+        metrics.add("journal.events", events.len() as u64);
+        metrics.add("journal.rotations", w.rotations());
+        writeln!(
+            out,
+            "appended journal to {path} ({} lines{})",
+            w.lines(),
+            if w.rotations() > 0 { ", rotated" } else { "" }
+        )?;
+    }
+    if let Some(path) = &opts.prom {
+        std::fs::write(path, metrics.export_prometheus())?;
+        writeln!(out, "wrote Prometheus metrics to {path}")?;
     }
     if opts.metrics {
         eprint!("{}", metrics.metrics_table());
@@ -1393,6 +1481,104 @@ mod tests {
         assert!(json.contains("\"simulation\""), "{json}");
         assert!(json.contains("\"cat\":\"sim\""), "{json}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parse_observability_flags() {
+        let o = parse_args(&args(
+            "explain --journal /tmp/j.jsonl --prom /tmp/m.prom --cap-scale 0.5",
+        ))
+        .unwrap();
+        assert_eq!(o.command, "explain");
+        assert_eq!(o.journal.as_deref(), Some("/tmp/j.jsonl"));
+        assert_eq!(o.prom.as_deref(), Some("/tmp/m.prom"));
+        assert_eq!(o.cap_scale, Some(0.5));
+        let o = parse_args(&args("report --from-journal flight.jsonl")).unwrap();
+        assert_eq!(o.from_journal.as_deref(), Some("flight.jsonl"));
+        assert!(parse_args(&args("compile --cap-scale 0")).is_err());
+        assert!(parse_args(&args("compile --cap-scale 1.5")).is_err());
+        assert!(parse_args(&args("compile --journal")).is_err());
+    }
+
+    #[test]
+    fn run_explain_names_saturated_links_when_infeasible() {
+        let opts = parse_args(&args(
+            "explain --topo torus:4x4 --tfg dvb:4 --bandwidth 64 --alloc scatter:7 \
+             --cap-scale 0.5",
+        ))
+        .unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        assert!(out.contains("verdict: infeasible"), "{out}");
+        assert!(out.contains("saturated link"), "{out}");
+        assert!(out.contains("binding intervals"), "{out}");
+    }
+
+    #[test]
+    fn run_compile_journal_and_prom_write_files() {
+        let dir = std::env::temp_dir().join("srsched_test_obs_out");
+        let _ = std::fs::create_dir_all(&dir);
+        let jpath = dir.join("compile.jsonl");
+        let ppath = dir.join("compile.prom");
+        let _ = std::fs::remove_file(&jpath);
+        let opts = parse_args(&args(&format!(
+            "compile --topo cube:3 --tfg chain:3 --period 120 --journal {} --prom {}",
+            jpath.display(),
+            ppath.display()
+        )))
+        .unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        assert!(out.contains("appended journal"), "{out}");
+        assert!(out.contains("wrote Prometheus metrics"), "{out}");
+        let data = sr::obs::read_journal(&jpath).unwrap();
+        assert_eq!(data.skipped, 0);
+        assert_eq!(data.meta["command"], "compile");
+        assert!(data.counters.keys().any(|k| k.starts_with("compile.")));
+        let prom = std::fs::read_to_string(&ppath).unwrap();
+        assert!(prom.contains("# TYPE sr_"), "{prom}");
+        assert!(prom.contains("_total"), "{prom}");
+        // Journal self-accounting is recorded after the journal is written,
+        // so it reaches the Prometheus export but never the journal itself.
+        assert!(prom.contains("sr_journal_lines_total"), "{prom}");
+        assert!(!data.counters.contains_key("journal.lines"));
+        let _ = std::fs::remove_file(&jpath);
+        let _ = std::fs::remove_file(&ppath);
+    }
+
+    #[test]
+    fn run_report_from_simulate_journal_round_trips() {
+        let dir = std::env::temp_dir().join("srsched_test_obs_out");
+        let _ = std::fs::create_dir_all(&dir);
+        let jpath = dir.join("flight.jsonl");
+        let hpath = dir.join("replayed.html");
+        let _ = std::fs::remove_file(&jpath);
+        let workload = "--topo cube:3 --tfg chain:3 --period 120";
+        let opts = parse_args(&args(&format!(
+            "simulate {workload} --journal {}",
+            jpath.display()
+        )))
+        .unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        let data = sr::obs::read_journal(&jpath).unwrap();
+        assert!(!data.events.is_empty(), "simulate must journal its events");
+
+        let opts = parse_args(&args(&format!(
+            "report {workload} --from-journal {} --out {}",
+            jpath.display(),
+            hpath.display()
+        )))
+        .unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        assert!(out.contains("replaying"), "{out}");
+        assert!(out.contains("wrote report"), "{out}");
+        let html = std::fs::read_to_string(&hpath).unwrap();
+        assert!(html.contains("replayed from journal"), "{html}");
+        assert!(html.contains("<section id=\"diagnosis\">"), "{html}");
+        let _ = std::fs::remove_file(&jpath);
+        let _ = std::fs::remove_file(&hpath);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! One call to [`render_report`] turns a compiled schedule plus the OI
 //! analyses of a wormhole run and a scheduled-routing replay of the *same*
-//! workload into a single HTML document with four panels:
+//! workload into a single HTML document with five panels:
 //!
 //! 1. **Overview** — workload parameters and schedule statistics;
 //! 2. **Gantt** — per-link occupancy over the `[0, τ_in)` frame, one SVG
@@ -11,7 +11,10 @@
 //!    split, shaded by the fraction of each interval the message occupies;
 //! 4. **OI** — the inter-output-interval histograms and a wormhole-vs-
 //!    scheduled side-by-side table (the paper's §3 claim as a picture: the
-//!    WR histogram spreads, the SR histogram is a single bar at `τ_in`).
+//!    WR histogram spreads, the SR histogram is a single bar at `τ_in`);
+//! 5. **Diagnosis** — the compiler's decision record: every `(seed, scale)`
+//!    candidate the feedback search walked and the winning schedule's
+//!    tightest capacity rows (the links that would give out first).
 //!
 //! Everything is inline — no external assets, scripts, or stylesheets — so
 //! the file can be archived as a CI artifact and opened anywhere. The
@@ -39,6 +42,8 @@ pub struct ReportInput<'a> {
     pub sr: &'a OiReport,
     /// Whether the wormhole run deadlocked (truncating its output series).
     pub wr_deadlocked: bool,
+    /// The compile's decision record (candidate walk + bottlenecks).
+    pub diag: &'a sr::core::Diagnosis,
     /// Human-readable workload spec line (topology/tfg/alloc/bandwidth).
     pub spec: String,
 }
@@ -81,9 +86,26 @@ pub fn render_report(inp: &ReportInput<'_>) -> String {
     gantt_section(&mut h, inp);
     heatmap_section(&mut h, inp);
     oi_section(&mut h, inp);
+    diagnosis_section(&mut h, inp);
 
     h.push_str("</body>\n</html>\n");
     h
+}
+
+/// The compiler's decision record: the `(seed, scale)` candidate walk and
+/// the winner's tightest capacity rows, as rendered by
+/// [`sr::core::Diagnosis::render_text`] (preformatted — the same text
+/// `srsched explain` prints).
+fn diagnosis_section(h: &mut String, inp: &ReportInput<'_>) {
+    h.push_str(
+        "<section id=\"diagnosis\">\n<h2>Compile diagnosis: candidate walk and bottlenecks</h2>\n",
+    );
+    let _ = writeln!(
+        h,
+        "<pre>{}</pre>",
+        esc(&inp.diag.render_text(inp.topo, inp.tfg))
+    );
+    h.push_str("</section>\n");
 }
 
 fn overview_section(h: &mut String, inp: &ReportInput<'_>) {

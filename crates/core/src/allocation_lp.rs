@@ -507,24 +507,27 @@ fn allocate_intervals_pinned_impl(
     Ok(IntervalAllocation { p })
 }
 
-/// One subset LP with an arbitrary per-link per-interval capacity function
-/// (full scaled interval length for a fresh compile, residual capacity
-/// after pinned traffic for incremental repair).
-///
-/// When `warm` is supplied the LP warm-starts from the slot's basis and the
-/// new optimal basis is stored back into it; `None` keeps the cold path
-/// (bit-identical to the pre-warm-start implementation).
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn solve_subset_capacities<C>(
+/// One subset LP built in a fixed row layout: the `subset.len()` equality
+/// rows of constraint (3) in subset order, then the capacity rows of
+/// constraint (4) in ascending (link, interval) order — `cap_rows[i]` names
+/// the `(link, interval)` behind equality-row-count + `i`. The explainer
+/// ([`crate::diagnose_infeasible_subset`]) relies on this layout to map LP
+/// row diagnostics back to schedule objects, so it is built here, next to
+/// the solver that consumes it, and nowhere else.
+pub(crate) struct SubsetLp {
+    pub(crate) lp: Problem,
+    pub(crate) actives: Vec<Vec<usize>>,
+    pub(crate) var_of: std::collections::HashMap<(usize, usize), VarId>,
+    pub(crate) cap_rows: Vec<(LinkId, usize)>,
+}
+
+pub(crate) fn build_subset_lp<C>(
     assignment: &PathAssignment,
     bounds: &TimeBounds,
     activity: &ActivityMatrix,
     subset: &[MessageId],
     capacity: C,
-    p: &mut [Vec<f64>],
-    warm: Option<&mut Option<Basis>>,
-    stats: &mut AllocationStats,
-) -> Result<(), CompileError>
+) -> SubsetLp
 where
     C: Fn(LinkId, usize) -> f64,
 {
@@ -569,6 +572,7 @@ where
             on_link.entry(l).or_default().push(mi);
         }
     }
+    let mut cap_rows: Vec<(LinkId, usize)> = Vec::new();
     let mut link_ks: Vec<usize> = Vec::new();
     for (&link, members) in &on_link {
         link_ks.clear();
@@ -584,8 +588,44 @@ where
                 .collect();
             lp.add_constraint(&terms, Relation::Le, capacity(link, k))
                 .expect("variables are registered");
+            cap_rows.push((link, k));
         }
     }
+    SubsetLp {
+        lp,
+        actives,
+        var_of,
+        cap_rows,
+    }
+}
+
+/// One subset LP with an arbitrary per-link per-interval capacity function
+/// (full scaled interval length for a fresh compile, residual capacity
+/// after pinned traffic for incremental repair).
+///
+/// When `warm` is supplied the LP warm-starts from the slot's basis and the
+/// new optimal basis is stored back into it; `None` keeps the cold path
+/// (bit-identical to the pre-warm-start implementation).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_subset_capacities<C>(
+    assignment: &PathAssignment,
+    bounds: &TimeBounds,
+    activity: &ActivityMatrix,
+    subset: &[MessageId],
+    capacity: C,
+    p: &mut [Vec<f64>],
+    warm: Option<&mut Option<Basis>>,
+    stats: &mut AllocationStats,
+) -> Result<(), CompileError>
+where
+    C: Fn(LinkId, usize) -> f64,
+{
+    let SubsetLp {
+        lp,
+        actives,
+        var_of,
+        cap_rows: _,
+    } = build_subset_lp(assignment, bounds, activity, subset, capacity);
 
     stats.lp_solves += 1;
     stats.vars += lp.num_vars() as u64;

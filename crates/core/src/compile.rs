@@ -1,10 +1,12 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use sr_mapping::Allocation;
 use sr_obs::{span_with, Recorder, NOOP};
 use sr_tfg::{MessageId, TaskFlowGraph, TimeBounds, Timing, WindowPolicy};
 use sr_topology::{NodeId, Topology};
 
+use crate::diagnosis::{CandidateOutcome, CandidateRecord, Diagnosis};
 use crate::interval_sched::{schedule_intervals_greedy, schedule_intervals_guarded_stats};
 use crate::{
     allocate_intervals_flow, allocate_intervals_partitioned, allocate_intervals_stats,
@@ -333,6 +335,72 @@ pub fn compile_with_recorder(
     config: &CompileConfig,
     rec: &dyn Recorder,
 ) -> Result<Schedule, CompileError> {
+    compile_inner(topo, tfg, alloc, timing, period, config, rec, None)
+}
+
+/// [`compile_with_recorder`] plus a [`Diagnosis`]: the same deterministic
+/// search, additionally recording why every consumed `(seed, scale)`
+/// candidate died — and, for allocation-infeasible candidates, re-solving
+/// the failing subset LP for its Farkas certificate
+/// ([`crate::diagnose_infeasible_subset`]). On success the diagnosis
+/// instead carries the winner's tightest capacity rows
+/// ([`crate::bottlenecks`]).
+///
+/// The schedule (or error) returned is **identical** to [`compile`]'s for
+/// the same inputs; diagnosis only observes the walk. The extra work (one
+/// diagnosed LP solve per reported infeasibility, plus record keeping on
+/// the serial walk) is only spent here — [`compile`] never builds a
+/// diagnosis. Counters under `diag.` are emitted by this entry point only.
+pub fn compile_diagnosed(
+    topo: &dyn Topology,
+    tfg: &TaskFlowGraph,
+    alloc: &Allocation,
+    timing: &Timing,
+    period: f64,
+    config: &CompileConfig,
+    rec: &dyn Recorder,
+) -> (Result<Schedule, CompileError>, Diagnosis) {
+    let sink = Mutex::new(Diagnosis::new(period));
+    let result = compile_inner(topo, tfg, alloc, timing, period, config, rec, Some(&sink));
+    let mut diag = sink.into_inner().unwrap_or_else(|p| p.into_inner());
+    match &result {
+        Ok(sched) => {
+            diag.bottlenecks = crate::diagnosis::bottlenecks(sched, config.spare_capacity, 10);
+        }
+        Err(e) => {
+            // Pre-walk rejections (bad time bounds, overloaded node, arity
+            // mismatch) never reach the candidate walk; synthesize one
+            // record so the diagnosis is never silently empty.
+            if diag.candidates.is_empty() {
+                diag.candidates.push(CandidateRecord {
+                    seed: 0,
+                    scale: None,
+                    outcome: CandidateOutcome::PrecheckFailed,
+                    detail: e.to_string(),
+                });
+            }
+        }
+    }
+    rec.add("diag.candidates", diag.candidates.len() as u64);
+    rec.add("diag.bottlenecks", diag.bottlenecks.len() as u64);
+    if let Some(s) = &diag.subset {
+        rec.add("diag.blocking_messages", s.blocking.len() as u64);
+        rec.add("diag.saturated_rows", s.saturated.len() as u64);
+    }
+    (result, diag)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compile_inner(
+    topo: &dyn Topology,
+    tfg: &TaskFlowGraph,
+    alloc: &Allocation,
+    timing: &Timing,
+    period: f64,
+    config: &CompileConfig,
+    rec: &dyn Recorder,
+    diag: Option<&Mutex<Diagnosis>>,
+) -> Result<Schedule, CompileError> {
     let root = span_with(rec, "compile", || {
         format!("period={period} messages={}", tfg.num_messages())
     });
@@ -390,6 +458,7 @@ pub fn compile_with_recorder(
         // per compile instead of once per retry.
         pool: PathPool::new(topo, config.assign_paths.path_cap),
         rec,
+        diag,
     };
     let result = ctx.search(sr_par::effective_threads(config.parallelism));
     drop(root);
@@ -505,6 +574,11 @@ struct SearchCtx<'a> {
     scales: Vec<f64>,
     pool: PathPool<'a>,
     rec: &'a dyn Recorder,
+    /// Diagnosis sink ([`compile_diagnosed`] only). Behind a `Mutex` to
+    /// keep `SearchCtx: Sync` for the speculative fill, but only the
+    /// serial replay walk ever locks it, so recorded candidates are in
+    /// deterministic walk order at any parallelism.
+    diag: Option<&'a Mutex<Diagnosis>>,
 }
 
 impl SearchCtx<'_> {
@@ -820,6 +894,12 @@ impl SearchCtx<'_> {
                 SeedOutcome::Utilization { err, restarts } => {
                     rec.add("assign_paths.restarts", restarts);
                     rec.add("search.outcome.utilization_exceeded", 1);
+                    self.record_candidate(
+                        sidx,
+                        None,
+                        CandidateOutcome::UtilizationExceeded,
+                        err.to_string(),
+                    );
                     first_err.get_or_insert(err);
                     continue;
                 }
@@ -869,6 +949,12 @@ impl SearchCtx<'_> {
                                 .map(|is| is.slices.len() as u64)
                                 .sum(),
                         );
+                        self.record_candidate(
+                            sidx,
+                            Some(self.scales[si]),
+                            CandidateOutcome::Scheduled,
+                            format!("winner at rank {rank}, peak utilization {:.3}", ev.peak),
+                        );
                         let span = sr_obs::span(rec, "phase.build_node_schedules");
                         let (segments, node_schedules) =
                             build_node_schedules(&ev.assignment, &interval_schedules, self.topo);
@@ -891,10 +977,23 @@ impl SearchCtx<'_> {
                     }
                     ScaleOutcome::Unschedulable(e) => {
                         rec.add("search.outcome.interval_unschedulable", 1);
+                        self.record_candidate(
+                            sidx,
+                            Some(self.scales[si]),
+                            CandidateOutcome::IntervalUnschedulable,
+                            e.to_string(),
+                        );
                         last_err = Some(e);
                     }
                     ScaleOutcome::AllocInfeasible(e) => {
                         rec.add("search.outcome.alloc_infeasible", 1);
+                        self.record_candidate(
+                            sidx,
+                            Some(self.scales[si]),
+                            CandidateOutcome::AllocInfeasible,
+                            e.to_string(),
+                        );
+                        self.record_infeasible_subset(sidx, si, &e, &ev);
                         // At full capacity the subset itself is infeasible:
                         // that is this seed's report. Deeper in the scale
                         // ladder, the tightened capacities caused it —
@@ -909,6 +1008,12 @@ impl SearchCtx<'_> {
                     }
                     ScaleOutcome::Hard(e) => {
                         rec.add("search.outcome.hard_error", 1);
+                        self.record_candidate(
+                            sidx,
+                            Some(self.scales[si]),
+                            CandidateOutcome::HardError,
+                            e.to_string(),
+                        );
                         return Err(e);
                     }
                 }
@@ -919,6 +1024,56 @@ impl SearchCtx<'_> {
             first_err.get_or_insert(e);
         }
         Err(first_err.expect("at least one seed ran"))
+    }
+
+    /// Appends one candidate record to the diagnosis sink (no-op unless
+    /// compiled via [`compile_diagnosed`]). Called from the serial walk
+    /// only, so record order is deterministic.
+    fn record_candidate(
+        &self,
+        seed: usize,
+        scale: Option<f64>,
+        outcome: CandidateOutcome,
+        detail: String,
+    ) {
+        if let Some(d) = self.diag {
+            let mut d = d.lock().unwrap_or_else(|p| p.into_inner());
+            d.candidates.push(CandidateRecord {
+                seed,
+                scale,
+                outcome,
+                detail,
+            });
+        }
+    }
+
+    /// On an allocation-infeasible candidate, re-solves the failing subset
+    /// LP for its Farkas certificate and stores the first explanation in
+    /// the diagnosis sink (later candidates dying of the same cause don't
+    /// overwrite it — the walk's report is the first one, too).
+    fn record_infeasible_subset(&self, sidx: usize, si: usize, e: &CompileError, ev: &SeedEval) {
+        let Some(d) = self.diag else { return };
+        let CompileError::AllocationInfeasible { subset } = e else {
+            return;
+        };
+        if d.lock().unwrap_or_else(|p| p.into_inner()).subset.is_some() {
+            return;
+        }
+        let effective = self.scales[si] * (1.0 - self.config.spare_capacity);
+        if let Some(mut sd) = crate::diagnosis::diagnose_infeasible_subset(
+            &ev.assignment,
+            self.bounds,
+            self.activity,
+            self.intervals,
+            subset,
+            effective,
+        ) {
+            sd.seed = sidx;
+            let mut g = d.lock().unwrap_or_else(|p| p.into_inner());
+            if g.subset.is_none() {
+                g.subset = Some(sd);
+            }
+        }
     }
 
     /// Turns one consumed candidate's [`ScaleStats`] into counters.

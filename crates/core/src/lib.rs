@@ -68,6 +68,7 @@ mod assignment;
 mod besteffort;
 mod compile;
 mod damage;
+mod diagnosis;
 mod error;
 mod execute;
 mod export;
@@ -94,8 +95,14 @@ pub use assign_paths::{
 };
 pub use assignment::PathAssignment;
 pub use besteffort::{admit_best_effort, BestEffortGrant};
-pub use compile::{compile, compile_with_recorder, AllocEngine, CompileConfig, Schedule};
+pub use compile::{
+    compile, compile_diagnosed, compile_with_recorder, AllocEngine, CompileConfig, Schedule,
+};
 pub use damage::{analyze_damage, DamageReport};
+pub use diagnosis::{
+    bottlenecks, diagnose_infeasible_subset, Bottleneck, CandidateOutcome, CandidateRecord,
+    Diagnosis, SaturatedRow, SubsetDiagnosis,
+};
 pub use error::{CompileError, VerifyError};
 pub use execute::{execute, ExecuteError, ExecutedInvocation, Execution};
 pub use interval_sched::{

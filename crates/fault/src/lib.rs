@@ -68,7 +68,10 @@
 mod repair;
 mod sweep;
 
-pub use repair::{repair, repair_with_recorder, RepairConfig, RepairOutcome, RepairVerdict};
+pub use repair::{
+    repair, repair_diagnosed, repair_with_recorder, RepairConfig, RepairDiagnosis, RepairOutcome,
+    RepairStep, RepairStepOutcome, RepairVerdict,
+};
 pub use sweep::{sweep_link_failures, SweepConfig, SweepPoint};
 
 pub use sr_topology::{FaultSet, MaskedTopology};

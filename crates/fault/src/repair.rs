@@ -68,6 +68,95 @@ impl std::fmt::Display for RepairVerdict {
     }
 }
 
+/// How one step of the diagnosed repair ladder ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairStepOutcome {
+    /// The rung produced a valid repaired schedule at this scale.
+    Succeeded,
+    /// The partial re-route's peak utilization exceeded link capacity; the
+    /// rung's scale ladder was never entered.
+    UtilizationExceeded,
+    /// The pinned re-allocation was infeasible at this scale.
+    AllocInfeasible,
+    /// Allocation succeeded but the re-routed traffic did not fit into the
+    /// surviving idle time at this scale.
+    PackFailed,
+    /// A critical message is unroutable (dead endpoint or disconnected);
+    /// the ladder aborted before any rung ran.
+    CriticalUnroutable,
+}
+
+impl RepairStepOutcome {
+    /// Stable lowercase label, used by the text rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            RepairStepOutcome::Succeeded => "succeeded",
+            RepairStepOutcome::UtilizationExceeded => "utilization exceeded",
+            RepairStepOutcome::AllocInfeasible => "allocation infeasible",
+            RepairStepOutcome::PackFailed => "idle-time packing failed",
+            RepairStepOutcome::CriticalUnroutable => "critical message unroutable",
+        }
+    }
+}
+
+/// One consumed step of the diagnosed repair ladder: which rung, at which
+/// capacity scale, and how it ended.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairStep {
+    /// Degradation-ladder rung: 1 = full re-route, 2 = shed non-critical
+    /// messages to best-effort; 0 for pre-ladder aborts.
+    pub rung: usize,
+    /// Capacity scale of the pinned re-allocation attempt; `None` for
+    /// per-rung failures that precede the scale ladder.
+    pub scale: Option<f64>,
+    /// How the step ended.
+    pub outcome: RepairStepOutcome,
+    /// Human-readable detail (peak utilization, failing subset size, …).
+    pub detail: String,
+}
+
+/// Everything [`repair_diagnosed`] learned about one repair attempt: the
+/// degradation ladder's steps in walk order, ending with the verdict.
+#[derive(Debug, Clone)]
+pub struct RepairDiagnosis {
+    /// Consumed ladder steps in order (empty for
+    /// [`RepairVerdict::Unchanged`]).
+    pub steps: Vec<RepairStep>,
+    /// The final verdict, mirrored from the [`RepairOutcome`].
+    pub verdict: RepairVerdict,
+}
+
+impl RepairDiagnosis {
+    /// Renders the diagnosis as stable, human-readable text (appended to
+    /// the CLI's `faults --repair` output).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "repair ladder (verdict: {}):", self.verdict);
+        if self.steps.is_empty() {
+            let _ = writeln!(out, "  no rung ran (fault set touches no scheduled path)");
+        }
+        for s in &self.steps {
+            let rung = match s.rung {
+                1 => "rung 1 (full re-route)".to_string(),
+                2 => "rung 2 (shed non-critical)".to_string(),
+                r => format!("rung {r}"),
+            };
+            let scale = s
+                .scale
+                .map(|v| format!("scale {v:.3}"))
+                .unwrap_or_else(|| "pre-ladder".to_string());
+            let _ = writeln!(
+                out,
+                "  {rung}  {scale}  {}: {}",
+                s.outcome.label(),
+                s.detail
+            );
+        }
+        out
+    }
+}
+
 /// The result of [`repair`].
 #[derive(Debug, Clone)]
 pub struct RepairOutcome {
@@ -132,6 +221,54 @@ pub fn repair_with_recorder(
     config: &RepairConfig,
     rec: &dyn Recorder,
 ) -> RepairOutcome {
+    repair_inner(schedule, topo, tfg, timing, faults, config, rec, None)
+}
+
+/// [`repair_with_recorder`] plus a [`RepairDiagnosis`]: the same
+/// degradation ladder, additionally recording every consumed step — which
+/// rung ran, at which capacity scale each pinned re-allocation died
+/// (utilization gate, infeasible allocation, or failed idle-time packing)
+/// and which step finally succeeded. The outcome returned is **identical**
+/// to [`repair`]'s for the same inputs; diagnosis only observes the walk.
+pub fn repair_diagnosed(
+    schedule: &Schedule,
+    topo: &dyn Topology,
+    tfg: &TaskFlowGraph,
+    timing: &Timing,
+    faults: &FaultSet,
+    config: &RepairConfig,
+    rec: &dyn Recorder,
+) -> (RepairOutcome, RepairDiagnosis) {
+    let mut diag = RepairDiagnosis {
+        steps: Vec::new(),
+        verdict: RepairVerdict::Unchanged,
+    };
+    let outcome = repair_inner(
+        schedule,
+        topo,
+        tfg,
+        timing,
+        faults,
+        config,
+        rec,
+        Some(&mut diag),
+    );
+    diag.verdict = outcome.verdict;
+    rec.add("diag.repair_steps", diag.steps.len() as u64);
+    (outcome, diag)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn repair_inner(
+    schedule: &Schedule,
+    topo: &dyn Topology,
+    tfg: &TaskFlowGraph,
+    timing: &Timing,
+    faults: &FaultSet,
+    config: &RepairConfig,
+    rec: &dyn Recorder,
+    mut diag: Option<&mut RepairDiagnosis>,
+) -> RepairOutcome {
     assert_eq!(
         schedule.assignment().len(),
         tfg.num_messages(),
@@ -186,6 +323,15 @@ pub fn repair_with_recorder(
     if dropped.iter().any(|&m| is_critical(m)) {
         rec.add("repair.outcome.infeasible", 1);
         rec.add("repair.dropped", dropped.len() as u64);
+        if let Some(d) = diag.as_deref_mut() {
+            let victims = dropped.iter().filter(|&&m| is_critical(m)).count();
+            d.steps.push(RepairStep {
+                rung: 0,
+                scale: None,
+                outcome: RepairStepOutcome::CriticalUnroutable,
+                detail: format!("{victims} critical message(s) lost or unreachable"),
+            });
+        }
         return RepairOutcome {
             verdict: RepairVerdict::Infeasible,
             schedule: None,
@@ -205,7 +351,16 @@ pub fn repair_with_recorder(
 
     // Rung 1: re-route every reachable affected message.
     let excluded: BTreeSet<MessageId> = dropped.iter().copied().collect();
-    if let Some(repaired) = try_repair(schedule, &masked, &excluded, &reroutable, config, rec) {
+    if let Some(repaired) = try_repair(
+        schedule,
+        &masked,
+        &excluded,
+        &reroutable,
+        config,
+        rec,
+        1,
+        diag.as_deref_mut(),
+    ) {
         let verdict = if dropped.is_empty() {
             RepairVerdict::Repaired
         } else {
@@ -244,6 +399,8 @@ pub fn repair_with_recorder(
             &critical_reroute,
             config,
             rec,
+            2,
+            diag,
         ) {
             let demoted: Vec<(MessageId, Option<BestEffortGrant>)> = demotable
                 .iter()
@@ -291,6 +448,7 @@ pub fn repair_with_recorder(
 /// else frozen (and `excluded` reset to trivial paths), re-allocate their
 /// rows against the pinned capacity, and pack them into the surviving idle
 /// time. `None` when no feedback scale yields a packable allocation.
+#[allow(clippy::too_many_arguments)]
 fn try_repair(
     schedule: &Schedule,
     masked: &MaskedTopology<'_>,
@@ -298,6 +456,8 @@ fn try_repair(
     reroute: &[MessageId],
     config: &RepairConfig,
     rec: &dyn Recorder,
+    rung: usize,
+    mut diag: Option<&mut RepairDiagnosis>,
 ) -> Option<Schedule> {
     let mut base = schedule.assignment().clone();
     for &m in excluded {
@@ -315,8 +475,17 @@ fn try_repair(
         &config.assign_paths,
     );
     rec.add("repair.assign_paths.restarts", outcome.restarts as u64);
-    if outcome.utilization.effective_peak() > 1.0 + EPS {
+    let peak = outcome.utilization.effective_peak();
+    if peak > 1.0 + EPS {
         rec.add("repair.utilization_exceeded", 1);
+        if let Some(d) = diag.as_deref_mut() {
+            d.steps.push(RepairStep {
+                rung,
+                scale: None,
+                outcome: RepairStepOutcome::UtilizationExceeded,
+                detail: format!("peak utilization {peak:.3} over the masked topology"),
+            });
+        }
         return None;
     }
 
@@ -353,8 +522,16 @@ fn try_repair(
         rec.add("repair.alloc_lp.warm_misses", alloc_stats.lp.warm_misses);
         let allocation = match allocated {
             Ok(a) => a,
-            Err(_) => {
+            Err(e) => {
                 rec.add("repair.alloc_infeasible", 1);
+                if let Some(d) = diag.as_deref_mut() {
+                    d.steps.push(RepairStep {
+                        rung,
+                        scale: Some(scale),
+                        outcome: RepairStepOutcome::AllocInfeasible,
+                        detail: e.to_string(),
+                    });
+                }
                 continue;
             }
         };
@@ -365,6 +542,14 @@ fn try_repair(
             reroute,
             excluded,
         ) {
+            if let Some(d) = diag.as_deref_mut() {
+                d.steps.push(RepairStep {
+                    rung,
+                    scale: Some(scale),
+                    outcome: RepairStepOutcome::Succeeded,
+                    detail: format!("{} message(s) re-routed", reroute.len()),
+                });
+            }
             return Some(schedule.patched(
                 outcome.assignment.clone(),
                 allocation,
@@ -373,6 +558,14 @@ fn try_repair(
             ));
         }
         rec.add("repair.pack_failed", 1);
+        if let Some(d) = diag.as_deref_mut() {
+            d.steps.push(RepairStep {
+                rung,
+                scale: Some(scale),
+                outcome: RepairStepOutcome::PackFailed,
+                detail: "re-routed traffic does not fit the surviving idle time".to_string(),
+            });
+        }
     }
     None
 }
@@ -631,6 +824,51 @@ mod tests {
         }
         assert_eq!(rec.counters()["repair.outcome.repaired"], 1);
         assert!(rec.counters()["repair.affected"] >= 1);
+    }
+
+    #[test]
+    fn diagnosed_repair_records_ladder_and_matches_plain_repair() {
+        let (topo, tfg, timing, sched) = compiled();
+        let victim = sched.segments()[0].message;
+        let dead = sched.assignment().links(victim)[0];
+        let faults = FaultSet::new().fail_link(dead);
+        let config = RepairConfig::default();
+
+        let (out, diag) = repair_diagnosed(&sched, &topo, &tfg, &timing, &faults, &config, &NOOP);
+        let plain = repair(&sched, &topo, &tfg, &timing, &faults, &config);
+        // Diagnosis only observes the ladder.
+        assert_eq!(out.verdict, plain.verdict);
+        assert_eq!(out.rerouted, plain.rerouted);
+        assert_eq!(diag.verdict, out.verdict);
+        // The successful rung is the last recorded step.
+        let last = diag.steps.last().expect("at least one step");
+        assert_eq!(last.outcome, RepairStepOutcome::Succeeded);
+        assert_eq!(last.rung, 1);
+        assert_eq!(last.scale, Some(config.feedback_scales[0]));
+        let text = diag.render_text();
+        assert!(text.contains("repair ladder (verdict: repaired)"));
+        assert!(text.contains("rung 1 (full re-route)"));
+    }
+
+    #[test]
+    fn diagnosed_repair_names_the_unroutable_critical_message() {
+        let (topo, tfg, timing, sched) = compiled();
+        let victim = sched.segments()[0].message;
+        let src = sched.assignment().path(victim).source();
+        let faults = FaultSet::new().fail_node(src);
+        let (out, diag) = repair_diagnosed(
+            &sched,
+            &topo,
+            &tfg,
+            &timing,
+            &faults,
+            &RepairConfig::default(),
+            &NOOP,
+        );
+        assert_eq!(out.verdict, RepairVerdict::Infeasible);
+        assert_eq!(diag.steps.len(), 1);
+        assert_eq!(diag.steps[0].outcome, RepairStepOutcome::CriticalUnroutable);
+        assert!(diag.render_text().contains("critical message unroutable"));
     }
 
     #[test]

@@ -43,5 +43,7 @@ mod simplex;
 mod sparse;
 
 pub use basis::Basis;
-pub use problem::{LpEngine, LpError, Problem, Relation, Solution, VarId};
+pub use problem::{
+    DiagnosedOutcome, LpDiagnostics, LpEngine, LpError, Problem, Relation, Solution, VarId,
+};
 pub use simplex::SolveStats;

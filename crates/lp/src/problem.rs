@@ -278,6 +278,59 @@ impl Problem {
         Ok((self.finish(out.values), basis, stats))
     }
 
+    /// Solves the program and recovers row-level diagnostics — the dual
+    /// value and binding flag of every constraint — instead of discarding
+    /// them with the tableau.
+    ///
+    /// On a feasible program the diagnostics carry the duals `y = Bᵀ⁻¹ c_B`
+    /// at the optimal basis (in the *minimization* sense — negate for
+    /// maximization problems) and mark the rows that are tight at the
+    /// optimum within `tol`. On an infeasible program no [`LpError`] is
+    /// returned; instead [`DiagnosedOutcome::Infeasible`] carries the
+    /// phase-1 duals, a **Farkas certificate** whose nonzero-weight rows
+    /// form a mutually incompatible set — exactly the rows an explainer
+    /// should name.
+    ///
+    /// Always runs the sparse engine, cold (no warm-start dependence), so
+    /// diagnostic re-solves are deterministic for a given problem.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::Unbounded`] or [`LpError::IterationLimit`];
+    /// infeasibility is a diagnosed outcome, not an error.
+    pub fn solve_diagnosed(&self, tol: f64) -> Result<DiagnosedOutcome, LpError> {
+        let costs = self.min_costs();
+        let mut stats = SolveStats::default();
+        match sparse::solve_diagnosed(&costs, &self.constraints, &mut stats)? {
+            sparse::DiagnosedSolve::Optimal { values, duals } => {
+                let binding = self
+                    .constraints
+                    .iter()
+                    .map(|c| {
+                        let lhs: f64 = c.coeffs.iter().map(|&(i, a)| a * values[i]).sum();
+                        (lhs - c.rhs).abs() <= tol
+                    })
+                    .collect();
+                Ok(DiagnosedOutcome::Optimal {
+                    solution: self.finish(values),
+                    diagnostics: LpDiagnostics {
+                        duals,
+                        binding,
+                        infeasible: false,
+                    },
+                })
+            }
+            sparse::DiagnosedSolve::Infeasible { certificate } => {
+                let binding = certificate.iter().map(|&y| y.abs() > tol).collect();
+                Ok(DiagnosedOutcome::Infeasible(LpDiagnostics {
+                    duals: certificate,
+                    binding,
+                    infeasible: true,
+                }))
+            }
+        }
+    }
+
     /// Costs in minimization sense (negated for maximization problems).
     fn min_costs(&self) -> Vec<f64> {
         if self.maximize {
@@ -318,6 +371,37 @@ impl Problem {
             }
         })
     }
+}
+
+/// Row-level diagnostics from [`Problem::solve_diagnosed`].
+///
+/// Both vectors are indexed by constraint row, in [`Problem::add_constraint`]
+/// order — callers that track their row layout can map entries straight back
+/// to whatever the rows model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpDiagnostics {
+    /// Per-row dual value: the optimal duals on a feasible program, the
+    /// phase-1 Farkas certificate weights on an infeasible one.
+    pub duals: Vec<f64>,
+    /// Per-row activity flag: tight at the optimum (feasible), or carrying
+    /// nonzero certificate weight (infeasible).
+    pub binding: Vec<bool>,
+    /// Whether `duals` is a Farkas certificate rather than optimal duals.
+    pub infeasible: bool,
+}
+
+/// Outcome of [`Problem::solve_diagnosed`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiagnosedOutcome {
+    /// Solved to optimality.
+    Optimal {
+        /// The optimal solution, as [`Problem::solve`] would return it.
+        solution: Solution,
+        /// Duals and binding rows at the optimum.
+        diagnostics: LpDiagnostics,
+    },
+    /// No feasible point exists; the diagnostics carry the certificate.
+    Infeasible(LpDiagnostics),
 }
 
 /// An optimal solution to a [`Problem`].
@@ -513,6 +597,62 @@ mod tests {
         assert_eq!(s, plain);
         assert!(stats.pivots > 0, "{stats:?}");
         assert!(stats.price_recomputes > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn diagnosed_optimal_reports_duals_and_binding_rows() {
+        // minimize 3x + 5y  s.t.  x + y >= 10,  x <= 6  ->  x=6, y=4.
+        let mut p = Problem::minimize();
+        let x = p.add_var(3.0);
+        let y = p.add_var(5.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0)
+            .unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 6.0).unwrap();
+        let out = p.solve_diagnosed(1e-7).unwrap();
+        let DiagnosedOutcome::Optimal {
+            solution,
+            diagnostics,
+        } = out
+        else {
+            panic!("feasible program diagnosed infeasible");
+        };
+        assert!((solution.objective() - 38.0).abs() < 1e-8);
+        assert!(!diagnostics.infeasible);
+        // Both constraints are tight at the optimum; strong duality:
+        // y·b = objective (both rows in >=-canonical sense here).
+        assert_eq!(diagnostics.binding, vec![true, true]);
+        let dual_obj = diagnostics.duals[0] * 10.0 + diagnostics.duals[1] * 6.0;
+        assert!(
+            (dual_obj - 38.0).abs() < 1e-6,
+            "duals {:?}",
+            diagnostics.duals
+        );
+    }
+
+    #[test]
+    fn diagnosed_infeasible_yields_farkas_certificate() {
+        // x >= 5 and x <= 3 cannot both hold; y <= 1 is innocent.
+        let mut p = Problem::minimize();
+        let x = p.add_var(1.0);
+        let y = p.add_var(1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 5.0).unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 3.0).unwrap();
+        p.add_constraint(&[(y, 1.0)], Relation::Le, 1.0).unwrap();
+        let out = p.solve_diagnosed(1e-7).unwrap();
+        let DiagnosedOutcome::Infeasible(d) = out else {
+            panic!("infeasible program diagnosed optimal");
+        };
+        assert!(d.infeasible);
+        // The certificate names the incompatible pair and spares row 2.
+        assert!(d.binding[0] && d.binding[1], "duals {:?}", d.duals);
+        assert!(!d.binding[2], "duals {:?}", d.duals);
+        // Certificate validity: yᵀA ≤ 0 on every variable while yᵀb > 0
+        // (duals carry the sign convention: ≥ rows weight positively,
+        // ≤ rows negatively), so Σ y_r·row_r is unsatisfiable for x ≥ 0.
+        let combined_coeff = d.duals[0] + d.duals[1];
+        let combined_rhs = d.duals[0] * 5.0 + d.duals[1] * 3.0;
+        assert!(combined_coeff <= 1e-7, "duals {:?}", d.duals);
+        assert!(combined_rhs > 1e-7, "duals {:?}", d.duals);
     }
 
     #[test]

@@ -576,6 +576,102 @@ pub(crate) fn solve(
     Ok(SparseOutcome { values, basis })
 }
 
+/// Outcome of [`solve_diagnosed`]: the terminal vertex plus the row duals
+/// the pricing loop normally discards, in the caller's original row order
+/// and sign convention.
+pub(crate) enum DiagnosedSolve {
+    /// Solved to optimality: variable values plus the dual value `y_r` of
+    /// every constraint row (`y = Bᵀ⁻¹ c_B` at the optimal basis).
+    Optimal {
+        /// Structural variable values.
+        values: Vec<f64>,
+        /// Per-row duals.
+        duals: Vec<f64>,
+    },
+    /// Phase 1 terminated with artificials at a positive level. The phase-1
+    /// duals form a Farkas certificate of infeasibility: rows with nonzero
+    /// weight are a mutually incompatible set (`Σ y_r · row_r` is a valid
+    /// inequality no `x ≥ 0` can satisfy).
+    Infeasible {
+        /// Per-row certificate weights.
+        certificate: Vec<f64>,
+    },
+}
+
+/// Cold solve that also recovers the row duals at termination — one extra
+/// BTRAN per phase over [`solve`]'s work. Used on diagnostic paths only;
+/// warm starts are deliberately unsupported (diagnosis re-solves are rare
+/// and must not depend on cached bases).
+pub(crate) fn solve_diagnosed(
+    costs: &[f64],
+    constraints: &[Constraint],
+    stats: &mut SolveStats,
+) -> Result<DiagnosedSolve, LpError> {
+    let n = costs.len();
+    let m = constraints.len();
+    if m == 0 {
+        if costs.iter().any(|&c| c < -PIVOT_EPS) {
+            return Err(LpError::Unbounded);
+        }
+        return Ok(DiagnosedSolve::Optimal {
+            values: vec![0.0; n],
+            duals: Vec::new(),
+        });
+    }
+
+    let sf = build_standard_form(n, constraints);
+    let iter_limit = 20_000 + 100 * (m + sf.total);
+    let mut st = State {
+        etas: Vec::new(),
+        row_basis: sf.init_basis.clone(),
+        xb: sf.rhs.clone(),
+        updates: 0,
+    };
+    if sf.total > sf.art_start {
+        let mut c1 = vec![0.0; sf.total];
+        c1[sf.art_start..].fill(1.0);
+        let obj = run_phase(&sf, &mut st, &c1, sf.total, iter_limit, stats)?;
+        stats.phase1_pivots = stats.pivots;
+        if obj > FEAS_EPS {
+            return Ok(DiagnosedSolve::Infeasible {
+                certificate: row_duals(&sf, &st, &c1, constraints),
+            });
+        }
+        pivot_out_artificials(&sf, &mut st, stats);
+    }
+
+    let mut c2 = vec![0.0; sf.total];
+    c2[..n].copy_from_slice(costs);
+    run_phase(&sf, &mut st, &c2, sf.art_start, iter_limit, stats)?;
+
+    let mut values = vec![0.0; n];
+    for (r, &b) in st.row_basis.iter().enumerate() {
+        if b < n {
+            values[b] = st.xb[r].max(0.0);
+        }
+    }
+    let duals = row_duals(&sf, &st, &c2, constraints);
+    Ok(DiagnosedSolve::Optimal { values, duals })
+}
+
+/// Recovers the row duals `y = Bᵀ⁻¹ c_B` for the current basis and maps them
+/// back to the caller's convention: [`build_standard_form`] negates rows
+/// with `rhs < 0`, so those rows' duals are negated back here.
+fn row_duals(sf: &StandardForm, st: &State, costs: &[f64], constraints: &[Constraint]) -> Vec<f64> {
+    let m = sf.mat.m;
+    let mut y = vec![0.0f64; m];
+    for (r, v) in y.iter_mut().enumerate() {
+        *v = costs[st.row_basis[r]];
+    }
+    btran(&st.etas, &mut y);
+    for (r, c) in constraints.iter().enumerate() {
+        if c.rhs < 0.0 {
+            y[r] = -y[r];
+        }
+    }
+    y
+}
+
 /// Pivots any artificial still basic after phase 1 out on the first
 /// structural/slack column with a nonzero entry in its row (the row of
 /// `B⁻¹A` is probed via `ρ = Bᵀ⁻¹ e_r`); an all-zero row is redundant and

@@ -46,12 +46,18 @@
 #![warn(missing_docs)]
 
 mod events;
+mod journal;
 mod oi;
+mod prometheus;
 
 pub use events::{
     EventSink, NoopEventSink, RingEventSink, SimEvent, SimEventKind, NO_EVENTS, NO_ID,
 };
+pub use journal::{
+    parse_journal, read_journal, JournalData, JournalSpan, JournalWriter, DEFAULT_MAX_BYTES,
+};
 pub use oi::{analyze_oi, MessageSlack, OiReport, Stall};
+pub use prometheus::CounterSnapshot;
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -820,6 +826,37 @@ mod tests {
         let empty = MetricsRecorder::new();
         assert!(empty.metrics_table().is_empty());
         assert!(empty.metrics_json().contains("\"counters\""));
+    }
+
+    #[test]
+    fn metrics_table_emits_counters_in_sorted_key_order() {
+        // Pinned guarantee for the CLI's `--metrics` table: rows are
+        // sorted by name no matter the insertion (or thread) order, so
+        // two runs of the same workload diff cleanly.
+        let r = MetricsRecorder::new();
+        for name in [
+            "sim.flits",
+            "compile.candidates",
+            "par.tasks",
+            "alloc_flow.pushes",
+        ] {
+            r.add(name, 1);
+        }
+        let table = r.metrics_table();
+        let rows: Vec<&str> = table
+            .lines()
+            .skip(1) // header
+            .filter_map(|l| l.split_whitespace().next())
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                "alloc_flow.pushes",
+                "compile.candidates",
+                "par.tasks",
+                "sim.flits"
+            ]
+        );
     }
 
     #[test]

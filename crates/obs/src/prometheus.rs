@@ -1,0 +1,256 @@
+//! Prometheus text-format exposition for [`MetricsRecorder`], plus counter
+//! snapshots for periodic deltas.
+//!
+//! [`MetricsRecorder::export_prometheus`] renders the recorder's state in
+//! the Prometheus text exposition format (version 0.0.4): counters become
+//! `sr_<name>_total` counter metrics, histogram summaries become gauges
+//! with a `stat` label, and per-name span aggregates become labelled
+//! totals. Everything is emitted in sorted order, so two exports of the
+//! same state are byte-identical — the same determinism contract as
+//! [`MetricsRecorder::metrics_table`].
+//!
+//! For a long-running process that wants *rates* rather than cumulative
+//! values (for example a journal heartbeat line every N seconds), take a
+//! [`CounterSnapshot`] per period and render
+//! [`CounterSnapshot::delta_since`] — the increments since the previous
+//! snapshot.
+//!
+//! Metric names are sanitized to the Prometheus grammar (`[a-zA-Z0-9_]`,
+//! non-conforming bytes become `_`, and a leading digit gains a `_`
+//! prefix) under the `sr_` namespace: `compile.candidates` exports as
+//! `sr_compile_candidates_total`. Distinct raw names that sanitize to the
+//! same metric name are merged by summing.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{aggregate_spans, json_num, MetricsRecorder, Summary};
+
+/// A point-in-time copy of every counter, for computing periodic deltas.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    counters: BTreeMap<String, u64>,
+}
+
+impl CounterSnapshot {
+    /// The captured counter values, sorted by name.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// Per-counter increments from `earlier` to `self` (monotonic
+    /// counters: a counter absent from `earlier` contributes its full
+    /// value; decreases clamp to zero). Zero deltas are omitted.
+    pub fn delta_since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let mut counters = BTreeMap::new();
+        for (name, &now) in &self.counters {
+            let before = earlier.counters.get(name).copied().unwrap_or(0);
+            if now > before {
+                counters.insert(name.clone(), now - before);
+            }
+        }
+        CounterSnapshot { counters }
+    }
+
+    /// Renders just these counters in the Prometheus text format (see
+    /// [`MetricsRecorder::export_prometheus`] for naming rules).
+    pub fn export_prometheus(&self) -> String {
+        let mut out = String::new();
+        render_counters(&mut out, &self.counters);
+        out
+    }
+}
+
+impl MetricsRecorder {
+    /// Captures the current value of every counter for later diffing via
+    /// [`CounterSnapshot::delta_since`].
+    pub fn counter_snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            counters: self.lock().counters.clone(),
+        }
+    }
+
+    /// The recorder's state in the Prometheus text exposition format:
+    /// sorted, self-describing (`# TYPE` lines), and safe to serve from a
+    /// scrape endpoint or dump to a `.prom` textfile. Open spans
+    /// contribute their elapsed time up to the moment of export.
+    pub fn export_prometheus(&self) -> String {
+        let now = self.now_us();
+        let inner = self.lock();
+        let mut out = String::new();
+        render_counters(&mut out, &inner.counters);
+
+        let mut hists: BTreeMap<String, Summary> = BTreeMap::new();
+        for (name, samples) in &inner.histograms {
+            let s = Summary::of(samples);
+            let e = hists.entry(metric_name(name, "")).or_default();
+            // Merged sanitized names keep the larger sample set's summary
+            // shape; counts always sum.
+            let count = e.count + s.count;
+            if s.count > e.count {
+                *e = s;
+            }
+            e.count = count;
+        }
+        for (metric, s) in &hists {
+            let _ = writeln!(out, "# TYPE {metric} gauge");
+            for (stat, v) in [
+                ("max", s.max),
+                ("mean", s.mean),
+                ("p50", s.p50),
+                ("p95", s.p95),
+            ] {
+                let _ = writeln!(out, "{metric}{{stat=\"{stat}\"}} {}", json_num(v));
+            }
+            let _ = writeln!(out, "# TYPE {metric}_samples_total counter");
+            let _ = writeln!(out, "{metric}_samples_total {}", s.count);
+        }
+
+        let agg = aggregate_spans(&inner.spans, now);
+        if !agg.is_empty() {
+            let _ = writeln!(out, "# TYPE sr_span_count_total counter");
+            for (name, (count, _)) in &agg {
+                let _ = writeln!(
+                    out,
+                    "sr_span_count_total{{name=\"{}\"}} {count}",
+                    escape_label(name)
+                );
+            }
+            let _ = writeln!(out, "# TYPE sr_span_duration_us_total counter");
+            for (name, (_, total)) in &agg {
+                let _ = writeln!(
+                    out,
+                    "sr_span_duration_us_total{{name=\"{}\"}} {}",
+                    escape_label(name),
+                    json_num(*total)
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Counter block shared by the full export and snapshot rendering.
+fn render_counters(out: &mut String, counters: &BTreeMap<String, u64>) {
+    let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+    for (name, &v) in counters {
+        *merged.entry(metric_name(name, "_total")).or_insert(0) += v;
+    }
+    for (metric, v) in &merged {
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "{metric} {v}");
+    }
+}
+
+/// `sr_<sanitized name><suffix>` — the Prometheus metric name for a raw
+/// dotted counter/histogram name.
+fn metric_name(raw: &str, suffix: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + suffix.len() + 3);
+    out.push_str("sr_");
+    for c in raw.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out.push_str(suffix);
+    out
+}
+
+/// Escapes a string for use inside a Prometheus label value.
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{span, span_with, Recorder};
+
+    #[test]
+    fn export_is_sorted_and_self_describing() {
+        let r = MetricsRecorder::new();
+        r.add("compile.zeta", 2);
+        r.add("alloc_flow.alpha", 1);
+        r.add("compile.zeta", 3);
+        let text = r.export_prometheus();
+        let alpha = text.find("sr_alloc_flow_alpha_total 1").unwrap();
+        let zeta = text.find("sr_compile_zeta_total 5").unwrap();
+        assert!(alpha < zeta, "counters must be name-sorted:\n{text}");
+        assert!(text.contains("# TYPE sr_alloc_flow_alpha_total counter"));
+        // Byte-identical re-export of unchanged state.
+        assert_eq!(text, r.export_prometheus());
+    }
+
+    #[test]
+    fn histograms_export_stats_and_sample_count() {
+        let r = MetricsRecorder::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            r.observe("sim.latency-us", v);
+        }
+        let text = r.export_prometheus();
+        assert!(text.contains("# TYPE sr_sim_latency_us gauge"));
+        assert!(text.contains("sr_sim_latency_us{stat=\"p50\"} 2"));
+        assert!(text.contains("sr_sim_latency_us{stat=\"max\"} 4"));
+        assert!(text.contains("sr_sim_latency_us_samples_total 4"));
+    }
+
+    #[test]
+    fn spans_export_labelled_totals() {
+        let r = MetricsRecorder::new();
+        {
+            let _a = span(&r, "compile");
+            let _b = span_with(&r, "alloc \"lp\"", String::new);
+        }
+        let text = r.export_prometheus();
+        assert!(text.contains("sr_span_count_total{name=\"compile\"} 1"));
+        assert!(text.contains("sr_span_count_total{name=\"alloc \\\"lp\\\"\"} 1"));
+        assert!(text.contains("sr_span_duration_us_total{name=\"compile\"}"));
+    }
+
+    #[test]
+    fn snapshot_delta_reports_increments_only() {
+        let r = MetricsRecorder::new();
+        r.add("a", 5);
+        r.add("b", 1);
+        let before = r.counter_snapshot();
+        r.add("a", 2);
+        r.add("c", 7);
+        let delta = r.counter_snapshot().delta_since(&before);
+        let got: Vec<(&str, u64)> = delta
+            .counters()
+            .iter()
+            .map(|(k, &v)| (k.as_str(), v))
+            .collect();
+        // `b` did not move, so it is omitted; `c` is new and reports fully.
+        assert_eq!(got, vec![("a", 2), ("c", 7)]);
+        let text = delta.export_prometheus();
+        assert!(text.contains("sr_a_total 2"));
+        assert!(text.contains("sr_c_total 7"));
+        assert!(!text.contains("sr_b_total"));
+        // No movement at all renders as empty.
+        let same = r.counter_snapshot();
+        assert!(same.delta_since(&same).export_prometheus().is_empty());
+    }
+
+    #[test]
+    fn names_sanitize_and_merge() {
+        let r = MetricsRecorder::new();
+        r.add("diag.rows", 1);
+        r.add("diag/rows", 2);
+        let text = r.export_prometheus();
+        // Both raw names sanitize to the same metric and merge by summing.
+        assert!(text.contains("sr_diag_rows_total 3"));
+        assert_eq!(text.matches("# TYPE sr_diag_rows_total").count(), 1);
+    }
+}

@@ -60,17 +60,19 @@ pub use sr_wormhole as wormhole;
 /// The most common imports, for `use sr::prelude::*`.
 pub mod prelude {
     pub use sr_core::{
-        analyze_damage, compile, compile_with_recorder, replay_events, verify, verify_with_faults,
-        AllocEngine, CompileConfig, CompileError, DamageReport, Schedule,
+        analyze_damage, compile, compile_diagnosed, compile_with_recorder, replay_events, verify,
+        verify_with_faults, AllocEngine, CompileConfig, CompileError, DamageReport, Diagnosis,
+        Schedule,
     };
     pub use sr_fault::{
-        repair, sweep_link_failures, FaultSet, MaskedTopology, RepairConfig, RepairOutcome,
-        RepairVerdict, SweepConfig,
+        repair, repair_diagnosed, sweep_link_failures, FaultSet, MaskedTopology, RepairConfig,
+        RepairDiagnosis, RepairOutcome, RepairVerdict, SweepConfig,
     };
     pub use sr_mapping::Allocation;
     pub use sr_obs::{
-        analyze_oi, EventSink, MetricsRecorder, OiReport, Recorder, RingEventSink, SimEvent,
-        SimEventKind,
+        analyze_oi, parse_journal, read_journal, CounterSnapshot, EventSink, JournalData,
+        JournalWriter, MetricsRecorder, OiReport, Recorder, RingEventSink, SimEvent, SimEventKind,
+        NO_ID,
     };
     pub use sr_tfg::{
         assign_time_bounds, dvb, dvb_tiled, dvb_uniform, TaskFlowGraph, TfgBuilder, Timing,

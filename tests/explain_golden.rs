@@ -1,0 +1,73 @@
+//! Golden test for `srsched explain` on the forced-infeasible torus 4×4
+//! DVB workload (B = 64 bytes/µs, capacity scale pinned to 0.5): the full
+//! diagnosis text — candidate walk, blocking subset, and the Farkas
+//! certificate's saturated links with their binding interval sets — is
+//! pinned in `tests/golden/explain_torus4x4_b64.txt`. The diagnosis is
+//! emitted by the compiler's deterministic serial walk, so the text is
+//! bit-identical across runs and `--parallelism` settings.
+
+use sr_cli::{parse_args, run};
+
+fn args(s: &str) -> Vec<String> {
+    s.split_whitespace().map(String::from).collect()
+}
+
+const EXPLAIN_ARGS: &str =
+    "explain --topo torus:4x4 --tfg dvb:4 --bandwidth 64 --alloc scatter:7 --cap-scale 0.5";
+
+#[test]
+fn explain_forced_infeasible_torus4x4_matches_golden() {
+    let opts = parse_args(&args(EXPLAIN_ARGS)).unwrap();
+    let mut out = String::new();
+    run(&opts, &mut out).unwrap();
+
+    // The acceptance claims, asserted directly so a golden refresh can
+    // never silently drop them: at least one saturated link with its
+    // binding interval set, and the blocking message subset.
+    assert!(out.contains("verdict: infeasible"), "{out}");
+    assert!(out.contains("saturated link L"), "{out}");
+    assert!(out.contains("binding intervals {"), "{out}");
+    assert!(out.contains("blocking demand rows:"), "{out}");
+
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/explain_torus4x4_b64.txt"
+    );
+    let want = std::fs::read_to_string(golden_path).expect("golden file");
+    assert_eq!(
+        out.trim(),
+        want.trim(),
+        "explain output drifted from {golden_path}; if the change is \
+         intentional, update the golden file to:\n{out}"
+    );
+}
+
+#[test]
+fn explain_is_parallelism_invariant() {
+    let serial = {
+        let opts = parse_args(&args(&format!("{EXPLAIN_ARGS} --parallelism 1"))).unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        out
+    };
+    let parallel = {
+        let opts = parse_args(&args(&format!("{EXPLAIN_ARGS} --parallelism 4"))).unwrap();
+        let mut out = String::new();
+        run(&opts, &mut out).unwrap();
+        out
+    };
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn explain_feasible_reports_winner_and_bottlenecks() {
+    let opts = parse_args(&args(
+        "explain --topo torus:4x4 --tfg dvb:4 --bandwidth 64 --alloc scatter:7",
+    ))
+    .unwrap();
+    let mut out = String::new();
+    run(&opts, &mut out).unwrap();
+    assert!(out.contains("verdict: scheduled"), "{out}");
+    assert!(out.contains("bottlenecks (tightest capacity rows"), "{out}");
+    assert!(out.contains("% of "), "{out}");
+}

@@ -1,0 +1,193 @@
+//! Tier-1 tests of the persistent event journal: a run journaled to disk
+//! and replayed offline must feed [`analyze_oi`] the *same* event stream —
+//! bit-identical timestamps, identical report — and a journal written from
+//! a truncated ring (overflowed [`RingEventSink`]) must replay into the
+//! analyzer without panics. A property test pins the ring's newest-wins
+//! retention with `NO_ID` sentinels through wraparound.
+
+use proptest::prelude::*;
+use sr::prelude::*;
+
+const PERIOD: f64 = 120.0;
+const CFG: SimConfig = SimConfig {
+    invocations: 40,
+    warmup: 6,
+};
+
+fn claim_setup() -> (GeneralizedHypercube, TaskFlowGraph, Allocation, Timing) {
+    let cube = GeneralizedHypercube::binary(3).unwrap();
+    let tfg = sr::tfg::generators::claim_chain(1000, 6400, 64);
+    let timing = Timing::new(64.0, 100.0);
+    let alloc = Allocation::new(
+        vec![NodeId(0), NodeId(1), NodeId(0), NodeId(3)],
+        &tfg,
+        &cube,
+    )
+    .unwrap();
+    (cube, tfg, alloc, timing)
+}
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sr_journal_replay_{name}_{}", std::process::id()));
+    p
+}
+
+fn bits(events: &[SimEvent]) -> Vec<(u64, SimEventKind, u32, u32, u32)> {
+    events
+        .iter()
+        .map(|e| {
+            (
+                e.time_us.to_bits(),
+                e.kind,
+                e.message,
+                e.invocation,
+                e.channel,
+            )
+        })
+        .collect()
+}
+
+/// Acceptance: journal replay reproduces the live `analyze_oi` statistics
+/// bit-identically (f64 fields compared through `to_bits`).
+#[test]
+fn journal_replay_reproduces_live_oi_bit_identically() {
+    let (cube, tfg, alloc, timing) = claim_setup();
+    let sim = WormholeSim::new(&cube, &tfg, &alloc, &timing).unwrap();
+    let sink = RingEventSink::with_capacity(1 << 16);
+    sim.run_with_events(PERIOD, &CFG, &sink).unwrap();
+    let live_events = sink.events();
+    let live = analyze_oi(&live_events, PERIOD, CFG.warmup);
+
+    let path = tmp_path("bitident");
+    let _ = std::fs::remove_file(&path);
+    let mut w = JournalWriter::create(&path, sr::obs::DEFAULT_MAX_BYTES).unwrap();
+    w.meta(&[("command", "simulate"), ("workload", "claim_chain")])
+        .unwrap();
+    w.events(&live_events).unwrap();
+    w.flush().unwrap();
+
+    let data = read_journal(&path).unwrap();
+    assert_eq!(data.skipped, 0);
+    assert_eq!(data.meta["workload"], "claim_chain");
+    assert_eq!(bits(&data.events), bits(&live_events));
+
+    let replayed = analyze_oi(&data.events, PERIOD, CFG.warmup);
+    let as_bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(as_bits(&replayed.outputs), as_bits(&live.outputs));
+    assert_eq!(as_bits(&replayed.intervals), as_bits(&live.intervals));
+    assert_eq!(
+        replayed.max_deviation_us.to_bits(),
+        live.max_deviation_us.to_bits()
+    );
+    assert_eq!(
+        replayed.min_interval_us.to_bits(),
+        live.min_interval_us.to_bits()
+    );
+    assert_eq!(replayed.stalls.len(), live.stalls.len());
+    assert_eq!(replayed.render(), live.render());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A ring too small for the run drops the oldest events; the journaled
+/// remainder must still parse cleanly and analyze without panics, keeping
+/// the tail (deliveries and outputs) the analyzer needs.
+#[test]
+fn truncated_ring_journal_feeds_analyzer_without_panics() {
+    let (cube, tfg, alloc, timing) = claim_setup();
+    let sim = WormholeSim::new(&cube, &tfg, &alloc, &timing).unwrap();
+    let sink = RingEventSink::with_capacity(128);
+    sim.run_with_events(PERIOD, &CFG, &sink).unwrap();
+    assert!(sink.dropped() > 0, "run must overflow the ring");
+
+    let path = tmp_path("truncated");
+    let _ = std::fs::remove_file(&path);
+    let mut w = JournalWriter::create(&path, sr::obs::DEFAULT_MAX_BYTES).unwrap();
+    w.events(&sink.events()).unwrap();
+    w.flush().unwrap();
+
+    let data = read_journal(&path).unwrap();
+    assert_eq!(data.skipped, 0);
+    assert_eq!(data.events.len(), 128);
+    // The ring dropped the early outputs, so the analyzer's consecutive
+    // walk from the warmup invocation finds nothing — it must degrade to
+    // an empty report, not panic, and still render.
+    let report = analyze_oi(&data.events, PERIOD, CFG.warmup);
+    assert!(report.render().contains("OI report"));
+    // The tail of the stream (what the ring keeps) does include outputs.
+    assert!(data
+        .events
+        .iter()
+        .any(|e| e.kind == SimEventKind::OutputProduced));
+
+    // A journal truncated mid-line (crash) still parses up to the damage.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let cut = text.len() * 2 / 3;
+    let truncated = &text[..cut];
+    let partial = parse_journal(truncated);
+    assert!(partial.skipped <= 1, "at most the cut line is lost");
+    let _ = analyze_oi(&partial.events, PERIOD, CFG.warmup);
+    let _ = std::fs::remove_file(&path);
+}
+
+proptest! {
+    /// Newest-wins retention: for any event sequence (including `NO_ID`
+    /// sentinel fields) and any capacity, the ring retains exactly the
+    /// last `min(n, capacity)` events in order, counts the overwrites,
+    /// and the survivors round-trip through the journal bit-identically.
+    #[test]
+    fn ring_overflow_keeps_newest_and_journal_round_trips(
+        capacity in 1usize..48,
+        specs in prop::collection::vec(
+            // The last value of the message/channel ranges maps to NO_ID.
+            (0u64..1u64 << 52, 0u8..6, 0u32..65, 0u32..16, 0u32..129),
+            0..160,
+        ),
+    ) {
+        let kinds = [
+            SimEventKind::MessageInjected,
+            SimEventKind::HeaderBlocked,
+            SimEventKind::LinkAcquired,
+            SimEventKind::LinkReleased,
+            SimEventKind::FlitDelivered,
+            SimEventKind::OutputProduced,
+        ];
+        let events: Vec<SimEvent> = specs
+            .iter()
+            .map(|&(t, k, m, inv, ch)| SimEvent {
+                time_us: t as f64 / 16.0,
+                kind: kinds[k as usize],
+                message: if m == 64 { NO_ID } else { m },
+                invocation: inv,
+                channel: if ch == 128 { NO_ID } else { ch },
+            })
+            .collect();
+
+        let sink = RingEventSink::with_capacity(capacity);
+        for e in &events {
+            sink.record(*e);
+        }
+        let kept = sink.events();
+        let expect_len = events.len().min(capacity.max(1));
+        prop_assert_eq!(kept.len(), expect_len);
+        prop_assert_eq!(
+            sink.dropped(),
+            events.len().saturating_sub(capacity.max(1)) as u64
+        );
+        // Exactly the newest `expect_len` events, in recording order.
+        prop_assert_eq!(bits(&kept), bits(&events[events.len() - expect_len..]));
+
+        // Survivors (with NO_ID sentinels) round-trip through journal text.
+        let mut text = String::new();
+        for e in &kept {
+            let id = |v: u32| if v == NO_ID { "null".to_string() } else { v.to_string() };
+            text.push_str(&format!(
+                "{{\"t\":\"event\",\"time_us\":{},\"kind\":\"{}\",\"message\":{},\"invocation\":{},\"channel\":{}}}\n",
+                e.time_us, e.kind.label(), id(e.message), id(e.invocation), id(e.channel)
+            ));
+        }
+        let data = parse_journal(&text);
+        prop_assert_eq!(data.skipped, 0);
+        prop_assert_eq!(bits(&data.events), bits(&kept));
+    }
+}
