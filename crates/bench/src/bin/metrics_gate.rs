@@ -12,6 +12,11 @@
 //!   (`scale_workload(16, ...)` at load 0.5): flat and band-partitioned
 //!   serial-compile counters, gating the compile pipeline's counter values
 //!   at 256 nodes where the partitioned path actually splits work.
+//! * `serve` — a fixed admission session against the resident daemon on a
+//!   4×4 torus (admit, duplicate, contended adapt, batch, replay, typed
+//!   errors, scrape): the full `serve.*` counter namespace, which is
+//!   deterministic because admissions run the serial compile walk and the
+//!   ladder is a pure function of the tenant table.
 //!
 //! ```text
 //! metrics_gate --write [--workload W] [PATH]   # regenerate the baseline
@@ -33,6 +38,7 @@ use sr_bench::{scale_bands, scale_workload};
 
 const DEFAULT_PATH_TORUS4X4: &str = "results/metrics_baseline_torus4x4_dvb.json";
 const DEFAULT_PATH_SCALE16: &str = "results/metrics_baseline_scale16_dvb.json";
+const DEFAULT_PATH_SERVE: &str = "results/metrics_baseline_serve.json";
 /// Loads gated for compile counters; the last one also drives the OI stats.
 const LOADS: [f64; 3] = [0.5, 0.7, 0.85];
 /// The single load gated on the 16×16 scaling point (matches the scale
@@ -178,6 +184,64 @@ fn build_document_scale16() -> String {
     doc
 }
 
+/// Builds the metrics document for the serve workload: a fixed framed
+/// request session against a resident 4×4-torus daemon, covering every
+/// ladder rung the fabric allows plus the typed-error taxonomy. The whole
+/// `serve.*` namespace (and the `compile.*` counters of the standalone
+/// compiles the session triggers) is deterministic: compiles run serially,
+/// batches precompile with one thread, and the degradation ladder is a
+/// pure function of the tenant table.
+fn build_document_serve() -> String {
+    let topo = Torus::new(&[4, 4]).expect("torus 4x4");
+    let cfg = sr::serve::ServeConfig {
+        period: 100.0,
+        timing: Timing::new(64.0, 10.0),
+        compile: CompileConfig {
+            parallelism: 1,
+            ..CompileConfig::default()
+        },
+        batch_threads: 1,
+        ..sr::serve::ServeConfig::default()
+    };
+    let mut daemon = sr::serve::Daemon::new(sr::serve::Engine::new(Box::new(topo), cfg));
+    let chain = |i: usize, a: usize, b: usize| {
+        format!(
+            "{{\"op\":\"admit\",\"tenant\":{{\"name\":\"cam{i}\",\"tfg\":\
+             \"task a{i} 100\\ntask b{i} 100\\nmsg m{i} a{i} -> b{i} 256\",\
+             \"placement\":[{a},{b}]}}}}"
+        )
+    };
+    let session = [
+        chain(0, 0, 1),                    // fast admission
+        chain(0, 0, 1),                    // duplicate_tenant
+        chain(1, 5, 6),                    // second fast admission
+        chain(2, 0, 1),                    // contends with cam0: adapt rung
+        "{\"op\":\"admit_batch\",\"tenants\":[\
+         {\"name\":\"cam3\",\"tfg\":\"task a3 100\\ntask b3 100\\nmsg m3 a3 -> b3 512\",\"placement\":[8,9]},\
+         {\"name\":\"cam4\",\"tfg\":\"task a4 100\\ntask b4 100\\nmsg m4 a4 -> b4 512\",\"placement\":[10,11]}]}"
+            .to_string(),
+        "{\"op\":\"query\",\"tenant\":\"cam1\"}".to_string(),
+        "{\"op\":\"evict\",\"tenant\":\"cam2\"}".to_string(),
+        chain(2, 0, 1),                    // readmit on a changed ledger: adapt again
+        "{\"op\":\"evict\",\"tenant\":\"cam2\"}".to_string(),
+        chain(2, 0, 1),                    // readmit on the same ledger: memoized replay
+        "{oops".to_string(),               // malformed
+        "{\"op\":\"query\",\"tenant\":\"nobody\"}".to_string(), // unknown_tenant
+        "{\"op\":\"stats\"}".to_string(),  // scrape
+    ];
+    for request in &session {
+        let (_, shutdown) = daemon.handle_frame(request.as_bytes());
+        assert!(!shutdown, "gate session must not shut the daemon down");
+    }
+    // One oversized frame, rejected at the framing layer.
+    let _ = daemon.oversized_response(sr::serve::MAX_FRAME + 1);
+
+    let mut doc = String::from("{\n\"workload\": \"serve\",\n\"serve\": {\"counters\": {");
+    counters_json(&mut doc, daemon.recorder());
+    doc.push_str("}}\n}\n");
+    doc
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode_write = false;
@@ -203,8 +267,9 @@ fn main() -> ExitCode {
     let default_path = match workload.as_str() {
         "torus4x4" => DEFAULT_PATH_TORUS4X4,
         "scale16" => DEFAULT_PATH_SCALE16,
+        "serve" => DEFAULT_PATH_SERVE,
         other => {
-            eprintln!("unknown workload {other:?} (expected torus4x4 or scale16)");
+            eprintln!("unknown workload {other:?} (expected torus4x4, scale16, or serve)");
             return ExitCode::FAILURE;
         }
     };
@@ -212,13 +277,14 @@ fn main() -> ExitCode {
     if mode_write == mode_check || usage_error {
         eprintln!(
             "usage: metrics_gate --write|--check [--inject-drift] \
-             [--workload torus4x4|scale16] [PATH]"
+             [--workload torus4x4|scale16|serve] [PATH]"
         );
         return ExitCode::FAILURE;
     }
 
     let doc = match workload.as_str() {
         "scale16" => build_document_scale16(),
+        "serve" => build_document_serve(),
         _ => build_document_torus4x4(),
     };
     if mode_write {

@@ -254,6 +254,10 @@ pub struct Options {
     pub sweep_k: Option<usize>,
     /// Output path for the `report` subcommand's HTML.
     pub out: String,
+    /// For `serve`: bind a Unix socket at this path.
+    pub socket: Option<String>,
+    /// For `serve`: speak the framed protocol on stdin/stdout.
+    pub stdio: bool,
 }
 
 impl Default for Options {
@@ -286,6 +290,8 @@ impl Default for Options {
             repair: false,
             sweep_k: None,
             out: "report.html".into(),
+            socket: None,
+            stdio: false,
         }
     }
 }
@@ -301,7 +307,15 @@ pub fn parse_args(args: &[String]) -> Result<Options, SpecError> {
     opts.command = it.next().ok_or_else(|| SpecError::new(USAGE))?.to_string();
     if !matches!(
         opts.command.as_str(),
-        "compile" | "simulate" | "sweep" | "info" | "minperiod" | "faults" | "report" | "explain"
+        "compile"
+            | "simulate"
+            | "sweep"
+            | "info"
+            | "minperiod"
+            | "faults"
+            | "report"
+            | "explain"
+            | "serve"
     ) {
         return Err(SpecError::new(format!(
             "unknown command '{}'\n{USAGE}",
@@ -393,6 +407,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, SpecError> {
             "--journal" => opts.journal = Some(value("--journal")?),
             "--prom" => opts.prom = Some(value("--prom")?),
             "--from-journal" => opts.from_journal = Some(value("--from-journal")?),
+            "--socket" => opts.socket = Some(value("--socket")?),
+            "--stdio" => opts.stdio = true,
             "--cap-scale" => {
                 let s: f64 = value("--cap-scale")?
                     .parse()
@@ -421,14 +437,15 @@ fn parse_id_list(s: &str) -> Result<Vec<usize>, SpecError> {
 
 /// Usage text shown for malformed command lines.
 pub const USAGE: &str = "usage: srsched \
-<compile|simulate|sweep|info|minperiod|faults|report|explain> \
+<compile|simulate|sweep|info|minperiod|faults|report|explain|serve> \
 [--topo SPEC] [--tfg SPEC] [--alloc SPEC] [--bandwidth B] [--period T] \
 [--guard G] [--spare E] [--parallelism N] [--alloc-engine simplex|flow] [--partition N] \
 [--vc N] [--adaptive P] [--cap-scale S] \
 [--dump] [--timeline] \
 [--json FILE] [--trace-out FILE] [--metrics] [--journal FILE] [--prom FILE] [--out FILE] \
 [--from-journal FILE] \
-[--fail-links L1,L2] [--fail-nodes N1,N2] [--repair] [--sweep K]";
+[--fail-links L1,L2] [--fail-nodes N1,N2] [--repair] [--sweep K] \
+[--stdio] [--socket PATH]";
 
 /// Runs a parsed command, writing human-readable output to `out`.
 ///
@@ -735,6 +752,29 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
         "faults" => {
             run_faults(opts, topo.as_ref(), &tfg, &alloc, &timing, period, rec, out)?;
             write_observability(opts, &metrics, &[], out)?;
+        }
+        "serve" => {
+            let config = compile_config(opts);
+            let serve_cfg = sr::serve::ServeConfig {
+                period,
+                timing,
+                feedback_scales: config.feedback_scales.clone(),
+                batch_threads: opts.parallelism,
+                compile: config,
+                ..sr::serve::ServeConfig::default()
+            };
+            let engine = sr::serve::Engine::new(topo, serve_cfg);
+            let mut daemon = sr::serve::Daemon::new(engine);
+            if opts.stdio {
+                // The framed protocol owns stdin/stdout; nothing else may
+                // be written to `out` (it would trail the frame stream).
+                daemon.serve_stdio()?;
+            } else if let Some(path) = &opts.socket {
+                daemon.serve_unix(std::path::Path::new(path))?;
+                writeln!(out, "serve: shutdown, removed socket {path}")?;
+            } else {
+                return Err(SpecError::new("serve requires --stdio or --socket PATH").into());
+            }
         }
         _ => unreachable!("validated in parse_args"),
     }

@@ -269,6 +269,7 @@ pub fn allocate_intervals_pinned(
         subsets,
         affected,
         pinned,
+        None,
         capacity_scale,
         None,
         &mut AllocationStats::default(),
@@ -312,8 +313,65 @@ pub fn allocate_intervals_pinned_warm(
         subsets,
         affected,
         pinned,
+        None,
         capacity_scale,
         Some(cache),
+        stats,
+    )
+}
+
+/// [`allocate_intervals_pinned_warm`] with **external reservations**: on top
+/// of the capacity consumed by the pinned rows, `reserved[link][k]` µs of
+/// interval `k` on `link` are unavailable to the LP (clamped at zero). This
+/// is the multi-tenant admission variant — the reservations describe
+/// traffic that lives *outside* this allocation problem entirely (other
+/// tenants' schedules folded onto this tenant's interval grid), where the
+/// pinned path describes rows of the *same* matrix.
+///
+/// Entries of `reserved` must have one value per interval; links absent
+/// from the map reserve nothing. `cache` is optional: `Some` warm-starts
+/// the subset LPs exactly like [`allocate_intervals_pinned_warm`].
+///
+/// # Errors
+///
+/// As [`allocate_intervals_pinned`].
+///
+/// # Panics
+///
+/// As [`allocate_intervals_pinned`], and if a `reserved` row's length is
+/// not `intervals.len()`.
+#[allow(clippy::too_many_arguments)]
+pub fn allocate_intervals_pinned_reserved(
+    assignment: &PathAssignment,
+    bounds: &TimeBounds,
+    activity: &ActivityMatrix,
+    intervals: &Intervals,
+    subsets: &[Vec<MessageId>],
+    affected: &[MessageId],
+    pinned: &IntervalAllocation,
+    reserved: &std::collections::HashMap<LinkId, Vec<f64>>,
+    capacity_scale: f64,
+    cache: Option<&mut AllocBasisCache>,
+    stats: &mut AllocationStats,
+) -> Result<IntervalAllocation, CompileError> {
+    for row in reserved.values() {
+        assert_eq!(
+            row.len(),
+            intervals.len(),
+            "external reservation row does not cover every interval"
+        );
+    }
+    allocate_intervals_pinned_impl(
+        assignment,
+        bounds,
+        activity,
+        intervals,
+        subsets,
+        affected,
+        pinned,
+        Some(reserved),
+        capacity_scale,
+        cache,
         stats,
     )
 }
@@ -422,6 +480,7 @@ pub fn allocate_intervals_partitioned(
         subsets,
         &boundary,
         &IntervalAllocation { p },
+        None,
         capacity_scale,
         None,
         stats,
@@ -437,6 +496,7 @@ fn allocate_intervals_pinned_impl(
     subsets: &[Vec<MessageId>],
     affected: &[MessageId],
     pinned: &IntervalAllocation,
+    external: Option<&std::collections::HashMap<LinkId, Vec<f64>>>,
     capacity_scale: f64,
     mut cache: Option<&mut AllocBasisCache>,
     stats: &mut AllocationStats,
@@ -496,7 +556,8 @@ fn allocate_intervals_pinned_impl(
             activity,
             &members,
             |link, k| {
-                let used = reserved.get(&link).map_or(0.0, |r| r[k]);
+                let used = reserved.get(&link).map_or(0.0, |r| r[k])
+                    + external.and_then(|e| e.get(&link)).map_or(0.0, |r| r[k]);
                 (capacity_scale * intervals.length(k) - used).max(0.0)
             },
             &mut p,

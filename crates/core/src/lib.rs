@@ -76,6 +76,7 @@ mod interval_sched;
 mod intervals;
 mod optimize;
 mod render;
+mod repack;
 mod replay;
 mod subsets;
 mod summary;
@@ -86,8 +87,8 @@ mod verify;
 pub use allocation_flow::{allocate_intervals_flow, FlowAllocStats};
 pub use allocation_lp::{
     allocate_intervals, allocate_intervals_partitioned, allocate_intervals_pinned,
-    allocate_intervals_pinned_warm, allocate_intervals_stats, allocate_intervals_warm,
-    AllocBasisCache, AllocationStats, IntervalAllocation,
+    allocate_intervals_pinned_reserved, allocate_intervals_pinned_warm, allocate_intervals_stats,
+    allocate_intervals_warm, AllocBasisCache, AllocationStats, IntervalAllocation,
 };
 pub use assign_paths::{
     assign_paths, assign_paths_partial, assign_paths_partitioned, assign_paths_pooled,
@@ -111,6 +112,10 @@ pub use interval_sched::{
 };
 pub use intervals::{ActivityMatrix, Intervals};
 pub use optimize::{co_design, find_min_period, CoDesignResult, MinPeriodResult};
+pub use repack::{
+    free_within, intersect, pack_affected, reallocate_pinned, ReallocAttempt,
+    ReallocAttemptOutcome, Repacked,
+};
 pub use replay::replay_events;
 pub use subsets::related_subsets;
 pub use summary::ScheduleSummary;

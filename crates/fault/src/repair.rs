@@ -1,13 +1,12 @@
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use sr_core::{
-    admit_best_effort, allocate_intervals_pinned_warm, analyze_damage, assign_paths_partial,
-    related_subsets, AllocBasisCache, AllocationStats, AssignPathsConfig, BestEffortGrant,
-    DamageReport, IntervalSchedule, PathAssignment, Schedule, Slice, EPS,
+    admit_best_effort, analyze_damage, assign_paths_partial, reallocate_pinned, AllocBasisCache,
+    AssignPathsConfig, BestEffortGrant, DamageReport, ReallocAttemptOutcome, Schedule, EPS,
 };
 use sr_obs::{span_with, Recorder, NOOP};
 use sr_tfg::{MessageId, TaskFlowGraph, Timing};
-use sr_topology::{FaultSet, LinkId, MaskedTopology, Path, Topology};
+use sr_topology::{FaultSet, MaskedTopology, Path, Topology};
 
 /// Tuning knobs for incremental schedule repair.
 #[derive(Debug, Clone, PartialEq)]
@@ -489,250 +488,57 @@ fn try_repair(
         return None;
     }
 
-    let subsets = related_subsets(&outcome.assignment, schedule.activity());
-    let scales: &[f64] = if config.feedback_scales.is_empty() {
-        &[1.0]
-    } else {
-        &config.feedback_scales
-    };
-    // The pinned subset LPs are structurally identical down the scale
-    // ladder (pinned rows fold into the RHS; only capacities shrink), so
-    // each rung warm-starts from the previous rung's optimal bases. The
-    // first rung's cache is empty, keeping it bit-identical to a cold
-    // solve — which is what the pinning contract tests observe.
+    // The shared ladder ([`sr_core::reallocate_pinned`]) warm-starts each
+    // rung from the previous rung's optimal bases. The first rung's cache
+    // is empty, keeping it bit-identical to a cold solve — which is what
+    // the pinning contract tests observe. Repair has no external traffic,
+    // so the busy ledger is empty and the behaviour matches the historical
+    // repair-only code exactly.
     let mut cache = AllocBasisCache::new();
-    for &scale in scales {
-        rec.add("repair.candidates", 1);
-        let mut alloc_stats = AllocationStats::default();
-        let allocated = allocate_intervals_pinned_warm(
-            &outcome.assignment,
-            schedule.bounds(),
-            schedule.activity(),
-            schedule.intervals(),
-            &subsets,
-            reroute,
-            schedule.allocation(),
-            scale,
-            &mut cache,
-            &mut alloc_stats,
-        );
-        rec.add("repair.alloc_lp.solves", alloc_stats.lp_solves);
-        rec.add("repair.alloc_lp.pivots", alloc_stats.lp.pivots);
-        rec.add("repair.alloc_lp.warm_hits", alloc_stats.lp.warm_hits);
-        rec.add("repair.alloc_lp.warm_misses", alloc_stats.lp.warm_misses);
-        let allocation = match allocated {
-            Ok(a) => a,
-            Err(e) => {
-                rec.add("repair.alloc_infeasible", 1);
-                if let Some(d) = diag.as_deref_mut() {
-                    d.steps.push(RepairStep {
-                        rung,
-                        scale: Some(scale),
-                        outcome: RepairStepOutcome::AllocInfeasible,
-                        detail: e.to_string(),
-                    });
+    let mut attempts = Vec::new();
+    let repacked = reallocate_pinned(
+        schedule,
+        &outcome.assignment,
+        reroute,
+        excluded,
+        &BTreeMap::new(),
+        &config.feedback_scales,
+        &mut cache,
+        "repair",
+        rec,
+        &mut attempts,
+    );
+    if let Some(d) = diag {
+        for a in &attempts {
+            let (outcome, detail) = match &a.outcome {
+                ReallocAttemptOutcome::Succeeded => (
+                    RepairStepOutcome::Succeeded,
+                    format!("{} message(s) re-routed", reroute.len()),
+                ),
+                ReallocAttemptOutcome::AllocInfeasible(e) => {
+                    (RepairStepOutcome::AllocInfeasible, e.to_string())
                 }
-                continue;
-            }
-        };
-        if let Some(interval_schedules) = pack_affected(
-            schedule,
-            &outcome.assignment,
-            &allocation,
-            reroute,
-            excluded,
-        ) {
-            if let Some(d) = diag.as_deref_mut() {
-                d.steps.push(RepairStep {
-                    rung,
-                    scale: Some(scale),
-                    outcome: RepairStepOutcome::Succeeded,
-                    detail: format!("{} message(s) re-routed", reroute.len()),
-                });
-            }
-            return Some(schedule.patched(
-                outcome.assignment.clone(),
-                allocation,
-                interval_schedules,
-                masked,
-            ));
-        }
-        rec.add("repair.pack_failed", 1);
-        if let Some(d) = diag.as_deref_mut() {
+                ReallocAttemptOutcome::PackFailed => (
+                    RepairStepOutcome::PackFailed,
+                    "re-routed traffic does not fit the surviving idle time".to_string(),
+                ),
+            };
             d.steps.push(RepairStep {
                 rung,
-                scale: Some(scale),
-                outcome: RepairStepOutcome::PackFailed,
-                detail: "re-routed traffic does not fit the surviving idle time".to_string(),
+                scale: Some(a.scale),
+                outcome,
+                detail,
             });
         }
     }
-    None
-}
-
-/// Packs the re-routed messages' allocations into the idle time the
-/// retained slices leave on their links, earliest-fit with preemption.
-///
-/// Every slice of the original schedule survives verbatim with the
-/// re-routed/excluded messages filtered out of its member set (so retained
-/// messages' segments are bit-identical); the re-routed traffic is placed
-/// into per-link free spans separated from existing traffic by the
-/// schedule's guard time. `None` when some message's allocation does not
-/// fit — the caller then tightens the allocation scale.
-fn pack_affected(
-    schedule: &Schedule,
-    assignment: &PathAssignment,
-    allocation: &sr_core::IntervalAllocation,
-    reroute: &[MessageId],
-    excluded: &BTreeSet<MessageId>,
-) -> Option<Vec<IntervalSchedule>> {
-    let intervals = schedule.intervals();
-    let guard = schedule.guard_time();
-    let moved: BTreeSet<MessageId> = reroute
-        .iter()
-        .copied()
-        .chain(excluded.iter().copied())
-        .collect();
-
-    // Retained slices per interval, with moved messages filtered out.
-    let mut per_interval: Vec<Vec<Slice>> = vec![Vec::new(); intervals.len()];
-    for is in schedule.interval_schedules() {
-        for slice in &is.slices {
-            let members: Vec<MessageId> = slice
-                .messages
-                .iter()
-                .copied()
-                .filter(|m| !moved.contains(m))
-                .collect();
-            if !members.is_empty() {
-                per_interval[is.interval].push(Slice {
-                    messages: members,
-                    start: slice.start,
-                    duration: slice.duration,
-                });
-            }
-        }
-    }
-
-    // Busy spans per link from the retained slices.
-    let mut busy: HashMap<LinkId, Vec<(f64, f64)>> = HashMap::new();
-    for slices in &per_interval {
-        for slice in slices {
-            for &m in &slice.messages {
-                for &l in assignment.links(m) {
-                    busy.entry(l).or_default().push((slice.start, slice.end()));
-                }
-            }
-        }
-    }
-
-    let mut ordered = reroute.to_vec();
-    ordered.sort_unstable();
-    for &m in &ordered {
-        let links = assignment.links(m);
-        for (k, interval_slices) in per_interval.iter_mut().enumerate() {
-            let mut need = allocation.allocated(m, k);
-            if need <= EPS {
-                continue;
-            }
-            let (a, b) = intervals.bounds(k);
-            let mut free = vec![(a, b)];
-            for &l in links {
-                let spans = busy.entry(l).or_default();
-                free = intersect(&free, &free_within(spans, a, b, guard));
-                if free.is_empty() {
-                    break;
-                }
-            }
-            let mut placed: Vec<Slice> = Vec::new();
-            for &(s, e) in &free {
-                if need <= EPS {
-                    break;
-                }
-                let chunk = (e - s).min(need);
-                if chunk <= EPS {
-                    continue;
-                }
-                placed.push(Slice {
-                    messages: vec![m],
-                    start: s,
-                    duration: chunk,
-                });
-                need -= chunk;
-            }
-            if need > EPS {
-                return None; // does not fit at this allocation scale
-            }
-            for slice in placed {
-                for &l in links {
-                    busy.entry(l).or_default().push((slice.start, slice.end()));
-                }
-                interval_slices.push(slice);
-            }
-        }
-    }
-
-    Some(
-        per_interval
-            .into_iter()
-            .enumerate()
-            .filter(|(_, slices)| !slices.is_empty())
-            .map(|(interval, mut slices)| {
-                slices.sort_by(|x, y| {
-                    x.start
-                        .total_cmp(&y.start)
-                        .then_with(|| x.messages.cmp(&y.messages))
-                });
-                IntervalSchedule { interval, slices }
-            })
-            .collect(),
-    )
-}
-
-/// The sub-spans of `[a, b]` at least `guard` away from every busy span.
-fn free_within(busy: &mut [(f64, f64)], a: f64, b: f64, guard: f64) -> Vec<(f64, f64)> {
-    busy.sort_by(|x, y| x.0.total_cmp(&y.0));
-    let mut out = Vec::new();
-    let mut cursor = a;
-    for &(s, e) in busy.iter() {
-        let (s, e) = (s - guard, e + guard);
-        if e <= cursor + EPS {
-            continue;
-        }
-        if s >= b - EPS {
-            break;
-        }
-        if s - cursor > EPS {
-            out.push((cursor, s));
-        }
-        cursor = cursor.max(e);
-        if cursor >= b - EPS {
-            break;
-        }
-    }
-    if b - cursor > EPS {
-        out.push((cursor, b));
-    }
-    out
-}
-
-/// Intersects two ascending disjoint span lists.
-fn intersect(a: &[(f64, f64)], b: &[(f64, f64)]) -> Vec<(f64, f64)> {
-    let mut out = Vec::new();
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        let s = a[i].0.max(b[j].0);
-        let e = a[i].1.min(b[j].1);
-        if e - s > EPS {
-            out.push((s, e));
-        }
-        if a[i].1 < b[j].1 {
-            i += 1;
-        } else {
-            j += 1;
-        }
-    }
-    out
+    repacked.map(|r| {
+        schedule.patched(
+            outcome.assignment.clone(),
+            r.allocation,
+            r.interval_schedules,
+            masked,
+        )
+    })
 }
 
 #[cfg(test)]

@@ -575,7 +575,10 @@ fn aggregate_spans(spans: &[SpanRecord], now: f64) -> BTreeMap<String, (usize, f
 }
 
 /// Escapes a string for inclusion inside JSON double quotes.
-fn escape_json(s: &str) -> String {
+///
+/// Public because every crate in the workspace hand-rolls its JSON (no
+/// serde); the serve daemon's protocol responses reuse this exact escaping.
+pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -595,7 +598,10 @@ fn escape_json(s: &str) -> String {
 
 /// Renders an `f64` as a JSON number (JSON has no NaN/Infinity — clamp to
 /// 0 / the largest finite magnitudes so output always parses).
-fn json_num(v: f64) -> String {
+///
+/// Public for the same reason as [`escape_json`]: one JSON number format
+/// across every hand-rolled emitter in the workspace.
+pub fn json_num(v: f64) -> String {
     if v.is_nan() {
         "0".into()
     } else if v.is_infinite() {

@@ -1,0 +1,407 @@
+//! The resident daemon: frame transport, request dispatch, and the
+//! process entry points (`--stdio` and Unix socket).
+//!
+//! # Framing
+//!
+//! Both transports speak the same trivial binary framing: each request and
+//! each response is one JSON document prefixed by its byte length as a
+//! 32-bit big-endian integer. Frames above [`MAX_FRAME`] are rejected with
+//! an `oversized` error — the payload is drained (so the connection
+//! survives) but never buffered.
+//!
+//! # No-panic contract
+//!
+//! Nothing reachable from request bytes may take the daemon down: parsing
+//! is total, the engine returns typed errors, and dispatch additionally
+//! runs under `catch_unwind` as a last-resort backstop that converts any
+//! latent bug into an `internal` error response (and a
+//! `serve.errors.internal` counter hit).
+
+use std::io::{self, Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::engine::Engine;
+use crate::error::{ErrorKind, ServeError};
+use crate::json::parse;
+use crate::protocol::{
+    admit_error, parse_request, render_admit, render_batch, render_list, render_query, Request,
+};
+use sr_obs::{escape_json, CounterSnapshot, MetricsRecorder, Recorder};
+
+/// Maximum accepted frame payload, bytes (1 MiB).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// One frame-read outcome.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// Clean end of stream (no partial prefix).
+    Eof,
+    /// The prefix announced more than [`MAX_FRAME`] bytes; the payload was
+    /// drained and discarded.
+    Oversized(usize),
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates transport I/O errors (including a stream that ends inside a
+/// prefix or payload, surfaced as [`io::ErrorKind::UnexpectedEof`]).
+pub fn read_frame(reader: &mut dyn Read) -> io::Result<FrameRead> {
+    let mut prefix = [0u8; 4];
+    match reader.read(&mut prefix[..1])? {
+        0 => return Ok(FrameRead::Eof),
+        _ => reader.read_exact(&mut prefix[1..])?,
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        // Drain without buffering so the connection stays usable.
+        io::copy(&mut reader.take(len as u64), &mut io::sink())?;
+        return Ok(FrameRead::Oversized(len));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(FrameRead::Frame(payload))
+}
+
+/// Writes one length-prefixed frame and flushes.
+///
+/// # Errors
+///
+/// Propagates transport I/O errors.
+pub fn write_frame(writer: &mut dyn Write, payload: &str) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    writer.write_all(&len.to_be_bytes())?;
+    writer.write_all(payload.as_bytes())?;
+    writer.flush()
+}
+
+/// The daemon: an [`Engine`], its metrics recorder, and the scrape cursor.
+pub struct Daemon {
+    engine: Engine,
+    rec: MetricsRecorder,
+    last_scrape: CounterSnapshot,
+}
+
+impl Daemon {
+    /// A daemon around a fresh engine.
+    pub fn new(engine: Engine) -> Daemon {
+        Daemon {
+            engine,
+            rec: MetricsRecorder::new(),
+            last_scrape: CounterSnapshot::default(),
+        }
+    }
+
+    /// The underlying engine (for tests and embedding).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The daemon's metrics recorder.
+    pub fn recorder(&self) -> &MetricsRecorder {
+        &self.rec
+    }
+
+    /// Handles one request frame and returns `(response, shutdown)`.
+    /// Infallible by contract: every outcome — including a panic in
+    /// request handling — renders as a response document.
+    pub fn handle_frame(&mut self, payload: &[u8]) -> (String, bool) {
+        self.rec.add("serve.requests", 1);
+        let result = catch_unwind(AssertUnwindSafe(|| self.dispatch(payload)));
+        match result {
+            Ok(outcome) => outcome,
+            Err(_) => {
+                let e = ServeError::new(
+                    ErrorKind::Internal,
+                    "request handling panicked; state may be stale — re-query before trusting it",
+                );
+                self.rec.add(&e.kind.counter(), 1);
+                (e.render(), false)
+            }
+        }
+    }
+
+    /// Renders an `oversized` rejection for a drained frame.
+    pub fn oversized_response(&mut self, announced: usize) -> String {
+        let e = ServeError::new(
+            ErrorKind::Oversized,
+            format!("frame of {announced} bytes exceeds the {MAX_FRAME}-byte cap"),
+        );
+        self.rec.add("serve.requests", 1);
+        self.rec.add(&e.kind.counter(), 1);
+        e.render()
+    }
+
+    fn dispatch(&mut self, payload: &[u8]) -> (String, bool) {
+        let doc = match parse(payload) {
+            Ok(doc) => doc,
+            Err(e) => {
+                return self.fail(ServeError::new(
+                    ErrorKind::Malformed,
+                    format!("invalid JSON at byte {}: {}", e.offset, e.message),
+                ))
+            }
+        };
+        let request = match parse_request(&doc) {
+            Ok(r) => r,
+            Err(e) => return self.fail(e),
+        };
+        match request {
+            Request::Admit(spec) => match self.engine.admit(&spec, &self.rec) {
+                Ok(report) => (render_admit(&report), false),
+                Err(e) => self.fail(admit_error(&e)),
+            },
+            Request::AdmitBatch(specs) => {
+                let results = self.engine.admit_batch(&specs, &self.rec);
+                for r in &results {
+                    if let Err(e) = r {
+                        self.rec.add(&admit_error(e).kind.counter(), 1);
+                    }
+                }
+                (render_batch(&results), false)
+            }
+            Request::Evict(name) => match self.engine.evict(&name, &self.rec) {
+                Ok(()) => (
+                    format!(
+                        "{{\"ok\":true,\"op\":\"evict\",\"tenant\":\"{}\"}}",
+                        escape_json(&name)
+                    ),
+                    false,
+                ),
+                Err(detail) => self.fail(ServeError::new(ErrorKind::UnknownTenant, detail)),
+            },
+            Request::Query(name) => match self.engine.tenant(&name) {
+                Some(t) => (render_query(t), false),
+                None => self.fail(ServeError::new(
+                    ErrorKind::UnknownTenant,
+                    format!("no tenant named \"{name}\""),
+                )),
+            },
+            Request::List => (render_list(&self.engine), false),
+            Request::Stats => {
+                self.rec.add("serve.scrapes", 1);
+                let now = self.rec.counter_snapshot();
+                let delta = now.delta_since(&self.last_scrape);
+                self.last_scrape = now;
+                (
+                    format!(
+                        "{{\"ok\":true,\"op\":\"stats\",\"prometheus\":\"{}\"}}",
+                        escape_json(&delta.export_prometheus())
+                    ),
+                    false,
+                )
+            }
+            Request::Shutdown => ("{\"ok\":true,\"op\":\"shutdown\"}".to_string(), true),
+        }
+    }
+
+    fn fail(&mut self, e: ServeError) -> (String, bool) {
+        self.rec.add(&e.kind.counter(), 1);
+        (e.render(), false)
+    }
+
+    /// Serves one framed stream until EOF or a shutdown request. Returns
+    /// whether shutdown was requested (so a socket accept loop knows to
+    /// stop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport I/O errors.
+    pub fn serve_stream(
+        &mut self,
+        reader: &mut dyn Read,
+        writer: &mut dyn Write,
+    ) -> io::Result<bool> {
+        loop {
+            match read_frame(reader)? {
+                FrameRead::Eof => return Ok(false),
+                FrameRead::Oversized(n) => {
+                    let resp = self.oversized_response(n);
+                    write_frame(writer, &resp)?;
+                }
+                FrameRead::Frame(payload) => {
+                    let (resp, shutdown) = self.handle_frame(&payload);
+                    write_frame(writer, &resp)?;
+                    if shutdown {
+                        return Ok(true);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serves stdin/stdout until EOF or shutdown (the `--stdio`
+    /// transport; also the golden-test harness).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport I/O errors.
+    pub fn serve_stdio(&mut self) -> io::Result<()> {
+        let stdin = io::stdin();
+        let stdout = io::stdout();
+        let mut reader = stdin.lock();
+        let mut writer = stdout.lock();
+        self.serve_stream(&mut reader, &mut writer)?;
+        Ok(())
+    }
+
+    /// Binds a Unix socket and serves connections sequentially until one
+    /// of them requests shutdown. A stale socket file at `path` is
+    /// replaced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/accept/transport I/O errors.
+    #[cfg(unix)]
+    pub fn serve_unix(&mut self, path: &std::path::Path) -> io::Result<()> {
+        let _ = std::fs::remove_file(path);
+        let listener = std::os::unix::net::UnixListener::bind(path)?;
+        loop {
+            let (stream, _) = listener.accept()?;
+            let mut reader = io::BufReader::new(stream.try_clone()?);
+            let mut writer = io::BufWriter::new(stream);
+            let shutdown = match self.serve_stream(&mut reader, &mut writer) {
+                Ok(s) => s,
+                // A client dropping mid-frame must not kill the daemon.
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => false,
+                Err(e) => {
+                    let _ = std::fs::remove_file(path);
+                    return Err(e);
+                }
+            };
+            if shutdown {
+                let _ = std::fs::remove_file(path);
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeConfig;
+    use sr_topology::Torus;
+
+    fn daemon() -> Daemon {
+        let topo = Torus::new(&[4, 4]).expect("torus");
+        Daemon::new(Engine::new(Box::new(topo), ServeConfig::default()))
+    }
+
+    fn frame(s: &str) -> Vec<u8> {
+        let mut out = (s.len() as u32).to_be_bytes().to_vec();
+        out.extend_from_slice(s.as_bytes());
+        out
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"op\":\"list\"}").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        match read_frame(&mut cursor).unwrap() {
+            FrameRead::Frame(p) => assert_eq!(p, b"{\"op\":\"list\"}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match read_frame(&mut cursor).unwrap() {
+            FrameRead::Eof => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_frames_drain_and_report() {
+        let mut bytes = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
+        bytes.extend(std::iter::repeat_n(b'x', MAX_FRAME + 1));
+        bytes.extend_from_slice(&frame("{\"op\":\"list\"}"));
+        let mut cursor = io::Cursor::new(bytes);
+        let mut d = daemon();
+        match read_frame(&mut cursor).unwrap() {
+            FrameRead::Oversized(n) => {
+                assert_eq!(n, MAX_FRAME + 1);
+                let resp = d.oversized_response(n);
+                assert!(resp.contains("\"kind\":\"oversized\""));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The next frame on the same stream still parses.
+        match read_frame(&mut cursor).unwrap() {
+            FrameRead::Frame(p) => assert_eq!(p, b"{\"op\":\"list\"}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_yield_typed_errors_not_panics() {
+        let mut d = daemon();
+        for junk in [
+            &b"\xff\xfe\x00"[..],
+            b"{\"op\":",
+            b"42",
+            b"{\"op\":\"admit\",\"tenant\":7}",
+            b"{}",
+        ] {
+            let (resp, shutdown) = d.handle_frame(junk);
+            assert!(!shutdown);
+            assert!(resp.starts_with("{\"ok\":false"), "got: {resp}");
+        }
+        let counters = d.recorder().counters();
+        assert_eq!(counters["serve.requests"], 5);
+    }
+
+    #[test]
+    fn full_session_over_an_in_memory_stream() {
+        let mut d = daemon();
+        let mut input = Vec::new();
+        let admit = r#"{"op":"admit","tenant":{"name":"t1","tfg":"task a 100\ntask b 100\nmsg m a -> b 256","placement":[0,1]}}"#;
+        for req in [
+            admit,
+            r#"{"op":"list"}"#,
+            r#"{"op":"query","tenant":"t1"}"#,
+            r#"{"op":"stats"}"#,
+            r#"{"op":"evict","tenant":"t1"}"#,
+            r#"{"op":"shutdown"}"#,
+        ] {
+            input.extend_from_slice(&frame(req));
+        }
+        let mut reader = io::Cursor::new(input);
+        let mut output = Vec::new();
+        let shutdown = d.serve_stream(&mut reader, &mut output).unwrap();
+        assert!(shutdown);
+        let mut cursor = io::Cursor::new(output);
+        let mut responses = Vec::new();
+        while let FrameRead::Frame(p) = read_frame(&mut cursor).unwrap() {
+            responses.push(String::from_utf8(p).unwrap());
+        }
+        assert_eq!(responses.len(), 6);
+        assert!(
+            responses[0].contains("\"rung\":\"fast\""),
+            "{}",
+            responses[0]
+        );
+        assert!(responses[1].contains("\"tenants\":[\"t1\"]"));
+        assert!(responses[2].contains("\"op\":\"query\""));
+        assert!(
+            responses[3].contains("sr_serve_admit_total"),
+            "{}",
+            responses[3]
+        );
+        assert!(responses[4].contains("\"op\":\"evict\""));
+        assert_eq!(responses[5], "{\"ok\":true,\"op\":\"shutdown\"}");
+    }
+
+    #[test]
+    fn stats_deltas_reset_between_scrapes() {
+        let mut d = daemon();
+        let (first, _) = d.handle_frame(br#"{"op":"stats"}"#);
+        assert!(first.contains("sr_serve_requests_total 1"), "{first}");
+        let (second, _) = d.handle_frame(br#"{"op":"stats"}"#);
+        // Only the delta since the first scrape: one request, one scrape.
+        assert!(second.contains("sr_serve_requests_total 1"), "{second}");
+        assert!(!second.contains("sr_serve_requests_total 2"), "{second}");
+    }
+}

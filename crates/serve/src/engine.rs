@@ -1,0 +1,1149 @@
+//! The resident admission engine: a topology, a tenant table, and a
+//! deterministic online-admission ladder built on the incremental-repair
+//! primitives in `sr-core`.
+//!
+//! # Model
+//!
+//! Every tenant shares the daemon's frame: one period and one [`Timing`]
+//! model. A tenant's canonical state is its **standalone compile** — the
+//! schedule its TFG would get on an empty network — plus the absolute
+//! link-time spans that schedule occupies. The daemon's only allocator
+//! state is the **ledger**: the union of admitted tenants' spans per link,
+//! rebuilt deterministically from the tenant table. Admission is the
+//! fault-repair generalization from "links disappeared" to "messages
+//! arrived": the new tenant's rows are (re-)derived against reserved
+//! capacity, and **no admitted tenant's schedule is ever touched** — their
+//! rows stay pinned bit-identically by construction, and
+//! [`Engine::check_invariants`] verifies (rather than assumes) it after
+//! every mutation.
+//!
+//! # Admission ladder
+//!
+//! 1. **fast** — the memoized standalone schedule's spans fit the ledger's
+//!    idle time (guard-separated) verbatim: admit it untouched. This is
+//!    the warm path: no LP, no routing, sub-millisecond.
+//! 2. **adapted** — same paths, new placement:
+//!    [`sr_core::reallocate_pinned`] re-derives the tenant's rows with the
+//!    ledger folded in as reserved capacity, warm-starting from the
+//!    tenant's [`AllocBasisCache`], and packs them into ledger idle time.
+//! 3. **rerouted** — links whose ledger occupancy exceeds the busy
+//!    threshold are masked ([`MaskedTopology`], exactly like dead links in
+//!    repair) and [`sr_core::assign_paths_partial`] re-routes the tenant
+//!    around the hot spots, then rung 2's allocation ladder runs on the
+//!    new paths.
+//! 4. **best-effort** — no real-time guarantee: each message gets one
+//!    contiguous guard-separated span on all links of its standalone path,
+//!    earliest-fit, all-or-nothing.
+//! 5. **reject** — with a [`sr_core::Diagnosis`]-rendered explanation when
+//!    the standalone compile itself failed, and the tenant-path ledger
+//!    saturation otherwise.
+//!
+//! Eviction removes the tenant from the table; because the ledger is a
+//! pure function of the table, the allocator state is bit-identical to
+//! never having admitted the tenant. Per-tenant memos (standalone compile,
+//! simplex bases, last admission result) survive eviction — they are
+//! caches, not allocator state, and make evict-then-readmit reproduce the
+//! original admission exactly when the ledger is unchanged.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sr_core::{
+    assign_paths_partial, compile_diagnosed, free_within, intersect, reallocate_pinned,
+    AllocBasisCache, CompileConfig, Schedule, EPS,
+};
+use sr_mapping::Allocation;
+use sr_obs::{span_with, Recorder};
+use sr_tfg::{from_text, MessageId, TaskFlowGraph, Timing};
+use sr_topology::{FaultSet, LinkId, MaskedTopology, NodeId, Topology};
+
+/// Per-link busy spans in absolute frame time, sorted and coalesced.
+type Spans = BTreeMap<LinkId, Vec<(f64, f64)>>;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The shared frame period, µs. Every tenant compiles against it.
+    pub period: f64,
+    /// The shared platform timing model.
+    pub timing: Timing,
+    /// Standalone-compile configuration (window policy, guard time,
+    /// feedback scales, parallelism, …). The guard time also separates
+    /// tenants from each other on the ledger.
+    pub compile: CompileConfig,
+    /// Capacity scales for the adapt/re-route allocation ladder (rungs 2
+    /// and 3). Empty means `[1.0]`.
+    pub feedback_scales: Vec<f64>,
+    /// A link is masked in the re-route rung when its ledger occupancy
+    /// exceeds this fraction of the period.
+    pub reroute_busy_threshold: f64,
+    /// Per-tenant memo capacity (standalone compiles + simplex bases kept
+    /// across evictions). Least-recently-used entries are dropped.
+    pub memo_capacity: usize,
+    /// Worker threads for batch-admission standalone compiles (`0` = one
+    /// per hardware thread, `1` = serial).
+    pub batch_threads: usize,
+    /// Verify ledger invariants after every mutation (cross-tenant overlap
+    /// freedom + span/schedule consistency). Cheap at daemon scale; admits
+    /// that would violate pinning are rolled back and reported as internal
+    /// errors instead of corrupting the ledger.
+    pub paranoid: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            period: 100.0,
+            timing: Timing::new(64.0, 10.0),
+            compile: CompileConfig::default(),
+            feedback_scales: vec![1.0, 0.9, 0.8],
+            reroute_busy_threshold: 0.5,
+            memo_capacity: 64,
+            batch_threads: 1,
+            paranoid: true,
+        }
+    }
+}
+
+/// Where a tenant may be placed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Placement {
+    /// Explicit node id per task, in task order.
+    Nodes(Vec<usize>),
+    /// A strategy name: `greedy`, `roundrobin`, or `scatter:<seed>`.
+    Strategy(String),
+}
+
+/// One admission request: a named TFG (text format) plus placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Unique tenant name.
+    pub name: String,
+    /// The traffic-flow graph, in `sr_tfg::from_text` format.
+    pub tfg_text: String,
+    /// Task placement.
+    pub placement: Placement,
+    /// Allow the best-effort rung when real-time admission fails.
+    pub best_effort: bool,
+}
+
+/// Which ladder rung admitted a tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitRung {
+    /// Standalone schedule admitted verbatim.
+    Fast,
+    /// Same paths, rows re-derived against the ledger.
+    Adapted,
+    /// Re-routed around hot links, then re-derived.
+    Rerouted,
+    /// Best-effort grants only; no real-time guarantee.
+    BestEffort,
+}
+
+impl AdmitRung {
+    /// Stable lowercase label (wire format).
+    pub fn label(self) -> &'static str {
+        match self {
+            AdmitRung::Fast => "fast",
+            AdmitRung::Adapted => "adapted",
+            AdmitRung::Rerouted => "rerouted",
+            AdmitRung::BestEffort => "best_effort",
+        }
+    }
+}
+
+/// One best-effort grant: the message and its single transmission span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grant {
+    /// The granted message.
+    pub message: MessageId,
+    /// Span start, µs (equal to `end` for link-less messages).
+    pub start: f64,
+    /// Span end, µs.
+    pub end: f64,
+}
+
+/// An admitted tenant.
+#[derive(Debug, Clone)]
+pub struct Tenant {
+    /// Tenant name.
+    pub name: String,
+    /// Admission sequence number (monotonic across the engine's life).
+    pub seq: u64,
+    /// The tenant's TFG.
+    pub tfg: TaskFlowGraph,
+    /// Task placement, node per task.
+    pub placement: Vec<NodeId>,
+    /// The tenant's real-time schedule (`None` for best-effort tenants).
+    pub schedule: Option<Schedule>,
+    /// Best-effort grants (empty for real-time tenants).
+    pub grants: Vec<Grant>,
+    /// This tenant's link-time occupancy: sorted, coalesced spans per link.
+    pub spans: BTreeMap<LinkId, Vec<(f64, f64)>>,
+    /// Which rung admitted it.
+    pub rung: AdmitRung,
+    /// Capacity scale the admission succeeded at (1.0 for fast/best-effort).
+    pub scale: f64,
+}
+
+/// What [`Engine::admit`] reports on success.
+#[derive(Debug, Clone)]
+pub struct AdmitReport {
+    /// Tenant name.
+    pub name: String,
+    /// Which rung admitted it.
+    pub rung: AdmitRung,
+    /// Capacity scale of the successful allocation.
+    pub scale: f64,
+    /// Whether the standalone compile came from the per-tenant memo.
+    pub memo_hit: bool,
+    /// Whether the whole admission replayed a memoized result (identical
+    /// spec against an identical ledger).
+    pub replayed: bool,
+    /// Messages in the tenant's TFG.
+    pub messages: usize,
+    /// Links the tenant occupies.
+    pub links_used: usize,
+}
+
+/// Why [`Engine::admit`] failed.
+#[derive(Debug, Clone)]
+pub enum AdmitError {
+    /// A tenant with this name is already admitted.
+    Duplicate(String),
+    /// The spec does not parse or place.
+    InvalidSpec(String),
+    /// The ladder was exhausted.
+    Infeasible(Rejection),
+    /// An invariant check failed after install; the admission was rolled
+    /// back.
+    Internal(String),
+}
+
+/// Structured rejection detail for the `infeasible` error response.
+#[derive(Debug, Clone, Default)]
+pub struct Rejection {
+    /// Human-readable summary.
+    pub detail: String,
+    /// Rendered [`sr_core::Diagnosis`] when the standalone compile itself
+    /// failed (the PR-7 explainer's output).
+    pub diagnosis: Option<String>,
+    /// Ledger saturation on the tenant's path links: `(link, busy µs)`,
+    /// busiest first.
+    pub saturated: Vec<(LinkId, f64)>,
+    /// Ladder rungs consumed before rejecting.
+    pub rungs_tried: usize,
+}
+
+/// A memoized admission result, replayed verbatim when the same spec is
+/// admitted against a bit-identical ledger.
+#[derive(Debug, Clone)]
+struct LastResult {
+    ledger: BTreeMap<LinkId, Vec<(f64, f64)>>,
+    tenant: Tenant,
+    rung: AdmitRung,
+    scale: f64,
+}
+
+/// Per-tenant memo: the standalone compile, warm simplex bases, and the
+/// last admission result. Survives eviction (it is a cache, not allocator
+/// state).
+#[derive(Debug)]
+struct MemoEntry {
+    fingerprint: String,
+    tfg: TaskFlowGraph,
+    placement: Vec<NodeId>,
+    schedule: Option<Schedule>,
+    diagnosis: Option<String>,
+    cache: AllocBasisCache,
+    last: Option<LastResult>,
+    age: u64,
+}
+
+/// The resident admission engine. See the module docs for the model.
+pub struct Engine {
+    topo: Box<dyn Topology>,
+    cfg: ServeConfig,
+    tenants: BTreeMap<String, Tenant>,
+    memo: BTreeMap<String, MemoEntry>,
+    admit_seq: u64,
+    memo_clock: u64,
+}
+
+impl Engine {
+    /// A fresh engine owning `topo` with no tenants admitted.
+    pub fn new(topo: Box<dyn Topology>, cfg: ServeConfig) -> Engine {
+        Engine {
+            topo,
+            cfg,
+            tenants: BTreeMap::new(),
+            memo: BTreeMap::new(),
+            admit_seq: 0,
+            memo_clock: 0,
+        }
+    }
+
+    /// The engine's topology.
+    pub fn topo(&self) -> &dyn Topology {
+        self.topo.as_ref()
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The admitted tenant with this name, if any.
+    pub fn tenant(&self, name: &str) -> Option<&Tenant> {
+        self.tenants.get(name)
+    }
+
+    /// All admitted tenants, in name order.
+    pub fn tenants(&self) -> impl Iterator<Item = &Tenant> {
+        self.tenants.values()
+    }
+
+    /// The ledger: every admitted tenant's occupancy merged, per link,
+    /// sorted by span start. A pure function of the tenant table — this is
+    /// the *entire* allocator state, which is what makes eviction restore
+    /// it bit-identically to never having admitted the tenant.
+    pub fn ledger(&self) -> BTreeMap<LinkId, Vec<(f64, f64)>> {
+        let mut out: BTreeMap<LinkId, Vec<(f64, f64)>> = BTreeMap::new();
+        for t in self.tenants.values() {
+            for (&l, spans) in &t.spans {
+                out.entry(l).or_default().extend(spans.iter().copied());
+            }
+        }
+        for spans in out.values_mut() {
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        }
+        out
+    }
+
+    /// Admits one tenant through the degradation ladder.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError`] — duplicate name, invalid spec, ladder exhausted, or
+    /// a rolled-back invariant violation.
+    pub fn admit(
+        &mut self,
+        spec: &TenantSpec,
+        rec: &dyn Recorder,
+    ) -> Result<AdmitReport, AdmitError> {
+        let span = span_with(rec, "serve.admit", || spec.name.clone());
+        rec.add("serve.admit", 1);
+        if spec.name.is_empty() {
+            return Err(AdmitError::InvalidSpec("tenant name is empty".into()));
+        }
+        if self.tenants.contains_key(&spec.name) {
+            return Err(AdmitError::Duplicate(spec.name.clone()));
+        }
+        let memo_hit = self.memoize(spec, rec)?;
+        rec.add(
+            if memo_hit {
+                "serve.admit.memo_hits"
+            } else {
+                "serve.admit.memo_misses"
+            },
+            1,
+        );
+        let ledger = self.ledger();
+        let guard = self.cfg.compile.guard_time;
+
+        // Replay: identical spec against a bit-identical ledger reproduces
+        // the previous admission exactly (the evict-then-readmit
+        // determinism guarantee).
+        let entry = self.memo.get(&spec.name).expect("memoized above");
+        if let Some(last) = &entry.last {
+            if last.ledger == ledger {
+                rec.add("serve.admit.replayed", 1);
+                let mut tenant = last.tenant.clone();
+                let (rung, scale) = (last.rung, last.scale);
+                tenant.seq = self.admit_seq;
+                span.annotate("rung", 0.0);
+                return self.install(tenant, rung, scale, memo_hit, true, rec);
+            }
+        }
+
+        // Rung 1: fast path — the standalone schedule fits verbatim.
+        if let Some(sched) = entry.schedule.clone() {
+            let spans = spans_of_schedule(&sched);
+            if fits(&spans, &ledger, guard) {
+                rec.add("serve.admit.fast", 1);
+                let tenant = Tenant {
+                    name: spec.name.clone(),
+                    seq: self.admit_seq,
+                    tfg: entry.tfg.clone(),
+                    placement: entry.placement.clone(),
+                    schedule: Some(sched),
+                    grants: Vec::new(),
+                    spans,
+                    rung: AdmitRung::Fast,
+                    scale: 1.0,
+                };
+                return self.install(tenant, AdmitRung::Fast, 1.0, memo_hit, false, rec);
+            }
+
+            // Rung 2: adapt — same paths, rows re-derived against the
+            // ledger's reserved capacity, packed into its idle time.
+            rec.add("serve.admit.adapt_attempts", 1);
+            let affected = linked_messages(&sched);
+            let scales = self.cfg.feedback_scales.clone();
+            let mut attempts = Vec::new();
+            let entry = self.memo.get_mut(&spec.name).expect("memoized above");
+            let adapted = reallocate_pinned(
+                &sched,
+                sched.assignment(),
+                &affected,
+                &BTreeSet::new(),
+                &ledger,
+                &scales,
+                &mut entry.cache,
+                "serve",
+                rec,
+                &mut attempts,
+            );
+            if let Some(rp) = adapted {
+                rec.add("serve.admit.adapted", 1);
+                let patched = sched.patched(
+                    sched.assignment().clone(),
+                    rp.allocation,
+                    rp.interval_schedules,
+                    self.topo.as_ref(),
+                );
+                let spans = spans_of_schedule(&patched);
+                let tenant = Tenant {
+                    name: spec.name.clone(),
+                    seq: self.admit_seq,
+                    tfg: entry.tfg.clone(),
+                    placement: entry.placement.clone(),
+                    schedule: Some(patched),
+                    grants: Vec::new(),
+                    spans,
+                    rung: AdmitRung::Adapted,
+                    scale: rp.scale,
+                };
+                return self.install(tenant, AdmitRung::Adapted, rp.scale, memo_hit, false, rec);
+            }
+
+            // Rung 3: re-route around hot links, then re-derive.
+            if let Some((rerouted, scale)) = self.try_reroute(&sched, &ledger, rec) {
+                rec.add("serve.admit.rerouted", 1);
+                let spans = spans_of_schedule(&rerouted);
+                let entry = self.memo.get(&spec.name).expect("memoized above");
+                let tenant = Tenant {
+                    name: spec.name.clone(),
+                    seq: self.admit_seq,
+                    tfg: entry.tfg.clone(),
+                    placement: entry.placement.clone(),
+                    schedule: Some(rerouted),
+                    grants: Vec::new(),
+                    spans,
+                    rung: AdmitRung::Rerouted,
+                    scale,
+                };
+                return self.install(tenant, AdmitRung::Rerouted, scale, memo_hit, false, rec);
+            }
+        }
+
+        // Rung 4: best-effort (single guard-separated span per message on
+        // the standalone paths, no real-time guarantee).
+        let entry = self.memo.get(&spec.name).expect("memoized above");
+        if spec.best_effort {
+            if let Some(sched) = &entry.schedule {
+                if let Some((grants, spans)) = self.try_best_effort(sched, &ledger) {
+                    rec.add("serve.admit.best_effort", 1);
+                    let tenant = Tenant {
+                        name: spec.name.clone(),
+                        seq: self.admit_seq,
+                        tfg: entry.tfg.clone(),
+                        placement: entry.placement.clone(),
+                        schedule: None,
+                        grants,
+                        spans,
+                        rung: AdmitRung::BestEffort,
+                        scale: 1.0,
+                    };
+                    return self.install(tenant, AdmitRung::BestEffort, 1.0, memo_hit, false, rec);
+                }
+            }
+        }
+
+        // Rung 5: reject, with the best explanation available.
+        rec.add("serve.admit.rejected", 1);
+        let entry = self.memo.get(&spec.name).expect("memoized above");
+        let mut rejection = Rejection::default();
+        if let Some(diag) = &entry.diagnosis {
+            rejection.detail = format!(
+                "tenant \"{}\" does not compile standalone at period {}",
+                spec.name, self.cfg.period
+            );
+            rejection.diagnosis = Some(diag.clone());
+            rejection.rungs_tried = 1;
+        } else {
+            rejection.detail = format!(
+                "tenant \"{}\" cannot be admitted against the current ledger",
+                spec.name
+            );
+            rejection.rungs_tried = if spec.best_effort { 4 } else { 3 };
+            if let Some(sched) = &entry.schedule {
+                rejection.saturated = self.saturation(sched, &ledger);
+            }
+        }
+        Err(AdmitError::Infeasible(rejection))
+    }
+
+    /// Admits a batch: standalone compiles for memo misses run through the
+    /// `sr-par` pool concurrently (they are pure), then the admissions
+    /// themselves run serially in request order — so the outcome is
+    /// deterministic and identical to admitting one by one.
+    pub fn admit_batch(
+        &mut self,
+        specs: &[TenantSpec],
+        rec: &dyn Recorder,
+    ) -> Vec<Result<AdmitReport, AdmitError>> {
+        rec.add("serve.batch", 1);
+        rec.add("serve.batch.tenants", specs.len() as u64);
+        // Precompile memo misses in parallel. Duplicate names within the
+        // batch are resolved by the serial pass below.
+        let mut misses: Vec<(String, TaskFlowGraph, Allocation, String)> = Vec::new();
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        for spec in specs {
+            if !seen.insert(spec.name.clone()) || self.tenants.contains_key(&spec.name) {
+                continue;
+            }
+            let Ok((tfg, alloc, fingerprint)) = self.parse_spec(spec) else {
+                continue; // the serial pass reports the error
+            };
+            let fresh = self
+                .memo
+                .get(&spec.name)
+                .is_none_or(|e| e.fingerprint != fingerprint);
+            if fresh {
+                misses.push((spec.name.clone(), tfg, alloc, fingerprint));
+            }
+        }
+        let topo = self.topo.as_ref();
+        let cfg = &self.cfg;
+        let compiled = sr_par::par_map(&misses, cfg.batch_threads, |(_, tfg, alloc, _)| {
+            let (result, diag) =
+                compile_diagnosed(topo, tfg, alloc, &cfg.timing, cfg.period, &cfg.compile, rec);
+            match result {
+                Ok(s) => (Some(s), None),
+                Err(_) => (None, Some(diag.render_text(topo, tfg))),
+            }
+        });
+        let clock = self.memo_clock;
+        for (i, (name, tfg, alloc, fingerprint)) in misses.into_iter().enumerate() {
+            let (schedule, diagnosis) = compiled[i].clone();
+            let placement = alloc.placement().to_vec();
+            self.memo.insert(
+                name,
+                MemoEntry {
+                    fingerprint,
+                    tfg,
+                    placement,
+                    schedule,
+                    diagnosis,
+                    cache: AllocBasisCache::new(),
+                    last: None,
+                    age: clock,
+                },
+            );
+        }
+        self.trim_memo();
+        specs.iter().map(|s| self.admit(s, rec)).collect()
+    }
+
+    /// Evicts a tenant, restoring the ledger to a state bit-identical to
+    /// never having admitted it (the ledger is derived from the tenant
+    /// table alone). The tenant's memos survive for cheap re-admission.
+    ///
+    /// # Errors
+    ///
+    /// The tenant name, when no such tenant is admitted.
+    pub fn evict(&mut self, name: &str, rec: &dyn Recorder) -> Result<(), String> {
+        let _span = span_with(rec, "serve.evict", || name.to_string());
+        if self.tenants.remove(name).is_none() {
+            return Err(format!("no tenant named \"{name}\""));
+        }
+        rec.add("serve.evict", 1);
+        if self.cfg.paranoid {
+            if let Err(e) = self.check_invariants() {
+                // Unreachable unless a Tenant was mutated externally;
+                // surface loudly but do not panic (protocol contract).
+                rec.add("serve.invariant_violations", 1);
+                return Err(format!("post-eviction invariant violation: {e}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies the pinning contract over the whole table: every tenant's
+    /// stored spans match its stored schedule/grants exactly, and no two
+    /// tenants' spans overlap on any link. `Err` describes the first
+    /// violation found.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // Spans must be derivable from the stored schedule — if a stored
+        // schedule had been perturbed by a later admission, this is where
+        // it would surface. (Best-effort tenants carry spans in their
+        // grants; the cross-tenant sweep below still covers them.)
+        for t in self.tenants.values() {
+            if let Some(s) = &t.schedule {
+                if spans_of_schedule(s) != t.spans {
+                    return Err(format!(
+                        "tenant \"{}\" spans diverge from its schedule",
+                        t.name
+                    ));
+                }
+            }
+        }
+        // Cross-tenant overlap freedom per link.
+        let mut per_link: BTreeMap<LinkId, Vec<(f64, f64, &str)>> = BTreeMap::new();
+        for t in self.tenants.values() {
+            for (&l, spans) in &t.spans {
+                let e = per_link.entry(l).or_default();
+                for &(s, end) in spans {
+                    e.push((s, end, t.name.as_str()));
+                }
+            }
+        }
+        for (l, spans) in per_link.iter_mut() {
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in spans.windows(2) {
+                let (_, e0, n0) = w[0];
+                let (s1, _, n1) = w[1];
+                if n0 != n1 && s1 < e0 - EPS {
+                    return Err(format!(
+                        "tenants \"{n0}\" and \"{n1}\" overlap on link {l} ({s1:.3} < {e0:.3})"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses and places a spec (no compile). Returns the TFG, the
+    /// placement, and the memo fingerprint.
+    fn parse_spec(&self, spec: &TenantSpec) -> Result<(TaskFlowGraph, Allocation, String), String> {
+        let tfg = from_text(&spec.tfg_text).map_err(|e| format!("tfg: {e}"))?;
+        let alloc = match &spec.placement {
+            Placement::Nodes(nodes) => {
+                let placement: Vec<NodeId> = nodes.iter().map(|&n| NodeId(n)).collect();
+                Allocation::new(placement, &tfg, self.topo.as_ref())
+                    .map_err(|e| format!("placement: {e}"))?
+            }
+            Placement::Strategy(s) => match s.as_str() {
+                "greedy" => sr_mapping::greedy(&tfg, self.topo.as_ref()),
+                "roundrobin" => sr_mapping::round_robin(&tfg, self.topo.as_ref()),
+                other => match other.strip_prefix("scatter:").map(str::parse::<u64>) {
+                    Some(Ok(seed)) => sr_mapping::random_distinct(&tfg, self.topo.as_ref(), seed)
+                        .map_err(|e| format!("placement: {e}"))?,
+                    _ => {
+                        return Err(format!(
+                            "unknown placement strategy \"{other}\" \
+                             (expected greedy, roundrobin, or scatter:<seed>)"
+                        ))
+                    }
+                },
+            },
+        };
+        let placement_desc: Vec<String> =
+            alloc.placement().iter().map(|n| n.0.to_string()).collect();
+        let fingerprint = format!("{}\u{0}{}", spec.tfg_text, placement_desc.join(","));
+        Ok((tfg, alloc, fingerprint))
+    }
+
+    /// Ensures the per-tenant memo holds this spec's standalone compile.
+    /// Returns whether it was already there (memo hit).
+    fn memoize(&mut self, spec: &TenantSpec, rec: &dyn Recorder) -> Result<bool, AdmitError> {
+        let (tfg, alloc, fingerprint) = self.parse_spec(spec).map_err(AdmitError::InvalidSpec)?;
+        self.memo_clock += 1;
+        if let Some(entry) = self.memo.get_mut(&spec.name) {
+            if entry.fingerprint == fingerprint {
+                entry.age = self.memo_clock;
+                return Ok(true);
+            }
+        }
+        let _span = span_with(rec, "serve.compile_standalone", || spec.name.clone());
+        let (result, diag) = compile_diagnosed(
+            self.topo.as_ref(),
+            &tfg,
+            &alloc,
+            &self.cfg.timing,
+            self.cfg.period,
+            &self.cfg.compile,
+            rec,
+        );
+        let (schedule, diagnosis) = match result {
+            Ok(s) => (Some(s), None),
+            Err(_) => (None, Some(diag.render_text(self.topo.as_ref(), &tfg))),
+        };
+        let placement = alloc.placement().to_vec();
+        self.memo.insert(
+            spec.name.clone(),
+            MemoEntry {
+                fingerprint,
+                tfg,
+                placement,
+                schedule,
+                diagnosis,
+                cache: AllocBasisCache::new(),
+                last: None,
+                age: self.memo_clock,
+            },
+        );
+        self.trim_memo();
+        Ok(false)
+    }
+
+    /// Drops least-recently-used memo entries beyond the configured
+    /// capacity. Entries of currently admitted tenants are kept.
+    fn trim_memo(&mut self) {
+        while self.memo.len() > self.cfg.memo_capacity.max(1) {
+            let victim = self
+                .memo
+                .iter()
+                .filter(|(name, _)| !self.tenants.contains_key(*name))
+                .min_by_key(|(_, e)| e.age)
+                .map(|(name, _)| name.clone());
+            match victim {
+                Some(name) => {
+                    self.memo.remove(&name);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Commits an admission: stores the tenant, verifies the pinning
+    /// contract (rolling back on violation), memoizes the result for
+    /// replay, and builds the report.
+    fn install(
+        &mut self,
+        tenant: Tenant,
+        rung: AdmitRung,
+        scale: f64,
+        memo_hit: bool,
+        replayed: bool,
+        rec: &dyn Recorder,
+    ) -> Result<AdmitReport, AdmitError> {
+        let name = tenant.name.clone();
+        let ledger_before = self.ledger();
+        let report = AdmitReport {
+            name: name.clone(),
+            rung,
+            scale,
+            memo_hit,
+            replayed,
+            messages: tenant.tfg.num_messages(),
+            links_used: tenant.spans.len(),
+        };
+        let stored = tenant.clone();
+        self.tenants.insert(name.clone(), tenant);
+        self.admit_seq += 1;
+        if self.cfg.paranoid {
+            if let Err(e) = self.check_invariants() {
+                self.tenants.remove(&name);
+                self.admit_seq -= 1;
+                rec.add("serve.invariant_violations", 1);
+                return Err(AdmitError::Internal(format!(
+                    "admission of \"{name}\" violated the pinning contract and was rolled back: {e}"
+                )));
+            }
+        }
+        if let Some(entry) = self.memo.get_mut(&name) {
+            entry.last = Some(LastResult {
+                ledger: ledger_before,
+                tenant: stored,
+                rung,
+                scale,
+            });
+        }
+        Ok(report)
+    }
+
+    /// The re-route rung: mask links whose ledger occupancy exceeds the
+    /// busy threshold, re-route the tenant around them with
+    /// `assign_paths_partial` (standalone paths as the frozen base), then
+    /// run the reserved allocation ladder on the new paths.
+    fn try_reroute(
+        &mut self,
+        sched: &Schedule,
+        ledger: &BTreeMap<LinkId, Vec<(f64, f64)>>,
+        rec: &dyn Recorder,
+    ) -> Option<(Schedule, f64)> {
+        rec.add("serve.admit.reroute_attempts", 1);
+        let period = self.cfg.period;
+        let mut faults = FaultSet::new();
+        let mut masked_any = false;
+        for (&l, spans) in ledger {
+            let busy: f64 = spans.iter().map(|&(s, e)| e - s).sum();
+            if busy / period >= self.cfg.reroute_busy_threshold {
+                faults = faults.fail_link(l);
+                masked_any = true;
+            }
+        }
+        if !masked_any {
+            return None; // nothing to route around
+        }
+        let masked = MaskedTopology::new(self.topo.as_ref(), faults);
+        let affected = linked_messages(sched);
+        // Panic-freedom precheck (protocol contract): partial assignment
+        // requires a route for every affected message.
+        for &m in &affected {
+            let p = sched.assignment().path(m);
+            if !masked.connects(p.source(), p.destination()) {
+                rec.add("serve.admit.reroute_disconnected", 1);
+                return None;
+            }
+        }
+        let outcome = assign_paths_partial(
+            &masked,
+            sched.bounds(),
+            sched.intervals(),
+            sched.activity(),
+            sched.assignment(),
+            &affected,
+            &self.cfg.compile.assign_paths,
+        );
+        rec.add("serve.assign_paths.restarts", outcome.restarts as u64);
+        if outcome.utilization.effective_peak() > 1.0 + EPS {
+            rec.add("serve.utilization_exceeded", 1);
+            return None;
+        }
+        let scales = self.cfg.feedback_scales.clone();
+        // Fresh cache: the re-routed assignment has different subsets than
+        // the standalone one the per-tenant cache was built for.
+        let mut cache = AllocBasisCache::new();
+        let mut attempts = Vec::new();
+        let rp = reallocate_pinned(
+            sched,
+            &outcome.assignment,
+            &affected,
+            &BTreeSet::new(),
+            ledger,
+            &scales,
+            &mut cache,
+            "serve",
+            rec,
+            &mut attempts,
+        )?;
+        Some((
+            sched.patched(
+                outcome.assignment.clone(),
+                rp.allocation,
+                rp.interval_schedules,
+                self.topo.as_ref(),
+            ),
+            rp.scale,
+        ))
+    }
+
+    /// The best-effort rung: one contiguous guard-separated span per
+    /// message on all links of its standalone path, earliest-fit into the
+    /// ledger's idle time, all-or-nothing.
+    fn try_best_effort(&self, sched: &Schedule, ledger: &Spans) -> Option<(Vec<Grant>, Spans)> {
+        let guard = self.cfg.compile.guard_time;
+        let period = self.cfg.period;
+        let mut busy: BTreeMap<LinkId, Vec<(f64, f64)>> = ledger.clone();
+        let mut grants = Vec::new();
+        let mut spans: BTreeMap<LinkId, Vec<(f64, f64)>> = BTreeMap::new();
+        for i in 0..sched.assignment().len() {
+            let m = MessageId(i);
+            let links = sched.assignment().links(m).to_vec();
+            let need = sched.bounds().window(m).duration();
+            if links.is_empty() {
+                grants.push(Grant {
+                    message: m,
+                    start: 0.0,
+                    end: 0.0,
+                });
+                continue;
+            }
+            let mut free = vec![(0.0, period)];
+            for &l in &links {
+                let lb = busy.entry(l).or_default();
+                free = intersect(&free, &free_within(lb, 0.0, period, guard));
+                if free.is_empty() {
+                    break;
+                }
+            }
+            let slot = free.iter().find(|&&(s, e)| e - s >= need - EPS)?;
+            let s = slot.0;
+            grants.push(Grant {
+                message: m,
+                start: s,
+                end: s + need,
+            });
+            for &l in &links {
+                busy.entry(l).or_default().push((s, s + need));
+                spans.entry(l).or_default().push((s, s + need));
+            }
+        }
+        for s in spans.values_mut() {
+            s.sort_by(|a, b| a.0.total_cmp(&b.0));
+            coalesce(s);
+        }
+        Some((grants, spans))
+    }
+
+    /// Ledger saturation on the tenant's path links, busiest first — the
+    /// rejection response's bottleneck list.
+    fn saturation(
+        &self,
+        sched: &Schedule,
+        ledger: &BTreeMap<LinkId, Vec<(f64, f64)>>,
+    ) -> Vec<(LinkId, f64)> {
+        let mut links: BTreeSet<LinkId> = BTreeSet::new();
+        for i in 0..sched.assignment().len() {
+            links.extend(sched.assignment().links(MessageId(i)).iter().copied());
+        }
+        let mut out: Vec<(LinkId, f64)> = links
+            .into_iter()
+            .map(|l| {
+                let busy: f64 = ledger
+                    .get(&l)
+                    .map(|spans| spans.iter().map(|&(s, e)| e - s).sum())
+                    .unwrap_or(0.0);
+                (l, busy)
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out.truncate(10);
+        out
+    }
+}
+
+/// The per-link occupancy of a schedule: for every segment, its span on
+/// every link of the message's path (the paper's circuit model — a slice
+/// occupies all links of the path simultaneously). Sorted and coalesced.
+pub fn spans_of_schedule(sched: &Schedule) -> BTreeMap<LinkId, Vec<(f64, f64)>> {
+    let mut out: BTreeMap<LinkId, Vec<(f64, f64)>> = BTreeMap::new();
+    for seg in sched.segments() {
+        for &l in sched.assignment().links(seg.message) {
+            out.entry(l).or_default().push((seg.start, seg.end));
+        }
+    }
+    for spans in out.values_mut() {
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        coalesce(spans);
+    }
+    out
+}
+
+/// Messages that actually traverse links (trivial/local ones carry no
+/// network traffic and take no allocation row).
+fn linked_messages(sched: &Schedule) -> Vec<MessageId> {
+    (0..sched.assignment().len())
+        .map(MessageId)
+        .filter(|&m| !sched.assignment().links(m).is_empty())
+        .collect()
+}
+
+/// Merges overlapping or abutting sorted spans in place.
+fn coalesce(spans: &mut Vec<(f64, f64)>) {
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(spans.len());
+    for &(s, e) in spans.iter() {
+        match out.last_mut() {
+            Some(last) if s <= last.1 + EPS => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    *spans = out;
+}
+
+/// Whether `spans` fit into the idle time `ledger` leaves, every span at
+/// least `guard` away from every ledger span on the same link.
+fn fits(
+    spans: &BTreeMap<LinkId, Vec<(f64, f64)>>,
+    ledger: &BTreeMap<LinkId, Vec<(f64, f64)>>,
+    guard: f64,
+) -> bool {
+    for (l, mine) in spans {
+        let Some(theirs) = ledger.get(l) else {
+            continue;
+        };
+        for &(s, e) in mine {
+            for &(bs, be) in theirs {
+                if s < be + guard - EPS && e > bs - guard + EPS {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_obs::NOOP;
+    use sr_topology::Torus;
+
+    fn engine() -> Engine {
+        let topo = Torus::new(&[4, 4]).expect("torus");
+        Engine::new(Box::new(topo), ServeConfig::default())
+    }
+
+    fn chain_spec(name: &str, nodes: &[usize]) -> TenantSpec {
+        TenantSpec {
+            name: name.to_string(),
+            tfg_text: "task a 100\ntask b 100\ntask c 100\n\
+                       msg m0 a -> b 256\nmsg m1 b -> c 256\n"
+                .to_string(),
+            placement: Placement::Nodes(nodes.to_vec()),
+            best_effort: false,
+        }
+    }
+
+    #[test]
+    fn admit_evict_roundtrip_restores_the_ledger() {
+        let mut eng = engine();
+        let empty = eng.ledger();
+        let report = eng
+            .admit(&chain_spec("t1", &[0, 1, 2]), &NOOP)
+            .expect("admits");
+        assert_eq!(report.rung, AdmitRung::Fast);
+        assert!(!eng.ledger().is_empty());
+        eng.evict("t1", &NOOP).expect("evicts");
+        assert_eq!(eng.ledger(), empty);
+        assert!(eng.tenant("t1").is_none());
+    }
+
+    #[test]
+    fn duplicate_and_unknown_are_typed() {
+        let mut eng = engine();
+        eng.admit(&chain_spec("t1", &[0, 1, 2]), &NOOP)
+            .expect("admits");
+        assert!(matches!(
+            eng.admit(&chain_spec("t1", &[0, 1, 2]), &NOOP),
+            Err(AdmitError::Duplicate(_))
+        ));
+        assert!(eng.evict("nope", &NOOP).is_err());
+    }
+
+    #[test]
+    fn invalid_spec_is_typed_not_a_panic() {
+        let mut eng = engine();
+        let mut bad = chain_spec("t", &[0, 1, 2]);
+        bad.tfg_text = "task only-nonsense".into();
+        assert!(matches!(
+            eng.admit(&bad, &NOOP),
+            Err(AdmitError::InvalidSpec(_))
+        ));
+        let mut bad2 = chain_spec("t", &[0, 1]);
+        bad2.placement = Placement::Nodes(vec![0, 1]); // wrong length
+        assert!(matches!(
+            eng.admit(&bad2, &NOOP),
+            Err(AdmitError::InvalidSpec(_))
+        ));
+        let mut bad3 = chain_spec("t", &[0, 1, 2]);
+        bad3.placement = Placement::Strategy("voodoo".into());
+        assert!(matches!(
+            eng.admit(&bad3, &NOOP),
+            Err(AdmitError::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    fn fast_path_rows_match_standalone_compile() {
+        let mut eng = engine();
+        eng.admit(&chain_spec("t1", &[0, 1, 2]), &NOOP).expect("t1");
+        eng.admit(&chain_spec("t2", &[5, 6, 7]), &NOOP).expect("t2");
+        // Each tenant's stored schedule is its standalone compile verbatim
+        // (fast path), so rows must match a fresh engine's single admit.
+        let mut fresh = engine();
+        fresh
+            .admit(&chain_spec("t2", &[5, 6, 7]), &NOOP)
+            .expect("standalone");
+        let served = eng.tenant("t2").unwrap().schedule.as_ref().unwrap().clone();
+        let standalone = fresh
+            .tenant("t2")
+            .unwrap()
+            .schedule
+            .as_ref()
+            .unwrap()
+            .clone();
+        assert_eq!(served.segments(), standalone.segments());
+        for i in 0..served.assignment().len() {
+            let m = MessageId(i);
+            assert_eq!(served.allocation().row(m), standalone.allocation().row(m));
+        }
+    }
+
+    #[test]
+    fn evict_then_readmit_replays_exactly() {
+        let mut eng = engine();
+        eng.admit(&chain_spec("t1", &[0, 1, 2]), &NOOP).expect("t1");
+        eng.admit(&chain_spec("t2", &[5, 6, 7]), &NOOP).expect("t2");
+        let before = eng.tenant("t2").unwrap().clone();
+        eng.evict("t2", &NOOP).expect("evict");
+        let rec = sr_obs::MetricsRecorder::new();
+        let report = eng
+            .admit(&chain_spec("t2", &[5, 6, 7]), &rec)
+            .expect("readmit");
+        assert!(report.replayed);
+        assert_eq!(rec.counters()["serve.admit.replayed"], 1);
+        let after = eng.tenant("t2").unwrap();
+        assert_eq!(before.spans, after.spans);
+        assert_eq!(
+            before.schedule.as_ref().unwrap().segments(),
+            after.schedule.as_ref().unwrap().segments()
+        );
+    }
+
+    #[test]
+    fn batch_matches_serial_admission() {
+        let specs = vec![
+            chain_spec("a", &[0, 1, 2]),
+            chain_spec("b", &[4, 5, 6]),
+            chain_spec("c", &[8, 9, 10]),
+        ];
+        let mut batch = engine();
+        let cfg = ServeConfig {
+            batch_threads: 4,
+            ..ServeConfig::default()
+        };
+        let topo = Torus::new(&[4, 4]).expect("torus");
+        let mut batch_par = Engine::new(Box::new(topo), cfg);
+        let results = batch_par.admit_batch(&specs, &NOOP);
+        assert!(results.iter().all(Result::is_ok));
+        for spec in &specs {
+            batch.admit(spec, &NOOP).expect("serial admits");
+        }
+        for spec in &specs {
+            let a = batch.tenant(&spec.name).unwrap();
+            let b = batch_par.tenant(&spec.name).unwrap();
+            assert_eq!(a.spans, b.spans, "batch direction changed {}", spec.name);
+            assert_eq!(
+                a.schedule.as_ref().unwrap().segments(),
+                b.schedule.as_ref().unwrap().segments()
+            );
+        }
+    }
+
+    #[test]
+    fn contended_link_forces_a_non_fast_rung_and_pins_the_rest() {
+        // Two tenants with identical placement share every path link; the
+        // second cannot take the fast path yet must not perturb the first.
+        let mut eng = engine();
+        eng.admit(&chain_spec("t1", &[0, 1, 2]), &NOOP).expect("t1");
+        let t1_before = eng.tenant("t1").unwrap().clone();
+        let second = eng
+            .admit(&chain_spec("t2", &[0, 1, 2]), &NOOP)
+            .expect("t2 admits");
+        assert_ne!(second.rung, AdmitRung::Fast);
+        let t1_after = eng.tenant("t1").unwrap();
+        assert_eq!(t1_before.spans, t1_after.spans);
+        assert_eq!(
+            t1_before.schedule.as_ref().unwrap().segments(),
+            t1_after.schedule.as_ref().unwrap().segments()
+        );
+        eng.check_invariants().expect("clean ledger");
+    }
+}

@@ -1,0 +1,112 @@
+//! The serve protocol's structured error taxonomy.
+//!
+//! Every failure reachable from socket input maps to one of these kinds
+//! and is rendered as a typed JSON error response — the daemon never
+//! panics on request bytes (satellite contract; `handle_frame`
+//! additionally wraps request handling in `catch_unwind` as a last-resort
+//! backstop, surfacing any latent bug as [`ErrorKind::Internal`]).
+
+use sr_obs::escape_json;
+
+/// The protocol error taxonomy. Stable lowercase labels are part of the
+/// wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The frame payload is not valid JSON, or not a valid request shape.
+    Malformed,
+    /// The frame length prefix exceeds the daemon's frame cap.
+    Oversized,
+    /// The named tenant is not admitted.
+    UnknownTenant,
+    /// A tenant with this name is already admitted.
+    DuplicateTenant,
+    /// The tenant spec (TFG text, placement, names) is invalid.
+    InvalidSpec,
+    /// The admission ladder was exhausted: the tenant cannot be admitted
+    /// against the current ledger (the response carries a diagnosis).
+    Infeasible,
+    /// A bug surfaced while handling the request (caught panic).
+    Internal,
+}
+
+impl ErrorKind {
+    /// The stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorKind::Malformed => "malformed",
+            ErrorKind::Oversized => "oversized",
+            ErrorKind::UnknownTenant => "unknown_tenant",
+            ErrorKind::DuplicateTenant => "duplicate_tenant",
+            ErrorKind::InvalidSpec => "invalid_spec",
+            ErrorKind::Infeasible => "infeasible",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// The `serve.errors.<label>` counter name for this kind.
+    pub fn counter(self) -> String {
+        format!("serve.errors.{}", self.label())
+    }
+}
+
+/// A typed protocol error: kind, human-readable detail, and optional
+/// extra JSON members (e.g. an admission diagnosis) spliced into the
+/// error object verbatim.
+#[derive(Debug, Clone)]
+pub struct ServeError {
+    /// Which taxonomy bucket.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub detail: String,
+    /// Pre-rendered JSON members appended to the error object, each a
+    /// `"key":value` fragment (no leading comma).
+    pub extra: Vec<String>,
+}
+
+impl ServeError {
+    /// A plain error with no extra members.
+    pub fn new(kind: ErrorKind, detail: impl Into<String>) -> Self {
+        ServeError {
+            kind,
+            detail: detail.into(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Renders the full error response document.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{{\"ok\":false,\"error\":{{\"kind\":\"{}\",\"detail\":\"{}\"",
+            self.kind.label(),
+            escape_json(&self.detail)
+        );
+        for member in &self.extra {
+            out.push(',');
+            out.push_str(member);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_typed_error() {
+        let e = ServeError::new(ErrorKind::UnknownTenant, "no tenant \"x\"");
+        assert_eq!(
+            e.render(),
+            "{\"ok\":false,\"error\":{\"kind\":\"unknown_tenant\",\"detail\":\"no tenant \\\"x\\\"\"}}"
+        );
+        assert_eq!(ErrorKind::Oversized.counter(), "serve.errors.oversized");
+    }
+
+    #[test]
+    fn extra_members_splice_into_the_error_object() {
+        let mut e = ServeError::new(ErrorKind::Infeasible, "d");
+        e.extra.push("\"rungs\":3".to_string());
+        assert!(e.render().contains("\"detail\":\"d\",\"rungs\":3}"));
+    }
+}

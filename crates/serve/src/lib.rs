@@ -1,0 +1,47 @@
+//! `sr-serve` — the resident scheduler daemon: multi-tenant **online
+//! admission** on top of the paper's compile pipeline.
+//!
+//! The batch pipeline (`sr-core`) answers "can this TFG be pipelined at
+//! period τ?" once, offline. This crate keeps a compiled fabric *resident*
+//! and answers the online question: "a new application just arrived — can
+//! it be admitted **without perturbing anything already running**?" It
+//! generalizes the fault-repair machinery (PR 4) from "links disappeared"
+//! to "messages arrived/departed": admission re-runs path assignment and
+//! interval allocation for the new tenant's messages only, with every
+//! admitted tenant's link-time spans folded in as reserved capacity, so
+//! admitted schedules stay pinned bit-identically — verified after every
+//! mutation, not assumed.
+//!
+//! The crate splits into:
+//!
+//! * [`engine`] — [`Engine`]: the tenant table, the occupancy ledger, the
+//!   degradation ladder (fast → adapted → rerouted → best-effort →
+//!   reject), and the determinism memos;
+//! * [`json`] — a total, non-panicking JSON parser for request bytes;
+//! * [`error`] — the typed protocol error taxonomy ([`ErrorKind`]);
+//! * [`protocol`] — request parsing and deterministic response rendering;
+//! * [`daemon`] — [`Daemon`]: length-prefixed framing over stdio or a
+//!   Unix socket, plus `CounterSnapshot`-delta Prometheus scrapes.
+//!
+//! Everything is std-only and deterministic: identical request sequences
+//! produce byte-identical response sequences (timestamps never enter the
+//! wire format), which is what makes golden-transcript testing and the
+//! `serve` metrics gate possible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod engine;
+pub mod error;
+pub mod json;
+pub mod protocol;
+
+pub use daemon::{read_frame, write_frame, Daemon, FrameRead, MAX_FRAME};
+pub use engine::{
+    spans_of_schedule, AdmitError, AdmitReport, AdmitRung, Engine, Grant, Placement, Rejection,
+    ServeConfig, Tenant, TenantSpec,
+};
+pub use error::{ErrorKind, ServeError};
+pub use json::{parse, Json, JsonError};
+pub use protocol::{parse_request, Request};

@@ -16,6 +16,7 @@
 //! | [`sync`] | `sr-sync` | CP clock-drift models, sync-protocol simulation, guard-time sizing |
 //! | [`core`] | `sr-core` | the scheduled-routing compiler and verifier |
 //! | [`fault`] | `sr-fault` | fault injection, damage analysis, incremental schedule repair, fault sweeps |
+//! | [`serve`] | `sr-serve` | resident scheduler daemon: multi-tenant online admission over a framed JSON protocol |
 //! | [`obs`] | `sr-obs` | spans, counters, metrics tables, Chrome-trace export for the compile pipeline |
 //!
 //! # The 30-second tour
@@ -52,6 +53,7 @@ pub use sr_fault as fault;
 pub use sr_lp as lp;
 pub use sr_mapping as mapping;
 pub use sr_obs as obs;
+pub use sr_serve as serve;
 pub use sr_sync as sync;
 pub use sr_tfg as tfg;
 pub use sr_topology as topology;
