@@ -1,0 +1,132 @@
+//! Microbenchmark of the min-cost-flow allocation kernels.
+//!
+//! The instance is the real allocation stage of the tiled-DVB scaling
+//! workload: dimension-order paths on the N×N torus, LongestTask windows
+//! at load 0.5, and the compile pipeline's own related-subset
+//! decomposition. Two kernels solve the identical subset networks:
+//!
+//! * `alloc_flow/dijkstra/N` — the production kernel: binary-heap
+//!   Dijkstra over reduced costs with node potentials, potentials
+//!   updated (not recomputed) after each augmentation.
+//! * `alloc_flow/bellman_ford/N` — the differential oracle kept behind
+//!   `FlowKernel::BellmanFordOracle`: the pre-rewrite O(V·E)
+//!   per-augmentation kernel.
+//!
+//! Both produce bit-identical allocations (asserted here, not just in
+//! the proptest), so the ratio is pure kernel speed. A third group pins
+//! the workspace-reuse effect the compile search and serve admission
+//! ladders rely on: `workspace_cold` constructs a fresh
+//! [`FlowWorkspace`] per solve, `workspace_warm` reuses one across
+//! solves, the `AllocBasisCache` pattern.
+//!
+//! Run with `CRITERION_JSON=BENCH_alloc_flow.json cargo bench --bench
+//! alloc_flow` to capture machine-readable numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sr::core::{
+    allocate_intervals_flow_with_kernel, related_subsets, ActivityMatrix, AllocationStats,
+    FlowAllocStats, FlowKernel, FlowWorkspace, Intervals, PathAssignment,
+};
+use sr::tfg::{assign_time_bounds, MessageId, TimeBounds, WindowPolicy};
+use sr_bench::{scale_workload, ALLOC_SEED};
+use std::hint::black_box;
+
+/// Torus extents swept by the benchmark (1024, 4096, 16384 nodes).
+const EXTENTS: &[usize] = &[32, 64, 128];
+
+struct Instance {
+    pa: PathAssignment,
+    bounds: TimeBounds,
+    intervals: Intervals,
+    activity: ActivityMatrix,
+    subsets: Vec<Vec<MessageId>>,
+}
+
+fn instance(n: usize) -> Instance {
+    let (platform, tfg, alloc, timing) = scale_workload(n, 256.0, ALLOC_SEED);
+    let topo = platform.topo.as_ref();
+    let period = timing.longest_task(&tfg) / 0.5;
+    let bounds = assign_time_bounds(&tfg, &timing, period, WindowPolicy::LongestTask)
+        .expect("scale windows fit");
+    let intervals = Intervals::from_bounds(&bounds);
+    let activity = ActivityMatrix::new(&bounds, &intervals);
+    let pa = PathAssignment::lsd_to_msd(&tfg, topo, &alloc);
+    let subsets = related_subsets(&pa, &activity);
+    Instance {
+        pa,
+        bounds,
+        intervals,
+        activity,
+        subsets,
+    }
+}
+
+fn solve(inst: &Instance, kernel: FlowKernel, ws: &mut FlowWorkspace) -> Vec<u64> {
+    let mut stats = FlowAllocStats::default();
+    let mut lp = AllocationStats::default();
+    let alloc = allocate_intervals_flow_with_kernel(
+        &inst.pa,
+        &inst.bounds,
+        &inst.activity,
+        &inst.intervals,
+        &inst.subsets,
+        1.0,
+        kernel,
+        ws,
+        &mut stats,
+        &mut lp,
+    )
+    .expect("scale allocation is feasible");
+    assert_eq!(stats.fallbacks, 0, "kernel bench must not hit the LP");
+    // Cheap digest for the cross-kernel identity assertion.
+    let mut bits = Vec::with_capacity(inst.pa.len() * inst.intervals.len());
+    for m in 0..inst.pa.len() {
+        for k in 0..inst.intervals.len() {
+            bits.push(alloc.allocated(MessageId(m), k).to_bits());
+        }
+    }
+    bits
+}
+
+fn bench_alloc_flow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alloc_flow");
+    g.sample_size(10);
+    for &n in EXTENTS {
+        let inst = instance(n);
+        let mut ws = FlowWorkspace::new();
+        // The two kernels must agree bit for bit on what they are timed on.
+        assert_eq!(
+            solve(&inst, FlowKernel::SspDijkstra, &mut ws),
+            solve(&inst, FlowKernel::BellmanFordOracle, &mut ws),
+            "kernels diverged at {n}x{n}"
+        );
+        g.bench_with_input(BenchmarkId::new("dijkstra", n), &n, |b, _| {
+            b.iter(|| black_box(solve(&inst, FlowKernel::SspDijkstra, &mut ws)))
+        });
+        g.bench_with_input(BenchmarkId::new("bellman_ford", n), &n, |b, _| {
+            b.iter(|| black_box(solve(&inst, FlowKernel::BellmanFordOracle, &mut ws)))
+        });
+    }
+    g.finish();
+
+    // Workspace reuse at the 4096-node point: cold constructs per solve
+    // (what a naive caller would do), warm reuses one workspace across
+    // solves (what the compile ladder, repair, and serve admission do).
+    let mut g = c.benchmark_group("alloc_flow_workspace");
+    g.sample_size(10);
+    let inst = instance(64);
+    g.bench_function("cold_64", |b| {
+        b.iter(|| {
+            let mut ws = FlowWorkspace::new();
+            black_box(solve(&inst, FlowKernel::SspDijkstra, &mut ws))
+        })
+    });
+    let mut ws = FlowWorkspace::new();
+    g.bench_function("warm_64", |b| {
+        b.iter(|| black_box(solve(&inst, FlowKernel::SspDijkstra, &mut ws)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_alloc_flow);
+criterion_main!(benches);

@@ -359,7 +359,7 @@ fn sync_ablation() {
 /// wall-clock budget. Returns false when the gate fails.
 fn scale_sweep(args: &Args) -> bool {
     let extents = if args.scale_extents.is_empty() {
-        vec![8, 32, 64] // the 64 → 1024 → 4096-node trajectory
+        vec![8, 32, 64, 128] // the 64 → 1024 → 4096 → 16384-node trajectory
     } else {
         args.scale_extents.clone()
     };

@@ -154,19 +154,27 @@ fn build_document_torus4x4() -> String {
 
 /// Builds the metrics document for the 16×16 scaling-fabric point: the
 /// `scale_workload` farm at load 0.5, compiled serially flat and with the
-/// 4-band row partition. No simulator section — at 256 nodes the gate's
-/// job is the compile pipeline's counter values, and the scale smoke run
-/// already exercises the same point for wall-clock figures.
+/// 4-band row partition (simplex), plus the same partitioned point under
+/// the min-cost-flow engine so the Dijkstra kernel's work counts
+/// (`alloc_flow.dijkstra_pops`, `alloc_flow.potential_reuse_hits`, …) are
+/// pinned at scale. No simulator section — at 256 nodes the gate's job is
+/// the compile pipeline's counter values, and the scale smoke run already
+/// exercises the same point for wall-clock figures.
 fn build_document_scale16() -> String {
     let (platform, tfg, alloc, timing) = scale_workload(16, 256.0, 7);
     let topo = platform.topo.as_ref();
     let period = timing.longest_task(&tfg) / SCALE_LOAD;
 
     let mut doc = String::from("{\n\"workload\": \"scale16_dvb\",\n");
-    for (section, partition) in [("flat", 0usize), ("partitioned", scale_bands(16))] {
+    for (section, partition, alloc_engine) in [
+        ("flat", 0usize, AllocEngine::Simplex),
+        ("partitioned", scale_bands(16), AllocEngine::Simplex),
+        ("flow", scale_bands(16), AllocEngine::Flow),
+    ] {
         let config = CompileConfig {
             parallelism: 1,
             partition,
+            alloc_engine,
             ..CompileConfig::default()
         };
         let rec = MetricsRecorder::new();

@@ -1,0 +1,56 @@
+//! Worker-count invariance at scale: the partitioned 32×32 compile with
+//! the flow allocation engine is bit-identical at `--parallelism 4` and
+//! `--parallelism 1`.
+//!
+//! The potential-reusing Dijkstra kernel breaks ties on node id and the
+//! feedback search replays counters serially, so nothing about the output
+//! may depend on worker scheduling. CI runs this on a 4-thread runner.
+
+use sr::prelude::*;
+use sr_bench::{scale_bands, scale_workload, ALLOC_SEED};
+
+#[test]
+fn partitioned_32x32_flow_is_parallelism_invariant() {
+    let (platform, tfg, alloc, timing) = scale_workload(32, 256.0, ALLOC_SEED);
+    let topo = platform.topo.as_ref();
+    let base = CompileConfig {
+        alloc_engine: AllocEngine::Flow,
+        partition: scale_bands(32),
+        parallelism: 1,
+        ..CompileConfig::default()
+    };
+    let wide = CompileConfig {
+        parallelism: 4,
+        ..base.clone()
+    };
+    let period = timing.longest_task(&tfg) / 0.5;
+
+    let a = compile(topo, &tfg, &alloc, &timing, period, &base).expect("serial compile");
+    let b = compile(topo, &tfg, &alloc, &timing, period, &wide).expect("4-thread compile");
+
+    assert_eq!(
+        a.capacity_scale().to_bits(),
+        b.capacity_scale().to_bits(),
+        "capacity-ladder rung drifted with worker count"
+    );
+    assert_eq!(
+        a.peak_utilization().to_bits(),
+        b.peak_utilization().to_bits(),
+        "peak utilization drifted with worker count"
+    );
+    for i in 0..tfg.num_messages() {
+        let m = sr::tfg::MessageId(i);
+        assert_eq!(
+            a.assignment().path(m).nodes(),
+            b.assignment().path(m).nodes(),
+            "message {i} routed differently under 4 workers"
+        );
+    }
+    assert_eq!(a.segments().len(), b.segments().len());
+    for (sa, sb) in a.segments().iter().zip(b.segments()) {
+        assert_eq!(sa.message, sb.message);
+        assert_eq!(sa.start.to_bits(), sb.start.to_bits());
+        assert_eq!(sa.end.to_bits(), sb.end.to_bits());
+    }
+    verify(&a, topo, &tfg).expect("schedule verifies");
+}

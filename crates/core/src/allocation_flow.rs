@@ -16,18 +16,57 @@
 //!   every other arc costs zero, so the min-cost solution is a
 //!   deterministic early-packed split.
 //!
-//! Exactness contract. Any LP-feasible allocation routes along its own
-//! chains, so the network always admits a full-value flow when the LP is
-//! feasible — a max flow short of total demand is therefore an **exact**
-//! infeasibility verdict. The converse direction is a relaxation: at a
-//! shared capacity node, flow conservation lets flow *jump* from one
-//! message's chain to another's, so a full-value flow can imply an
-//! extracted split that oversubscribes a link the jump bypassed. The
-//! extracted matrix is therefore re-checked against constraint (4)
-//! exactly; the rare subset that fails the check falls back to the
-//! simplex oracle (counted in [`FlowAllocStats::fallbacks`]). Chains of
-//! length one — the dominant conflict pattern — cannot jump and never
-//! fall back.
+//! # Kernel
+//!
+//! The augmenting search is successive shortest paths with **node
+//! potentials**: a binary-heap Dijkstra over Johnson-reduced costs,
+//! potentials initialized to zero once per subset network (every initial
+//! residual cost is a non-negative interval index, so zero potentials are
+//! valid — no warm-up Bellman–Ford) and *updated* after each augmentation
+//! (`π[v] += min(dist[v], dist[t])`, which keeps every residual reduced
+//! cost non-negative) instead of recomputed. The heap key is
+//! `(distance bits, node id)`, so tie-breaking is deterministic and the
+//! work counters are bit-stable at any `--parallelism`. All arc costs are
+//! small integers, so distances, potentials, and reduced costs are
+//! exactly-representable f64 integers — shortest-path identities below
+//! hold under *exact* float equality, with no epsilon.
+//!
+//! The classical kernel — one full Bellman–Ford relaxation per
+//! augmentation — is kept as [`FlowKernel::BellmanFordOracle`], the
+//! differential oracle (exactly like dense-vs-sparse simplex). Both
+//! kernels compute exact shortest distances and then feed one shared
+//! **canonical predecessor extraction**: a BFS from the source over
+//! *tight* residual arcs (`dist[u] + cost == dist[v]`, exact equality),
+//! first visit in adjacency order wins. Tightness in reduced costs is
+//! algebraically identical to tightness in raw costs, so both kernels
+//! select the same augmenting path, push the same bottleneck, and leave
+//! bit-identical residual networks — the extracted allocations are
+//! bit-identical, not merely equal in objective (proptested in
+//! `tests/proptests.rs`).
+//!
+//! Scratch memory (arc pool, adjacency, distance/potential arrays, heap)
+//! lives in a [`FlowWorkspace`] reused across the per-subset solves of one
+//! compile and across `repair()`/`sr-serve` admission ladders, mirroring
+//! `AllocBasisCache` on the simplex side. The workspace carries no
+//! semantic state between solves, so reuse is allocation-only and cannot
+//! perturb results.
+//!
+//! # Exactness contract
+//!
+//! Any LP-feasible allocation routes along its own chains, so the network
+//! always admits a full-value flow when the LP is feasible — a max flow
+//! short of total demand is therefore an **exact** infeasibility verdict.
+//! The converse direction is a relaxation: at a shared capacity node,
+//! flow conservation lets flow *jump* from one message's chain to
+//! another's, so a full-value flow can imply an extracted split that
+//! oversubscribes a link the jump bypassed. The extracted matrix is
+//! therefore re-checked against constraint (4) exactly; the rare subset
+//! that fails the check falls back to the simplex oracle (counted in
+//! [`FlowAllocStats::fallbacks`]). Chains of length one — the dominant
+//! conflict pattern — cannot jump and never fall back.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use sr_tfg::{MessageId, TimeBounds};
 use sr_topology::LinkId;
@@ -39,9 +78,22 @@ use crate::{ActivityMatrix, CompileError, IntervalAllocation, Intervals, PathAss
 /// schedule-level [`EPS`].
 const FLOW_EPS: f64 = 1e-9;
 
+/// Which augmenting-search kernel drives the min-cost-flow solves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FlowKernel {
+    /// Dijkstra over reduced costs with carried node potentials — the
+    /// production kernel.
+    #[default]
+    SspDijkstra,
+    /// Full Bellman–Ford relaxation per augmentation — the differential
+    /// oracle. Bit-identical allocations to [`FlowKernel::SspDijkstra`]
+    /// (shared canonical predecessor extraction), O(V·E) per augmentation.
+    BellmanFordOracle,
+}
+
 /// Work counters for one flow-allocation pass, deterministic for fixed
-/// inputs (the network build order and the augmenting search are both
-/// input-ordered).
+/// inputs (the network build order, the heap tie-break, and the canonical
+/// predecessor extraction are all input-ordered).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FlowAllocStats {
     /// Subset networks solved.
@@ -52,80 +104,79 @@ pub struct FlowAllocStats {
     pub arcs: u64,
     /// Shortest-path augmentations performed.
     pub augmentations: u64,
+    /// Binary-heap pops across all Dijkstra runs (stale lazy-deletion
+    /// entries included). Zero under [`FlowKernel::BellmanFordOracle`].
+    pub dijkstra_pops: u64,
+    /// Dijkstra runs that reused potentials carried from a previous
+    /// augmentation of the same subset network instead of recomputing
+    /// them from scratch — every augmentation after a solve's first.
+    /// Zero under [`FlowKernel::BellmanFordOracle`].
+    pub potential_reuse_hits: u64,
     /// Subsets whose extracted split violated constraint (4) (chain
     /// jumping) and were re-solved by the simplex oracle.
     pub fallbacks: u64,
 }
 
-/// Solves the message–interval allocation with the flow backend: same
-/// inputs, same feasibility verdict, and the same constraint guarantees as
-/// [`crate::allocate_intervals`], but each subset is solved as a
-/// min-cost-flow network instead of an LP (falling back to the simplex for
-/// the rare subset where the relaxation is loose — see the module docs).
-///
-/// `lp_stats` accumulates the work of any fallback solves so the compile
-/// pipeline's `alloc_lp.*` counters stay meaningful under this engine.
-///
-/// # Errors
-///
-/// [`CompileError::AllocationInfeasible`] when a subset has no feasible
-/// split (the flow verdict is exact); [`CompileError::Lp`] on fallback
-/// solver trouble.
-#[allow(clippy::too_many_arguments)]
-pub fn allocate_intervals_flow(
-    assignment: &PathAssignment,
-    bounds: &TimeBounds,
-    activity: &ActivityMatrix,
-    intervals: &Intervals,
-    subsets: &[Vec<MessageId>],
-    capacity_scale: f64,
-    stats: &mut FlowAllocStats,
-    lp_stats: &mut AllocationStats,
-) -> Result<IntervalAllocation, CompileError> {
-    let mut p = vec![vec![0.0; intervals.len()]; assignment.len()];
-    for subset in subsets {
-        solve_subset_flow(
-            assignment,
-            bounds,
-            activity,
-            intervals,
-            subset,
-            capacity_scale,
-            &mut p,
-            stats,
-            lp_stats,
-        )?;
-    }
-    Ok(IntervalAllocation::from_matrix(p))
-}
-
 /// One forward arc of the residual network; its reverse twin sits at
 /// `index ^ 1`.
+#[derive(Debug)]
 struct Arc {
     to: usize,
     cap: f64,
     cost: f64,
 }
 
-/// A tiny min-cost-flow network solved by successive shortest paths
-/// (Bellman–Ford per augmentation — subset networks are small and may
-/// carry negative residual costs).
-struct FlowNet {
+/// Reusable scratch for the min-cost-flow kernel: the arc pool, adjacency
+/// lists, distance/potential/predecessor arrays, the Dijkstra heap, and
+/// the extraction queue. Create one per compile ladder (or hold one per
+/// tenant/repair session) and pass it to every flow allocation — buffers
+/// are recycled across subset solves, so steady-state solves allocate
+/// nothing. The workspace carries no semantic state between solves
+/// (potentials are re-initialized per subset network); reuse is purely an
+/// allocation cache and cannot change any result bit.
+#[derive(Debug, Default)]
+pub struct FlowWorkspace {
     arcs: Vec<Arc>,
+    /// Adjacency lists; only the first `nodes` entries are live. Entries
+    /// beyond the live prefix are empty (cleared on reset), so growing
+    /// into them is safe.
     adj: Vec<Vec<usize>>,
+    nodes: usize,
+    dist: Vec<f64>,
+    pot: Vec<f64>,
+    prev: Vec<usize>,
+    seen: Vec<bool>,
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    queue: VecDeque<usize>,
 }
 
-impl FlowNet {
-    fn new(nodes: usize) -> Self {
-        FlowNet {
-            arcs: Vec::new(),
-            adj: vec![Vec::new(); nodes],
+impl FlowWorkspace {
+    /// An empty workspace; buffers grow to the largest subset network
+    /// solved through it and are then reused.
+    pub fn new() -> Self {
+        FlowWorkspace::default()
+    }
+
+    /// Clears the network back to `nodes` isolated nodes, keeping every
+    /// buffer's capacity.
+    fn reset_net(&mut self, nodes: usize) {
+        self.arcs.clear();
+        for a in &mut self.adj[..self.nodes] {
+            a.clear();
         }
+        if self.adj.len() < nodes {
+            self.adj.resize_with(nodes, Vec::new);
+        }
+        self.nodes = nodes;
     }
 
     fn add_node(&mut self) -> usize {
-        self.adj.push(Vec::new());
-        self.adj.len() - 1
+        let id = self.nodes;
+        if self.adj.len() == id {
+            self.adj.push(Vec::new());
+        }
+        self.nodes = id + 1;
+        id
     }
 
     fn add_arc(&mut self, from: usize, to: usize, cap: f64, cost: f64) -> usize {
@@ -141,87 +192,425 @@ impl FlowNet {
         i
     }
 
+    /// Flow carried by forward arc `ai` (its reverse twin's residual).
+    fn flow(&self, ai: usize) -> f64 {
+        self.arcs[ai ^ 1].cap
+    }
+
     /// Successive-shortest-paths max flow from `s` to `t`; returns the
-    /// value pushed. Deterministic: Bellman–Ford relaxes arcs in build
-    /// order with strict improvement, so path selection is input-ordered.
-    fn max_flow_min_cost(&mut self, s: usize, t: usize, stats: &mut FlowAllocStats) -> f64 {
-        let n = self.adj.len();
+    /// value pushed. Both kernels compute exact distances and share the
+    /// canonical predecessor extraction, so the augmentation sequence —
+    /// and the final residual network — is kernel-independent.
+    fn max_flow_min_cost(
+        &mut self,
+        s: usize,
+        t: usize,
+        kernel: FlowKernel,
+        stats: &mut FlowAllocStats,
+    ) -> f64 {
+        let n = self.nodes;
+        if self.dist.len() < n {
+            self.dist.resize(n, 0.0);
+            self.pot.resize(n, 0.0);
+            self.prev.resize(n, usize::MAX);
+            self.seen.resize(n, false);
+        }
+        // Potentials are initialized once per subset network: every
+        // initial residual cost is a non-negative interval index, so zero
+        // potentials are already valid (no warm-up Bellman–Ford needed).
+        self.pot[..n].fill(0.0);
         let mut pushed = 0.0f64;
+        let mut first = true;
         loop {
-            let mut dist = vec![f64::INFINITY; n];
-            let mut prev: Vec<Option<usize>> = vec![None; n];
-            dist[s] = 0.0;
-            for _ in 0..n {
-                let mut improved = false;
-                for u in 0..n {
-                    if dist[u].is_infinite() {
-                        continue;
+            match kernel {
+                FlowKernel::SspDijkstra => {
+                    if !first {
+                        stats.potential_reuse_hits += 1;
                     }
-                    for &ai in &self.adj[u] {
-                        let a = &self.arcs[ai];
-                        if a.cap > FLOW_EPS && dist[u] + a.cost < dist[a.to] - FLOW_EPS {
-                            dist[a.to] = dist[u] + a.cost;
-                            prev[a.to] = Some(ai);
-                            improved = true;
-                        }
-                    }
+                    self.dijkstra(s, stats);
                 }
-                if !improved {
-                    break;
-                }
+                FlowKernel::BellmanFordOracle => self.bellman_ford(s),
             }
-            if prev[t].is_none() {
+            first = false;
+            if self.dist[t].is_infinite() {
                 return pushed;
             }
-            // Bottleneck along the path, then augment.
+            self.extract_predecessors(s, t, kernel);
+
+            // Bottleneck along the canonical path, then augment.
             let mut bottleneck = f64::INFINITY;
             let mut v = t;
-            while let Some(ai) = prev[v] {
+            while v != s {
+                let ai = self.prev[v];
                 bottleneck = bottleneck.min(self.arcs[ai].cap);
                 v = self.arcs[ai ^ 1].to;
             }
             let mut v = t;
-            while let Some(ai) = prev[v] {
+            while v != s {
+                let ai = self.prev[v];
                 self.arcs[ai].cap -= bottleneck;
                 self.arcs[ai ^ 1].cap += bottleneck;
                 v = self.arcs[ai ^ 1].to;
+            }
+
+            if kernel == FlowKernel::SspDijkstra {
+                // π[v] += min(dist[v], dist[t]) keeps every residual arc's
+                // reduced cost non-negative: unreachable tails shift by
+                // the full dist[t] (their residual arcs can only point at
+                // nodes shifted by at most that much), and reachable
+                // pairs inherit the triangle inequality. Augmenting-path
+                // arcs land at reduced cost exactly zero, so their new
+                // reverse twins are valid too.
+                let dt = self.dist[t];
+                for v in 0..n {
+                    let dv = self.dist[v];
+                    self.pot[v] += if dv < dt { dv } else { dt };
+                }
             }
             stats.augmentations += 1;
             pushed += bottleneck;
         }
     }
 
-    /// Flow carried by forward arc `ai` (its reverse twin's residual).
-    fn flow(&self, ai: usize) -> f64 {
-        self.arcs[ai ^ 1].cap
+    /// Binary-heap Dijkstra over reduced costs. Runs to heap exhaustion
+    /// (no early exit at `t`): every reachable node's distance must be
+    /// exact for the canonical tight-arc extraction to match the oracle's.
+    /// The heap key is `(distance bits, node id)` — for non-negative
+    /// floats the bit pattern orders like the value, and the id breaks
+    /// ties deterministically.
+    fn dijkstra(&mut self, s: usize, stats: &mut FlowAllocStats) {
+        let FlowWorkspace {
+            arcs,
+            adj,
+            nodes,
+            dist,
+            pot,
+            heap,
+            ..
+        } = self;
+        let n = *nodes;
+        dist[..n].fill(f64::INFINITY);
+        dist[s] = 0.0;
+        heap.clear();
+        heap.push(Reverse((0.0f64.to_bits(), s)));
+        while let Some(Reverse((bits, u))) = heap.pop() {
+            stats.dijkstra_pops += 1;
+            let d = f64::from_bits(bits);
+            if d > dist[u] {
+                continue; // stale lazy-deletion entry
+            }
+            for &ai in &adj[u] {
+                let a = &arcs[ai];
+                if a.cap <= FLOW_EPS {
+                    continue;
+                }
+                let rc = a.cost + pot[u] - pot[a.to];
+                debug_assert!(rc >= 0.0, "negative reduced cost {rc} on arc {ai}");
+                let nd = d + rc;
+                if nd < dist[a.to] {
+                    dist[a.to] = nd;
+                    heap.push(Reverse((nd.to_bits(), a.to)));
+                }
+            }
+        }
+    }
+
+    /// The oracle kernel's distance pass: Bellman–Ford over raw residual
+    /// costs, relaxing arcs in build order until a fixed point. Costs are
+    /// exact integers, so strict improvement needs no epsilon and the
+    /// fixed point is the exact distance vector.
+    fn bellman_ford(&mut self, s: usize) {
+        let FlowWorkspace {
+            arcs,
+            adj,
+            nodes,
+            dist,
+            ..
+        } = self;
+        let n = *nodes;
+        dist[..n].fill(f64::INFINITY);
+        dist[s] = 0.0;
+        for _ in 0..n {
+            let mut improved = false;
+            for u in 0..n {
+                if dist[u].is_infinite() {
+                    continue;
+                }
+                for &ai in &adj[u] {
+                    let a = &arcs[ai];
+                    if a.cap > FLOW_EPS && dist[u] + a.cost < dist[a.to] {
+                        dist[a.to] = dist[u] + a.cost;
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+
+    /// Canonical predecessor extraction, shared by both kernels: BFS from
+    /// `s` over *tight* residual arcs (`dist[u] + cost == dist[v]`, exact
+    /// float equality on exactly-representable integers), first visit in
+    /// adjacency order wins. Raw-cost tightness and reduced-cost
+    /// tightness pick out the same arc set (the potential terms cancel
+    /// along any comparison of true distances), so the BFS tree — and the
+    /// augmenting path it yields — is identical under either kernel.
+    fn extract_predecessors(&mut self, s: usize, t: usize, kernel: FlowKernel) {
+        let FlowWorkspace {
+            arcs,
+            adj,
+            nodes,
+            dist,
+            pot,
+            prev,
+            seen,
+            queue,
+            ..
+        } = self;
+        let n = *nodes;
+        prev[..n].fill(usize::MAX);
+        seen[..n].fill(false);
+        queue.clear();
+        seen[s] = true;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            if u == t {
+                break;
+            }
+            for &ai in &adj[u] {
+                let a = &arcs[ai];
+                if a.cap <= FLOW_EPS || seen[a.to] {
+                    continue;
+                }
+                let c = match kernel {
+                    FlowKernel::SspDijkstra => a.cost + pot[u] - pot[a.to],
+                    FlowKernel::BellmanFordOracle => a.cost,
+                };
+                if dist[u] + c == dist[a.to] {
+                    seen[a.to] = true;
+                    prev[a.to] = ai;
+                    queue.push_back(a.to);
+                }
+            }
+        }
+        debug_assert!(
+            seen[t],
+            "t has a finite distance but no tight path reached it"
+        );
     }
 }
 
+/// Solves the message–interval allocation with the flow backend: same
+/// inputs, same feasibility verdict, and the same constraint guarantees as
+/// [`crate::allocate_intervals`], but each subset is solved as a
+/// min-cost-flow network instead of an LP (falling back to the simplex for
+/// the rare subset where the relaxation is loose — see the module docs).
+///
+/// `ws` is the reusable kernel scratch — pass the same workspace across
+/// the solves of one compile ladder to amortize its buffers. `lp_stats`
+/// accumulates the work of any fallback solves so the compile pipeline's
+/// `alloc_lp.*` counters stay meaningful under this engine.
+///
+/// # Errors
+///
+/// [`CompileError::AllocationInfeasible`] when a subset has no feasible
+/// split (the flow verdict is exact); [`CompileError::Lp`] on fallback
+/// solver trouble.
 #[allow(clippy::too_many_arguments)]
-fn solve_subset_flow(
+pub fn allocate_intervals_flow(
     assignment: &PathAssignment,
     bounds: &TimeBounds,
     activity: &ActivityMatrix,
     intervals: &Intervals,
-    subset: &[MessageId],
+    subsets: &[Vec<MessageId>],
     capacity_scale: f64,
-    p: &mut [Vec<f64>],
+    ws: &mut FlowWorkspace,
     stats: &mut FlowAllocStats,
     lp_stats: &mut AllocationStats,
-) -> Result<(), CompileError> {
-    // A member without links cannot be expressed as a chain; related
-    // subsets never contain one, but stay safe and defer to the LP.
-    if subset.iter().any(|&m| assignment.links(m).is_empty()) {
-        return solve_fallback(
+) -> Result<IntervalAllocation, CompileError> {
+    allocate_intervals_flow_with_kernel(
+        assignment,
+        bounds,
+        activity,
+        intervals,
+        subsets,
+        capacity_scale,
+        FlowKernel::SspDijkstra,
+        ws,
+        stats,
+        lp_stats,
+    )
+}
+
+/// [`allocate_intervals_flow`] with an explicit kernel choice — the entry
+/// point the differential tests use to pit the production Dijkstra kernel
+/// against the Bellman–Ford oracle on identical inputs.
+///
+/// # Errors
+///
+/// As [`allocate_intervals_flow`].
+#[allow(clippy::too_many_arguments)]
+pub fn allocate_intervals_flow_with_kernel(
+    assignment: &PathAssignment,
+    bounds: &TimeBounds,
+    activity: &ActivityMatrix,
+    intervals: &Intervals,
+    subsets: &[Vec<MessageId>],
+    capacity_scale: f64,
+    kernel: FlowKernel,
+    ws: &mut FlowWorkspace,
+    stats: &mut FlowAllocStats,
+    lp_stats: &mut AllocationStats,
+) -> Result<IntervalAllocation, CompileError> {
+    let mut p = vec![vec![0.0; intervals.len()]; assignment.len()];
+    for subset in subsets {
+        solve_subset_flow(
             assignment,
             bounds,
             activity,
             subset,
-            capacity_scale,
-            intervals,
-            p,
+            |_, k| capacity_scale * intervals.length(k),
+            kernel,
+            ws,
+            &mut p,
             stats,
             lp_stats,
+        )?;
+    }
+    Ok(IntervalAllocation::from_matrix(p))
+}
+
+/// Flow-backend counterpart of
+/// [`crate::allocation_lp::allocate_intervals_pinned_reserved`]: re-derives
+/// only the `affected` rows, with every other row pinned bit-identically
+/// and charged — together with the `reserved` external capacity — against
+/// each (link, interval) budget. This is the allocation step of the
+/// repack/admission ladders under `AllocEngine::Flow`; `ws` should be the
+/// session-held workspace so repeated repairs/admissions reuse its
+/// buffers.
+///
+/// # Errors
+///
+/// As [`allocate_intervals_flow`].
+///
+/// # Panics
+///
+/// If `pinned` does not match the assignment, or a `reserved` row's length
+/// is not `intervals.len()`.
+#[allow(clippy::too_many_arguments)]
+pub fn allocate_intervals_pinned_reserved_flow(
+    assignment: &PathAssignment,
+    bounds: &TimeBounds,
+    activity: &ActivityMatrix,
+    intervals: &Intervals,
+    subsets: &[Vec<MessageId>],
+    affected: &[MessageId],
+    pinned: &IntervalAllocation,
+    reserved: &std::collections::HashMap<LinkId, Vec<f64>>,
+    capacity_scale: f64,
+    ws: &mut FlowWorkspace,
+    stats: &mut FlowAllocStats,
+    lp_stats: &mut AllocationStats,
+) -> Result<IntervalAllocation, CompileError> {
+    assert_eq!(
+        pinned.num_messages(),
+        assignment.len(),
+        "pinned allocation does not match the assignment"
+    );
+    for row in reserved.values() {
+        assert_eq!(
+            row.len(),
+            intervals.len(),
+            "external reservation row does not cover every interval"
+        );
+    }
+    let is_affected: Vec<bool> = {
+        let mut v = vec![false; assignment.len()];
+        for &m in affected {
+            v[m.index()] = true;
+        }
+        v
+    };
+
+    // Start from the pinned matrix; blank what must be re-derived
+    // (affected rows) or cannot carry traffic (link-less rows).
+    let mut p = vec![vec![0.0; intervals.len()]; assignment.len()];
+    for i in 0..assignment.len() {
+        if !is_affected[i] && !assignment.links(MessageId(i)).is_empty() {
+            p[i].clone_from_slice(pinned.row(MessageId(i)));
+        }
+    }
+
+    // Capacity already consumed by pinned traffic, per link per interval.
+    let mut pinned_used: std::collections::HashMap<LinkId, Vec<f64>> =
+        std::collections::HashMap::new();
+    for i in 0..assignment.len() {
+        let m = MessageId(i);
+        if is_affected[i] {
+            continue;
+        }
+        for &l in assignment.links(m) {
+            let row = pinned_used
+                .entry(l)
+                .or_insert_with(|| vec![0.0; intervals.len()]);
+            for (k, r) in row.iter_mut().enumerate() {
+                *r += p[i][k];
+            }
+        }
+    }
+
+    for subset in subsets {
+        let members: Vec<MessageId> = subset
+            .iter()
+            .copied()
+            .filter(|m| is_affected[m.index()])
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        solve_subset_flow(
+            assignment,
+            bounds,
+            activity,
+            &members,
+            |link, k| {
+                let used = pinned_used.get(&link).map_or(0.0, |r| r[k])
+                    + reserved.get(&link).map_or(0.0, |r| r[k]);
+                (capacity_scale * intervals.length(k) - used).max(0.0)
+            },
+            FlowKernel::SspDijkstra,
+            ws,
+            &mut p,
+            stats,
+            lp_stats,
+        )?;
+    }
+    Ok(IntervalAllocation::from_matrix(p))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve_subset_flow<C>(
+    assignment: &PathAssignment,
+    bounds: &TimeBounds,
+    activity: &ActivityMatrix,
+    subset: &[MessageId],
+    capacity: C,
+    kernel: FlowKernel,
+    ws: &mut FlowWorkspace,
+    p: &mut [Vec<f64>],
+    stats: &mut FlowAllocStats,
+    lp_stats: &mut AllocationStats,
+) -> Result<(), CompileError>
+where
+    C: Fn(LinkId, usize) -> f64,
+{
+    // A member without links cannot be expressed as a chain; related
+    // subsets never contain one, but stay safe and defer to the LP.
+    if subset.iter().any(|&m| assignment.links(m).is_empty()) {
+        return solve_fallback(
+            assignment, bounds, activity, subset, &capacity, p, stats, lp_stats,
         );
     }
 
@@ -237,7 +626,7 @@ fn solve_subset_flow(
 
     // Nodes: source, sink, one per member, then (link, interval) capacity
     // pairs created in ascending (link, interval) order.
-    let mut net = FlowNet::new(2 + subset.len());
+    ws.reset_net(2 + subset.len());
     let (source, sink) = (0usize, 1usize);
     let member_node = |mi: usize| 2 + mi;
 
@@ -261,9 +650,9 @@ fn solve_subset_flow(
         link_ks.sort_unstable();
         link_ks.dedup();
         for &k in &link_ks {
-            let input = net.add_node();
-            let output = net.add_node();
-            let ai = net.add_arc(input, output, capacity_scale * intervals.length(k), 0.0);
+            let input = ws.add_node();
+            let output = ws.add_node();
+            let ai = ws.add_arc(input, output, capacity(link, k), 0.0);
             cap_arc.insert((link, k), (input, ai));
         }
     }
@@ -275,29 +664,29 @@ fn solve_subset_flow(
     let mut seen_transfer: std::collections::HashSet<(usize, usize)> =
         std::collections::HashSet::new();
     for (mi, &m) in subset.iter().enumerate() {
-        net.add_arc(source, member_node(mi), durations[mi], 0.0);
+        ws.add_arc(source, member_node(mi), durations[mi], 0.0);
         let links = assignment.links(m);
         for &k in &actives[mi] {
             let first_in = cap_arc[&(links[0], k)].0;
-            entry_arcs[mi].push(net.add_arc(member_node(mi), first_in, durations[mi], k as f64));
+            entry_arcs[mi].push(ws.add_arc(member_node(mi), first_in, durations[mi], k as f64));
             for w in links.windows(2) {
-                let from_out = net.arcs[cap_arc[&(w[0], k)].1].to;
+                let from_out = ws.arcs[cap_arc[&(w[0], k)].1].to;
                 let to_in = cap_arc[&(w[1], k)].0;
                 if seen_transfer.insert((from_out, to_in)) {
-                    net.add_arc(from_out, to_in, total, 0.0);
+                    ws.add_arc(from_out, to_in, total, 0.0);
                 }
             }
-            let last_out = net.arcs[cap_arc[&(links[links.len() - 1], k)].1].to;
+            let last_out = ws.arcs[cap_arc[&(links[links.len() - 1], k)].1].to;
             if seen_transfer.insert((last_out, sink)) {
-                net.add_arc(last_out, sink, total, 0.0);
+                ws.add_arc(last_out, sink, total, 0.0);
             }
         }
     }
 
     stats.solves += 1;
-    stats.nodes += net.adj.len() as u64;
-    stats.arcs += (net.arcs.len() / 2) as u64;
-    let value = net.max_flow_min_cost(source, sink, stats);
+    stats.nodes += ws.nodes as u64;
+    stats.arcs += (ws.arcs.len() / 2) as u64;
+    let value = ws.max_flow_min_cost(source, sink, kernel, stats);
     if value < total - EPS {
         // Exact verdict: an LP-feasible split always induces a full flow.
         return Err(CompileError::AllocationInfeasible {
@@ -313,7 +702,7 @@ fn solve_subset_flow(
         let mut row: Vec<f64> = ks
             .iter()
             .zip(&entry_arcs[mi])
-            .map(|(_, &ai)| net.flow(ai))
+            .map(|(_, &ai)| ws.flow(ai))
             .collect();
         let shortfall = durations[mi] - row.iter().sum::<f64>();
         if shortfall.abs() > FLOW_EPS {
@@ -325,7 +714,7 @@ fn solve_subset_flow(
     }
 
     // Exact constraint-(4) re-check: chain jumping can undercharge a link.
-    let exact = on_link.values().all(|members| {
+    let exact = on_link.iter().all(|(&link, members)| {
         link_ks.clear();
         for &mi in members {
             link_ks.extend_from_slice(&actives[mi]);
@@ -342,20 +731,12 @@ fn solve_subset_flow(
                         .map(|pos| x[mi][pos])
                 })
                 .sum();
-            used <= capacity_scale * intervals.length(k) + EPS
+            used <= capacity(link, k) + EPS
         })
     });
     if !exact {
         return solve_fallback(
-            assignment,
-            bounds,
-            activity,
-            subset,
-            capacity_scale,
-            intervals,
-            p,
-            stats,
-            lp_stats,
+            assignment, bounds, activity, subset, &capacity, p, stats, lp_stats,
         );
     }
 
@@ -370,27 +751,22 @@ fn solve_subset_flow(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn solve_fallback(
+fn solve_fallback<C>(
     assignment: &PathAssignment,
     bounds: &TimeBounds,
     activity: &ActivityMatrix,
     subset: &[MessageId],
-    capacity_scale: f64,
-    intervals: &Intervals,
+    capacity: &C,
     p: &mut [Vec<f64>],
     stats: &mut FlowAllocStats,
     lp_stats: &mut AllocationStats,
-) -> Result<(), CompileError> {
+) -> Result<(), CompileError>
+where
+    C: Fn(LinkId, usize) -> f64,
+{
     stats.fallbacks += 1;
     solve_subset_capacities(
-        assignment,
-        bounds,
-        activity,
-        subset,
-        |_, k| capacity_scale * intervals.length(k),
-        p,
-        None,
-        lp_stats,
+        assignment, bounds, activity, subset, capacity, p, None, lp_stats,
     )
 }
 
@@ -443,7 +819,29 @@ mod tests {
             &f.intervals,
             &f.subsets,
             scale,
+            &mut FlowWorkspace::new(),
             &mut FlowAllocStats::default(),
+            &mut AllocationStats::default(),
+        )
+    }
+
+    fn kernel_alloc(
+        f: &Fixture,
+        scale: f64,
+        kernel: FlowKernel,
+        ws: &mut FlowWorkspace,
+        stats: &mut FlowAllocStats,
+    ) -> Result<IntervalAllocation, CompileError> {
+        allocate_intervals_flow_with_kernel(
+            &f.assignment,
+            &f.bounds,
+            &f.activity,
+            &f.intervals,
+            &f.subsets,
+            scale,
+            kernel,
+            ws,
+            stats,
             &mut AllocationStats::default(),
         )
     }
@@ -535,6 +933,7 @@ mod tests {
             &f.intervals,
             &f.subsets,
             1.0,
+            &mut FlowWorkspace::new(),
             &mut stats,
             &mut AllocationStats::default(),
         )
@@ -542,6 +941,128 @@ mod tests {
         assert!(stats.solves >= 1);
         assert!(stats.arcs > 0);
         assert!(stats.augmentations > 0);
+        assert!(stats.dijkstra_pops > 0);
         assert_eq!(stats.fallbacks, 0);
+    }
+
+    #[test]
+    fn dijkstra_matches_bellman_ford_oracle_bitwise() {
+        for (period, bytes) in [(50.0, 640), (120.0, 640), (50.0, 1280), (90.0, 960)] {
+            let f = shared_link(period, bytes);
+            let mut dk = FlowAllocStats::default();
+            let mut bf = FlowAllocStats::default();
+            let a = kernel_alloc(
+                &f,
+                1.0,
+                FlowKernel::SspDijkstra,
+                &mut FlowWorkspace::new(),
+                &mut dk,
+            )
+            .unwrap();
+            let b = kernel_alloc(
+                &f,
+                1.0,
+                FlowKernel::BellmanFordOracle,
+                &mut FlowWorkspace::new(),
+                &mut bf,
+            )
+            .unwrap();
+            for m in 0..f.assignment.len() {
+                for k in 0..f.intervals.len() {
+                    let (x, y) = (a.allocated(MessageId(m), k), b.allocated(MessageId(m), k));
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "kernel divergence at ({m},{k}): {x} vs {y}"
+                    );
+                }
+            }
+            // Same augmentation sequence, but only Dijkstra pays the heap.
+            assert_eq!(dk.augmentations, bf.augmentations);
+            assert!(dk.dijkstra_pops > 0);
+            assert_eq!(bf.dijkstra_pops, 0);
+            assert_eq!(bf.potential_reuse_hits, 0);
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_stable() {
+        // Same workspace across repeated solves (the ladder pattern) must
+        // give the same bits as a fresh workspace each time.
+        let f = shared_link(120.0, 640);
+        let mut shared = FlowWorkspace::new();
+        let mut stats = FlowAllocStats::default();
+        let fresh = kernel_alloc(
+            &f,
+            1.0,
+            FlowKernel::SspDijkstra,
+            &mut FlowWorkspace::new(),
+            &mut FlowAllocStats::default(),
+        )
+        .unwrap();
+        for _ in 0..3 {
+            let again =
+                kernel_alloc(&f, 1.0, FlowKernel::SspDijkstra, &mut shared, &mut stats).unwrap();
+            for m in 0..f.assignment.len() {
+                for k in 0..f.intervals.len() {
+                    assert_eq!(
+                        again.allocated(MessageId(m), k).to_bits(),
+                        fresh.allocated(MessageId(m), k).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_reserved_flow_matches_simplex_pinned() {
+        use crate::allocation_lp::allocate_intervals_pinned_reserved;
+        let f = shared_link(120.0, 640);
+        let full = flow_alloc(&f, 1.0).unwrap();
+        // Re-derive only m1 with m0 pinned; both backends must agree the
+        // residual problem is feasible and respect the pinned rows.
+        let affected = vec![MessageId(1)];
+        let reserved = std::collections::HashMap::new();
+        let by_flow = allocate_intervals_pinned_reserved_flow(
+            &f.assignment,
+            &f.bounds,
+            &f.activity,
+            &f.intervals,
+            &f.subsets,
+            &affected,
+            &full,
+            &reserved,
+            1.0,
+            &mut FlowWorkspace::new(),
+            &mut FlowAllocStats::default(),
+            &mut AllocationStats::default(),
+        )
+        .unwrap();
+        let by_lp = allocate_intervals_pinned_reserved(
+            &f.assignment,
+            &f.bounds,
+            &f.activity,
+            &f.intervals,
+            &f.subsets,
+            &affected,
+            &full,
+            &reserved,
+            1.0,
+            None,
+            &mut AllocationStats::default(),
+        )
+        .unwrap();
+        check_constraints(&f, &by_flow, 1.0);
+        // Pinned rows survive bit-identically under both backends.
+        for k in 0..f.intervals.len() {
+            assert_eq!(
+                by_flow.allocated(MessageId(0), k).to_bits(),
+                full.allocated(MessageId(0), k).to_bits()
+            );
+            assert_eq!(
+                by_lp.allocated(MessageId(0), k).to_bits(),
+                full.allocated(MessageId(0), k).to_bits()
+            );
+        }
     }
 }

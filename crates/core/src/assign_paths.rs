@@ -21,19 +21,55 @@ use crate::{ActivityMatrix, Hotspot, Intervals, PathAssignment, UtilizationMap, 
 pub struct PathPool<'a> {
     topo: &'a dyn Topology,
     cap: usize,
-    cells: Vec<OnceLock<Vec<Path>>>,
+    cells: PoolCells,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
+/// Cell storage for [`PathPool`]: dense `n × n` for small fabrics, or a
+/// map seeded with exactly the pairs that will be asked for. Both are
+/// structurally frozen after construction — only the [`OnceLock`] payloads
+/// are ever written — so shared `&self` lookups stay safe.
+enum PoolCells {
+    Dense(Vec<OnceLock<Vec<Path>>>),
+    Seeded(std::collections::HashMap<(usize, usize), OnceLock<Vec<Path>>>),
+}
+
 impl<'a> PathPool<'a> {
-    /// An empty pool enumerating up to `cap` shortest paths per pair.
+    /// An empty pool enumerating up to `cap` shortest paths per pair, with
+    /// a dense cell per node pair. Memory is `O(num_nodes²)` — use
+    /// [`PathPool::seeded`] for large fabrics where the set of endpoint
+    /// pairs is known up front.
     pub fn new(topo: &'a dyn Topology, cap: usize) -> Self {
         let n = topo.num_nodes();
         PathPool {
             topo,
             cap: cap.max(1),
-            cells: (0..n * n).map(|_| OnceLock::new()).collect(),
+            cells: PoolCells::Dense((0..n * n).map(|_| OnceLock::new()).collect()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A pool holding one cell per *seeded* `(src, dst)` pair instead of a
+    /// dense `n × n` array: memory is proportional to the number of
+    /// distinct pairs, which is what lets a 16,384-node fabric share one
+    /// pool (dense cells there would cost gigabytes before the first
+    /// enumeration). Lookup behavior — including the hit/miss counters —
+    /// is identical to a dense pool for seeded pairs; asking for an
+    /// unseeded pair panics.
+    pub fn seeded<I>(topo: &'a dyn Topology, cap: usize, pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let cells = pairs
+            .into_iter()
+            .map(|(s, d)| ((s.index(), d.index()), OnceLock::new()))
+            .collect();
+        PathPool {
+            topo,
+            cap: cap.max(1),
+            cells: PoolCells::Seeded(cells),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -46,14 +82,24 @@ impl<'a> PathPool<'a> {
 
     /// The shortest paths `src → dst` (index 0 = dimension order),
     /// enumerating and caching them on first request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool was built with [`PathPool::seeded`] and this
+    /// pair was not seeded.
     pub fn paths(&self, src: NodeId, dst: NodeId) -> &[Path] {
-        let idx = src.index() * self.topo.num_nodes() + dst.index();
-        if let Some(cached) = self.cells[idx].get() {
+        let cell = match &self.cells {
+            PoolCells::Dense(cells) => &cells[src.index() * self.topo.num_nodes() + dst.index()],
+            PoolCells::Seeded(map) => map
+                .get(&(src.index(), dst.index()))
+                .unwrap_or_else(|| panic!("path pool was not seeded with pair {src}→{dst}")),
+        };
+        if let Some(cached) = cell.get() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return cached;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.cells[idx].get_or_init(|| self.topo.shortest_paths(src, dst, self.cap))
+        cell.get_or_init(|| self.topo.shortest_paths(src, dst, self.cap))
     }
 
     /// Lookup counters `(hits, misses)` since construction. A "miss" is a
@@ -285,6 +331,76 @@ pub fn band_partition(num_nodes: usize, parts: usize) -> Vec<usize> {
     (0..num_nodes)
         .map(|n| (n * parts / num_nodes.max(1)).min(parts - 1))
         .collect()
+}
+
+/// Topology-generic band partitioner: maps each node to one of `parts`
+/// bands that are contiguous *in the fabric*, not merely in index space.
+///
+/// For topologies with a mixed-radix coordinate system
+/// ([`Topology::mixed_radix_hint`] — tori, meshes, generalized
+/// hypercubes), the fabric is cut along the most significant dimension
+/// that still yields at least `parts` hyperplane slabs, and bands are
+/// unions of whole consecutive slabs: on a `N×N` torus a band is a block
+/// of whole rows (identical to [`band_partition`] whenever `parts`
+/// divides `N`, so existing partitioned workloads keep their exact
+/// counters), and on `GHC(16,16,16)` with `parts = 16` each band is one
+/// complete `GHC(16,16)` sub-cube.
+///
+/// Topologies without a coordinate hint fall back to a BFS-layer
+/// decomposition from node 0: nodes are ordered by (hop depth, id) and
+/// split into `parts` equal contiguous runs, which keeps each band
+/// connected-ish on arbitrary fabrics.
+///
+/// `parts` is clamped to `[1, num_nodes]`.
+pub fn band_partition_topo(topo: &dyn Topology, parts: usize) -> Vec<usize> {
+    let n = topo.num_nodes();
+    let parts = parts.clamp(1, n.max(1));
+    if parts == 1 || n == 0 {
+        return vec![0; n];
+    }
+
+    if let Some(radix) = topo.mixed_radix_hint() {
+        // The slab at cut-weight `w` is `node / w` (the node's digits at
+        // and above the cut dimension); equal slabs are contiguous index
+        // ranges of size `w`. Pick the coarsest cut that still covers
+        // `parts` slabs so bands keep whole hyperplanes together.
+        let mut best: Option<(usize, usize)> = None;
+        let mut weight = 1usize;
+        for &r in radix.radices() {
+            let slices = n / weight;
+            if slices >= parts {
+                best = Some((weight, slices));
+            }
+            weight *= r;
+        }
+        if let Some((w, slices)) = best {
+            return (0..n)
+                .map(|node| ((node / w) * parts / slices).min(parts - 1))
+                .collect();
+        }
+    }
+
+    // BFS layering from node 0 (unreachable nodes sort last), then equal
+    // contiguous runs over the (depth, id) order.
+    let mut depth = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    depth[0] = 0;
+    queue.push_back(NodeId(0));
+    while let Some(u) = queue.pop_front() {
+        for &v in topo.neighbors(u) {
+            if depth[v.index()] == usize::MAX {
+                depth[v.index()] = depth[u.index()] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| (depth[v], v));
+    let mut part_of = vec![0usize; n];
+    for (rank, &v) in order.iter().enumerate() {
+        part_of[v] = (rank * parts / n).min(parts - 1);
+    }
+    part_of
 }
 
 /// Hierarchical `AssignPaths` for large fabrics: partition the nodes
@@ -627,7 +743,7 @@ mod tests {
     use super::*;
     use sr_mapping::Allocation;
     use sr_tfg::{assign_time_bounds, TfgBuilder, Timing, WindowPolicy};
-    use sr_topology::{GeneralizedHypercube, NodeId};
+    use sr_topology::{GeneralizedHypercube, LinkId, NodeId};
 
     struct Setup {
         topo: GeneralizedHypercube,
@@ -806,6 +922,87 @@ mod tests {
         assert_eq!(band_partition(5, 0), vec![0; 5]); // clamped up to 1 part
         assert_eq!(band_partition(3, 7), vec![0, 1, 2]); // clamped down to n
         assert!(band_partition(0, 4).is_empty());
+    }
+
+    /// Forwards everything but hides the coordinate hint, forcing
+    /// [`band_partition_topo`] onto its BFS-layer fallback.
+    struct NoHint<T: Topology>(T);
+
+    impl<T: Topology> Topology for NoHint<T> {
+        fn name(&self) -> String {
+            self.0.name()
+        }
+        fn num_nodes(&self) -> usize {
+            self.0.num_nodes()
+        }
+        fn num_links(&self) -> usize {
+            self.0.num_links()
+        }
+        fn link_endpoints(&self, link: LinkId) -> (NodeId, NodeId) {
+            self.0.link_endpoints(link)
+        }
+        fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+            self.0.link_between(a, b)
+        }
+        fn neighbors(&self, node: NodeId) -> &[NodeId] {
+            self.0.neighbors(node)
+        }
+        fn distance(&self, a: NodeId, b: NodeId) -> usize {
+            self.0.distance(a, b)
+        }
+        fn dimension_order_path(&self, src: NodeId, dst: NodeId) -> sr_topology::Path {
+            self.0.dimension_order_path(src, dst)
+        }
+        fn shortest_paths(&self, src: NodeId, dst: NodeId, cap: usize) -> Vec<sr_topology::Path> {
+            self.0.shortest_paths(src, dst, cap)
+        }
+    }
+
+    #[test]
+    fn band_partition_topo_matches_index_bands_on_torus() {
+        // On an N×N torus with parts | N both partitioners cut along whole
+        // rows, so the generic path must reproduce the historical index
+        // bands exactly (this keeps gated scale workloads bit-stable).
+        for (n, parts) in [(8usize, 2usize), (8, 4), (12, 3)] {
+            let topo = sr_topology::Torus::new(&[n, n]).unwrap();
+            assert_eq!(
+                band_partition_topo(&topo, parts),
+                band_partition(n * n, parts),
+                "torus {n}×{n}, {parts} parts"
+            );
+        }
+    }
+
+    #[test]
+    fn band_partition_topo_cuts_ghc_msd_slabs() {
+        // GHC(4,4,4) with 4 parts: the coarsest cut with ≥ 4 slices is the
+        // most significant digit (weight 16), so each band is one GHC(4,4)
+        // sub-cube.
+        let topo = GeneralizedHypercube::new(&[4, 4, 4]).unwrap();
+        let bands = band_partition_topo(&topo, 4);
+        for (node, &band) in bands.iter().enumerate() {
+            assert_eq!(band, node / 16, "node {node}");
+        }
+        // 8 parts: the coarsest qualifying cut is weight 4 (16 slices), so
+        // bands pair up adjacent middle-digit slabs within an MSD slab.
+        let bands = band_partition_topo(&topo, 8);
+        for (node, &band) in bands.iter().enumerate() {
+            assert_eq!(band, (node / 4) * 8 / 16, "node {node}");
+        }
+    }
+
+    #[test]
+    fn band_partition_topo_bfs_fallback_covers_and_balances() {
+        let topo = NoHint(sr_topology::Torus::new(&[4, 4]).unwrap());
+        let bands = band_partition_topo(&topo, 4);
+        assert_eq!(bands.len(), 16);
+        for part in 0..4 {
+            assert_eq!(bands.iter().filter(|&&x| x == part).count(), 4);
+        }
+        // Deterministic: same input, same cut.
+        assert_eq!(bands, band_partition_topo(&topo, 4));
+        // Node 0's BFS layer 0 is node 0 itself; it always lands in band 0.
+        assert_eq!(bands[0], 0);
     }
 
     #[test]

@@ -12,8 +12,8 @@ use crate::{
     allocate_intervals_flow, allocate_intervals_partitioned, allocate_intervals_stats,
     allocate_intervals_warm, assign_paths_pooled, build_node_schedules, related_subsets,
     ActivityMatrix, AllocBasisCache, AllocationStats, AssignPathsConfig, CompileError,
-    FlowAllocStats, IntervalAllocation, IntervalSchedStats, IntervalSchedule, Intervals,
-    NodeSchedule, PathAssignment, PathPool, Segment, UtilizationMap,
+    FlowAllocStats, FlowWorkspace, IntervalAllocation, IntervalSchedStats, IntervalSchedule,
+    Intervals, NodeSchedule, PathAssignment, PathPool, Segment, UtilizationMap,
 };
 
 /// Backend for the message–interval allocation stage.
@@ -455,8 +455,18 @@ fn compile_inner(
         },
         // Shared across every seed retry (and worker thread): candidate
         // paths depend on endpoints only, so each pair is enumerated once
-        // per compile instead of once per retry.
-        pool: PathPool::new(topo, config.assign_paths.path_cap),
+        // per compile instead of once per retry. Seeded with exactly the
+        // message endpoint pairs — the only pairs the search ever asks
+        // for — so pool memory scales with the workload, not with
+        // num_nodes² (a dense pool on a 16,384-node torus would cost
+        // gigabytes before the first enumeration).
+        pool: PathPool::seeded(
+            topo,
+            config.assign_paths.path_cap,
+            tfg.messages()
+                .iter()
+                .map(|m| (alloc.node_of(m.src()), alloc.node_of(m.dst()))),
+        ),
         rec,
         diag,
     };
@@ -518,6 +528,8 @@ impl ScaleStats {
         self.flow.nodes += other.flow.nodes;
         self.flow.arcs += other.flow.arcs;
         self.flow.augmentations += other.flow.augmentations;
+        self.flow.dijkstra_pops += other.flow.dijkstra_pops;
+        self.flow.potential_reuse_hits += other.flow.potential_reuse_hits;
         self.flow.fallbacks += other.flow.fallbacks;
         self.isched.lp.merge(&other.isched.lp);
         self.isched.lp_solves += other.isched.lp_solves;
@@ -600,7 +612,7 @@ impl SearchCtx<'_> {
                 self.activity,
                 &ap_config,
                 &self.pool,
-                &crate::band_partition(self.topo.num_nodes(), self.config.partition),
+                &crate::band_partition_topo(self.topo, self.config.partition),
                 sr_par::effective_threads(self.config.parallelism),
             )
         } else {
@@ -649,6 +661,7 @@ impl SearchCtx<'_> {
         sidx: usize,
         si: usize,
         cache: Option<&mut AllocBasisCache>,
+        flow_ws: &mut FlowWorkspace,
     ) -> (ScaleOutcome, ScaleStats) {
         let scale = self.scales[si];
         let mut stats = ScaleStats::default();
@@ -668,6 +681,7 @@ impl SearchCtx<'_> {
                 self.intervals,
                 &ev.subsets,
                 effective,
+                flow_ws,
                 &mut stats.flow,
                 &mut stats.alloc,
             ),
@@ -679,7 +693,7 @@ impl SearchCtx<'_> {
                     self.intervals,
                     &ev.subsets,
                     effective,
-                    &crate::band_partition(self.topo.num_nodes(), self.config.partition),
+                    &crate::band_partition_topo(self.topo, self.config.partition),
                     sr_par::effective_threads(self.config.parallelism),
                     &mut stats.alloc,
                 )
@@ -783,14 +797,18 @@ impl SearchCtx<'_> {
             && self.config.alloc_engine == AllocEngine::Simplex
             && self.config.partition <= 1)
             .then(AllocBasisCache::new);
+        // The flow kernel's scratch, reused across this ladder's rungs and
+        // their per-subset solves (it mirrors the basis cache above, but
+        // carries no semantic state, so it needs no cold confirmation).
+        let mut flow_ws = FlowWorkspace::new();
         let mut ladder = Vec::new();
         for si in 0..num_scales {
             if sidx * num_scales + si > best.load(Ordering::Relaxed) {
                 break;
             }
-            let (mut out, mut stats) = self.eval_scale(ev, sidx, si, cache.as_mut());
+            let (mut out, mut stats) = self.eval_scale(ev, sidx, si, cache.as_mut(), &mut flow_ws);
             if matches!(out, ScaleOutcome::Scheduled { .. }) && si > 0 && cache.is_some() {
-                let (cold_out, cold_stats) = self.eval_scale(ev, sidx, si, None);
+                let (cold_out, cold_stats) = self.eval_scale(ev, sidx, si, None, &mut flow_ws);
                 stats.absorb(&cold_stats);
                 out = cold_out;
             }
@@ -1093,6 +1111,11 @@ impl SearchCtx<'_> {
             rec.add("alloc_flow.nodes", stats.flow.nodes);
             rec.add("alloc_flow.arcs", stats.flow.arcs);
             rec.add("alloc_flow.augmentations", stats.flow.augmentations);
+            rec.add("alloc_flow.dijkstra_pops", stats.flow.dijkstra_pops);
+            rec.add(
+                "alloc_flow.potential_reuse_hits",
+                stats.flow.potential_reuse_hits,
+            );
             rec.add("alloc_flow.fallbacks", stats.flow.fallbacks);
         }
         rec.add("sched_lp.solves", stats.isched.lp_solves);

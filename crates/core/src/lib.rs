@@ -84,7 +84,10 @@ mod switching;
 mod utilization;
 mod verify;
 
-pub use allocation_flow::{allocate_intervals_flow, FlowAllocStats};
+pub use allocation_flow::{
+    allocate_intervals_flow, allocate_intervals_flow_with_kernel,
+    allocate_intervals_pinned_reserved_flow, FlowAllocStats, FlowKernel, FlowWorkspace,
+};
 pub use allocation_lp::{
     allocate_intervals, allocate_intervals_partitioned, allocate_intervals_pinned,
     allocate_intervals_pinned_reserved, allocate_intervals_pinned_warm, allocate_intervals_stats,
@@ -92,7 +95,7 @@ pub use allocation_lp::{
 };
 pub use assign_paths::{
     assign_paths, assign_paths_partial, assign_paths_partitioned, assign_paths_pooled,
-    band_partition, AssignPathsConfig, AssignPathsOutcome, PathPool,
+    band_partition, band_partition_topo, AssignPathsConfig, AssignPathsOutcome, PathPool,
 };
 pub use assignment::PathAssignment;
 pub use besteffort::{admit_best_effort, BestEffortGrant};

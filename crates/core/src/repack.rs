@@ -21,8 +21,9 @@ use sr_tfg::MessageId;
 use sr_topology::LinkId;
 
 use crate::{
-    allocate_intervals_pinned_reserved, related_subsets, AllocBasisCache, AllocationStats,
-    CompileError, IntervalAllocation, IntervalSchedule, PathAssignment, Schedule, Slice, EPS,
+    allocate_intervals_pinned_reserved, allocate_intervals_pinned_reserved_flow, related_subsets,
+    AllocBasisCache, AllocEngine, AllocationStats, CompileError, FlowAllocStats, FlowWorkspace,
+    IntervalAllocation, IntervalSchedule, PathAssignment, Schedule, Slice, EPS,
 };
 
 /// How one scale rung of [`reallocate_pinned`] ended.
@@ -74,11 +75,20 @@ pub struct Repacked {
 ///
 /// Every attempt is appended to `attempts` (for diagnosis rendering), and
 /// counters are emitted under `prefix`: `<prefix>.candidates` per rung,
-/// `<prefix>.alloc_lp.{solves,pivots,warm_hits,warm_misses}`,
-/// `<prefix>.alloc_infeasible`, `<prefix>.pack_failed`. The subset LPs
-/// warm-start from `cache` down the ladder (structurally identical LPs,
-/// shrinking capacities), and across calls when the assignment and subsets
-/// are unchanged — the serve daemon's repeat-admission fast path.
+/// `<prefix>.alloc_lp.{solves,pivots,warm_hits,warm_misses}`, and
+/// `<prefix>.alloc_flow.{solves,augmentations,dijkstra_pops,`
+/// `potential_reuse_hits,fallbacks}` (always emitted — zero under the
+/// simplex engine — so the namespace is pinned for the metrics gates),
+/// plus `<prefix>.alloc_infeasible`, `<prefix>.pack_failed`.
+///
+/// `engine` selects the pinned-allocation backend. Under
+/// [`AllocEngine::Simplex`] the subset LPs warm-start from `cache` down
+/// the ladder (structurally identical LPs, shrinking capacities), and
+/// across calls when the assignment and subsets are unchanged — the serve
+/// daemon's repeat-admission fast path. Under [`AllocEngine::Flow`] the
+/// rows come from [`allocate_intervals_pinned_reserved_flow`] and
+/// `flow_ws` is the workspace reused across rungs and calls (the flow-side
+/// mirror of `cache`; `cache` then only serves fallback solves).
 ///
 /// Returns `None` when no scale yields a packable allocation. An empty
 /// `scales` tries `1.0` alone.
@@ -90,7 +100,9 @@ pub fn reallocate_pinned(
     excluded: &BTreeSet<MessageId>,
     external_busy: &BTreeMap<LinkId, Vec<(f64, f64)>>,
     scales: &[f64],
+    engine: AllocEngine,
     cache: &mut AllocBasisCache,
+    flow_ws: &mut FlowWorkspace,
     prefix: &str,
     rec: &dyn Recorder,
     attempts: &mut Vec<ReallocAttempt>,
@@ -123,19 +135,36 @@ pub fn reallocate_pinned(
     for &scale in scales {
         rec.add(&format!("{prefix}.candidates"), 1);
         let mut alloc_stats = AllocationStats::default();
-        let allocated = allocate_intervals_pinned_reserved(
-            assignment,
-            schedule.bounds(),
-            schedule.activity(),
-            intervals,
-            &subsets,
-            affected,
-            schedule.allocation(),
-            &reserved,
-            scale,
-            Some(cache),
-            &mut alloc_stats,
-        );
+        let mut flow_stats = FlowAllocStats::default();
+        let allocated = match engine {
+            AllocEngine::Simplex => allocate_intervals_pinned_reserved(
+                assignment,
+                schedule.bounds(),
+                schedule.activity(),
+                intervals,
+                &subsets,
+                affected,
+                schedule.allocation(),
+                &reserved,
+                scale,
+                Some(cache),
+                &mut alloc_stats,
+            ),
+            AllocEngine::Flow => allocate_intervals_pinned_reserved_flow(
+                assignment,
+                schedule.bounds(),
+                schedule.activity(),
+                intervals,
+                &subsets,
+                affected,
+                schedule.allocation(),
+                &reserved,
+                scale,
+                flow_ws,
+                &mut flow_stats,
+                &mut alloc_stats,
+            ),
+        };
         rec.add(&format!("{prefix}.alloc_lp.solves"), alloc_stats.lp_solves);
         rec.add(&format!("{prefix}.alloc_lp.pivots"), alloc_stats.lp.pivots);
         rec.add(
@@ -145,6 +174,26 @@ pub fn reallocate_pinned(
         rec.add(
             &format!("{prefix}.alloc_lp.warm_misses"),
             alloc_stats.lp.warm_misses,
+        );
+        // Flow-kernel work, emitted unconditionally (zeros under the
+        // simplex engine) so the counter namespace is engine-independent
+        // and the metrics gates pin it either way.
+        rec.add(&format!("{prefix}.alloc_flow.solves"), flow_stats.solves);
+        rec.add(
+            &format!("{prefix}.alloc_flow.augmentations"),
+            flow_stats.augmentations,
+        );
+        rec.add(
+            &format!("{prefix}.alloc_flow.dijkstra_pops"),
+            flow_stats.dijkstra_pops,
+        );
+        rec.add(
+            &format!("{prefix}.alloc_flow.potential_reuse_hits"),
+            flow_stats.potential_reuse_hits,
+        );
+        rec.add(
+            &format!("{prefix}.alloc_flow.fallbacks"),
+            flow_stats.fallbacks,
         );
         let allocation = match allocated {
             Ok(a) => a,

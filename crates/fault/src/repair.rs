@@ -2,7 +2,8 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use sr_core::{
     admit_best_effort, analyze_damage, assign_paths_partial, reallocate_pinned, AllocBasisCache,
-    AssignPathsConfig, BestEffortGrant, DamageReport, ReallocAttemptOutcome, Schedule, EPS,
+    AllocEngine, AssignPathsConfig, BestEffortGrant, DamageReport, FlowWorkspace,
+    ReallocAttemptOutcome, Schedule, EPS,
 };
 use sr_obs::{span_with, Recorder, NOOP};
 use sr_tfg::{MessageId, TaskFlowGraph, Timing};
@@ -26,6 +27,11 @@ pub struct RepairConfig {
     pub critical: Option<Vec<bool>>,
     /// Shortest-path cap for best-effort admission of demoted messages.
     pub best_effort_path_cap: usize,
+    /// Backend for the pinned re-allocation rows, analogous to
+    /// [`sr_core::CompileConfig::alloc_engine`]: the simplex LP (default,
+    /// bit-identical to the historical repair), or the min-cost-flow
+    /// kernel for large fabrics.
+    pub alloc_engine: AllocEngine,
 }
 
 impl Default for RepairConfig {
@@ -35,6 +41,7 @@ impl Default for RepairConfig {
             feedback_scales: vec![1.0, 0.9, 0.8],
             critical: None,
             best_effort_path_cap: 16,
+            alloc_engine: AllocEngine::Simplex,
         }
     }
 }
@@ -495,6 +502,7 @@ fn try_repair(
     // so the busy ledger is empty and the behaviour matches the historical
     // repair-only code exactly.
     let mut cache = AllocBasisCache::new();
+    let mut flow_ws = FlowWorkspace::new();
     let mut attempts = Vec::new();
     let repacked = reallocate_pinned(
         schedule,
@@ -503,7 +511,9 @@ fn try_repair(
         excluded,
         &BTreeMap::new(),
         &config.feedback_scales,
+        config.alloc_engine,
         &mut cache,
+        &mut flow_ws,
         "repair",
         rec,
         &mut attempts,

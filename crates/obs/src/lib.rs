@@ -844,7 +844,7 @@ mod tests {
             "sim.flits",
             "compile.candidates",
             "par.tasks",
-            "alloc_flow.pushes",
+            "alloc_flow.dijkstra_pops",
         ] {
             r.add(name, 1);
         }
@@ -857,7 +857,7 @@ mod tests {
         assert_eq!(
             rows,
             vec![
-                "alloc_flow.pushes",
+                "alloc_flow.dijkstra_pops",
                 "compile.candidates",
                 "par.tasks",
                 "sim.flits"

@@ -181,13 +181,13 @@ mod tests {
     fn export_is_sorted_and_self_describing() {
         let r = MetricsRecorder::new();
         r.add("compile.zeta", 2);
-        r.add("alloc_flow.alpha", 1);
+        r.add("alloc_flow.augmentations", 1);
         r.add("compile.zeta", 3);
         let text = r.export_prometheus();
-        let alpha = text.find("sr_alloc_flow_alpha_total 1").unwrap();
+        let aug = text.find("sr_alloc_flow_augmentations_total 1").unwrap();
         let zeta = text.find("sr_compile_zeta_total 5").unwrap();
-        assert!(alpha < zeta, "counters must be name-sorted:\n{text}");
-        assert!(text.contains("# TYPE sr_alloc_flow_alpha_total counter"));
+        assert!(aug < zeta, "counters must be name-sorted:\n{text}");
+        assert!(text.contains("# TYPE sr_alloc_flow_augmentations_total counter"));
         // Byte-identical re-export of unchanged state.
         assert_eq!(text, r.export_prometheus());
     }

@@ -49,7 +49,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use sr_core::{
     assign_paths_partial, compile_diagnosed, free_within, intersect, reallocate_pinned,
-    AllocBasisCache, CompileConfig, Schedule, EPS,
+    AllocBasisCache, CompileConfig, FlowWorkspace, Schedule, EPS,
 };
 use sr_mapping::Allocation;
 use sr_obs::{span_with, Recorder};
@@ -255,6 +255,10 @@ struct MemoEntry {
     schedule: Option<Schedule>,
     diagnosis: Option<String>,
     cache: AllocBasisCache,
+    /// Flow-kernel workspace, the [`cache`](MemoEntry::cache) mirror for
+    /// `AllocEngine::Flow` adapt rungs: buffers reused across this
+    /// tenant's admissions.
+    flow_ws: FlowWorkspace,
     last: Option<LastResult>,
     age: u64,
 }
@@ -398,7 +402,9 @@ impl Engine {
                 &BTreeSet::new(),
                 &ledger,
                 &scales,
+                self.cfg.compile.alloc_engine,
                 &mut entry.cache,
+                &mut entry.flow_ws,
                 "serve",
                 rec,
                 &mut attempts,
@@ -546,6 +552,7 @@ impl Engine {
                     schedule,
                     diagnosis,
                     cache: AllocBasisCache::new(),
+                    flow_ws: FlowWorkspace::new(),
                     last: None,
                     age: clock,
                 },
@@ -693,6 +700,7 @@ impl Engine {
                 schedule,
                 diagnosis,
                 cache: AllocBasisCache::new(),
+                flow_ws: FlowWorkspace::new(),
                 last: None,
                 age: self.memo_clock,
             },
@@ -820,6 +828,7 @@ impl Engine {
         // Fresh cache: the re-routed assignment has different subsets than
         // the standalone one the per-tenant cache was built for.
         let mut cache = AllocBasisCache::new();
+        let mut flow_ws = FlowWorkspace::new();
         let mut attempts = Vec::new();
         let rp = reallocate_pinned(
             sched,
@@ -828,7 +837,9 @@ impl Engine {
             &BTreeSet::new(),
             ledger,
             &scales,
+            self.cfg.compile.alloc_engine,
             &mut cache,
+            &mut flow_ws,
             "serve",
             rec,
             &mut attempts,

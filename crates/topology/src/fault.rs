@@ -377,6 +377,12 @@ impl Topology for MaskedTopology<'_> {
         self.name.clone()
     }
 
+    fn mixed_radix_hint(&self) -> Option<&crate::MixedRadix> {
+        // Failures do not renumber nodes, so the inner coordinate system
+        // still describes the surviving fabric.
+        self.inner.mixed_radix_hint()
+    }
+
     fn num_nodes(&self) -> usize {
         self.inner.num_nodes()
     }

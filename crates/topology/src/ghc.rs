@@ -92,6 +92,10 @@ impl Topology for GeneralizedHypercube {
         format!("GHC({})", radices.join(","))
     }
 
+    fn mixed_radix_hint(&self) -> Option<&MixedRadix> {
+        Some(self.mixed_radix())
+    }
+
     fn num_nodes(&self) -> usize {
         self.radix.num_nodes()
     }

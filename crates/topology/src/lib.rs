@@ -126,6 +126,17 @@ pub trait Topology: Send + Sync {
             .unwrap_or(0)
     }
 
+    /// The mixed-radix coordinate system behind this topology's node
+    /// numbering, when it has one (tori, generalized hypercubes, meshes).
+    ///
+    /// Partitioners use this to cut the fabric along coordinate
+    /// hyperplanes instead of raw index ranges; topologies without a
+    /// coordinate structure return `None` and callers fall back to a
+    /// BFS-layer decomposition.
+    fn mixed_radix_hint(&self) -> Option<&MixedRadix> {
+        None
+    }
+
     /// Network diameter (longest shortest-path distance over all pairs).
     ///
     /// Computed by brute force; intended for tests and reporting, not inner

@@ -75,6 +75,10 @@ impl Topology for Mesh {
         format!("Mesh({})", extents.join(","))
     }
 
+    fn mixed_radix_hint(&self) -> Option<&MixedRadix> {
+        Some(self.mixed_radix())
+    }
+
     fn num_nodes(&self) -> usize {
         self.radix.num_nodes()
     }

@@ -114,6 +114,10 @@ impl Topology for Torus {
         format!("Torus({})", extents.join(","))
     }
 
+    fn mixed_radix_hint(&self) -> Option<&MixedRadix> {
+        Some(self.mixed_radix())
+    }
+
     fn num_nodes(&self) -> usize {
         self.radix.num_nodes()
     }
