@@ -1,0 +1,294 @@
+//! `promlint` — a hand-rolled validator for the Prometheus text
+//! exposition format (version 0.0.4), used by CI to lint what the
+//! daemon's `/metrics` endpoint actually serves.
+//!
+//! Reads the exposition from a file argument (or stdin when absent) and
+//! checks, line by line:
+//!
+//! * `# TYPE` declarations name a valid metric and one of the five
+//!   types (`counter`, `gauge`, `summary`, `histogram`, `untyped`),
+//!   with no duplicate declarations;
+//! * metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*`;
+//! * label sets parse (`name="value"` with `\\`, `\"`, `\n` escapes,
+//!   valid label names, balanced braces);
+//! * sample values are f64, `+Inf`, `-Inf`, or `NaN`, with an optional
+//!   integer timestamp;
+//! * every sample's name resolves to a preceding `# TYPE` declaration,
+//!   where `_sum`/`_count` resolve to a declared summary or histogram
+//!   and `_bucket` to a declared histogram;
+//! * the exposition carries at least one sample.
+//!
+//! Exit 0 on a clean exposition; exit 1 with one diagnostic per
+//! offending line otherwise.
+
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn valid_value(v: &str) -> bool {
+    matches!(v, "+Inf" | "-Inf" | "Inf" | "NaN") || v.parse::<f64>().is_ok()
+}
+
+/// Splits `name{labels} value [timestamp]` and validates the label
+/// block; returns the bare metric name and the remainder after the
+/// label block (value and optional timestamp), or a diagnostic.
+fn split_sample(line: &str) -> Result<(&str, &str), String> {
+    let Some(brace) = line.find('{') else {
+        let mut parts = line.splitn(2, [' ', '\t']);
+        let name = parts.next().unwrap_or("");
+        let rest = parts.next().unwrap_or("").trim();
+        return Ok((name, rest));
+    };
+    let name = &line[..brace];
+    let after = &line[brace + 1..];
+    // Walk the label block respecting string escapes to find its end.
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut end = None;
+    for (i, c) in after.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '}' if !in_string => {
+                end = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let Some(end) = end else {
+        return Err("unterminated label block".to_string());
+    };
+    let labels = &after[..end];
+    let mut rest = labels;
+    while !rest.is_empty() {
+        let Some(eq) = rest.find('=') else {
+            return Err(format!("label pair missing '=' in {{{labels}}}"));
+        };
+        let lname = rest[..eq].trim();
+        if !valid_label_name(lname) {
+            return Err(format!("invalid label name {lname:?}"));
+        }
+        let val = rest[eq + 1..].trim_start();
+        if !val.starts_with('"') {
+            return Err(format!("label {lname:?} value is not quoted"));
+        }
+        // Find the closing quote, honoring escapes.
+        let mut close = None;
+        let mut escaped = false;
+        for (i, c) in val[1..].char_indices() {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' => escaped = true,
+                '"' => {
+                    close = Some(i + 1);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else {
+            return Err(format!("label {lname:?} value has no closing quote"));
+        };
+        let tail = val[close + 1..].trim_start();
+        rest = match tail.strip_prefix(',') {
+            Some(t) => t.trim_start(),
+            None if tail.is_empty() => "",
+            None => return Err(format!("junk after label {lname:?} value")),
+        };
+    }
+    Ok((name, after[end + 1..].trim()))
+}
+
+/// The declared base name a sample name resolves to, given the TYPE
+/// table: summaries own `_sum`/`_count`, histograms additionally own
+/// `_bucket`.
+fn resolve<'a>(name: &'a str, types: &BTreeMap<String, String>) -> Option<&'a str> {
+    if types.contains_key(name) {
+        return Some(name);
+    }
+    for suffix in ["_sum", "_count", "_bucket"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            match types.get(base).map(String::as_str) {
+                Some("summary") if suffix != "_bucket" => return Some(base),
+                Some("histogram") => return Some(base),
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+fn lint(text: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let n = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(decl) = line.strip_prefix("# TYPE ") {
+            let mut parts = decl.split_ascii_whitespace();
+            let (name, ty) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+            if !valid_metric_name(name) {
+                errors.push(format!("line {n}: invalid metric name {name:?} in TYPE"));
+                continue;
+            }
+            if !matches!(
+                ty,
+                "counter" | "gauge" | "summary" | "histogram" | "untyped"
+            ) {
+                errors.push(format!("line {n}: unknown metric type {ty:?}"));
+                continue;
+            }
+            if parts.next().is_some() {
+                errors.push(format!("line {n}: trailing junk after TYPE declaration"));
+                continue;
+            }
+            if types.insert(name.to_string(), ty.to_string()).is_some() {
+                errors.push(format!("line {n}: duplicate TYPE declaration for {name}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP lines and free comments are unconstrained.
+        }
+        match split_sample(line) {
+            Err(why) => errors.push(format!("line {n}: {why}")),
+            Ok((name, rest)) => {
+                if !valid_metric_name(name) {
+                    errors.push(format!("line {n}: invalid metric name {name:?}"));
+                    continue;
+                }
+                let mut fields = rest.split_ascii_whitespace();
+                let value = fields.next().unwrap_or("");
+                if !valid_value(value) {
+                    errors.push(format!("line {n}: invalid sample value {value:?}"));
+                    continue;
+                }
+                if let Some(ts) = fields.next() {
+                    if ts.parse::<i64>().is_err() {
+                        errors.push(format!("line {n}: invalid timestamp {ts:?}"));
+                        continue;
+                    }
+                }
+                if fields.next().is_some() {
+                    errors.push(format!("line {n}: trailing junk after sample"));
+                    continue;
+                }
+                if resolve(name, &types).is_none() {
+                    errors.push(format!(
+                        "line {n}: sample {name} has no preceding TYPE declaration"
+                    ));
+                    continue;
+                }
+                samples += 1;
+            }
+        }
+    }
+    if samples == 0 {
+        errors.push("exposition carries no samples".to_string());
+    }
+    errors
+}
+
+fn main() -> ExitCode {
+    let mut text = String::new();
+    match std::env::args().nth(1) {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(t) => text = t,
+            Err(e) => {
+                eprintln!("promlint: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+                eprintln!("promlint: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let errors = lint(&text);
+    if errors.is_empty() {
+        println!(
+            "promlint: ok ({} lines, {} TYPE declarations)",
+            text.lines().count(),
+            text.lines().filter(|l| l.starts_with("# TYPE ")).count()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("promlint: {e}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_expositions_pass() {
+        let text = "# TYPE sr_serve_admit_total counter\nsr_serve_admit_total 2\n\
+                    # TYPE sr_lat summary\nsr_lat{quantile=\"0.5\"} 12.5\n\
+                    sr_lat_sum 25\nsr_lat_count 2\n";
+        assert!(lint(text).is_empty(), "{:?}", lint(text));
+    }
+
+    #[test]
+    fn violations_are_reported() {
+        assert!(lint("").iter().any(|e| e.contains("no samples")));
+        let dup = "# TYPE a counter\n# TYPE a counter\na 1\n";
+        assert!(lint(dup).iter().any(|e| e.contains("duplicate")));
+        let undeclared = "mystery_metric 1\n";
+        assert!(lint(undeclared)
+            .iter()
+            .any(|e| e.contains("no preceding TYPE")));
+        let badval = "# TYPE a counter\na pancake\n";
+        assert!(lint(badval)
+            .iter()
+            .any(|e| e.contains("invalid sample value")));
+        let torn = "# TYPE a counter\na{x=\"unterminated} 1\n";
+        assert!(!lint(torn).is_empty());
+        // _sum resolves only to summary/histogram declarations.
+        let sum_on_counter = "# TYPE a counter\na_sum 1\n";
+        assert!(lint(sum_on_counter)
+            .iter()
+            .any(|e| e.contains("no preceding TYPE")));
+    }
+
+    #[test]
+    fn escapes_and_special_values_parse() {
+        let text = "# TYPE a gauge\na{path=\"C:\\\\x\\\"y\\n\",z=\"}\"} +Inf\na NaN 1234\n";
+        assert!(lint(text).is_empty(), "{:?}", lint(text));
+    }
+}

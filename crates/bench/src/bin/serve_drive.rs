@@ -1,0 +1,170 @@
+//! `serve_drive` — a framed-protocol load driver for the resident
+//! daemon, used by the CI smoke job to push a multi-tenant admit/evict
+//! workload through a live `srsched serve --socket` instance while its
+//! HTTP exposition and audit journal are attached.
+//!
+//! ```text
+//! serve_drive --socket /tmp/sr-serve.sock --tenants 24 --evict 4 --stats
+//! serve_drive --socket /tmp/sr-serve.sock --shutdown
+//! ```
+//!
+//! Flags: `--socket PATH` (required), `--tenants N` admits, `--evict K`
+//! evictions of the first K tenants, `--nodes M` fabric width for
+//! placement wrap-around (default 64), `--stats` for one delta scrape,
+//! `--shutdown` to stop the daemon. Every response must carry
+//! `"ok":true`; anything else exits 1 with the offending response on
+//! stderr.
+
+#[cfg(unix)]
+fn main() -> std::process::ExitCode {
+    unix::run()
+}
+
+#[cfg(not(unix))]
+fn main() -> std::process::ExitCode {
+    eprintln!("serve_drive: unix sockets are unavailable on this platform");
+    std::process::ExitCode::FAILURE
+}
+
+#[cfg(unix)]
+mod unix {
+    use sr::serve::{read_frame, write_frame, FrameRead};
+    use std::os::unix::net::UnixStream;
+    use std::process::ExitCode;
+
+    struct Opts {
+        socket: String,
+        tenants: usize,
+        evict: usize,
+        nodes: usize,
+        stats: bool,
+        shutdown: bool,
+    }
+
+    fn parse_args() -> Result<Opts, String> {
+        let mut opts = Opts {
+            socket: String::new(),
+            tenants: 0,
+            evict: 0,
+            nodes: 64,
+            stats: false,
+            shutdown: false,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            let mut value = |name: &str| {
+                args.next()
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--socket" => opts.socket = value("--socket")?,
+                "--tenants" => {
+                    opts.tenants = value("--tenants")?
+                        .parse()
+                        .map_err(|e| format!("--tenants: {e}"))?;
+                }
+                "--evict" => {
+                    opts.evict = value("--evict")?
+                        .parse()
+                        .map_err(|e| format!("--evict: {e}"))?;
+                }
+                "--nodes" => {
+                    opts.nodes = value("--nodes")?
+                        .parse()
+                        .map_err(|e| format!("--nodes: {e}"))?;
+                }
+                "--stats" => opts.stats = true,
+                "--shutdown" => opts.shutdown = true,
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if opts.socket.is_empty() {
+            return Err("--socket PATH is required".to_string());
+        }
+        if opts.nodes < 4 {
+            return Err("--nodes must be at least 4".to_string());
+        }
+        Ok(opts)
+    }
+
+    /// Tenant `i`: a two-task chain on its own node pair, wrapping
+    /// around the fabric — the same shape the admission benchmarks use.
+    fn admit_request(i: usize, nodes: usize) -> String {
+        let a = (i * 2) % (nodes - 2);
+        let b = a + 1;
+        format!(
+            "{{\"op\":\"admit\",\"tenant\":{{\"name\":\"drv{i}\",\
+             \"tfg\":\"task a{i} 100\\ntask b{i} 100\\nmsg m{i} a{i} -> b{i} 256\",\
+             \"placement\":[{a},{b}]}}}}"
+        )
+    }
+
+    /// One request/response round trip; errors on transport failure or a
+    /// response that is not `"ok":true`.
+    fn round_trip(stream: &mut UnixStream, request: &str) -> Result<String, String> {
+        write_frame(stream, request).map_err(|e| format!("write: {e}"))?;
+        match read_frame(stream).map_err(|e| format!("read: {e}"))? {
+            FrameRead::Frame(bytes) => {
+                let text = String::from_utf8_lossy(&bytes).into_owned();
+                if text.contains("\"ok\":true") {
+                    Ok(text)
+                } else {
+                    Err(format!("daemon refused {request}: {text}"))
+                }
+            }
+            FrameRead::Eof => Err(format!("daemon hung up on {request}")),
+            FrameRead::Oversized(n) => Err(format!("oversized {n}-byte response")),
+        }
+    }
+
+    pub fn run() -> ExitCode {
+        let opts = match parse_args() {
+            Ok(o) => o,
+            Err(why) => {
+                eprintln!("serve_drive: {why}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut stream = match UnixStream::connect(&opts.socket) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serve_drive: cannot connect to {}: {e}", opts.socket);
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut ops = 0usize;
+        let steps: Result<(), String> = (|| {
+            for i in 0..opts.tenants {
+                round_trip(&mut stream, &admit_request(i, opts.nodes))?;
+                ops += 1;
+            }
+            for i in 0..opts.evict.min(opts.tenants) {
+                round_trip(
+                    &mut stream,
+                    &format!("{{\"op\":\"evict\",\"tenant\":\"drv{i}\"}}"),
+                )?;
+                ops += 1;
+            }
+            if opts.stats {
+                let response = round_trip(&mut stream, "{\"op\":\"stats\"}")?;
+                println!("{response}");
+                ops += 1;
+            }
+            if opts.shutdown {
+                round_trip(&mut stream, "{\"op\":\"shutdown\"}")?;
+                ops += 1;
+            }
+            Ok(())
+        })();
+        match steps {
+            Ok(()) => {
+                eprintln!("serve_drive: {ops} ops acknowledged");
+                ExitCode::SUCCESS
+            }
+            Err(why) => {
+                eprintln!("serve_drive: {why}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

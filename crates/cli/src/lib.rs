@@ -258,6 +258,11 @@ pub struct Options {
     pub socket: Option<String>,
     /// For `serve`: speak the framed protocol on stdin/stdout.
     pub stdio: bool,
+    /// For `serve`: bind the HTTP exposition listener (`/metrics`,
+    /// `/healthz`, `/tenants`) at this address (e.g. `127.0.0.1:9464`).
+    pub http: Option<String>,
+    /// Positional input file (the `serve-replay` audit journal).
+    pub input: Option<String>,
 }
 
 impl Default for Options {
@@ -292,6 +297,8 @@ impl Default for Options {
             out: "report.html".into(),
             socket: None,
             stdio: false,
+            http: None,
+            input: None,
         }
     }
 }
@@ -316,6 +323,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, SpecError> {
             | "report"
             | "explain"
             | "serve"
+            | "serve-replay"
     ) {
         return Err(SpecError::new(format!(
             "unknown command '{}'\n{USAGE}",
@@ -409,6 +417,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, SpecError> {
             "--from-journal" => opts.from_journal = Some(value("--from-journal")?),
             "--socket" => opts.socket = Some(value("--socket")?),
             "--stdio" => opts.stdio = true,
+            "--http" => opts.http = Some(value("--http")?),
             "--cap-scale" => {
                 let s: f64 = value("--cap-scale")?
                     .parse()
@@ -418,7 +427,15 @@ pub fn parse_args(args: &[String]) -> Result<Options, SpecError> {
                 }
                 opts.cap_scale = Some(s);
             }
-            other => return Err(SpecError::new(format!("unknown flag '{other}'\n{USAGE}"))),
+            other => {
+                // `serve-replay` takes its journal as a bare positional.
+                if opts.command == "serve-replay" && !other.starts_with('-') && opts.input.is_none()
+                {
+                    opts.input = Some(other.to_string());
+                } else {
+                    return Err(SpecError::new(format!("unknown flag '{other}'\n{USAGE}")));
+                }
+            }
         }
     }
     Ok(opts)
@@ -437,7 +454,7 @@ fn parse_id_list(s: &str) -> Result<Vec<usize>, SpecError> {
 
 /// Usage text shown for malformed command lines.
 pub const USAGE: &str = "usage: srsched \
-<compile|simulate|sweep|info|minperiod|faults|report|explain|serve> \
+<compile|simulate|sweep|info|minperiod|faults|report|explain|serve|serve-replay> \
 [--topo SPEC] [--tfg SPEC] [--alloc SPEC] [--bandwidth B] [--period T] \
 [--guard G] [--spare E] [--parallelism N] [--alloc-engine simplex|flow] [--partition N] \
 [--vc N] [--adaptive P] [--cap-scale S] \
@@ -445,7 +462,7 @@ pub const USAGE: &str = "usage: srsched \
 [--json FILE] [--trace-out FILE] [--metrics] [--journal FILE] [--prom FILE] [--out FILE] \
 [--from-journal FILE] \
 [--fail-links L1,L2] [--fail-nodes N1,N2] [--repair] [--sweep K] \
-[--stdio] [--socket PATH]";
+[--stdio] [--socket PATH] [--http ADDR] [FILE]";
 
 /// Runs a parsed command, writing human-readable output to `out`.
 ///
@@ -755,16 +772,47 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
         }
         "serve" => {
             let config = compile_config(opts);
-            let serve_cfg = sr::serve::ServeConfig {
-                period,
-                timing,
-                feedback_scales: config.feedback_scales.clone(),
-                batch_threads: opts.parallelism,
-                compile: config,
-                ..sr::serve::ServeConfig::default()
-            };
-            let engine = sr::serve::Engine::new(topo, serve_cfg);
+            let engine = serve_engine(topo, period, timing, config, opts.parallelism);
             let mut daemon = sr::serve::Daemon::new(engine);
+            if let Some(path) = &opts.journal {
+                // The genesis meta line records everything serve-replay
+                // needs to rebuild a bit-identical engine. Resolved values
+                // (period) go in as shortest round-trip f64 text.
+                let period_s = period.to_string();
+                let bandwidth_s = opts.bandwidth.to_string();
+                let guard_s = opts.guard.to_string();
+                let spare_s = opts.spare.to_string();
+                let parallelism_s = opts.parallelism.to_string();
+                let partition_s = opts.partition.to_string();
+                let cap_scale_s = opts.cap_scale.map(|s| s.to_string());
+                let mut pairs = vec![
+                    ("topo", opts.topo.as_str()),
+                    ("period", period_s.as_str()),
+                    ("bandwidth", bandwidth_s.as_str()),
+                    ("guard", guard_s.as_str()),
+                    ("spare", spare_s.as_str()),
+                    ("parallelism", parallelism_s.as_str()),
+                    ("partition", partition_s.as_str()),
+                    (
+                        "alloc_engine",
+                        match opts.alloc_engine {
+                            AllocEngine::Simplex => "simplex",
+                            AllocEngine::Flow => "flow",
+                        },
+                    ),
+                ];
+                if let Some(s) = &cap_scale_s {
+                    pairs.push(("cap_scale", s.as_str()));
+                }
+                daemon.attach_journal(std::path::Path::new(path), &pairs)?;
+                eprintln!("serve: audit journal at {path}");
+            }
+            if let Some(addr) = &opts.http {
+                // Frames may own stdout (--stdio), so the bound address —
+                // needed when binding port 0 — goes to stderr.
+                let bound = daemon.attach_http(addr)?;
+                eprintln!("serve: http exposition on http://{bound}/metrics");
+            }
             if opts.stdio {
                 // The framed protocol owns stdin/stdout; nothing else may
                 // be written to `out` (it would trail the frame stream).
@@ -775,6 +823,13 @@ pub fn run(opts: &Options, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error
             } else {
                 return Err(SpecError::new("serve requires --stdio or --socket PATH").into());
             }
+        }
+        "serve-replay" => {
+            let path = opts
+                .input
+                .as_ref()
+                .ok_or_else(|| SpecError::new("serve-replay requires a journal FILE argument"))?;
+            run_serve_replay(path, out)?;
         }
         _ => unreachable!("validated in parse_args"),
     }
@@ -978,6 +1033,147 @@ fn compile_config(opts: &Options) -> CompileConfig {
         config.feedback_scales = vec![s];
     }
     config
+}
+
+/// Assembles the serve engine the `serve` and `serve-replay` subcommands
+/// share — one construction path, so a replayed engine is configured
+/// bit-identically to the daemon that wrote the journal.
+fn serve_engine(
+    topo: Box<dyn Topology>,
+    period: f64,
+    timing: Timing,
+    config: CompileConfig,
+    batch_threads: usize,
+) -> sr::serve::Engine {
+    let serve_cfg = sr::serve::ServeConfig {
+        period,
+        timing,
+        feedback_scales: config.feedback_scales.clone(),
+        batch_threads,
+        compile: config,
+        ..sr::serve::ServeConfig::default()
+    };
+    sr::serve::Engine::new(topo, serve_cfg)
+}
+
+/// Rebuilds the serve engine from an audit journal's genesis meta line.
+/// `topo` and `period` are required; every other knob falls back to its
+/// command-line default (matching a daemon started without that flag).
+fn engine_from_meta(
+    meta: &std::collections::BTreeMap<String, String>,
+) -> Result<sr::serve::Engine, Box<dyn Error>> {
+    let get = |k: &str| meta.get(k).map(String::as_str);
+    let topo = parse_topology(
+        get("topo").ok_or_else(|| SpecError::new("audit meta is missing \"topo\""))?,
+    )?;
+    let period: f64 = get("period")
+        .ok_or_else(|| SpecError::new("audit meta is missing \"period\""))?
+        .parse()
+        .map_err(|_| SpecError::new("audit meta \"period\" is not a number"))?;
+    let defaults = Options::default();
+    let num = |k: &str, fallback: f64| get(k).and_then(|s| s.parse().ok()).unwrap_or(fallback);
+    let int = |k: &str, fallback: usize| get(k).and_then(|s| s.parse().ok()).unwrap_or(fallback);
+    let bandwidth = num("bandwidth", defaults.bandwidth);
+    let parallelism = int("parallelism", defaults.parallelism);
+    let mut config = CompileConfig {
+        guard_time: num("guard", defaults.guard),
+        parallelism,
+        spare_capacity: num("spare", defaults.spare),
+        alloc_engine: match get("alloc_engine") {
+            Some("flow") => AllocEngine::Flow,
+            _ => AllocEngine::Simplex,
+        },
+        partition: int("partition", defaults.partition),
+        ..CompileConfig::default()
+    };
+    if let Some(s) = get("cap_scale").and_then(|s| s.parse::<f64>().ok()) {
+        config.feedback_scales = vec![s];
+    }
+    Ok(serve_engine(
+        topo,
+        period,
+        Timing::calibrated_dvb(bandwidth),
+        config,
+        parallelism,
+    ))
+}
+
+/// The `serve-replay` subcommand: re-drive a fresh engine from an audit
+/// journal and verify every recorded outcome bit-for-bit. A rotated
+/// journal is stitched back together from `<FILE>.1` + `<FILE>`; a torn
+/// final line (crash mid-write) is reported and the intact prefix still
+/// verifies. Any divergence is an error (nonzero exit).
+fn run_serve_replay(path: &str, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error>> {
+    use sr::serve::{apply_record, ledger_hash, parse_audit_line, AuditLine, AuditOp};
+    let live = std::fs::read_to_string(path)?;
+    let first_is_meta = live
+        .lines()
+        .next()
+        .is_some_and(|l| matches!(parse_audit_line(l), Ok(AuditLine::Meta(_))));
+    let mut text = String::new();
+    if !first_is_meta {
+        // The live file starts mid-session: rotation moved the prefix
+        // (including the genesis meta line) to `<path>.1`.
+        if let Ok(prev) = std::fs::read_to_string(format!("{path}.1")) {
+            writeln!(out, "serve-replay: stitching rotated prefix from {path}.1")?;
+            text.push_str(&prev);
+        }
+    }
+    text.push_str(&live);
+
+    let mut engine: Option<sr::serve::Engine> = None;
+    let (mut admits, mut evicts, mut rejects) = (0u64, 0u64, 0u64);
+    let mut tear: Option<(usize, String)> = None;
+    let total = text.lines().count();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_audit_line(line) {
+            Ok(AuditLine::Meta(pairs)) => {
+                if engine.is_none() {
+                    engine = Some(engine_from_meta(&pairs)?);
+                }
+            }
+            Ok(AuditLine::Record(r)) => {
+                let eng = engine.as_mut().ok_or_else(|| {
+                    SpecError::new(
+                        "audit journal has records before its meta line (rotated past the \
+                         genesis?) — cannot rebuild the engine",
+                    )
+                })?;
+                apply_record(eng, &r, &sr::obs::NOOP).map_err(|e| {
+                    SpecError::new(format!("replay diverged at line {}: {e}", i + 1))
+                })?;
+                match r.op {
+                    AuditOp::Admit => admits += 1,
+                    AuditOp::Evict => evicts += 1,
+                    AuditOp::Reject => rejects += 1,
+                }
+            }
+            Err(why) => {
+                tear = Some((i + 1, why));
+                break;
+            }
+        }
+    }
+    if let Some((lineno, why)) = &tear {
+        writeln!(
+            out,
+            "serve-replay: torn line {lineno} of {total} ({why}); verified the intact prefix"
+        )?;
+    }
+    let eng =
+        engine.ok_or_else(|| SpecError::new(format!("{path} has no audit meta line to replay")))?;
+    writeln!(
+        out,
+        "serve-replay: {} ops verified bit-identical ({admits} admits, {evicts} evicts, \
+         {rejects} rejects); tenants: {}; ledger hash {:016x}",
+        admits + evicts + rejects,
+        eng.tenants().count(),
+        ledger_hash(&eng)
+    )?;
+    Ok(())
 }
 
 /// The `report` subcommand: compile the schedule, run the wormhole baseline
@@ -1538,6 +1734,22 @@ mod tests {
         assert!(parse_args(&args("compile --cap-scale 0")).is_err());
         assert!(parse_args(&args("compile --cap-scale 1.5")).is_err());
         assert!(parse_args(&args("compile --journal")).is_err());
+    }
+
+    #[test]
+    fn parse_serve_ops_flags() {
+        let o = parse_args(&args(
+            "serve --stdio --http 127.0.0.1:9464 --journal audit.jsonl",
+        ))
+        .unwrap();
+        assert_eq!(o.http.as_deref(), Some("127.0.0.1:9464"));
+        assert_eq!(o.journal.as_deref(), Some("audit.jsonl"));
+        let o = parse_args(&args("serve-replay audit.jsonl")).unwrap();
+        assert_eq!(o.command, "serve-replay");
+        assert_eq!(o.input.as_deref(), Some("audit.jsonl"));
+        // A second positional or a stray flag still errors.
+        assert!(parse_args(&args("serve-replay a.jsonl b.jsonl")).is_err());
+        assert!(parse_args(&args("compile extra.file")).is_err());
     }
 
     #[test]

@@ -113,6 +113,25 @@ impl JournalWriter {
         Ok(())
     }
 
+    /// Writes one caller-rendered JSONL line through the same rotation
+    /// machinery as the typed writers. The caller owns the vocabulary —
+    /// the serve audit journal appends its `{"t":"audit",...}` records
+    /// this way — but the line must be a single line (no `\n`).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` if `line` contains a newline (it would tear the
+    /// JSONL framing); otherwise propagates file I/O errors.
+    pub fn raw(&mut self, line: &str) -> io::Result<()> {
+        if line.contains('\n') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "journal line must not contain a newline",
+            ));
+        }
+        self.write_line(line)
+    }
+
     /// Writes one meta line from free-form string pairs (run id, command
     /// line, workload name, …).
     pub fn meta(&mut self, pairs: &[(&str, &str)]) -> io::Result<()> {
@@ -584,6 +603,66 @@ mod tests {
         assert_eq!(data.events.last().unwrap().message, 399);
         let _ = fs::remove_file(&path);
         let _ = fs::remove_file(&old);
+    }
+
+    #[test]
+    fn rotation_at_the_byte_boundary_never_tears_a_record() {
+        let path = tmp("boundary");
+        let mut old = path.clone().into_os_string();
+        old.push(".1");
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(&old);
+        // Records sized so one lands exactly astride the (clamped 4 KiB)
+        // budget: the writer must rotate *between* records, leaving every
+        // line whole in exactly one of the two files.
+        // 45 records × ~144 bytes ≈ 6.5 KiB: past one budget (forcing a
+        // rotation) but under two (so no record is dropped, only moved).
+        let mut w = JournalWriter::create(&path, 0).unwrap();
+        let total = 45u64;
+        for i in 0..total {
+            w.counter(&format!("boundary.key.{i:04}.{}", "x".repeat(97)), i)
+                .unwrap();
+        }
+        w.flush().unwrap();
+        assert_eq!(w.lines(), total);
+        assert!(w.rotations() >= 1, "budget was never exceeded");
+        let rotated = fs::read_to_string(&old).unwrap();
+        let live = fs::read_to_string(&path).unwrap();
+        // Both files end on a record boundary and respect the budget.
+        assert!(rotated.ends_with('\n') && live.ends_with('\n'));
+        assert!(rotated.len() as u64 <= 4096);
+        // Every record parses whole from one file; together they are the
+        // full write sequence in order.
+        let both = format!("{rotated}{live}");
+        let data = parse_journal(&both);
+        assert_eq!(data.skipped, 0);
+        assert_eq!(data.counters.len(), total as usize);
+        for i in 0..total {
+            assert_eq!(
+                data.counters[&format!("boundary.key.{i:04}.{}", "x".repeat(97))],
+                i
+            );
+        }
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(&old);
+    }
+
+    #[test]
+    fn raw_lines_ride_the_same_rotation_and_reject_newlines() {
+        let path = tmp("raw");
+        let _ = fs::remove_file(&path);
+        let mut w = JournalWriter::create(&path, DEFAULT_MAX_BYTES).unwrap();
+        w.raw("{\"t\":\"audit\",\"op\":\"admit\",\"tenant\":\"t0\"}")
+            .unwrap();
+        assert!(w.raw("{\"t\":\"audit\"}\n{\"t\":\"audit\"}").is_err());
+        w.flush().unwrap();
+        assert_eq!(w.lines(), 1);
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            "{\"t\":\"audit\",\"op\":\"admit\",\"tenant\":\"t0\"}\n"
+        );
+        let _ = fs::remove_file(&path);
     }
 
     #[test]

@@ -3,10 +3,11 @@
 //!
 //! [`MetricsRecorder::export_prometheus`] renders the recorder's state in
 //! the Prometheus text exposition format (version 0.0.4): counters become
-//! `sr_<name>_total` counter metrics, histogram summaries become gauges
-//! with a `stat` label, and per-name span aggregates become labelled
-//! totals. Everything is emitted in sorted order, so two exports of the
-//! same state are byte-identical — the same determinism contract as
+//! `sr_<name>_total` counter metrics, histograms become **summary**
+//! metrics (`quantile`-labelled sample lines plus the `_sum`/`_count`
+//! pair), and per-name span aggregates become labelled totals. Everything
+//! is emitted in sorted order, so two exports of the same state are
+//! byte-identical — the same determinism contract as
 //! [`MetricsRecorder::metrics_table`].
 //!
 //! For a long-running process that wants *rates* rather than cumulative
@@ -80,30 +81,27 @@ impl MetricsRecorder {
         let mut out = String::new();
         render_counters(&mut out, &inner.counters);
 
-        let mut hists: BTreeMap<String, Summary> = BTreeMap::new();
+        let mut hists: BTreeMap<String, (Summary, f64)> = BTreeMap::new();
         for (name, samples) in &inner.histograms {
             let s = Summary::of(samples);
+            let sum: f64 = samples.iter().filter(|v| !v.is_nan()).sum();
             let e = hists.entry(metric_name(name, "")).or_default();
-            // Merged sanitized names keep the larger sample set's summary
-            // shape; counts always sum.
-            let count = e.count + s.count;
-            if s.count > e.count {
-                *e = s;
+            // Merged sanitized names keep the larger sample set's quantile
+            // shape; counts and sums always accumulate.
+            let count = e.0.count + s.count;
+            if s.count > e.0.count {
+                e.0 = s;
             }
-            e.count = count;
+            e.0.count = count;
+            e.1 += sum;
         }
-        for (metric, s) in &hists {
-            let _ = writeln!(out, "# TYPE {metric} gauge");
-            for (stat, v) in [
-                ("max", s.max),
-                ("mean", s.mean),
-                ("p50", s.p50),
-                ("p95", s.p95),
-            ] {
-                let _ = writeln!(out, "{metric}{{stat=\"{stat}\"}} {}", json_num(v));
+        for (metric, (s, sum)) in &hists {
+            let _ = writeln!(out, "# TYPE {metric} summary");
+            for (q, v) in [("0.5", s.p50), ("0.95", s.p95), ("1", s.max)] {
+                let _ = writeln!(out, "{metric}{{quantile=\"{q}\"}} {}", json_num(v));
             }
-            let _ = writeln!(out, "# TYPE {metric}_samples_total counter");
-            let _ = writeln!(out, "{metric}_samples_total {}", s.count);
+            let _ = writeln!(out, "{metric}_sum {}", json_num(*sum));
+            let _ = writeln!(out, "{metric}_count {}", s.count);
         }
 
         let agg = aggregate_spans(&inner.spans, now);
@@ -193,16 +191,40 @@ mod tests {
     }
 
     #[test]
-    fn histograms_export_stats_and_sample_count() {
+    fn histograms_export_as_summaries() {
         let r = MetricsRecorder::new();
         for v in [1.0, 2.0, 3.0, 4.0] {
             r.observe("sim.latency-us", v);
         }
         let text = r.export_prometheus();
-        assert!(text.contains("# TYPE sr_sim_latency_us gauge"));
-        assert!(text.contains("sr_sim_latency_us{stat=\"p50\"} 2"));
-        assert!(text.contains("sr_sim_latency_us{stat=\"max\"} 4"));
-        assert!(text.contains("sr_sim_latency_us_samples_total 4"));
+        assert!(text.contains("# TYPE sr_sim_latency_us summary"));
+        assert!(text.contains("sr_sim_latency_us{quantile=\"0.5\"} 2"));
+        assert!(text.contains("sr_sim_latency_us{quantile=\"1\"} 4"));
+        assert!(text.contains("sr_sim_latency_us_sum 10"));
+        assert!(text.contains("sr_sim_latency_us_count 4"));
+    }
+
+    #[test]
+    fn histogram_exposition_is_golden_and_rexports_byte_identically() {
+        let r = MetricsRecorder::new();
+        r.add("serve.admit", 2);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            r.observe("serve.admit_latency.fast", v);
+        }
+        let text = r.export_prometheus();
+        assert_eq!(
+            text,
+            "# TYPE sr_serve_admit_total counter\n\
+             sr_serve_admit_total 2\n\
+             # TYPE sr_serve_admit_latency_fast summary\n\
+             sr_serve_admit_latency_fast{quantile=\"0.5\"} 2\n\
+             sr_serve_admit_latency_fast{quantile=\"0.95\"} 4\n\
+             sr_serve_admit_latency_fast{quantile=\"1\"} 4\n\
+             sr_serve_admit_latency_fast_sum 10\n\
+             sr_serve_admit_latency_fast_count 4\n"
+        );
+        // Byte-identical re-export of unchanged state.
+        assert_eq!(text, r.export_prometheus());
     }
 
     #[test]

@@ -19,14 +19,19 @@
 
 use std::io::{self, Read, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
-use crate::engine::Engine;
+use crate::audit::{
+    ledger_hash, render_admit_record, render_evict_record, render_reject_record, spans_hash,
+};
+use crate::engine::{AdmitError, AdmitReport, Engine, Rejection, TenantSpec};
 use crate::error::{ErrorKind, ServeError};
+use crate::http::{self, OpsState};
 use crate::json::parse;
 use crate::protocol::{
     admit_error, parse_request, render_admit, render_batch, render_list, render_query, Request,
 };
-use sr_obs::{escape_json, CounterSnapshot, MetricsRecorder, Recorder};
+use sr_obs::{escape_json, CounterSnapshot, JournalWriter, MetricsRecorder, Recorder};
 
 /// Maximum accepted frame payload, bytes (1 MiB).
 pub const MAX_FRAME: usize = 1 << 20;
@@ -79,11 +84,16 @@ pub fn write_frame(writer: &mut dyn Write, payload: &str) -> io::Result<()> {
     writer.flush()
 }
 
-/// The daemon: an [`Engine`], its metrics recorder, and the scrape cursor.
+/// The daemon: an [`Engine`], its metrics recorder, the scrape cursor,
+/// and the optional out-of-band surfaces (HTTP exposition, audit journal).
 pub struct Daemon {
     engine: Engine,
-    rec: MetricsRecorder,
+    rec: Arc<MetricsRecorder>,
     last_scrape: CounterSnapshot,
+    ops: Option<Arc<OpsState>>,
+    http_addr: Option<std::net::SocketAddr>,
+    audit: Option<JournalWriter>,
+    last_admission: String,
 }
 
 impl Daemon {
@@ -91,8 +101,12 @@ impl Daemon {
     pub fn new(engine: Engine) -> Daemon {
         Daemon {
             engine,
-            rec: MetricsRecorder::new(),
+            rec: Arc::new(MetricsRecorder::new()),
             last_scrape: CounterSnapshot::default(),
+            ops: None,
+            http_addr: None,
+            audit: None,
+            last_admission: String::new(),
         }
     }
 
@@ -104,6 +118,128 @@ impl Daemon {
     /// The daemon's metrics recorder.
     pub fn recorder(&self) -> &MetricsRecorder {
         &self.rec
+    }
+
+    /// Starts the HTTP exposition listener (`/metrics`, `/healthz`,
+    /// `/tenants`) on `addr` and returns the bound address (`:0` resolves
+    /// to a real port). At most one listener per daemon.
+    ///
+    /// # Errors
+    ///
+    /// Bind/listen errors, or `AlreadyExists` if a listener is attached.
+    pub fn attach_http(&mut self, addr: &str) -> io::Result<std::net::SocketAddr> {
+        if self.ops.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "an HTTP listener is already attached",
+            ));
+        }
+        let state = Arc::new(OpsState::new(Arc::clone(&self.rec)));
+        state.publish(
+            &self.engine,
+            &self.last_admission,
+            self.audit.as_ref().map(|j| (j.lines(), j.rotations())),
+        );
+        let bound = http::spawn(addr, Arc::clone(&state))?;
+        self.ops = Some(state);
+        self.http_addr = Some(bound);
+        Ok(bound)
+    }
+
+    /// Attaches the admission audit journal at `path` with the default
+    /// 8 MiB rotation budget. `meta` becomes the genesis
+    /// `{"t":"meta","kind":"serve-audit",...}` line — record the engine
+    /// configuration here so `serve-replay` can rebuild the engine.
+    ///
+    /// # Errors
+    ///
+    /// Journal file I/O errors.
+    pub fn attach_journal(
+        &mut self,
+        path: &std::path::Path,
+        meta: &[(&str, &str)],
+    ) -> io::Result<()> {
+        self.attach_journal_with(path, sr_obs::DEFAULT_MAX_BYTES, meta)
+    }
+
+    /// [`Daemon::attach_journal`] with an explicit rotation budget
+    /// (clamped to ≥ 4 KiB by the writer).
+    ///
+    /// # Errors
+    ///
+    /// Journal file I/O errors.
+    pub fn attach_journal_with(
+        &mut self,
+        path: &std::path::Path,
+        max_bytes: u64,
+        meta: &[(&str, &str)],
+    ) -> io::Result<()> {
+        let mut journal = JournalWriter::create(path, max_bytes)?;
+        let mut pairs = vec![("kind", "serve-audit")];
+        pairs.extend_from_slice(meta);
+        journal.meta(&pairs)?;
+        journal.flush()?;
+        self.audit = Some(journal);
+        Ok(())
+    }
+
+    /// Appends one audit line (write + flush so a crash loses at most the
+    /// record being written). Journal failures are counted, not fatal —
+    /// the admission path never dies for observability.
+    fn audit_line(&mut self, line: &str) {
+        let Some(journal) = &mut self.audit else {
+            return;
+        };
+        match journal.raw(line).and_then(|()| journal.flush()) {
+            Ok(()) => self.rec.add("serve.journal.records", 1),
+            Err(_) => self.rec.add("serve.journal.errors", 1),
+        }
+    }
+
+    /// Publishes the post-mutation snapshot to the HTTP listener.
+    fn publish(&self) {
+        if let Some(ops) = &self.ops {
+            ops.publish(
+                &self.engine,
+                &self.last_admission,
+                self.audit.as_ref().map(|j| (j.lines(), j.rotations())),
+            );
+        }
+    }
+
+    fn record_admit(&mut self, spec: &TenantSpec, report: &AdmitReport) {
+        self.last_admission = format!(
+            "{}: {}",
+            report.name,
+            if report.replayed {
+                "replay"
+            } else {
+                report.rung.label()
+            }
+        );
+        if self.audit.is_some() {
+            let spans = self
+                .engine
+                .tenant(&report.name)
+                .map_or(0, |t| spans_hash(&t.spans));
+            let line = render_admit_record(spec, report, spans, ledger_hash(&self.engine));
+            self.audit_line(&line);
+        }
+    }
+
+    fn record_reject(&mut self, spec: &TenantSpec, rej: &Rejection) {
+        self.last_admission = format!("{}: reject", spec.name);
+        if self.audit.is_some() {
+            let line = render_reject_record(spec, rej, ledger_hash(&self.engine));
+            self.audit_line(&line);
+        }
+    }
+
+    fn record_evict(&mut self, name: &str, latency_us: f64) {
+        if self.audit.is_some() {
+            let line = render_evict_record(name, latency_us, ledger_hash(&self.engine));
+            self.audit_line(&line);
+        }
     }
 
     /// Handles one request frame and returns `(response, shutdown)`.
@@ -151,29 +287,57 @@ impl Daemon {
             Err(e) => return self.fail(e),
         };
         match request {
-            Request::Admit(spec) => match self.engine.admit(&spec, &self.rec) {
-                Ok(report) => (render_admit(&report), false),
-                Err(e) => self.fail(admit_error(&e)),
+            Request::Admit(spec) => match self.engine.admit(&spec, self.rec.as_ref()) {
+                Ok(report) => {
+                    self.record_admit(&spec, &report);
+                    self.publish();
+                    (render_admit(&report), false)
+                }
+                Err(e) => {
+                    if let AdmitError::Infeasible(rej) = &e {
+                        self.record_reject(&spec, rej);
+                        self.publish();
+                    }
+                    self.fail(admit_error(&e))
+                }
             },
             Request::AdmitBatch(specs) => {
-                let results = self.engine.admit_batch(&specs, &self.rec);
-                for r in &results {
-                    if let Err(e) = r {
-                        self.rec.add(&admit_error(e).kind.counter(), 1);
+                let results = self.engine.admit_batch(&specs, self.rec.as_ref());
+                for (spec, r) in specs.iter().zip(&results) {
+                    match r {
+                        Ok(report) => self.record_admit(spec, report),
+                        Err(e) => {
+                            self.rec.add(&admit_error(e).kind.counter(), 1);
+                            if let AdmitError::Infeasible(rej) = e {
+                                self.record_reject(spec, rej);
+                            }
+                        }
                     }
                 }
+                self.publish();
                 (render_batch(&results), false)
             }
-            Request::Evict(name) => match self.engine.evict(&name, &self.rec) {
-                Ok(()) => (
-                    format!(
-                        "{{\"ok\":true,\"op\":\"evict\",\"tenant\":\"{}\"}}",
-                        escape_json(&name)
-                    ),
-                    false,
-                ),
-                Err(detail) => self.fail(ServeError::new(ErrorKind::UnknownTenant, detail)),
-            },
+            Request::Evict(name) => {
+                // The engine times the eviction into its histogram; the
+                // audit record carries the daemon-side wall clock, taken
+                // only when a journal is attached.
+                let t0 = self.audit.as_ref().map(|_| std::time::Instant::now());
+                match self.engine.evict(&name, self.rec.as_ref()) {
+                    Ok(()) => {
+                        let us = t0.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e6);
+                        self.record_evict(&name, us);
+                        self.publish();
+                        (
+                            format!(
+                                "{{\"ok\":true,\"op\":\"evict\",\"tenant\":\"{}\"}}",
+                                escape_json(&name)
+                            ),
+                            false,
+                        )
+                    }
+                    Err(detail) => self.fail(ServeError::new(ErrorKind::UnknownTenant, detail)),
+                }
+            }
             Request::Query(name) => match self.engine.tenant(&name) {
                 Some(t) => (render_query(t), false),
                 None => self.fail(ServeError::new(
@@ -182,20 +346,38 @@ impl Daemon {
                 )),
             },
             Request::List => (render_list(&self.engine), false),
-            Request::Stats => {
+            Request::Stats { cumulative } => {
                 self.rec.add("serve.scrapes", 1);
-                let now = self.rec.counter_snapshot();
-                let delta = now.delta_since(&self.last_scrape);
-                self.last_scrape = now;
-                (
-                    format!(
-                        "{{\"ok\":true,\"op\":\"stats\",\"prometheus\":\"{}\"}}",
-                        escape_json(&delta.export_prometheus())
-                    ),
-                    false,
-                )
+                if cumulative {
+                    // Non-destructive: the full recorder state, leaving
+                    // the delta cursor where it was.
+                    (
+                        format!(
+                            "{{\"ok\":true,\"op\":\"stats\",\"mode\":\"cumulative\",\
+                             \"prometheus\":\"{}\"}}",
+                            escape_json(&self.rec.export_prometheus())
+                        ),
+                        false,
+                    )
+                } else {
+                    let now = self.rec.counter_snapshot();
+                    let delta = now.delta_since(&self.last_scrape);
+                    self.last_scrape = now;
+                    (
+                        format!(
+                            "{{\"ok\":true,\"op\":\"stats\",\"prometheus\":\"{}\"}}",
+                            escape_json(&delta.export_prometheus())
+                        ),
+                        false,
+                    )
+                }
             }
-            Request::Shutdown => ("{\"ok\":true,\"op\":\"shutdown\"}".to_string(), true),
+            Request::Shutdown => {
+                if let (Some(ops), Some(addr)) = (&self.ops, self.http_addr) {
+                    ops.shutdown(addr);
+                }
+                ("{\"ok\":true,\"op\":\"shutdown\"}".to_string(), true)
+            }
         }
     }
 
@@ -285,6 +467,7 @@ impl Daemon {
 mod tests {
     use super::*;
     use crate::engine::ServeConfig;
+    use sr_obs::NOOP;
     use sr_topology::Torus;
 
     fn daemon() -> Daemon {
@@ -403,5 +586,89 @@ mod tests {
         // Only the delta since the first scrape: one request, one scrape.
         assert!(second.contains("sr_serve_requests_total 1"), "{second}");
         assert!(!second.contains("sr_serve_requests_total 2"), "{second}");
+    }
+
+    #[test]
+    fn stats_cumulative_does_not_consume_the_delta() {
+        let mut d = daemon();
+        let (first, _) = d.handle_frame(br#"{"op":"stats","mode":"cumulative"}"#);
+        assert!(first.contains("\"mode\":\"cumulative\""), "{first}");
+        assert!(first.contains("sr_serve_requests_total 1"), "{first}");
+        let (second, _) = d.handle_frame(br#"{"op":"stats","mode":"cumulative"}"#);
+        // Cumulative keeps growing — nothing was reset.
+        assert!(second.contains("sr_serve_requests_total 2"), "{second}");
+        // The delta cursor was never touched: the first delta scrape sees
+        // all three requests so far.
+        let (third, _) = d.handle_frame(br#"{"op":"stats"}"#);
+        assert!(third.contains("sr_serve_requests_total 3"), "{third}");
+        // And a second delta sees only its own request.
+        let (fourth, _) = d.handle_frame(br#"{"op":"stats"}"#);
+        assert!(fourth.contains("sr_serve_requests_total 1"), "{fourth}");
+        let (bad, _) = d.handle_frame(br#"{"op":"stats","mode":"sideways"}"#);
+        assert!(bad.contains("\"kind\":\"malformed\""), "{bad}");
+    }
+
+    #[test]
+    fn audit_journal_records_admits_evicts_and_rejects() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("sr_serve_audit_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut d = daemon();
+        d.attach_journal(&path, &[("topo", "torus:4x4")]).unwrap();
+        let admit = r#"{"op":"admit","tenant":{"name":"t1","tfg":"task a 100\ntask b 100\nmsg m a -> b 256","placement":[0,1]}}"#;
+        let (resp, _) = d.handle_frame(admit.as_bytes());
+        assert!(resp.contains("\"rung\":\"fast\""), "{resp}");
+        let (resp, _) = d.handle_frame(br#"{"op":"evict","tenant":"t1"}"#);
+        assert!(resp.contains("\"op\":\"evict\""), "{resp}");
+        let reject = r#"{"op":"admit","tenant":{"name":"hog","tfg":"task a 100\ntask b 100\nmsg m a -> b 2000000","placement":[0,1]}}"#;
+        let (resp, _) = d.handle_frame(reject.as_bytes());
+        assert!(resp.contains("\"kind\":\"infeasible\""), "{resp}");
+        assert_eq!(d.recorder().counter("serve.journal.records"), 3);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "{text}");
+        assert!(
+            lines[0].contains("\"kind\":\"serve-audit\""),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].contains("\"topo\":\"torus:4x4\""), "{}", lines[0]);
+        // Re-drive a fresh engine from the records and verify each one.
+        let mut fresh = daemon();
+        for line in &lines[1..] {
+            match crate::audit::parse_audit_line(line).expect("parses") {
+                crate::audit::AuditLine::Record(r) => {
+                    crate::audit::apply_record(&mut fresh.engine, &r, &NOOP).expect("verifies");
+                }
+                other => panic!("expected record, got {other:?}"),
+            }
+        }
+        assert_eq!(
+            crate::audit::ledger_hash(&fresh.engine),
+            crate::audit::ledger_hash(&d.engine)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn http_listener_serves_the_daemon_workload() {
+        let mut d = daemon();
+        let addr = d.attach_http("127.0.0.1:0").unwrap();
+        let admit = r#"{"op":"admit","tenant":{"name":"t1","tfg":"task a 100\ntask b 100\nmsg m a -> b 256","placement":[0,1]}}"#;
+        let (resp, _) = d.handle_frame(admit.as_bytes());
+        assert!(resp.contains("\"rung\":\"fast\""), "{resp}");
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        assert!(text.contains("\"tenants\":1"), "{text}");
+        assert!(text.contains("\"last_admission\":\"t1: fast\""), "{text}");
+        assert!(
+            d.attach_http("127.0.0.1:0").is_err(),
+            "at most one listener"
+        );
+        let (_, shutdown) = d.handle_frame(br#"{"op":"shutdown"}"#);
+        assert!(shutdown);
     }
 }

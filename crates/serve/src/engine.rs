@@ -203,6 +203,16 @@ pub struct AdmitReport {
     pub messages: usize,
     /// Links the tenant occupies.
     pub links_used: usize,
+    /// Ladder rungs attempted (0 for a replayed admission: the ladder
+    /// never ran).
+    pub rungs_tried: usize,
+    /// Wall-clock admission latency, µs. 0 when the recorder is disabled —
+    /// the no-op path takes no timestamps at all.
+    pub latency_us: f64,
+    /// Per-stage wall-clock breakdown in ladder order, µs (empty when the
+    /// recorder is disabled). Never rendered on the wire — responses stay
+    /// byte-deterministic; this feeds the audit journal and histograms.
+    pub ladder_us: Vec<(&'static str, f64)>,
 }
 
 /// Why [`Engine::admit`] failed.
@@ -232,6 +242,37 @@ pub struct Rejection {
     pub saturated: Vec<(LinkId, f64)>,
     /// Ladder rungs consumed before rejecting.
     pub rungs_tried: usize,
+    /// Wall-clock latency of the rejected admission, µs (0 when the
+    /// recorder is disabled).
+    pub latency_us: f64,
+    /// Per-stage wall-clock breakdown in ladder order, µs (empty when the
+    /// recorder is disabled).
+    pub ladder_us: Vec<(&'static str, f64)>,
+}
+
+/// Wall-clock per-stage lap timer for the admission ladder. Inert (no
+/// timestamps taken) unless constructed enabled, so the no-op recorder
+/// path stays free.
+struct LadderTimer {
+    last: Option<std::time::Instant>,
+    laps: Vec<(&'static str, f64)>,
+}
+
+impl LadderTimer {
+    fn new(enabled: bool) -> LadderTimer {
+        LadderTimer {
+            last: enabled.then(std::time::Instant::now),
+            laps: Vec::new(),
+        }
+    }
+
+    /// Records the time since the previous checkpoint under `label`.
+    fn lap(&mut self, label: &'static str) {
+        if let Some(t) = self.last {
+            self.laps.push((label, t.elapsed().as_secs_f64() * 1e6));
+            self.last = Some(std::time::Instant::now());
+        }
+    }
 }
 
 /// A memoized admission result, replayed verbatim when the same spec is
@@ -325,6 +366,12 @@ impl Engine {
 
     /// Admits one tenant through the degradation ladder.
     ///
+    /// When the recorder is enabled, the resolution latency lands in a
+    /// per-outcome histogram (`serve.admit_latency.{replay,fast,adapted,
+    /// rerouted,best_effort,reject}`) and the report/rejection carries the
+    /// wall-clock total plus a per-stage ladder breakdown. The no-op
+    /// recorder path takes no timestamps.
+    ///
     /// # Errors
     ///
     /// [`AdmitError`] — duplicate name, invalid spec, ladder exhausted, or
@@ -333,6 +380,47 @@ impl Engine {
         &mut self,
         spec: &TenantSpec,
         rec: &dyn Recorder,
+    ) -> Result<AdmitReport, AdmitError> {
+        let t0 = rec.enabled().then(std::time::Instant::now);
+        let mut timer = LadderTimer::new(t0.is_some());
+        let mut result = self.admit_inner(spec, rec, &mut timer);
+        if let Some(t0) = t0 {
+            let us = t0.elapsed().as_secs_f64() * 1e6;
+            let metric = match &result {
+                Ok(r) if r.replayed => Some("serve.admit_latency.replay"),
+                Ok(r) => Some(match r.rung {
+                    AdmitRung::Fast => "serve.admit_latency.fast",
+                    AdmitRung::Adapted => "serve.admit_latency.adapted",
+                    AdmitRung::Rerouted => "serve.admit_latency.rerouted",
+                    AdmitRung::BestEffort => "serve.admit_latency.best_effort",
+                }),
+                Err(AdmitError::Infeasible(_)) => Some("serve.admit_latency.reject"),
+                Err(_) => None,
+            };
+            if let Some(m) = metric {
+                rec.observe(m, us);
+            }
+            match &mut result {
+                Ok(r) => {
+                    r.latency_us = us;
+                    r.ladder_us = std::mem::take(&mut timer.laps);
+                }
+                Err(AdmitError::Infeasible(rej)) => {
+                    rej.latency_us = us;
+                    rej.ladder_us = std::mem::take(&mut timer.laps);
+                }
+                Err(_) => {}
+            }
+        }
+        result
+    }
+
+    /// The admission ladder body; `admit` wraps it with outcome timing.
+    fn admit_inner(
+        &mut self,
+        spec: &TenantSpec,
+        rec: &dyn Recorder,
+        timer: &mut LadderTimer,
     ) -> Result<AdmitReport, AdmitError> {
         let span = span_with(rec, "serve.admit", || spec.name.clone());
         rec.add("serve.admit", 1);
@@ -351,6 +439,7 @@ impl Engine {
             },
             1,
         );
+        timer.lap("compile");
         let ledger = self.ledger();
         let guard = self.cfg.compile.guard_time;
 
@@ -365,6 +454,7 @@ impl Engine {
                 let (rung, scale) = (last.rung, last.scale);
                 tenant.seq = self.admit_seq;
                 span.annotate("rung", 0.0);
+                timer.lap("replay");
                 return self.install(tenant, rung, scale, memo_hit, true, rec);
             }
         }
@@ -372,7 +462,9 @@ impl Engine {
         // Rung 1: fast path — the standalone schedule fits verbatim.
         if let Some(sched) = entry.schedule.clone() {
             let spans = spans_of_schedule(&sched);
-            if fits(&spans, &ledger, guard) {
+            let fits_verbatim = fits(&spans, &ledger, guard);
+            timer.lap("fast");
+            if fits_verbatim {
                 rec.add("serve.admit.fast", 1);
                 let tenant = Tenant {
                     name: spec.name.clone(),
@@ -409,6 +501,7 @@ impl Engine {
                 rec,
                 &mut attempts,
             );
+            timer.lap("adapt");
             if let Some(rp) = adapted {
                 rec.add("serve.admit.adapted", 1);
                 let patched = sched.patched(
@@ -433,7 +526,9 @@ impl Engine {
             }
 
             // Rung 3: re-route around hot links, then re-derive.
-            if let Some((rerouted, scale)) = self.try_reroute(&sched, &ledger, rec) {
+            let rerouted = self.try_reroute(&sched, &ledger, rec);
+            timer.lap("reroute");
+            if let Some((rerouted, scale)) = rerouted {
                 rec.add("serve.admit.rerouted", 1);
                 let spans = spans_of_schedule(&rerouted);
                 let entry = self.memo.get(&spec.name).expect("memoized above");
@@ -457,7 +552,9 @@ impl Engine {
         let entry = self.memo.get(&spec.name).expect("memoized above");
         if spec.best_effort {
             if let Some(sched) = &entry.schedule {
-                if let Some((grants, spans)) = self.try_best_effort(sched, &ledger) {
+                let grants = self.try_best_effort(sched, &ledger);
+                timer.lap("best_effort");
+                if let Some((grants, spans)) = grants {
                     rec.add("serve.admit.best_effort", 1);
                     let tenant = Tenant {
                         name: spec.name.clone(),
@@ -476,6 +573,7 @@ impl Engine {
         }
 
         // Rung 5: reject, with the best explanation available.
+        timer.lap("reject");
         rec.add("serve.admit.rejected", 1);
         let entry = self.memo.get(&spec.name).expect("memoized above");
         let mut rejection = Rejection::default();
@@ -570,6 +668,7 @@ impl Engine {
     ///
     /// The tenant name, when no such tenant is admitted.
     pub fn evict(&mut self, name: &str, rec: &dyn Recorder) -> Result<(), String> {
+        let t0 = rec.enabled().then(std::time::Instant::now);
         let _span = span_with(rec, "serve.evict", || name.to_string());
         if self.tenants.remove(name).is_none() {
             return Err(format!("no tenant named \"{name}\""));
@@ -582,6 +681,9 @@ impl Engine {
                 rec.add("serve.invariant_violations", 1);
                 return Err(format!("post-eviction invariant violation: {e}"));
             }
+        }
+        if let Some(t0) = t0 {
+            rec.observe("serve.evict_latency", t0.elapsed().as_secs_f64() * 1e6);
         }
         Ok(())
     }
@@ -742,6 +844,16 @@ impl Engine {
     ) -> Result<AdmitReport, AdmitError> {
         let name = tenant.name.clone();
         let ledger_before = self.ledger();
+        let rungs_tried = if replayed {
+            0
+        } else {
+            match rung {
+                AdmitRung::Fast => 1,
+                AdmitRung::Adapted => 2,
+                AdmitRung::Rerouted => 3,
+                AdmitRung::BestEffort => 4,
+            }
+        };
         let report = AdmitReport {
             name: name.clone(),
             rung,
@@ -750,6 +862,9 @@ impl Engine {
             replayed,
             messages: tenant.tfg.num_messages(),
             links_used: tenant.spans.len(),
+            rungs_tried,
+            latency_us: 0.0,
+            ladder_us: Vec::new(),
         };
         let stored = tenant.clone();
         self.tenants.insert(name.clone(), tenant);
@@ -1136,6 +1251,68 @@ mod tests {
                 b.schedule.as_ref().unwrap().segments()
             );
         }
+    }
+
+    #[test]
+    fn admission_latency_lands_in_per_rung_histograms() {
+        let mut eng = engine();
+        let rec = sr_obs::MetricsRecorder::new();
+        let report = eng.admit(&chain_spec("t1", &[0, 1, 2]), &rec).expect("t1");
+        assert_eq!(report.rungs_tried, 1);
+        assert!(report.latency_us > 0.0);
+        assert!(
+            report.ladder_us.iter().any(|(s, _)| *s == "fast"),
+            "ladder breakdown names the winning stage: {:?}",
+            report.ladder_us
+        );
+        let fast = rec
+            .histogram_summary("serve.admit_latency.fast")
+            .expect("fast histogram recorded");
+        assert_eq!(fast.count, 1);
+        // Evict then readmit: the replay outcome gets its own histogram,
+        // and rungs_tried reports 0 (the ladder never ran).
+        eng.evict("t1", &rec).expect("evict");
+        assert_eq!(
+            rec.histogram_summary("serve.evict_latency").unwrap().count,
+            1
+        );
+        let replay = eng
+            .admit(&chain_spec("t1", &[0, 1, 2]), &rec)
+            .expect("replay");
+        assert!(replay.replayed);
+        assert_eq!(replay.rungs_tried, 0);
+        assert_eq!(
+            rec.histogram_summary("serve.admit_latency.replay")
+                .unwrap()
+                .count,
+            1
+        );
+        // A rejection lands in the reject histogram and carries timing.
+        let mut hog = chain_spec("big", &[0, 1, 2]);
+        hog.tfg_text = "task a 100\ntask b 100\nmsg m a -> b 2000000\n".into();
+        hog.placement = Placement::Nodes(vec![0, 1]);
+        match eng.admit(&hog, &rec) {
+            Err(AdmitError::Infeasible(rej)) => {
+                assert!(rej.latency_us > 0.0);
+                assert!(!rej.ladder_us.is_empty());
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+        assert_eq!(
+            rec.histogram_summary("serve.admit_latency.reject")
+                .unwrap()
+                .count,
+            1
+        );
+    }
+
+    #[test]
+    fn noop_recorder_path_takes_no_timestamps() {
+        let mut eng = engine();
+        let report = eng.admit(&chain_spec("t1", &[0, 1, 2]), &NOOP).expect("t1");
+        assert_eq!(report.latency_us, 0.0);
+        assert!(report.ladder_us.is_empty());
+        assert_eq!(report.rungs_tried, 1);
     }
 
     #[test]

@@ -21,27 +21,42 @@
 //! * [`error`] — the typed protocol error taxonomy ([`ErrorKind`]);
 //! * [`protocol`] — request parsing and deterministic response rendering;
 //! * [`daemon`] — [`Daemon`]: length-prefixed framing over stdio or a
-//!   Unix socket, plus `CounterSnapshot`-delta Prometheus scrapes.
+//!   Unix socket, plus `CounterSnapshot`-delta Prometheus scrapes;
+//! * [`http`] — the out-of-band exposition listener (`GET /metrics`,
+//!   `/healthz`, `/tenants`) on its own thread, fed by published
+//!   snapshots so it never blocks admission;
+//! * [`audit`] — the append-only admission audit journal (JSONL through
+//!   [`sr_obs::JournalWriter`] rotation) and its replay verifier:
+//!   re-driving a fresh engine from the trail must reproduce the tenant
+//!   table and ledger bit-identically.
 //!
-//! Everything is std-only and deterministic: identical request sequences
-//! produce byte-identical response sequences (timestamps never enter the
-//! wire format), which is what makes golden-transcript testing and the
-//! `serve` metrics gate possible.
+//! Everything on the *framed* protocol is std-only and deterministic:
+//! identical request sequences produce byte-identical response sequences
+//! (timestamps never enter the wire format), which is what makes
+//! golden-transcript testing and the `serve` metrics gate possible.
+//! Latency lives only in the out-of-band surfaces — the per-rung
+//! histograms behind `/metrics` and the audit records' timing fields.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod daemon;
 pub mod engine;
 pub mod error;
+pub mod http;
 pub mod json;
 pub mod protocol;
 
+pub use audit::{
+    apply_record, ledger_hash, parse_audit_line, spans_hash, AuditLine, AuditOp, AuditRecord,
+};
 pub use daemon::{read_frame, write_frame, Daemon, FrameRead, MAX_FRAME};
 pub use engine::{
     spans_of_schedule, AdmitError, AdmitReport, AdmitRung, Engine, Grant, Placement, Rejection,
     ServeConfig, Tenant, TenantSpec,
 };
 pub use error::{ErrorKind, ServeError};
+pub use http::OpsState;
 pub use json::{parse, Json, JsonError};
 pub use protocol::{parse_request, Request};

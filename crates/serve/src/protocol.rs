@@ -13,12 +13,18 @@
 //! {"op":"query","tenant":"cam0"}
 //! {"op":"list"}
 //! {"op":"stats"}
+//! {"op":"stats","mode":"cumulative"}
 //! {"op":"shutdown"}
 //! ```
 //!
 //! `placement` is either an array of node ids (one per task, in task
 //! order) or a strategy string (`"greedy"`, `"roundrobin"`,
-//! `"scatter:<seed>"`). `best_effort` defaults to `false`.
+//! `"scatter:<seed>"`). `best_effort` defaults to `false`. `stats`
+//! defaults to `"mode":"delta"` (counter increments since the previous
+//! delta scrape, which it consumes); `"cumulative"` is non-destructive —
+//! it renders the recorder's full state and leaves the delta cursor
+//! untouched, so a dropped connection after a cumulative scrape loses
+//! nothing.
 //!
 //! # Responses
 //!
@@ -45,8 +51,12 @@ pub enum Request {
     Query(String),
     /// List admitted tenant names.
     List,
-    /// Prometheus scrape of the `serve.*` counters since the last scrape.
-    Stats,
+    /// Prometheus scrape: counter deltas since the last delta scrape
+    /// (default), or the recorder's full cumulative state.
+    Stats {
+        /// `true` for `"mode":"cumulative"` (non-destructive full export).
+        cumulative: bool,
+    },
     /// Stop the daemon after responding.
     Shutdown,
 }
@@ -85,7 +95,22 @@ pub fn parse_request(doc: &Json) -> Result<Request, ServeError> {
         "evict" => Ok(Request::Evict(tenant_name(obj, "evict")?)),
         "query" => Ok(Request::Query(tenant_name(obj, "query")?)),
         "list" => Ok(Request::List),
-        "stats" => Ok(Request::Stats),
+        "stats" => {
+            let cumulative = match obj.get("mode") {
+                None => false,
+                Some(v) => match v.as_str() {
+                    Some("delta") => false,
+                    Some("cumulative") => true,
+                    _ => {
+                        return Err(ServeError::new(
+                            ErrorKind::Malformed,
+                            "stats \"mode\" must be \"delta\" or \"cumulative\"",
+                        ))
+                    }
+                },
+            };
+            Ok(Request::Stats { cumulative })
+        }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ServeError::new(
             ErrorKind::Malformed,
@@ -280,11 +305,26 @@ mod tests {
         assert_eq!(parse_request(&evict).unwrap(), Request::Evict("t".into()));
         for (bytes, want) in [
             (&br#"{"op":"list"}"#[..], Request::List),
-            (&br#"{"op":"stats"}"#[..], Request::Stats),
+            (
+                &br#"{"op":"stats"}"#[..],
+                Request::Stats { cumulative: false },
+            ),
+            (
+                &br#"{"op":"stats","mode":"delta"}"#[..],
+                Request::Stats { cumulative: false },
+            ),
+            (
+                &br#"{"op":"stats","mode":"cumulative"}"#[..],
+                Request::Stats { cumulative: true },
+            ),
             (&br#"{"op":"shutdown"}"#[..], Request::Shutdown),
         ] {
             assert_eq!(parse_request(&parse(bytes).unwrap()).unwrap(), want);
         }
+        let bad = parse(br#"{"op":"stats","mode":"sideways"}"#).unwrap();
+        assert_eq!(parse_request(&bad).unwrap_err().kind, ErrorKind::Malformed);
+        let bad = parse(br#"{"op":"stats","mode":7}"#).unwrap();
+        assert_eq!(parse_request(&bad).unwrap_err().kind, ErrorKind::Malformed);
     }
 
     #[test]

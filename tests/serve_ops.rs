@@ -1,0 +1,227 @@
+//! End-to-end test of the daemon's operational surfaces: a 24-tenant
+//! admit/evict workload driven through the framed protocol while the
+//! HTTP exposition listener and the audit journal are attached, followed
+//! by `serve-replay` verification of the journal — including the
+//! torn-final-line and rotated-prefix recovery paths.
+//!
+//! The engine here is built exactly as `srsched serve --topo torus:8x8
+//! --period 200` would build it (all other knobs at their CLI defaults),
+//! and the journal's genesis meta line records those same values — so
+//! `serve-replay` reconstructs a bit-identical engine from the file
+//! alone, which is the whole contract.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use sr::prelude::*;
+use sr::serve::Daemon;
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sr_serve_ops_{name}_{}", std::process::id()));
+    p
+}
+
+/// The engine `srsched serve --topo torus:8x8 --period 200` builds:
+/// every other knob at its command-line default.
+fn engine() -> sr::serve::Engine {
+    let topo = sr_cli::parse_topology("torus:8x8").expect("topo");
+    let config = CompileConfig {
+        guard_time: 0.0,
+        parallelism: 0,
+        spare_capacity: 0.0,
+        alloc_engine: AllocEngine::Simplex,
+        partition: 0,
+        ..CompileConfig::default()
+    };
+    let serve_cfg = sr::serve::ServeConfig {
+        period: 200.0,
+        timing: Timing::calibrated_dvb(64.0),
+        feedback_scales: config.feedback_scales.clone(),
+        batch_threads: 0,
+        compile: config,
+        ..sr::serve::ServeConfig::default()
+    };
+    sr::serve::Engine::new(topo, serve_cfg)
+}
+
+/// The genesis meta pairs the CLI would write for that invocation.
+const META: &[(&str, &str)] = &[
+    ("topo", "torus:8x8"),
+    ("period", "200"),
+    ("bandwidth", "64"),
+    ("guard", "0"),
+    ("spare", "0"),
+    ("parallelism", "0"),
+    ("partition", "0"),
+    ("alloc_engine", "simplex"),
+];
+
+/// Tenant `i`: a two-task chain on its own node pair (the serve_drive
+/// workload shape).
+fn admit_req(i: usize) -> String {
+    let a = (i * 2) % 62;
+    let b = a + 1;
+    format!(
+        r#"{{"op":"admit","tenant":{{"name":"drv{i}","tfg":"task a{i} 100\ntask b{i} 100\nmsg m{i} a{i} -> b{i} 256","placement":[{a},{b}]}}}}"#
+    )
+}
+
+fn ok_frame(daemon: &mut Daemon, request: &str) -> String {
+    let (response, _stop) = daemon.handle_frame(request.as_bytes());
+    assert!(response.contains("\"ok\":true"), "refused: {response}");
+    response
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("reads");
+    let (head, body) = text.split_once("\r\n\r\n").expect("has head");
+    (head.to_string(), body.to_string())
+}
+
+fn replay(path: &std::path::Path) -> Result<String, String> {
+    let opts = sr_cli::Options {
+        command: "serve-replay".into(),
+        input: Some(path.display().to_string()),
+        ..sr_cli::Options::default()
+    };
+    let mut out = String::new();
+    match sr_cli::run(&opts, &mut out) {
+        Ok(()) => Ok(out),
+        Err(e) => Err(format!("{e} (output so far: {out})")),
+    }
+}
+
+fn clean(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(format!("{}.1", path.display()));
+}
+
+#[test]
+fn workload_is_observed_and_replays_bit_identically() {
+    let journal = tmp_path("workload");
+    clean(&journal);
+    let mut daemon = Daemon::new(engine());
+    daemon.attach_journal(&journal, META).expect("journal");
+    let addr = daemon.attach_http("127.0.0.1:0").expect("http");
+
+    for i in 0..24 {
+        ok_frame(&mut daemon, &admit_req(i));
+    }
+    for i in 0..4 {
+        ok_frame(
+            &mut daemon,
+            &format!(r#"{{"op":"evict","tenant":"drv{i}"}}"#),
+        );
+    }
+
+    // The scrape exposes the cumulative counters and the per-rung
+    // latency histograms the workload just filled.
+    let (head, metrics) = http_get(addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(metrics.contains("sr_serve_admit_total 24"), "{metrics}");
+    assert!(metrics.contains("sr_serve_evict_total 4"), "{metrics}");
+    assert!(
+        metrics.contains("sr_serve_admit_latency_fast{quantile=\"0.5\"}"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("sr_serve_admit_latency_fast_count 24"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("sr_serve_evict_latency{quantile=\"0.95\"}"),
+        "{metrics}"
+    );
+
+    let (_, health) = http_get(addr, "/healthz");
+    assert!(health.contains("\"ok\":true"), "{health}");
+    assert!(health.contains("\"tenants\":20"), "{health}");
+    assert!(health.contains("\"attached\":true"), "{health}");
+    // Genesis meta + 24 admits + 4 evicts.
+    assert!(health.contains("\"lines\":29"), "{health}");
+
+    let (_, tenants) = http_get(addr, "/tenants");
+    assert!(tenants.contains("\"count\":20"), "{tenants}");
+    assert!(tenants.contains("\"name\":\"drv23\""), "{tenants}");
+    assert!(!tenants.contains("\"name\":\"drv0\""), "{tenants}");
+
+    let (_, stop) = daemon.handle_frame(br#"{"op":"shutdown"}"#);
+    assert!(stop, "shutdown stops the daemon");
+    drop(daemon);
+
+    let out = replay(&journal).expect("replay verifies");
+    assert!(
+        out.contains("28 ops verified bit-identical (24 admits, 4 evicts, 0 rejects)"),
+        "{out}"
+    );
+    assert!(out.contains("tenants: 20"), "{out}");
+    clean(&journal);
+}
+
+#[test]
+fn torn_final_line_reports_the_tear_and_verifies_the_prefix() {
+    let journal = tmp_path("torn");
+    clean(&journal);
+    let mut daemon = Daemon::new(engine());
+    daemon.attach_journal(&journal, META).expect("journal");
+    for i in 0..6 {
+        ok_frame(&mut daemon, &admit_req(i));
+    }
+    ok_frame(&mut daemon, r#"{"op":"evict","tenant":"drv0"}"#);
+    drop(daemon);
+
+    // Crash mid-write: chop the final record in half.
+    let text = std::fs::read_to_string(&journal).expect("journal exists");
+    let whole = text.trim_end_matches('\n');
+    let last_start = whole.rfind('\n').expect("several lines") + 1;
+    let torn_at = last_start + (whole.len() - last_start) / 2;
+    std::fs::write(&journal, &text[..torn_at]).expect("truncates");
+
+    let out = replay(&journal).expect("prefix still verifies");
+    assert!(out.contains("torn line 8"), "{out}");
+    assert!(out.contains("verified the intact prefix"), "{out}");
+    assert!(
+        out.contains("6 ops verified bit-identical (6 admits, 0 evicts, 0 rejects)"),
+        "{out}"
+    );
+    clean(&journal);
+}
+
+#[test]
+fn rotated_journal_is_stitched_from_the_previous_chunk() {
+    let journal = tmp_path("rotated");
+    clean(&journal);
+    let mut daemon = Daemon::new(engine());
+    // A deliberately tiny rotation budget (the clamp floor): the
+    // workload below spans one rotation boundary, so the genesis meta
+    // line ends up in `<path>.1` and replay must stitch.
+    daemon
+        .attach_journal_with(&journal, 4096, META)
+        .expect("journal");
+    for i in 0..6 {
+        ok_frame(&mut daemon, &admit_req(i));
+    }
+    for _ in 0..5 {
+        ok_frame(&mut daemon, r#"{"op":"evict","tenant":"drv0"}"#);
+        ok_frame(&mut daemon, &admit_req(0));
+    }
+    drop(daemon);
+
+    let rotated = std::path::PathBuf::from(format!("{}.1", journal.display()));
+    assert!(
+        rotated.exists(),
+        "the workload crosses the 4096-byte budget"
+    );
+
+    let out = replay(&journal).expect("stitched replay verifies");
+    assert!(out.contains("stitching rotated prefix"), "{out}");
+    assert!(
+        out.contains("16 ops verified bit-identical (11 admits, 5 evicts, 0 rejects)"),
+        "{out}"
+    );
+    clean(&journal);
+}
